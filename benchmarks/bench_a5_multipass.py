@@ -1,0 +1,77 @@
+"""Ablation/extension A5 — one pass approximate vs multi-pass exact
+quantiles (slide 21, [MP80]).
+
+Slide 21's contrast: "per-element processing: single pass to reduce
+drops; block processing: multiple passes to optimize I/O cost", with
+[MP80]'s limited-memory selection as the classical multi-pass result.
+The low level must answer in one pass (GK, approximate); the high
+level can re-read stored blocks and answer exactly (Munro-Paterson).
+
+The bench sweeps working memory and reports, for the median of a
+20k-value stream: GK's error and memory (1 pass) vs Munro-Paterson's
+pass count (0 error).
+
+Expected shape: MP is exact at every memory level with passes falling
+as memory grows (the MP80 trade); GK's one-pass error falls with its
+summary size but never reaches zero.
+"""
+
+import random
+
+import pytest
+
+from repro.synopses import GKQuantiles, MultiPassSelection
+
+
+def data(n=20000, seed=13):
+    rng = random.Random(seed)
+    return [rng.random() * 1e6 for _ in range(n)]
+
+
+def test_a5_passes_vs_error(benchmark, report):
+    emit, table = report
+    values = data()
+    exact_sorted = sorted(values)
+    true_median = exact_sorted[len(values) // 2]
+
+    def run():
+        rows = []
+        for memory, eps in ((32, 0.05), (128, 0.01), (1024, 0.002)):
+            mp = MultiPassSelection(lambda: iter(values), memory=memory)
+            mp_value = mp.quantile(0.5)
+            gk = GKQuantiles(eps)
+            gk.extend(values)
+            gk_value = gk.query(0.5)
+            gk_rank_err = abs(
+                exact_sorted.index(gk_value) - len(values) / 2
+            ) / len(values)
+            rows.append(
+                [
+                    memory,
+                    mp.passes + 1,
+                    mp_value == true_median,
+                    gk.memory(),
+                    gk_rank_err,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        [
+            "working memory",
+            "MP80 passes (exact)",
+            "MP80 exact?",
+            "GK entries (1 pass)",
+            "GK rank error",
+        ],
+        rows,
+        title="A5 multi-pass exact vs one-pass approximate median (slide 21)",
+    )
+    assert all(r[2] for r in rows), "Munro-Paterson must be exact always"
+    passes = [r[1] for r in rows]
+    assert passes == sorted(passes, reverse=True), (
+        "more memory must not need more passes"
+    )
+    errors = [r[4] for r in rows]
+    assert errors[-1] <= errors[0], "GK error falls with summary size"

@@ -1,0 +1,175 @@
+"""E10 — Approximate aggregates: synopsis error vs space (slides 20, 38, 53).
+
+The tutorial's approximation toolbox, exercised on a Zipf-skewed stream:
+
+* GK quantiles (slide 53: "quantile computation is part of Gigascope"),
+* FM distinct counting (slide 38's count(distinct A)),
+* Count-Min heavy hitters (slide 38's having count(*) > φ|S|),
+* AMS F2 / self-join size,
+* DGIM sliding-window counting (windows meet synopses),
+* reservoir-sample selectivity estimation (feeding slide 39's optimizer).
+
+Expected reproduction (shape): every synopsis answers within its error
+guarantee using memory orders of magnitude below exact state, and error
+shrinks as space grows.
+"""
+
+import collections
+
+import pytest
+
+from repro.synopses import (
+    AMSSketch,
+    CountMinSketch,
+    ExponentialHistogram,
+    FMSketch,
+    GKQuantiles,
+    ReservoirSample,
+)
+from repro.workloads import ZipfGenerator
+
+N = 20000
+
+
+def make_stream(seed=13):
+    gen = ZipfGenerator(2000, 1.1, seed=seed)
+    return gen.sample_many(N)
+
+
+def test_e10_error_vs_space(benchmark, report):
+    emit, table = report
+    stream = make_stream()
+    truth_counts = collections.Counter(stream)
+    true_distinct = len(truth_counts)
+    true_f2 = sum(c * c for c in truth_counts.values())
+    exact_sorted = sorted(stream)
+
+    def run():
+        rows = []
+        # GK quantiles: epsilon sweep.
+        for eps in (0.05, 0.01, 0.005):
+            gk = GKQuantiles(eps)
+            gk.extend(stream)
+            est = gk.query(0.5)
+            true = exact_sorted[N // 2]
+            rank_err = abs(
+                min(
+                    abs(i - N / 2)
+                    for i, v in enumerate(exact_sorted)
+                    if v == est
+                )
+            ) / N
+            rows.append([f"GK(eps={eps}) median", gk.memory(), N, rank_err])
+        # FM distinct: map-count sweep.
+        for maps in (16, 64, 256):
+            fm = FMSketch(num_maps=maps)
+            fm.extend(stream)
+            err = abs(fm.estimate() - true_distinct) / true_distinct
+            rows.append([f"FM({maps}) distinct", fm.memory(), true_distinct, err])
+        # AMS F2: width sweep.
+        for width in (16, 64, 128):
+            ams = AMSSketch(width=width, depth=5)
+            for v in stream[:4000]:
+                ams.add(v)
+            sub_counts = collections.Counter(stream[:4000])
+            sub_f2 = sum(c * c for c in sub_counts.values())
+            err = abs(ams.estimate_f2() - sub_f2) / sub_f2
+            rows.append([f"AMS({width}x5) F2", ams.memory(), sub_f2, err])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["synopsis", "memory (cells)", "exact scale", "relative error"],
+        rows,
+        title="E10 synopsis error vs space on a Zipf(1.1) stream",
+    )
+    by_family: dict[str, list[float]] = {}
+    for name, _mem, _scale, err in rows:
+        by_family.setdefault(name.split("(")[0], []).append(err)
+    # Shape: more space, less error, per family (allow small noise).
+    for family, errs in by_family.items():
+        assert errs[-1] <= errs[0] + 0.05, f"{family} error did not shrink"
+        assert errs[-1] < 0.25, f"{family} final error too large"
+
+
+def test_e10_heavy_hitters(benchmark, report):
+    emit, table = report
+    stream = make_stream(seed=15)
+    truth = collections.Counter(stream)
+    phi = 0.02
+
+    def run():
+        cm = CountMinSketch.from_error(epsilon=0.001, delta=0.01)
+        cm.extend(stream)
+        return cm, cm.heavy_hitters(truth.keys(), phi)
+
+    cm, hh = benchmark.pedantic(run, rounds=1, iterations=1)
+    true_hh = {k for k, c in truth.items() if c > phi * N}
+    found = {k for k, _c in hh}
+    table(
+        ["metric", "value"],
+        [
+            ["phi", phi],
+            ["true heavy hitters", len(true_hh)],
+            ["reported", len(found)],
+            ["missed", len(true_hh - found)],
+            ["sketch cells", cm.memory()],
+            ["exact counter entries", len(truth)],
+        ],
+        title="E10b Count-Min heavy hitters (slide 38's HAVING example)",
+    )
+    assert true_hh <= found, "CM overestimates, so no heavy hitter is missed"
+    assert len(found - true_hh) <= 3, "few false positives at this width"
+
+
+def test_e10_sliding_window_count(benchmark, report):
+    emit, table = report
+    window = 2000
+    bits = [1 if (v % 3 == 0) else 0 for v in make_stream(seed=17)]
+
+    def run():
+        rows = []
+        for k in (1, 2, 4, 8):
+            eh = ExponentialHistogram(window=window, k=k)
+            for b in bits:
+                eh.add(b)
+            truth = sum(bits[-window:])
+            err = abs(eh.estimate() - truth) / truth
+            rows.append([k, eh.memory(), err])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["k (precision)", "buckets kept", "relative error"],
+        rows,
+        title=f"E10c DGIM count over the last {window} positions",
+    )
+    # Shape: every k meets its worst-case bound of 1/(2k); single-run
+    # error is not monotone in k (the half-oldest-bucket correction is
+    # a point estimate), but the guarantee tightens.
+    for k, _buckets, err in rows:
+        assert err <= 1.0 / (2 * k) + 1e-9, f"k={k} violated its bound"
+    assert all(r[1] < 120 for r in rows), "buckets stay logarithmic"
+
+
+def test_e10_sample_based_selectivity(benchmark, report):
+    emit, table = report
+    stream = make_stream(seed=19)
+
+    def run():
+        rows = []
+        for cap in (50, 200, 1000):
+            rs = ReservoirSample(cap, seed=21)
+            rs.extend(stream)
+            est = rs.estimate_selectivity(lambda v: v < 100)
+            true = sum(1 for v in stream if v < 100) / len(stream)
+            rows.append([cap, est, true, abs(est - true)])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["sample size", "estimated selectivity", "true", "abs error"],
+        rows,
+        title="E10d reservoir-sample selectivity (feeds the optimizer)",
+    )
+    assert rows[-1][3] < 0.05

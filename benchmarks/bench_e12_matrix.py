@@ -1,0 +1,101 @@
+"""E12 — The comparative system matrix (slide 52).
+
+The tutorial closes Part II with a table contrasting Aurora, Gigascope,
+Hancock, STREAM, and Telegraph along six dimensions.  The bench
+regenerates that table from the live profile objects and then *runs*
+each profile's engine configuration on a common overloaded workload,
+verifying the signature behaviours the matrix claims:
+
+* Aurora (QoS-based, load shedding) is the only profile that sheds;
+* STREAM (optimize space) has the lowest peak memory among non-shedders;
+* all profiles process the same stream (comparability).
+"""
+
+import pytest
+
+from repro.dsms import PROFILES, comparative_matrix, run_profile_demo
+
+SLIDE_52 = {
+    "Aurora": {
+        "Architecture": "low-level",
+        "Data Model": "RS-in RS-out",
+        "Query Language": "Operators",
+        "Query Answers": "approximate",
+        "Query Plan": "QoS-based, load shedding",
+    },
+    "Gigascope": {
+        "Architecture": "two level (low, high)",
+        "Data Model": "S-in S-out",
+        "Query Language": "GSQL",
+        "Query Answers": "exact",
+        "Query Plan": "decomposition, avoid drops",
+    },
+    "Hancock": {
+        "Architecture": "High-level",
+        "Data Model": "RS-in R-out",
+        "Query Language": "Procedural",
+        "Query Answers": "exact, signatures",
+        "Query Plan": "optimize for I/O, process blocks",
+    },
+    "STREAM": {
+        "Architecture": "low-level",
+        "Data Model": "RS-in RS-out",
+        "Query Language": "CQL",
+        "Query Answers": "approximate",
+        "Query Plan": "optimize space, static analysis",
+    },
+    "Telegraph": {
+        "Architecture": "high-level",
+        "Data Model": "RS-in RS-out",
+        "Query Language": "SQL-based",
+        "Query Answers": "exact",
+        "Query Plan": "adaptive plans, multi-query",
+    },
+}
+
+
+def test_e12_matrix_reproduction(benchmark, report):
+    emit, table = report
+    matrix = benchmark.pedantic(comparative_matrix, rounds=5, iterations=1)
+    table(
+        ["System", "Architecture", "Data Model", "Query Language",
+         "Query Answers", "Query Plan"],
+        [
+            [row["System"], row["Architecture"], row["Data Model"],
+             row["Query Language"], row["Query Answers"], row["Query Plan"]]
+            for row in matrix
+        ],
+        title="E12 comparative matrix (slide 52, exact reproduction)",
+    )
+    for row in matrix:
+        expected = SLIDE_52[row["System"]]
+        for column, value in expected.items():
+            assert row[column] == value, (
+                f"{row['System']}/{column}: {row[column]!r} != {value!r}"
+            )
+
+
+def test_e12_profiles_behave_as_claimed(benchmark, report):
+    emit, table = report
+
+    def run():
+        return {
+            name: run_profile_demo(name, n_tuples=60, burst_rate=4.0)
+            for name in PROFILES
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["profile", "scheduler", "peak memory", "output", "shed"],
+        [
+            [o["system"], o["scheduler"], o["peak_memory"],
+             o["output_weight"], o["shed"]]
+            for o in out.values()
+        ],
+        title="E12b profiles executed on a common overloaded burst",
+    )
+    assert out["aurora"]["shed"] > 0
+    non_shedders = [n for n in PROFILES if n != "aurora"]
+    assert all(out[n]["shed"] == 0 for n in non_shedders)
+    peaks = {n: out[n]["peak_memory"] for n in non_shedders}
+    assert peaks["stream"] == min(peaks.values())

@@ -1,0 +1,89 @@
+"""E14 — Window semantics: agglomerative vs sliding vs shifting (slide 27).
+
+Slide 27's figure shows the three ordering-attribute window shapes over
+one timeline.  The bench runs the *same* count aggregate over the same
+stream under each window and prints the resulting series — the figure's
+data, as numbers.
+
+Expected reproduction (shape): the agglomerative (landmark) count grows
+monotonically; the sliding count plateaus at (rate x range); the
+shifting (tumbling) count is constant per bucket at (rate x width).
+"""
+
+import pytest
+
+from repro.core import Record
+from repro.operators import AggSpec, WindowedAggregate
+from repro.windows import LandmarkWindow, TimeWindow, TumblingWindow
+
+
+def stream(n=60):
+    """One record per time unit."""
+    return [Record({"ts": float(i), "v": i}, ts=float(i), seq=i) for i in range(n)]
+
+
+def series(op, data):
+    out = []
+    for r in data:
+        for el in op.process(r):
+            if isinstance(el, Record):
+                out.append((el.ts, el["n"]))
+    for el in op.flush():
+        if isinstance(el, Record):
+            out.append((el.ts, el["n"]))
+    return out
+
+
+def test_e14_window_shapes(benchmark, report):
+    emit, table = report
+    data = stream()
+
+    def run():
+        return {
+            "agglomerative": series(
+                WindowedAggregate(
+                    LandmarkWindow(0.0), [], [AggSpec("n", "count")]
+                ),
+                data,
+            ),
+            "sliding": series(
+                WindowedAggregate(
+                    TimeWindow(10.0), [], [AggSpec("n", "count")]
+                ),
+                data,
+            ),
+            "shifting": series(
+                WindowedAggregate(
+                    TumblingWindow(10.0), [], [AggSpec("n", "count")]
+                ),
+                data,
+            ),
+        }
+
+    out = benchmark.pedantic(run, rounds=2, iterations=1)
+    sample_points = [0, 9, 19, 29, 39, 49, 59]
+    rows = []
+    for t in sample_points:
+        agg = next((n for ts, n in out["agglomerative"] if ts == t), "-")
+        sld = next((n for ts, n in out["sliding"] if ts == t), "-")
+        rows.append([t, agg, sld])
+    table(
+        ["time", "agglomerative count", "sliding count (T=10)"],
+        rows,
+        title="E14 window semantics over one stream (slide 27)",
+    )
+    table(
+        ["bucket close ts", "shifting count"],
+        [[ts, n] for ts, n in out["shifting"]],
+        title="E14b shifting (tumbling) buckets",
+    )
+    # Agglomerative: strictly growing.
+    agg_counts = [n for _t, n in out["agglomerative"]]
+    assert agg_counts == sorted(agg_counts)
+    assert agg_counts[-1] == 60
+    # Sliding: plateaus at the window size x rate (10 tuples).
+    sliding_tail = [n for _t, n in out["sliding"]][-30:]
+    assert all(n == 10 for n in sliding_tail)
+    # Shifting: every full bucket holds exactly 10.
+    assert all(n == 10 for _t, n in out["shifting"])
+    assert len(out["shifting"]) == 6

@@ -1,0 +1,139 @@
+"""E15 — Multi-query sharing (slide 45, [HFAE03]).
+
+"Sharing (of expressions, results etc.) among queries can lead to
+improved performance... sharing between select/project expressions,
+sharing between sliding window join expressions."
+
+Two benches:
+
+* **Shared predicates** — N conjunctive filter queries drawn from a
+  small predicate pool; shared evaluation computes each distinct
+  predicate once per tuple.
+* **Shared window joins** — N join queries with different window sizes
+  served by one physical join at the largest window, with result
+  routing.
+
+Expected reproduction (shape): shared predicate work grows with the
+pool size (constant in N) while independent work grows linearly in N;
+the shared join's CPU is a fraction of N independent joins' and routed
+results exactly match per-query independent execution.
+"""
+
+import pytest
+
+from repro.core import Record
+from repro.operators import WindowJoin
+from repro.optimizer import SharedFilterBank, SharedWindowJoin
+from repro.windows import TimeWindow
+from repro.workloads import ZipfGenerator
+
+
+def records(n=1500, seed=3):
+    gen = ZipfGenerator(100, 0.7, seed=seed)
+    return [
+        Record({"v": gen.sample(), "w": i % 7}, ts=float(i), seq=i)
+        for i in range(n)
+    ]
+
+
+def predicate_pool():
+    return {
+        "small": lambda r: r["v"] < 10,
+        "large": lambda r: r["v"] >= 50,
+        "even": lambda r: r["v"] % 2 == 0,
+        "w0": lambda r: r["w"] == 0,
+        "w_low": lambda r: r["w"] < 3,
+        "vmid": lambda r: 10 <= r["v"] < 50,
+    }
+
+
+def test_e15_shared_predicates(benchmark, report):
+    emit, table = report
+    data = records()
+    pool = predicate_pool()
+    pool_names = sorted(pool)
+
+    def run():
+        rows = []
+        for n_queries in (2, 8, 32, 128):
+            queries = {
+                f"q{j}": [
+                    pool_names[j % len(pool_names)],
+                    pool_names[(j + 1) % len(pool_names)],
+                ]
+                for j in range(n_queries)
+            }
+            bank = SharedFilterBank(pool, queries)
+            for r in data:
+                bank.process(r)
+            rows.append(
+                [
+                    n_queries,
+                    bank.shared_evals,
+                    bank.independent_evals,
+                    bank.independent_evals / bank.shared_evals,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["queries", "shared evals", "independent evals", "saving"],
+        rows,
+        title="E15 shared select/project expressions (slide 45)",
+    )
+    # Shape: shared cost grows only until the predicate pool is fully
+    # covered, then flattens; the saving factor keeps growing with N.
+    savings = [r[3] for r in rows]
+    assert savings == sorted(savings)
+    assert rows[-1][1] == rows[-2][1], (
+        "shared cost must flatten once the pool is covered"
+    )
+
+
+def test_e15_shared_window_join(benchmark, report):
+    emit, table = report
+    data = records(n=800, seed=9)
+    windows = {"w1": 1.0, "w4": 4.0, "w16": 16.0, "w64": 64.0}
+
+    def independent_results():
+        cpu = 0.0
+        results = {}
+        for qname, t in windows.items():
+            join = WindowJoin(
+                TimeWindow(t), TimeWindow(t), ["v"], ["v"]
+            )
+            out = []
+            for i, r in enumerate(data):
+                out += join.process(r, i % 2)
+            cpu += join.cpu_used
+            results[qname] = len([e for e in out if isinstance(e, Record)])
+        return cpu, results
+
+    def shared_results():
+        shared = SharedWindowJoin(["v"], ["v"], windows)
+        counts = {q: 0 for q in windows}
+        for i, r in enumerate(data):
+            routed = shared.process(r, i % 2)
+            for q, pairs in routed.items():
+                counts[q] += len(pairs)
+        return shared.shared_cpu, counts
+
+    def run():
+        return independent_results(), shared_results()
+
+    (ind_cpu, ind_counts), (sh_cpu, sh_counts) = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    table(
+        ["query (window)", "independent results", "shared-join results"],
+        [[q, ind_counts[q], sh_counts[q]] for q in windows],
+        title="E15b shared sliding-window join: answer equivalence",
+    )
+    emit(
+        f"CPU: {len(windows)} independent joins = {ind_cpu:.0f}, "
+        f"one shared join = {sh_cpu:.0f} "
+        f"({ind_cpu / sh_cpu:.1f}x saving)"
+    )
+    assert sh_counts == ind_counts, "shared routing must match"
+    assert sh_cpu < ind_cpu / 2

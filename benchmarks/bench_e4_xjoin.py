@@ -1,0 +1,101 @@
+"""E4 — Symmetric hash join vs XJoin under memory pressure (slide 31).
+
+Slide 31: XJoin "extends symmetric hash joins: overflowing inputs
+spilled to disk for later evaluation".  The experiment joins two finite
+streams under a sweep of memory budgets and compares:
+
+* **SHJ (unbounded)** — the reference answer, unlimited memory;
+* **evicting SHJ** — same budget, evicts oldest tuples: loses results;
+* **XJoin** — same budget, spills to (simulated) disk: complete results
+  at the price of page I/O and deferred (clean-up stage) output.
+
+Expected reproduction (shape): as the budget shrinks, the evicting
+join's recall collapses while XJoin stays at 100%, with page I/O rising.
+"""
+
+import pytest
+
+from repro.core import Record
+from repro.operators import EvictingHashJoin, SymmetricHashJoin, XJoin
+from repro.workloads import ZipfGenerator
+
+
+def make_elements(n=800, keys=40, seed=3):
+    gen = ZipfGenerator(keys, 0.9, seed=seed)
+    return [
+        (i % 2, Record({"k": gen.sample(), "i": i}, ts=float(i), seq=i))
+        for i in range(n)
+    ]
+
+
+def run_join(join, elements):
+    out = []
+    for port, el in elements:
+        out += join.process(el, port)
+    out += join.flush()
+    return [e for e in out if isinstance(e, Record)]
+
+
+def test_e4_memory_budget_sweep(benchmark, report):
+    emit, table = report
+    elements = make_elements()
+    reference = len(run_join(SymmetricHashJoin(["k"], ["k"]), elements))
+
+    def run():
+        rows = []
+        for budget in (800, 400, 200, 100, 50, 25):
+            evicting = EvictingHashJoin(["k"], ["k"], memory_budget=budget)
+            lossy = len(run_join(evicting, elements))
+            xj = XJoin(["k"], ["k"], memory_budget=budget, n_partitions=8)
+            complete = len(run_join(xj, elements))
+            rows.append(
+                [
+                    budget,
+                    lossy / reference,
+                    complete / reference,
+                    xj.pages_written,
+                    xj.pages_read,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=2, iterations=1)
+    table(
+        [
+            "memory budget",
+            "evicting recall",
+            "xjoin recall",
+            "pages written",
+            "pages read",
+        ],
+        rows,
+        title=f"E4 join completeness vs memory (reference = {reference} results)",
+    )
+    # Shape: XJoin is always complete; eviction decays monotonically-ish.
+    assert all(r[2] == pytest.approx(1.0) for r in rows)
+    assert rows[-1][1] < 0.6
+    assert rows[0][1] == pytest.approx(1.0)
+    # Spilling only happens once the budget binds.
+    assert rows[0][3] == 0 and rows[-1][3] > 0
+
+
+def test_e4_io_cost_grows_as_memory_shrinks(benchmark, report):
+    emit, table = report
+    elements = make_elements(n=600)
+
+    def run():
+        io = []
+        for budget in (300, 150, 75, 40):
+            xj = XJoin(["k"], ["k"], memory_budget=budget, n_partitions=8)
+            run_join(xj, elements)
+            io.append([budget, xj.pages_written + xj.pages_read])
+        return io
+
+    io = benchmark.pedantic(run, rounds=2, iterations=1)
+    table(
+        ["memory budget", "total page I/O"],
+        io,
+        title="E4b XJoin I/O vs memory (the price of completeness)",
+    )
+    totals = [t for _b, t in io]
+    assert totals == sorted(totals), "less memory must not reduce I/O"

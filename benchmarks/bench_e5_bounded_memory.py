@@ -1,0 +1,120 @@
+"""E5 — Bounded vs unbounded memory aggregation (slides 35-36, [ABB+02]).
+
+Slide 36's example pair over the Traffic stream:
+
+* NOT bounded:  ``select distinct length from Traffic [window T]`` when
+  the grouped attribute is drawn from an unbounded domain (here we use
+  ``src_ip`` to make the contrast stark);
+* bounded:      ``select length, count(*) ... where length > 512 and
+  length < 1024 group by length`` — grouping attribute from a finite
+  domain.
+
+The bench measures actual operator state growth against stream length
+and checks the static ABB+02 analysis predicts the observed behaviour.
+
+Expected reproduction (shape): unbounded-group state grows linearly
+with distinct values; bounded-group state plateaus at the domain size.
+"""
+
+import pytest
+
+from repro.aggregates import AggSpec, analyze_group_by
+from repro.core import Field, Record, Schema
+from repro.operators import Aggregate
+from repro.workloads import ZipfGenerator
+
+
+def schema():
+    return Schema(
+        [
+            Field("ts", float),
+            Field("src_ip", int),  # unbounded domain
+            Field("length", int, bounded=True, domain=(40, 1500)),
+        ],
+        ordering="ts",
+    )
+
+
+def run_growth(group_attr, n_points, step, seed=5):
+    """State size of a grouped count after each `step` tuples."""
+    agg = Aggregate([group_attr], [AggSpec("n", "count")])
+    lengths = ZipfGenerator(1461, 0.4, seed=seed)
+    series = []
+    i = 0
+    for point in range(n_points):
+        for _ in range(step):
+            rec = Record(
+                {
+                    "ts": float(i),
+                    "src_ip": i,  # fresh source every tuple: worst case
+                    "length": 40 + lengths.sample(),
+                },
+                ts=float(i),
+            )
+            agg.process(rec)
+            i += 1
+        series.append((i, agg.memory()))
+    return series
+
+
+def test_e5_state_growth(benchmark, report):
+    emit, table = report
+
+    def run():
+        return {
+            "src_ip": run_growth("src_ip", 6, 2000),
+            "length": run_growth("length", 6, 2000),
+        }
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [n, unb, bnd]
+        for (n, unb), (_n2, bnd) in zip(out["src_ip"], out["length"])
+    ]
+    table(
+        ["tuples seen", "groups (by src_ip)", "groups (by length)"],
+        rows,
+        title="E5 aggregation state growth: unbounded vs bounded grouping",
+    )
+    # Shape: src_ip grows linearly; length saturates under its domain.
+    unbounded = [m for _n, m in out["src_ip"]]
+    bounded = [m for _n, m in out["length"]]
+    assert unbounded[-1] == 12000  # one group per tuple
+    assert bounded[-1] <= 1461
+    assert bounded[-1] - bounded[-3] < 0.05 * bounded[-1], "should plateau"
+
+
+def test_e5_static_analysis_predicts(benchmark, report):
+    emit, table = report
+    s = schema()
+
+    def run():
+        return {
+            "by_src_ip": analyze_group_by(
+                s, ["src_ip"], [AggSpec("n", "count")]
+            ),
+            "by_length": analyze_group_by(
+                s, ["length"], [AggSpec("n", "count")]
+            ),
+            "median_src_ip": analyze_group_by(
+                s, ["length"], [AggSpec("m", "median", "src_ip")]
+            ),
+        }
+
+    verdicts = benchmark.pedantic(run, rounds=5, iterations=1)
+    table(
+        ["query", "ABB+02 verdict", "group bound"],
+        [
+            ["group by src_ip", verdicts["by_src_ip"].bounded,
+             verdicts["by_src_ip"].group_bound],
+            ["group by length", verdicts["by_length"].bounded,
+             verdicts["by_length"].group_bound],
+            ["median(src_ip) by length", verdicts["median_src_ip"].bounded,
+             verdicts["median_src_ip"].group_bound],
+        ],
+        title="E5b static bounded-memory verdicts (slide 35)",
+    )
+    assert not verdicts["by_src_ip"].bounded
+    assert verdicts["by_length"].bounded
+    assert verdicts["by_length"].group_bound == 1461
+    assert not verdicts["median_src_ip"].bounded

@@ -1,0 +1,96 @@
+"""E6 — Gigascope two-level partial aggregation (slide 37).
+
+"Gigascope applies partial aggregation on low-level data streams:
+bounded number of groups maintained at low level, unbounded number of
+groups maintainable at high level."
+
+The bench runs the slide's per-source per-minute traffic query through
+the LFTA/HFTA pipeline, sweeping the LFTA group-table bound, and
+reports:
+
+* rows shipped across the LFTA→HFTA boundary (data reduction),
+* early evictions forced by the bound,
+* correctness: HFTA results must equal single-level aggregation for
+  every bound.
+
+Expected reproduction (shape): shipped rows and evictions fall as the
+table grows; answers are identical at every point; even the tightest
+bound ships far fewer rows than raw packets.
+"""
+
+import pytest
+
+from repro.aggregates import AggSpec
+from repro.core import ListSource, run_plan
+from repro.cql import compile_query
+from repro.gigascope import TwoLevelAggregation, gigascope_catalog
+from repro.windows import TumblingWindow
+from repro.workloads import NetflowConfig, PacketGenerator
+
+
+def specs():
+    return [AggSpec("n", "count"), AggSpec("vol", "sum", "length")]
+
+
+def reference_rows(packets):
+    plan = compile_query(
+        "select tb, src_ip, count(*) as n, sum(length) as vol "
+        "from IPv4 group by ts/30 as tb, src_ip",
+        gigascope_catalog(),
+    )
+    res = run_plan(plan, [ListSource("IPv4", packets, ts_attr="ts")])
+    return sorted(
+        (r["tb"], r["src_ip"], r["n"], r["vol"]) for r in res.records()
+    )
+
+
+def test_e6_lfta_bound_sweep(benchmark, report):
+    emit, table = report
+    packets = PacketGenerator(NetflowConfig(seed=19)).generate(5000)
+    reference = reference_rows(packets)
+
+    def run():
+        rows = []
+        for max_groups in (2, 4, 8, 16, 64, 256):
+            pipeline = TwoLevelAggregation(
+                "IPv4",
+                TumblingWindow(30.0),
+                ["src_ip"],
+                specs(),
+                max_groups=max_groups,
+            )
+            res = pipeline.run(ListSource("IPv4", packets, ts_attr="ts"))
+            got = sorted(
+                (r["tb"], r["src_ip"], r["n"], r["vol"])
+                for r in res.records()
+            )
+            rows.append(
+                [
+                    max_groups,
+                    pipeline.shipped_rows,
+                    len(packets) / pipeline.shipped_rows,
+                    pipeline.evictions,
+                    got == reference,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        [
+            "LFTA max groups",
+            "rows shipped",
+            "reduction vs raw",
+            "early evictions",
+            "answers exact",
+        ],
+        rows,
+        title=f"E6 two-level aggregation over {len(packets)} packets",
+    )
+    assert all(r[4] for r in rows), "HFTA must always recover exact answers"
+    shipped = [r[1] for r in rows]
+    assert shipped == sorted(shipped, reverse=True), (
+        "bigger LFTA tables must ship fewer rows"
+    )
+    assert shipped[0] < len(packets), "even a 2-group LFTA reduces data"
+    assert rows[-1][3] == 0, "a large table needs no early evictions"

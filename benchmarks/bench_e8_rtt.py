@@ -1,0 +1,85 @@
+"""E8 — Web-client RTT monitoring via stream correlation (slides 11, 13).
+
+The slide-13 GSQL query joins the SYN and SYN-ACK streams on the TCP
+4-tuple and reports round-trip-time statistics.  The trace plants a
+known RTT distribution (Gaussian, mean 50ms); the reproduced query must
+recover it.
+
+Expected reproduction: join matches ≈ all handshakes; the measured
+median sits at the planted mean; quantiles follow the planted spread;
+and the GK summary answers the same quantiles in sublinear space
+(slide 53's "quantile computation is part of Gigascope").
+"""
+
+import statistics
+
+import pytest
+
+from repro.core import ListSource, run_plan
+from repro.cql import compile_query
+from repro.gigascope import TCP, gigascope_catalog, to_stream_schema
+from repro.synopses import GKQuantiles
+from repro.workloads import NetflowConfig, PacketGenerator
+
+MEAN_RTT = 0.05
+JITTER = 0.02
+
+
+def rtt_query_plan():
+    catalog = gigascope_catalog()
+    schema = to_stream_schema(TCP)
+    catalog.register_stream("tcp_syn", schema)
+    catalog.register_stream("tcp_syn_ack", schema)
+    return compile_query(
+        "select S.ts, (A.ts - S.ts) as rtt "
+        "from tcp_syn [range 2] S, tcp_syn_ack [range 2] A "
+        "where S.src_ip = A.dst_ip and S.dst_ip = A.src_ip "
+        "and S.src_port = A.dst_port and S.dst_port = A.src_port",
+        catalog,
+    )
+
+
+def test_e8_rtt_distribution(benchmark, report):
+    emit, table = report
+    cfg = NetflowConfig(mean_rtt=MEAN_RTT, rtt_jitter=JITTER, seed=33)
+    packets = PacketGenerator(cfg).generate(8000)
+    syns = [p for p in packets if p["flags"] == "SYN"]
+    acks = [p for p in packets if p["flags"] == "SYN-ACK"]
+    plan = rtt_query_plan()
+
+    def run():
+        res = run_plan(
+            plan,
+            {
+                "tcp_syn": ListSource("tcp_syn", syns, ts_attr="ts"),
+                "tcp_syn_ack": ListSource("tcp_syn_ack", acks, ts_attr="ts"),
+            },
+        )
+        return [r["rtt"] for r in res.records()]
+
+    rtts = benchmark.pedantic(run, rounds=1, iterations=1)
+    gk = GKQuantiles(0.01)
+    gk.extend(rtts)
+    exact = sorted(rtts)
+
+    def true_q(q):
+        return exact[min(int(q * len(exact)), len(exact) - 1)]
+
+    rows = [
+        [f"p{int(q * 100)}", true_q(q) * 1000, gk.query(q) * 1000]
+        for q in (0.1, 0.5, 0.9, 0.99)
+    ]
+    table(
+        ["quantile", "exact RTT (ms)", "GK RTT (ms)"],
+        rows,
+        title=f"E8 RTT recovered from {len(rtts)} joined handshakes",
+    )
+    emit(
+        f"planted mean {MEAN_RTT * 1000:.0f} ms; "
+        f"measured median {statistics.median(rtts) * 1000:.1f} ms; "
+        f"GK summary size {gk.memory()} vs {len(rtts)} samples"
+    )
+    assert len(rtts) >= 0.9 * len(syns), "join must match most handshakes"
+    assert statistics.median(rtts) == pytest.approx(MEAN_RTT, abs=0.01)
+    for q in (0.1, 0.5, 0.9):
+        assert gk.query(q) == pytest.approx(true_q(q), abs=0.01)

@@ -1,0 +1,129 @@
+"""E9 — Load shedding and answer quality (slide 44).
+
+"When input stream rate exceeds system capacity a stream manager can
+shed load...  Load shedding affects queries and their answers.  Random
+and semantic load shedding."
+
+The standing query is a grouped count with a HAVING-style focus on one
+group.  The bench sweeps the required drop fraction and reports answer
+error for:
+
+* random shedding with unbiased rescaling,
+* semantic shedding that protects the queried group,
+* plus a feedback controller keeping simulated queue memory bounded.
+
+Expected reproduction (shape): semantic error stays ~0 on the queried
+group until the drop rate exceeds the share of expendable tuples; random
+error grows with the drop rate; the controller keeps peak memory near
+its watermark while admitting as much as capacity allows.
+"""
+
+import collections
+
+import pytest
+
+from repro.core import ListSource, Plan, Record, SimConfig, Simulation
+from repro.operators import Select
+from repro.scheduling import FIFOScheduler
+from repro.shedding import LoadController, RandomShedder, SemanticShedder, shed_stream
+
+
+def records(n=6000, groups=5):
+    return [
+        Record({"g": i % groups, "v": i}, ts=float(i), seq=i)
+        for i in range(n)
+    ]
+
+
+def group0_error(kept, true_count, rescale=None):
+    counts = collections.Counter(r["g"] for r in kept)
+    estimate = counts[0]
+    if rescale:
+        estimate /= rescale
+    return abs(estimate - true_count) / true_count
+
+
+def test_e9_accuracy_vs_drop_rate(benchmark, report):
+    emit, table = report
+    data = records()
+    true_count = sum(1 for r in data if r["g"] == 0)
+
+    def run():
+        rows = []
+        for drop in (0.1, 0.3, 0.5, 0.7, 0.9):
+            rnd = RandomShedder(drop, seed=int(drop * 100))
+            kept_rnd = shed_stream(data, rnd)
+            err_rnd = group0_error(kept_rnd, true_count, rnd.keep_rate)
+            sem = SemanticShedder(
+                utility=lambda r: 1.0 if r["g"] == 0 else 0.0,
+                drop_rate=drop,
+            )
+            kept_sem = shed_stream(data, sem)
+            err_sem = group0_error(kept_sem, true_count)
+            rows.append([drop, err_rnd, err_sem, 1 - sem.keep_rate])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        ["target drop", "random error (rescaled)", "semantic error",
+         "semantic realized drop"],
+        rows,
+        title="E9 answer error on the queried group vs shed fraction",
+    )
+    # Shape: semantic shedding never harms the queried group — it
+    # refuses to shed protected tuples, so its realized drop rate caps
+    # at the expendable share (80% here) instead.
+    for _drop, _err_rnd, err_sem, _realized in rows:
+        assert err_sem == pytest.approx(0.0, abs=1e-9)
+    assert rows[-1][3] < 0.85, (
+        "semantic shedding cannot exceed the expendable pool"
+    )
+    for drop, _e, _s, realized in rows[:-1]:
+        assert realized == pytest.approx(drop, abs=0.02)
+    # Random shedding is noisy everywhere but unbiased (error modest).
+    assert all(err < 0.2 for _d, err, _s, _r in rows)
+
+
+def test_e9_feedback_controller(benchmark, report):
+    emit, table = report
+    # Overloaded operator: service 2x slower than arrivals.
+    rows = [{"v": i, "ts": i * 0.5} for i in range(300)]
+
+    def run(controller):
+        plan = Plan()
+        plan.add_input("S")
+        op = plan.add(
+            Select(lambda r: True, name="work", cost_per_tuple=1.0),
+            upstream=["S"],
+        )
+        plan.mark_output(op, "out")
+        sim = Simulation(
+            plan,
+            FIFOScheduler(),
+            SimConfig(sample_interval=5.0, shedder=controller),
+        )
+        return sim.run([ListSource("S", rows, ts_attr="ts")])
+
+    def run_both():
+        unprotected = run(None)
+        ctl = LoadController(
+            low_watermark=5.0, high_watermark=15.0, max_drop_rate=1.0, seed=2
+        )
+        protected = run(ctl)
+        return unprotected, protected, ctl
+
+    unprotected, protected, ctl = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    table(
+        ["configuration", "peak memory", "tuples shed", "served"],
+        [
+            ["no shedding", unprotected.memory.max(), 0,
+             unprotected.output_count["out"]],
+            ["controller(5,15)", protected.memory.max(), protected.shed,
+             protected.output_count["out"]],
+        ],
+        title="E9b feedback load shedding under 2x overload",
+    )
+    assert protected.memory.max() < unprotected.memory.max() / 2
+    assert protected.shed > 0

@@ -1,0 +1,94 @@
+"""M1 — Engine microbenchmarks (wall-clock, informational).
+
+Unlike E1-E16, these numbers are *not* paper reproductions — the
+calibration notes flag wall-clock Python throughput as unconvincing
+evidence, and DESIGN.md replaces it with virtual-time simulation for
+all resource experiments.  The microbenchmarks exist for engineering
+hygiene: they catch order-of-magnitude performance regressions in the
+hot paths (per-element operators, window joins, aggregation, the CQL
+pipeline) across commits.
+"""
+
+import pytest
+
+from repro.core import ListSource, Plan, Record, run_plan
+from repro.cql import Catalog, compile_query
+from repro.operators import AggSpec, Select, WindowJoin, WindowedAggregate
+from repro.windows import TimeWindow, TumblingWindow
+from repro.workloads import PacketGenerator, packet_schema
+
+N = 5000
+
+
+@pytest.fixture(scope="module")
+def packets():
+    return PacketGenerator().generate(N)
+
+
+@pytest.fixture(scope="module")
+def records(packets):
+    return [Record(p, ts=p["ts"], seq=i) for i, p in enumerate(packets)]
+
+
+def test_m1_select_throughput(benchmark, records):
+    op = Select(lambda r: r["length"] > 512)
+
+    def run():
+        n = 0
+        for r in records:
+            n += len(op.process(r))
+        return n
+
+    passed = benchmark(run)
+    assert 0 < passed < N
+
+
+def test_m1_window_join_throughput(benchmark, records):
+    def run():
+        join = WindowJoin(
+            TimeWindow(1.0), TimeWindow(1.0), ["src_ip"], ["src_ip"]
+        )
+        results = 0
+        for i, r in enumerate(records):
+            results += len(join.process(r, i % 2))
+        return results
+
+    results = benchmark(run)
+    assert results > 0
+
+
+def test_m1_tumbling_aggregation_throughput(benchmark, records):
+    def run():
+        op = WindowedAggregate(
+            TumblingWindow(10.0),
+            ["src_ip"],
+            [AggSpec("n", "count"), AggSpec("vol", "sum", "length")],
+        )
+        out = 0
+        for r in records:
+            out += len(op.process(r, 0))
+        out += len(op.flush())
+        return out
+
+    rows = benchmark(run)
+    assert rows > 0
+
+
+def test_m1_cql_end_to_end_throughput(benchmark, packets):
+    catalog = Catalog()
+    catalog.register_stream("Traffic", packet_schema())
+    plan = compile_query(
+        "select tb, src_ip, count(*) as n from Traffic "
+        "where length > 200 group by ts/20 as tb, src_ip",
+        catalog,
+    )
+
+    def run():
+        return len(
+            run_plan(
+                plan, [ListSource("Traffic", packets, ts_attr="ts")]
+            ).records()
+        )
+
+    rows = benchmark(run)
+    assert rows > 0

@@ -1,0 +1,57 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every bench regenerates one slide's table/figure (see DESIGN.md's
+experiment index).  Report lines are buffered during the run and printed
+in the terminal summary, so
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+the reproduced numbers alongside the timings regardless of capture mode.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_LINES: list[str] = []
+
+
+def emit(text: str = "") -> None:
+    """Queue a report line for the terminal summary."""
+    _LINES.append(text)
+
+
+def table(headers: list[str], rows: list[list], title: str = "") -> None:
+    """Queue an aligned text table."""
+    if title:
+        emit("")
+        emit(f"--- {title} ---")
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    for i, row in enumerate(cells):
+        emit(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            emit("-+-".join("-" * w for w in widths))
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+    return str(value)
+
+
+@pytest.fixture
+def report():
+    """Fixture handing benches the (emit, table) pair."""
+    return emit, table
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _LINES:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line(
+        "================ reproduced paper tables/figures ================"
+    )
+    for line in _LINES:
+        terminalreporter.write_line(line)

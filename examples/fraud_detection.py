@@ -1,0 +1,85 @@
+"""Telecom fraud detection with Hancock-style signatures (slides 6-8).
+
+The tutorial's first application: track the calling pattern of every
+customer line, blend each day's behaviour into a persistent signature,
+and raise real-time fraud alerts when today deviates from the profile.
+
+This example also demonstrates the lesson the slide closes with —
+"essential to consider I/O issues for data streams" — by comparing
+per-element signature updates against Hancock's sorted block processing
+under the simulated disk model (slides 21, 56).
+
+Run:  python examples/fraud_detection.py
+"""
+
+from repro.hancock import (
+    FraudDetector,
+    PagedSignatureStore,
+    SignatureStore,
+    block_cost,
+    per_element_cost,
+)
+from repro.workloads import CDRConfig, CDRGenerator
+
+
+def section(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def run_detection(days: int = 5, calls_per_day: int = 4000) -> None:
+    section(f"Fraud detection over {days} days of call records")
+    gen = CDRGenerator(CDRConfig(seed=23))
+    detector = FraudDetector(store=SignatureStore(), intl_factor=4.0)
+    print(f"{len(gen.fraud_callers)} fraudulent lines hidden among "
+          f"{gen.config.n_callers} callers")
+    for day in range(days):
+        block = gen.generate_sorted_by_origin(calls_per_day)
+        alerts = detector.process_day(block)
+        flagged = sorted(a["origin"] for a in alerts)
+        print(f"day {day}: {len(block)} calls, {len(alerts)} alerts "
+              f"-> lines {flagged[:6]}{'...' if len(flagged) > 6 else ''}")
+
+    all_flagged = {a["origin"] for a in detector.alerts}
+    hits = all_flagged & gen.fraud_callers
+    precision = len(hits) / max(1, len(all_flagged))
+    recall = len(hits) / len(gen.fraud_callers)
+    print(f"\nsignature store now profiles {len(detector.store)} lines")
+    print(f"precision {precision:.2f}, recall {recall:.2f} "
+          f"against the injected fraud set")
+
+
+def show_signature(detector_days: int = 3) -> None:
+    section("What a signature looks like (slide 8's mySig)")
+    gen = CDRGenerator(CDRConfig(seed=23))
+    detector = FraudDetector()
+    for _ in range(detector_days):
+        detector.process_day(gen.generate_sorted_by_origin(3000))
+    some_line = next(iter(detector.store.keys()))
+    print(f"line {some_line}: {detector.store.get(some_line)}")
+
+
+def io_comparison() -> None:
+    section("Per-element vs block I/O (slides 6, 21, 56)")
+    gen = CDRGenerator(CDRConfig(n_callers=2000, seed=29))
+    calls = gen.generate(20000)
+    print(f"{len(calls)} calls over {gen.config.n_callers} lines; "
+          f"signature store: 64 signatures/page, 8-page cache")
+    per_el = per_element_cost(
+        calls, PagedSignatureStore(page_size=64, cache_pages=8)
+    )
+    blocked = block_cost(
+        calls, PagedSignatureStore(page_size=64, cache_pages=8)
+    )
+    print(f"per-element (arrival order) I/O time : {per_el:>10.0f}")
+    print(f"Hancock block (sorted by line) I/O   : {blocked:>10.0f}")
+    print(f"block processing wins by             : {per_el / blocked:>10.1f}x")
+
+
+def main() -> None:
+    run_detection()
+    show_signature()
+    io_comparison()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""repro — a data-stream management system in Python.
+
+A repository-scale reproduction of *Data Stream Query Processing*
+(Nick Koudas and Divesh Srivastava, ICDE 2005): the stream data model,
+windows, stream operators (selection, projection, window joins,
+aggregation), approximation synopses, operator scheduling, load
+shedding, rate-based optimization, a CQL/GSQL-flavoured query language,
+and the AT&T three-level architecture (Gigascope-style low/high DSMS
+tiers feeding a small DBMS), with Hancock-style signature programs.
+
+Quickstart::
+
+    from repro import ListSource, Plan, Select, run_plan
+
+    plan = Plan()
+    plan.add_input("Traffic")
+    big = plan.add(Select(lambda r: r["length"] > 512), upstream=["Traffic"])
+    plan.mark_output(big, "out")
+    result = run_plan(plan, [ListSource("Traffic", rows)])
+
+See ``examples/quickstart.py`` for the end-to-end tour and DESIGN.md for
+the system inventory.
+"""
+
+from repro.core import (
+    Engine,
+    Field,
+    ListSource,
+    Plan,
+    Punctuation,
+    Record,
+    RunResult,
+    Schema,
+    SimConfig,
+    SimResult,
+    Simulation,
+    Source,
+    TimedSource,
+    linear_plan,
+    run_plan,
+)
+from repro.operators import (
+    AggSpec,
+    Aggregate,
+    DistinctProject,
+    Project,
+    Select,
+    SymmetricHashJoin,
+    WindowJoin,
+    WindowedAggregate,
+)
+from repro.windows import (
+    LandmarkWindow,
+    PartitionedWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Engine",
+    "Field",
+    "ListSource",
+    "Plan",
+    "Punctuation",
+    "Record",
+    "RunResult",
+    "Schema",
+    "SimConfig",
+    "SimResult",
+    "Simulation",
+    "Source",
+    "TimedSource",
+    "linear_plan",
+    "run_plan",
+    "AggSpec",
+    "Aggregate",
+    "DistinctProject",
+    "Project",
+    "Select",
+    "SymmetricHashJoin",
+    "WindowJoin",
+    "WindowedAggregate",
+    "LandmarkWindow",
+    "PartitionedWindow",
+    "RowWindow",
+    "TimeWindow",
+    "TumblingWindow",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Aggregate functions and the ABB+02 bounded-memory analysis."""
+
+from repro.aggregates.bounded import (
+    MemoryVerdict,
+    analyze_distinct,
+    analyze_group_by,
+    window_is_bounded,
+)
+from repro.aggregates.approximate import (
+    ApproxCountDistinct,
+    ApproxMedian,
+    ApproxQuantile,
+)
+from repro.aggregates.spec import AggSpec
+from repro.aggregates.functions import (
+    AGGREGATE_REGISTRY,
+    AggregateFunction,
+    Avg,
+    Count,
+    CountDistinct,
+    First,
+    Last,
+    Max,
+    Median,
+    Min,
+    Quantile,
+    StdDev,
+    Sum,
+    make_aggregate,
+)
+
+__all__ = [
+    "AggSpec",
+    "ApproxCountDistinct",
+    "ApproxMedian",
+    "ApproxQuantile",
+    "MemoryVerdict",
+    "analyze_distinct",
+    "analyze_group_by",
+    "window_is_bounded",
+    "AGGREGATE_REGISTRY",
+    "AggregateFunction",
+    "Avg",
+    "Count",
+    "CountDistinct",
+    "First",
+    "Last",
+    "Max",
+    "Median",
+    "Min",
+    "Quantile",
+    "StdDev",
+    "Sum",
+    "make_aggregate",
+]

@@ -1,0 +1,110 @@
+"""Sketch-backed aggregate functions (slide 38 made executable).
+
+Slide 38's examples — ``select G, median(A) …``, ``select G,
+count(distinct A) …`` — are holistic and need unbounded exact state
+(slide 35); "when aggregates cannot be computed exactly in limited
+storage, approximation may be possible and acceptable.  Use summary
+structures: samples, histograms, sketches."
+
+These classes plug the synopsis structures into the aggregation
+framework so the substitution is a one-word query change:
+
+* :class:`ApproxCountDistinct` — FM sketch; **bounded state and
+  mergeable**, so it flows through two-level LFTA/HFTA aggregation and
+  passes the ABB+02 bounded-memory gate;
+* :class:`ApproxMedian` / :class:`ApproxQuantile` — GK summary;
+  bounded state, one pass (GK summaries do not merge, so they stay at a
+  single level).
+
+Registered as ``approx_count_distinct``, ``approx_median``, and
+``approx_quantile`` in :data:`repro.aggregates.functions.AGGREGATE_REGISTRY`
+and usable from CQL.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.aggregates.functions import AGGREGATE_REGISTRY, AggregateFunction
+from repro.errors import SynopsisError
+from repro.synopses.fm import FMSketch
+from repro.synopses.gk import GKQuantiles
+
+__all__ = ["ApproxCountDistinct", "ApproxMedian", "ApproxQuantile"]
+
+
+class ApproxCountDistinct(AggregateFunction):
+    """FM-sketch distinct count: bounded state, mergeable.
+
+    The approximate stand-in for the holistic ``count(distinct A)`` of
+    slides 34/38 — constant memory per group and merge = bitmap OR, so
+    LFTA partial states combine exactly at the HFTA.
+    """
+
+    kind = "holistic"
+    bounded_state = True  # the whole point of the approximation
+
+    def __init__(self, num_maps: int = 32, seed: int = 42) -> None:
+        self._sketch = FMSketch(num_maps=num_maps, seed=seed)
+
+    def add(self, value: Any) -> None:
+        self._sketch.add(value)
+
+    def merge(self, other: "ApproxCountDistinct") -> None:
+        self._sketch.merge(other._sketch)
+
+    def result(self) -> int:
+        return round(self._sketch.estimate())
+
+    def state_size(self) -> int:
+        return self._sketch.memory()
+
+
+class ApproxQuantile(AggregateFunction):
+    """GK-summary quantile: bounded state, not mergeable.
+
+    One-pass replacement for the exact (holistic) quantile; suitable at
+    a single aggregation level.  Merging two GK summaries is not
+    supported — use the exact :class:`~repro.aggregates.functions.Quantile`
+    when partial aggregation must ship states upward.
+    """
+
+    kind = "holistic"
+    bounded_state = True
+
+    def __init__(self, q: float = 0.5, epsilon: float = 0.01) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise SynopsisError(f"quantile must be in [0,1]; got {q}")
+        self.q = q
+        self._summary = GKQuantiles(epsilon)
+
+    def add(self, value: Any) -> None:
+        self._summary.add(value)
+
+    def merge(self, other: "ApproxQuantile") -> None:
+        raise SynopsisError(
+            "GK summaries do not merge; use the exact quantile for "
+            "two-level aggregation"
+        )
+
+    def result(self) -> Any:
+        if self._summary.n == 0:
+            return None
+        return self._summary.query(self.q)
+
+    def state_size(self) -> int:
+        return self._summary.memory()
+
+
+class ApproxMedian(ApproxQuantile):
+    """GK-summary median (q = 0.5)."""
+
+    def __init__(self, epsilon: float = 0.01) -> None:
+        super().__init__(0.5, epsilon)
+
+
+AGGREGATE_REGISTRY.setdefault(
+    "approx_count_distinct", ApproxCountDistinct
+)
+AGGREGATE_REGISTRY.setdefault("approx_median", ApproxMedian)
+AGGREGATE_REGISTRY.setdefault("approx_quantile", ApproxQuantile)

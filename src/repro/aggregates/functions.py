@@ -1,0 +1,315 @@
+"""Aggregate functions, classified as in slide 34.
+
+* **distributive** — sum, count, min, max: the final value can be
+  computed from partial aggregates of disjoint sub-bags.
+* **algebraic** — avg, stdev: computable from a fixed-size tuple of
+  distributive aggregates.
+* **holistic** — median/quantile, count-distinct: no constant-size
+  partial state suffices.
+
+Every function supports ``add`` / ``merge`` / ``result``.  ``merge`` is
+what two-level (LFTA→HFTA) partial aggregation relies on (slide 37): the
+low level ships partial states, the high level merges them.  Holistic
+functions are still *mergeable* here, but their state grows with the
+data — exactly why slide 35's bounded-memory analysis singles them out;
+approximate, bounded alternatives live in :mod:`repro.synopses`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from repro.errors import SynopsisError
+
+__all__ = [
+    "AggregateFunction",
+    "Count",
+    "Sum",
+    "Min",
+    "Max",
+    "Avg",
+    "StdDev",
+    "First",
+    "Last",
+    "CountDistinct",
+    "Median",
+    "Quantile",
+    "make_aggregate",
+    "AGGREGATE_REGISTRY",
+]
+
+
+class AggregateFunction:
+    """Incremental aggregate state."""
+
+    #: "distributive", "algebraic", or "holistic" (slide 34).
+    kind = "distributive"
+    #: Whether the state size is independent of the input (slide 35).
+    bounded_state = True
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateFunction") -> None:
+        """Fold another partial state of the same type into this one."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+    def state_size(self) -> int:
+        """Abstract size of the internal state (1 = constant)."""
+        return 1
+
+
+class Count(AggregateFunction):
+    """Tuple count; the simplest distributive aggregate."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+
+    def merge(self, other: "Count") -> None:
+        self.n += other.n
+
+    def result(self) -> int:
+        return self.n
+
+
+class Sum(AggregateFunction):
+    """Numeric sum (distributive)."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.total = 0
+
+    def add(self, value: Any) -> None:
+        self.total += value
+
+    def merge(self, other: "Sum") -> None:
+        self.total += other.total
+
+    def result(self) -> Any:
+        return self.total
+
+
+class Min(AggregateFunction):
+    """Running minimum (distributive); ``None`` on an empty group."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.current: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.current is None or value < self.current:
+            self.current = value
+
+    def merge(self, other: "Min") -> None:
+        if other.current is not None:
+            self.add(other.current)
+
+    def result(self) -> Any:
+        return self.current
+
+
+class Max(AggregateFunction):
+    """Running maximum (distributive); ``None`` on an empty group."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.current: Any = None
+
+    def add(self, value: Any) -> None:
+        if self.current is None or value > self.current:
+            self.current = value
+
+    def merge(self, other: "Max") -> None:
+        if other.current is not None:
+            self.add(other.current)
+
+    def result(self) -> Any:
+        return self.current
+
+
+class Avg(AggregateFunction):
+    """Arithmetic mean: algebraic — (sum, count) is its partial state."""
+
+    kind = "algebraic"
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        self.total += value
+        self.n += 1
+
+    def merge(self, other: "Avg") -> None:
+        self.total += other.total
+        self.n += other.n
+
+    def result(self) -> float | None:
+        if self.n == 0:
+            return None
+        return self.total / self.n
+
+
+class StdDev(AggregateFunction):
+    """Population standard deviation from (n, sum, sum of squares)."""
+
+    kind = "algebraic"
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def merge(self, other: "StdDev") -> None:
+        self.n += other.n
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    def result(self) -> float | None:
+        if self.n == 0:
+            return None
+        mean = self.total / self.n
+        var = max(self.total_sq / self.n - mean * mean, 0.0)
+        return math.sqrt(var)
+
+
+class First(AggregateFunction):
+    """First value seen in arrival order."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.value: Any = None
+        self.seen = False
+
+    def add(self, value: Any) -> None:
+        if not self.seen:
+            self.value = value
+            self.seen = True
+
+    def merge(self, other: "First") -> None:
+        if not self.seen and other.seen:
+            self.value = other.value
+            self.seen = True
+
+    def result(self) -> Any:
+        return self.value
+
+
+class Last(AggregateFunction):
+    """Most recent value seen in arrival order."""
+
+    kind = "distributive"
+
+    def __init__(self) -> None:
+        self.value: Any = None
+
+    def add(self, value: Any) -> None:
+        self.value = value
+
+    def merge(self, other: "Last") -> None:
+        if other.value is not None:
+            self.value = other.value
+
+    def result(self) -> Any:
+        return self.value
+
+
+class CountDistinct(AggregateFunction):
+    """Exact distinct count: holistic, unbounded state (slide 34)."""
+
+    kind = "holistic"
+    bounded_state = False
+
+    def __init__(self) -> None:
+        self.values: set = set()
+
+    def add(self, value: Any) -> None:
+        self.values.add(value)
+
+    def merge(self, other: "CountDistinct") -> None:
+        self.values |= other.values
+
+    def result(self) -> int:
+        return len(self.values)
+
+    def state_size(self) -> int:
+        return len(self.values)
+
+
+class Quantile(AggregateFunction):
+    """Exact quantile: holistic, keeps all values."""
+
+    kind = "holistic"
+    bounded_state = False
+
+    def __init__(self, q: float = 0.5) -> None:
+        if not 0.0 <= q <= 1.0:
+            raise SynopsisError(f"quantile fraction must be in [0,1]; got {q}")
+        self.q = q
+        self.values: list = []
+
+    def add(self, value: Any) -> None:
+        self.values.append(value)
+
+    def merge(self, other: "Quantile") -> None:
+        self.values.extend(other.values)
+
+    def result(self) -> Any:
+        if not self.values:
+            return None
+        ordered = sorted(self.values)
+        idx = min(int(self.q * len(ordered)), len(ordered) - 1)
+        return ordered[idx]
+
+    def state_size(self) -> int:
+        return len(self.values)
+
+
+class Median(Quantile):
+    """Exact median — the canonical holistic aggregate (slide 34)."""
+
+    def __init__(self) -> None:
+        super().__init__(0.5)
+
+
+#: name -> zero-argument factory
+AGGREGATE_REGISTRY: dict[str, Callable[[], AggregateFunction]] = {
+    "count": Count,
+    "sum": Sum,
+    "min": Min,
+    "max": Max,
+    "avg": Avg,
+    "stdev": StdDev,
+    "first": First,
+    "last": Last,
+    "count_distinct": CountDistinct,
+    "median": Median,
+}
+
+
+def make_aggregate(name: str) -> AggregateFunction:
+    """Instantiate a registered aggregate function by name."""
+    try:
+        return AGGREGATE_REGISTRY[name]()
+    except KeyError:
+        raise SynopsisError(
+            f"unknown aggregate {name!r}; known: {sorted(AGGREGATE_REGISTRY)}"
+        ) from None

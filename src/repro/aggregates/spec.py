@@ -1,0 +1,60 @@
+"""Aggregate output-column specifications.
+
+:class:`AggSpec` binds an output attribute name to an aggregate function
+and an input expression.  It lives here (rather than with the operators)
+because both the aggregation operators and the static bounded-memory
+analysis consume it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.aggregates.functions import AggregateFunction, make_aggregate
+from repro.core.tuples import Record
+
+__all__ = ["AggSpec"]
+
+Extractor = Callable[[Record], Any]
+
+
+class AggSpec:
+    """One aggregate output column.
+
+    Parameters
+    ----------
+    name:
+        Output attribute name (e.g. ``"total"``).
+    func:
+        Registered aggregate name (``"sum"``, ``"count"``, ...) or a
+        zero-argument factory returning an
+        :class:`~repro.aggregates.functions.AggregateFunction`.
+    input:
+        Input attribute name, a callable on the record, or ``None`` for
+        ``count(*)``-style aggregates.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        func: str | Callable[[], AggregateFunction],
+        input: str | Extractor | None = None,
+    ) -> None:
+        self.name = name
+        self._func = func
+        self.input = input
+
+    def new_state(self) -> AggregateFunction:
+        if callable(self._func):
+            return self._func()
+        return make_aggregate(self._func)
+
+    def extract(self, record: Record) -> Any:
+        if self.input is None:
+            return 1
+        if callable(self.input):
+            return self.input(record)
+        return record[self.input]
+
+    def __repr__(self) -> str:
+        return f"AggSpec({self.name!r})"

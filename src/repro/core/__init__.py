@@ -1,0 +1,59 @@
+"""Core stream model and runtime: tuples, streams, plans, engines."""
+
+from repro.core.engine import Engine, RunResult, run_plan
+from repro.core.graph import Plan, linear_plan
+from repro.core.metrics import MetricsRegistry, OperatorMetrics, TimeSeries
+from repro.core.queues import OpQueue, QueueStats
+from repro.core.simulation import SimConfig, SimResult, Simulation
+from repro.core.stream import (
+    CallbackSource,
+    ListSource,
+    Source,
+    StreamDecl,
+    TimedSource,
+    merge_sources,
+    records_from_dicts,
+)
+from repro.core.time import VirtualClock
+from repro.core.tuples import (
+    WILDCARD,
+    Field,
+    Punctuation,
+    Record,
+    Schema,
+    element_size,
+    is_punctuation,
+    is_record,
+)
+
+__all__ = [
+    "Engine",
+    "RunResult",
+    "run_plan",
+    "Plan",
+    "linear_plan",
+    "MetricsRegistry",
+    "OperatorMetrics",
+    "TimeSeries",
+    "OpQueue",
+    "QueueStats",
+    "SimConfig",
+    "SimResult",
+    "Simulation",
+    "CallbackSource",
+    "ListSource",
+    "Source",
+    "StreamDecl",
+    "TimedSource",
+    "merge_sources",
+    "records_from_dicts",
+    "VirtualClock",
+    "WILDCARD",
+    "Field",
+    "Punctuation",
+    "Record",
+    "Schema",
+    "element_size",
+    "is_punctuation",
+    "is_record",
+]

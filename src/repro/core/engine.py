@@ -1,0 +1,183 @@
+"""Push-mode execution engine.
+
+The push engine evaluates a :class:`~repro.core.graph.Plan` exactly:
+every arriving element is propagated through the DAG to completion, in
+global timestamp order across all inputs, and operators are flushed at
+end of stream.  This is the mode used to obtain *correct answers* —
+queries, joins, aggregates — while :mod:`repro.core.simulation` is used
+when resource limits and timing are the object of study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.graph import Plan
+from repro.core.metrics import MetricsRegistry
+from repro.core.stream import Source, merge_sources
+from repro.core.tuples import Punctuation, Record
+from repro.errors import PlanError
+
+__all__ = ["RunResult", "Engine", "run_plan"]
+
+Element = Record | Punctuation
+
+
+@dataclass
+class RunResult:
+    """Outputs and metrics of one engine run."""
+
+    outputs: dict[str, list[Element]]
+    metrics: MetricsRegistry
+
+    def records(self, output: str = "out") -> list[Record]:
+        """Data tuples (punctuations filtered out) of one output."""
+        return [el for el in self.outputs[output] if isinstance(el, Record)]
+
+    def values(self, output: str = "out") -> list[dict]:
+        """Attribute dicts of one output's records."""
+        return [r.values for r in self.records(output)]
+
+    def punctuations(self, output: str = "out") -> list[Punctuation]:
+        return [
+            el for el in self.outputs[output] if isinstance(el, Punctuation)
+        ]
+
+
+class Engine:
+    """Exact, in-order, push-based plan executor.
+
+    Two usage styles:
+
+    * batch — :meth:`run` over finite sources;
+    * incremental — :meth:`start`, repeated :meth:`feed`, then
+      :meth:`finish`; this is how a standing query inside a DSMS facade
+      consumes an open-ended stream.
+    """
+
+    def __init__(self, plan: Plan) -> None:
+        plan.validate()
+        self.plan = plan
+        self.metrics = MetricsRegistry()
+        self._outputs: dict[str, list[Element]] | None = None
+
+    def run(self, sources: Sequence[Source] | Mapping[str, Source]) -> RunResult:
+        """Execute the plan over ``sources`` and return all outputs.
+
+        ``sources`` must cover exactly the plan's declared inputs.  The
+        engine interleaves multi-source input by ``(ts, seq)`` so runs
+        are deterministic.
+        """
+        by_name = self._resolve_sources(sources)
+        self.start()
+        assert self._outputs is not None
+        for input_name, element in merge_sources(*by_name.values()):
+            for consumer, port in self.plan.inputs[input_name]:
+                self._dispatch(consumer, element, port, self._outputs)
+        return self.finish()
+
+    # -- incremental interface ------------------------------------------------
+
+    def start(self) -> None:
+        """Reset state and begin accepting :meth:`feed` calls."""
+        self.plan.reset()
+        self._outputs = {name: [] for name in self.plan.outputs}
+
+    def feed(self, input_name: str, element: Element) -> list[Element]:
+        """Push one element into ``input_name``; return new 'out' output.
+
+        Returns the elements newly appended to the plan's first output,
+        which is what interactive callers usually want; all outputs
+        remain available via :meth:`finish`.
+        """
+        if self._outputs is None:
+            raise PlanError("Engine.feed() called before start()")
+        if input_name not in self.plan.inputs:
+            raise PlanError(f"unknown input {input_name!r}")
+        primary = next(iter(self.plan.outputs), None)
+        before = len(self._outputs[primary]) if primary else 0
+        for consumer, port in self.plan.inputs[input_name]:
+            self._dispatch(consumer, element, port, self._outputs)
+        if primary is None:
+            return []
+        return self._outputs[primary][before:]
+
+    def finish(self) -> RunResult:
+        """Flush all operators and return the accumulated result."""
+        if self._outputs is None:
+            raise PlanError("Engine.finish() called before start()")
+        outputs = self._outputs
+        self._flush_all(outputs)
+        self._outputs = None
+        return RunResult(outputs=outputs, metrics=self.metrics)
+
+    # -- internals --------------------------------------------------------
+
+    def _resolve_sources(
+        self, sources: Sequence[Source] | Mapping[str, Source]
+    ) -> dict[str, Source]:
+        if isinstance(sources, Mapping):
+            by_name = dict(sources)
+        else:
+            by_name = {src.name: src for src in sources}
+        missing = set(self.plan.inputs) - set(by_name)
+        if missing:
+            raise PlanError(f"no source provided for inputs {sorted(missing)}")
+        extra = set(by_name) - set(self.plan.inputs)
+        if extra:
+            raise PlanError(f"sources {sorted(extra)} match no plan input")
+        return by_name
+
+    def _dispatch(
+        self,
+        operator,
+        element: Element,
+        port: int,
+        outputs: dict[str, list[Element]],
+    ) -> None:
+        m = self.metrics.for_operator(operator.name)
+        if isinstance(element, Record):
+            m.records_in += 1
+        else:
+            m.punctuations_in += 1
+        m.invocations += 1
+        m.busy_time += operator.cost_per_tuple
+        produced = operator.process(element, port)
+        for out in produced:
+            if isinstance(out, Record):
+                m.records_out += 1
+            else:
+                m.punctuations_out += 1
+        self._propagate(operator, produced, outputs)
+
+    def _propagate(
+        self, operator, produced: list[Element], outputs: dict[str, list[Element]]
+    ) -> None:
+        if not produced:
+            return
+        sink_names = self.plan.output_names_for(operator)
+        for name in sink_names:
+            outputs[name].extend(produced)
+        for consumer, port in self.plan.successors(operator):
+            for out in produced:
+                self._dispatch(consumer, out, port, outputs)
+
+    def _flush_all(self, outputs: dict[str, list[Element]]) -> None:
+        for operator in self.plan.topological_order():
+            produced = operator.flush()
+            if produced:
+                m = self.metrics.for_operator(operator.name)
+                for out in produced:
+                    if isinstance(out, Record):
+                        m.records_out += 1
+                    else:
+                        m.punctuations_out += 1
+                self._propagate(operator, produced, outputs)
+
+
+def run_plan(
+    plan: Plan, sources: Sequence[Source] | Mapping[str, Source]
+) -> RunResult:
+    """One-shot convenience: build an :class:`Engine` and run it."""
+    return Engine(plan).run(sources)

@@ -1,0 +1,171 @@
+"""Query plans as operator DAGs.
+
+A :class:`Plan` wires named external inputs through operators to named
+outputs.  The same plan object is executed exactly by the push engine
+(:mod:`repro.core.engine`) and approximately — under resource limits —
+by the simulator (:mod:`repro.core.simulation`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import PlanError
+from repro.operators.base import Operator
+
+__all__ = ["Plan"]
+
+
+class Plan:
+    """An operator DAG with named inputs and outputs."""
+
+    def __init__(self, name: str = "plan") -> None:
+        self.name = name
+        self.inputs: dict[str, list[tuple[Operator, int]]] = {}
+        self.operators: list[Operator] = []
+        self._succ: dict[int, list[tuple[Operator, int]]] = {}
+        self._in_degree: dict[int, int] = {}
+        self.outputs: dict[str, Operator] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_input(self, name: str) -> str:
+        """Declare an external input stream by name."""
+        if name in self.inputs:
+            raise PlanError(f"duplicate input {name!r}")
+        self.inputs[name] = []
+        return name
+
+    def add(
+        self,
+        operator: Operator,
+        upstream: Sequence[str | Operator | tuple[str | Operator, int]] = (),
+    ) -> Operator:
+        """Add ``operator`` and connect ``upstream`` entries to its ports.
+
+        ``upstream`` lists the producer feeding each input port in port
+        order; a producer is either an input name, an operator already in
+        the plan, or an explicit ``(producer, port)`` pair.
+        """
+        if operator in self.operators:
+            raise PlanError(f"operator {operator.name!r} already in plan")
+        self.operators.append(operator)
+        self._succ.setdefault(id(operator), [])
+        self._in_degree[id(operator)] = 0
+        for port, producer in enumerate(upstream):
+            if isinstance(producer, tuple):
+                producer, explicit_port = producer
+                self.connect(producer, operator, explicit_port)
+            else:
+                self.connect(producer, operator, port)
+        return operator
+
+    def connect(
+        self, producer: str | Operator, consumer: Operator, port: int = 0
+    ) -> None:
+        """Wire ``producer`` (input name or operator) into ``consumer``."""
+        if consumer not in self.operators:
+            raise PlanError(f"consumer {consumer.name!r} not added to plan")
+        if port < 0 or port >= consumer.arity:
+            raise PlanError(
+                f"operator {consumer.name!r} has arity {consumer.arity}; "
+                f"cannot connect port {port}"
+            )
+        if isinstance(producer, str):
+            if producer not in self.inputs:
+                raise PlanError(f"unknown input {producer!r}")
+            self.inputs[producer].append((consumer, port))
+        else:
+            if producer not in self.operators:
+                raise PlanError(f"producer {producer.name!r} not added to plan")
+            self._succ[id(producer)].append((consumer, port))
+        self._in_degree[id(consumer)] += 1
+
+    def mark_output(self, operator: Operator, name: str = "out") -> None:
+        """Expose ``operator``'s output stream under ``name``."""
+        if operator not in self.operators:
+            raise PlanError(f"operator {operator.name!r} not in plan")
+        if name in self.outputs:
+            raise PlanError(f"duplicate output name {name!r}")
+        self.outputs[name] = operator
+
+    # -- introspection ---------------------------------------------------
+
+    def successors(self, operator: Operator) -> list[tuple[Operator, int]]:
+        return list(self._succ.get(id(operator), []))
+
+    def output_names_for(self, operator: Operator) -> list[str]:
+        return [n for n, op in self.outputs.items() if op is operator]
+
+    def topological_order(self) -> list[Operator]:
+        """Operators in a valid dataflow order; raises on cycles."""
+        in_deg = dict(self._in_degree)
+        # External inputs satisfy one incoming edge per connection.
+        for consumers in self.inputs.values():
+            for consumer, _port in consumers:
+                in_deg[id(consumer)] -= 1
+        by_id = {id(op): op for op in self.operators}
+        ready = [op for op in self.operators if in_deg[id(op)] == 0]
+        order: list[Operator] = []
+        while ready:
+            op = ready.pop(0)
+            order.append(op)
+            for consumer, _port in self._succ[id(op)]:
+                in_deg[id(consumer)] -= 1
+                if in_deg[id(consumer)] == 0:
+                    ready.append(consumer)
+        if len(order) != len(self.operators):
+            stuck = [
+                by_id[i].name for i, d in in_deg.items() if d > 0 and i in by_id
+            ]
+            raise PlanError(f"plan has a cycle or unconnected ports: {stuck}")
+        return order
+
+    def validate(self) -> None:
+        """Check arity satisfaction and acyclicity."""
+        connected: dict[int, int] = {id(op): 0 for op in self.operators}
+        for consumers in self.inputs.values():
+            for consumer, _port in consumers:
+                connected[id(consumer)] += 1
+        for succ in self._succ.values():
+            for consumer, _port in succ:
+                connected[id(consumer)] += 1
+        for op in self.operators:
+            if connected[id(op)] != op.arity:
+                raise PlanError(
+                    f"operator {op.name!r} has arity {op.arity} but "
+                    f"{connected[id(op)]} connected inputs"
+                )
+        if not self.outputs:
+            raise PlanError("plan declares no outputs")
+        self.topological_order()
+
+    def reset(self) -> None:
+        """Reset the state of every operator for a fresh run."""
+        for op in self.operators:
+            op.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"Plan({self.name!r}, inputs={list(self.inputs)}, "
+            f"operators={[op.name for op in self.operators]}, "
+            f"outputs={list(self.outputs)})"
+        )
+
+
+def linear_plan(
+    input_name: str, operators: Iterable[Operator], output_name: str = "out"
+) -> Plan:
+    """Build a plan that chains ``operators`` from one input to one output."""
+    plan = Plan()
+    plan.add_input(input_name)
+    upstream: str | Operator = input_name
+    last: Operator | None = None
+    for op in operators:
+        plan.add(op, upstream=[upstream])
+        upstream = op
+        last = op
+    if last is None:
+        raise PlanError("linear_plan requires at least one operator")
+    plan.mark_output(last, output_name)
+    return plan

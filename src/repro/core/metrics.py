@@ -1,0 +1,98 @@
+"""Execution metrics.
+
+Both execution modes record per-operator counters; simulations also
+record time series (queue memory per tick, cumulative outputs) used by
+the scheduling/shedding experiments (slides 42-44).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["OperatorMetrics", "TimeSeries", "MetricsRegistry"]
+
+
+@dataclass
+class OperatorMetrics:
+    """Lifetime counters for one operator."""
+
+    records_in: int = 0
+    records_out: int = 0
+    punctuations_in: int = 0
+    punctuations_out: int = 0
+    invocations: int = 0
+    busy_time: float = 0.0
+
+    @property
+    def observed_selectivity(self) -> float:
+        """Output/input ratio actually observed (records only)."""
+        if self.records_in == 0:
+            return 0.0
+        return self.records_out / self.records_in
+
+
+class TimeSeries:
+    """An append-only (t, value) series with simple reductions."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.times: list[float] = []
+        self.values: list[float] = []
+
+    def append(self, t: float, value: float) -> None:
+        self.times.append(t)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __iter__(self):
+        return iter(zip(self.times, self.values))
+
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def last(self) -> float:
+        return self.values[-1] if self.values else 0.0
+
+    def at(self, t: float) -> float:
+        """Value at the greatest recorded time ``<= t`` (step semantics)."""
+        result = 0.0
+        for ti, vi in zip(self.times, self.values):
+            if ti > t:
+                break
+            result = vi
+        return result
+
+
+class MetricsRegistry:
+    """Per-run collection of operator metrics and named time series."""
+
+    def __init__(self) -> None:
+        self.operators: dict[str, OperatorMetrics] = {}
+        self.series: dict[str, TimeSeries] = {}
+
+    def for_operator(self, name: str) -> OperatorMetrics:
+        if name not in self.operators:
+            self.operators[name] = OperatorMetrics()
+        return self.operators[name]
+
+    def timeseries(self, name: str) -> TimeSeries:
+        if name not in self.series:
+            self.series[name] = TimeSeries(name)
+        return self.series[name]
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for name, m in self.operators.items():
+            out[name] = {
+                "records_in": m.records_in,
+                "records_out": m.records_out,
+                "invocations": m.invocations,
+                "busy_time": round(m.busy_time, 9),
+                "observed_selectivity": round(m.observed_selectivity, 6),
+            }
+        return out

@@ -1,0 +1,103 @@
+"""Inter-operator queues with memory accounting and drop policies.
+
+In simulation mode every plan edge is realized as an :class:`OpQueue`.
+Queue occupancy (in tuple-*size* units, per the Chain memory model of
+slide 43) is what the memory-minimizing schedulers optimize, and what
+overflows when load must be shed (slide 44).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.tuples import Punctuation, Record, element_size
+
+__all__ = ["QueueStats", "OpQueue"]
+
+Element = Record | Punctuation
+
+
+@dataclass
+class QueueStats:
+    """Lifetime counters for one queue."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    peak_size: float = 0.0
+    peak_length: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "peak_size": self.peak_size,
+            "peak_length": self.peak_length,
+        }
+
+
+class OpQueue:
+    """A FIFO queue of stream elements with size accounting.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum total *size* of buffered records.  ``None`` means
+        unbounded.  When a record would overflow a bounded queue it is
+        dropped (tail drop) and counted in :attr:`stats`.
+    """
+
+    def __init__(self, name: str = "", capacity: float | None = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._items: deque[Element] = deque()
+        self._size = 0.0
+        self.stats = QueueStats()
+
+    def push(self, element: Element) -> bool:
+        """Enqueue ``element``; return ``False`` if it was dropped."""
+        sz = element_size(element)
+        if (
+            self.capacity is not None
+            and sz > 0
+            and self._size + sz > self.capacity
+        ):
+            self.stats.dropped += 1
+            return False
+        self._items.append(element)
+        self._size += sz
+        self.stats.enqueued += 1
+        if self._size > self.stats.peak_size:
+            self.stats.peak_size = self._size
+        if len(self._items) > self.stats.peak_length:
+            self.stats.peak_length = len(self._items)
+        return True
+
+    def pop(self) -> Element:
+        element = self._items.popleft()
+        self._size -= element_size(element)
+        self.stats.dequeued += 1
+        return element
+
+    def peek(self) -> Element:
+        return self._items[0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    @property
+    def size(self) -> float:
+        """Total size of buffered records (memory units)."""
+        return self._size
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._size = 0.0
+
+    def __repr__(self) -> str:
+        return f"OpQueue({self.name!r}, len={len(self._items)}, size={self._size})"

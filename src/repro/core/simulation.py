@@ -1,0 +1,407 @@
+"""Discrete-event simulation of plan execution under resource limits.
+
+The push engine (:mod:`repro.core.engine`) answers *what* a query
+returns; this simulator answers *how the system behaves* while computing
+it: queue backlogs, memory over time, output rates, and drops, under a
+single processor of configurable speed and a pluggable
+:class:`~repro.scheduling.base.Scheduler`.  It realizes the resource
+models of slides 39-44:
+
+* **Memory model (slide 43 / Chain).**  A tuple occupies ``size`` memory
+  units; passing through an operator with selectivity *s* shrinks it to
+  ``size * s`` (and to zero when it leaves the system).  Total memory is
+  the sum of queued and in-service tuple sizes, sampled on a fixed grid.
+* **Rate model (slides 40-41).**  In ``abstract`` mode every tuple also
+  carries a ``weight`` — the expected number of real tuples it stands
+  for — multiplied by operator selectivity at each hop, so measured
+  output rates match the analytic rate model exactly.
+* **Semantic mode** executes the real operator logic instead, for
+  experiments where answer *content* matters (e.g. load-shedding
+  accuracy, slide 44).
+
+Arrivals beyond ``config.until`` are ignored; with ``drain=True`` the
+simulator keeps serving queued work after the last admitted arrival.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Mapping, Sequence
+
+from repro.core.graph import Plan
+from repro.core.metrics import MetricsRegistry, TimeSeries
+from repro.core.queues import OpQueue
+from repro.core.stream import Source, merge_sources
+from repro.core.tuples import Punctuation, Record, element_size
+from repro.errors import PlanError
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["SimConfig", "SimResult", "Simulation", "SimTuple"]
+
+Element = Record | Punctuation
+_EPS = 1e-9
+
+
+class SimTuple:
+    """A stream element in flight through the simulator."""
+
+    __slots__ = ("element", "size", "weight", "entry_seq", "entry_ts")
+
+    def __init__(
+        self,
+        element: Element,
+        size: float,
+        weight: float,
+        entry_seq: int,
+        entry_ts: float,
+    ) -> None:
+        self.element = element
+        self.size = size
+        self.weight = weight
+        self.entry_seq = entry_seq
+        self.entry_ts = entry_ts
+
+
+@dataclass
+class SimConfig:
+    """Simulation parameters."""
+
+    #: Processor speed: cost units served per unit of virtual time.
+    speed: float = 1.0
+    #: Ignore arrivals with ``ts`` beyond this bound (``None`` = all).
+    until: float | None = None
+    #: Memory sampling grid spacing.
+    sample_interval: float = 1.0
+    #: ``abstract`` (size/weight model) or ``semantic`` (run operators).
+    mode: str = "abstract"
+    #: Per-edge queue capacity in size units (``None`` = unbounded).
+    queue_capacity: float | None = None
+    #: Keep serving queued work after the last admitted arrival.
+    drain: bool = True
+    #: Optional admission filter: ``shedder(element, now, memory) -> bool``
+    #: returning False drops the arrival (slide 44 load shedding).
+    shedder: Callable[[Element, float, float], bool] | None = None
+
+
+@dataclass
+class SimResult:
+    """Everything measured during one simulation run."""
+
+    memory: TimeSeries
+    outputs: dict[str, list[Element]]
+    output_weight: dict[str, float]
+    output_count: dict[str, int]
+    output_series: dict[str, TimeSeries]
+    drops: int
+    shed: int
+    metrics: MetricsRegistry
+    end_time: float
+    latency_sum: float = 0.0
+    latency_count: float = 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean system time of tuples that reached an output."""
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    def output_rate(self, name: str = "out") -> float:
+        """Weighted output tuples per unit time over the whole run."""
+        if self.end_time <= 0:
+            return 0.0
+        return self.output_weight.get(name, 0.0) / self.end_time
+
+
+class _OpState:
+    __slots__ = ("operator", "key", "queues", "successors", "sink_names")
+
+    def __init__(self, operator, key: int, capacity: float | None) -> None:
+        self.operator = operator
+        self.key = key
+        self.queues: list[OpQueue] = [
+            OpQueue(name=f"{operator.name}.{p}", capacity=capacity)
+            for p in range(operator.arity)
+        ]
+        self.successors: list[tuple["_OpState", int]] = []
+        self.sink_names: list[str] = []
+
+
+class _Job:
+    __slots__ = ("state", "port", "tup", "finish")
+
+    def __init__(self, state: _OpState, port: int, tup: SimTuple, finish: float):
+        self.state = state
+        self.port = port
+        self.tup = tup
+        self.finish = finish
+
+
+class Simulation:
+    """Single-processor discrete-event simulator over a plan."""
+
+    def __init__(
+        self,
+        plan: Plan,
+        scheduler: Scheduler,
+        config: SimConfig | None = None,
+    ) -> None:
+        plan.validate()
+        if config is None:
+            config = SimConfig()
+        if config.mode not in ("abstract", "semantic"):
+            raise PlanError(f"unknown simulation mode {config.mode!r}")
+        self.plan = plan
+        self.scheduler = scheduler
+        self.config = config
+
+    def run(self, sources: Sequence[Source] | Mapping[str, Source]) -> SimResult:
+        cfg = self.config
+        plan = self.plan
+        plan.reset()
+        by_name = self._resolve_sources(sources)
+
+        order = plan.topological_order()
+        states: dict[int, _OpState] = {}
+        for key, op in enumerate(order):
+            states[id(op)] = _OpState(op, key, cfg.queue_capacity)
+        for op in order:
+            st = states[id(op)]
+            for consumer, port in plan.successors(op):
+                st.successors.append((states[id(consumer)], port))
+            st.sink_names = plan.output_names_for(op)
+        entry_states: dict[str, list[tuple[_OpState, int]]] = {}
+        for input_name, consumers in plan.inputs.items():
+            entry_states[input_name] = [
+                (states[id(consumer)], port) for consumer, port in consumers
+            ]
+
+        self.scheduler.on_start(plan)
+
+        metrics = MetricsRegistry()
+        result = SimResult(
+            memory=TimeSeries("memory"),
+            outputs={name: [] for name in plan.outputs},
+            output_weight={name: 0.0 for name in plan.outputs},
+            output_count={name: 0 for name in plan.outputs},
+            output_series={
+                name: TimeSeries(f"output:{name}") for name in plan.outputs
+            },
+            drops=0,
+            shed=0,
+            metrics=metrics,
+            end_time=0.0,
+        )
+
+        arrivals = merge_sources(*by_name.values())
+        pending = self._next_arrival(arrivals, cfg.until)
+
+        now = 0.0
+        job: _Job | None = None
+        entry_counter = 0
+        next_sample = 0.0
+        all_states = list(states.values())
+
+        def total_memory() -> float:
+            mem = sum(q.size for st in all_states for q in st.queues)
+            if job is not None:
+                mem += job.tup.size
+            return mem
+
+        def emit_samples_up_to(t: float, inclusive: bool) -> None:
+            nonlocal next_sample
+            bound = t + _EPS if inclusive else t - _EPS
+            while next_sample <= bound:
+                result.memory.append(next_sample, total_memory())
+                next_sample += cfg.sample_interval
+
+        def try_start() -> None:
+            nonlocal job
+            if job is not None:
+                return
+            ready: list[ReadyOp] = []
+            for st in all_states:
+                for port, q in enumerate(st.queues):
+                    if not q:
+                        continue
+                    head = q.peek()
+                    ready.append(
+                        ReadyOp(
+                            key=st.key,
+                            port=port,
+                            op_name=st.operator.name,
+                            cost=st.operator.cost_per_tuple,
+                            selectivity=st.operator.selectivity,
+                            head_size=head.size,
+                            head_entry_seq=head.entry_seq,
+                            head_entry_ts=head.entry_ts,
+                            queue_length=len(q),
+                            terminal=not st.successors,
+                        )
+                    )
+            if not ready:
+                return
+            chosen = self.scheduler.choose(ready, now)
+            st = next(s for s in all_states if s.key == chosen.key)
+            tup = st.queues[chosen.port].pop()
+            service = st.operator.cost_per_tuple / cfg.speed
+            job = _Job(st, chosen.port, tup, now + service)
+
+        def deliver(st: _OpState, out_tuples: list[SimTuple]) -> None:
+            """Record sink output and fan out to successor queues."""
+            m = metrics.for_operator(st.operator.name)
+            for out in out_tuples:
+                if isinstance(out.element, Record):
+                    m.records_out += 1
+                else:
+                    m.punctuations_out += 1
+            for name in st.sink_names:
+                for out in out_tuples:
+                    if out.weight <= 0 and isinstance(out.element, Record):
+                        continue
+                    result.outputs[name].append(out.element)
+                    result.output_weight[name] += out.weight
+                    if isinstance(out.element, Record):
+                        result.output_count[name] += 1
+                        # Weighted mean: both numerator and denominator
+                        # carry the tuple's expected multiplicity.
+                        result.latency_sum += (now - out.entry_ts) * out.weight
+                        result.latency_count += out.weight
+                    result.output_series[name].append(
+                        now, result.output_weight[name]
+                    )
+            for succ, port in st.successors:
+                for out in out_tuples:
+                    ok = succ.queues[port].push(out)  # type: ignore[arg-type]
+                    if not ok:
+                        result.drops += 1
+
+        def complete(j: _Job) -> None:
+            st = j.state
+            op = st.operator
+            m = metrics.for_operator(op.name)
+            m.invocations += 1
+            m.busy_time += op.cost_per_tuple / cfg.speed
+            if isinstance(j.tup.element, Record):
+                m.records_in += 1
+            else:
+                m.punctuations_in += 1
+            outs: list[SimTuple] = []
+            if cfg.mode == "abstract":
+                new_size = j.tup.size * op.selectivity
+                new_weight = j.tup.weight * op.selectivity
+                if new_weight > 0 or isinstance(j.tup.element, Punctuation):
+                    outs.append(
+                        SimTuple(
+                            j.tup.element,
+                            new_size,
+                            new_weight,
+                            j.tup.entry_seq,
+                            j.tup.entry_ts,
+                        )
+                    )
+            else:
+                produced = op.process(j.tup.element, j.port)
+                for el in produced:
+                    outs.append(
+                        SimTuple(
+                            el,
+                            element_size(el),
+                            1.0 if isinstance(el, Record) else 0.0,
+                            j.tup.entry_seq,
+                            j.tup.entry_ts,
+                        )
+                    )
+            deliver(st, outs)
+
+        # -- main event loop ------------------------------------------------
+        # OpQueue.push stores SimTuples; element_size() on them is not used
+        # because queue size accounting reads .size, which SimTuple provides
+        # via the same attribute protocol as Record.
+        while True:
+            candidates: list[float] = []
+            if job is not None:
+                candidates.append(job.finish)
+            if pending is not None:
+                candidates.append(pending[1].ts)
+            if not candidates:
+                break
+            t = min(candidates)
+            emit_samples_up_to(t, inclusive=False)
+            now = t
+            if job is not None and job.finish <= now + _EPS:
+                finished = job
+                job = None
+                complete(finished)
+            while pending is not None and pending[1].ts <= now + _EPS:
+                input_name, element = pending
+                self._admit(
+                    element,
+                    entry_states[input_name],
+                    entry_counter,
+                    now,
+                    result,
+                    total_memory,
+                )
+                entry_counter += 1
+                pending = self._next_arrival(arrivals, cfg.until)
+            # With drain disabled, no new work starts once arrivals end:
+            # the in-flight job finishes and the backlog is abandoned.
+            if cfg.drain or pending is not None:
+                try_start()
+            emit_samples_up_to(now, inclusive=True)
+            if not cfg.drain and pending is None and job is None:
+                break
+
+        result.end_time = now
+        return result
+
+    # -- helpers ------------------------------------------------------------
+
+    def _resolve_sources(
+        self, sources: Sequence[Source] | Mapping[str, Source]
+    ) -> dict[str, Source]:
+        if isinstance(sources, Mapping):
+            by_name = dict(sources)
+        else:
+            by_name = {src.name: src for src in sources}
+        missing = set(self.plan.inputs) - set(by_name)
+        if missing:
+            raise PlanError(f"no source provided for inputs {sorted(missing)}")
+        return by_name
+
+    def _next_arrival(
+        self,
+        arrivals: Iterator[tuple[str, Element]],
+        until: float | None,
+    ) -> tuple[str, Element] | None:
+        for name, element in arrivals:
+            if until is not None and element.ts > until:
+                return None
+            return name, element
+        return None
+
+    def _admit(
+        self,
+        element: Element,
+        entries: list[tuple[_OpState, int]],
+        entry_seq: int,
+        now: float,
+        result: SimResult,
+        total_memory: Callable[[], float],
+    ) -> None:
+        shedder = self.config.shedder
+        if shedder is not None and isinstance(element, Record):
+            if not shedder(element, now, total_memory()):
+                result.shed += 1
+                return
+        tup = SimTuple(
+            element,
+            element_size(element),
+            1.0 if isinstance(element, Record) else 0.0,
+            entry_seq,
+            now,
+        )
+        for st, port in entries:
+            if not st.queues[port].push(tup):  # type: ignore[arg-type]
+                result.drops += 1

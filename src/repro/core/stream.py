@@ -1,0 +1,228 @@
+"""Stream declarations and sources.
+
+A :class:`StreamDecl` is catalog metadata: a name, a schema, and whether
+the entity is a (unbounded, append-only) *stream* or a (finite, updatable)
+*relation* — the distinction at the heart of CQL (slide 25).
+
+A :class:`Source` produces the actual elements.  Sources stamp records
+with timestamps (the ordering attribute) and monotone sequence numbers,
+and may interleave punctuations.  All sources are restartable: each call
+to :meth:`Source.events` yields a fresh, identical pass over the data,
+which keeps engine runs and tests deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.tuples import Punctuation, Record, Schema
+from repro.errors import OrderingError
+
+__all__ = [
+    "StreamDecl",
+    "Source",
+    "ListSource",
+    "CallbackSource",
+    "TimedSource",
+    "merge_sources",
+    "records_from_dicts",
+]
+
+
+class StreamDecl:
+    """Catalog entry describing a stream or relation."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        is_stream: bool = True,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self.is_stream = is_stream
+
+    def __repr__(self) -> str:
+        kind = "stream" if self.is_stream else "relation"
+        return f"StreamDecl({self.name!r}, {kind}, {self.schema!r})"
+
+
+class Source:
+    """Base class for element producers.
+
+    Subclasses implement :meth:`events`; the base class provides schema
+    bookkeeping and an ordering check used by strict sources.
+    """
+
+    def __init__(self, name: str, schema: Schema | None = None) -> None:
+        self.name = name
+        self.schema = schema
+
+    def events(self) -> Iterator[Record | Punctuation]:
+        """Yield the stream's elements in order.  Restartable."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Record | Punctuation]:
+        return self.events()
+
+    def collect(self) -> list[Record | Punctuation]:
+        """Materialize the whole stream (only sensible for finite sources)."""
+        return list(self.events())
+
+
+def records_from_dicts(
+    rows: Iterable[Mapping[str, Any]],
+    ts_attr: str | None = None,
+    start_seq: int = 0,
+) -> list[Record]:
+    """Convert plain dicts to :class:`Record` objects.
+
+    If ``ts_attr`` is given, each record's ``ts`` is taken from that
+    attribute; otherwise records are position-ordered (ts = seq).
+    """
+    records: list[Record] = []
+    for i, row in enumerate(rows):
+        seq = start_seq + i
+        ts = float(row[ts_attr]) if ts_attr else float(seq)
+        records.append(Record(row, ts=ts, seq=seq))
+    return records
+
+
+class ListSource(Source):
+    """A finite source backed by a list of elements.
+
+    Parameters
+    ----------
+    elements:
+        Pre-stamped records/punctuations, or plain dicts (which will be
+        stamped by position or by ``ts_attr``).
+    strict_order:
+        If ``True`` (default), raise :class:`OrderingError` when elements
+        are not non-decreasing in ``ts`` — streams are sequences (slide
+        17) and sources must honour their ordering attribute.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        elements: Sequence[Record | Punctuation | Mapping[str, Any]],
+        schema: Schema | None = None,
+        ts_attr: str | None = None,
+        strict_order: bool = True,
+    ) -> None:
+        super().__init__(name, schema)
+        if ts_attr is None and schema is not None:
+            ts_attr = schema.ordering
+        stamped: list[Record | Punctuation] = []
+        seq = 0
+        for el in elements:
+            if isinstance(el, (Record, Punctuation)):
+                stamped.append(el)
+            else:
+                ts = float(el[ts_attr]) if ts_attr else float(seq)
+                stamped.append(Record(el, ts=ts, seq=seq))
+            seq += 1
+        if strict_order:
+            last = float("-inf")
+            for el in stamped:
+                if el.ts < last:
+                    raise OrderingError(
+                        f"source {name!r} is not ordered: ts {el.ts} after {last}"
+                    )
+                last = el.ts
+        self._elements = stamped
+
+    def events(self) -> Iterator[Record | Punctuation]:
+        return iter(self._elements)
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+
+class CallbackSource(Source):
+    """A source backed by a zero-argument callable returning an iterable.
+
+    The callable is invoked anew on every :meth:`events` call, so
+    generator factories keep the source restartable.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        factory: Callable[[], Iterable[Record | Punctuation]],
+        schema: Schema | None = None,
+    ) -> None:
+        super().__init__(name, schema)
+        self._factory = factory
+
+    def events(self) -> Iterator[Record | Punctuation]:
+        return iter(self._factory())
+
+
+class TimedSource(Source):
+    """A source that assigns arrival times from an arrival process.
+
+    ``arrivals`` yields inter-arrival gaps (or absolute times if
+    ``absolute=True``); ``payloads`` yields attribute dicts.  The zip of
+    the two, stamped with timestamps and sequence numbers, forms the
+    stream.  Used by the simulation experiments, where the *timing* of
+    tuples (bursts, rate mismatches) is the object under study.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        arrivals: Callable[[], Iterable[float]],
+        payloads: Callable[[], Iterable[Mapping[str, Any]]],
+        schema: Schema | None = None,
+        absolute: bool = False,
+        limit: int | None = None,
+    ) -> None:
+        super().__init__(name, schema)
+        self._arrivals = arrivals
+        self._payloads = payloads
+        self._absolute = absolute
+        self._limit = limit
+
+    def events(self) -> Iterator[Record | Punctuation]:
+        now = 0.0
+        count = 0
+        for gap, payload in zip(self._arrivals(), self._payloads()):
+            if self._limit is not None and count >= self._limit:
+                return
+            now = gap if self._absolute else now + gap
+            yield Record(payload, ts=now, seq=count)
+            count += 1
+
+
+def merge_sources(
+    *sources: Source,
+) -> Iterator[tuple[str, Record | Punctuation]]:
+    """Merge several sources into one globally ts-ordered event sequence.
+
+    Yields ``(source_name, element)`` pairs ordered by ``(ts, seq)``,
+    breaking remaining ties by source position for determinism.  This is
+    how the push engine interleaves multiple input streams.
+    """
+    iterators = [(i, src.name, src.events()) for i, src in enumerate(sources)]
+    heads: list[tuple[float, int, int, str, Record | Punctuation]] = []
+    import heapq
+
+    counter = 0
+    for i, name, it in iterators:
+        for el in it:
+            heapq.heappush(heads, (el.ts, el.seq, counter, name, el))
+            counter += 1
+            break
+        else:
+            continue
+    # Keep per-source iterators alive for incremental pulls.
+    live = {name: it for _, name, it in iterators}
+    while heads:
+        ts, seq, _, name, el = heapq.heappop(heads)
+        yield name, el
+        it = live[name]
+        for nxt in it:
+            heapq.heappush(heads, (nxt.ts, nxt.seq, counter, name, nxt))
+            counter += 1
+            break

@@ -1,0 +1,44 @@
+"""Virtual time for deterministic stream execution.
+
+The library never reads wall-clock time.  All experiments run against a
+:class:`VirtualClock` advanced by the engine, so results are exactly
+reproducible (see DESIGN.md, "Determinism").
+"""
+
+from __future__ import annotations
+
+__all__ = ["VirtualClock"]
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The engine advances the clock to each element's timestamp as it is
+    processed; simulations advance it tick by tick.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock forward to ``t`` (never backwards)."""
+        if t > self._now:
+            self._now = float(t)
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt >= 0``."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt={dt}")
+        self._now += dt
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"VirtualClock(now={self._now})"

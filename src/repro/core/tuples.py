@@ -1,0 +1,360 @@
+"""Stream elements: schemas, records, and punctuations.
+
+The tutorial's data model (slides 16-18) treats a data stream as a
+potentially unbounded *sequence* of tuples, ordered by an ordering
+attribute (e.g. a timestamp) or by arrival position.  Two kinds of
+elements flow through operator graphs:
+
+* :class:`Record` — a data tuple with named attribute values plus the
+  ordering-attribute value ``ts`` and an arrival sequence number ``seq``.
+* :class:`Punctuation` — an in-band marker (Tucker et al., TMSF03;
+  slide 28) asserting that no future record will match its pattern.
+
+Schemas (:class:`Schema`) carry per-attribute domain-boundedness
+metadata, which the ABB+02 bounded-memory analysis consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = [
+    "Field",
+    "Schema",
+    "Record",
+    "Punctuation",
+    "WILDCARD",
+    "element_size",
+    "is_record",
+    "is_punctuation",
+]
+
+
+#: Sentinel used in punctuation patterns to match any value of an attribute.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class Field:
+    """One attribute of a stream schema.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within its schema.
+    dtype:
+        The Python type values of this attribute are expected to have.
+    bounded:
+        Whether the attribute draws values from a bounded domain.  The
+        ABB+02 analysis (slide 35) uses this to decide whether a group-by
+        on the attribute can be maintained in bounded memory.
+    domain:
+        Optional ``(low, high)`` inclusive bounds for numeric attributes,
+        or an explicit tuple of admissible values for categorical ones.
+    """
+
+    name: str
+    dtype: type = float
+    bounded: bool = False
+    domain: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid field name: {self.name!r}")
+
+    def domain_size(self) -> float:
+        """Return the number of distinct values, or ``inf`` if unbounded."""
+        if not self.bounded:
+            return math.inf
+        if self.domain is None:
+            return math.inf
+        if len(self.domain) == 2 and all(
+            isinstance(v, int) for v in self.domain
+        ):
+            low, high = self.domain
+            return float(high - low + 1)
+        return float(len(self.domain))
+
+
+class Schema:
+    """An ordered collection of :class:`Field` objects.
+
+    A schema optionally names its *ordering attribute* — the attribute by
+    whose values the stream is (non-strictly) ordered, e.g. a timestamp.
+    Position-ordered streams (Aurora/STREAM style, slide 17) leave it
+    ``None`` and rely on arrival sequence numbers instead.
+    """
+
+    def __init__(
+        self,
+        fields: Iterable[Field | str],
+        ordering: str | None = None,
+        name: str = "",
+    ) -> None:
+        normalized: list[Field] = []
+        for f in fields:
+            normalized.append(Field(f) if isinstance(f, str) else f)
+        self._fields: tuple[Field, ...] = tuple(normalized)
+        self._by_name: dict[str, Field] = {}
+        for f in self._fields:
+            if f.name in self._by_name:
+                raise SchemaError(f"duplicate field name: {f.name!r}")
+            self._by_name[f.name] = f
+        if ordering is not None and ordering not in self._by_name:
+            raise SchemaError(
+                f"ordering attribute {ordering!r} is not a schema field"
+            )
+        self.ordering = ordering
+        self.name = name
+
+    @property
+    def fields(self) -> tuple[Field, ...]:
+        return self._fields
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(f.name for f in self._fields)
+
+    def field(self, name: str) -> Field:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {self.names}"
+            ) from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._by_name
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._fields == other._fields and self.ordering == other.ordering
+
+    def __hash__(self) -> int:
+        return hash((self._fields, self.ordering))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f.name for f in self._fields)
+        ordering = f", ordering={self.ordering!r}" if self.ordering else ""
+        return f"Schema([{inner}]{ordering})"
+
+    def project(self, names: Sequence[str], name: str = "") -> "Schema":
+        """Return a schema containing only ``names`` (in the given order)."""
+        fields = [self.field(n) for n in names]
+        ordering = self.ordering if self.ordering in names else None
+        return Schema(fields, ordering=ordering, name=name or self.name)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Return a schema with attributes renamed per ``mapping``."""
+        fields = [
+            Field(mapping.get(f.name, f.name), f.dtype, f.bounded, f.domain)
+            for f in self._fields
+        ]
+        ordering = (
+            mapping.get(self.ordering, self.ordering) if self.ordering else None
+        )
+        return Schema(fields, ordering=ordering, name=self.name)
+
+    def join(self, other: "Schema", name: str = "") -> "Schema":
+        """Return the concatenation of two schemas (for join outputs).
+
+        Name clashes are resolved by raising; callers are expected to
+        qualify/rename before joining, mirroring SQL semantics.
+        """
+        clash = set(self.names) & set(other.names)
+        if clash:
+            raise SchemaError(f"join would duplicate attributes: {sorted(clash)}")
+        return Schema(
+            list(self._fields) + list(other._fields),
+            ordering=self.ordering,
+            name=name,
+        )
+
+    def validate(self, values: Mapping[str, Any]) -> None:
+        """Raise :class:`SchemaError` unless ``values`` covers the schema."""
+        missing = [n for n in self.names if n not in values]
+        if missing:
+            raise SchemaError(f"record is missing attributes {missing}")
+
+
+class Record:
+    """A data tuple flowing through the system.
+
+    Attributes
+    ----------
+    values:
+        Mapping of attribute name to value.
+    ts:
+        The ordering-attribute value (virtual time of the tuple).  For
+        position-ordered streams this equals the arrival time assigned by
+        the source.
+    seq:
+        Arrival sequence number, assigned by sources; ties on ``ts`` are
+        broken by ``seq`` so execution is deterministic.
+    size:
+        Abstract memory footprint used by queue/memory accounting.  The
+        Chain-scheduling model (slide 43) shrinks this as tuples pass
+        through selective operators.
+    """
+
+    __slots__ = ("values", "ts", "seq", "size")
+
+    def __init__(
+        self,
+        values: Mapping[str, Any],
+        ts: float = 0.0,
+        seq: int = 0,
+        size: float = 1.0,
+    ) -> None:
+        self.values = dict(values)
+        self.ts = ts
+        self.seq = seq
+        self.size = size
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.values[name]
+        except KeyError:
+            raise SchemaError(
+                f"record has no attribute {name!r}; it has {sorted(self.values)}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self.values
+
+    def with_values(self, values: Mapping[str, Any]) -> "Record":
+        """Return a copy carrying ``values`` but the same ts/seq/size."""
+        return Record(values, ts=self.ts, seq=self.seq, size=self.size)
+
+    def merged(self, other: "Record", ts: float | None = None) -> "Record":
+        """Return the join of two records (used by join operators)."""
+        merged = dict(self.values)
+        merged.update(other.values)
+        out_ts = max(self.ts, other.ts) if ts is None else ts
+        return Record(
+            merged,
+            ts=out_ts,
+            seq=max(self.seq, other.seq),
+            size=self.size + other.size,
+        )
+
+    def key(self, names: Sequence[str]) -> tuple:
+        """Return the tuple of values for ``names`` (grouping/join keys)."""
+        return tuple(self.values[n] for n in names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Record):
+            return NotImplemented
+        return (
+            self.values == other.values
+            and self.ts == other.ts
+            and self.seq == other.seq
+        )
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.values.items()), self.ts, self.seq))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.values.items())
+        return f"Record({inner}, ts={self.ts})"
+
+
+@dataclass(frozen=True)
+class Punctuation:
+    """An in-band assertion that no future record matches ``pattern``.
+
+    ``pattern`` maps attribute names to either a literal value, the
+    :data:`WILDCARD` string, or a ``(low, high)`` tuple meaning the
+    inclusive range.  A punctuation *matches* a record when every
+    patterned attribute matches (TMSF03 semantics, slide 28).
+
+    The most common punctuation is a pure timestamp bound, e.g.
+    ``Punctuation({"ts": (None, 100)})`` meaning "no record with
+    ``ts <= 100`` will arrive after me"; :meth:`time_bound` constructs it.
+    """
+
+    pattern: tuple[tuple[str, Any], ...]
+    ts: float = 0.0
+    seq: int = 0
+
+    @staticmethod
+    def of(pattern: Mapping[str, Any], ts: float = 0.0, seq: int = 0) -> "Punctuation":
+        """Build a punctuation from a dict pattern."""
+        return Punctuation(tuple(sorted(pattern.items())), ts=ts, seq=seq)
+
+    @staticmethod
+    def time_bound(attr: str, upto: float, ts: float | None = None) -> "Punctuation":
+        """Punctuation asserting all future records have ``attr > upto``."""
+        return Punctuation.of({attr: (None, upto)}, ts=upto if ts is None else ts)
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.pattern)
+
+    def matches(self, record: Record) -> bool:
+        """Return ``True`` if ``record`` is covered by this punctuation."""
+        for name, pat in self.pattern:
+            if name not in record:
+                return False
+            value = record[name]
+            if pat == WILDCARD:
+                continue
+            if isinstance(pat, tuple) and len(pat) == 2:
+                low, high = pat
+                if low is not None and value < low:
+                    return False
+                if high is not None and value > high:
+                    return False
+                continue
+            if value != pat:
+                return False
+        return True
+
+    def bound_for(self, attr: str) -> float | None:
+        """Return the inclusive upper bound asserted for ``attr``, if any."""
+        for name, pat in self.pattern:
+            if name != attr:
+                continue
+            if isinstance(pat, tuple) and len(pat) == 2 and pat[1] is not None:
+                return float(pat[1])
+            if not isinstance(pat, (tuple, str)):
+                return float(pat)
+        return None
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.pattern)
+        return f"Punctuation({inner})"
+
+
+def is_record(element: object) -> bool:
+    """Return ``True`` for data tuples (as opposed to punctuations)."""
+    return isinstance(element, Record)
+
+
+def is_punctuation(element: object) -> bool:
+    """Return ``True`` for punctuation markers."""
+    return isinstance(element, Punctuation)
+
+
+def element_size(element: object) -> float:
+    """Memory footprint of a stream element for queue accounting.
+
+    Punctuations are free; anything exposing a ``size`` attribute (records,
+    and the simulator's in-flight tuples) is charged that size.
+    """
+    if isinstance(element, Punctuation):
+        return 0.0
+    return float(getattr(element, "size", 0.0))

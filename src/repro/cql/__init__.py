@@ -1,0 +1,42 @@
+"""CQL/GSQL-flavoured stream query language (slides 13, 25, 37).
+
+Typical use::
+
+    from repro.cql import Catalog, compile_query
+    from repro.core import run_plan, ListSource
+
+    catalog = Catalog()
+    catalog.register_stream("Traffic", packet_schema())
+    plan = compile_query(
+        "select tb, srcIP, sum(len) from Traffic "
+        "group by ts/60 as tb, srcIP having count(*) > 5",
+        catalog,
+    )
+    result = run_plan(plan, [ListSource("Traffic", packets, ts_attr="ts")])
+"""
+
+from repro.cql.ast import SelectStmt
+from repro.cql.lexer import Token, tokenize
+from repro.cql.parser import parse
+from repro.cql.planner import compile_query, plan_stmt
+from repro.cql.registry import Catalog
+from repro.cql.semantic import (
+    AGGREGATE_FUNCS,
+    Resolver,
+    compile_expr,
+    resolve_stmt,
+)
+
+__all__ = [
+    "SelectStmt",
+    "Token",
+    "tokenize",
+    "parse",
+    "compile_query",
+    "plan_stmt",
+    "Catalog",
+    "AGGREGATE_FUNCS",
+    "Resolver",
+    "compile_expr",
+    "resolve_stmt",
+]

@@ -1,0 +1,177 @@
+"""Abstract syntax tree for the CQL/GSQL dialect.
+
+Expression nodes support two operations used throughout the front end:
+:func:`columns_in` (free column references, for pushdown and semantic
+checks) and :func:`split_conjuncts` (normalize a WHERE clause into a
+list of AND-ed predicates, for join-condition extraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.windows.spec import WindowSpec
+
+__all__ = [
+    "Expr",
+    "Literal",
+    "Column",
+    "Star",
+    "BinOp",
+    "UnaryOp",
+    "FuncCall",
+    "Projection",
+    "RelationRef",
+    "GroupItem",
+    "OrderItem",
+    "SelectStmt",
+    "columns_in",
+    "split_conjuncts",
+]
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        return f"Lit({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A (possibly qualified) column reference: ``A.destIP`` or ``len``."""
+
+    name: str
+    qualifier: str | None = None
+
+    @property
+    def full(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+    def __repr__(self) -> str:
+        return f"Col({self.full})"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    """``*`` — only valid inside ``count(*)`` and ``select *``."""
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation: arithmetic, comparison, AND/OR, CONTAINS."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __repr__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    """Unary operation: NOT or arithmetic negation."""
+
+    op: str
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class FuncCall(Expr):
+    """Function application; aggregates are recognized semantically."""
+
+    name: str
+    args: tuple[Expr, ...]
+    distinct: bool = False
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.args))
+        d = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({d}{inner})"
+
+
+@dataclass(frozen=True)
+class Projection:
+    """One SELECT-list item with its optional alias."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """One FROM-clause entry: stream/relation, window, alias."""
+
+    name: str
+    window: WindowSpec | None = None
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class GroupItem:
+    """One GROUP BY entry, possibly aliased (``time/60 as tb``)."""
+
+    expr: Expr
+    alias: str | None = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY entry."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    """A parsed query."""
+
+    projections: tuple[Projection, ...]
+    relations: tuple[RelationRef, ...]
+    where: Expr | None = None
+    group_by: tuple[GroupItem, ...] = ()
+    having: Expr | None = None
+    distinct: bool = False
+    select_star: bool = False
+    streamify: str | None = None  # "istream" | "dstream" | "rstream"
+    order_by: tuple[OrderItem, ...] = ()
+    limit: int | None = None
+
+
+def columns_in(expr: Expr | None) -> Iterator[Column]:
+    """Yield every column reference in ``expr`` (depth-first)."""
+    if expr is None:
+        return
+    if isinstance(expr, Column):
+        yield expr
+    elif isinstance(expr, BinOp):
+        yield from columns_in(expr.left)
+        yield from columns_in(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from columns_in(expr.operand)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            yield from columns_in(arg)
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE tree into its AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]

@@ -1,0 +1,107 @@
+"""Lexer for the CQL/GSQL-flavoured query dialect (slides 13, 25, 37).
+
+Produces a flat token list with source offsets, consumed by the
+recursive-descent parser.  Keywords are case-insensitive; identifiers
+keep their case.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import LexError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "ISTREAM",
+        "DSTREAM",
+        "RSTREAM",
+        "RANGE",
+        "ROWS",
+        "NOW",
+        "UNBOUNDED",
+        "PARTITION",
+        "TUMBLE",
+        "TRUE",
+        "FALSE",
+        "NULL",
+        "CONTAINS",
+        "IN",
+        "ORDER",
+        "ASC",
+        "DESC",
+        "LIMIT",
+        "PUNCTUATED",
+        "ON",
+    }
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d*|\.\d+|\d+)
+  | (?P<string>'(?:[^'\\]|\\.)*')
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><=|>=|!=|<>|\*\*|[-+*/%=<>(),.\[\]])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is KEYWORD/NAME/NUMBER/STRING/OP/EOF."""
+
+    kind: str
+    value: str
+    pos: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == "KEYWORD" and self.value == word
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r}@{self.pos})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`LexError` on illegal input."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if m is None:
+            raise LexError(f"illegal character {text[pos]!r}", pos)
+        if m.lastgroup == "ws":
+            pos = m.end()
+            continue
+        value = m.group()
+        if m.lastgroup == "number":
+            tokens.append(Token("NUMBER", value, pos))
+        elif m.lastgroup == "string":
+            tokens.append(Token("STRING", value[1:-1].replace("\\'", "'"), pos))
+        elif m.lastgroup == "name":
+            upper = value.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, pos))
+            else:
+                tokens.append(Token("NAME", value, pos))
+        else:
+            op = "!=" if value == "<>" else value
+            tokens.append(Token("OP", op, pos))
+        pos = m.end()
+    tokens.append(Token("EOF", "", len(text)))
+    return tokens

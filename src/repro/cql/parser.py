@@ -1,0 +1,358 @@
+"""Recursive-descent parser for the CQL/GSQL dialect.
+
+Grammar (informal)::
+
+    query      := streamify? select
+    streamify  := (ISTREAM | DSTREAM | RSTREAM) '(' select ')'
+    select     := SELECT [DISTINCT] proj (',' proj)*
+                  FROM from_item (',' from_item)*
+                  [WHERE expr]
+                  [GROUP BY group (',' group)*]
+                  [HAVING expr]
+                  [ORDER BY expr [ASC|DESC] (',' ...)*]
+                  [LIMIT num]
+    proj       := '*' | expr [AS name]
+    from_item  := name [window] [[AS] name]
+    window     := '[' RANGE num | ROWS num | NOW | UNBOUNDED
+                  | TUMBLE num | PARTITION BY cols ROWS num
+                  | PUNCTUATED ON cols ']'
+    group      := expr [AS name]
+    expr       := standard precedence with OR/AND/NOT, comparisons,
+                  + - * / %, unary -, literals, columns, calls
+
+The window clause syntax follows CQL (slide 25-26); ``TUMBLE n`` is a
+convenience spelling of the GSQL ``time/n`` shifting window, which the
+planner also recognizes in GROUP BY expressions (slide 37).
+"""
+
+from __future__ import annotations
+
+from repro.cql.ast import (
+    BinOp,
+    Column,
+    Expr,
+    FuncCall,
+    GroupItem,
+    Literal,
+    OrderItem,
+    Projection,
+    RelationRef,
+    SelectStmt,
+    Star,
+    UnaryOp,
+)
+from repro.cql.lexer import Token, tokenize
+from repro.errors import ParseError
+from repro.windows.spec import (
+    NowWindow,
+    PartitionedWindow,
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+    WindowSpec,
+)
+
+__all__ = ["parse"]
+
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.i = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def accept_kw(self, word: str) -> bool:
+        if self.cur.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_kw(self, word: str) -> None:
+        if not self.accept_kw(word):
+            raise ParseError(
+                f"expected {word}, found {self.cur.value!r}", self.cur.pos
+            )
+
+    def accept_op(self, op: str) -> bool:
+        if self.cur.kind == "OP" and self.cur.value == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise ParseError(
+                f"expected {op!r}, found {self.cur.value!r}", self.cur.pos
+            )
+
+    def expect_name(self) -> str:
+        if self.cur.kind != "NAME":
+            raise ParseError(
+                f"expected identifier, found {self.cur.value!r}", self.cur.pos
+            )
+        return self.advance().value
+
+    def expect_number(self) -> float:
+        if self.cur.kind != "NUMBER":
+            raise ParseError(
+                f"expected number, found {self.cur.value!r}", self.cur.pos
+            )
+        return float(self.advance().value)
+
+    # -- grammar ------------------------------------------------------------
+
+    def parse(self) -> SelectStmt:
+        stmt = self._query()
+        if self.cur.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {self.cur.value!r}", self.cur.pos
+            )
+        return stmt
+
+    def _query(self) -> SelectStmt:
+        for kind in ("ISTREAM", "DSTREAM", "RSTREAM"):
+            if self.accept_kw(kind):
+                self.expect_op("(")
+                inner = self._select()
+                self.expect_op(")")
+                return SelectStmt(
+                    projections=inner.projections,
+                    relations=inner.relations,
+                    where=inner.where,
+                    group_by=inner.group_by,
+                    having=inner.having,
+                    distinct=inner.distinct,
+                    select_star=inner.select_star,
+                    streamify=kind.lower(),
+                    order_by=inner.order_by,
+                    limit=inner.limit,
+                )
+        return self._select()
+
+    def _select(self) -> SelectStmt:
+        self.expect_kw("SELECT")
+        distinct = self.accept_kw("DISTINCT")
+        select_star = False
+        projections: list[Projection] = []
+        if self.accept_op("*"):
+            select_star = True
+        else:
+            projections.append(self._projection())
+            while self.accept_op(","):
+                projections.append(self._projection())
+        self.expect_kw("FROM")
+        relations = [self._from_item()]
+        while self.accept_op(","):
+            relations.append(self._from_item())
+        where = None
+        if self.accept_kw("WHERE"):
+            where = self._expr()
+        group_by: list[GroupItem] = []
+        if self.accept_kw("GROUP"):
+            self.expect_kw("BY")
+            group_by.append(self._group_item())
+            while self.accept_op(","):
+                group_by.append(self._group_item())
+        having = None
+        if self.accept_kw("HAVING"):
+            having = self._expr()
+        order_by: list[OrderItem] = []
+        if self.accept_kw("ORDER"):
+            self.expect_kw("BY")
+            order_by.append(self._order_item())
+            while self.accept_op(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept_kw("LIMIT"):
+            limit = int(self.expect_number())
+        return SelectStmt(
+            projections=tuple(projections),
+            relations=tuple(relations),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            distinct=distinct,
+            select_star=select_star,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        descending = False
+        if self.accept_kw("DESC"):
+            descending = True
+        else:
+            self.accept_kw("ASC")
+        return OrderItem(expr, descending)
+
+    def _projection(self) -> Projection:
+        expr = self._expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_name()
+        return Projection(expr, alias)
+
+    def _group_item(self) -> GroupItem:
+        expr = self._expr()
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_name()
+        return GroupItem(expr, alias)
+
+    def _from_item(self) -> RelationRef:
+        name = self.expect_name()
+        window: WindowSpec | None = None
+        if self.accept_op("["):
+            window = self._window()
+            self.expect_op("]")
+        alias = None
+        if self.accept_kw("AS"):
+            alias = self.expect_name()
+        elif self.cur.kind == "NAME":
+            alias = self.advance().value
+        return RelationRef(name=name, window=window, alias=alias)
+
+    def _window(self) -> WindowSpec:
+        if self.accept_kw("RANGE"):
+            return TimeWindow(self.expect_number())
+        if self.accept_kw("ROWS"):
+            return RowWindow(int(self.expect_number()))
+        if self.accept_kw("NOW"):
+            return NowWindow()
+        if self.accept_kw("UNBOUNDED"):
+            return UnboundedWindow()
+        if self.accept_kw("TUMBLE"):
+            return TumblingWindow(self.expect_number())
+        if self.accept_kw("PARTITION"):
+            self.expect_kw("BY")
+            keys = [self.expect_name()]
+            while self.accept_op(","):
+                keys.append(self.expect_name())
+            self.expect_kw("ROWS")
+            return PartitionedWindow(tuple(keys), int(self.expect_number()))
+        if self.accept_kw("PUNCTUATED"):
+            self.expect_kw("ON")
+            attrs = [self.expect_name()]
+            while self.accept_op(","):
+                attrs.append(self.expect_name())
+            return PunctuationWindow(tuple(attrs))
+        raise ParseError(
+            f"expected window specification, found {self.cur.value!r}",
+            self.cur.pos,
+        )
+
+    # -- expressions -----------------------------------------------------------
+
+    def _expr(self) -> Expr:
+        return self._or()
+
+    def _or(self) -> Expr:
+        left = self._and()
+        while self.accept_kw("OR"):
+            left = BinOp("OR", left, self._and())
+        return left
+
+    def _and(self) -> Expr:
+        left = self._not()
+        while self.accept_kw("AND"):
+            left = BinOp("AND", left, self._not())
+        return left
+
+    def _not(self) -> Expr:
+        if self.accept_kw("NOT"):
+            return UnaryOp("NOT", self._not())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if self.cur.kind == "OP" and self.cur.value in _COMPARISONS:
+            op = self.advance().value
+            return BinOp(op, left, self._additive())
+        if self.accept_kw("CONTAINS"):
+            return BinOp("CONTAINS", left, self._additive())
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self.cur.kind == "OP" and self.cur.value in ("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self.cur.kind == "OP" and self.cur.value in ("*", "/", "%"):
+            op = self.advance().value
+            left = BinOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self.accept_op("-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind == "NUMBER":
+            self.advance()
+            text = tok.value
+            return Literal(float(text) if "." in text else int(text))
+        if tok.kind == "STRING":
+            self.advance()
+            return Literal(tok.value)
+        if tok.is_keyword("TRUE"):
+            self.advance()
+            return Literal(True)
+        if tok.is_keyword("FALSE"):
+            self.advance()
+            return Literal(False)
+        if tok.is_keyword("NULL"):
+            self.advance()
+            return Literal(None)
+        if self.accept_op("("):
+            inner = self._expr()
+            self.expect_op(")")
+            return inner
+        if tok.kind == "NAME":
+            name = self.advance().value
+            if self.accept_op("("):
+                return self._call(name)
+            if self.accept_op("."):
+                attr = self.expect_name()
+                return Column(attr, qualifier=name)
+            return Column(name)
+        raise ParseError(
+            f"expected expression, found {tok.value!r}", tok.pos
+        )
+
+    def _call(self, name: str) -> FuncCall:
+        distinct = self.accept_kw("DISTINCT")
+        args: list[Expr] = []
+        if self.accept_op("*"):
+            args.append(Star())
+        elif not (self.cur.kind == "OP" and self.cur.value == ")"):
+            args.append(self._expr())
+            while self.accept_op(","):
+                args.append(self._expr())
+        self.expect_op(")")
+        return FuncCall(name.lower(), tuple(args), distinct=distinct)
+
+
+def parse(text: str) -> SelectStmt:
+    """Parse one query; raises :class:`ParseError` / :class:`LexError`."""
+    return _Parser(text).parse()

@@ -1,0 +1,584 @@
+"""Compile resolved queries into executable operator plans.
+
+The planner applies the textbook stream rewrites the tutorial surveys:
+
+* **predicate pushdown** — WHERE conjuncts referencing one join side run
+  before the join (slide 45's shared select/project, slide 30's window
+  scoping);
+* **window-join extraction** — cross-side equality conjuncts become the
+  join's key lists; remaining cross-side conjuncts become a residual
+  theta (the slide-13 RTT query compiles exactly this way);
+* **tumbling-window detection** — ``group by time/60 as tb`` becomes a
+  :class:`~repro.windows.spec.TumblingWindow` aggregation (slide 37);
+* **streamify** — ISTREAM/DSTREAM/RSTREAM wrap the result (slide 25).
+
+An optional strict mode runs the ABB+02 bounded-memory analysis and
+rejects queries it proves unbounded (slides 35-36).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.aggregates.bounded import analyze_group_by
+from repro.aggregates.spec import AggSpec
+from repro.cql.ast import (
+    BinOp,
+    Column,
+    Expr,
+    FuncCall,
+    Projection,
+    SelectStmt,
+    Star,
+    columns_in,
+    split_conjuncts,
+)
+from repro.cql.parser import parse
+from repro.cql.registry import Catalog
+from repro.cql.semantic import (
+    Resolver,
+    compile_expr,
+    contains_aggregate,
+    detect_tumbling_group,
+    extract_aggregates,
+    replace_aggregates,
+    resolve_stmt,
+)
+from repro.core.graph import Plan
+from repro.core.tuples import Record
+from repro.errors import SemanticError, UnboundedMemoryError
+from repro.operators.aggregate import Aggregate, WindowedAggregate
+from repro.operators.base import Operator
+from repro.operators.map import Rename
+from repro.operators.project import DistinctProject, Project
+from repro.operators.select import Select
+from repro.operators.sort import Limit, Sort
+from repro.operators.streamify import DStream, IStream, RStream
+from repro.operators.window_join import WindowJoin
+from repro.windows.spec import (
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    WindowSpec,
+)
+
+__all__ = ["compile_query", "plan_stmt"]
+
+
+def compile_query(
+    text: str,
+    catalog: Catalog,
+    require_bounded_memory: bool = False,
+    max_rate: float | None = None,
+) -> Plan:
+    """Parse ``text`` and compile it to an executable :class:`Plan`."""
+    stmt = parse(text)
+    return plan_stmt(
+        stmt,
+        catalog,
+        require_bounded_memory=require_bounded_memory,
+        max_rate=max_rate,
+    )
+
+
+def plan_stmt(
+    stmt: SelectStmt,
+    catalog: Catalog,
+    require_bounded_memory: bool = False,
+    max_rate: float | None = None,
+) -> Plan:
+    """Compile an already-parsed statement to an executable plan."""
+    resolved = resolve_stmt(stmt, catalog)
+    builder = _PlanBuilder(
+        stmt, catalog, resolved.resolver, require_bounded_memory, max_rate
+    )
+    if resolved.is_join:
+        return builder.build_join()
+    return builder.build_single()
+
+
+class _PlanBuilder:
+    def __init__(
+        self,
+        stmt: SelectStmt,
+        catalog: Catalog,
+        resolver: Resolver,
+        require_bounded_memory: bool,
+        max_rate: float | None,
+    ) -> None:
+        self.stmt = stmt
+        self.catalog = catalog
+        self.resolver = resolver
+        self.require_bounded = require_bounded_memory
+        self.max_rate = max_rate
+        self.plan = Plan()
+        self._op_counter = 0
+
+    # -- small helpers -------------------------------------------------------
+
+    def _name(self, base: str) -> str:
+        self._op_counter += 1
+        return f"{base}_{self._op_counter}"
+
+    def _fn(self, expr: Expr) -> Callable[[Record], object]:
+        return compile_expr(expr, self.resolver, self.catalog)
+
+    def _add(self, op: Operator, upstream) -> Operator:
+        return self.plan.add(op, upstream=[upstream])
+
+    def _finish(self, last: Operator) -> Plan:
+        if self.stmt.order_by or self.stmt.limit is not None:
+            last = self._add_order_limit(last)
+        if self.stmt.streamify == "istream":
+            last = self._add(IStream(name=self._name("istream")), last)
+        elif self.stmt.streamify == "dstream":
+            last = self._add(DStream(name=self._name("dstream")), last)
+        elif self.stmt.streamify == "rstream":
+            last = self._add(RStream(name=self._name("rstream")), last)
+        self.plan.mark_output(last, "out")
+        return self.plan
+
+    def _add_order_limit(self, last: Operator) -> Operator:
+        """Append ORDER BY / LIMIT operators (relation-out semantics)."""
+        stmt = self.stmt
+        if stmt.streamify is not None and stmt.order_by:
+            raise SemanticError(
+                "ORDER BY is a blocking, relation-out construct and "
+                "cannot be combined with ISTREAM/DSTREAM/RSTREAM"
+            )
+        if not stmt.order_by:
+            return self._add(Limit(stmt.limit, name=self._name("limit")), last)
+        keys: list[tuple[str, bool]] = []
+        for item in stmt.order_by:
+            if not isinstance(item.expr, Column):
+                raise SemanticError(
+                    "ORDER BY supports output column references only"
+                )
+            col = item.expr
+            # Keys name *output* columns: a projection alias, a group
+            # alias, or (in joins) the qualified default name.
+            name = (
+                col.full
+                if self.resolver.qualify and col.qualifier
+                else col.name
+            )
+            keys.append((name, item.descending))
+        return self._add(
+            Sort(keys, limit=stmt.limit, name=self._name("sort")), last
+        )
+
+    # -- single-relation queries ------------------------------------------------
+
+    def build_single(self) -> Plan:
+        stmt = self.stmt
+        rel = stmt.relations[0]
+        self.plan.add_input(rel.name)
+        upstream: object = rel.name
+
+        if stmt.where is not None:
+            pred = self._fn(stmt.where)
+            upstream = self._add(
+                Select(pred, name=self._name("select")), upstream
+            )
+
+        has_aggregates = any(
+            contains_aggregate(p.expr) for p in stmt.projections
+        ) or contains_aggregate(stmt.having)
+        if stmt.group_by or has_aggregates:
+            last = self._build_aggregation(rel.window, upstream)
+            return self._finish(last)
+
+        if stmt.distinct:
+            last = self._build_distinct(rel.window, upstream)
+            return self._finish(last)
+
+        if stmt.select_star:
+            if isinstance(upstream, str):
+                # Bare `select * from S` needs at least one operator.
+                upstream = self._add(_Passthrough(self._name("scan")), upstream)
+            return self._finish(upstream)  # type: ignore[arg-type]
+
+        columns = self._projection_columns()
+        last = self._add(Project(columns, name=self._name("project")), upstream)
+        return self._finish(last)
+
+    def _projection_columns(self) -> dict:
+        columns: dict[str, object] = {}
+        for proj in self.stmt.projections:
+            name = self._projection_name(proj)
+            if isinstance(proj.expr, Column):
+                columns[name] = self.resolver.key_for(proj.expr)
+            else:
+                columns[name] = self._fn(proj.expr)
+        return columns
+
+    def _projection_name(self, proj: Projection) -> str:
+        if proj.alias:
+            return proj.alias
+        if isinstance(proj.expr, Column):
+            # In a join, default output names keep their qualifier so
+            # `select S.ts, A.ts ...` yields two distinct columns.
+            if self.resolver.qualify and proj.expr.qualifier:
+                return proj.expr.full
+            return proj.expr.name
+        if isinstance(proj.expr, FuncCall):
+            return proj.expr.name
+        return repr(proj.expr)
+
+    def _build_distinct(self, window: WindowSpec | None, upstream) -> Operator:
+        attrs = []
+        for proj in self.stmt.projections:
+            if not isinstance(proj.expr, Column):
+                raise SemanticError(
+                    "SELECT DISTINCT requires plain column projections"
+                )
+            attrs.append(self.resolver.key_for(proj.expr))
+        time_window = (
+            window.range_ if isinstance(window, TimeWindow) else None
+        )
+        if self.require_bounded and time_window is None:
+            from repro.aggregates.bounded import analyze_distinct
+
+            schema = next(iter(self.resolver.schemas.values()))
+            verdict = analyze_distinct(schema, attrs, window, self.max_rate)
+            if not verdict.bounded:
+                raise UnboundedMemoryError(
+                    "; ".join(verdict.reasons)
+                )
+        return self._add(
+            DistinctProject(
+                attrs, name=self._name("distinct"), window=time_window
+            ),
+            upstream,
+        )
+
+    # -- aggregation ---------------------------------------------------------------
+
+    def _build_aggregation(
+        self, from_window: WindowSpec | None, upstream
+    ) -> Operator:
+        stmt = self.stmt
+        # 1. classify group-by items: tumbling window vs plain grouping.
+        tumbling: TumblingWindow | None = None
+        bucket_attr = "tb"
+        group_by: list = []
+        ordering = {"ts", "time"}
+        for schema in self.resolver.schemas.values():
+            if schema.ordering:
+                ordering.add(schema.ordering)
+        group_names: list[str] = []
+        group_exprs: dict = {}  # group-by expression AST -> output name
+        for item in stmt.group_by:
+            window = detect_tumbling_group(item, ordering)
+            if window is not None:
+                tumbling = window
+                bucket_attr = item.alias or "tb"
+                group_exprs[item.expr] = bucket_attr
+                continue
+            if isinstance(item.expr, Column):
+                key = self.resolver.key_for(item.expr)
+                name = item.alias or item.expr.name
+                group_by.append((name, lambda r, k=key: r[k]))
+            else:
+                name = item.alias or repr(item.expr)
+                group_by.append((name, self._fn(item.expr)))
+            group_names.append(name)
+            group_exprs[item.expr] = name
+
+        # 2. aggregate specs from SELECT and HAVING.
+        agg_specs: list[AggSpec] = []
+        agg_names: dict[FuncCall, str] = {}
+        for proj in stmt.projections:
+            for call in extract_aggregates(proj.expr):
+                if call in agg_names:
+                    continue
+                default = self._agg_default_name(call)
+                name = (
+                    proj.alias
+                    if proj.alias and proj.expr == call
+                    else default
+                )
+                agg_names[call] = name
+                agg_specs.append(self._agg_spec(call, name))
+        hidden = 0
+        for call in extract_aggregates(stmt.having):
+            if call in agg_names:
+                continue
+            hidden += 1
+            name = f"_having_{hidden}"
+            agg_names[call] = name
+            agg_specs.append(self._agg_spec(call, name))
+
+        # 3. validate SELECT items: grouped columns or aggregates only.
+        out_attrs = set(group_names) | {bucket_attr} | set(agg_names.values())
+        for proj in stmt.projections:
+            if contains_aggregate(proj.expr):
+                continue
+            if isinstance(proj.expr, Column):
+                key = proj.alias or proj.expr.name
+                if key in out_attrs or proj.expr.name in out_attrs:
+                    continue
+                raise SemanticError(
+                    f"column {proj.expr.full!r} is neither grouped nor "
+                    f"aggregated"
+                )
+
+        # 4. having predicate over the output row.
+        having_fn = None
+        if stmt.having is not None:
+            rewritten = replace_aggregates(stmt.having, agg_names)
+            out_resolver = Resolver({}, extra=out_attrs | set(group_names))
+            having_fn = compile_expr(rewritten, out_resolver, self.catalog)
+
+        # 5. bounded-memory gate (slide 35) if requested.
+        if self.require_bounded:
+            self._check_bounded(group_by, agg_specs, tumbling or from_window)
+
+        # 6. build the operator.
+        window = tumbling or from_window
+        if window is None:
+            op: Operator = Aggregate(
+                group_by,
+                agg_specs,
+                having=having_fn,
+                name=self._name("aggregate"),
+            )
+        elif isinstance(window, TumblingWindow):
+            # Propagate the stream's ordering attribute so punctuations
+            # on it (e.g. heartbeats) close buckets early.
+            ts_attr = next(
+                (
+                    s.ordering
+                    for s in self.resolver.schemas.values()
+                    if s.ordering
+                ),
+                "ts",
+            )
+            op = WindowedAggregate(
+                window,
+                group_by,
+                agg_specs,
+                having=having_fn,
+                bucket_attr=bucket_attr,
+                ts_attr=ts_attr,
+                name=self._name("tumble_agg"),
+            )
+        else:
+            op = WindowedAggregate(
+                window,
+                group_by,
+                agg_specs,
+                having=having_fn,
+                name=self._name("window_agg"),
+            )
+        last = self._add(op, upstream)
+        return self._add_final_projection(last, agg_names, out_attrs, group_exprs)
+
+    def _add_final_projection(
+        self,
+        last: Operator,
+        agg_names: dict[FuncCall, str],
+        out_attrs: set[str],
+        group_exprs: dict | None = None,
+    ) -> Operator:
+        """Project aggregation output to exactly the SELECT list.
+
+        Drops hidden HAVING aggregates and evaluates expressions over
+        aggregate results (e.g. ``sum(x) / count(*)``).
+        """
+        out_resolver = Resolver({}, extra=out_attrs)
+        columns: dict[str, object] = {}
+        group_exprs = group_exprs or {}
+        for proj in self.stmt.projections:
+            name = self._projection_name(proj)
+            expr = proj.expr
+            if expr in group_exprs:
+                # A projection syntactically equal to a GROUP BY item
+                # reads that item's output column (SQL semantics).
+                columns[name if proj.alias else group_exprs[expr]] = (
+                    group_exprs[expr]
+                )
+                continue
+            if contains_aggregate(expr):
+                expr = replace_aggregates(expr, agg_names)
+            if isinstance(expr, Column):
+                # A qualified group column (S.a) appears unqualified in
+                # the aggregation output row.
+                key = expr.name if expr.name in out_attrs else (
+                    out_resolver.key_for(expr)
+                )
+                columns[name] = key
+            else:
+                columns[name] = compile_expr(expr, out_resolver, self.catalog)
+        return self._add(
+            Project(columns, name=self._name("project")), last
+        )
+
+    def _check_bounded(self, group_by, agg_specs, window) -> None:
+        schema = next(iter(self.resolver.schemas.values()))
+        plain_attrs = [
+            name for name, _fn in group_by if name in schema
+        ]
+        if len(plain_attrs) != len(group_by):
+            # Computed grouping expressions: be conservative only about
+            # attributes we can check.
+            pass
+        verdict = analyze_group_by(
+            schema, plain_attrs, agg_specs, window, self.max_rate
+        )
+        if not verdict.bounded:
+            raise UnboundedMemoryError("; ".join(verdict.reasons))
+
+    @staticmethod
+    def _agg_default_name(call: FuncCall) -> str:
+        if not call.args or isinstance(call.args[0], Star):
+            return call.name
+        arg = call.args[0]
+        if isinstance(arg, Column):
+            return f"{call.name}_{arg.name}"
+        return call.name
+
+    def _agg_spec(self, call: FuncCall, name: str) -> AggSpec:
+        func = call.name
+        if func == "count" and call.distinct:
+            func = "count_distinct"
+        if not call.args or isinstance(call.args[0], Star):
+            input_fn = None
+        else:
+            input_fn = self._fn(call.args[0])
+        return AggSpec(name, func, input_fn)
+
+    # -- joins ---------------------------------------------------------------------
+
+    def build_join(self) -> Plan:
+        stmt = self.stmt
+        if len(stmt.relations) != 2:
+            raise SemanticError(
+                "only binary joins are supported; got "
+                f"{len(stmt.relations)} relations"
+            )
+        left_ref, right_ref = stmt.relations
+        bindings = (left_ref.binding, right_ref.binding)
+        self.plan.add_input(left_ref.name)
+        if right_ref.name == left_ref.name:
+            raise SemanticError(
+                "self-joins need distinct source names; register the "
+                "stream twice in the catalog (slide 13 uses tcp_syn and "
+                "tcp_syn_ack)"
+            )
+        self.plan.add_input(right_ref.name)
+
+        # Classify WHERE conjuncts.
+        conjuncts = split_conjuncts(stmt.where)
+        per_side: dict[str, list[Expr]] = {b: [] for b in bindings}
+        equi: list[tuple[Column, Column]] = []
+        residual: list[Expr] = []
+        for conj in conjuncts:
+            sides = self._sides_of(conj, bindings)
+            if len(sides) == 1:
+                per_side[next(iter(sides))].append(conj)
+            elif (
+                isinstance(conj, BinOp)
+                and conj.op == "="
+                and isinstance(conj.left, Column)
+                and isinstance(conj.right, Column)
+            ):
+                lcol, rcol = conj.left, conj.right
+                if self.resolver.binding_of(lcol) == bindings[1]:
+                    lcol, rcol = rcol, lcol
+                equi.append((lcol, rcol))
+            else:
+                residual.append(conj)
+        if not equi:
+            raise SemanticError(
+                "stream joins require at least one cross-stream equality "
+                "(general joins may need arbitrarily distant tuples, "
+                "slide 30)"
+            )
+
+        # Per-side pipelines: pushdown filter, then qualify names.
+        upstreams = []
+        for ref, binding in zip(stmt.relations, bindings):
+            upstream: object = ref.name
+            schema = self.resolver.schemas[binding]
+            side_resolver = Resolver({binding: schema}, qualify=False)
+            for conj in per_side[binding]:
+                pred = compile_expr(conj, side_resolver, self.catalog)
+                upstream = self._add(
+                    Select(pred, name=self._name(f"select_{binding}")),
+                    upstream,
+                )
+            rename = Rename(
+                {n: f"{binding}.{n}" for n in schema.names},
+                name=self._name(f"qualify_{binding}"),
+            )
+            upstream = self._add(rename, upstream)
+            upstreams.append(upstream)
+
+        left_keys = [self.resolver.key_for(lc) for lc, _rc in equi]
+        right_keys = [self.resolver.key_for(rc) for _lc, rc in equi]
+
+        theta = None
+        if residual:
+            preds = [self._fn(c) for c in residual]
+
+            def theta(lrec: Record, rrec: Record, _preds=preds) -> bool:
+                merged = lrec.merged(rrec)
+                return all(p(merged) for p in _preds)
+
+        join = WindowJoin(
+            left_window=self._join_window(left_ref.window),
+            right_window=self._join_window(right_ref.window),
+            left_keys=left_keys,
+            right_keys=right_keys,
+            theta=theta,
+            name=self._name("join"),
+        )
+        self.plan.add(join, upstream=[upstreams[0], upstreams[1]])
+
+        has_aggregates = self.stmt.group_by or any(
+            contains_aggregate(p.expr) for p in stmt.projections
+        )
+        if has_aggregates:
+            last = self._build_aggregation(None, join)
+        elif stmt.select_star:
+            last = join
+        else:
+            columns = self._projection_columns()
+            last = self._add(
+                Project(columns, name=self._name("project")), join
+            )
+        return self._finish(last)
+
+    def _sides_of(self, expr: Expr, bindings: tuple[str, str]) -> set[str]:
+        sides: set[str] = set()
+        for col in columns_in(expr):
+            binding = self.resolver.binding_of(col)
+            if binding in bindings:
+                sides.add(binding)
+        return sides
+
+    @staticmethod
+    def _join_window(window: WindowSpec | None) -> WindowSpec:
+        if window is None:
+            # No window on a joined stream: state never expires —
+            # tolerated for finite runs, unbounded otherwise (slide 30).
+            return TimeWindow(float("inf"))
+        if isinstance(window, (TimeWindow, RowWindow)):
+            return window
+        raise SemanticError(
+            f"join inputs support RANGE/ROWS windows; got {window.describe()}"
+        )
+
+
+class _Passthrough(Operator):
+    """Identity operator: realizes ``select * from S``."""
+
+    arity = 1
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+
+    def on_record(self, record: Record, port: int):
+        return [record]

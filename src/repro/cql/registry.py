@@ -1,0 +1,59 @@
+"""Catalog of streams, relations, and scalar UDFs.
+
+The planner resolves FROM-clause names and function calls against a
+:class:`Catalog`.  Scalar UDFs are how GSQL models lookups like
+``f(destIP, 'peerid.tbl')`` on slide 37 — "hand-coded views and external
+functions" (slide 13).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.stream import StreamDecl
+from repro.core.tuples import Schema
+from repro.errors import SemanticError
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Name resolution context for queries."""
+
+    def __init__(self) -> None:
+        self._decls: dict[str, StreamDecl] = {}
+        self._functions: dict[str, Callable[..., Any]] = {}
+
+    def register_stream(
+        self, name: str, schema: Schema, is_stream: bool = True
+    ) -> StreamDecl:
+        if name in self._decls:
+            raise SemanticError(f"duplicate catalog entry {name!r}")
+        decl = StreamDecl(name, schema, is_stream=is_stream)
+        self._decls[name] = decl
+        return decl
+
+    def register_function(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a scalar UDF callable from query expressions."""
+        self._functions[name.lower()] = fn
+
+    def decl(self, name: str) -> StreamDecl:
+        try:
+            return self._decls[name]
+        except KeyError:
+            raise SemanticError(
+                f"unknown stream or relation {name!r}; catalog has "
+                f"{sorted(self._decls)}"
+            ) from None
+
+    def schema(self, name: str) -> Schema:
+        return self.decl(name).schema
+
+    def function(self, name: str) -> Callable[..., Any] | None:
+        return self._functions.get(name.lower())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._decls
+
+    def names(self) -> list[str]:
+        return sorted(self._decls)

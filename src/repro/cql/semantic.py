@@ -1,0 +1,347 @@
+"""Semantic analysis and expression compilation.
+
+Resolves column references against the catalog, classifies aggregate
+calls, detects the GSQL shifting-window idiom (``time/60 as tb``,
+slide 37), compiles expression ASTs to Python closures over records,
+and — when asked — applies the ABB+02 bounded-memory check (slide 35)
+to reject queries that provably cannot run in bounded memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.cql.ast import (
+    BinOp,
+    Column,
+    Expr,
+    FuncCall,
+    GroupItem,
+    Literal,
+    SelectStmt,
+    Star,
+    UnaryOp,
+    columns_in,
+)
+from repro.cql.registry import Catalog
+from repro.core.tuples import Record, Schema
+from repro.errors import SemanticError
+from repro.windows.spec import TumblingWindow
+
+__all__ = [
+    "AGGREGATE_FUNCS",
+    "Resolver",
+    "compile_expr",
+    "contains_aggregate",
+    "extract_aggregates",
+    "detect_tumbling_group",
+    "resolve_stmt",
+    "ResolvedQuery",
+]
+
+#: SQL aggregate function names the dialect understands (slide 34's
+#: distributive/algebraic/holistic families).
+AGGREGATE_FUNCS = frozenset(
+    {
+        "count",
+        "sum",
+        "min",
+        "max",
+        "avg",
+        "median",
+        "stdev",
+        "count_distinct",
+        "first",
+        "last",
+        "approx_count_distinct",
+        "approx_median",
+        "approx_quantile",
+    }
+)
+
+
+class Resolver:
+    """Maps column references to record keys.
+
+    For single-relation queries the key is the plain attribute name; for
+    joins, attributes are prefixed with their binding (``S.tstmp``) and
+    unqualified names are resolved if unambiguous.  ``extra`` holds
+    derived attributes (group-by aliases, aggregate outputs).
+    """
+
+    def __init__(
+        self,
+        schemas: dict[str, Schema],
+        qualify: bool = False,
+        extra: set[str] | None = None,
+    ) -> None:
+        self.schemas = dict(schemas)
+        self.qualify = qualify
+        self.extra = set(extra or ())
+
+    def key_for(self, col: Column) -> str:
+        if col.qualifier is not None:
+            if col.qualifier not in self.schemas:
+                raise SemanticError(
+                    f"unknown relation alias {col.qualifier!r} in "
+                    f"{col.full}; bindings are {sorted(self.schemas)}"
+                )
+            if col.name not in self.schemas[col.qualifier]:
+                raise SemanticError(
+                    f"relation {col.qualifier!r} has no attribute "
+                    f"{col.name!r}"
+                )
+            return f"{col.qualifier}.{col.name}" if self.qualify else col.name
+        if col.name in self.extra:
+            return col.name
+        owners = [b for b, s in self.schemas.items() if col.name in s]
+        if not owners:
+            raise SemanticError(
+                f"unknown column {col.name!r}; known attributes: "
+                f"{self._known()}"
+            )
+        if len(owners) > 1:
+            raise SemanticError(
+                f"ambiguous column {col.name!r}: present in {sorted(owners)}"
+            )
+        return f"{owners[0]}.{col.name}" if self.qualify else col.name
+
+    def binding_of(self, col: Column) -> str | None:
+        """Which relation a column belongs to (None for derived attrs)."""
+        if col.qualifier is not None:
+            return col.qualifier
+        if col.name in self.extra:
+            return None
+        owners = [b for b, s in self.schemas.items() if col.name in s]
+        return owners[0] if len(owners) == 1 else None
+
+    def _known(self) -> list[str]:
+        out: set[str] = set(self.extra)
+        for schema in self.schemas.values():
+            out.update(schema.names)
+        return sorted(out)
+
+
+def contains_aggregate(expr: Expr | None) -> bool:
+    """Does ``expr`` contain any aggregate function call?"""
+    if expr is None:
+        return False
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCS:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+def extract_aggregates(expr: Expr | None) -> list[FuncCall]:
+    """All aggregate calls in ``expr`` (document order)."""
+    out: list[FuncCall] = []
+
+    def walk(e: Expr | None) -> None:
+        if e is None:
+            return
+        if isinstance(e, FuncCall):
+            if e.name in AGGREGATE_FUNCS:
+                out.append(e)
+                return
+            for a in e.args:
+                walk(a)
+        elif isinstance(e, BinOp):
+            walk(e.left)
+            walk(e.right)
+        elif isinstance(e, UnaryOp):
+            walk(e.operand)
+
+    walk(expr)
+    return out
+
+
+def replace_aggregates(expr: Expr, mapping: dict[FuncCall, str]) -> Expr:
+    """Rewrite aggregate calls to column references per ``mapping``."""
+    if isinstance(expr, FuncCall):
+        if expr in mapping:
+            return Column(mapping[expr])
+        return FuncCall(
+            expr.name,
+            tuple(replace_aggregates(a, mapping) for a in expr.args),
+            distinct=expr.distinct,
+        )
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            replace_aggregates(expr.left, mapping),
+            replace_aggregates(expr.right, mapping),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, replace_aggregates(expr.operand, mapping))
+    return expr
+
+
+def detect_tumbling_group(
+    item: GroupItem, ordering_attrs: set[str]
+) -> TumblingWindow | None:
+    """Recognize ``time/60 as tb`` — the GSQL shifting window (slide 37).
+
+    A group item of the form ``<ordering attr> / <positive literal>``
+    denotes a tumbling window of that width over the ordering attribute.
+    """
+    expr = item.expr
+    if (
+        isinstance(expr, BinOp)
+        and expr.op == "/"
+        and isinstance(expr.left, Column)
+        and expr.left.name in ordering_attrs
+        and isinstance(expr.right, Literal)
+        and isinstance(expr.right.value, (int, float))
+        and expr.right.value > 0
+    ):
+        return TumblingWindow(float(expr.right.value))
+    return None
+
+
+def compile_expr(
+    expr: Expr,
+    resolver: Resolver,
+    catalog: Catalog | None = None,
+) -> Callable[[Record], Any]:
+    """Compile an expression AST into ``fn(record) -> value``."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda record: value
+    if isinstance(expr, Column):
+        key = resolver.key_for(expr)
+        return lambda record: record[key]
+    if isinstance(expr, Star):
+        raise SemanticError("'*' is only valid inside count(*)")
+    if isinstance(expr, UnaryOp):
+        inner = compile_expr(expr.operand, resolver, catalog)
+        if expr.op == "NOT":
+            return lambda record: not inner(record)
+        if expr.op == "-":
+            return lambda record: -inner(record)
+        raise SemanticError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        return _compile_binop(expr, resolver, catalog)
+    if isinstance(expr, FuncCall):
+        if expr.name in AGGREGATE_FUNCS:
+            raise SemanticError(
+                f"aggregate {expr.name}() is not allowed in this context"
+            )
+        fn = catalog.function(expr.name) if catalog else None
+        if fn is None:
+            fn = _BUILTIN_SCALARS.get(expr.name)
+        if fn is None:
+            raise SemanticError(f"unknown function {expr.name!r}")
+        args = [compile_expr(a, resolver, catalog) for a in expr.args]
+        return lambda record: fn(*(a(record) for a in args))
+    raise SemanticError(f"cannot compile expression {expr!r}")
+
+
+def _compile_binop(
+    expr: BinOp, resolver: Resolver, catalog: Catalog | None
+) -> Callable[[Record], Any]:
+    left = compile_expr(expr.left, resolver, catalog)
+    right = compile_expr(expr.right, resolver, catalog)
+    op = expr.op
+    table: dict[str, Callable[[Any, Any], Any]] = {
+        "AND": lambda a, b: bool(a) and bool(b),
+        "OR": lambda a, b: bool(a) or bool(b),
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a < b,
+        "<=": lambda a, b: a <= b,
+        ">": lambda a, b: a > b,
+        ">=": lambda a, b: a >= b,
+        "+": lambda a, b: a + b,
+        "-": lambda a, b: a - b,
+        "*": lambda a, b: a * b,
+        "%": lambda a, b: a % b,
+        "CONTAINS": lambda a, b: b in a,
+    }
+    if op == "/":
+        # SQL integer division on int operands mirrors GSQL's time/60.
+        def div(record: Record) -> Any:
+            a, b = left(record), right(record)
+            if isinstance(a, int) and isinstance(b, int):
+                return a // b
+            return a / b
+
+        return div
+    if op not in table:
+        raise SemanticError(f"unknown operator {op!r}")
+    fn = table[op]
+    return lambda record: fn(left(record), right(record))
+
+
+_BUILTIN_SCALARS: dict[str, Callable[..., Any]] = {
+    "abs": abs,
+    "floor": lambda x: float(int(x // 1)),
+    "length": len,
+    "lower": lambda s: s.lower(),
+    "upper": lambda s: s.upper(),
+}
+
+
+@dataclass
+class ResolvedQuery:
+    """Everything the planner needs, post-analysis."""
+
+    stmt: SelectStmt
+    schemas: dict[str, Schema]  # binding -> schema
+    resolver: Resolver
+    is_join: bool
+    ordering_attrs: set[str]
+
+
+def resolve_stmt(stmt: SelectStmt, catalog: Catalog) -> ResolvedQuery:
+    """Resolve FROM bindings and validate column references."""
+    schemas: dict[str, Schema] = {}
+    ordering_attrs: set[str] = set()
+    for rel in stmt.relations:
+        decl = catalog.decl(rel.name)
+        binding = rel.binding
+        if binding in schemas:
+            raise SemanticError(f"duplicate relation binding {binding!r}")
+        schemas[binding] = decl.schema
+        if decl.schema.ordering:
+            ordering_attrs.add(decl.schema.ordering)
+    is_join = len(stmt.relations) > 1
+    group_aliases = {
+        item.alias for item in stmt.group_by if item.alias is not None
+    }
+    proj_aliases = {
+        p.alias for p in stmt.projections if p.alias is not None
+    }
+    resolver = Resolver(
+        schemas,
+        qualify=is_join,
+        extra=group_aliases | proj_aliases,
+    )
+    # Validate every column reference now, for early errors: group-by
+    # aliases and projection aliases count as derived attributes.
+    for expr in _all_exprs(stmt):
+        for col in columns_in(expr):
+            resolver.key_for(col)
+    return ResolvedQuery(
+        stmt=stmt,
+        schemas=schemas,
+        resolver=resolver,
+        is_join=is_join,
+        ordering_attrs=ordering_attrs or {"ts", "time"},
+    )
+
+
+def _all_exprs(stmt: SelectStmt):
+    for p in stmt.projections:
+        yield p.expr
+    if stmt.where is not None:
+        yield stmt.where
+    for g in stmt.group_by:
+        yield g.expr
+    if stmt.having is not None:
+        yield stmt.having

@@ -1,0 +1,16 @@
+"""Distributed stream evaluation (slide 55's open issue).
+
+Implements the two cited preliminary works: Babcock-Olston distributed
+top-k monitoring ([BO03]) and Olston-Jiang-Widom adaptive filters for
+distributed continuous queries ([OJW03]).
+"""
+
+from repro.distributed.filters import AdaptiveFilterSum, uniform_messages
+from repro.distributed.topk import TopKCoordinator, naive_topk_messages
+
+__all__ = [
+    "AdaptiveFilterSum",
+    "uniform_messages",
+    "TopKCoordinator",
+    "naive_topk_messages",
+]

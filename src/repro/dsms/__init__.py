@@ -1,0 +1,29 @@
+"""The three-level architecture: DSMS facade, mini-DBMS, profiles, QoS."""
+
+from repro.dsms.database import Database, Table
+from repro.dsms.profiles import (
+    PROFILES,
+    SystemProfile,
+    comparative_matrix,
+    run_profile_demo,
+)
+from repro.dsms.qos import QoSGraph, latency_qos, loss_qos, shedding_order
+from repro.dsms.system import StandingQuery, StreamSystem
+from repro.dsms.three_level import LevelStats, ThreeLevelPipeline
+
+__all__ = [
+    "Database",
+    "Table",
+    "PROFILES",
+    "SystemProfile",
+    "comparative_matrix",
+    "run_profile_demo",
+    "QoSGraph",
+    "latency_qos",
+    "loss_qos",
+    "shedding_order",
+    "StandingQuery",
+    "StreamSystem",
+    "LevelStats",
+    "ThreeLevelPipeline",
+]

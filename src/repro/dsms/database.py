@@ -1,0 +1,128 @@
+"""A deliberately small in-memory DBMS (slides 14-15).
+
+The third tier of the architecture: "resource rich... useful to audit
+query results of the data stream system; supports sophisticated query
+processing".  It provides heap tables with append/update, predicate
+scans, and — the nice part — the *same* CQL dialect as the stream tier:
+a table is queried by streaming its rows through a compiled plan, so an
+audit query is literally the standing query re-run over stored data.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.engine import run_plan
+from repro.core.stream import ListSource
+from repro.core.tuples import Record, Schema
+from repro.cql.planner import compile_query
+from repro.cql.registry import Catalog
+from repro.errors import SchemaError, StorageError
+
+__all__ = ["Table", "Database"]
+
+
+class Table:
+    """A heap table with schema validation."""
+
+    def __init__(self, name: str, schema: Schema) -> None:
+        self.name = name
+        self.schema = schema
+        self.rows: list[dict] = []
+
+    def insert(self, row: Mapping[str, Any]) -> None:
+        self.schema.validate(row)
+        self.rows.append(dict(row))
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> int:
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    def scan(
+        self, predicate: Callable[[dict], bool] | None = None
+    ) -> list[dict]:
+        if predicate is None:
+            return list(self.rows)
+        return [r for r in self.rows if predicate(r)]
+
+    def delete(self, predicate: Callable[[dict], bool]) -> int:
+        before = len(self.rows)
+        self.rows = [r for r in self.rows if not predicate(r)]
+        return before - len(self.rows)
+
+    def update(
+        self,
+        predicate: Callable[[dict], bool],
+        changes: Mapping[str, Any],
+    ) -> int:
+        count = 0
+        for row in self.rows:
+            if predicate(row):
+                row.update(changes)
+                count += 1
+        return count
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class Database:
+    """A named collection of tables with CQL querying."""
+
+    def __init__(self, name: str = "db") -> None:
+        self.name = name
+        self._tables: dict[str, Table] = {}
+
+    def create_table(self, name: str, schema: Schema) -> Table:
+        if name in self._tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = Table(name, schema)
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise StorageError(
+                f"no table {name!r}; database has {sorted(self._tables)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    def query(self, text: str) -> list[dict]:
+        """Run a CQL query over stored tables; return result rows.
+
+        Tables referenced in FROM are streamed through the compiled
+        plan in insertion order (tables are finite relations, so the
+        "transient query over stored data" semantics of slide 16 holds).
+        """
+        catalog = Catalog()
+        for name, table in self._tables.items():
+            catalog.register_stream(name, table.schema, is_stream=False)
+        plan = compile_query(text, catalog)
+        sources = {}
+        for input_name in plan.inputs:
+            table = self.table(input_name)
+            ts_attr = table.schema.ordering
+            rows = table.rows
+            if ts_attr is not None:
+                # Tables are unordered relations; re-establish the
+                # declared stream order so order-sensitive operators
+                # (tumbling windows, window joins) behave correctly.
+                rows = sorted(rows, key=lambda r: r[ts_attr])
+            sources[input_name] = ListSource(
+                input_name,
+                rows,
+                ts_attr=ts_attr,
+                strict_order=False,
+            )
+        result = run_plan(plan, sources)
+        return result.values()

@@ -1,0 +1,175 @@
+"""System profiles and the comparative matrix (slide 52).
+
+The tutorial's closing table contrasts five prototype systems along six
+dimensions.  A profile here is not just documentation: each one names
+the concrete configuration of *this* library that realizes the system's
+signature behaviours (scheduler, shedding, answer mode, architecture),
+and :func:`run_profile_demo` executes a canonical query under that
+configuration to show the profile is live.  :func:`comparative_matrix`
+regenerates the slide's table from the profile objects (experiment E12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.graph import Plan
+from repro.core.simulation import SimConfig, Simulation
+from repro.core.stream import ListSource
+from repro.operators.select import Select
+from repro.scheduling.base import Scheduler
+from repro.scheduling.chain import ChainScheduler
+from repro.scheduling.fifo import FIFOScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.roundrobin import RoundRobinScheduler
+from repro.shedding.base import Shedder
+from repro.shedding.controller import LoadController
+
+__all__ = ["SystemProfile", "PROFILES", "comparative_matrix", "run_profile_demo"]
+
+
+@dataclass(frozen=True)
+class SystemProfile:
+    """One row of the slide-52 matrix plus its engine realization."""
+
+    system: str
+    architecture: str
+    data_model: str
+    query_language: str
+    query_answers: str
+    query_plan: str
+    #: how this library realizes the profile
+    scheduler_factory: Callable[[], Scheduler]
+    shedder_factory: Callable[[], Shedder | None]
+    approximate: bool
+    notes: str = ""
+
+    def matrix_row(self) -> dict[str, str]:
+        return {
+            "System": self.system,
+            "Architecture": self.architecture,
+            "Data Model": self.data_model,
+            "Query Language": self.query_language,
+            "Query Answers": self.query_answers,
+            "Query Plan": self.query_plan,
+        }
+
+
+PROFILES: dict[str, SystemProfile] = {
+    "aurora": SystemProfile(
+        system="Aurora",
+        architecture="low-level",
+        data_model="RS-in RS-out",
+        query_language="Operators",
+        query_answers="approximate",
+        query_plan="QoS-based, load shedding",
+        scheduler_factory=RoundRobinScheduler,
+        shedder_factory=lambda: LoadController(
+            low_watermark=8.0, high_watermark=32.0, max_drop_rate=0.9
+        ),
+        approximate=True,
+        notes="operator boxes-and-arrows; QoS-driven shedding (slide 47)",
+    ),
+    "gigascope": SystemProfile(
+        system="Gigascope",
+        architecture="two level (low, high)",
+        data_model="S-in S-out",
+        query_language="GSQL",
+        query_answers="exact",
+        query_plan="decomposition, avoid drops",
+        scheduler_factory=FIFOScheduler,
+        shedder_factory=lambda: None,
+        approximate=False,
+        notes="LFTA/HFTA split; see repro.gigascope (slide 48)",
+    ),
+    "hancock": SystemProfile(
+        system="Hancock",
+        architecture="High-level",
+        data_model="RS-in R-out",
+        query_language="Procedural",
+        query_answers="exact, signatures",
+        query_plan="optimize for I/O, process blocks",
+        scheduler_factory=FIFOScheduler,
+        shedder_factory=lambda: None,
+        approximate=False,
+        notes="block processing; see repro.hancock (slide 49)",
+    ),
+    "stream": SystemProfile(
+        system="STREAM",
+        architecture="low-level",
+        data_model="RS-in RS-out",
+        query_language="CQL",
+        query_answers="approximate",
+        query_plan="optimize space, static analysis",
+        scheduler_factory=ChainScheduler,
+        shedder_factory=lambda: None,
+        approximate=True,
+        notes="Chain scheduling + ABB+02 bounded-memory analysis (slide 50)",
+    ),
+    "telegraph": SystemProfile(
+        system="Telegraph",
+        architecture="high-level",
+        data_model="RS-in RS-out",
+        query_language="SQL-based",
+        query_answers="exact",
+        query_plan="adaptive plans, multi-query",
+        scheduler_factory=GreedyScheduler,
+        shedder_factory=lambda: None,
+        approximate=False,
+        notes="eddies + shared multi-query execution (slide 51)",
+    ),
+}
+
+MATRIX_COLUMNS = (
+    "System",
+    "Architecture",
+    "Data Model",
+    "Query Language",
+    "Query Answers",
+    "Query Plan",
+)
+
+
+def comparative_matrix() -> list[dict[str, str]]:
+    """Regenerate the slide-52 table, one dict per system row."""
+    order = ["aurora", "gigascope", "hancock", "stream", "telegraph"]
+    return [PROFILES[name].matrix_row() for name in order]
+
+
+def run_profile_demo(
+    profile_name: str, n_tuples: int = 40, burst_rate: float = 2.0
+) -> dict[str, Any]:
+    """Run the canonical 2-filter chain under a profile's configuration.
+
+    Returns peak memory, outputs, and shed count — the observable
+    differences between profiles on an overloaded bursty input.
+    """
+    profile = PROFILES[profile_name]
+    plan = Plan()
+    plan.add_input("S")
+    op1 = plan.add(
+        Select(lambda r: True, name="op1", selectivity=0.2), upstream=["S"]
+    )
+    op2 = plan.add(
+        Select(lambda r: True, name="op2", selectivity=0.5), upstream=[op1]
+    )
+    plan.mark_output(op2, "out")
+    rows = [
+        {"v": i, "ts": i / burst_rate} for i in range(n_tuples)
+    ]
+    shedder = profile.shedder_factory()
+    sim = Simulation(
+        plan,
+        profile.scheduler_factory(),
+        SimConfig(sample_interval=1.0, shedder=shedder),
+    )
+    result = sim.run([ListSource("S", rows, ts_attr="ts")])
+    return {
+        "system": profile.system,
+        "scheduler": profile.scheduler_factory().name,
+        "peak_memory": result.memory.max(),
+        "output_weight": round(result.output_weight.get("out", 0.0), 3),
+        "shed": result.shed,
+        "approximate": profile.approximate,
+    }

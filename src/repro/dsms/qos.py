@@ -1,0 +1,97 @@
+"""Aurora-style QoS specifications (slide 47).
+
+Aurora "accepts QoS specifications and attempts to optimize QoS for the
+outputs produced".  A QoS spec is a piecewise-linear utility function;
+Aurora's canonical axes are *latency* (utility decays as results age)
+and *loss* (utility decays with the fraction of tuples dropped).  The
+load shedder uses these to decide which output to degrade first.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.errors import StreamError
+
+__all__ = ["QoSGraph", "latency_qos", "loss_qos", "shedding_order"]
+
+
+class QoSGraph:
+    """A piecewise-linear utility function over one metric."""
+
+    def __init__(self, points: Sequence[tuple[float, float]], name: str = "qos") -> None:
+        if len(points) < 2:
+            raise StreamError("QoS graph needs at least two points")
+        xs = [p[0] for p in points]
+        if any(b <= a for a, b in zip(xs, xs[1:])):
+            raise StreamError("QoS x-coordinates must be strictly increasing")
+        for _x, u in points:
+            if not 0.0 <= u <= 1.0:
+                raise StreamError("QoS utilities must be in [0,1]")
+        self.points = [(float(x), float(u)) for x, u in points]
+        self.name = name
+
+    def utility(self, x: float) -> float:
+        """Interpolated utility at ``x`` (clamped at the ends)."""
+        pts = self.points
+        if x <= pts[0][0]:
+            return pts[0][1]
+        if x >= pts[-1][0]:
+            return pts[-1][1]
+        idx = bisect_right([p[0] for p in pts], x)
+        (x0, u0), (x1, u1) = pts[idx - 1], pts[idx]
+        frac = (x - x0) / (x1 - x0)
+        return u0 + frac * (u1 - u0)
+
+    def critical_x(self, min_utility: float = 0.5) -> float:
+        """Largest ``x`` whose utility still reaches ``min_utility``."""
+        best = self.points[0][0]
+        probe = self.points[0][0]
+        last = self.points[-1][0]
+        steps = 200
+        for i in range(steps + 1):
+            x = probe + (last - probe) * i / steps
+            if self.utility(x) >= min_utility:
+                best = x
+        return best
+
+
+def latency_qos(
+    good_until: float, zero_at: float, name: str = "latency"
+) -> QoSGraph:
+    """Utility 1 up to ``good_until``, linearly to 0 at ``zero_at``."""
+    if zero_at <= good_until:
+        raise StreamError("zero_at must exceed good_until")
+    return QoSGraph(
+        [(0.0, 1.0), (good_until, 1.0), (zero_at, 0.0)], name=name
+    )
+
+
+def loss_qos(tolerable_loss: float, name: str = "loss") -> QoSGraph:
+    """Utility 1 at no loss, declining to 0 at 100% loss, with a knee
+    at ``tolerable_loss`` (loss fraction in [0,1))."""
+    if not 0.0 < tolerable_loss < 1.0:
+        raise StreamError("tolerable_loss must be in (0,1)")
+    return QoSGraph(
+        [(0.0, 1.0), (tolerable_loss, 0.9), (1.0, 0.0)], name=name
+    )
+
+
+def shedding_order(
+    outputs: Sequence[tuple[str, QoSGraph, float]]
+) -> list[str]:
+    """Rank outputs by *utility lost per unit of load shed*, ascending.
+
+    ``outputs`` is ``(name, loss_qos_graph, current_loss)``.  The output
+    whose QoS graph is flattest at its current loss loses least from
+    additional shedding — Aurora sheds there first.
+    """
+    slopes: list[tuple[float, str]] = []
+    eps = 0.01
+    for name, graph, loss in outputs:
+        here = graph.utility(loss)
+        there = graph.utility(min(1.0, loss + eps))
+        slope = (here - there) / eps
+        slopes.append((slope, name))
+    return [name for _slope, name in sorted(slopes, key=lambda t: (t[0], t[1]))]

@@ -1,0 +1,255 @@
+"""The DSMS facade: register streams, submit standing queries, push data.
+
+This is the user-facing shape of a data-stream management system
+(slide 14): persistent queries over transient data (slide 16's
+inversion of the DBMS model).  Each submitted query gets its own
+incremental engine; every pushed element is routed to all standing
+queries that read its stream, and new results are delivered to
+per-query callbacks (or buffered for polling).
+
+Slide 19 notes that stream systems "support persistent *and* transient
+queries": a stream registered with ``history`` keeps a bounded ring of
+recent elements, and :meth:`StreamSystem.query_once` runs a one-time
+CQL query over that recent history.  Streams registered with a
+``heartbeat`` interval get timestamp punctuations injected
+automatically, so tumbling/windowed standing queries emit closed
+buckets even during input lulls (the Gigascope ordering-property trick,
+slide 48).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.core.engine import Engine, run_plan
+from repro.core.stream import ListSource
+from repro.core.tuples import Punctuation, Record, Schema
+from repro.cql.planner import compile_query
+from repro.cql.registry import Catalog
+from repro.errors import SemanticError
+from repro.operators.punctuate import Heartbeat
+from repro.shedding.base import Shedder
+
+__all__ = ["StandingQuery", "StreamSystem"]
+
+Element = Record | Punctuation
+
+
+class StandingQuery:
+    """One registered continuous query."""
+
+    def __init__(
+        self,
+        name: str,
+        text: str,
+        engine: Engine,
+        callback: Callable[[Record], None] | None = None,
+    ) -> None:
+        self.name = name
+        self.text = text
+        self.engine = engine
+        self.callback = callback
+        self.results: list[Record] = []
+        self.engine.start()
+
+    @property
+    def inputs(self) -> set[str]:
+        return set(self.engine.plan.inputs)
+
+    def feed(self, input_name: str, element: Element) -> list[Record]:
+        produced = self.engine.feed(input_name, element)
+        new_records = [el for el in produced if isinstance(el, Record)]
+        self.results.extend(new_records)
+        if self.callback is not None:
+            for record in new_records:
+                self.callback(record)
+        return new_records
+
+    def finish(self) -> list[Record]:
+        """End-of-stream: flush the query, collect remaining results."""
+        result = self.engine.finish()
+        tail = [
+            el
+            for el in result.outputs.get("out", [])
+            if isinstance(el, Record)
+        ]
+        # `outputs` includes everything; drop what we already delivered.
+        fresh = tail[len(self.results):]
+        self.results.extend(fresh)
+        if self.callback is not None:
+            for record in fresh:
+                self.callback(record)
+        return self.results
+
+
+class StreamSystem:
+    """A small DSMS: catalog + standing queries + push interface."""
+
+    def __init__(self, name: str = "dsms", shedder: Shedder | None = None) -> None:
+        self.name = name
+        self.catalog = Catalog()
+        self.queries: dict[str, StandingQuery] = {}
+        self.shedder = shedder
+        self._seq = 0
+        self.pushed = 0
+        self.shed = 0
+        self._history: dict[str, deque[Record]] = {}
+        self._heartbeats: dict[str, Heartbeat] = {}
+
+    # -- catalog ------------------------------------------------------------
+
+    def register_stream(
+        self,
+        name: str,
+        schema: Schema,
+        history: int | None = None,
+        heartbeat: float | None = None,
+    ) -> None:
+        """Register a stream.
+
+        Parameters
+        ----------
+        history:
+            Keep the most recent ``history`` records for transient
+            :meth:`query_once` queries (slide 19).
+        heartbeat:
+            Inject a ``Punctuation(ts <= boundary)`` every ``heartbeat``
+            units of the ordering attribute, derived from the stream's
+            own ordering (sound because streams are ts-ordered).
+        """
+        self.catalog.register_stream(name, schema)
+        if history is not None:
+            if history < 1:
+                raise SemanticError(f"history must be >= 1; got {history}")
+            self._history[name] = deque(maxlen=history)
+        if heartbeat is not None:
+            attr = schema.ordering or "ts"
+            self._heartbeats[name] = Heartbeat(heartbeat, attr=attr)
+
+    def register_function(self, name: str, fn: Callable[..., Any]) -> None:
+        self.catalog.register_function(name, fn)
+
+    # -- queries ------------------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        text: str,
+        callback: Callable[[Record], None] | None = None,
+        require_bounded_memory: bool = False,
+    ) -> StandingQuery:
+        """Register a continuous query; results flow until :meth:`stop`."""
+        if name in self.queries:
+            raise SemanticError(f"duplicate query name {name!r}")
+        plan = compile_query(
+            text, self.catalog, require_bounded_memory=require_bounded_memory
+        )
+        query = StandingQuery(name, text, Engine(plan), callback)
+        self.queries[name] = query
+        return query
+
+    def stop(self, name: str) -> list[Record]:
+        """Deregister a query, flushing and returning its full results."""
+        query = self.queries.pop(name)
+        return query.finish()
+
+    # -- data path ------------------------------------------------------------
+
+    def push(self, stream: str, row: Mapping[str, Any] | Element) -> None:
+        """Push one element into ``stream``, fanning out to queries."""
+        element = self._to_element(stream, row)
+        if (
+            self.shedder is not None
+            and isinstance(element, Record)
+            and not self.shedder(element)
+        ):
+            self.shed += 1
+            return
+        self.pushed += 1
+        if stream in self._history and isinstance(element, Record):
+            self._history[stream].append(element)
+        elements: list[Element] = [element]
+        heartbeat = self._heartbeats.get(stream)
+        if heartbeat is not None and isinstance(element, Record):
+            # Heartbeat emits due punctuations *before* the record.
+            elements = heartbeat.process(element)
+        for el in elements:
+            for query in self.queries.values():
+                if stream in query.inputs:
+                    query.feed(stream, el)
+
+    def push_many(self, stream: str, rows: Iterable[Mapping[str, Any] | Element]) -> None:
+        for row in rows:
+            self.push(stream, row)
+
+    def _to_element(
+        self, stream: str, row: Mapping[str, Any] | Element
+    ) -> Element:
+        if isinstance(row, (Record, Punctuation)):
+            return row
+        schema = self.catalog.schema(stream)
+        if schema.ordering:
+            if schema.ordering not in row:
+                from repro.errors import SchemaError
+
+                raise SchemaError(
+                    f"row pushed to {stream!r} lacks its ordering "
+                    f"attribute {schema.ordering!r}"
+                )
+            ts = float(row[schema.ordering])
+        else:
+            ts = float(self._seq)
+        self._seq += 1
+        return Record(row, ts=ts, seq=self._seq)
+
+    def create_view(
+        self,
+        name: str,
+        text: str,
+        schema: Schema,
+        history: int | None = None,
+    ) -> StandingQuery:
+        """Register a continuous query whose results form a new stream.
+
+        GSQL's stream-in/stream-out paradigm "permits composability"
+        (slide 13), and Aurora's third query mode is the *view*
+        (slide 47): downstream standing queries can read ``name`` like
+        any base stream.  ``schema`` describes the view's output rows
+        (the planner does not infer output schemas).
+        """
+        self.register_stream(name, schema, history=history)
+        view_query = self.submit(
+            f"_view_{name}",
+            text,
+            callback=lambda record, _n=name: self.push(_n, record),
+        )
+        return view_query
+
+    def query_once(self, text: str) -> list[dict]:
+        """Run a transient (one-time) query over buffered recent history.
+
+        Slide 19: stream systems support persistent *and* transient
+        queries.  The query's FROM streams must have been registered
+        with ``history=...``; the answer covers exactly the buffered
+        suffix of each stream.
+        """
+        plan = compile_query(text, self.catalog)
+        sources = {}
+        for input_name in plan.inputs:
+            if input_name not in self._history:
+                raise SemanticError(
+                    f"stream {input_name!r} keeps no history; register it "
+                    "with history=N to support transient queries"
+                )
+            sources[input_name] = ListSource(
+                input_name, list(self._history[input_name])
+            )
+        return run_plan(plan, sources).values()
+
+    def finish_all(self) -> dict[str, list[Record]]:
+        """Flush every standing query; return name -> results."""
+        out = {}
+        for name in list(self.queries):
+            out[name] = self.stop(name)
+        return out

@@ -1,0 +1,170 @@
+"""The end-to-end three-level architecture (slides 14-15, 54).
+
+Low-level DSMSs sit at observation points (voluminous streams in, data-
+reduced streams out); a high-level DSMS merges their outputs; a DBMS
+stores the result for audit and offline analysis.
+
+:class:`ThreeLevelPipeline` assembles the concrete pieces this library
+provides: per-point Gigascope-style LFTA aggregation, an HFTA merge at
+the high level, and a :class:`~repro.dsms.database.Database` table at
+the bottom, with tuple counts at every boundary so the data-reduction
+story (slide 15) is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.aggregates.spec import AggSpec
+from repro.core.engine import Engine
+from repro.core.graph import Plan
+from repro.core.stream import ListSource
+from repro.core.tuples import Record, Schema, Field
+from repro.dsms.database import Database
+from repro.operators.partial_aggregate import (
+    STATES_ATTR,
+    FinalAggregate,
+    PartialAggregate,
+)
+from repro.operators.select import Select
+from repro.windows.spec import TumblingWindow
+
+__all__ = ["LevelStats", "ThreeLevelPipeline"]
+
+
+@dataclass
+class LevelStats:
+    """Tuple counts at each architectural boundary."""
+
+    raw_tuples: int = 0
+    low_level_out: int = 0
+    high_level_out: int = 0
+    db_rows: int = 0
+
+    def reduction_low(self) -> float:
+        """Raw-to-low data reduction factor."""
+        if self.low_level_out == 0:
+            return float("inf")
+        return self.raw_tuples / self.low_level_out
+
+    def reduction_total(self) -> float:
+        if self.db_rows == 0:
+            return float("inf")
+        return self.raw_tuples / self.db_rows
+
+
+class ThreeLevelPipeline:
+    """N observation points → one high-level DSMS → one DBMS table.
+
+    Each observation point runs ``filter → PartialAggregate`` with a
+    bounded group table; the high level merges partial rows with a
+    :class:`FinalAggregate`; finalized rows are appended to a database
+    table whose schema is derived from the group/aggregate columns.
+    """
+
+    def __init__(
+        self,
+        n_points: int,
+        window: TumblingWindow,
+        group_attrs: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        max_groups_low: int = 64,
+        point_filter: Callable[[Record], bool] | None = None,
+        having: Callable[[Record], bool] | None = None,
+        bucket_attr: str = "tb",
+    ) -> None:
+        self.n_points = n_points
+        self.window = window
+        self.group_attrs = list(group_attrs)
+        self.aggregates = list(aggregates)
+        self.max_groups_low = max_groups_low
+        self.point_filter = point_filter
+        self.having = having
+        self.bucket_attr = bucket_attr
+        self.stats = LevelStats()
+        self.database = Database("audit")
+        fields = [Field(bucket_attr, int)]
+        fields += [Field(a) for a in self.group_attrs]
+        fields += [Field(spec.name) for spec in self.aggregates]
+        self.table = self.database.create_table(
+            "stream_results", Schema(fields)
+        )
+
+    def run(
+        self, per_point_records: Mapping[str, Sequence[dict]] | Sequence[Sequence[dict]],
+        ts_attr: str = "ts",
+    ) -> list[dict]:
+        """Process each observation point's batch; return final rows."""
+        if isinstance(per_point_records, Mapping):
+            batches = list(per_point_records.values())
+        else:
+            batches = list(per_point_records)
+        if len(batches) != self.n_points:
+            raise ValueError(
+                f"expected {self.n_points} observation batches; got "
+                f"{len(batches)}"
+            )
+
+        # Low level: one LFTA per observation point.
+        shipped: list[Record] = []
+        for i, batch in enumerate(batches):
+            self.stats.raw_tuples += len(batch)
+            plan = Plan(name=f"point{i}")
+            plan.add_input("raw")
+            upstream: object = "raw"
+            if self.point_filter is not None:
+                upstream = plan.add(
+                    Select(self.point_filter, name=f"filter{i}"),
+                    upstream=[upstream],
+                )
+            lfta = PartialAggregate(
+                self.window,
+                self.group_attrs,
+                self.aggregates,
+                max_groups=self.max_groups_low,
+                bucket_attr=self.bucket_attr,
+                name=f"lfta{i}",
+            )
+            plan.add(lfta, upstream=[upstream])
+            plan.mark_output(lfta, "out")
+            result = Engine(plan).run(
+                [ListSource("raw", batch, ts_attr=ts_attr)]
+            )
+            point_rows = [
+                el for el in result.outputs["out"] if isinstance(el, Record)
+            ]
+            self.stats.low_level_out += len(point_rows)
+            shipped.extend(point_rows)
+
+        # High level: merge every point's partial rows.
+        shipped.sort(key=lambda r: (r[self.bucket_attr], r.seq, repr(r.key(self.group_attrs))))
+        hfta = FinalAggregate(
+            self.group_attrs,
+            self.aggregates,
+            having=self.having,
+            bucket_attr=self.bucket_attr,
+            name="hfta",
+        )
+        final_rows: list[Record] = []
+        for row in shipped:
+            for out in hfta.process(row, 0):
+                if isinstance(out, Record):
+                    final_rows.append(out)
+        for out in hfta.flush():
+            if isinstance(out, Record):
+                final_rows.append(out)
+        self.stats.high_level_out = len(final_rows)
+
+        # DBMS: persist finalized rows (without internal state columns).
+        for row in final_rows:
+            clean = {
+                k: v for k, v in row.values.items() if k != STATES_ATTR
+            }
+            self.table.insert(clean)
+        self.stats.db_rows = len(self.table)
+        return [dict(r.values) for r in final_rows]
+
+    def audit(self, text: str) -> list[dict]:
+        """Run an audit query over the stored results (slide 15)."""
+        return self.database.query(text)

@@ -1,0 +1,77 @@
+"""Exception hierarchy for the repro data-stream management system.
+
+Every error raised by the library derives from :class:`StreamError`, so
+applications can catch a single base class.  Subsystems raise the most
+specific subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class StreamError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(StreamError):
+    """A tuple, expression, or query referenced the schema incorrectly."""
+
+
+class OrderingError(StreamError):
+    """A stream element violated the declared ordering attribute."""
+
+
+class WindowError(StreamError):
+    """An invalid window specification or window-state transition."""
+
+
+class PlanError(StreamError):
+    """An operator graph is malformed (cycles, dangling ports, arity)."""
+
+
+class QueryError(StreamError):
+    """Base class for errors in the CQL/GSQL front end."""
+
+
+class LexError(QueryError):
+    """The query text contained a character sequence that is not a token."""
+
+    def __init__(self, message: str, position: int) -> None:
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class ParseError(QueryError):
+    """The token stream did not match the CQL grammar."""
+
+    def __init__(self, message: str, position: int = -1) -> None:
+        suffix = f" (at offset {position})" if position >= 0 else ""
+        super().__init__(f"{message}{suffix}")
+        self.position = position
+
+
+class SemanticError(QueryError):
+    """The query parsed but is not well-typed or not executable."""
+
+
+class UnboundedMemoryError(SemanticError):
+    """Static analysis proved the query cannot run in bounded memory.
+
+    Raised by the ABB+02 analysis (slide 35 of the tutorial) when a query
+    that was requested to run in bounded memory provably cannot.
+    """
+
+
+class SchedulingError(StreamError):
+    """A scheduler was configured or invoked inconsistently."""
+
+
+class SheddingError(StreamError):
+    """A load-shedding policy was configured inconsistently."""
+
+
+class SynopsisError(StreamError):
+    """A synopsis (sketch/sample/histogram) was misused or misconfigured."""
+
+
+class StorageError(StreamError):
+    """The Hancock signature store or the mini-DBMS detected corruption."""

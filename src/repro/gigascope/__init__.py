@@ -1,0 +1,29 @@
+"""Gigascope substrate: packet schemas and the two-level hierarchy."""
+
+from repro.gigascope.decompose import Decomposition, decompose
+from repro.gigascope.schemas import (
+    ETH,
+    IP,
+    IPV4,
+    TCP,
+    UDP,
+    Protocol,
+    gigascope_catalog,
+    to_stream_schema,
+)
+from repro.gigascope.two_level import BoundaryTap, TwoLevelAggregation
+
+__all__ = [
+    "Decomposition",
+    "decompose",
+    "ETH",
+    "IP",
+    "IPV4",
+    "TCP",
+    "UDP",
+    "Protocol",
+    "gigascope_catalog",
+    "to_stream_schema",
+    "BoundaryTap",
+    "TwoLevelAggregation",
+]

@@ -1,0 +1,196 @@
+"""Automatic query decomposition across the two-level hierarchy (slide 54).
+
+"How do we decompose a declarative (SQL) query?  Which sub-queries are
+evaluated by which level?  Gigascope does some automatic decomposition."
+
+The decomposer takes a GSQL aggregation query and splits it:
+
+* **LFTA** — WHERE conjuncts built only from raw attributes, comparisons
+  and arithmetic (cheap enough for the low level), plus the bounded
+  partial-aggregation table;
+* **HFTA** — conjuncts involving user-defined functions (expensive),
+  the final aggregation merge, and HAVING.
+
+The placement report records where each piece landed, and the resulting
+pipeline is a runnable :class:`~repro.gigascope.two_level.TwoLevelAggregation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aggregates.spec import AggSpec
+from repro.cql.ast import (
+    BinOp,
+    Column,
+    Expr,
+    FuncCall,
+    SelectStmt,
+    UnaryOp,
+    split_conjuncts,
+)
+from repro.cql.parser import parse
+from repro.cql.registry import Catalog
+from repro.cql.semantic import (
+    compile_expr,
+    detect_tumbling_group,
+    extract_aggregates,
+    resolve_stmt,
+)
+from repro.errors import SemanticError
+from repro.gigascope.two_level import TwoLevelAggregation
+from repro.windows.spec import TumblingWindow
+
+__all__ = ["Decomposition", "decompose"]
+
+
+def _has_udf(expr: Expr) -> bool:
+    if isinstance(expr, FuncCall):
+        return True
+    if isinstance(expr, BinOp):
+        return _has_udf(expr.left) or _has_udf(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _has_udf(expr.operand)
+    return False
+
+
+@dataclass
+class Decomposition:
+    """Outcome of decomposing one aggregation query."""
+
+    pipeline: TwoLevelAggregation
+    #: human-readable placement: piece description -> "lfta" | "hfta"
+    placement: dict[str, str] = field(default_factory=dict)
+
+
+def decompose(
+    text: str,
+    catalog: Catalog,
+    max_groups: int,
+    default_width: float = 60.0,
+) -> Decomposition:
+    """Split a single-stream GSQL aggregation into LFTA + HFTA parts."""
+    stmt = parse(text)
+    if len(stmt.relations) != 1:
+        raise SemanticError("decomposition supports single-stream queries")
+    resolved = resolve_stmt(stmt, catalog)
+    resolver = resolved.resolver
+    rel = stmt.relations[0]
+
+    # Window: from a tumbling GROUP BY item, or the default width.
+    window: TumblingWindow | None = None
+    bucket_attr = "tb"
+    group_by: list = []
+    group_attrs: list[str] = []
+    for item in stmt.group_by:
+        tumbling = detect_tumbling_group(item, resolved.ordering_attrs)
+        if tumbling is not None:
+            window = tumbling
+            bucket_attr = item.alias or "tb"
+            continue
+        if _has_udf(item.expr):
+            raise SemanticError(
+                "UDF grouping expressions cannot run at the LFTA; "
+                "precompute them into the stream or group at the HFTA"
+            )
+        if isinstance(item.expr, Column):
+            key = resolver.key_for(item.expr)
+            name = item.alias or item.expr.name
+            group_by.append((name, lambda r, k=key: r[k]))
+        else:
+            name = item.alias or repr(item.expr)
+            group_by.append((name, compile_expr(item.expr, resolver, catalog)))
+        group_attrs.append(name)
+    if window is None:
+        window = TumblingWindow(default_width)
+
+    placement: dict[str, str] = {
+        f"group window [{window.describe()}]": "lfta",
+        "partial aggregation": "lfta",
+        "final aggregation merge": "hfta",
+    }
+
+    # WHERE split: cheap conjuncts to the LFTA, UDF conjuncts to... the
+    # LFTA cannot evaluate them; they must apply pre-aggregation, so a
+    # UDF filter forces the conjunct to run at the HFTA *only if* the
+    # query groups by the UDF's inputs; otherwise it is rejected.
+    cheap = []
+    for conj in split_conjuncts(stmt.where):
+        if _has_udf(conj):
+            raise SemanticError(
+                "UDF predicates cannot run below the aggregation at the "
+                "LFTA; rewrite the query to filter on raw attributes "
+                "(slide 54: decomposition hooks are partly manual)"
+            )
+        cheap.append(conj)
+        placement[f"filter {conj!r}"] = "lfta"
+
+    lfta_filter = None
+    if cheap:
+        preds = [compile_expr(c, resolver, catalog) for c in cheap]
+        lfta_filter = lambda r, _p=preds: all(p(r) for p in _p)  # noqa: E731
+
+    # Aggregates: all registry functions are mergeable.
+    agg_specs: list[AggSpec] = []
+    seen: dict[FuncCall, str] = {}
+    for proj in stmt.projections:
+        for call in extract_aggregates(proj.expr):
+            if call in seen:
+                continue
+            func = "count_distinct" if (
+                call.name == "count" and call.distinct
+            ) else call.name
+            if call.args and not isinstance(call.args[0], Column) and not _is_star(call):
+                input_fn = compile_expr(call.args[0], resolver, catalog)
+            elif _is_star(call):
+                input_fn = None
+            else:
+                key = resolver.key_for(call.args[0])  # type: ignore[arg-type]
+                input_fn = lambda r, k=key: r[k]  # noqa: E731
+            name = proj.alias if proj.alias and proj.expr == call else (
+                f"{call.name}_{len(agg_specs)}"
+            )
+            seen[call] = name
+            agg_specs.append(AggSpec(name, func, input_fn))
+
+    having_fn = None
+    if stmt.having is not None:
+        from repro.cql.semantic import Resolver, replace_aggregates
+
+        hidden = dict(seen)
+        for call in extract_aggregates(stmt.having):
+            if call not in hidden:
+                name = f"_having_{len(hidden)}"
+                func = "count_distinct" if (
+                    call.name == "count" and call.distinct
+                ) else call.name
+                if _is_star(call):
+                    input_fn = None
+                else:
+                    input_fn = compile_expr(call.args[0], resolver, catalog)
+                agg_specs.append(AggSpec(name, func, input_fn))
+                hidden[call] = name
+        rewritten = replace_aggregates(stmt.having, hidden)
+        out_attrs = set(group_attrs) | {bucket_attr} | set(hidden.values())
+        out_resolver = Resolver({}, extra=out_attrs)
+        having_fn = compile_expr(rewritten, out_resolver, catalog)
+        placement["having"] = "hfta"
+
+    pipeline = TwoLevelAggregation(
+        input_name=rel.name,
+        window=window,
+        group_by=group_by,
+        aggregates=agg_specs,
+        max_groups=max_groups,
+        group_attrs=group_attrs,
+        having=having_fn,
+        lfta_filter=lfta_filter,
+        bucket_attr=bucket_attr,
+    )
+    return Decomposition(pipeline=pipeline, placement=placement)
+
+
+def _is_star(call: FuncCall) -> bool:
+    from repro.cql.ast import Star
+
+    return not call.args or isinstance(call.args[0], Star)

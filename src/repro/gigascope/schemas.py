@@ -1,0 +1,139 @@
+"""Gigascope protocol schemas (slide 12).
+
+GSQL queries "get raw data from low level schemas defined at packet
+level", each protocol layer *inheriting* the fields of the layer below
+(``PROTOCOL IPv4(IP)``).  :class:`Protocol` models that hierarchy;
+:func:`to_stream_schema` flattens a protocol into the engine's
+:class:`~repro.core.tuples.Schema`, and :func:`gigascope_catalog`
+registers the standard layer-2/3/4 protocols plus the payload-matching
+UDF used by the P2P query (slide 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tuples import Field, Schema
+from repro.cql.registry import Catalog
+from repro.errors import SchemaError
+
+__all__ = [
+    "Protocol",
+    "to_stream_schema",
+    "ETH",
+    "IP",
+    "IPV4",
+    "TCP",
+    "UDP",
+    "gigascope_catalog",
+]
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """A packet-level protocol schema with single inheritance."""
+
+    name: str
+    fields: tuple[Field, ...]
+    parent: "Protocol | None" = None
+
+    def all_fields(self) -> tuple[Field, ...]:
+        """Own fields appended to the inherited ones (low layer first)."""
+        inherited = self.parent.all_fields() if self.parent else ()
+        names = {f.name for f in inherited}
+        own = tuple(f for f in self.fields if f.name not in names)
+        clash = [f.name for f in self.fields if f.name in names]
+        if clash:
+            raise SchemaError(
+                f"protocol {self.name} redefines inherited fields {clash}"
+            )
+        return inherited + own
+
+    def lineage(self) -> list[str]:
+        chain = [self.name]
+        p = self.parent
+        while p is not None:
+            chain.append(p.name)
+            p = p.parent
+        return list(reversed(chain))
+
+
+def to_stream_schema(protocol: Protocol, ordering: str = "ts") -> Schema:
+    """Flatten a protocol into an engine schema ordered by ``ordering``."""
+    fields = protocol.all_fields()
+    names = {f.name for f in fields}
+    if ordering not in names:
+        fields = (Field(ordering, float),) + fields
+    return Schema(fields, ordering=ordering, name=protocol.name)
+
+
+ETH = Protocol(
+    "ETH",
+    (
+        Field("src_mac", int),
+        Field("dst_mac", int),
+        Field("ethertype", int, bounded=True, domain=(0, 65535)),
+    ),
+)
+
+IP = Protocol(
+    "IP",
+    (Field("ipversion", int, bounded=True, domain=(4, 6)),),
+    parent=ETH,
+)
+
+IPV4 = Protocol(
+    "IPv4",
+    (
+        Field("ts", float),
+        Field("src_ip", int),
+        Field("dst_ip", int),
+        Field("hdr_length", int, bounded=True, domain=(20, 60)),
+        Field("total_length", int, bounded=True, domain=(40, 65535)),
+        Field("length", int, bounded=True, domain=(40, 65535)),
+        Field("ttl", int, bounded=True, domain=(0, 255)),
+        Field("protocol", int, bounded=True, domain=(0, 255)),
+    ),
+    parent=IP,
+)
+
+TCP = Protocol(
+    "TCP",
+    (
+        Field("src_port", int, bounded=True, domain=(0, 65535)),
+        Field("dst_port", int, bounded=True, domain=(0, 65535)),
+        Field("flags", str, bounded=True,
+              domain=("SYN", "SYN-ACK", "ACK", "DATA", "FIN")),
+        Field("payload", str),
+    ),
+    parent=IPV4,
+)
+
+UDP = Protocol(
+    "UDP",
+    (
+        Field("src_port", int, bounded=True, domain=(0, 65535)),
+        Field("dst_port", int, bounded=True, domain=(0, 65535)),
+    ),
+    parent=IPV4,
+)
+
+
+def gigascope_catalog() -> Catalog:
+    """Catalog with the standard packet streams and GSQL helper UDFs."""
+    catalog = Catalog()
+    catalog.register_stream("IPv4", to_stream_schema(IPV4))
+    catalog.register_stream("TCP", to_stream_schema(TCP))
+    catalog.register_stream("UDP", to_stream_schema(UDP))
+    # Slide 10: "search for P2P related keywords within each TCP
+    # datagram" — exposed as a scalar UDF over the payload.
+    from repro.workloads.netflow import P2P_KEYWORDS, P2P_PORTS
+
+    catalog.register_function(
+        "matches_p2p_keyword",
+        lambda payload: any(k in payload for k in P2P_KEYWORDS),
+    )
+    catalog.register_function(
+        "is_p2p_port", lambda port: port in P2P_PORTS
+    )
+    return catalog

@@ -1,0 +1,132 @@
+"""The Gigascope two-level LFTA/HFTA execution hierarchy (slides 37, 48, 54).
+
+Gigascope splits each query into a **low-level** component (LFTA) that
+runs close to the wire with tiny memory — cheap filters and a *bounded*
+partial-aggregation table — and a **high-level** component (HFTA) on the
+host that completes the computation.  The payoff is *data reduction*:
+the LFTA ships (partial) aggregate rows, not packets.
+
+:class:`TwoLevelAggregation` wires
+:class:`~repro.operators.partial_aggregate.PartialAggregate` (LFTA) to
+:class:`~repro.operators.partial_aggregate.FinalAggregate` (HFTA) and
+measures the tuples crossing the boundary, the statistic experiments E6
+and E7 report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.aggregates.spec import AggSpec
+from repro.core.graph import Plan
+from repro.core.stream import Source
+from repro.core.engine import Engine, RunResult
+from repro.core.tuples import Record
+from repro.operators.base import Element, UnaryOperator
+from repro.operators.partial_aggregate import FinalAggregate, PartialAggregate
+from repro.operators.select import Select
+from repro.windows.spec import TumblingWindow
+
+__all__ = ["BoundaryTap", "TwoLevelAggregation"]
+
+
+class BoundaryTap(UnaryOperator):
+    """Pass-through that counts traffic crossing the LFTA/HFTA boundary."""
+
+    def __init__(self, name: str = "boundary") -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+        self.records = 0
+        self.punctuations = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        self.records += 1
+        return [record]
+
+    def on_punctuation(self, punct, port: int) -> list[Element]:
+        self.punctuations += 1
+        return [punct]
+
+    def reset(self) -> None:
+        self.records = 0
+        self.punctuations = 0
+
+
+class TwoLevelAggregation:
+    """A complete LFTA → HFTA aggregation pipeline over one stream.
+
+    Parameters
+    ----------
+    input_name:
+        The raw stream's name.
+    window:
+        Tumbling window (the ``time/60`` bucket of slide 37).
+    group_by:
+        Grouping attributes (or ``(name, fn)`` pairs).
+    aggregates:
+        Aggregate columns; must be mergeable (all registry functions are).
+    max_groups:
+        LFTA group-table bound — the low level's defining constraint
+        ("bounded number of groups maintained at low level").
+    lfta_filter:
+        Optional cheap predicate evaluated at the LFTA before
+        aggregation (filters are the other low-level data reducer).
+    """
+
+    def __init__(
+        self,
+        input_name: str,
+        window: TumblingWindow,
+        group_by: Sequence,
+        aggregates: Sequence[AggSpec],
+        max_groups: int,
+        group_attrs: Sequence[str] | None = None,
+        having: Callable[[Record], bool] | None = None,
+        lfta_filter: Callable[[Record], bool] | None = None,
+        bucket_attr: str = "tb",
+    ) -> None:
+        self.window = window
+        self.plan = Plan(name="two_level")
+        self.plan.add_input(input_name)
+        upstream: object = input_name
+        if lfta_filter is not None:
+            upstream = self.plan.add(
+                Select(lfta_filter, name="lfta_filter"), upstream=[upstream]
+            )
+        self.lfta = PartialAggregate(
+            window,
+            group_by,
+            aggregates,
+            max_groups=max_groups,
+            bucket_attr=bucket_attr,
+            name="lfta",
+        )
+        self.plan.add(self.lfta, upstream=[upstream])
+        self.boundary = BoundaryTap()
+        self.plan.add(self.boundary, upstream=[self.lfta])
+        if group_attrs is None:
+            group_attrs = [
+                item if isinstance(item, str) else item[0] for item in group_by
+            ]
+        self.hfta = FinalAggregate(
+            group_attrs,
+            aggregates,
+            having=having,
+            bucket_attr=bucket_attr,
+            name="hfta",
+        )
+        self.plan.add(self.hfta, upstream=[self.boundary])
+        self.plan.mark_output(self.hfta, "out")
+
+    def run(self, source: Source) -> RunResult:
+        engine = Engine(self.plan)
+        return engine.run([source])
+
+    @property
+    def shipped_rows(self) -> int:
+        """Rows the LFTA shipped to the host (data-reduction metric)."""
+        return self.boundary.records
+
+    @property
+    def evictions(self) -> int:
+        """Early evictions forced by the bounded LFTA table."""
+        return self.lfta.evictions

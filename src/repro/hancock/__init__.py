@@ -1,0 +1,28 @@
+"""Hancock substrate: signature programs, stores, and the I/O model."""
+
+from repro.hancock.events import SignatureProgram, iterate
+from repro.hancock.io_model import (
+    DiskParameters,
+    PagedSignatureStore,
+    block_cost,
+    per_element_cost,
+)
+from repro.hancock.signatures import (
+    FraudDetector,
+    FraudSignatures,
+    SignatureStore,
+    blend,
+)
+
+__all__ = [
+    "SignatureProgram",
+    "iterate",
+    "DiskParameters",
+    "PagedSignatureStore",
+    "block_cost",
+    "per_element_cost",
+    "FraudDetector",
+    "FraudSignatures",
+    "SignatureStore",
+    "blend",
+]

@@ -1,0 +1,105 @@
+"""Hancock's iterate/event programming model (slide 8).
+
+A Hancock signature program declares::
+
+    iterate (over calls sortedby origin filteredby noIncomplete
+             withevents originDetect) {
+        event line_begin(pn) { ... }
+        event call(c)        { ... }
+        event line_end(pn)   { ... }
+    }
+
+The runtime walks a *sorted* block of records, detects runs of equal
+key, and fires the event hierarchy: ``line_begin`` when a new key run
+starts, ``call`` per record, ``line_end`` when the run finishes.  The
+paradigm is stream-in, relation-out with block processing (slide 8's
+"multiple passes on block").
+
+:class:`SignatureProgram` is the base class; subclasses override the
+event methods.  :func:`iterate` drives one program over one block.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import OrderingError
+
+__all__ = ["SignatureProgram", "iterate"]
+
+
+class SignatureProgram:
+    """Base class for Hancock-style event programs."""
+
+    #: Attribute the input block must be sorted by (the "line" key).
+    sorted_by: str = "origin"
+
+    def filtered_by(self, record: Mapping[str, Any]) -> bool:
+        """Records failing this predicate are skipped (``filteredby``)."""
+        return True
+
+    def line_begin(self, key: Any) -> None:
+        """A new run of ``sorted_by == key`` starts."""
+
+    def call(self, record: Mapping[str, Any]) -> None:
+        """One record within the current run."""
+
+    def line_end(self, key: Any) -> None:
+        """The current run ended; typically updates the signature store."""
+
+    def block_begin(self) -> None:
+        """The block is about to be processed."""
+
+    def block_end(self) -> None:
+        """The whole block has been processed."""
+
+
+def iterate(
+    program: SignatureProgram,
+    block: Iterable[Mapping[str, Any]],
+    check_sorted: bool = True,
+) -> int:
+    """Run ``program`` over one sorted block; return records processed.
+
+    Raises :class:`OrderingError` if the block is not sorted by the
+    program's key (Hancock guarantees sortedness by construction; we
+    verify it).
+    """
+    key_attr = program.sorted_by
+    current_key: Any = _SENTINEL
+    processed = 0
+    program.block_begin()
+    for record in block:
+        key = record[key_attr]
+        if current_key is not _SENTINEL and _lt(key, current_key) and check_sorted:
+            raise OrderingError(
+                f"block not sorted by {key_attr!r}: {key!r} after "
+                f"{current_key!r}"
+            )
+        if key != current_key:
+            if current_key is not _SENTINEL:
+                program.line_end(current_key)
+            program.line_begin(key)
+            current_key = key
+        if program.filtered_by(record):
+            program.call(record)
+            processed += 1
+    if current_key is not _SENTINEL:
+        program.line_end(current_key)
+    program.block_end()
+    return processed
+
+
+class _Sentinel:
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return "<no-key>"
+
+
+_SENTINEL = _Sentinel()
+
+
+def _lt(a: Any, b: Any) -> bool:
+    try:
+        return a < b
+    except TypeError:
+        return False

@@ -1,0 +1,179 @@
+"""Signature stores and the fraud-detection program (slides 6-8, 49).
+
+Hancock computes an *evolving signature* per customer line: a compact
+profile (here: exponentially blended call statistics) updated from each
+day's block of calls and persisted in a keyed store with "efficient and
+tunable representation" (slide 49).  Fraud alerts fire when today's
+behaviour deviates from the stored signature.
+
+:class:`SignatureStore` is the persistent map (optionally file-backed);
+:func:`blend` is Hancock's exponential update; :class:`FraudSignatures`
+is the slide-8 program transcribed to the event API; and
+:class:`FraudDetector` runs day blocks and raises alerts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.errors import StorageError
+from repro.hancock.events import SignatureProgram, iterate
+
+__all__ = ["blend", "SignatureStore", "FraudSignatures", "FraudDetector"]
+
+
+def blend(new_value: float, old_value: float, alpha: float = 0.15) -> float:
+    """Hancock's exponential blending of today's value into the signature.
+
+    ``us.outTF = blend(cumSec.outTF, us.outTF)`` on slide 8.
+    """
+    return alpha * new_value + (1.0 - alpha) * old_value
+
+
+class SignatureStore:
+    """A keyed signature map, optionally persisted to a JSON file.
+
+    Mirrors Hancock's ``data<:pn:>`` indexed store: constant-time keyed
+    access, explicit save/load for the on-disk representation.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self._data: dict[str, dict[str, float]] = {}
+        if self.path is not None and self.path.exists():
+            self.load()
+
+    @staticmethod
+    def _key(key: Any) -> str:
+        return str(key)
+
+    def get(self, key: Any) -> dict[str, float]:
+        return dict(self._data.get(self._key(key), {}))
+
+    def put(self, key: Any, signature: Mapping[str, float]) -> None:
+        self._data[self._key(key)] = dict(signature)
+
+    def __contains__(self, key: Any) -> bool:
+        return self._key(key) in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def save(self) -> None:
+        if self.path is None:
+            raise StorageError("store has no backing path")
+        payload = json.dumps(self._data, sort_keys=True)
+        self.path.write_text(payload)
+
+    def load(self) -> None:
+        if self.path is None:
+            raise StorageError("store has no backing path")
+        try:
+            self._data = json.loads(self.path.read_text())
+        except (OSError, ValueError) as exc:
+            raise StorageError(f"cannot load signature store: {exc}") from exc
+
+
+class FraudSignatures(SignatureProgram):
+    """The slide-8 signature program, generalized to several statistics.
+
+    Per line and per day it accumulates: toll-free outgoing seconds
+    (the slide's ``cumSec.outTF``), international call count, total
+    call count, and mean duration; at ``line_end`` each statistic is
+    blended into the stored signature.
+    """
+
+    sorted_by = "origin"
+
+    def __init__(self, store: SignatureStore, alpha: float = 0.15) -> None:
+        self.store = store
+        self.alpha = alpha
+        self._cum: dict[str, float] = {}
+
+    def filtered_by(self, record: Mapping[str, Any]) -> bool:
+        # 'filteredby noIncomplete' on slide 8.
+        return not record["is_incomplete"]
+
+    def line_begin(self, key: Any) -> None:
+        self._cum = {
+            "out_tf_sec": 0.0,
+            "intl_calls": 0.0,
+            "calls": 0.0,
+            "total_duration": 0.0,
+        }
+
+    def call(self, record: Mapping[str, Any]) -> None:
+        if record["is_toll_free"]:
+            self._cum["out_tf_sec"] += record["duration"]
+        if record["is_intl"]:
+            self._cum["intl_calls"] += 1.0
+        self._cum["calls"] += 1.0
+        self._cum["total_duration"] += record["duration"]
+
+    def line_end(self, key: Any) -> None:
+        sig = self.store.get(key)
+        for name, today in self._cum.items():
+            sig[name] = blend(today, sig.get(name, today), self.alpha)
+        self.store.put(key, sig)
+
+
+class FraudDetector:
+    """Run day blocks through :class:`FraudSignatures` and raise alerts.
+
+    An alert fires when a line's international call count for the day
+    exceeds ``intl_factor`` times its blended signature (with a minimum
+    floor so new lines don't trip on their first call).
+    """
+
+    def __init__(
+        self,
+        store: SignatureStore | None = None,
+        alpha: float = 0.15,
+        intl_factor: float = 4.0,
+        min_intl: float = 5.0,
+        warmup_days: int = 1,
+    ) -> None:
+        self.store = store or SignatureStore()
+        self.alpha = alpha
+        self.intl_factor = intl_factor
+        self.min_intl = min_intl
+        self.warmup_days = warmup_days
+        self.days_processed = 0
+        self.alerts: list[dict[str, Any]] = []
+
+    def process_day(self, calls_sorted_by_origin: list[dict]) -> list[dict]:
+        """Process one day's block; return the day's new alerts.
+
+        The first ``warmup_days`` blocks only build signatures — with no
+        baseline yet, deviation alerts would be meaningless.
+        """
+        day_intl: dict[Any, float] = {}
+        for c in calls_sorted_by_origin:
+            if c["is_intl"] and not c["is_incomplete"]:
+                day_intl[c["origin"]] = day_intl.get(c["origin"], 0.0) + 1.0
+
+        new_alerts: list[dict[str, Any]] = []
+        if self.days_processed >= self.warmup_days:
+            for origin, today in sorted(day_intl.items()):
+                sig = self.store.get(origin)
+                baseline = sig.get("intl_calls", 0.0)
+                threshold = max(self.min_intl, self.intl_factor * baseline)
+                if today >= threshold:
+                    new_alerts.append(
+                        {
+                            "origin": origin,
+                            "intl_today": today,
+                            "baseline": baseline,
+                        }
+                    )
+
+        program = FraudSignatures(self.store, alpha=self.alpha)
+        iterate(program, calls_sorted_by_origin)
+        self.alerts.extend(new_alerts)
+        self.days_processed += 1
+        return new_alerts

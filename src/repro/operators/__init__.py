@@ -1,0 +1,70 @@
+"""Stream query operators (slides 29-38)."""
+
+from repro.operators.aggregate import AggSpec, Aggregate, WindowedAggregate
+from repro.operators.base import (
+    BinaryOperator,
+    CompiledChain,
+    Operator,
+    UnaryOperator,
+    run_chain,
+)
+from repro.operators.eddy import Eddy, EddyFilter, FixedFilterChain
+from repro.operators.join import SymmetricHashJoin
+from repro.operators.map import Extend, MapOp, Rename
+from repro.operators.mjoin import MultiJoin
+from repro.operators.partial_aggregate import (
+    STATES_ATTR,
+    FinalAggregate,
+    PartialAggregate,
+)
+from repro.operators.project import DistinctProject, Project
+from repro.operators.punctuate import (
+    DropPunctuations,
+    Heartbeat,
+    PunctuationCounter,
+)
+from repro.operators.select import Select
+from repro.operators.sort import Limit, Sort
+from repro.operators.streamify import DStream, IStream, RStream
+from repro.operators.union import OrderedMerge, Union
+from repro.operators.window_join import JoinCosts, WindowJoin
+from repro.operators.xjoin import EvictingHashJoin, XJoin
+
+__all__ = [
+    "AggSpec",
+    "Aggregate",
+    "WindowedAggregate",
+    "BinaryOperator",
+    "CompiledChain",
+    "Operator",
+    "UnaryOperator",
+    "run_chain",
+    "Eddy",
+    "EddyFilter",
+    "FixedFilterChain",
+    "SymmetricHashJoin",
+    "MultiJoin",
+    "Extend",
+    "MapOp",
+    "Rename",
+    "STATES_ATTR",
+    "FinalAggregate",
+    "PartialAggregate",
+    "DistinctProject",
+    "Project",
+    "DropPunctuations",
+    "Heartbeat",
+    "PunctuationCounter",
+    "Select",
+    "Limit",
+    "Sort",
+    "DStream",
+    "IStream",
+    "RStream",
+    "OrderedMerge",
+    "Union",
+    "JoinCosts",
+    "WindowJoin",
+    "EvictingHashJoin",
+    "XJoin",
+]

@@ -1,0 +1,346 @@
+"""Grouped aggregation over streams (slides 34-37).
+
+Two operators:
+
+* :class:`Aggregate` — the classical blocking form: stream-in,
+  relation-out.  Group states accumulate until end of stream (or until a
+  punctuation closes a group early, which is what makes the operator
+  non-blocking on punctuated streams — TMSF03).
+* :class:`WindowedAggregate` — aggregation scoped by a window
+  specification, the standard way to make aggregation non-blocking on
+  unbounded streams (slide 26).  Tumbling windows emit a result row per
+  (bucket, group) when the bucket closes; sliding/row/landmark windows
+  emit the refreshed result as each tuple arrives.
+
+The bounded-memory caveats of slide 35-36 (unbounded grouping attributes
+or holistic aggregates ⇒ unbounded state) are observable through
+:meth:`Operator.memory`; the static analysis lives in
+:mod:`repro.aggregates.bounded`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.aggregates.functions import AggregateFunction
+from repro.aggregates.spec import AggSpec
+from repro.core.tuples import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators.base import Element, UnaryOperator
+from repro.windows.buffers import WindowBuffer, make_buffer
+from repro.windows.spec import (
+    LandmarkWindow,
+    PartitionedWindow,
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    WindowSpec,
+)
+
+__all__ = ["AggSpec", "Aggregate", "WindowedAggregate"]
+
+Extractor = Callable[[Record], Any]
+GroupItem = str | tuple[str, Extractor]
+
+
+def _normalize_group_by(
+    group_by: Sequence[GroupItem],
+) -> list[tuple[str, Extractor]]:
+    normalized: list[tuple[str, Extractor]] = []
+    for item in group_by:
+        if isinstance(item, str):
+            attr = item
+            normalized.append((attr, lambda r, a=attr: r[a]))
+        else:
+            normalized.append(item)
+    return normalized
+
+
+class _GroupState:
+    __slots__ = ("key_values", "states", "count")
+
+    def __init__(self, key_values: dict, specs: Sequence[AggSpec]) -> None:
+        self.key_values = key_values
+        self.states = [spec.new_state() for spec in specs]
+        self.count = 0
+
+
+class Aggregate(UnaryOperator):
+    """Blocking grouped aggregation: stream-in, relation-out.
+
+    Results are emitted at :meth:`flush` (end of stream), or earlier for
+    any group fully covered by an arriving punctuation.
+    """
+
+    def __init__(
+        self,
+        group_by: Sequence[GroupItem],
+        aggregates: Sequence[AggSpec],
+        having: Callable[[Record], bool] | None = None,
+        name: str = "aggregate",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.group_by = _normalize_group_by(group_by)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self._groups: dict[tuple, _GroupState] = {}
+        self._max_ts = 0.0
+
+    def _group_key(self, record: Record) -> tuple[tuple, dict]:
+        values = {name: fn(record) for name, fn in self.group_by}
+        return tuple(values[name] for name, _ in self.group_by), values
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        self._max_ts = max(self._max_ts, record.ts)
+        key, values = self._group_key(record)
+        state = self._groups.get(key)
+        if state is None:
+            state = _GroupState(values, self.aggregates)
+            self._groups[key] = state
+        for spec, fn_state in zip(self.aggregates, state.states):
+            fn_state.add(spec.extract(record))
+        state.count += 1
+        return []
+
+    def _emit(self, state: _GroupState, ts: float) -> Record | None:
+        values = dict(state.key_values)
+        for spec, fn_state in zip(self.aggregates, state.states):
+            values[spec.name] = fn_state.result()
+        out = Record(values, ts=ts)
+        if self.having is not None and not self.having(out):
+            return None
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        """Close and emit groups no future record can extend."""
+        pattern_attrs = {name for name, _ in punct.pattern}
+        group_attrs = {name for name, _ in self.group_by}
+        out: list[Element] = []
+        if group_attrs <= pattern_attrs:
+            closed = []
+            for key, state in self._groups.items():
+                probe = Record(state.key_values, ts=punct.ts)
+                if punct.matches(probe):
+                    closed.append(key)
+            for key in sorted(closed, key=repr):
+                emitted = self._emit(self._groups.pop(key), punct.ts)
+                if emitted is not None:
+                    out.append(emitted)
+        out.append(punct)
+        return out
+
+    def flush(self) -> list[Element]:
+        out: list[Element] = []
+        for key in sorted(self._groups, key=repr):
+            # Results summarize everything up to the last seen instant.
+            emitted = self._emit(self._groups[key], ts=self._max_ts)
+            if emitted is not None:
+                out.append(emitted)
+        self._groups.clear()
+        return out
+
+    def reset(self) -> None:
+        self._groups.clear()
+        self._max_ts = 0.0
+
+    def memory(self) -> float:
+        return float(
+            sum(
+                sum(s.state_size() for s in g.states) or 1
+                for g in self._groups.values()
+            )
+        )
+
+    @property
+    def group_count(self) -> int:
+        return len(self._groups)
+
+
+class WindowedAggregate(UnaryOperator):
+    """Aggregation scoped by a window specification.
+
+    * ``TumblingWindow`` — one output row per (closed bucket, group),
+      carrying the bucket id in attribute ``bucket_attr`` (default
+      ``"tb"``, matching the GSQL idiom ``time/60 as tb``).  Buckets
+      close when the watermark (max seen ts, or a punctuation bound)
+      passes their end; remaining buckets close at flush.
+    * ``TimeWindow`` / ``RowWindow`` / ``PartitionedWindow`` /
+      ``LandmarkWindow`` — per-arrival emission of the refreshed
+      aggregate for the arriving record's group.
+    """
+
+    def __init__(
+        self,
+        window: WindowSpec,
+        group_by: Sequence[GroupItem],
+        aggregates: Sequence[AggSpec],
+        having: Callable[[Record], bool] | None = None,
+        name: str = "window_aggregate",
+        bucket_attr: str = "tb",
+        ts_attr: str = "ts",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.window = window
+        self.group_by = _normalize_group_by(group_by)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self.bucket_attr = bucket_attr
+        self.ts_attr = ts_attr
+        self._tumbling = isinstance(window, TumblingWindow)
+        self._punctuated = isinstance(window, PunctuationWindow)
+        if self._tumbling:
+            self._buckets: dict[int, dict[tuple, _GroupState]] = {}
+            self._watermark = float("-inf")
+        elif self._punctuated:
+            # Punctuation-based windows (slide 28): the window of a
+            # group is delimited by the application's markers, so the
+            # blocking Aggregate with punctuation-close semantics is
+            # exactly the right machinery.
+            if set(window.attrs) - {name for name, _f in self.group_by}:
+                raise WindowError(
+                    "punctuation window attributes must be grouped: "
+                    f"{window.describe()}"
+                )
+            self._delegate = Aggregate(
+                group_by, aggregates, having=having, name=f"{name}.groups"
+            )
+        else:
+            if not isinstance(
+                window,
+                (TimeWindow, RowWindow, PartitionedWindow, LandmarkWindow),
+            ):
+                raise WindowError(
+                    f"WindowedAggregate does not support {window.describe()}"
+                )
+            self._buffer: WindowBuffer = make_buffer(window)
+
+    # -- shared helpers ----------------------------------------------------
+
+    def _group_values(self, record: Record) -> tuple[tuple, dict]:
+        values = {name: fn(record) for name, fn in self.group_by}
+        return tuple(values[name] for name, _ in self.group_by), values
+
+    def _row(self, key_values: dict, states: Sequence[AggregateFunction],
+             ts: float, extra: Mapping[str, Any] | None = None) -> Record | None:
+        values = dict(key_values)
+        if extra:
+            values.update(extra)
+        for spec, fn_state in zip(self.aggregates, states):
+            values[spec.name] = fn_state.result()
+        out = Record(values, ts=ts)
+        if self.having is not None and not self.having(out):
+            return None
+        return out
+
+    # -- tumbling path -------------------------------------------------------
+
+    def _close_buckets(self, upto_ts: float) -> list[Element]:
+        """Emit every bucket whose end <= upto_ts."""
+        assert isinstance(self.window, TumblingWindow)
+        out: list[Element] = []
+        closeable = sorted(
+            b
+            for b in self._buckets
+            if self.window.bucket_start(b + 1) <= upto_ts
+        )
+        for bucket in closeable:
+            groups = self._buckets.pop(bucket)
+            end_ts = self.window.bucket_start(bucket + 1)
+            for key in sorted(groups, key=repr):
+                state = groups[key]
+                row = self._row(
+                    state.key_values,
+                    state.states,
+                    ts=end_ts,
+                    extra={self.bucket_attr: bucket},
+                )
+                if row is not None:
+                    out.append(row)
+        return out
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        if self._tumbling:
+            return self._on_record_tumbling(record)
+        if self._punctuated:
+            return self._delegate.on_record(record, port)
+        return self._on_record_buffered(record)
+
+    def _on_record_tumbling(self, record: Record) -> list[Element]:
+        assert isinstance(self.window, TumblingWindow)
+        self._watermark = max(self._watermark, record.ts)
+        out = self._close_buckets(self._watermark)
+        bucket = self.window.bucket_of(record.ts)
+        groups = self._buckets.setdefault(bucket, {})
+        key, values = self._group_values(record)
+        state = groups.get(key)
+        if state is None:
+            state = _GroupState(values, self.aggregates)
+            groups[key] = state
+        for spec, fn_state in zip(self.aggregates, state.states):
+            fn_state.add(spec.extract(record))
+        state.count += 1
+        return out
+
+    # -- buffered (sliding/row/landmark) path -------------------------------
+
+    def _on_record_buffered(self, record: Record) -> list[Element]:
+        self._buffer.insert(record)
+        self._buffer.expire(record.ts)
+        key, key_values = self._group_values(record)
+        states = [spec.new_state() for spec in self.aggregates]
+        for r in self._buffer.contents():
+            rk, _ = self._group_values(r)
+            if rk != key:
+                continue
+            for spec, fn_state in zip(self.aggregates, states):
+                fn_state.add(spec.extract(r))
+        row = self._row(key_values, states, ts=record.ts)
+        return [row] if row is not None else []
+
+    # -- punctuation & lifecycle ---------------------------------------------
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        if self._punctuated:
+            return self._delegate.on_punctuation(punct, port)
+        out: list[Element] = []
+        if self._tumbling:
+            bound = punct.bound_for(self.ts_attr)
+            if bound is not None:
+                self._watermark = max(self._watermark, bound)
+                out.extend(self._close_buckets(self._watermark))
+        out.append(punct)
+        return out
+
+    def flush(self) -> list[Element]:
+        if self._punctuated:
+            return self._delegate.flush()
+        if not self._tumbling:
+            return []
+        return self._close_buckets(float("inf"))
+
+    def reset(self) -> None:
+        if self._tumbling:
+            self._buckets.clear()
+            self._watermark = float("-inf")
+        elif self._punctuated:
+            self._delegate.reset()
+        else:
+            self._buffer.clear()
+
+    def memory(self) -> float:
+        if self._tumbling:
+            return float(
+                sum(len(groups) for groups in self._buckets.values())
+            )
+        if self._punctuated:
+            return self._delegate.memory()
+        return self._buffer.memory()
+
+    @property
+    def open_buckets(self) -> int:
+        if not self._tumbling:
+            return 0
+        return len(self._buckets)

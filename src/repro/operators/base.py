@@ -1,0 +1,183 @@
+"""Operator base classes.
+
+Operators are the nodes of a query plan.  Each operator consumes stream
+elements (records and punctuations) on one or more input ports and emits
+elements on a single output.  Operators are *push-based*: the engine (or
+an upstream operator in a fused chain) calls :meth:`Operator.process` for
+every arriving element and :meth:`Operator.flush` at end of stream.
+
+Operators also expose the metadata the optimization and scheduling layers
+need (slides 39-43):
+
+* ``cost_per_tuple`` — virtual service time per input tuple,
+* ``selectivity`` — expected output tuples per input tuple (also used as
+  the *size* reduction factor in the Chain memory model of slide 43),
+* ``memory()`` — current operator state footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import PlanError
+
+__all__ = ["Operator", "UnaryOperator", "BinaryOperator", "CompiledChain"]
+
+Element = Record | Punctuation
+
+
+class Operator:
+    """Base class for all stream operators."""
+
+    #: Number of input ports the operator expects.
+    arity: int = 1
+
+    def __init__(
+        self,
+        name: str = "",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        self.name = name or type(self).__name__.lower()
+        self.cost_per_tuple = cost_per_tuple
+        self.selectivity = selectivity
+
+    # -- data path -------------------------------------------------------
+
+    def process(self, element: Element, port: int = 0) -> list[Element]:
+        """Consume one element on ``port``; return emitted elements."""
+        if port < 0 or port >= self.arity:
+            raise PlanError(
+                f"operator {self.name!r} has arity {self.arity}; got port {port}"
+            )
+        if isinstance(element, Punctuation):
+            return self.on_punctuation(element, port)
+        return self.on_record(element, port)
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        """Handle one data tuple.  Subclasses override."""
+        raise NotImplementedError
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        """Handle a punctuation.
+
+        The default for stateless operators is to propagate it unchanged
+        (the punctuation still describes the output stream).  Stateful
+        operators override this to purge state and/or unblock results
+        (TMSF03, slide 28).
+        """
+        return [punct]
+
+    def flush(self) -> list[Element]:
+        """Emit anything still buffered at end of stream."""
+        return []
+
+    def reset(self) -> None:
+        """Discard all operator state, making the instance reusable."""
+
+    # -- resource model ----------------------------------------------------
+
+    def memory(self) -> float:
+        """Current state footprint in abstract size units."""
+        return 0.0
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class UnaryOperator(Operator):
+    """Convenience base for single-input operators."""
+
+    arity = 1
+
+
+class BinaryOperator(Operator):
+    """Convenience base for two-input operators (joins, unions)."""
+
+    arity = 2
+
+
+class CompiledChain(UnaryOperator):
+    """A fused linear pipeline of unary operators.
+
+    Useful both as an execution convenience and as the unit the Chain
+    scheduler reasons about.  Selectivity and cost compose multiplicatively
+    and additively respectively.
+    """
+
+    def __init__(self, operators: Sequence[Operator], name: str = "chain") -> None:
+        if not operators:
+            raise PlanError("CompiledChain requires at least one operator")
+        for op in operators:
+            if op.arity != 1:
+                raise PlanError(
+                    f"CompiledChain only fuses unary operators; {op.name!r} "
+                    f"has arity {op.arity}"
+                )
+        selectivity = 1.0
+        cost = 0.0
+        for op in operators:
+            selectivity *= op.selectivity
+            cost += op.cost_per_tuple
+        super().__init__(name, cost_per_tuple=cost, selectivity=selectivity)
+        self.operators = list(operators)
+
+    def process(self, element: Element, port: int = 0) -> list[Element]:
+        batch: list[Element] = [element]
+        for op in self.operators:
+            next_batch: list[Element] = []
+            for el in batch:
+                next_batch.extend(op.process(el, 0))
+            batch = next_batch
+            if not batch:
+                return []
+        return batch
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        return self.process(record, port)
+
+    def flush(self) -> list[Element]:
+        batch: list[Element] = []
+        for i, op in enumerate(self.operators):
+            produced = op.flush()
+            # Elements flushed by operator i must traverse i+1..end.
+            for el in produced:
+                chain_rest = self.operators[i + 1 :]
+                current = [el]
+                for nxt in chain_rest:
+                    step: list[Element] = []
+                    for c in current:
+                        step.extend(nxt.process(c, 0))
+                    current = step
+                batch.extend(current)
+        return batch
+
+    def reset(self) -> None:
+        for op in self.operators:
+            op.reset()
+
+    def memory(self) -> float:
+        return sum(op.memory() for op in self.operators)
+
+
+def run_chain(
+    operators: Sequence[Operator], elements: Iterable[Element]
+) -> list[Element]:
+    """Push ``elements`` through a linear chain and return all outputs.
+
+    A small utility used widely in tests: processes every element, then
+    flushes the chain.
+    """
+    chain = CompiledChain(list(operators)) if len(operators) != 1 else None
+    out: list[Element] = []
+    if chain is None:
+        op = operators[0]
+        for el in elements:
+            out.extend(op.process(el))
+        out.extend(op.flush())
+        return out
+    for el in elements:
+        out.extend(chain.process(el))
+    out.extend(chain.flush())
+    return out

@@ -1,0 +1,133 @@
+"""Eddy: continuously adaptive tuple routing (Avnur & Hellerstein, 2000).
+
+Slide 22 lists eddies as the adaptive-query-plan technique stream
+systems borrow for "volatile, unpredictable environments"; Telegraph
+(slide 51) builds on them.  An eddy holds a set of commutative filters
+and decides *per tuple* in which order to apply them, steering toward
+the filter that currently kills tuples at the least cost.
+
+Routing policy: filters are ranked by observed drop-rate per unit cost
+(a deterministic analogue of lottery scheduling — a filter earns
+"tickets" by consuming and dropping tuples); with probability
+``epsilon`` a seeded RNG explores a random order so drifted
+selectivities are re-learned.  Statistics decay with factor ``decay`` so
+old behaviour fades (slide 16's "adaptive query plan" requirement).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Sequence
+
+from repro.core.tuples import Record
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["EddyFilter", "Eddy", "FixedFilterChain"]
+
+
+class EddyFilter:
+    """One commutative predicate with running statistics."""
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Callable[[Record], bool],
+        cost: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.predicate = predicate
+        self.cost = cost
+        self.seen = 0.0
+        self.passed = 0.0
+
+    def observed_pass_rate(self) -> float:
+        if self.seen == 0:
+            return 0.5  # optimistic prior: unknown filters get tried
+        return self.passed / self.seen
+
+    def rank(self) -> float:
+        """Lower is better: expected pass-rate weighted by cost."""
+        return self.observed_pass_rate() * self.cost
+
+    def apply(self, record: Record) -> bool:
+        result = self.predicate(record)
+        self.seen += 1
+        if result:
+            self.passed += 1
+        return result
+
+    def decay(self, factor: float) -> None:
+        self.seen *= factor
+        self.passed *= factor
+
+
+class Eddy(UnaryOperator):
+    """Adaptively ordered conjunction of filters."""
+
+    def __init__(
+        self,
+        filters: Sequence[EddyFilter],
+        name: str = "eddy",
+        epsilon: float = 0.05,
+        decay: float = 0.99,
+        seed: int = 17,
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.filters = list(filters)
+        self.epsilon = epsilon
+        self.decay_factor = decay
+        self._rng = random.Random(seed)
+        #: total predicate-evaluation cost spent (the adaptivity metric)
+        self.work_done = 0.0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        if self._rng.random() < self.epsilon:
+            order = list(self.filters)
+            self._rng.shuffle(order)
+        else:
+            order = sorted(self.filters, key=lambda f: (f.rank(), f.name))
+        for f in self.filters:
+            f.decay(self.decay_factor)
+        for f in order:
+            self.work_done += f.cost
+            if not f.apply(record):
+                return []
+        return [record]
+
+    def current_order(self) -> list[str]:
+        """The order the eddy would use right now (diagnostics)."""
+        return [
+            f.name
+            for f in sorted(self.filters, key=lambda f: (f.rank(), f.name))
+        ]
+
+    def reset(self) -> None:
+        for f in self.filters:
+            f.seen = 0.0
+            f.passed = 0.0
+        self.work_done = 0.0
+
+
+class FixedFilterChain(UnaryOperator):
+    """The non-adaptive baseline: apply filters in the given order."""
+
+    def __init__(
+        self,
+        filters: Sequence[EddyFilter],
+        name: str = "fixed_chain",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.filters = list(filters)
+        self.work_done = 0.0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        for f in self.filters:
+            self.work_done += f.cost
+            if not f.predicate(record):
+                return []
+        return [record]
+
+    def reset(self) -> None:
+        self.work_done = 0.0

@@ -1,0 +1,86 @@
+"""Symmetric hash join (Wilschut & Apers, PDIS 1991; slide 31).
+
+The classic streaming equijoin: one hash table per input; every arriving
+tuple probes the *other* input's table and then inserts itself into its
+own.  Results are produced incrementally and the operator never blocks —
+"takes into account the streaming nature of inputs".
+
+Without windows the tables grow without bound (the general join problem
+of slide 30); :class:`~repro.operators.window_join.WindowJoin` bounds
+them with per-input windows, and :class:`~repro.operators.xjoin.XJoin`
+spills them to disk.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.operators.base import BinaryOperator, Element
+
+__all__ = ["SymmetricHashJoin"]
+
+
+class SymmetricHashJoin(BinaryOperator):
+    """Unwindowed streaming equijoin.
+
+    Parameters
+    ----------
+    left_keys, right_keys:
+        Equi-join attribute lists (same length); a pair matches when the
+        key tuples are equal.
+    theta:
+        Optional residual predicate ``theta(left_record, right_record)``
+        applied after the hash match.
+    """
+
+    def __init__(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        theta: Callable[[Record, Record], bool] | None = None,
+        name: str = "shjoin",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        if len(left_keys) != len(right_keys):
+            raise ValueError("left_keys and right_keys must align")
+        self.keys = (list(left_keys), list(right_keys))
+        self.theta = theta
+        self._tables: tuple[dict, dict] = ({}, {})
+        #: number of hash-bucket entries inspected (cost accounting)
+        self.probes = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        other = 1 - port
+        key = record.key(self.keys[port])
+        out: list[Element] = []
+        for match in self._tables[other].get(key, ()):
+            self.probes += 1
+            left, right = (record, match) if port == 0 else (match, record)
+            if self.theta is None or self.theta(left, right):
+                out.append(left.merged(right, ts=max(left.ts, right.ts)))
+        self._tables[port].setdefault(key, []).append(record)
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        # A one-input punctuation does not constrain joined outputs in
+        # general; swallow it (a window join handles these usefully).
+        return []
+
+    def reset(self) -> None:
+        self._tables = ({}, {})
+        self.probes = 0
+
+    def memory(self) -> float:
+        return float(
+            sum(len(v) for v in self._tables[0].values())
+            + sum(len(v) for v in self._tables[1].values())
+        )
+
+    def table_sizes(self) -> tuple[int, int]:
+        return (
+            sum(len(v) for v in self._tables[0].values()),
+            sum(len(v) for v in self._tables[1].values()),
+        )

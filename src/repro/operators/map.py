@@ -1,0 +1,70 @@
+"""Per-element transformation operators."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.core.tuples import Record
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["MapOp", "Rename", "Extend"]
+
+
+class MapOp(UnaryOperator):
+    """Apply ``fn(record) -> dict`` and emit the transformed record.
+
+    ``fn`` returning ``None`` drops the record (filter-map).
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[Record], Mapping[str, Any] | None],
+        name: str = "map",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        self.fn = fn
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        values = self.fn(record)
+        if values is None:
+            return []
+        return [record.with_values(values)]
+
+
+class Rename(UnaryOperator):
+    """Rename attributes (used to qualify join inputs)."""
+
+    def __init__(self, mapping: Mapping[str, str], name: str = "rename") -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+        self.mapping = dict(mapping)
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        values = {
+            self.mapping.get(k, k): v for k, v in record.values.items()
+        }
+        return [record.with_values(values)]
+
+
+class Extend(UnaryOperator):
+    """Add computed attributes, keeping the existing ones.
+
+    This is the GSQL idiom ``time/60 as tb`` (slide 37): derive a window
+    bucket or peer id without losing the rest of the tuple.
+    """
+
+    def __init__(
+        self,
+        additions: Mapping[str, Callable[[Record], Any]],
+        name: str = "extend",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.additions = dict(additions)
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        values = dict(record.values)
+        for out_name, fn in self.additions.items():
+            values[out_name] = fn(record)
+        return [record.with_values(values)]

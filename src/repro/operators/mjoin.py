@@ -1,0 +1,163 @@
+"""Sliding-window multi-joins (Golab & Özsu, VLDB 2003 — [GO03]).
+
+Slide 30 notes that stream-join work "focuses on joins between streams
+with windows specified on each stream", and the deck's references
+include [GO03], *Processing Sliding Window Multi-Joins in Continuous
+Queries over Data Streams*.  This module implements that n-way case:
+one operator holding a window per input, joining all inputs on a common
+equi-key (the star/shared-key setting GO03 analyzes).
+
+Per new tuple on input *i*:
+
+1. expire every window against the arrival timestamp,
+2. probe the other windows **in a chosen order**, short-circuiting as
+   soon as any window has no match — the order is the GO03 question:
+   probing the most selective (fewest expected matches) stream first
+   minimizes intermediate results,
+3. emit the cross-product of matches merged with the new tuple,
+4. insert the tuple into window *i*.
+
+Probe-order strategies:
+
+* ``"fixed"`` — input order (the naive baseline),
+* ``"smallest_window"`` — fewest currently buffered tuples first,
+* ``"fewest_matches"`` — fewest *matching* tuples first (one cheap hash
+  lookup per side before committing to an order; GO03's heuristic).
+
+``cpu_used`` counts abstract work (probes + intermediate-result rows)
+so experiment A4 can compare orderings without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import PlanError, WindowError
+from repro.operators.base import Element, Operator
+from repro.operators.window_join import _Side
+from repro.windows.spec import RowWindow, TimeWindow, WindowSpec
+
+__all__ = ["MultiJoin"]
+
+_ORDERS = ("fixed", "smallest_window", "fewest_matches")
+
+
+class MultiJoin(Operator):
+    """N-way sliding-window equi-join on a shared key.
+
+    Parameters
+    ----------
+    windows:
+        One :class:`TimeWindow`/:class:`RowWindow` per input stream.
+    keys:
+        Per-input key attribute lists (all must have equal length; a
+        tuple from any input matches tuples whose key values are equal).
+    probe_order:
+        ``"fixed"``, ``"smallest_window"``, or ``"fewest_matches"``.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[WindowSpec],
+        keys: Sequence[Sequence[str]],
+        probe_order: str = "fewest_matches",
+        name: str = "mjoin",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        if len(windows) < 2:
+            raise PlanError("MultiJoin needs at least two inputs")
+        if len(windows) != len(keys):
+            raise PlanError("windows and keys must align")
+        lengths = {len(k) for k in keys}
+        if len(lengths) != 1:
+            raise PlanError("all key lists must have the same length")
+        if probe_order not in _ORDERS:
+            raise WindowError(
+                f"probe_order must be one of {_ORDERS}; got {probe_order!r}"
+            )
+        self.arity = len(windows)
+        self.probe_order = probe_order
+        self.sides = [
+            _Side(w, k, strategy="hash") for w, k in zip(windows, keys)
+        ]
+        #: abstract work: hash probes + intermediate rows materialized
+        self.cpu_used = 0.0
+        self.results = 0
+
+    # -- data path -----------------------------------------------------------
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        for side in self.sides:
+            side.expire(record.ts)
+
+        key = record.key(self.sides[port].keys)
+        other_ports = [p for p in range(self.arity) if p != port]
+
+        # Choose probe order.
+        if self.probe_order == "smallest_window":
+            other_ports.sort(key=lambda p: (len(self.sides[p]), p))
+        elif self.probe_order == "fewest_matches":
+            sizes = {}
+            for p in other_ports:
+                matches, _inspected = self.sides[p].matches(key)
+                sizes[p] = len(matches)
+                self.cpu_used += 1  # the sizing lookup
+            other_ports.sort(key=lambda p: (sizes[p], p))
+
+        # Cascade with short-circuit.
+        partials: list[list[Record]] = [[record]]
+        per_port_matches: list[list[Record]] = []
+        for p in other_ports:
+            found, _inspected = self.sides[p].matches(key)
+            self.cpu_used += 1  # the probe
+            if not found:
+                per_port_matches = []
+                break
+            per_port_matches.append(found)
+            # Intermediate-result cost: rows materialized so far.
+            self.cpu_used += len(found) * len(partials[-1])
+            partials.append(
+                [a.merged(b) for a in partials[-1] for b in found]
+            )
+
+        out: list[Element] = []
+        if per_port_matches and len(per_port_matches) == len(other_ports):
+            for combo in partials[-1]:
+                merged = combo
+                merged = Record(
+                    merged.values, ts=record.ts, seq=record.seq
+                )
+                out.append(merged)
+                self.results += 1
+
+        self.sides[port].insert(record)
+        self.cpu_used += 1  # the insert
+        # Row windows shrink on insert.
+        if isinstance(self.sides[port].window, RowWindow):
+            self.sides[port].expire(record.ts)
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        bound = punct.bound_for("ts")
+        if bound is None:
+            bound = punct.ts
+        for side in self.sides:
+            side.expire(bound)
+        return []
+
+    def reset(self) -> None:
+        for side in self.sides:
+            side.queue.clear()
+            side.table.clear()
+        self.cpu_used = 0.0
+        self.results = 0
+
+    def memory(self) -> float:
+        return sum(side.memory() for side in self.sides)
+
+    def window_sizes(self) -> tuple[int, ...]:
+        return tuple(len(side) for side in self.sides)

@@ -1,0 +1,219 @@
+"""Two-level (partial/final) aggregation, Gigascope-style (slide 37).
+
+Gigascope evaluates aggregation in two tiers: the **LFTA** (low-level,
+resource-limited — e.g. on the network card) keeps a *bounded* group
+table for the current time bucket; the **HFTA** (high-level host
+process) merges whatever the LFTA ships and can maintain an unbounded
+number of groups.
+
+:class:`PartialAggregate` is the LFTA side: when its group table is full
+and a new group arrives, the largest-count resident group is *evicted
+early* — emitted downstream as a partial row — freeing the slot.  At
+bucket close, every resident group is emitted, followed by a punctuation
+announcing the bucket is complete.
+
+:class:`FinalAggregate` is the HFTA side: it merges partial rows by
+(bucket, group), closing buckets on the LFTA's punctuations (or flush).
+
+Partial rows carry the serialized aggregate *states* in the reserved
+attribute ``_states``, so algebraic aggregates (avg) merge exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.aggregates.functions import AggregateFunction
+from repro.core.tuples import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators.aggregate import AggSpec, _GroupState, _normalize_group_by
+from repro.operators.base import Element, UnaryOperator
+from repro.windows.spec import TumblingWindow
+
+__all__ = ["PartialAggregate", "FinalAggregate", "STATES_ATTR"]
+
+#: Reserved attribute carrying aggregate states in partial rows.
+STATES_ATTR = "_states"
+
+
+class PartialAggregate(UnaryOperator):
+    """LFTA-side tumbling aggregation with a bounded group table."""
+
+    def __init__(
+        self,
+        window: TumblingWindow,
+        group_by: Sequence,
+        aggregates: Sequence[AggSpec],
+        max_groups: int,
+        name: str = "lfta",
+        bucket_attr: str = "tb",
+        ts_attr: str = "ts",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        if not isinstance(window, TumblingWindow):
+            raise WindowError("partial aggregation requires a tumbling window")
+        if max_groups < 1:
+            raise WindowError(f"max_groups must be >= 1; got {max_groups}")
+        self.window = window
+        self.group_by = _normalize_group_by(group_by)
+        self.aggregates = list(aggregates)
+        self.max_groups = max_groups
+        self.bucket_attr = bucket_attr
+        self.ts_attr = ts_attr
+        self._bucket: int | None = None
+        self._groups: dict[tuple, _GroupState] = {}
+        #: early evictions forced by the bounded table (experiment E6)
+        self.evictions = 0
+
+    def _partial_row(self, state: _GroupState, bucket: int, ts: float) -> Record:
+        values = dict(state.key_values)
+        values[self.bucket_attr] = bucket
+        values[STATES_ATTR] = list(state.states)
+        return Record(values, ts=ts)
+
+    def _close_bucket(self, ts: float) -> list[Element]:
+        assert self._bucket is not None
+        out: list[Element] = []
+        for key in sorted(self._groups, key=repr):
+            out.append(
+                self._partial_row(self._groups[key], self._bucket, ts)
+            )
+        self._groups.clear()
+        out.append(
+            Punctuation.of(
+                {self.bucket_attr: (None, self._bucket)}, ts=ts
+            )
+        )
+        return out
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        bucket = self.window.bucket_of(record.ts)
+        out: list[Element] = []
+        if self._bucket is None:
+            self._bucket = bucket
+        elif bucket != self._bucket:
+            out.extend(self._close_bucket(record.ts))
+            self._bucket = bucket
+
+        key = tuple(fn(record) for _name, fn in self.group_by)
+        state = self._groups.get(key)
+        if state is None:
+            if len(self._groups) >= self.max_groups:
+                # Bounded table: evict the heaviest group early.
+                victim_key = max(
+                    self._groups, key=lambda k: (self._groups[k].count, repr(k))
+                )
+                victim = self._groups.pop(victim_key)
+                out.append(self._partial_row(victim, bucket, record.ts))
+                self.evictions += 1
+            values = {name: fn(record) for name, fn in self.group_by}
+            state = _GroupState(values, self.aggregates)
+            self._groups[key] = state
+        for spec, fn_state in zip(self.aggregates, state.states):
+            fn_state.add(spec.extract(record))
+        state.count += 1
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        bound = punct.bound_for(self.ts_attr)
+        if bound is not None and self._bucket is not None:
+            if self.window.bucket_start(self._bucket + 1) <= bound:
+                out = self._close_bucket(bound)
+                self._bucket = None
+                return out
+        return []
+
+    def flush(self) -> list[Element]:
+        if self._bucket is None:
+            return []
+        out = self._close_bucket(float("inf"))
+        self._bucket = None
+        return out
+
+    def reset(self) -> None:
+        self._bucket = None
+        self._groups.clear()
+        self.evictions = 0
+
+    def memory(self) -> float:
+        return float(len(self._groups))
+
+
+class FinalAggregate(UnaryOperator):
+    """HFTA-side merge of partial rows into final per-bucket results."""
+
+    def __init__(
+        self,
+        group_attrs: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        having: Callable[[Record], bool] | None = None,
+        name: str = "hfta",
+        bucket_attr: str = "tb",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.group_attrs = list(group_attrs)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self.bucket_attr = bucket_attr
+        # (bucket, group key) -> merged states
+        self._merged: dict[tuple, tuple[dict, list[AggregateFunction]]] = {}
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        bucket = record[self.bucket_attr]
+        group_key = record.key(self.group_attrs)
+        incoming: list[AggregateFunction] = record[STATES_ATTR]
+        key = (bucket, group_key)
+        entry = self._merged.get(key)
+        if entry is None:
+            key_values = {a: record[a] for a in self.group_attrs}
+            key_values[self.bucket_attr] = bucket
+            states = [spec.new_state() for spec in self.aggregates]
+            entry = (key_values, states)
+            self._merged[key] = entry
+        for mine, theirs in zip(entry[1], incoming):
+            mine.merge(theirs)
+        return []
+
+    def _emit_bucket(self, bucket, ts: float) -> list[Element]:
+        out: list[Element] = []
+        keys = sorted(
+            (k for k in self._merged if k[0] == bucket), key=repr
+        )
+        for key in keys:
+            key_values, states = self._merged.pop(key)
+            values = dict(key_values)
+            for spec, st in zip(self.aggregates, states):
+                values[spec.name] = st.result()
+            row = Record(values, ts=ts)
+            if self.having is None or self.having(row):
+                out.append(row)
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        bound = punct.bound_for(self.bucket_attr)
+        if bound is None:
+            return [punct]
+        out: list[Element] = []
+        buckets = sorted({k[0] for k in self._merged if k[0] <= bound})
+        for bucket in buckets:
+            out.extend(self._emit_bucket(bucket, punct.ts))
+        out.append(punct)
+        return out
+
+    def flush(self) -> list[Element]:
+        out: list[Element] = []
+        for bucket in sorted({k[0] for k in self._merged}):
+            out.extend(self._emit_bucket(bucket, float("inf")))
+        return out
+
+    def reset(self) -> None:
+        self._merged.clear()
+
+    def memory(self) -> float:
+        return float(len(self._merged))
+
+    @property
+    def group_count(self) -> int:
+        return len(self._merged)

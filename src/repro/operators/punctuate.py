@@ -1,0 +1,93 @@
+"""Punctuation injection and handling utilities (TMSF03, slide 28).
+
+Streams whose sources do not emit punctuations can have them derived
+from ordering properties — exactly how Gigascope turns blocking
+operators into non-blocking ones using timestamp properties (slide 48).
+:class:`Heartbeat` injects a timestamp-bound punctuation every
+``interval`` units of the ordering attribute, exploiting the fact that
+the stream is ordered on it.
+
+:class:`DropPunctuations` strips punctuations (for sinks that only want
+data), and :class:`PunctuationCounter` is a measuring pass-through.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import Punctuation, Record
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["Heartbeat", "DropPunctuations", "PunctuationCounter"]
+
+
+class Heartbeat(UnaryOperator):
+    """Derive periodic punctuations from a stream's ordering attribute.
+
+    When a record with ``ts`` at or past the next boundary arrives, the
+    operator emits ``Punctuation(attr <= boundary)`` *before* the record
+    — sound because the stream is ordered on the attribute.
+    """
+
+    def __init__(
+        self,
+        interval: float,
+        attr: str = "ts",
+        name: str = "heartbeat",
+        cost_per_tuple: float = 0.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be > 0; got {interval}")
+        self.interval = interval
+        self.attr = attr
+        self._next_boundary: float | None = None
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        out: list[Element] = []
+        if self._next_boundary is None:
+            self._next_boundary = (
+                (record.ts // self.interval) + 1
+            ) * self.interval
+        # Strictly greater: a record with ts == boundary would contradict
+        # a punctuation asserting "no more records with ts <= boundary".
+        while record.ts > self._next_boundary:
+            out.append(Punctuation.time_bound(self.attr, self._next_boundary))
+            self._next_boundary += self.interval
+        out.append(record)
+        return out
+
+    def reset(self) -> None:
+        self._next_boundary = None
+
+
+class DropPunctuations(UnaryOperator):
+    """Remove punctuations from a stream."""
+
+    def __init__(self, name: str = "drop_puncts") -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        return [record]
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        return []
+
+
+class PunctuationCounter(UnaryOperator):
+    """Pass-through that counts punctuations and records."""
+
+    def __init__(self, name: str = "punct_counter") -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+        self.records = 0
+        self.punctuations = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        self.records += 1
+        return [record]
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        self.punctuations += 1
+        return [punct]
+
+    def reset(self) -> None:
+        self.records = 0
+        self.punctuations = 0

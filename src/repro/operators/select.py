@@ -1,0 +1,44 @@
+"""Selection: per-element filtering (slide 29).
+
+Selections are local, per-element operators — the easy case for streams.
+Punctuations pass through unchanged: a predicate only removes records,
+so any assertion about future records still holds on the output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.tuples import Record
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["Select"]
+
+
+class Select(UnaryOperator):
+    """Emit exactly the records satisfying ``predicate``.
+
+    Parameters
+    ----------
+    predicate:
+        ``predicate(record) -> bool``.
+    selectivity:
+        Estimated pass fraction, used by the optimizer and by the
+        simulator's abstract mode; the operator's actual behaviour
+        depends only on ``predicate``.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Record], bool],
+        name: str = "select",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 0.5,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        self.predicate = predicate
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        if self.predicate(record):
+            return [record]
+        return []

@@ -1,0 +1,104 @@
+"""Sort and limit operators.
+
+``ORDER BY`` is inherently blocking on a stream (slide 16's "one pass"
+constraint), so :class:`Sort` is a *relation-out* operator: it buffers
+its input and emits the sorted result at flush.  It exists mainly for
+the DBMS tier's audit queries and for finite-stream analysis;
+punctuations can release sorted prefixes early when the sort key is the
+ordering attribute.
+
+:class:`Limit` is stream-friendly: it forwards the first ``n`` records
+and drops the rest (and can short-circuit whole plans).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import PlanError
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["Sort", "Limit"]
+
+
+class Sort(UnaryOperator):
+    """Blocking sort by one or more keys.
+
+    Parameters
+    ----------
+    keys:
+        ``(attribute, descending)`` pairs, highest priority first.
+    limit:
+        Optional top-N: only the first ``limit`` sorted records are
+        emitted (ORDER BY ... LIMIT fusion).
+    """
+
+    def __init__(
+        self,
+        keys: Sequence[tuple[str, bool]],
+        limit: int | None = None,
+        name: str = "sort",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        if not keys:
+            raise PlanError("Sort requires at least one key")
+        if limit is not None and limit < 0:
+            raise PlanError(f"limit must be >= 0; got {limit}")
+        self.keys = list(keys)
+        self.limit = limit
+        self._buffer: list[Record] = []
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        self._buffer.append(record)
+        return []
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        # Sorting reorders arbitrarily; a content punctuation no longer
+        # describes a prefix of the output, so it is absorbed.
+        return []
+
+    def _sorted(self) -> list[Record]:
+        out = list(self._buffer)
+        # Stable multi-key sort: apply keys in reverse priority.
+        for attr, descending in reversed(self.keys):
+            out.sort(key=lambda r, a=attr: r[a], reverse=descending)
+        return out
+
+    def flush(self) -> list[Element]:
+        out = self._sorted()
+        self._buffer = []
+        if self.limit is not None:
+            out = out[: self.limit]
+        return list(out)
+
+    def reset(self) -> None:
+        self._buffer = []
+
+    def memory(self) -> float:
+        return float(len(self._buffer))
+
+
+class Limit(UnaryOperator):
+    """Forward the first ``n`` records, drop everything after."""
+
+    def __init__(self, n: int, name: str = "limit") -> None:
+        super().__init__(name, cost_per_tuple=0.0, selectivity=1.0)
+        if n < 0:
+            raise PlanError(f"limit must be >= 0; got {n}")
+        self.n = n
+        self._emitted = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        if self._emitted >= self.n:
+            return []
+        self._emitted += 1
+        return [record]
+
+    def reset(self) -> None:
+        self._emitted = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._emitted >= self.n

@@ -1,0 +1,128 @@
+"""Relation-to-stream operators (CQL, slide 25).
+
+CQL queries map streams to relations (windows), relations to relations
+(SQL), and relations back to streams via three *streamify* operators:
+
+* ``ISTREAM`` — emit a row when it **enters** the relation,
+* ``DSTREAM`` — emit a row when it **leaves** the relation,
+* ``RSTREAM`` — emit the **whole relation** at every instant.
+
+:class:`IStream` here implements the monotone-query form (a row is
+emitted on first appearance), which is exact for select-project-join
+over append-only streams.  :class:`DStream` and :class:`RStream` require
+the upstream to emit the relation's full contents at each timestamp
+(snapshot stream); they diff/echo consecutive snapshots.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import Punctuation, Record
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["IStream", "DStream", "RStream"]
+
+
+def _row_key(record: Record) -> tuple:
+    return tuple(sorted(record.values.items()))
+
+
+class IStream(UnaryOperator):
+    """Emit each distinct row the first time it appears."""
+
+    def __init__(self, name: str = "istream", cost_per_tuple: float = 1.0) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self._seen: set[tuple] = set()
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        key = _row_key(record)
+        if key in self._seen:
+            return []
+        self._seen.add(key)
+        return [record]
+
+    def reset(self) -> None:
+        self._seen.clear()
+
+    def memory(self) -> float:
+        return float(len(self._seen))
+
+
+class _SnapshotDiff(UnaryOperator):
+    """Shared machinery: buffer rows per instant, act on instant change."""
+
+    def __init__(self, name: str, cost_per_tuple: float = 1.0) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self._current_ts: float | None = None
+        self._current: dict[tuple, Record] = {}
+        self._previous: dict[tuple, Record] = {}
+
+    def _roll(self, new_ts: float) -> list[Element]:
+        out = self._emit_on_roll()
+        self._previous = self._current
+        self._current = {}
+        self._current_ts = new_ts
+        return out
+
+    def _emit_on_roll(self) -> list[Element]:
+        raise NotImplementedError
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        out: list[Element] = []
+        if self._current_ts is None:
+            self._current_ts = record.ts
+        elif record.ts != self._current_ts:
+            out = self._roll(record.ts)
+        self._current[_row_key(record)] = record
+        return out
+
+    def flush(self) -> list[Element]:
+        if self._current_ts is None:
+            return []
+        out = self._roll(float("inf"))
+        # After the final snapshot, the relation ceases to exist; a
+        # DStream emits the remaining rows as deletions.
+        out.extend(self._emit_final())
+        return out
+
+    def _emit_final(self) -> list[Element]:
+        return []
+
+    def reset(self) -> None:
+        self._current_ts = None
+        self._current = {}
+        self._previous = {}
+
+    def memory(self) -> float:
+        return float(len(self._current) + len(self._previous))
+
+
+class DStream(_SnapshotDiff):
+    """Emit rows present in the previous snapshot but not the current."""
+
+    def __init__(self, name: str = "dstream", cost_per_tuple: float = 1.0) -> None:
+        super().__init__(name, cost_per_tuple)
+
+    def _emit_on_roll(self) -> list[Element]:
+        dropped = [
+            rec
+            for key, rec in sorted(self._previous.items())
+            if key not in self._current
+        ]
+        ts = self._current_ts if self._current_ts is not None else 0.0
+        return [Record(r.values, ts=ts, seq=r.seq) for r in dropped]
+
+    def _emit_final(self) -> list[Element]:
+        # self._previous now holds the last snapshot (after _roll).
+        return [rec for _key, rec in sorted(self._previous.items())]
+
+
+class RStream(_SnapshotDiff):
+    """Re-emit the entire relation at every instant."""
+
+    def __init__(self, name: str = "rstream", cost_per_tuple: float = 1.0) -> None:
+        super().__init__(name, cost_per_tuple)
+
+    def _emit_on_roll(self) -> list[Element]:
+        # _roll is called when the instant completes; ``_current`` holds
+        # the finished snapshot, which is the relation to re-emit.
+        return [rec for _key, rec in sorted(self._current.items())]

@@ -1,0 +1,229 @@
+"""Binary sliding-window join (Kang, Naughton, Viglas — ICDE 2003).
+
+Slide 32's recipe, per new tuple on input A:
+
+1. scan B's window for joining tuples and output results,
+2. insert the tuple into A's window,
+3. invalidate expired tuples in A's window.
+
+Slide 33's key observations, which this operator makes measurable:
+
+* each *side* can independently use a **hash** index (cheap probes, pays
+  hash memory and per-expiry maintenance) or an **indexed nested loop**
+  (INL) scan (no index memory, probe cost grows with the window);
+* asymmetric combinations win when arrival rates differ — spend the
+  cheap strategy on the fast stream's probes into the slow stream's
+  small window, and vice versa.
+
+CPU accounting: the operator sums abstract work units (``cpu_used``)
+using per-action costs, so experiment E3 can compare strategies under a
+fixed CPU budget without relying on Python wall-clock timing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators.base import BinaryOperator, Element
+from repro.windows.spec import RowWindow, TimeWindow, WindowSpec
+
+__all__ = ["WindowJoin", "JoinCosts"]
+
+
+class JoinCosts:
+    """Abstract per-action CPU costs for the KNV03 cost model."""
+
+    def __init__(
+        self,
+        hash_probe: float = 1.0,
+        hash_insert: float = 1.0,
+        hash_invalidate: float = 1.0,
+        scan_tuple: float = 0.25,
+        list_insert: float = 0.25,
+        list_invalidate: float = 0.25,
+        output: float = 0.1,
+    ) -> None:
+        self.hash_probe = hash_probe
+        self.hash_insert = hash_insert
+        self.hash_invalidate = hash_invalidate
+        self.scan_tuple = scan_tuple
+        self.list_insert = list_insert
+        self.list_invalidate = list_invalidate
+        self.output = output
+
+
+class _Side:
+    """Window state for one join input."""
+
+    def __init__(
+        self, window: WindowSpec, keys: Sequence[str], strategy: str
+    ) -> None:
+        if not isinstance(window, (TimeWindow, RowWindow)):
+            raise WindowError(
+                f"window join supports RANGE/ROWS windows; got "
+                f"{window.describe()}"
+            )
+        if strategy not in ("hash", "nl"):
+            raise WindowError(f"join strategy must be 'hash' or 'nl': {strategy}")
+        self.window = window
+        self.keys = list(keys)
+        self.strategy = strategy
+        self.queue: deque[Record] = deque()  # arrival order, for expiry
+        self.table: dict[tuple, list[Record]] = {}  # hash strategy only
+
+    def insert(self, record: Record) -> None:
+        self.queue.append(record)
+        if self.strategy == "hash":
+            self.table.setdefault(record.key(self.keys), []).append(record)
+
+    def expire(self, ref_ts: float) -> int:
+        """Invalidate tuples that left the window; return how many."""
+        removed = 0
+        while self.queue and self._expired(self.queue[0], ref_ts):
+            old = self.queue.popleft()
+            removed += 1
+            if self.strategy == "hash":
+                bucket = self.table.get(old.key(self.keys))
+                if bucket:
+                    bucket.remove(old)
+                    if not bucket:
+                        del self.table[old.key(self.keys)]
+        return removed
+
+    def _expired(self, record: Record, ref_ts: float) -> bool:
+        if isinstance(self.window, TimeWindow):
+            return record.ts <= ref_ts - self.window.range_
+        return len(self.queue) > self.window.rows
+
+    def matches(self, key: tuple) -> tuple[list[Record], int]:
+        """Return (matching tuples, tuples inspected)."""
+        if self.strategy == "hash":
+            found = self.table.get(key, [])
+            return list(found), len(found)
+        found = [r for r in self.queue if r.key(self.keys) == key]
+        return found, len(self.queue)
+
+    def __len__(self) -> int:
+        return len(self.queue)
+
+    def memory(self) -> float:
+        base = float(len(self.queue))
+        if self.strategy == "hash":
+            base += float(len(self.table))  # directory overhead
+        return base
+
+
+class WindowJoin(BinaryOperator):
+    """KNV03 binary window join with per-side strategies.
+
+    Parameters
+    ----------
+    left_window, right_window:
+        :class:`TimeWindow` or :class:`RowWindow` per input.
+    left_keys, right_keys:
+        Equi-join attributes.
+    left_strategy, right_strategy:
+        ``"hash"`` or ``"nl"`` — how *that side's window* is organized
+        (and therefore how the opposite stream probes it).
+    """
+
+    def __init__(
+        self,
+        left_window: WindowSpec,
+        right_window: WindowSpec,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        left_strategy: str = "hash",
+        right_strategy: str = "hash",
+        theta: Callable[[Record, Record], bool] | None = None,
+        costs: JoinCosts | None = None,
+        name: str = "window_join",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        if len(left_keys) != len(right_keys):
+            raise ValueError("left_keys and right_keys must align")
+        self.sides = (
+            _Side(left_window, left_keys, left_strategy),
+            _Side(right_window, right_keys, right_strategy),
+        )
+        self.theta = theta
+        self.costs = costs or JoinCosts()
+        #: total abstract CPU consumed so far
+        self.cpu_used = 0.0
+        #: join results produced
+        self.results = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        me = self.sides[port]
+        other = self.sides[1 - port]
+        costs = self.costs
+
+        # 0. invalidate expired tuples (KNV03 step 3, hoisted before the
+        #    probe so expired tuples can never produce results; windows
+        #    define which pairs are valid, |a.ts - b.ts| <= T)
+        for side in self.sides:
+            removed = side.expire(record.ts)
+            per_removal = (
+                costs.hash_invalidate
+                if side.strategy == "hash"
+                else costs.list_invalidate
+            )
+            self.cpu_used += removed * per_removal
+
+        # 1. probe the other side's window
+        key = record.key(me.keys)
+        found, inspected = other.matches(key)
+        if other.strategy == "hash":
+            self.cpu_used += costs.hash_probe
+        else:
+            self.cpu_used += inspected * costs.scan_tuple
+
+        out: list[Element] = []
+        for match in found:
+            left, right = (record, match) if port == 0 else (match, record)
+            if self.theta is None or self.theta(left, right):
+                out.append(left.merged(right, ts=max(left.ts, right.ts)))
+                self.results += 1
+                self.cpu_used += costs.output
+
+        # 2. insert into my window
+        me.insert(record)
+        self.cpu_used += (
+            costs.hash_insert if me.strategy == "hash" else costs.list_insert
+        )
+        # Row-count windows shrink on insert, not on time.
+        if isinstance(me.window, RowWindow):
+            removed = me.expire(record.ts)
+            per_removal = (
+                costs.hash_invalidate
+                if me.strategy == "hash"
+                else costs.list_invalidate
+            )
+            self.cpu_used += removed * per_removal
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        bound = punct.bound_for("ts")
+        if bound is None:
+            bound = punct.ts
+        for side in self.sides:
+            side.expire(bound)
+        return []
+
+    def reset(self) -> None:
+        for side in self.sides:
+            side.queue.clear()
+            side.table.clear()
+        self.cpu_used = 0.0
+        self.results = 0
+
+    def memory(self) -> float:
+        return self.sides[0].memory() + self.sides[1].memory()
+
+    def window_sizes(self) -> tuple[int, int]:
+        return len(self.sides[0]), len(self.sides[1])

@@ -1,0 +1,278 @@
+"""XJoin: a reactively scheduled, disk-spilling hash join (Urhan &
+Franklin, 2000; slide 31).
+
+XJoin extends the symmetric hash join for the case where the two hash
+tables outgrow memory: overflowing *partitions* are spilled to disk and
+their joins completed later (during input stalls and in a final clean-up
+phase), so no results are lost.
+
+This implementation keeps the three-stage structure:
+
+* **Stage 1 (memory-to-memory)** — arriving tuples probe the opposite
+  memory-resident partitions, then insert into their own.  When total
+  memory exceeds ``memory_budget``, the largest partition pair flips to
+  *disk-resident*: its tuples are written out (counted as page I/O).
+* **Stage 3 (clean-up, here at flush)** — disk-resident tuples are read
+  back and joined against everything they have not met yet.
+
+Duplicate avoidance follows the XJoin timestamping idea: each tuple
+records the arrival-sequence interval during which it was memory
+resident; a pair is produced by the clean-up stage only if the later
+tuple arrived *after* the earlier one was spilled.
+
+A plain :class:`~repro.operators.join.SymmetricHashJoin` under the same
+budget must *evict* (losing results); experiment E4 contrasts the two.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.operators.base import BinaryOperator, Element
+
+__all__ = ["XJoin", "EvictingHashJoin"]
+
+_INF = float("inf")
+
+
+class _XTuple:
+    __slots__ = ("record", "arrival", "spilled_at")
+
+    def __init__(self, record: Record, arrival: int) -> None:
+        self.record = record
+        self.arrival = arrival
+        self.spilled_at = _INF  # arrival counter when spilled; inf = never
+
+
+class XJoin(BinaryOperator):
+    """Memory-bounded symmetric hash join that spills instead of dropping.
+
+    Parameters
+    ----------
+    memory_budget:
+        Maximum number of memory-resident tuples across both tables.
+    page_size:
+        Tuples per simulated disk page (I/O accounting).
+    """
+
+    def __init__(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        memory_budget: int = 1024,
+        page_size: int = 16,
+        n_partitions: int = 8,
+        theta: Callable[[Record, Record], bool] | None = None,
+        name: str = "xjoin",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        if len(left_keys) != len(right_keys):
+            raise ValueError("left_keys and right_keys must align")
+        if memory_budget < 2:
+            raise ValueError("memory budget must hold at least 2 tuples")
+        self.keys = (list(left_keys), list(right_keys))
+        self.memory_budget = memory_budget
+        self.page_size = page_size
+        self.n_partitions = n_partitions
+        self.theta = theta
+        # memory[side][partition] -> {key: [_XTuple]}
+        self._memory: tuple[list[dict], list[dict]] = (
+            [dict() for _ in range(n_partitions)],
+            [dict() for _ in range(n_partitions)],
+        )
+        self._disk: tuple[list[list[_XTuple]], list[list[_XTuple]]] = (
+            [[] for _ in range(n_partitions)],
+            [[] for _ in range(n_partitions)],
+        )
+        self._mem_count = 0
+        self._arrivals = 0
+        #: simulated page writes + reads
+        self.pages_written = 0
+        self.pages_read = 0
+
+    # -- helpers -----------------------------------------------------------
+
+    def _partition_of(self, key: tuple) -> int:
+        return hash(key) % self.n_partitions
+
+    def _partition_len(self, side: int, part: int) -> int:
+        return sum(len(v) for v in self._memory[side][part].values())
+
+    def _emit(self, left: Record, right: Record) -> Record | None:
+        if self.theta is None or self.theta(left, right):
+            return left.merged(right, ts=max(left.ts, right.ts))
+        return None
+
+    def _spill_largest(self) -> None:
+        """Move the largest memory partition (one side) to disk."""
+        best = (0, 0)
+        best_len = -1
+        for side in (0, 1):
+            for part in range(self.n_partitions):
+                n = self._partition_len(side, part)
+                if n > best_len:
+                    best_len = n
+                    best = (side, part)
+        side, part = best
+        table = self._memory[side][part]
+        spilled: list[_XTuple] = []
+        for bucket in table.values():
+            for xt in bucket:
+                xt.spilled_at = self._arrivals
+                spilled.append(xt)
+        table.clear()
+        self._disk[side][part].extend(spilled)
+        self._mem_count -= len(spilled)
+        self.pages_written += max(1, -(-len(spilled) // self.page_size))
+
+    # -- data path -----------------------------------------------------------
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        other = 1 - port
+        self._arrivals += 1
+        xt = _XTuple(record, self._arrivals)
+        key = record.key(self.keys[port])
+        part = self._partition_of(key)
+
+        out: list[Element] = []
+        for match in self._memory[other][part].get(key, ()):
+            left, right = (
+                (record, match.record) if port == 0 else (match.record, record)
+            )
+            emitted = self._emit(left, right)
+            if emitted is not None:
+                out.append(emitted)
+
+        self._memory[port][part].setdefault(key, []).append(xt)
+        self._mem_count += 1
+        while self._mem_count > self.memory_budget:
+            self._spill_largest()
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        return []
+
+    def flush(self) -> list[Element]:
+        """Clean-up stage: join disk-resident tuples with everything
+        they have not met, without duplicating stage-1 results."""
+        out: list[Element] = []
+        for part in range(self.n_partitions):
+            left_all = self._all_tuples(0, part)
+            right_all = self._all_tuples(1, part)
+            if not left_all or not right_all:
+                continue
+            read = sum(len(self._disk[s][part]) for s in (0, 1))
+            if read:
+                self.pages_read += max(1, -(-read // self.page_size))
+            right_by_key: dict[tuple, list[_XTuple]] = {}
+            for xt in right_all:
+                right_by_key.setdefault(
+                    xt.record.key(self.keys[1]), []
+                ).append(xt)
+            for lx in left_all:
+                key = lx.record.key(self.keys[0])
+                for rx in right_by_key.get(key, ()):
+                    if self._matched_in_stage1(lx, rx):
+                        continue
+                    emitted = self._emit(lx.record, rx.record)
+                    if emitted is not None:
+                        out.append(emitted)
+        return out
+
+    @staticmethod
+    def _matched_in_stage1(a: _XTuple, b: _XTuple) -> bool:
+        """Was the pair already produced when the later tuple arrived?
+
+        Stage 1 produced (a, b) iff the earlier tuple was still memory
+        resident when the later one arrived.
+        """
+        earlier, later = (a, b) if a.arrival < b.arrival else (b, a)
+        return later.arrival <= earlier.spilled_at
+
+    def _all_tuples(self, side: int, part: int) -> list[_XTuple]:
+        mem = [
+            xt
+            for bucket in self._memory[side][part].values()
+            for xt in bucket
+        ]
+        return mem + list(self._disk[side][part])
+
+    def reset(self) -> None:
+        for side in (0, 1):
+            for part in range(self.n_partitions):
+                self._memory[side][part].clear()
+                self._disk[side][part].clear()
+        self._mem_count = 0
+        self._arrivals = 0
+        self.pages_written = 0
+        self.pages_read = 0
+
+    def memory(self) -> float:
+        return float(self._mem_count)
+
+    @property
+    def disk_tuples(self) -> int:
+        return sum(
+            len(self._disk[s][p])
+            for s in (0, 1)
+            for p in range(self.n_partitions)
+        )
+
+
+class EvictingHashJoin(BinaryOperator):
+    """Symmetric hash join that *evicts oldest tuples* at the budget.
+
+    The memory-limited strawman XJoin is compared against: evicted
+    tuples are gone, so joins involving them are silently lost.  Tracks
+    ``evicted`` for the experiment's accounting.
+    """
+
+    def __init__(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        memory_budget: int = 1024,
+        theta: Callable[[Record, Record], bool] | None = None,
+        name: str = "evicting_join",
+        cost_per_tuple: float = 1.0,
+        selectivity: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity)
+        self.keys = (list(left_keys), list(right_keys))
+        self.memory_budget = memory_budget
+        self.theta = theta
+        self._tables: tuple[dict, dict] = ({}, {})
+        self._fifo: list[tuple[int, tuple, Record]] = []
+        self.evicted = 0
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        other = 1 - port
+        key = record.key(self.keys[port])
+        out: list[Element] = []
+        for match in self._tables[other].get(key, ()):
+            left, right = (record, match) if port == 0 else (match, record)
+            if self.theta is None or self.theta(left, right):
+                out.append(left.merged(right, ts=max(left.ts, right.ts)))
+        self._tables[port].setdefault(key, []).append(record)
+        self._fifo.append((port, key, record))
+        while len(self._fifo) > self.memory_budget:
+            old_port, old_key, old_rec = self._fifo.pop(0)
+            bucket = self._tables[old_port].get(old_key)
+            if bucket and old_rec in bucket:
+                bucket.remove(old_rec)
+                self.evicted += 1
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        return []
+
+    def reset(self) -> None:
+        self._tables = ({}, {})
+        self._fifo.clear()
+        self.evicted = 0
+
+    def memory(self) -> float:
+        return float(len(self._fifo))

@@ -1,0 +1,38 @@
+"""Optimization objectives for stream queries (slides 39-45)."""
+
+from repro.optimizer.memory_based import (
+    ChainSpec,
+    measure_chain_memory,
+    progress_chart,
+)
+from repro.optimizer.multiquery import SharedFilterBank, SharedWindowJoin
+from repro.optimizer.rate_based import (
+    RateOperator,
+    best_rate_order,
+    chain_output_rate,
+    chain_rate_profile,
+    join_output_rate,
+    least_cost_order,
+)
+from repro.optimizer.statistics import (
+    EwmaRate,
+    SelectivityTracker,
+    selectivity_from_histogram,
+)
+
+__all__ = [
+    "ChainSpec",
+    "measure_chain_memory",
+    "progress_chart",
+    "SharedFilterBank",
+    "SharedWindowJoin",
+    "RateOperator",
+    "best_rate_order",
+    "chain_output_rate",
+    "chain_rate_profile",
+    "join_output_rate",
+    "least_cost_order",
+    "EwmaRate",
+    "SelectivityTracker",
+    "selectivity_from_histogram",
+]

@@ -1,0 +1,90 @@
+"""Memory-based optimization (slide 42).
+
+"When streams are bursty, tuple backlog between operators may increase,
+affecting memory requirements.  Goal: scheduling policies that minimize
+resource consumption."  This module provides the *evaluation* half: a
+harness that measures, for a given operator chain and arrival pattern,
+the queue-memory trajectory under any scheduler — built on the
+simulator — plus the Chain paper's analytic progress-chart summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.graph import Plan
+from repro.core.simulation import SimConfig, Simulation
+from repro.core.stream import ListSource
+from repro.operators.select import Select
+from repro.scheduling.base import Scheduler
+
+__all__ = ["ChainSpec", "measure_chain_memory", "progress_chart"]
+
+
+@dataclass(frozen=True)
+class ChainSpec:
+    """One operator in an abstract chain: (cost, selectivity)."""
+
+    cost: float
+    selectivity: float
+
+
+def _build_plan(chain: Sequence[ChainSpec]) -> Plan:
+    plan = Plan()
+    plan.add_input("S")
+    upstream: object = "S"
+    last = None
+    for i, spec in enumerate(chain):
+        op = Select(
+            lambda r: True,
+            name=f"op{i + 1}",
+            cost_per_tuple=spec.cost,
+            selectivity=spec.selectivity,
+        )
+        plan.add(op, upstream=[upstream])
+        upstream = op
+        last = op
+    assert last is not None
+    plan.mark_output(last, "out")
+    return plan
+
+
+def measure_chain_memory(
+    chain: Sequence[ChainSpec],
+    arrival_times: Sequence[float],
+    scheduler: Scheduler,
+    sample_interval: float = 1.0,
+    speed: float = 1.0,
+) -> list[tuple[float, float]]:
+    """Memory time series for ``chain`` under ``scheduler``.
+
+    ``arrival_times`` are the (non-decreasing) timestamps at which unit
+    tuples arrive; the returned series is sampled every
+    ``sample_interval`` time units, the slide-43 measurement protocol.
+    """
+    rows = [{"i": i, "ts": t} for i, t in enumerate(arrival_times)]
+    source = ListSource("S", rows, ts_attr="ts")
+    sim = Simulation(
+        _build_plan(chain),
+        scheduler,
+        SimConfig(sample_interval=sample_interval, speed=speed),
+    )
+    result = sim.run([source])
+    return list(zip(result.memory.times, result.memory.values))
+
+
+def progress_chart(chain: Sequence[ChainSpec]) -> list[tuple[float, float]]:
+    """The Chain paper's progress chart: (cumulative cost, remaining size).
+
+    The lower envelope of this chart determines the Chain scheduler's
+    priorities (see :mod:`repro.scheduling.chain`).
+    """
+    points = [(0.0, 1.0)]
+    cost = 0.0
+    size = 1.0
+    for spec in chain:
+        cost += spec.cost
+        size *= spec.selectivity
+        points.append((cost, size))
+    return points

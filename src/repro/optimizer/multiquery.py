@@ -1,0 +1,157 @@
+"""Multi-query processing on streams (slide 45).
+
+Hundreds of standing queries over the same streams overlap heavily; the
+tutorial calls out two sharing opportunities:
+
+* **shared select/project expressions** — :class:`SharedFilterBank`
+  evaluates each distinct predicate once per tuple and derives every
+  query's verdict from the shared results;
+* **shared sliding-window join expressions** ([HFAE03]) —
+  :class:`SharedWindowJoin` executes one join at the *largest* requested
+  window and routes each result pair to exactly the queries whose
+  (smaller) windows admit it.
+
+Both classes track evaluation work so experiment E15 can quantify the
+saving against independent execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.tuples import Record
+from repro.errors import PlanError
+from repro.operators.window_join import WindowJoin
+from repro.windows.spec import TimeWindow
+
+__all__ = ["SharedFilterBank", "SharedWindowJoin"]
+
+Predicate = Callable[[Record], bool]
+
+
+class SharedFilterBank:
+    """Evaluate N conjunctive filter queries with shared predicates.
+
+    Parameters
+    ----------
+    predicates:
+        Named predicate pool, e.g. ``{"big": lambda r: r["len"] > 512}``.
+    queries:
+        Query name -> list of predicate names (conjunction).
+    """
+
+    def __init__(
+        self,
+        predicates: Mapping[str, Predicate],
+        queries: Mapping[str, Sequence[str]],
+    ) -> None:
+        self.predicates = dict(predicates)
+        self.queries: dict[str, list[str]] = {}
+        for qname, pnames in queries.items():
+            unknown = [p for p in pnames if p not in self.predicates]
+            if unknown:
+                raise PlanError(
+                    f"query {qname!r} references unknown predicates {unknown}"
+                )
+            self.queries[qname] = list(pnames)
+        #: predicate evaluations performed in shared mode
+        self.shared_evals = 0
+        #: predicate evaluations an independent execution would have done
+        self.independent_evals = 0
+
+    def process(self, record: Record) -> dict[str, bool]:
+        """Return each query's verdict for ``record``.
+
+        Shared execution: every *distinct* predicate used by at least
+        one query is evaluated exactly once.  The independent-execution
+        counter models each query short-circuiting its own conjunction.
+        """
+        needed = {p for pnames in self.queries.values() for p in pnames}
+        results: dict[str, bool] = {}
+        for pname in sorted(needed):
+            results[pname] = bool(self.predicates[pname](record))
+            self.shared_evals += 1
+
+        verdicts: dict[str, bool] = {}
+        for qname, pnames in self.queries.items():
+            verdict = True
+            for pname in pnames:
+                self.independent_evals += 1
+                if not results[pname]:
+                    verdict = False
+                    break
+            verdicts[qname] = verdict
+        return verdicts
+
+    def run(self, records: Sequence[Record]) -> dict[str, list[Record]]:
+        """Matching records per query over a finite stream."""
+        out: dict[str, list[Record]] = {q: [] for q in self.queries}
+        for record in records:
+            for qname, ok in self.process(record).items():
+                if ok:
+                    out[qname].append(record)
+        return out
+
+
+class SharedWindowJoin:
+    """One physical window join serving N logical window-join queries.
+
+    All queries share the same equi-join keys; each requests its own
+    symmetric time window ``T_q``.  The physical join runs at
+    ``max(T_q)``; a result pair whose timestamp distance is ``d`` is
+    routed to queries with ``T_q >= d`` ([HFAE03]'s shared execution).
+    """
+
+    def __init__(
+        self,
+        left_keys: Sequence[str],
+        right_keys: Sequence[str],
+        query_windows: Mapping[str, float],
+    ) -> None:
+        if not query_windows:
+            raise PlanError("need at least one query window")
+        self.query_windows = dict(query_windows)
+        max_t = max(self.query_windows.values())
+        self._join = WindowJoin(
+            left_window=TimeWindow(max_t),
+            right_window=TimeWindow(max_t),
+            left_keys=left_keys,
+            right_keys=right_keys,
+            name="shared_join",
+        )
+        self.left_keys = list(left_keys)
+        self.right_keys = list(right_keys)
+
+    @property
+    def shared_cpu(self) -> float:
+        return self._join.cpu_used
+
+    def process(self, record: Record, port: int) -> dict[str, list[Record]]:
+        """Feed one arrival; return per-query new results."""
+        # Stamp the side's timestamp into a reserved attribute so result
+        # pairs expose both sides' times for window routing.
+        tagged = record.with_values(
+            {**record.values, f"_side_ts{port}": record.ts}
+        )
+        joined = self._join.process(tagged, port)
+        routed: dict[str, list[Record]] = {q: [] for q in self.query_windows}
+        for pair in joined:
+            if not isinstance(pair, Record):
+                continue
+            distance = abs(pair["_side_ts0"] - pair["_side_ts1"])
+            clean = pair.with_values(
+                {
+                    k: v
+                    for k, v in pair.values.items()
+                    if not k.startswith("_side_ts")
+                }
+            )
+            for qname, t_q in self.query_windows.items():
+                # Strict: window (ref-T, ref] excludes distance == T,
+                # matching WindowJoin's expiry semantics exactly.
+                if distance < t_q:
+                    routed[qname].append(clean)
+        return routed
+
+    def reset(self) -> None:
+        self._join.reset()

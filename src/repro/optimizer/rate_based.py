@@ -1,0 +1,144 @@
+"""Rate-based query optimization (Viglas & Naughton, SIGMOD 2002).
+
+Slides 40-41: instead of seeking the least-*cost* plan, seek the plan
+with the highest tuple **output rate**, because in a streaming setting
+the input never ends and throughput is what matters.
+
+The model: an operator with service capacity ``c`` tuples/sec and
+selectivity ``s`` fed at rate ``r`` emits ``min(r, c) * s`` tuples/sec —
+tuples beyond capacity are dropped at its input.  Slide 41's example
+falls out exactly:
+
+>>> slow = RateOperator("s1", capacity=50, selectivity=0.1)
+>>> fast = RateOperator("s2", capacity=1e9, selectivity=0.1)
+>>> chain_output_rate([slow, fast], 500)
+0.5
+>>> chain_output_rate([fast, slow], 500)
+5.0
+
+ordering the fast filter first is 10x better, although both plans have
+identical *cost-model* rankings on finite inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Sequence
+
+from repro.errors import PlanError
+
+__all__ = [
+    "RateOperator",
+    "chain_output_rate",
+    "chain_rate_profile",
+    "best_rate_order",
+    "least_cost_order",
+    "join_output_rate",
+]
+
+
+@dataclass(frozen=True)
+class RateOperator:
+    """Rate-model description of one operator.
+
+    ``capacity`` is the maximum input rate the operator can service
+    (tuples/sec); ``selectivity`` its output/input ratio; ``cost`` the
+    per-tuple cost used by the classical cost-based comparator.
+    """
+
+    name: str
+    capacity: float
+    selectivity: float
+    cost: float = 1.0
+
+    def output_rate(self, input_rate: float) -> float:
+        return min(input_rate, self.capacity) * self.selectivity
+
+
+def chain_output_rate(
+    operators: Sequence[RateOperator], input_rate: float
+) -> float:
+    """Steady-state output rate of a pipeline of operators."""
+    rate = input_rate
+    for op in operators:
+        rate = op.output_rate(rate)
+    return rate
+
+
+def chain_rate_profile(
+    operators: Sequence[RateOperator], input_rate: float
+) -> list[tuple[str, float]]:
+    """Per-stage output rates, for reporting (slide 41's annotations)."""
+    profile: list[tuple[str, float]] = [("input", input_rate)]
+    rate = input_rate
+    for op in operators:
+        rate = op.output_rate(rate)
+        profile.append((op.name, rate))
+    return profile
+
+
+def best_rate_order(
+    operators: Sequence[RateOperator], input_rate: float
+) -> tuple[list[RateOperator], float]:
+    """Exhaustive rate-based ordering: maximize final output rate.
+
+    Commutative filters only (the VN02 setting for pipelined plans).
+    Ties are broken toward the lexicographically earliest name sequence
+    for determinism.
+    """
+    if not operators:
+        raise PlanError("cannot order an empty operator set")
+    best: tuple[float, list[str], list[RateOperator]] | None = None
+    for perm in permutations(operators):
+        rate = chain_output_rate(perm, input_rate)
+        names = [op.name for op in perm]
+        key = (-rate, names)
+        if best is None or key < (-best[0], best[1]):
+            best = (rate, names, list(perm))
+    assert best is not None
+    return best[2], best[0]
+
+
+def least_cost_order(
+    operators: Sequence[RateOperator],
+) -> list[RateOperator]:
+    """The classical cost-based ordering: rank by cost / (1 - sel).
+
+    This is the textbook optimal ordering for minimizing total work on a
+    *finite* input.  It ignores capacities, which is exactly why it can
+    pick the slide-41 loser: experiment E2 contrasts the two.
+    """
+    def rank(op: RateOperator) -> float:
+        drop = 1.0 - op.selectivity
+        if drop <= 0:
+            return float("inf")
+        return op.cost / drop
+
+    return sorted(operators, key=lambda op: (rank(op), op.name))
+
+
+def join_output_rate(
+    left_rate: float,
+    right_rate: float,
+    left_window: float,
+    right_window: float,
+    match_probability: float,
+    capacity: float = float("inf"),
+) -> float:
+    """Window-join output rate under the VN02-style rate model.
+
+    Each left arrival joins the ~``right_rate * right_window`` tuples
+    resident in the right window (and symmetrically), so the raw result
+    rate is ``p * (λl * λr * Wr + λr * λl * Wl)``.  Input beyond the
+    operator's service capacity is dropped proportionally.
+    """
+    total_in = left_rate + right_rate
+    if total_in <= 0:
+        return 0.0
+    served = min(total_in, capacity) / total_in
+    l_rate = left_rate * served
+    r_rate = right_rate * served
+    return match_probability * (
+        l_rate * (r_rate * right_window) + r_rate * (l_rate * left_window)
+    )

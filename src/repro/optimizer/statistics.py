@@ -1,0 +1,85 @@
+"""Stream statistics for optimization (slide 39).
+
+"Traditionally table-based cardinalities [are] used in query
+optimization — problematic in a streaming environment."  What a stream
+optimizer has instead is *rates* and *selectivities*, both of which
+drift.  This module provides:
+
+* :class:`EwmaRate` — exponentially weighted arrival-rate tracking;
+* :class:`SelectivityTracker` — observed pass-rates per predicate;
+* :func:`selectivity_from_histogram` — estimate a range predicate's
+  selectivity from an equi-width histogram (synopsis-backed estimation,
+  tying slide 39 to slide 20's structures).
+"""
+
+from __future__ import annotations
+
+from repro.errors import StreamError
+from repro.synopses.histogram import EquiWidthHistogram
+
+__all__ = ["EwmaRate", "SelectivityTracker", "selectivity_from_histogram"]
+
+
+class EwmaRate:
+    """Exponentially weighted moving average of an arrival rate.
+
+    ``update(t)`` is called at each arrival; the estimator converts
+    inter-arrival gaps to instantaneous rates and smooths them.
+    """
+
+    def __init__(self, alpha: float = 0.2) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise StreamError(f"alpha must be in (0,1]; got {alpha}")
+        self.alpha = alpha
+        self._last_t: float | None = None
+        self._rate: float | None = None
+        self.arrivals = 0
+
+    def update(self, t: float) -> None:
+        self.arrivals += 1
+        if self._last_t is not None:
+            gap = t - self._last_t
+            if gap > 0:
+                instantaneous = 1.0 / gap
+                if self._rate is None:
+                    self._rate = instantaneous
+                else:
+                    self._rate = (
+                        self.alpha * instantaneous
+                        + (1 - self.alpha) * self._rate
+                    )
+        self._last_t = t
+
+    @property
+    def rate(self) -> float:
+        """Smoothed arrivals per unit time (0.0 until two arrivals)."""
+        return self._rate if self._rate is not None else 0.0
+
+
+class SelectivityTracker:
+    """Observed pass-rate of a predicate, with optional decay."""
+
+    def __init__(self, prior: float = 0.5, decay: float = 1.0) -> None:
+        if not 0.0 <= prior <= 1.0:
+            raise StreamError(f"prior must be in [0,1]; got {prior}")
+        self.prior = prior
+        self.decay = decay
+        self.seen = 0.0
+        self.passed = 0.0
+
+    def observe(self, passed: bool) -> None:
+        self.seen = self.seen * self.decay + 1.0
+        self.passed = self.passed * self.decay + (1.0 if passed else 0.0)
+
+    @property
+    def selectivity(self) -> float:
+        if self.seen == 0:
+            return self.prior
+        return self.passed / self.seen
+
+
+def selectivity_from_histogram(
+    hist: EquiWidthHistogram, lo: float, hi: float
+) -> float:
+    """Selectivity of ``lo <= x < hi`` estimated from ``hist``."""
+    return hist.estimate_selectivity(lo, hi)

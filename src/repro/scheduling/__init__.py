@@ -1,0 +1,17 @@
+"""Operator scheduling policies (slides 42-43)."""
+
+from repro.scheduling.base import ReadyOp, Scheduler
+from repro.scheduling.chain import ChainScheduler, lower_envelope_priorities
+from repro.scheduling.fifo import FIFOScheduler
+from repro.scheduling.greedy import GreedyScheduler
+from repro.scheduling.roundrobin import RoundRobinScheduler
+
+__all__ = [
+    "ReadyOp",
+    "Scheduler",
+    "ChainScheduler",
+    "lower_envelope_priorities",
+    "FIFOScheduler",
+    "GreedyScheduler",
+    "RoundRobinScheduler",
+]

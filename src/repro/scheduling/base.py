@@ -1,0 +1,87 @@
+"""Operator-scheduling interface for the simulator.
+
+Slide 42-43 of the tutorial: when streams are bursty, the backlog of
+tuples between operators — and hence memory — depends on *which* queued
+work the processor serves first.  A :class:`Scheduler` encapsulates that
+policy.  The simulator presents the set of operators with queued input as
+:class:`ReadyOp` snapshots and asks the scheduler to pick one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReadyOp", "Scheduler"]
+
+
+@dataclass
+class ReadyOp:
+    """Snapshot of one operator that has queued input.
+
+    Attributes
+    ----------
+    key:
+        Dense operator identifier: the operator's position in the plan's
+        topological order.
+    port:
+        Input port whose queue holds the head tuple.
+    op_name:
+        Operator name, for diagnostics.
+    cost:
+        Virtual service time to process the head tuple.
+    selectivity:
+        Size/cardinality reduction factor of the operator.
+    head_size:
+        Memory size of the tuple at the head of the queue.
+    head_entry_seq:
+        Global arrival order of the head tuple (FIFO uses this).
+    head_entry_ts:
+        System entry time of the head tuple.
+    queue_length:
+        Number of queued elements.
+    terminal:
+        Whether the operator's output leaves the system (memory drops to
+        zero on completion).
+    priority:
+        Externally computed priority (Chain fills this with envelope
+        slopes); ``0.0`` when unused.
+    """
+
+    key: int
+    port: int
+    op_name: str
+    cost: float
+    selectivity: float
+    head_size: float
+    head_entry_seq: int
+    head_entry_ts: float
+    queue_length: int
+    terminal: bool
+    priority: float = 0.0
+
+    @property
+    def release_rate(self) -> float:
+        """Memory released per unit of service time for the head tuple."""
+        out_size = 0.0 if self.terminal else self.head_size * self.selectivity
+        if self.cost <= 0:
+            return float("inf")
+        return (self.head_size - out_size) / self.cost
+
+
+class Scheduler:
+    """Base class: pick the next operator to serve."""
+
+    name = "scheduler"
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        """Return the entry of ``ready`` to serve next.
+
+        ``ready`` is non-empty; ``now`` is the current virtual time.
+        """
+        raise NotImplementedError
+
+    def on_start(self, plan) -> None:  # pragma: no cover - default no-op
+        """Hook invoked once before simulation; Chain precomputes here."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"

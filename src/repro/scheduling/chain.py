@@ -1,0 +1,142 @@
+"""Chain scheduling (Babcock, Babu, Datar, Motwani — SIGMOD 2003).
+
+Chain is the memory-optimal policy referenced on slide 43 ([BBDM03]).
+Each operator path is summarized by its *progress chart*: the piecewise
+curve of (cumulative processing time, remaining tuple size) as a tuple
+moves through the chain.  Chain computes the chart's **lower envelope**
+and assigns every operator the (absolute) slope of the envelope segment
+that covers it.  At runtime it always serves the queued tuple whose
+operator has the steepest envelope slope, breaking ties in favour of the
+earliest-arrived tuple.
+
+On a linear chain Greedy and Chain can differ: Greedy looks only one
+operator ahead, Chain credits an operator with the best *multi-operator*
+descent reachable through it.  For DAGs with branching we fall back to
+the single-step release rate for operators past the branch point,
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["ChainScheduler", "lower_envelope_priorities"]
+
+
+def lower_envelope_priorities(
+    costs: list[float], selectivities: list[float], terminal: bool = True
+) -> list[float]:
+    """Compute Chain priorities for a linear operator path.
+
+    Parameters
+    ----------
+    costs, selectivities:
+        Per-operator service cost and size-reduction factor, in path
+        order.
+    terminal:
+        If ``True``, tuples leave the system after the last operator
+        (remaining size drops to 0 there).
+
+    Returns
+    -------
+    list[float]
+        One priority (envelope slope magnitude) per operator.
+    """
+    k = len(costs)
+    if k != len(selectivities):
+        raise ValueError("costs and selectivities must have equal length")
+    if k == 0:
+        return []
+    # Progress chart points: (cumulative cost, remaining size).
+    points: list[tuple[float, float]] = [(0.0, 1.0)]
+    size = 1.0
+    cum = 0.0
+    for i in range(k):
+        cum += costs[i]
+        size *= selectivities[i]
+        points.append((cum, size))
+    if terminal:
+        points[-1] = (points[-1][0], 0.0)
+
+    priorities = [0.0] * k
+    j = 0
+    while j < k:
+        # Steepest descent from point j to any later point.
+        best_m = j + 1
+        best_slope = float("inf")  # slopes are <= 0; keep most negative
+        for m in range(j + 1, k + 1):
+            dx = points[m][0] - points[j][0]
+            dy = points[m][1] - points[j][1]
+            slope = dy / dx if dx > 0 else float("-inf")
+            if slope < best_slope:
+                best_slope = slope
+                best_m = m
+        magnitude = abs(best_slope) if best_slope != float("-inf") else float("inf")
+        for i in range(j, best_m):
+            priorities[i] = magnitude
+        j = best_m
+    return priorities
+
+
+class ChainScheduler(Scheduler):
+    """Serve the steepest lower-envelope segment first."""
+
+    name = "chain"
+
+    def __init__(self) -> None:
+        self._priorities: dict[int, float] = {}
+
+    def on_start(self, plan) -> None:
+        """Precompute envelope priorities for every operator in ``plan``.
+
+        Priorities are keyed by the operator's position in the plan's
+        topological order — the same dense key the simulator puts in
+        :attr:`ReadyOp.key`.  The downstream path of an operator is
+        followed through single successors; a branch ends the path
+        (fallback to what has been accumulated so far).
+        """
+        self._priorities.clear()
+        order = plan.topological_order()
+        keys = {id(op): i for i, op in enumerate(order)}
+        entry_ops = {
+            id(consumer)
+            for consumers in plan.inputs.values()
+            for consumer, _port in consumers
+        }
+        for op in order:
+            if id(op) not in entry_ops:
+                continue
+            # Walk the full downstream path from this source-fed operator;
+            # the progress chart (and hence every segment slope) is
+            # anchored at the size a fresh tuple has when it enters here.
+            path = []
+            current = op
+            terminal = False
+            seen: set[int] = set()
+            while True:
+                if id(current) in seen:
+                    break
+                seen.add(id(current))
+                path.append(current)
+                succ = plan.successors(current)
+                if not succ:
+                    terminal = True
+                    break
+                if len(succ) != 1:
+                    break
+                current = succ[0][0]
+            costs = [p.cost_per_tuple for p in path]
+            sels = [p.selectivity for p in path]
+            prios = lower_envelope_priorities(costs, sels, terminal=terminal)
+            for p, prio in zip(path, prios):
+                key = keys[id(p)]
+                self._priorities[key] = max(self._priorities.get(key, 0.0), prio)
+
+    def priority_of(self, ready: ReadyOp) -> float:
+        return self._priorities.get(ready.key, ready.release_rate)
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        return max(
+            ready,
+            key=lambda r: (self.priority_of(r), -r.head_entry_seq, -r.key),
+        )

@@ -1,0 +1,21 @@
+"""FIFO scheduling: process tuples in global arrival order.
+
+The baseline policy of slide 43 — "let each tuple flow through the
+relevant operators" before touching the next arrival.  Implemented by
+always serving the operator whose head tuple entered the system first.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["FIFOScheduler"]
+
+
+class FIFOScheduler(Scheduler):
+    """Serve the operator holding the oldest tuple in the system."""
+
+    name = "fifo"
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        return min(ready, key=lambda r: (r.head_entry_seq, r.key))

@@ -1,0 +1,30 @@
+"""Greedy memory-release scheduling.
+
+The "Greedy" policy of slide 43: always serve the operator that frees
+memory fastest right now — the steepest single-operator descent.  For
+the slide's two-operator example this is exactly the policy whose queue
+memory the table reports (1, 1.2, 1.4, 1.6, 1.8).
+
+Greedy is locally optimal per step but, unlike Chain (BBDM03), does not
+look at the *downstream* trajectory of a tuple; see
+:mod:`repro.scheduling.chain`.
+"""
+
+from __future__ import annotations
+
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["GreedyScheduler"]
+
+
+class GreedyScheduler(Scheduler):
+    """Serve the operator with the highest instantaneous release rate."""
+
+    name = "greedy"
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        # Ties broken by arrival order, then key, for determinism.
+        return max(
+            ready,
+            key=lambda r: (r.release_rate, -r.head_entry_seq, -r.key),
+        )

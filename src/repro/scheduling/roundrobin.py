@@ -1,0 +1,26 @@
+"""Round-robin scheduling over operators with queued input."""
+
+from __future__ import annotations
+
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["RoundRobinScheduler"]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through (operator, port) pairs, serving one tuple per turn."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._last: tuple[int, int] = (-1, -1)
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        ordered = sorted(ready, key=lambda r: (r.key, r.port))
+        for entry in ordered:
+            if (entry.key, entry.port) > self._last:
+                self._last = (entry.key, entry.port)
+                return entry
+        chosen = ordered[0]
+        self._last = (chosen.key, chosen.port)
+        return chosen

@@ -1,0 +1,15 @@
+"""Load-shedding policies (slide 44)."""
+
+from repro.shedding.base import Shedder, shed_stream
+from repro.shedding.controller import LoadController
+from repro.shedding.random_shed import RandomShedder
+from repro.shedding.semantic_shed import PredicateShedder, SemanticShedder
+
+__all__ = [
+    "Shedder",
+    "shed_stream",
+    "LoadController",
+    "RandomShedder",
+    "PredicateShedder",
+    "SemanticShedder",
+]

@@ -1,0 +1,61 @@
+"""Load shedding (slide 44).
+
+When the input rate exceeds system capacity, a stream manager sheds
+tuples.  A :class:`Shedder` is an admission policy — callable as
+``shedder(record, now, memory) -> bool`` so it plugs directly into
+:class:`repro.core.simulation.SimConfig.shedder` — plus bookkeeping of
+what was kept and dropped so experiments can quantify the effect on
+answers.
+
+Slide 44 distinguishes **random** shedding (drop a coin-flip fraction;
+aggregates can be rescaled, results are unbiased but noisy) from
+**semantic** shedding (drop the tuples that matter least to the standing
+queries; biased for the dropped portion, accurate for what the queries
+care about).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.tuples import Record
+
+__all__ = ["Shedder", "shed_stream"]
+
+
+class Shedder:
+    """Base admission policy."""
+
+    def __init__(self, name: str = "shedder") -> None:
+        self.name = name
+        self.admitted = 0
+        self.dropped = 0
+
+    def admit(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        raise NotImplementedError
+
+    def __call__(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        keep = self.admit(record, now, memory)
+        if keep:
+            self.admitted += 1
+        else:
+            self.dropped += 1
+        return keep
+
+    @property
+    def keep_rate(self) -> float:
+        total = self.admitted + self.dropped
+        if total == 0:
+            return 1.0
+        return self.admitted / total
+
+    def reset(self) -> None:
+        self.admitted = 0
+        self.dropped = 0
+
+
+def shed_stream(
+    records: Iterable[Record], shedder: Shedder
+) -> list[Record]:
+    """Apply ``shedder`` to a finite stream; return the admitted records."""
+    return [r for r in records if shedder(r)]

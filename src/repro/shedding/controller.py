@@ -1,0 +1,64 @@
+"""Feedback load-shedding controller.
+
+"Introducing load shedding in a data stream manager is a challenging
+problem" (slide 44): the manager must decide *when* to shed, not just
+how.  :class:`LoadController` watches the memory the simulator reports
+at admission time and ramps a delegate shedder's drop rate linearly
+between a low and a high watermark — no shedding below the low mark,
+full ``max_drop_rate`` at the high mark.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tuples import Record
+from repro.errors import SheddingError
+from repro.shedding.base import Shedder
+
+__all__ = ["LoadController"]
+
+
+class LoadController(Shedder):
+    """Memory-watermark-driven random shedding."""
+
+    def __init__(
+        self,
+        low_watermark: float,
+        high_watermark: float,
+        max_drop_rate: float = 1.0,
+        seed: int = 42,
+    ) -> None:
+        super().__init__(name="controller")
+        if high_watermark <= low_watermark:
+            raise SheddingError(
+                f"need high > low watermark; got {low_watermark}, "
+                f"{high_watermark}"
+            )
+        if not 0.0 <= max_drop_rate <= 1.0:
+            raise SheddingError(
+                f"max_drop_rate must be in [0,1]; got {max_drop_rate}"
+            )
+        self.low = low_watermark
+        self.high = high_watermark
+        self.max_drop_rate = max_drop_rate
+        self._rng = random.Random(seed)
+        #: time series of (now, applied drop rate) for diagnostics
+        self.trace: list[tuple[float, float]] = []
+
+    def current_drop_rate(self, memory: float) -> float:
+        if memory <= self.low:
+            return 0.0
+        if memory >= self.high:
+            return self.max_drop_rate
+        frac = (memory - self.low) / (self.high - self.low)
+        return frac * self.max_drop_rate
+
+    def admit(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        rate = self.current_drop_rate(memory)
+        self.trace.append((now, rate))
+        return self._rng.random() >= rate
+
+    def reset(self) -> None:
+        super().reset()
+        self.trace.clear()

@@ -1,0 +1,30 @@
+"""Random load shedding: drop a fixed fraction of tuples."""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.tuples import Record
+from repro.errors import SheddingError
+from repro.shedding.base import Shedder
+
+__all__ = ["RandomShedder"]
+
+
+class RandomShedder(Shedder):
+    """Admit each tuple independently with probability ``1 - drop_rate``.
+
+    Downstream aggregates over the admitted tuples can be rescaled by
+    ``1 / keep_rate`` to obtain unbiased estimates — slide 44's "random
+    load shedding affects queries and their answers" in its mildest form.
+    """
+
+    def __init__(self, drop_rate: float, seed: int = 42) -> None:
+        super().__init__(name=f"random({drop_rate})")
+        if not 0.0 <= drop_rate <= 1.0:
+            raise SheddingError(f"drop_rate must be in [0,1]; got {drop_rate}")
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+
+    def admit(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        return self._rng.random() >= self.drop_rate

@@ -1,0 +1,66 @@
+"""Semantic load shedding: drop the least useful tuples first.
+
+Semantic shedding (slide 44, [TCZ+03]) exploits knowledge of the
+standing queries: if downstream only reports groups with high counts, or
+only tuples in some value range, tuples outside that region can be
+dropped with *no* effect on the reported answer.  The policy here ranks
+tuples by a user-supplied utility and sheds lowest-utility tuples until
+the target drop rate is met (tracked with a running admission budget so
+the realized rate converges to the target on any input order).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.tuples import Record
+from repro.errors import SheddingError
+from repro.shedding.base import Shedder
+
+__all__ = ["SemanticShedder", "PredicateShedder"]
+
+
+class PredicateShedder(Shedder):
+    """Shed exactly the tuples failing ``keep_if`` (pure semantic drop)."""
+
+    def __init__(self, keep_if: Callable[[Record], bool], name: str = "predicate") -> None:
+        super().__init__(name=name)
+        self.keep_if = keep_if
+
+    def admit(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        return bool(self.keep_if(record))
+
+
+class SemanticShedder(Shedder):
+    """Shed up to ``drop_rate`` of tuples, lowest ``utility`` first.
+
+    ``utility(record) -> float``; tuples with utility >= ``threshold``
+    are always admitted.  Among low-utility tuples, a deficit counter
+    sheds just enough to track the target drop rate, so the shedder
+    degrades gracefully when low-utility tuples are scarce.
+    """
+
+    def __init__(
+        self,
+        utility: Callable[[Record], float],
+        drop_rate: float,
+        threshold: float = 0.5,
+    ) -> None:
+        super().__init__(name=f"semantic({drop_rate})")
+        if not 0.0 <= drop_rate <= 1.0:
+            raise SheddingError(f"drop_rate must be in [0,1]; got {drop_rate}")
+        self.utility = utility
+        self.drop_rate = drop_rate
+        self.threshold = threshold
+        self._seen = 0
+
+    def admit(self, record: Record, now: float = 0.0, memory: float = 0.0) -> bool:
+        self._seen += 1
+        if self.utility(record) >= self.threshold:
+            return True
+        target_drops = self.drop_rate * self._seen
+        return self.dropped >= target_drops
+
+    def reset(self) -> None:
+        super().reset()
+        self._seen = 0

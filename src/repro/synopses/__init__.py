@@ -1,0 +1,25 @@
+"""Synopsis structures for approximate stream answers (slides 20, 38, 53)."""
+
+from repro.synopses.ams import AMSSketch
+from repro.synopses.bloom import BloomFilter
+from repro.synopses.countmin import CountMinSketch
+from repro.synopses.exphist import ExponentialHistogram
+from repro.synopses.fm import FMSketch
+from repro.synopses.gk import GKQuantiles
+from repro.synopses.histogram import EquiDepthHistogram, EquiWidthHistogram
+from repro.synopses.multipass import MultiPassSelection, multipass_select
+from repro.synopses.reservoir import ReservoirSample
+
+__all__ = [
+    "AMSSketch",
+    "BloomFilter",
+    "CountMinSketch",
+    "ExponentialHistogram",
+    "FMSketch",
+    "GKQuantiles",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "MultiPassSelection",
+    "multipass_select",
+    "ReservoirSample",
+]

@@ -1,0 +1,68 @@
+"""Bloom filter: approximate set membership.
+
+Used by the semantic load shedder and the multi-query router when an
+exact member set would be too large; one of the standard synopsis
+structures behind slide 20's "approximating query answers".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable
+
+from repro.errors import SynopsisError
+from repro.synopses.hashing import stable_hash64
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter:
+    """Bit-array membership filter with no false negatives."""
+
+    def __init__(self, bits: int = 1024, hashes: int = 4, seed: int = 42) -> None:
+        if bits < 8 or hashes < 1:
+            raise SynopsisError(
+                f"need bits >= 8 and hashes >= 1; got {bits}, {hashes}"
+            )
+        self.bits = bits
+        self.hashes = hashes
+        self.seed = seed
+        self._array = 0
+        self.added = 0
+
+    @classmethod
+    def from_capacity(
+        cls, capacity: int, fp_rate: float = 0.01, seed: int = 42
+    ) -> "BloomFilter":
+        """Size for ``capacity`` keys at target false-positive rate."""
+        if capacity < 1 or not 0 < fp_rate < 1:
+            raise SynopsisError("invalid capacity/fp_rate")
+        bits = max(8, math.ceil(-capacity * math.log(fp_rate) / (math.log(2) ** 2)))
+        hashes = max(1, round(bits / capacity * math.log(2)))
+        return cls(bits=bits, hashes=hashes, seed=seed)
+
+    def _positions(self, key: Hashable):
+        # Kirsch-Mitzenmacher double hashing from one 64-bit digest.
+        h = stable_hash64(key, salt=self.seed)
+        h1 = h & 0xFFFFFFFF
+        h2 = (h >> 32) | 1
+        for i in range(self.hashes):
+            yield (h1 + i * h2) % self.bits
+
+    def add(self, key: Hashable) -> None:
+        for pos in self._positions(key):
+            self._array |= 1 << pos
+        self.added += 1
+
+    def extend(self, keys: Iterable[Hashable]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return all((self._array >> pos) & 1 for pos in self._positions(key))
+
+    def fill_ratio(self) -> float:
+        return bin(self._array).count("1") / self.bits
+
+    def memory(self) -> int:
+        return self.bits // 8

@@ -1,0 +1,99 @@
+"""Count-Min sketch (Cormode & Muthukrishnan).
+
+The frequency sketch for the "approximate aggregates" open issue
+(slide 53): estimate per-key counts — and heavy hitters, the
+``having count(*) > φ|S|`` example of slide 38 — in sublinear space.
+Estimates overcount by at most ``ε · N`` with probability ``1 - δ``
+for width ``e/ε`` and depth ``ln(1/δ)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Hashable, Iterable
+
+from repro.errors import SynopsisError
+from repro.synopses.hashing import stable_hash64
+
+__all__ = ["CountMinSketch"]
+
+
+class CountMinSketch:
+    """Conservative frequency estimation over a stream of keys."""
+
+    def __init__(
+        self,
+        width: int = 256,
+        depth: int = 4,
+        seed: int = 42,
+    ) -> None:
+        if width < 1 or depth < 1:
+            raise SynopsisError(
+                f"width and depth must be >= 1; got {width}x{depth}"
+            )
+        self.width = width
+        self.depth = depth
+        self.seed = seed
+        self._table = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    @classmethod
+    def from_error(
+        cls, epsilon: float, delta: float, seed: int = 42
+    ) -> "CountMinSketch":
+        """Size the sketch for additive error ``epsilon*N`` w.p. ``1-delta``."""
+        if not (0 < epsilon < 1 and 0 < delta < 1):
+            raise SynopsisError("epsilon and delta must be in (0,1)")
+        width = math.ceil(math.e / epsilon)
+        depth = math.ceil(math.log(1.0 / delta))
+        return cls(width=width, depth=depth, seed=seed)
+
+    def _row_index(self, row: int, key: Hashable) -> int:
+        return stable_hash64(key, salt=self.seed * 64 + row) % self.width
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        self.total += count
+        for row in range(self.depth):
+            self._table[row][self._row_index(row, key)] += count
+
+    def extend(self, keys: Iterable[Hashable]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def estimate(self, key: Hashable) -> int:
+        """Point frequency estimate (never underestimates)."""
+        return min(
+            self._table[row][self._row_index(row, key)]
+            for row in range(self.depth)
+        )
+
+    def heavy_hitters(
+        self, candidates: Iterable[Hashable], phi: float
+    ) -> list[tuple[Any, int]]:
+        """Candidates whose estimated count exceeds ``phi * total``."""
+        if not 0.0 < phi <= 1.0:
+            raise SynopsisError(f"phi must be in (0,1]; got {phi}")
+        threshold = phi * self.total
+        out = []
+        for key in candidates:
+            est = self.estimate(key)
+            if est > threshold:
+                out.append((key, est))
+        return sorted(out, key=lambda kv: (-kv[1], repr(kv[0])))
+
+    def merge(self, other: "CountMinSketch") -> None:
+        """Fold another sketch (same shape and seed) into this one."""
+        if (
+            self.width != other.width
+            or self.depth != other.depth
+            or self.seed != other.seed
+        ):
+            raise SynopsisError("can only merge identically configured sketches")
+        for row in range(self.depth):
+            mine, theirs = self._table[row], other._table[row]
+            for i in range(self.width):
+                mine[i] += theirs[i]
+        self.total += other.total
+
+    def memory(self) -> int:
+        return self.width * self.depth

@@ -1,0 +1,94 @@
+"""DGIM exponential histograms: counting within a sliding window.
+
+Sliding-window counts are the bridge between the tutorial's window
+operators (slide 26) and its synopsis toolbox (slides 20, 38): counting
+the 1s among the last *N* stream positions exactly needs Θ(N) bits, but
+the Datar-Gionis-Indyk-Motwani exponential histogram does it within a
+(1 + 1/k) factor using O(k·log²N) bits, by keeping buckets whose sizes
+are powers of two and merging the oldest when more than ``k+1`` share a
+size.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import SynopsisError
+
+__all__ = ["ExponentialHistogram"]
+
+
+class _Bucket:
+    __slots__ = ("size", "newest_ts")
+
+    def __init__(self, size: int, newest_ts: int) -> None:
+        self.size = size
+        self.newest_ts = newest_ts
+
+
+class ExponentialHistogram:
+    """Approximate count of 1-events in the last ``window`` positions."""
+
+    def __init__(self, window: int, k: int = 2) -> None:
+        if window < 1:
+            raise SynopsisError(f"window must be >= 1; got {window}")
+        if k < 1:
+            raise SynopsisError(f"k must be >= 1; got {k}")
+        self.window = window
+        self.k = k
+        self._buckets: deque[_Bucket] = deque()  # newest first
+        self._now = -1
+
+    def add(self, bit: int) -> None:
+        """Advance time one position and record ``bit`` (0 or 1)."""
+        self._now += 1
+        self._expire()
+        if not bit:
+            return
+        self._buckets.appendleft(_Bucket(1, self._now))
+        self._merge()
+
+    def _expire(self) -> None:
+        horizon = self._now - self.window
+        while self._buckets and self._buckets[-1].newest_ts <= horizon:
+            self._buckets.pop()
+
+    def _merge(self) -> None:
+        size = 1
+        while True:
+            same = [b for b in self._buckets if b.size == size]
+            if len(same) <= self.k + 1:
+                break
+            # Merge the two oldest buckets of this size.
+            oldest = same[-1]
+            second = same[-2]
+            merged = _Bucket(size * 2, second.newest_ts)
+            rebuilt = deque()
+            skipped = 0
+            for b in self._buckets:
+                if b is oldest or b is second:
+                    skipped += 1
+                    if skipped == 2:
+                        rebuilt.append(merged)
+                    continue
+                rebuilt.append(b)
+            self._buckets = rebuilt
+            size *= 2
+
+    def estimate(self) -> float:
+        """Estimated count of 1s within the window."""
+        if not self._buckets:
+            return 0.0
+        total = sum(b.size for b in self._buckets)
+        # The oldest bucket may straddle the window edge: count half.
+        return total - self._buckets[-1].size / 2.0
+
+    def exact_upper_bound(self) -> int:
+        return sum(b.size for b in self._buckets)
+
+    def memory(self) -> int:
+        return len(self._buckets)
+
+    @property
+    def now(self) -> int:
+        return self._now

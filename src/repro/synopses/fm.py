@@ -1,0 +1,67 @@
+"""Flajolet-Martin distinct-value estimation.
+
+``count(distinct A)`` is holistic (slide 34) and needs unbounded state
+exactly; FM sketches estimate it in logarithmic space — the standard
+answer to slide 38's ``select G, count(distinct A) from S group by G``
+when exact computation does not fit.  This implementation uses the
+stochastic-averaging variant (PCSA): ``num_maps`` bitmaps, each fed a
+1/num_maps share of the keys.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+from repro.errors import SynopsisError
+from repro.synopses.hashing import stable_hash64
+
+__all__ = ["FMSketch"]
+
+_PHI = 0.77351  # Flajolet-Martin correction constant
+
+
+class FMSketch:
+    """Probabilistic counting with stochastic averaging (PCSA)."""
+
+    def __init__(self, num_maps: int = 64, bits: int = 32, seed: int = 42) -> None:
+        if num_maps < 1:
+            raise SynopsisError(f"num_maps must be >= 1; got {num_maps}")
+        self.num_maps = num_maps
+        self.bits = bits
+        self.seed = seed
+        self._bitmaps = [0] * num_maps
+
+    def add(self, key: Hashable) -> None:
+        h = stable_hash64(key, salt=self.seed)
+        bucket = h % self.num_maps
+        h >>= 16  # drop the bucket-correlated low bits
+        # Position of the lowest set bit (geometric with p=1/2).
+        r = 0
+        while r < self.bits - 1 and not (h >> r) & 1:
+            r += 1
+        self._bitmaps[bucket] |= 1 << r
+
+    def extend(self, keys: Iterable[Hashable]) -> None:
+        for key in keys:
+            self.add(key)
+
+    def _rank(self, bitmap: int) -> int:
+        """Index of the lowest zero bit."""
+        r = 0
+        while (bitmap >> r) & 1:
+            r += 1
+        return r
+
+    def estimate(self) -> float:
+        """Estimated number of distinct keys seen."""
+        mean_rank = sum(self._rank(b) for b in self._bitmaps) / self.num_maps
+        return self.num_maps / _PHI * (2**mean_rank)
+
+    def merge(self, other: "FMSketch") -> None:
+        if self.num_maps != other.num_maps or self.seed != other.seed:
+            raise SynopsisError("can only merge identically configured sketches")
+        for i in range(self.num_maps):
+            self._bitmaps[i] |= other._bitmaps[i]
+
+    def memory(self) -> int:
+        return self.num_maps

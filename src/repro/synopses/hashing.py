@@ -1,0 +1,51 @@
+"""Stable, well-mixed hashing for synopsis structures.
+
+Python's builtin ``hash`` is unsuitable for sketches: it is the identity
+on small integers (poor bit mixing) and salted per process for strings
+(non-reproducible runs).  All synopses therefore hash through
+:func:`stable_hash64`: a blake2b digest of the key's canonical encoding,
+salted per structure, giving 64 uniformly mixed, process-independent
+bits.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable
+
+__all__ = ["stable_hash64"]
+
+_MASK64 = (1 << 64) - 1
+
+
+def _encode(key: Hashable) -> bytes:
+    if isinstance(key, bytes):
+        return b"b" + key
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bool):
+        return b"o" + (b"1" if key else b"0")
+    if isinstance(key, int):
+        return b"i" + key.to_bytes(
+            (key.bit_length() + 8) // 8 + 1, "little", signed=True
+        )
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    if isinstance(key, tuple):
+        parts = [b"t"]
+        for item in key:
+            enc = _encode(item)
+            parts.append(len(enc).to_bytes(4, "little"))
+            parts.append(enc)
+        return b"".join(parts)
+    return b"r" + repr(key).encode("utf-8")
+
+
+def stable_hash64(key: Hashable, salt: int = 0) -> int:
+    """A deterministic, well-mixed 64-bit hash of ``key``."""
+    digest = hashlib.blake2b(
+        _encode(key),
+        digest_size=8,
+        salt=salt.to_bytes(8, "little", signed=False),
+    ).digest()
+    return int.from_bytes(digest, "little") & _MASK64

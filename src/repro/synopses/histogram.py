@@ -1,0 +1,118 @@
+"""Histograms: equi-width and equi-depth.
+
+Histograms lead the synopsis list on slide 20 ("histograms, sampling,
+sketches").  The streaming equi-width histogram supports incremental
+maintenance; the equi-depth variant is built from a sample or a
+materialized batch (the classical offline construction) and answers
+range-selectivity queries for the rate-based optimizer.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.errors import SynopsisError
+
+__all__ = ["EquiWidthHistogram", "EquiDepthHistogram"]
+
+
+class EquiWidthHistogram:
+    """Fixed-bucket histogram over ``[low, high)``, streaming updates."""
+
+    def __init__(self, low: float, high: float, buckets: int = 32) -> None:
+        if high <= low:
+            raise SynopsisError(f"need high > low; got [{low}, {high})")
+        if buckets < 1:
+            raise SynopsisError(f"buckets must be >= 1; got {buckets}")
+        self.low = low
+        self.high = high
+        self.buckets = buckets
+        self._width = (high - low) / buckets
+        self._counts = [0] * buckets
+        self.n = 0
+        self.underflow = 0
+        self.overflow = 0
+
+    def add(self, value: float) -> None:
+        self.n += 1
+        if value < self.low:
+            self.underflow += 1
+            return
+        if value >= self.high:
+            self.overflow += 1
+            return
+        idx = int((value - self.low) / self._width)
+        self._counts[min(idx, self.buckets - 1)] += 1
+
+    def extend(self, values: Iterable[float]) -> None:
+        for v in values:
+            self.add(v)
+
+    def counts(self) -> list[int]:
+        return list(self._counts)
+
+    def estimate_range(self, lo: float, hi: float) -> float:
+        """Estimated number of values in ``[lo, hi)`` (uniform-in-bucket)."""
+        if hi <= lo:
+            return 0.0
+        total = 0.0
+        for i, c in enumerate(self._counts):
+            b_lo = self.low + i * self._width
+            b_hi = b_lo + self._width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if overlap > 0:
+                total += c * (overlap / self._width)
+        return total
+
+    def estimate_selectivity(self, lo: float, hi: float) -> float:
+        if self.n == 0:
+            return 0.0
+        return self.estimate_range(lo, hi) / self.n
+
+    def memory(self) -> int:
+        return self.buckets
+
+
+class EquiDepthHistogram:
+    """Quantile-boundary histogram built from a value batch or sample."""
+
+    def __init__(self, values: Sequence[float], buckets: int = 16) -> None:
+        if buckets < 1:
+            raise SynopsisError(f"buckets must be >= 1; got {buckets}")
+        if not values:
+            raise SynopsisError("cannot build a histogram from no values")
+        ordered = sorted(values)
+        self.n = len(ordered)
+        self.buckets = min(buckets, self.n)
+        self._bounds: list[float] = []
+        self._depth = self.n / self.buckets
+        for i in range(1, self.buckets):
+            idx = min(int(i * self._depth), self.n - 1)
+            self._bounds.append(ordered[idx])
+        self.low = ordered[0]
+        self.high = ordered[-1]
+
+    def bucket_of(self, value: float) -> int:
+        return bisect.bisect_right(self._bounds, value)
+
+    def estimate_selectivity(self, lo: float, hi: float) -> float:
+        """Fraction of values in ``[lo, hi)`` assuming equal bucket mass."""
+        if hi <= lo or self.n == 0:
+            return 0.0
+        edges = [self.low] + self._bounds + [self.high]
+        mass = 1.0 / self.buckets
+        total = 0.0
+        for i in range(self.buckets):
+            b_lo, b_hi = edges[i], edges[i + 1]
+            if b_hi <= b_lo:
+                # Degenerate bucket (duplicated boundary): point mass.
+                if lo <= b_lo < hi:
+                    total += mass
+                continue
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            total += mass * (overlap / (b_hi - b_lo))
+        return min(total, 1.0)
+
+    def memory(self) -> int:
+        return len(self._bounds) + 2

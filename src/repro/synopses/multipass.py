@@ -1,0 +1,208 @@
+"""Limited-memory multi-pass selection (Munro & Paterson, 1980).
+
+Slide 21 contrasts single-pass stream processing with algorithms that
+take a *bounded number of passes*: "Limited memory selection/sorting
+[MP80]: n-pass quantiles".  The idea: with working memory for ``m``
+values, an **exact** order statistic of an n-element stream can be found
+in O(log n / log m) sequential passes — each pass narrows the candidate
+value interval using quantiles of a sample of the survivors, plus exact
+rank counts.
+
+This matters to the tutorial's architecture (slides 14-15, 21): the
+resource-limited low level must approximate in one pass (the GK summary
+in :mod:`repro.synopses.gk`), while the resource-rich levels can afford
+re-reads of stored blocks and get *exact* answers — this module is the
+multi-pass side of that trade.
+
+The implementation keeps, per pass: the current candidate interval
+``(lo, hi)``, the count of elements below the interval, and a bounded
+uniform sample of in-interval elements used to split the interval for
+the next pass.  It terminates when the in-interval survivors fit in
+memory and selects exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.errors import SynopsisError
+
+__all__ = ["MultiPassSelection", "multipass_select"]
+
+
+class MultiPassSelection:
+    """Exact rank selection over a re-readable stream, bounded memory.
+
+    Parameters
+    ----------
+    make_stream:
+        Zero-argument callable returning a fresh iterable of the stream
+        values (each call is one pass — the slide-21 "block processing,
+        multiple passes" discipline).
+    memory:
+        Maximum number of values held at once (>= 16 for sane splits).
+    """
+
+    def __init__(
+        self,
+        make_stream: Callable[[], Iterable[float]],
+        memory: int = 256,
+        seed: int = 42,
+    ) -> None:
+        if memory < 16:
+            raise SynopsisError(f"memory must be >= 16 values; got {memory}")
+        self.make_stream = make_stream
+        self.memory = memory
+        self._rng = random.Random(seed)
+        #: number of passes made by the last :meth:`select` call
+        self.passes = 0
+
+    def select(self, rank: int) -> float:
+        """Return the value of 0-indexed ``rank`` in sorted order."""
+        self.passes = 0
+        n = self._count()
+        if n == 0:
+            raise SynopsisError("cannot select from an empty stream")
+        if not 0 <= rank < n:
+            raise SynopsisError(f"rank {rank} out of range for n={n}")
+
+        lo, hi = float("-inf"), float("inf")
+        below_lo = 0  # elements strictly below the candidate interval
+        while True:
+            in_count, sample, fits = self._scan(lo, hi)
+            self.passes += 1
+            target = rank - below_lo  # rank within the interval
+            if fits:
+                survivors = sorted(sample)
+                return survivors[target]
+            # Split the interval at sample quantiles bracketing the
+            # target's relative position.  The slack covers sampling
+            # error (~sqrt(p(1-p)/s) for a uniform sample of size s),
+            # so each pass shrinks the interval near-maximally while
+            # keeping the target inside with high probability; the
+            # exact counts below correct any miss.
+            survivors = sorted(sample)
+            s = len(survivors)
+            frac = target / in_count
+            import math
+
+            delta = max(4.0 / s, 4.0 * math.sqrt(frac * (1 - frac) / s))
+            lo_idx = max(0, int((frac - delta) * s))
+            hi_idx = min(s - 1, int((frac + delta) * s) + 1)
+            new_lo = survivors[lo_idx]
+            new_hi = survivors[hi_idx]
+            if new_lo >= new_hi:
+                # Degenerate split (duplicates): fall back to exact
+                # counting against the split value.
+                below, equal = self._count_around(new_lo, lo, hi)
+                self.passes += 1
+                if target < below:
+                    hi = new_lo
+                elif target < below + equal:
+                    return new_lo
+                else:
+                    below_lo += below + equal
+                    lo = _next_above(new_lo)
+                continue
+            # Exact counts for both split points in a single pass.
+            below_new, below_hi = self._count_two(new_lo, new_hi, lo, hi)
+            self.passes += 1
+            if target < below_new:
+                hi = new_lo
+            elif target < below_hi:
+                below_lo += below_new
+                lo = new_lo
+                hi = new_hi
+            else:
+                below_lo += below_hi
+                lo = new_hi
+
+    def quantile(self, q: float) -> float:
+        """Exact q-quantile (0 <= q <= 1)."""
+        if not 0.0 <= q <= 1.0:
+            raise SynopsisError(f"quantile must be in [0,1]; got {q}")
+        n = self._count()
+        if n == 0:
+            raise SynopsisError("cannot select from an empty stream")
+        rank = min(int(q * n), n - 1)
+        return self.select(rank)
+
+    # -- passes -------------------------------------------------------------
+
+    def _count(self) -> int:
+        n = 0
+        for _v in self.make_stream():
+            n += 1
+        return n
+
+    def _scan(
+        self, lo: float, hi: float
+    ) -> tuple[int, list[float], bool]:
+        """One pass: count in-interval elements and reservoir-sample them.
+
+        Returns ``(count, sample, fits)`` where ``fits`` means every
+        in-interval element is in ``sample`` (exact selection possible).
+        """
+        sample: list[float] = []
+        count = 0
+        overflowed = False
+        for v in self.make_stream():
+            if lo <= v < hi:
+                count += 1
+                if len(sample) < self.memory:
+                    sample.append(v)
+                else:
+                    overflowed = True
+                    j = self._rng.randrange(count)
+                    if j < self.memory:
+                        sample[j] = v
+        return count, sample, not overflowed
+
+    def _count_two(
+        self, split_lo: float, split_hi: float, lo: float, hi: float
+    ) -> tuple[int, int]:
+        """One pass: in-[lo,hi) counts below each of two split points."""
+        below_a = 0
+        below_b = 0
+        for v in self.make_stream():
+            if lo <= v < hi:
+                if v < split_lo:
+                    below_a += 1
+                if v < split_hi:
+                    below_b += 1
+        return below_a, below_b
+
+    def _count_around(
+        self, split: float, lo: float, hi: float
+    ) -> tuple[int, int]:
+        """One pass: (# in [lo,hi) below split, # equal to split)."""
+        below = 0
+        equal = 0
+        for v in self.make_stream():
+            if lo <= v < hi:
+                if v < split:
+                    below += 1
+                elif v == split:
+                    equal += 1
+        return below, equal
+
+
+def _next_above(value: float) -> float:
+    """Smallest representable float greater than ``value``."""
+    import math
+
+    return math.nextafter(value, math.inf)
+
+
+def multipass_select(
+    make_stream: Callable[[], Iterable[float]],
+    q: float,
+    memory: int = 256,
+    seed: int = 42,
+) -> tuple[float, int]:
+    """Exact q-quantile of a re-readable stream; returns (value, passes)."""
+    selector = MultiPassSelection(make_stream, memory=memory, seed=seed)
+    value = selector.quantile(q)
+    # +1 for the initial counting pass.
+    return value, selector.passes + 1

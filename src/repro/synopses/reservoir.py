@@ -1,0 +1,77 @@
+"""Reservoir sampling (Vitter's Algorithm R).
+
+Samples are the first synopsis the tutorial lists for approximate query
+answering (slides 20, 38).  A reservoir of size *k* holds a uniform
+random sample of the stream prefix regardless of its length, in O(k)
+memory and O(1) time per element.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable
+
+from repro.errors import SynopsisError
+
+__all__ = ["ReservoirSample"]
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample of an unbounded stream."""
+
+    def __init__(self, capacity: int, seed: int = 42) -> None:
+        if capacity < 1:
+            raise SynopsisError(f"capacity must be >= 1; got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._items: list[Any] = []
+        self.seen = 0
+
+    def add(self, value: Any) -> None:
+        self.seen += 1
+        if len(self._items) < self.capacity:
+            self._items.append(value)
+            return
+        j = self._rng.randrange(self.seen)
+        if j < self.capacity:
+            self._items[j] = value
+
+    def extend(self, values: Iterable[Any]) -> None:
+        for v in values:
+            self.add(v)
+
+    def sample(self) -> list[Any]:
+        """The current sample (a copy)."""
+        return list(self._items)
+
+    def estimate_mean(self) -> float:
+        if not self._items:
+            raise SynopsisError("empty reservoir has no mean")
+        return sum(self._items) / len(self._items)
+
+    def estimate_sum(self) -> float:
+        """Horvitz-Thompson style scale-up of the sample sum."""
+        if not self._items:
+            return 0.0
+        return self.estimate_mean() * self.seen
+
+    def estimate_quantile(self, q: float) -> Any:
+        if not 0.0 <= q <= 1.0:
+            raise SynopsisError(f"quantile must be in [0,1]; got {q}")
+        if not self._items:
+            raise SynopsisError("empty reservoir has no quantiles")
+        ordered = sorted(self._items)
+        idx = min(int(q * len(ordered)), len(ordered) - 1)
+        return ordered[idx]
+
+    def estimate_selectivity(self, predicate) -> float:
+        """Fraction of stream elements satisfying ``predicate``."""
+        if not self._items:
+            return 0.0
+        return sum(1 for v in self._items if predicate(v)) / len(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def memory(self) -> int:
+        return len(self._items)

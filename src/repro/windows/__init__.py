@@ -1,0 +1,43 @@
+"""Window specifications and runtime buffers (slides 26-28)."""
+
+from repro.windows.buffers import (
+    LandmarkBuffer,
+    NowBuffer,
+    PartitionedBuffer,
+    RowBuffer,
+    SlidingTimeBuffer,
+    UnboundedBuffer,
+    WindowBuffer,
+    make_buffer,
+)
+from repro.windows.spec import (
+    LandmarkWindow,
+    NowWindow,
+    PartitionedWindow,
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+    WindowSpec,
+)
+
+__all__ = [
+    "LandmarkBuffer",
+    "NowBuffer",
+    "PartitionedBuffer",
+    "RowBuffer",
+    "SlidingTimeBuffer",
+    "UnboundedBuffer",
+    "WindowBuffer",
+    "make_buffer",
+    "LandmarkWindow",
+    "NowWindow",
+    "PartitionedWindow",
+    "PunctuationWindow",
+    "RowWindow",
+    "TimeWindow",
+    "TumblingWindow",
+    "UnboundedWindow",
+    "WindowSpec",
+]

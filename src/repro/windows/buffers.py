@@ -1,0 +1,252 @@
+"""Runtime window state.
+
+A *buffer* materializes a window's current contents.  Join operators and
+windowed aggregation keep one buffer per input (or per group/partition)
+and rely on two operations: :meth:`WindowBuffer.insert` and
+:meth:`WindowBuffer.expire`, the invalidation step of slide 32 ("expired
+tuples are invalidated").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator
+
+from repro.core.tuples import Record
+from repro.errors import WindowError
+from repro.windows.spec import (
+    LandmarkWindow,
+    NowWindow,
+    PartitionedWindow,
+    RowWindow,
+    TimeWindow,
+    UnboundedWindow,
+    WindowSpec,
+)
+
+__all__ = [
+    "WindowBuffer",
+    "SlidingTimeBuffer",
+    "RowBuffer",
+    "PartitionedBuffer",
+    "LandmarkBuffer",
+    "NowBuffer",
+    "UnboundedBuffer",
+    "make_buffer",
+]
+
+
+class WindowBuffer:
+    """Base class for window contents."""
+
+    def insert(self, record: Record) -> None:
+        raise NotImplementedError
+
+    def expire(self, ref_ts: float) -> list[Record]:
+        """Remove and return tuples that left the window as of ``ref_ts``."""
+        return []
+
+    def contents(self) -> Iterator[Record]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Record]:
+        return self.contents()
+
+    def memory(self) -> float:
+        return float(len(self))
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+
+class SlidingTimeBuffer(WindowBuffer):
+    """Tuples with ``ts > ref_ts - range_`` (inclusive lower bound excluded).
+
+    A record whose timestamp equals exactly ``ref_ts - range_`` is
+    expired: the window is the half-open interval ``(ref-T, ref]``.
+    """
+
+    def __init__(self, range_: float) -> None:
+        if range_ < 0:
+            raise WindowError(f"range must be >= 0; got {range_}")
+        self.range_ = range_
+        self._items: deque[Record] = deque()
+
+    def insert(self, record: Record) -> None:
+        self._items.append(record)
+
+    def expire(self, ref_ts: float) -> list[Record]:
+        horizon = ref_ts - self.range_
+        evicted: list[Record] = []
+        while self._items and self._items[0].ts <= horizon:
+            evicted.append(self._items.popleft())
+        return evicted
+
+    def contents(self) -> Iterator[Record]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class RowBuffer(WindowBuffer):
+    """The most recent ``rows`` tuples."""
+
+    def __init__(self, rows: int) -> None:
+        if rows < 1:
+            raise WindowError(f"rows must be >= 1; got {rows}")
+        self.rows = rows
+        self._items: deque[Record] = deque()
+
+    def insert(self, record: Record) -> None:
+        self._items.append(record)
+
+    def expire(self, ref_ts: float) -> list[Record]:
+        evicted: list[Record] = []
+        while len(self._items) > self.rows:
+            evicted.append(self._items.popleft())
+        return evicted
+
+    def contents(self) -> Iterator[Record]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class PartitionedBuffer(WindowBuffer):
+    """Last ``rows`` tuples *per key* (CQL PARTITION BY)."""
+
+    def __init__(self, keys: Iterable[str], rows: int) -> None:
+        if rows < 1:
+            raise WindowError(f"rows must be >= 1; got {rows}")
+        self.keys = tuple(keys)
+        self.rows = rows
+        self._parts: dict[tuple, deque[Record]] = {}
+
+    def insert(self, record: Record) -> None:
+        key = record.key(self.keys)
+        self._parts.setdefault(key, deque()).append(record)
+
+    def expire(self, ref_ts: float) -> list[Record]:
+        evicted: list[Record] = []
+        for part in self._parts.values():
+            while len(part) > self.rows:
+                evicted.append(part.popleft())
+        return evicted
+
+    def contents(self) -> Iterator[Record]:
+        for part in self._parts.values():
+            yield from part
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._parts.values())
+
+    def partition(self, key: tuple) -> list[Record]:
+        return list(self._parts.get(key, ()))
+
+    def clear(self) -> None:
+        self._parts.clear()
+
+
+class LandmarkBuffer(WindowBuffer):
+    """Agglomerative window: everything since ``start`` (slide 27)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.start = start
+        self._items: list[Record] = []
+
+    def insert(self, record: Record) -> None:
+        if record.ts >= self.start:
+            self._items.append(record)
+
+    def contents(self) -> Iterator[Record]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+class NowBuffer(WindowBuffer):
+    """Only tuples carrying the latest timestamp."""
+
+    def __init__(self) -> None:
+        self._items: list[Record] = []
+        self._ts = float("-inf")
+
+    def insert(self, record: Record) -> None:
+        if record.ts > self._ts:
+            self._items = []
+            self._ts = record.ts
+        self._items.append(record)
+
+    def expire(self, ref_ts: float) -> list[Record]:
+        if ref_ts > self._ts:
+            evicted = self._items
+            self._items = []
+            self._ts = ref_ts
+            return evicted
+        return []
+
+    def contents(self) -> Iterator[Record]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+        self._ts = float("-inf")
+
+
+class UnboundedBuffer(WindowBuffer):
+    """The whole stream prefix (CQL [UNBOUNDED])."""
+
+    def __init__(self) -> None:
+        self._items: list[Record] = []
+
+    def insert(self, record: Record) -> None:
+        self._items.append(record)
+
+    def contents(self) -> Iterator[Record]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def clear(self) -> None:
+        self._items.clear()
+
+
+def make_buffer(spec: WindowSpec) -> WindowBuffer:
+    """Instantiate the runtime buffer implementing ``spec``.
+
+    Tumbling and punctuation windows are not buffer-shaped — they are
+    handled natively by the aggregation/join operators — so asking for a
+    buffer for them raises :class:`WindowError`.
+    """
+    if isinstance(spec, TimeWindow):
+        return SlidingTimeBuffer(spec.range_)
+    if isinstance(spec, RowWindow):
+        return RowBuffer(spec.rows)
+    if isinstance(spec, PartitionedWindow):
+        return PartitionedBuffer(spec.keys, spec.rows)
+    if isinstance(spec, LandmarkWindow):
+        return LandmarkBuffer(spec.start)
+    if isinstance(spec, NowWindow):
+        return NowBuffer()
+    if isinstance(spec, UnboundedWindow):
+        return UnboundedBuffer()
+    raise WindowError(f"no buffer form for window spec {spec.describe()}")

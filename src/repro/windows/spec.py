@@ -1,0 +1,159 @@
+"""Window specifications (slides 26-28).
+
+Windows extract finite relations from unbounded streams.  The tutorial
+catalogues:
+
+* **ordering-attribute windows** (slide 27) — based on an attribute such
+  as time: *sliding* (:class:`TimeWindow` with ``slide=None``),
+  *shifting/tumbling* (:class:`TumblingWindow`, the GSQL ``time/60``
+  idiom), and *agglomerative/landmark* (:class:`LandmarkWindow`);
+* **tuple-count windows** (:class:`RowWindow`, CQL ``[ROWS n]``), with a
+  per-key variant (:class:`PartitionedWindow`, ``[PARTITION BY ...]``);
+* **punctuation-based windows** (:class:`PunctuationWindow`, slide 28) —
+  variable extent delimited by application-inserted markers;
+* degenerate CQL windows :class:`NowWindow` and :class:`UnboundedWindow`.
+
+Specs are pure descriptions; runtime state lives in
+:mod:`repro.windows.buffers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WindowError
+
+__all__ = [
+    "WindowSpec",
+    "TimeWindow",
+    "TumblingWindow",
+    "LandmarkWindow",
+    "RowWindow",
+    "PartitionedWindow",
+    "PunctuationWindow",
+    "NowWindow",
+    "UnboundedWindow",
+]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Base class for window descriptions."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class TimeWindow(WindowSpec):
+    """Sliding window over the ordering attribute: tuples with
+    ``ts in (ref - range_, ref]`` where ``ref`` is the latest timestamp.
+
+    CQL ``[RANGE range_]``.
+    """
+
+    range_: float
+
+    def __post_init__(self) -> None:
+        if self.range_ < 0:
+            raise WindowError(f"window range must be >= 0; got {self.range_}")
+
+    def describe(self) -> str:
+        return f"RANGE {self.range_}"
+
+
+@dataclass(frozen=True)
+class TumblingWindow(WindowSpec):
+    """Shifting window (slide 27): fixed consecutive buckets of ``width``.
+
+    The GSQL grouping expression ``time/60 as tb`` (slide 37) denotes a
+    tumbling window of width 60 over ``time``.
+    """
+
+    width: float
+    origin: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.width <= 0:
+            raise WindowError(f"bucket width must be > 0; got {self.width}")
+
+    def bucket_of(self, ts: float) -> int:
+        return int((ts - self.origin) // self.width)
+
+    def bucket_start(self, bucket: int) -> float:
+        return self.origin + bucket * self.width
+
+    def describe(self) -> str:
+        return f"TUMBLE {self.width}"
+
+
+@dataclass(frozen=True)
+class LandmarkWindow(WindowSpec):
+    """Agglomerative window (slide 27): from ``start`` to current time."""
+
+    start: float = 0.0
+
+    def describe(self) -> str:
+        return f"LANDMARK from {self.start}"
+
+
+@dataclass(frozen=True)
+class RowWindow(WindowSpec):
+    """The last ``rows`` tuples.  CQL ``[ROWS rows]``."""
+
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise WindowError(f"row window needs rows >= 1; got {self.rows}")
+
+    def describe(self) -> str:
+        return f"ROWS {self.rows}"
+
+
+@dataclass(frozen=True)
+class PartitionedWindow(WindowSpec):
+    """Per-key row window.  CQL ``[PARTITION BY keys ROWS rows]``."""
+
+    keys: tuple[str, ...]
+    rows: int
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise WindowError(f"row window needs rows >= 1; got {self.rows}")
+        if not self.keys:
+            raise WindowError("partitioned window needs at least one key")
+
+    def describe(self) -> str:
+        return f"PARTITION BY {', '.join(self.keys)} ROWS {self.rows}"
+
+
+@dataclass(frozen=True)
+class PunctuationWindow(WindowSpec):
+    """Window delimited by punctuations (slide 28, TMSF03).
+
+    The window over attribute set ``attrs`` closes for all records a
+    punctuation covers; extent is data-dependent (e.g. one auction's
+    bids close when its end-of-auction punctuation arrives).
+    """
+
+    attrs: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"PUNCTUATED ON {', '.join(self.attrs)}"
+
+
+@dataclass(frozen=True)
+class NowWindow(WindowSpec):
+    """Only tuples with the current timestamp.  CQL ``[NOW]``."""
+
+    def describe(self) -> str:
+        return "NOW"
+
+
+@dataclass(frozen=True)
+class UnboundedWindow(WindowSpec):
+    """The entire stream prefix.  CQL ``[UNBOUNDED]``."""
+
+    def describe(self) -> str:
+        return "UNBOUNDED"

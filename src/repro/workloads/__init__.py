@@ -1,0 +1,43 @@
+"""Synthetic workload generators (the paper's data substitutes)."""
+
+from repro.workloads.arrivals import (
+    at_times,
+    bursty_gaps,
+    poisson_gaps,
+    take_gaps,
+    uniform_gaps,
+)
+from repro.workloads.auctions import AuctionConfig, AuctionGenerator, bid_schema
+from repro.workloads.cdr import CDRConfig, CDRGenerator, cdr_schema
+from repro.workloads.netflow import (
+    P2P_KEYWORDS,
+    P2P_PORTS,
+    NetflowConfig,
+    PacketGenerator,
+    packet_schema,
+)
+from repro.workloads.sensors import SensorConfig, SensorGenerator, sensor_schema
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = [
+    "at_times",
+    "bursty_gaps",
+    "poisson_gaps",
+    "take_gaps",
+    "uniform_gaps",
+    "AuctionConfig",
+    "AuctionGenerator",
+    "bid_schema",
+    "CDRConfig",
+    "CDRGenerator",
+    "cdr_schema",
+    "P2P_KEYWORDS",
+    "P2P_PORTS",
+    "NetflowConfig",
+    "PacketGenerator",
+    "packet_schema",
+    "SensorConfig",
+    "SensorGenerator",
+    "sensor_schema",
+    "ZipfGenerator",
+]

@@ -1,0 +1,110 @@
+"""Arrival processes.
+
+The tutorial's resource experiments hinge on *when* tuples arrive:
+uniform arrivals make FIFO scheduling optimal, bursty arrivals create
+the backlogs Chain/Greedy exist for (slide 43), and overload triggers
+shedding (slide 44).  All processes are seeded generators of
+inter-arrival gaps, pluggable into
+:class:`repro.core.stream.TimedSource`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.errors import StreamError
+
+__all__ = [
+    "uniform_gaps",
+    "poisson_gaps",
+    "bursty_gaps",
+    "at_times",
+    "take_gaps",
+]
+
+
+def uniform_gaps(rate: float) -> Callable[[], Iterator[float]]:
+    """Constant-rate arrivals: one tuple every ``1/rate`` time units."""
+    if rate <= 0:
+        raise StreamError(f"rate must be > 0; got {rate}")
+    gap = 1.0 / rate
+
+    def factory() -> Iterator[float]:
+        while True:
+            yield gap
+
+    return factory
+
+
+def poisson_gaps(rate: float, seed: int = 42) -> Callable[[], Iterator[float]]:
+    """Poisson arrivals: exponential inter-arrival gaps at ``rate``."""
+    if rate <= 0:
+        raise StreamError(f"rate must be > 0; got {rate}")
+
+    def factory() -> Iterator[float]:
+        rng = random.Random(seed)
+        while True:
+            yield rng.expovariate(rate)
+
+    return factory
+
+
+def bursty_gaps(
+    burst_rate: float,
+    burst_length: float,
+    idle_length: float,
+) -> Callable[[], Iterator[float]]:
+    """Deterministic on/off arrivals.
+
+    During an "on" phase of ``burst_length`` time units, tuples arrive
+    at ``burst_rate``; then the source is silent for ``idle_length``.
+    The slide-43 scenario is ``bursty_gaps(1.0, 5.0, 5.0)``: five
+    arrivals one second apart, then a five-second pause (average rate
+    0.5 tuples/sec).
+    """
+    if burst_rate <= 0 or burst_length <= 0 or idle_length < 0:
+        raise StreamError("burst_rate/burst_length must be > 0, idle >= 0")
+    gap = 1.0 / burst_rate
+    per_burst = max(1, math.ceil(burst_length * burst_rate))
+
+    def factory() -> Iterator[float]:
+        first = True
+        while True:
+            for i in range(per_burst):
+                if first and i == 0:
+                    yield 0.0
+                elif i == 0:
+                    yield gap + idle_length
+                else:
+                    yield gap
+            first = False
+
+    return factory
+
+
+def at_times(times: Sequence[float]) -> Callable[[], Iterator[float]]:
+    """Explicit absolute arrival times (finite)."""
+    ordered = list(times)
+    for a, b in zip(ordered, ordered[1:]):
+        if b < a:
+            raise StreamError("arrival times must be non-decreasing")
+
+    def factory() -> Iterator[float]:
+        last = 0.0
+        for t in ordered:
+            yield t - last
+            last = t
+
+    return factory
+
+
+def take_gaps(factory: Callable[[], Iterable[float]], n: int) -> list[float]:
+    """Materialize the first ``n`` gaps of an arrival process."""
+    out: list[float] = []
+    for gap in factory():
+        out.append(gap)
+        if len(out) >= n:
+            break
+    return out

@@ -1,0 +1,98 @@
+"""Auction workload: the canonical punctuated stream (slide 28).
+
+"e.g., a stream of auctions": bids for an auction can arrive only while
+the auction is open; when it closes, the application inserts a
+punctuation asserting no more bids for that auction id will appear.
+Punctuation-aware operators can then emit per-auction results and purge
+state without waiting for end of stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.tuples import Field, Punctuation, Record, Schema
+
+__all__ = ["AuctionConfig", "AuctionGenerator", "bid_schema"]
+
+
+def bid_schema() -> Schema:
+    """Schema of the bid stream: ts-ordered (auction, bidder, price)."""
+    return Schema(
+        [
+            Field("ts", float, bounded=False),
+            Field("auction", int, bounded=False),
+            Field("bidder", int, bounded=True, domain=(0, 9999)),
+            Field("price", float, bounded=False),
+        ],
+        ordering="ts",
+        name="bids",
+    )
+
+
+@dataclass
+class AuctionConfig:
+    """Knobs of the synthetic auction stream."""
+
+    n_auctions: int = 20
+    n_bidders: int = 100
+    bids_per_auction: int = 15
+    open_auctions: int = 4
+    mean_gap: float = 1.0
+    start_price: float = 10.0
+    seed: int = 42
+
+
+class AuctionGenerator:
+    """Overlapping auctions; each closes with a punctuation.
+
+    Elements are returned fully stamped (records *and* punctuations), so
+    the output plugs straight into a :class:`ListSource`.
+    """
+
+    def __init__(self, config: AuctionConfig | None = None) -> None:
+        self.config = config or AuctionConfig()
+        self._rng = random.Random(self.config.seed)
+        self.schema = bid_schema()
+
+    def elements(self) -> list[Record | Punctuation]:
+        cfg = self.config
+        rng = self._rng
+        out: list[Record | Punctuation] = []
+        ts = 0.0
+        seq = 0
+        # Active auction id -> (bids remaining, current price)
+        active: dict[int, list] = {}
+        next_auction = 0
+        closed = 0
+        while closed < cfg.n_auctions:
+            while len(active) < cfg.open_auctions and next_auction < cfg.n_auctions:
+                active[next_auction] = [cfg.bids_per_auction, cfg.start_price]
+                next_auction += 1
+            auction = rng.choice(sorted(active))
+            state = active[auction]
+            state[1] *= 1.0 + rng.uniform(0.01, 0.25)
+            out.append(
+                Record(
+                    {
+                        "ts": ts,
+                        "auction": auction,
+                        "bidder": rng.randrange(cfg.n_bidders),
+                        "price": round(state[1], 2),
+                    },
+                    ts=ts,
+                    seq=seq,
+                )
+            )
+            seq += 1
+            state[0] -= 1
+            if state[0] <= 0:
+                del active[auction]
+                closed += 1
+                out.append(
+                    Punctuation.of({"auction": auction}, ts=ts, seq=seq)
+                )
+                seq += 1
+            ts += rng.expovariate(1.0 / cfg.mean_gap)
+        return out

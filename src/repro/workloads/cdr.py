@@ -1,0 +1,130 @@
+"""Call-detail-record (CDR) workload.
+
+Substitute for AT&T's long-distance call stream (slides 6-9): seeded
+synthetic records with the Hancock ``callRec_t`` schema — origin,
+dialed, connect time, duration, completion/international/toll-free
+flags.  A configurable subset of origins are *fraudulent*: they emit
+bursts of short international calls, the signature the Hancock fraud
+program looks for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.tuples import Field, Schema
+from repro.workloads.zipf import ZipfGenerator
+
+__all__ = ["CDRConfig", "CDRGenerator", "cdr_schema"]
+
+
+def cdr_schema() -> Schema:
+    """The ``callRec_t`` schema of slide 7 as a stream schema."""
+    return Schema(
+        [
+            Field("origin", int, bounded=False),
+            Field("dialed", int, bounded=False),
+            Field("connect_ts", float, bounded=False),
+            Field("duration", float, bounded=False),
+            Field("is_incomplete", bool, bounded=True, domain=(False, True)),
+            Field("is_intl", bool, bounded=True, domain=(False, True)),
+            Field("is_toll_free", bool, bounded=True, domain=(False, True)),
+        ],
+        ordering="connect_ts",
+        name="calls",
+    )
+
+
+@dataclass
+class CDRConfig:
+    """Knobs of the synthetic call stream."""
+
+    n_callers: int = 1000
+    n_dialed: int = 5000
+    calls_per_unit: float = 10.0
+    fraud_fraction: float = 0.02
+    fraud_burst: int = 12
+    intl_rate: float = 0.08
+    toll_free_rate: float = 0.15
+    incomplete_rate: float = 0.05
+    mean_duration: float = 180.0
+    zipf_skew: float = 1.05
+    seed: int = 42
+
+
+class CDRGenerator:
+    """Deterministic call-detail-record stream generator."""
+
+    def __init__(self, config: CDRConfig | None = None) -> None:
+        self.config = config or CDRConfig()
+        cfg = self.config
+        self._rng = random.Random(cfg.seed)
+        self._caller_zipf = ZipfGenerator(
+            cfg.n_callers, cfg.zipf_skew, seed=cfg.seed + 1
+        )
+        n_fraud = max(1, int(cfg.n_callers * cfg.fraud_fraction))
+        # Fraudulent callers are drawn from the mid-tail so they are
+        # neither heavy hitters nor one-off callers.
+        self.fraud_callers = set(
+            range(cfg.n_callers // 3, cfg.n_callers // 3 + n_fraud)
+        )
+        self.schema = cdr_schema()
+
+    def records(self, n: int) -> Iterator[dict]:
+        """Yield ``n`` call records ordered by ``connect_ts``."""
+        cfg = self.config
+        rng = self._rng
+        ts = 0.0
+        emitted = 0
+        pending_fraud: list[dict] = []
+        while emitted < n:
+            if pending_fraud:
+                call = pending_fraud.pop()
+                call["connect_ts"] = ts
+                ts += rng.expovariate(cfg.calls_per_unit)
+                emitted += 1
+                yield call
+                continue
+            origin = self._caller_zipf.sample()
+            is_fraud_burst = (
+                origin in self.fraud_callers and rng.random() < 0.3
+            )
+            call = self._one_call(origin, ts)
+            ts += rng.expovariate(cfg.calls_per_unit)
+            emitted += 1
+            yield call
+            if is_fraud_burst:
+                # Queue a burst of short international calls.
+                for _ in range(cfg.fraud_burst):
+                    burst_call = self._one_call(origin, ts)
+                    burst_call["is_intl"] = True
+                    burst_call["duration"] = rng.uniform(5.0, 30.0)
+                    pending_fraud.append(burst_call)
+
+    def _one_call(self, origin: int, ts: float) -> dict:
+        cfg = self.config
+        rng = self._rng
+        return {
+            "origin": origin,
+            "dialed": rng.randrange(cfg.n_dialed),
+            "connect_ts": ts,
+            "duration": rng.expovariate(1.0 / cfg.mean_duration),
+            "is_incomplete": rng.random() < cfg.incomplete_rate,
+            "is_intl": rng.random() < cfg.intl_rate,
+            "is_toll_free": rng.random() < cfg.toll_free_rate,
+        }
+
+    def generate(self, n: int) -> list[dict]:
+        return list(self.records(n))
+
+    def generate_sorted_by_origin(self, n: int) -> list[dict]:
+        """One day's block re-sorted by origin — Hancock's input layout.
+
+        Hancock programs iterate ``over calls sortedby origin``
+        (slide 8): the daily block is sorted by line before signature
+        extraction.
+        """
+        block = self.generate(n)
+        return sorted(block, key=lambda c: (c["origin"], c["connect_ts"]))

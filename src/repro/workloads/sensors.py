@@ -1,0 +1,93 @@
+"""Measurement-stream workload: sensor/weather readings.
+
+Substitute for the NOAA/sensor-network measurement streams the tutorial
+motivates (slide 3): per-station periodic temperature readings with a
+diurnal cycle, Gaussian noise, and injected anomaly spikes (the tornado-
+detection stand-in — anomalies are what the standing queries look for).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.tuples import Field, Schema
+
+__all__ = ["SensorConfig", "SensorGenerator", "sensor_schema"]
+
+
+def sensor_schema() -> Schema:
+    """Schema of the sensor stream: periodic per-station readings."""
+    return Schema(
+        [
+            Field("ts", float, bounded=False),
+            Field("station", int, bounded=True, domain=(0, 9999)),
+            Field("temperature", float, bounded=False),
+            Field("humidity", float, bounded=True, domain=(0, 100)),
+        ],
+        ordering="ts",
+        name="readings",
+    )
+
+
+@dataclass
+class SensorConfig:
+    """Knobs of the synthetic sensor stream."""
+
+    n_stations: int = 20
+    interval: float = 1.0
+    base_temp: float = 15.0
+    daily_amplitude: float = 8.0
+    day_length: float = 100.0
+    noise: float = 0.8
+    anomaly_rate: float = 0.01
+    anomaly_magnitude: float = 25.0
+    seed: int = 42
+
+
+class SensorGenerator:
+    """Round-robin periodic readings from ``n_stations`` stations."""
+
+    def __init__(self, config: SensorConfig | None = None) -> None:
+        self.config = config or SensorConfig()
+        self._rng = random.Random(self.config.seed)
+        self.schema = sensor_schema()
+        #: timestamps at which anomalies were injected, per station
+        self.injected_anomalies: list[tuple[int, float]] = []
+
+    def readings(self, n: int) -> Iterator[dict]:
+        cfg = self.config
+        rng = self._rng
+        count = 0
+        tick = 0
+        while count < n:
+            ts = tick * cfg.interval
+            for station in range(cfg.n_stations):
+                if count >= n:
+                    return
+                phase = 2 * math.pi * (ts / cfg.day_length)
+                # Stations are offset in phase so they disagree usefully.
+                temp = (
+                    cfg.base_temp
+                    + cfg.daily_amplitude
+                    * math.sin(phase + station * 0.3)
+                    + rng.gauss(0.0, cfg.noise)
+                )
+                if rng.random() < cfg.anomaly_rate:
+                    temp += cfg.anomaly_magnitude
+                    self.injected_anomalies.append((station, ts))
+                yield {
+                    "ts": ts,
+                    "station": station,
+                    "temperature": temp,
+                    "humidity": min(
+                        100.0, max(0.0, rng.gauss(60.0, 15.0))
+                    ),
+                }
+                count += 1
+            tick += 1
+
+    def generate(self, n: int) -> list[dict]:
+        return list(self.readings(n))

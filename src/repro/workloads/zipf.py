@@ -1,0 +1,49 @@
+"""Zipf-distributed value generation.
+
+Network identifiers (IPs, ports, callers) are heavy-tailed; the synopsis
+experiments (E10) and heavy-hitter queries need a controllable skew.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.errors import StreamError
+
+__all__ = ["ZipfGenerator"]
+
+
+class ZipfGenerator:
+    """Sample integers ``0..n-1`` with P(k) ∝ 1/(k+1)^s via inverse CDF."""
+
+    def __init__(self, n: int, s: float = 1.1, seed: int = 42) -> None:
+        if n < 1:
+            raise StreamError(f"n must be >= 1; got {n}")
+        if s < 0:
+            raise StreamError(f"skew must be >= 0; got {s}")
+        self.n = n
+        self.s = s
+        self._rng = random.Random(seed)
+        weights = [1.0 / (k + 1) ** s for k in range(n)]
+        total = sum(weights)
+        acc = 0.0
+        self._cdf: list[float] = []
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        return bisect.bisect_left(self._cdf, u)
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]
+
+    def expected_frequency(self, k: int) -> float:
+        """Exact probability of rank ``k`` (for error measurement)."""
+        if not 0 <= k < self.n:
+            raise StreamError(f"rank out of range: {k}")
+        lo = self._cdf[k - 1] if k > 0 else 0.0
+        return self._cdf[k] - lo

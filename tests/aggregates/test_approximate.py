@@ -1,0 +1,167 @@
+"""Tests for sketch-backed aggregate functions (slide 38)."""
+
+import collections
+
+import pytest
+
+from repro.aggregates import (
+    AggSpec,
+    ApproxCountDistinct,
+    ApproxMedian,
+    ApproxQuantile,
+    analyze_group_by,
+    make_aggregate,
+)
+from repro.core import Field, ListSource, Schema, run_plan
+from repro.cql import Catalog, compile_query
+from repro.errors import SynopsisError, UnboundedMemoryError
+from repro.operators import FinalAggregate, PartialAggregate
+from repro.core.tuples import Record
+from repro.windows import TumblingWindow
+from repro.workloads import ZipfGenerator
+
+
+def schema():
+    return Schema(
+        [
+            Field("ts", float),
+            Field("g", int, bounded=True, domain=(0, 3)),
+            Field("u", int),  # unbounded
+        ],
+        ordering="ts",
+    )
+
+
+class TestApproxCountDistinct:
+    def test_registered(self):
+        assert isinstance(
+            make_aggregate("approx_count_distinct"), ApproxCountDistinct
+        )
+
+    def test_accuracy(self):
+        fn = ApproxCountDistinct(num_maps=64)
+        for v in range(3000):
+            fn.add(v)
+        assert abs(fn.result() - 3000) / 3000 < 0.25
+
+    def test_bounded_state(self):
+        fn = ApproxCountDistinct(num_maps=32)
+        for v in range(10000):
+            fn.add(v)
+        assert fn.state_size() == 32
+        assert fn.bounded_state
+
+    def test_merge_equals_union(self):
+        a = ApproxCountDistinct(num_maps=32)
+        b = ApproxCountDistinct(num_maps=32)
+        u = ApproxCountDistinct(num_maps=32)
+        for v in range(1000):
+            a.add(v)
+            u.add(v)
+        for v in range(500, 1500):
+            b.add(v)
+            u.add(v)
+        a.merge(b)
+        assert a.result() == u.result()
+
+    def test_flows_through_two_level_aggregation(self):
+        """Mergeability means the LFTA can ship sketch states upward."""
+        spec = [AggSpec("d", "approx_count_distinct", "u")]
+        lfta = PartialAggregate(
+            TumblingWindow(1000.0), ["g"], spec, max_groups=1
+        )
+        hfta = FinalAggregate(["g"], spec)
+        rows = [
+            {"g": i % 2, "u": i % 700, "ts": float(i)} for i in range(4000)
+        ]
+        out = []
+        for i, row in enumerate(rows):
+            for el in lfta.process(Record(row, ts=row["ts"], seq=i)):
+                out += hfta.process(el, 0)
+        for el in lfta.flush():
+            out += hfta.process(el, 0)
+        out += hfta.flush()
+        records = [e for e in out if isinstance(e, Record)]
+        truth = collections.defaultdict(set)
+        for r in rows:
+            truth[r["g"]].add(r["u"])
+        for rec in records:
+            t = len(truth[rec["g"]])
+            assert abs(rec["d"] - t) / t < 0.35
+
+    def test_passes_bounded_memory_gate(self):
+        verdict = analyze_group_by(
+            schema(), ["g"], [AggSpec("d", "approx_count_distinct", "u")]
+        )
+        assert verdict.bounded
+        exact = analyze_group_by(
+            schema(), ["g"], [AggSpec("d", "count_distinct", "u")]
+        )
+        assert not exact.bounded
+
+    def test_cql_integration(self):
+        cat = Catalog()
+        cat.register_stream("S", schema())
+        plan = compile_query(
+            "select g, approx_count_distinct(u) as d from S group by g",
+            cat,
+            require_bounded_memory=True,
+        )
+        gen = ZipfGenerator(500, 0.0, seed=2)
+        rows = [
+            {"ts": float(i), "g": i % 2, "u": gen.sample()}
+            for i in range(4000)
+        ]
+        res = run_plan(plan, [ListSource("S", rows, ts_attr="ts")]).values()
+        truth = collections.defaultdict(set)
+        for r in rows:
+            truth[r["g"]].add(r["u"])
+        for row in res:
+            t = len(truth[row["g"]])
+            assert abs(row["d"] - t) / t < 0.3
+
+
+class TestApproxQuantiles:
+    def test_median_accuracy(self):
+        fn = ApproxMedian(epsilon=0.01)
+        for v in range(10000):
+            fn.add(v)
+        assert abs(fn.result() - 5000) <= 0.01 * 10000 + 1
+
+    def test_state_bounded(self):
+        fn = ApproxMedian(epsilon=0.01)
+        for v in range(50000):
+            fn.add(v)
+        assert fn.state_size() < 2000
+
+    def test_empty_is_none(self):
+        assert ApproxMedian().result() is None
+
+    def test_merge_unsupported(self):
+        a, b = ApproxMedian(), ApproxMedian()
+        a.add(1.0)
+        with pytest.raises(SynopsisError, match="merge"):
+            a.merge(b)
+
+    def test_quantile_parameter(self):
+        fn = ApproxQuantile(0.9, epsilon=0.01)
+        for v in range(10000):
+            fn.add(v)
+        assert abs(fn.result() - 9000) <= 0.01 * 10000 + 1
+
+    def test_bad_q(self):
+        with pytest.raises(SynopsisError):
+            ApproxQuantile(2.0)
+
+    def test_cql_median(self):
+        cat = Catalog()
+        cat.register_stream("S", schema())
+        plan = compile_query(
+            "select g, approx_median(u) as med from S group by g",
+            cat,
+        )
+        rows = [
+            {"ts": float(i), "g": 0, "u": i} for i in range(1000)
+        ]
+        res = run_plan(plan, [ListSource("S", rows, ts_attr="ts")]).values()
+        assert abs(res[0]["med"] - 500) <= 0.01 * 1000 + 1

@@ -1,0 +1,139 @@
+"""Tests for the ABB+02 bounded-memory analysis (slides 35-36)."""
+
+import math
+
+from repro.aggregates import AggSpec, analyze_distinct, analyze_group_by
+from repro.aggregates.bounded import window_is_bounded
+from repro.core import Field, Schema
+from repro.windows import (
+    PartitionedWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+)
+
+
+def traffic_schema():
+    return Schema(
+        [
+            Field("ts", float),
+            Field("src_ip", int),  # unbounded
+            Field("length", int, bounded=True, domain=(40, 1500)),
+            Field("proto", int, bounded=True, domain=(0, 255)),
+        ],
+        ordering="ts",
+    )
+
+
+class TestSlide36Examples:
+    def test_unbounded_distinct_length_unwindowed_vs_windowed(self):
+        """select distinct length from Traffic: bounded only because
+        length itself is bounded; over src_ip it would not be."""
+        schema = traffic_schema()
+        assert analyze_distinct(schema, ["length"]).bounded
+        assert not analyze_distinct(schema, ["src_ip"]).bounded
+
+    def test_bounded_group_by_length_with_predicate(self):
+        """select length, count(*) ... group by length: bounded, the
+        grouping attribute has a finite domain."""
+        verdict = analyze_group_by(
+            traffic_schema(), ["length"], [AggSpec("n", "count")]
+        )
+        assert verdict.bounded
+        assert verdict.group_bound == 1461
+
+    def test_group_by_unbounded_attribute_is_unbounded(self):
+        verdict = analyze_group_by(
+            traffic_schema(), ["src_ip"], [AggSpec("n", "count")]
+        )
+        assert not verdict.bounded
+        assert verdict.group_bound == math.inf
+        assert any("unbounded domain" in r for r in verdict.reasons)
+
+    def test_holistic_over_unbounded_attribute_is_unbounded(self):
+        verdict = analyze_group_by(
+            traffic_schema(),
+            ["length"],
+            [AggSpec("med", "median", "src_ip")],
+        )
+        assert not verdict.bounded
+
+    def test_holistic_over_bounded_attribute_is_fine(self):
+        verdict = analyze_group_by(
+            traffic_schema(),
+            ["proto"],
+            [AggSpec("med", "median", "length")],
+        )
+        assert verdict.bounded
+
+    def test_group_bound_multiplies_domains(self):
+        verdict = analyze_group_by(
+            traffic_schema(), ["length", "proto"], [AggSpec("n", "count")]
+        )
+        assert verdict.group_bound == 1461 * 256
+
+
+class TestWindows:
+    def test_row_window_bounds_everything(self):
+        verdict = analyze_group_by(
+            traffic_schema(),
+            ["src_ip"],  # unbounded grouping...
+            [AggSpec("med", "median", "src_ip")],  # ...and holistic
+            window=RowWindow(100),
+        )
+        assert verdict.bounded  # but only 100 tuples exist at once
+        assert verdict.group_bound == 100
+
+    def test_time_window_needs_rate_bound(self):
+        schema = traffic_schema()
+        no_rate = analyze_group_by(
+            schema, ["src_ip"], [AggSpec("n", "count")],
+            window=TimeWindow(60.0),
+        )
+        assert not no_rate.bounded
+        with_rate = analyze_group_by(
+            schema, ["src_ip"], [AggSpec("n", "count")],
+            window=TimeWindow(60.0), max_rate=100.0,
+        )
+        assert with_rate.bounded
+        assert with_rate.group_bound == 6000
+
+    def test_tumbling_window_does_not_rescue_unbounded_groups(self):
+        """One bucket at a time, but the bucket itself can hold
+        unboundedly many src_ip groups."""
+        verdict = analyze_group_by(
+            traffic_schema(), ["src_ip"], [AggSpec("n", "count")],
+            window=TumblingWindow(60.0),
+        )
+        assert not verdict.bounded
+
+    def test_partitioned_window_over_bounded_keys(self):
+        verdict = analyze_group_by(
+            traffic_schema(), [], [AggSpec("n", "count")],
+            window=PartitionedWindow(("proto",), 10),
+        )
+        assert verdict.bounded
+        assert verdict.group_bound == 2560
+
+    def test_partitioned_window_over_unbounded_keys(self):
+        verdict = analyze_group_by(
+            traffic_schema(), [], [AggSpec("n", "count")],
+            window=PartitionedWindow(("src_ip",), 10),
+        )
+        assert not verdict.bounded
+
+
+class TestWindowIsBounded:
+    def test_no_window(self):
+        ok, reason = window_is_bounded(None)
+        assert not ok and "unbounded stream" in reason
+
+    def test_row_window(self):
+        ok, _ = window_is_bounded(RowWindow(5))
+        assert ok
+
+    def test_reasons_are_informative(self):
+        verdict = analyze_group_by(
+            traffic_schema(), ["length"], [AggSpec("n", "count")]
+        )
+        assert any("1461" in r for r in verdict.reasons)

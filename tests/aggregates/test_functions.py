@@ -1,0 +1,132 @@
+"""Tests for aggregate functions: results, classification, mergeability."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates import (
+    AGGREGATE_REGISTRY,
+    Avg,
+    Count,
+    CountDistinct,
+    First,
+    Last,
+    Max,
+    Median,
+    Min,
+    Quantile,
+    StdDev,
+    Sum,
+    make_aggregate,
+)
+from repro.errors import SynopsisError
+
+
+def fill(fn, values):
+    for v in values:
+        fn.add(v)
+    return fn
+
+
+class TestBasics:
+    def test_count(self):
+        assert fill(Count(), [5, 5, 5]).result() == 3
+
+    def test_sum(self):
+        assert fill(Sum(), [1, 2, 3]).result() == 6
+
+    def test_min_max(self):
+        assert fill(Min(), [3, 1, 2]).result() == 1
+        assert fill(Max(), [3, 1, 2]).result() == 3
+
+    def test_min_on_empty_is_none(self):
+        assert Min().result() is None
+
+    def test_avg(self):
+        assert fill(Avg(), [1, 2, 3]).result() == 2.0
+
+    def test_avg_empty_is_none(self):
+        assert Avg().result() is None
+
+    def test_stdev(self):
+        assert fill(StdDev(), [2, 4]).result() == pytest.approx(1.0)
+
+    def test_first_last(self):
+        assert fill(First(), [7, 8, 9]).result() == 7
+        assert fill(Last(), [7, 8, 9]).result() == 9
+
+    def test_count_distinct(self):
+        assert fill(CountDistinct(), [1, 1, 2, 3, 3]).result() == 3
+
+    def test_median_odd(self):
+        assert fill(Median(), [5, 1, 3]).result() == 3
+
+    def test_quantile_bounds_validated(self):
+        with pytest.raises(SynopsisError):
+            Quantile(1.5)
+
+    def test_quantile_empty_is_none(self):
+        assert Quantile(0.5).result() is None
+
+
+class TestClassification:
+    """Slide 34's distributive / algebraic / holistic taxonomy."""
+
+    @pytest.mark.parametrize("name", ["count", "sum", "min", "max", "first", "last"])
+    def test_distributive(self, name):
+        assert make_aggregate(name).kind == "distributive"
+
+    @pytest.mark.parametrize("name", ["avg", "stdev"])
+    def test_algebraic(self, name):
+        assert make_aggregate(name).kind == "algebraic"
+
+    @pytest.mark.parametrize("name", ["median", "count_distinct"])
+    def test_holistic(self, name):
+        fn = make_aggregate(name)
+        assert fn.kind == "holistic"
+        assert not fn.bounded_state
+
+    def test_holistic_state_grows(self):
+        fn = fill(CountDistinct(), range(100))
+        assert fn.state_size() == 100
+
+    def test_distributive_state_constant(self):
+        fn = fill(Sum(), range(100))
+        assert fn.state_size() == 1
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(SynopsisError, match="unknown aggregate"):
+            make_aggregate("nope")
+
+
+#: GK-backed approximations are deliberately non-mergeable (see
+#: repro.aggregates.approximate); everything else must merge exactly.
+_MERGEABLE = sorted(
+    set(AGGREGATE_REGISTRY) - {"approx_median", "approx_quantile"}
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.sampled_from(_MERGEABLE),
+    st.lists(st.integers(-50, 50), min_size=1, max_size=30),
+    st.integers(0, 30),
+)
+def test_merge_equals_single_pass_property(name, values, split):
+    """merge(partial_a, partial_b) == aggregate(whole) for every function.
+
+    This is the property two-level LFTA/HFTA aggregation relies on
+    (slide 37).
+    """
+    split = min(split, len(values))
+    whole = fill(make_aggregate(name), values).result()
+    left = fill(make_aggregate(name), values[:split])
+    right = fill(make_aggregate(name), values[split:])
+    left.merge(right)
+    merged = left.result()
+    if isinstance(whole, float):
+        assert merged == pytest.approx(whole)
+    else:
+        assert merged == whole

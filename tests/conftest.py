@@ -1,0 +1,44 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Field, ListSource, Record, Schema
+
+
+@pytest.fixture
+def traffic_schema() -> Schema:
+    """The slide-29/36 Traffic stream: ts-ordered packets."""
+    return Schema(
+        [
+            Field("ts", float),
+            Field("src_ip", int),
+            Field("length", int, bounded=True, domain=(40, 1500)),
+        ],
+        ordering="ts",
+        name="Traffic",
+    )
+
+
+@pytest.fixture
+def traffic_rows() -> list[dict]:
+    """20 deterministic packets, ts = 0..19, alternating src_ip 0/1/2."""
+    return [
+        {"ts": float(i), "src_ip": i % 3, "length": 100 + (i % 5) * 300}
+        for i in range(20)
+    ]
+
+
+@pytest.fixture
+def traffic_source(traffic_rows) -> ListSource:
+    return ListSource("Traffic", traffic_rows, ts_attr="ts")
+
+
+def make_records(values, ts_attr=None):
+    """Helper: list of dicts -> list of Records stamped by position."""
+    out = []
+    for i, v in enumerate(values):
+        ts = float(v[ts_attr]) if ts_attr else float(i)
+        out.append(Record(v, ts=ts, seq=i))
+    return out

@@ -1,0 +1,171 @@
+"""Tests for the push-mode execution engine."""
+
+import pytest
+
+from repro.core import Engine, ListSource, Plan, Punctuation, Record, run_plan
+from repro.errors import PlanError
+from repro.operators import (
+    Aggregate,
+    AggSpec,
+    Select,
+    SymmetricHashJoin,
+)
+
+
+def select_plan(pred, name="S"):
+    plan = Plan()
+    plan.add_input(name)
+    op = plan.add(Select(pred), upstream=[name])
+    plan.mark_output(op, "out")
+    return plan
+
+
+class TestBatchRun:
+    def test_filters_records(self, traffic_source):
+        plan = select_plan(lambda r: r["length"] > 512)
+        plan.inputs["Traffic"] = plan.inputs.pop("S")
+        # rebuild cleanly instead of mutating internals
+        plan = Plan()
+        plan.add_input("Traffic")
+        op = plan.add(Select(lambda r: r["length"] > 512), upstream=["Traffic"])
+        plan.mark_output(op, "out")
+        result = run_plan(plan, [traffic_source])
+        assert all(r["length"] > 512 for r in result.records())
+        # lengths cycle 100,400,700,1000,1300: 3 of every 5 pass
+        assert len(result.records()) == 12
+
+    def test_missing_source_rejected(self):
+        plan = select_plan(lambda r: True)
+        with pytest.raises(PlanError, match="no source"):
+            run_plan(plan, [])
+
+    def test_extra_source_rejected(self):
+        plan = select_plan(lambda r: True)
+        with pytest.raises(PlanError, match="match no plan input"):
+            run_plan(
+                plan,
+                {
+                    "S": ListSource("S", []),
+                    "X": ListSource("X", []),
+                },
+            )
+
+    def test_outputs_preserve_arrival_order(self):
+        plan = select_plan(lambda r: True)
+        rows = [{"v": i, "t": float(i)} for i in range(10)]
+        result = run_plan(plan, [ListSource("S", rows, ts_attr="t")])
+        assert [r["v"] for r in result.records()] == list(range(10))
+
+    def test_two_input_join_interleaves_by_ts(self):
+        plan = Plan()
+        plan.add_input("A")
+        plan.add_input("B")
+        join = SymmetricHashJoin(["k"], ["j"])
+        plan.add(join, upstream=["A", "B"])
+        plan.mark_output(join, "out")
+        a = ListSource("A", [{"k": 1, "t": 0.0}], ts_attr="t")
+        b = ListSource("B", [{"j": 1, "t": 1.0}], ts_attr="t")
+        result = run_plan(plan, {"A": a, "B": b})
+        assert len(result.records()) == 1
+
+    def test_flush_propagates_downstream(self):
+        """Aggregate results emitted at flush must pass later operators."""
+        plan = Plan()
+        plan.add_input("S")
+        agg = Aggregate(["g"], [AggSpec("n", "count")])
+        plan.add(agg, upstream=["S"])
+        sel = plan.add(Select(lambda r: r["n"] >= 2), upstream=[agg])
+        plan.mark_output(sel, "out")
+        rows = [{"g": "a"}, {"g": "a"}, {"g": "b"}]
+        result = run_plan(plan, [ListSource("S", rows)])
+        assert result.values() == [{"g": "a", "n": 2}]
+
+    def test_metrics_counted(self, traffic_source):
+        plan = Plan()
+        plan.add_input("Traffic")
+        op = plan.add(
+            Select(lambda r: r["length"] > 512, name="sel"),
+            upstream=["Traffic"],
+        )
+        plan.mark_output(op, "out")
+        engine = Engine(plan)
+        result = engine.run([traffic_source])
+        m = result.metrics.for_operator("sel")
+        assert m.records_in == 20
+        assert m.records_out == len(result.records())
+        assert 0 < m.observed_selectivity < 1
+
+    def test_multiple_outputs(self):
+        plan = Plan()
+        plan.add_input("S")
+        a = plan.add(Select(lambda r: r["v"] % 2 == 0, name="even"), upstream=["S"])
+        b = plan.add(Select(lambda r: True, name="all"), upstream=["S"])
+        plan.mark_output(a, "evens")
+        plan.mark_output(b, "all")
+        rows = [{"v": i} for i in range(6)]
+        result = run_plan(plan, [ListSource("S", rows)])
+        assert len(result.records("evens")) == 3
+        assert len(result.records("all")) == 6
+
+    def test_punctuations_pass_through_select(self):
+        plan = select_plan(lambda r: True)
+        elements = [
+            Record({"v": 1}, ts=0.0),
+            Punctuation.time_bound("ts", 0.5),
+            Record({"v": 2}, ts=1.0),
+        ]
+        result = run_plan(plan, [ListSource("S", elements)])
+        assert len(result.punctuations()) == 1
+        assert len(result.records()) == 2
+
+
+class TestIncrementalEngine:
+    def test_feed_returns_new_results(self):
+        plan = select_plan(lambda r: r["v"] > 5)
+        engine = Engine(plan)
+        engine.start()
+        assert engine.feed("S", Record({"v": 1}, ts=0.0)) == []
+        out = engine.feed("S", Record({"v": 9}, ts=1.0))
+        assert len(out) == 1 and out[0]["v"] == 9
+        result = engine.finish()
+        assert len(result.records()) == 1
+
+    def test_feed_before_start_raises(self):
+        engine = Engine(select_plan(lambda r: True))
+        with pytest.raises(PlanError):
+            engine.feed("S", Record({"v": 1}))
+
+    def test_finish_flushes_blocking_operators(self):
+        plan = Plan()
+        plan.add_input("S")
+        agg = Aggregate(["g"], [AggSpec("n", "count")])
+        plan.add(agg, upstream=["S"])
+        plan.mark_output(agg, "out")
+        engine = Engine(plan)
+        engine.start()
+        engine.feed("S", Record({"g": "x"}, ts=0.0))
+        engine.feed("S", Record({"g": "x"}, ts=1.0))
+        result = engine.finish()
+        assert result.values() == [{"g": "x", "n": 2}]
+
+    def test_unknown_input_rejected(self):
+        engine = Engine(select_plan(lambda r: True))
+        engine.start()
+        with pytest.raises(PlanError, match="unknown input"):
+            engine.feed("nope", Record({"v": 1}))
+
+    def test_run_after_incremental_reuse(self):
+        plan = select_plan(lambda r: True)
+        engine = Engine(plan)
+        engine.start()
+        engine.feed("S", Record({"v": 1}))
+        engine.finish()
+        result = engine.run([ListSource("S", [{"v": 2}])])
+        assert len(result.records()) == 1
+
+
+class TestRunResult:
+    def test_values_helper(self):
+        plan = select_plan(lambda r: True)
+        result = run_plan(plan, [ListSource("S", [{"v": 3}])])
+        assert result.values() == [{"v": 3}]

@@ -1,0 +1,130 @@
+"""Tests for plan construction and validation."""
+
+import pytest
+
+from repro.core import Plan, linear_plan
+from repro.errors import PlanError
+from repro.operators import Select, SymmetricHashJoin
+
+
+def passthrough(name="op"):
+    return Select(lambda r: True, name=name)
+
+
+class TestPlanConstruction:
+    def test_duplicate_input_rejected(self):
+        plan = Plan()
+        plan.add_input("S")
+        with pytest.raises(PlanError):
+            plan.add_input("S")
+
+    def test_add_wires_ports_in_order(self):
+        plan = Plan()
+        plan.add_input("A")
+        plan.add_input("B")
+        join = SymmetricHashJoin(["k"], ["k"])
+        plan.add(join, upstream=["A", "B"])
+        plan.mark_output(join, "out")
+        plan.validate()
+
+    def test_connect_unknown_input(self):
+        plan = Plan()
+        op = passthrough()
+        plan.add(op)
+        with pytest.raises(PlanError, match="unknown input"):
+            plan.connect("nope", op)
+
+    def test_connect_out_of_range_port(self):
+        plan = Plan()
+        plan.add_input("S")
+        op = passthrough()
+        plan.add(op)
+        with pytest.raises(PlanError, match="arity"):
+            plan.connect("S", op, port=1)
+
+    def test_same_operator_twice_rejected(self):
+        plan = Plan()
+        plan.add_input("S")
+        op = passthrough()
+        plan.add(op, upstream=["S"])
+        with pytest.raises(PlanError, match="already"):
+            plan.add(op)
+
+    def test_consumer_must_be_added_first(self):
+        plan = Plan()
+        plan.add_input("S")
+        with pytest.raises(PlanError, match="not added"):
+            plan.connect("S", passthrough())
+
+    def test_duplicate_output_name(self):
+        plan = Plan()
+        plan.add_input("S")
+        op = plan.add(passthrough(), upstream=["S"])
+        plan.mark_output(op, "out")
+        with pytest.raises(PlanError, match="duplicate output"):
+            plan.mark_output(op, "out")
+
+
+class TestValidation:
+    def test_unconnected_port_fails_validation(self):
+        plan = Plan()
+        plan.add_input("S")
+        join = SymmetricHashJoin(["k"], ["k"])
+        plan.add(join)
+        plan.connect("S", join, 0)  # port 1 left dangling
+        plan.mark_output(join, "out")
+        with pytest.raises(PlanError, match="arity"):
+            plan.validate()
+
+    def test_no_outputs_fails_validation(self):
+        plan = Plan()
+        plan.add_input("S")
+        plan.add(passthrough(), upstream=["S"])
+        with pytest.raises(PlanError, match="no outputs"):
+            plan.validate()
+
+    def test_topological_order_is_dataflow_order(self):
+        plan = Plan()
+        plan.add_input("S")
+        a = plan.add(passthrough("a"), upstream=["S"])
+        b = plan.add(passthrough("b"), upstream=[a])
+        c = plan.add(passthrough("c"), upstream=[b])
+        plan.mark_output(c, "out")
+        order = [op.name for op in plan.topological_order()]
+        assert order == ["a", "b", "c"]
+
+    def test_diamond_topology(self):
+        plan = Plan()
+        plan.add_input("S")
+        top = plan.add(passthrough("top"), upstream=["S"])
+        left = plan.add(passthrough("left"), upstream=[top])
+        right = plan.add(passthrough("right"), upstream=[top])
+        join = SymmetricHashJoin(["k"], ["k"], name="join")
+        plan.add(join, upstream=[left, right])
+        plan.mark_output(join, "out")
+        order = [op.name for op in plan.topological_order()]
+        assert order.index("top") < order.index("left")
+        assert order.index("top") < order.index("right")
+        assert order.index("join") == 3
+
+
+class TestLinearPlan:
+    def test_builds_chain(self):
+        plan = linear_plan("S", [passthrough("a"), passthrough("b")])
+        plan.validate()
+        assert list(plan.inputs) == ["S"]
+        assert list(plan.outputs) == ["out"]
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(PlanError):
+            linear_plan("S", [])
+
+    def test_reset_resets_all_operators(self):
+        from repro.operators import DistinctProject
+
+        op = DistinctProject(["a"])
+        plan = linear_plan("S", [op])
+        op.process(__import__("repro.core", fromlist=["Record"]).Record({"a": 1}))
+        assert op.memory() == 1
+        plan.reset()
+        assert op.memory() == 0

@@ -1,0 +1,92 @@
+"""Small-surface tests: virtual clock, catalog, error hierarchy."""
+
+import pytest
+
+from repro.core import VirtualClock
+from repro.core.tuples import Schema
+from repro.cql import Catalog
+from repro.errors import (
+    LexError,
+    ParseError,
+    QueryError,
+    SchemaError,
+    SemanticError,
+    StreamError,
+    UnboundedMemoryError,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_origin(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_to_is_monotone(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_to(3.0)  # ignored: clocks never run backwards
+        assert clock.now == 5.0
+
+    def test_advance_by(self):
+        clock = VirtualClock(10.0)
+        clock.advance_by(2.5)
+        assert clock.now == 12.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance_by(-1.0)
+
+    def test_reset(self):
+        clock = VirtualClock(9.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestCatalog:
+    def test_duplicate_stream_rejected(self):
+        cat = Catalog()
+        cat.register_stream("S", Schema(["a"]))
+        with pytest.raises(SemanticError, match="duplicate"):
+            cat.register_stream("S", Schema(["a"]))
+
+    def test_names_sorted(self):
+        cat = Catalog()
+        cat.register_stream("B", Schema(["a"]))
+        cat.register_stream("A", Schema(["a"]))
+        assert cat.names() == ["A", "B"]
+
+    def test_functions_case_insensitive(self):
+        cat = Catalog()
+        cat.register_function("MyFunc", lambda x: x)
+        assert cat.function("myfunc") is not None
+        assert cat.function("MYFUNC") is not None
+
+    def test_contains(self):
+        cat = Catalog()
+        cat.register_stream("S", Schema(["a"]))
+        assert "S" in cat and "T" not in cat
+
+
+class TestErrorHierarchy:
+    def test_everything_is_a_stream_error(self):
+        for exc in (
+            SchemaError,
+            SemanticError,
+            UnboundedMemoryError,
+            ParseError("x"),
+            LexError("x", 0),
+        ):
+            cls = exc if isinstance(exc, type) else type(exc)
+            assert issubclass(cls, StreamError)
+
+    def test_unbounded_memory_is_semantic(self):
+        assert issubclass(UnboundedMemoryError, SemanticError)
+        assert issubclass(SemanticError, QueryError)
+
+    def test_lex_error_carries_position(self):
+        err = LexError("bad", 7)
+        assert err.position == 7
+        assert "offset 7" in str(err)
+
+    def test_parse_error_optional_position(self):
+        assert ParseError("oops").position == -1
+        assert "offset" in str(ParseError("oops", 3))

@@ -1,0 +1,107 @@
+"""Tests for inter-operator queues and the metrics registry."""
+
+from repro.core import OpQueue, Punctuation, Record
+from repro.core.metrics import MetricsRegistry, OperatorMetrics, TimeSeries
+
+
+class TestOpQueue:
+    def test_fifo_order(self):
+        q = OpQueue()
+        q.push(Record({"v": 1}, ts=0))
+        q.push(Record({"v": 2}, ts=1))
+        assert q.pop()["v"] == 1
+        assert q.pop()["v"] == 2
+
+    def test_size_accounting(self):
+        q = OpQueue()
+        q.push(Record({"v": 1}, size=2.0))
+        q.push(Record({"v": 2}, size=0.5))
+        assert q.size == 2.5
+        q.pop()
+        assert q.size == 0.5
+
+    def test_punctuations_are_free(self):
+        q = OpQueue()
+        q.push(Punctuation.time_bound("ts", 1.0))
+        assert q.size == 0.0
+        assert len(q) == 1
+
+    def test_capacity_drops_tail(self):
+        q = OpQueue(capacity=2.0)
+        assert q.push(Record({"v": 1}, size=1.5))
+        assert not q.push(Record({"v": 2}, size=1.0))
+        assert q.stats.dropped == 1
+        assert len(q) == 1
+
+    def test_punctuation_never_dropped(self):
+        q = OpQueue(capacity=0.5)
+        assert q.push(Punctuation.time_bound("ts", 1.0))
+
+    def test_peak_tracking(self):
+        q = OpQueue()
+        for i in range(3):
+            q.push(Record({"v": i}, size=1.0))
+        q.pop()
+        assert q.stats.peak_size == 3.0
+        assert q.stats.peak_length == 3
+
+    def test_clear(self):
+        q = OpQueue()
+        q.push(Record({"v": 1}))
+        q.clear()
+        assert len(q) == 0 and q.size == 0.0
+
+    def test_bool_and_peek(self):
+        q = OpQueue()
+        assert not q
+        q.push(Record({"v": 9}))
+        assert q
+        assert q.peek()["v"] == 9
+        assert len(q) == 1  # peek does not consume
+
+
+class TestOperatorMetrics:
+    def test_observed_selectivity(self):
+        m = OperatorMetrics(records_in=10, records_out=3)
+        assert m.observed_selectivity == 0.3
+
+    def test_observed_selectivity_no_input(self):
+        assert OperatorMetrics().observed_selectivity == 0.0
+
+
+class TestTimeSeries:
+    def test_reductions(self):
+        ts = TimeSeries()
+        for t, v in [(0, 1.0), (1, 3.0), (2, 2.0)]:
+            ts.append(t, v)
+        assert ts.max() == 3.0
+        assert ts.mean() == 2.0
+        assert ts.last() == 2.0
+        assert len(ts) == 3
+
+    def test_at_step_semantics(self):
+        ts = TimeSeries()
+        ts.append(0.0, 1.0)
+        ts.append(2.0, 5.0)
+        assert ts.at(1.0) == 1.0
+        assert ts.at(2.0) == 5.0
+        assert ts.at(-1.0) == 0.0
+
+    def test_empty_series(self):
+        ts = TimeSeries()
+        assert ts.max() == 0.0 and ts.mean() == 0.0 and ts.last() == 0.0
+
+
+class TestMetricsRegistry:
+    def test_for_operator_is_sticky(self):
+        reg = MetricsRegistry()
+        reg.for_operator("a").records_in += 1
+        assert reg.for_operator("a").records_in == 1
+
+    def test_summary(self):
+        reg = MetricsRegistry()
+        m = reg.for_operator("a")
+        m.records_in = 4
+        m.records_out = 2
+        summary = reg.summary()
+        assert summary["a"]["observed_selectivity"] == 0.5

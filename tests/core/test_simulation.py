@@ -1,0 +1,168 @@
+"""Tests for the discrete-event simulator (slides 42-44 machinery)."""
+
+import pytest
+
+from repro.core import ListSource, Plan, SimConfig, Simulation
+from repro.operators import Select
+from repro.scheduling import (
+    ChainScheduler,
+    FIFOScheduler,
+    GreedyScheduler,
+    RoundRobinScheduler,
+)
+from repro.shedding import RandomShedder
+
+
+def chain_plan(specs):
+    """Build a linear plan of pass-all Selects with given (cost, sel)."""
+    plan = Plan()
+    plan.add_input("S")
+    upstream = "S"
+    last = None
+    for i, (cost, sel) in enumerate(specs):
+        op = Select(
+            lambda r: True,
+            name=f"op{i + 1}",
+            cost_per_tuple=cost,
+            selectivity=sel,
+        )
+        plan.add(op, upstream=[upstream])
+        upstream = op
+        last = op
+    plan.mark_output(last, "out")
+    return plan
+
+
+def unit_arrivals(n):
+    return ListSource("S", [{"v": i, "ts": float(i)} for i in range(n)], ts_attr="ts")
+
+
+class TestSlide43:
+    """The tutorial's exact scheduling table (slide 43)."""
+
+    def run_memory(self, scheduler):
+        plan = chain_plan([(1.0, 0.2), (1.0, 0.0)])
+        sim = Simulation(plan, scheduler, SimConfig(sample_interval=1.0))
+        res = sim.run([unit_arrivals(5)])
+        return [round(v, 6) for v in res.memory.values[:5]]
+
+    def test_greedy_matches_slide(self):
+        assert self.run_memory(GreedyScheduler()) == [1.0, 1.2, 1.4, 1.6, 1.8]
+
+    def test_fifo_matches_slide(self):
+        assert self.run_memory(FIFOScheduler()) == [1.0, 1.2, 2.0, 2.2, 3.0]
+
+    def test_chain_matches_greedy_on_this_chain(self):
+        # For this 2-op chain the lower envelope equals the greedy
+        # ordering, so Chain reproduces the Greedy column.
+        assert self.run_memory(ChainScheduler()) == [1.0, 1.2, 1.4, 1.6, 1.8]
+
+    def test_greedy_never_worse_than_fifo_here(self):
+        g = self.run_memory(GreedyScheduler())
+        f = self.run_memory(FIFOScheduler())
+        assert all(a <= b for a, b in zip(g, f))
+
+
+class TestAbstractRateModel:
+    def test_output_weight_equals_product_of_selectivities(self):
+        plan = chain_plan([(0.1, 0.5), (0.1, 0.5)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(100)])
+        assert res.output_weight["out"] == pytest.approx(100 * 0.25)
+
+    def test_zero_selectivity_produces_nothing(self):
+        plan = chain_plan([(0.1, 0.0)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(10)])
+        assert res.output_weight["out"] == 0.0
+
+    def test_faster_processor_reduces_latency(self):
+        plan = chain_plan([(1.0, 1.0)])
+        slow = Simulation(plan, FIFOScheduler(), SimConfig(speed=1.0)).run(
+            [unit_arrivals(20)]
+        )
+        plan2 = chain_plan([(1.0, 1.0)])
+        fast = Simulation(plan2, FIFOScheduler(), SimConfig(speed=4.0)).run(
+            [unit_arrivals(20)]
+        )
+        assert fast.mean_latency < slow.mean_latency
+
+    def test_overload_grows_memory(self):
+        # Service takes 2 time units, arrivals come every 1: backlog.
+        plan = chain_plan([(2.0, 1.0)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(20)])
+        assert res.memory.max() >= 5
+
+
+class TestDropsAndShedding:
+    def test_bounded_queue_drops(self):
+        plan = chain_plan([(5.0, 1.0)])
+        sim = Simulation(
+            plan, FIFOScheduler(), SimConfig(queue_capacity=2.0)
+        )
+        res = sim.run([unit_arrivals(20)])
+        assert res.drops > 0
+
+    def test_shedder_counts(self):
+        plan = chain_plan([(1.0, 1.0)])
+        shedder = RandomShedder(drop_rate=0.5, seed=7)
+        sim = Simulation(plan, FIFOScheduler(), SimConfig(shedder=shedder))
+        res = sim.run([unit_arrivals(100)])
+        assert res.shed > 20
+        assert res.shed + shedder.admitted == 100
+
+    def test_until_cuts_arrivals(self):
+        plan = chain_plan([(0.5, 1.0)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig(until=4.5))
+        res = sim.run([unit_arrivals(100)])
+        # arrivals at ts 0..4 admitted only
+        m = res.metrics.for_operator("op1")
+        assert m.records_in == 5
+
+
+class TestSemanticMode:
+    def test_operators_actually_filter(self):
+        plan = Plan()
+        plan.add_input("S")
+        op = plan.add(
+            Select(lambda r: r["v"] % 2 == 0, name="even", selectivity=0.5),
+            upstream=["S"],
+        )
+        plan.mark_output(op, "out")
+        sim = Simulation(plan, FIFOScheduler(), SimConfig(mode="semantic"))
+        res = sim.run([unit_arrivals(10)])
+        assert res.output_count["out"] == 5
+        values = [el["v"] for el in res.outputs["out"]]
+        assert all(v % 2 == 0 for v in values)
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import PlanError
+
+        with pytest.raises(PlanError):
+            Simulation(chain_plan([(1, 1)]), FIFOScheduler(), SimConfig(mode="x"))
+
+
+class TestRoundRobin:
+    def test_round_robin_serves_both_operators(self):
+        plan = chain_plan([(1.0, 1.0), (1.0, 1.0)])
+        sim = Simulation(plan, RoundRobinScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(10)])
+        assert res.output_weight["out"] == pytest.approx(10.0)
+
+
+class TestOutputSeries:
+    def test_cumulative_output_series_monotone(self):
+        plan = chain_plan([(0.2, 1.0)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(10)])
+        series = res.output_series["out"].values
+        assert series == sorted(series)
+        assert series[-1] == pytest.approx(10.0)
+
+    def test_output_rate(self):
+        plan = chain_plan([(0.1, 0.5)])
+        sim = Simulation(plan, FIFOScheduler(), SimConfig())
+        res = sim.run([unit_arrivals(11)])
+        # 11 arrivals over ts 0..10 -> end_time ~10, 5.5 weighted outputs
+        assert res.output_rate("out") == pytest.approx(0.55, rel=0.01)

@@ -1,0 +1,108 @@
+"""Edge-case simulator tests: punctuations, drain modes, binary ops."""
+
+import pytest
+
+from repro.core import (
+    ListSource,
+    Plan,
+    Punctuation,
+    Record,
+    SimConfig,
+    Simulation,
+)
+from repro.operators import Select, SymmetricHashJoin, WindowedAggregate, AggSpec
+from repro.scheduling import FIFOScheduler
+from repro.windows import TumblingWindow
+
+
+def simple_plan(**select_kwargs):
+    plan = Plan()
+    plan.add_input("S")
+    select_kwargs.setdefault("selectivity", 1.0)
+    op = plan.add(
+        Select(lambda r: True, name="op", **select_kwargs), upstream=["S"]
+    )
+    plan.mark_output(op, "out")
+    return plan
+
+
+class TestPunctuationsInSimulation:
+    def test_punctuations_flow_and_are_free(self):
+        elements = [
+            Record({"v": 1}, ts=0.0, seq=0),
+            Punctuation.time_bound("ts", 0.5),
+            Record({"v": 2}, ts=1.0, seq=1),
+        ]
+        sim = Simulation(simple_plan(), FIFOScheduler(), SimConfig())
+        res = sim.run([ListSource("S", elements)])
+        # Punctuations carry no weight but do appear at the output.
+        assert res.output_weight["out"] == pytest.approx(2.0)
+        puncts = [e for e in res.outputs["out"] if isinstance(e, Punctuation)]
+        assert len(puncts) == 1
+
+    def test_semantic_mode_uses_punctuations(self):
+        """A tumbling aggregate inside the simulator closes buckets on
+        heartbeat punctuations, exactly as in push mode."""
+        plan = Plan()
+        plan.add_input("S")
+        agg = plan.add(
+            WindowedAggregate(
+                TumblingWindow(10.0), [], [AggSpec("n", "count")],
+                cost_per_tuple=0.1,
+            ),
+            upstream=["S"],
+        )
+        plan.mark_output(agg, "out")
+        elements = [Record({"ts": float(i)}, ts=float(i), seq=i) for i in range(5)]
+        elements.append(Punctuation.time_bound("ts", 10.0))
+        sim = Simulation(plan, FIFOScheduler(), SimConfig(mode="semantic"))
+        res = sim.run([ListSource("S", elements)])
+        records = [e for e in res.outputs["out"] if isinstance(e, Record)]
+        assert records and records[0]["n"] == 5
+
+
+class TestDrainModes:
+    def test_drain_serves_backlog(self):
+        rows = [{"v": i, "ts": float(i)} for i in range(10)]
+        sim = Simulation(
+            simple_plan(cost_per_tuple=3.0),
+            FIFOScheduler(),
+            SimConfig(drain=True),
+        )
+        res = sim.run([ListSource("S", rows, ts_attr="ts")])
+        assert res.metrics.for_operator("op").records_in == 10
+        assert res.end_time == pytest.approx(30.0)
+
+    def test_no_drain_stops_at_last_arrival(self):
+        rows = [{"v": i, "ts": float(i)} for i in range(10)]
+        sim = Simulation(
+            simple_plan(cost_per_tuple=3.0),
+            FIFOScheduler(),
+            SimConfig(drain=False),
+        )
+        res = sim.run([ListSource("S", rows, ts_attr="ts")])
+        assert res.metrics.for_operator("op").records_in < 10
+
+
+class TestBinaryOperatorsInSimulation:
+    def test_semantic_join_in_simulator(self):
+        plan = Plan()
+        plan.add_input("A")
+        plan.add_input("B")
+        join = SymmetricHashJoin(["k"], ["k"], cost_per_tuple=0.01)
+        plan.add(join, upstream=["A", "B"])
+        plan.mark_output(join, "out")
+        a = ListSource("A", [{"k": 1, "ts": 0.0}, {"k": 2, "ts": 2.0}], ts_attr="ts")
+        b = ListSource("B", [{"k": 1, "ts": 1.0}, {"k": 1, "ts": 3.0}], ts_attr="ts")
+        sim = Simulation(plan, FIFOScheduler(), SimConfig(mode="semantic"))
+        res = sim.run({"A": a, "B": b})
+        assert res.output_count["out"] == 2  # k=1 matches twice
+
+    def test_latency_accounting(self):
+        rows = [{"v": i, "ts": float(i)} for i in range(5)]
+        sim = Simulation(
+            simple_plan(cost_per_tuple=1.0), FIFOScheduler(), SimConfig()
+        )
+        res = sim.run([ListSource("S", rows, ts_attr="ts")])
+        # Arrivals every 1s and service 1s: each tuple waits ~1 service.
+        assert res.mean_latency == pytest.approx(1.0)

@@ -1,0 +1,210 @@
+"""Tests for the stream element model: schemas, records, punctuations."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Field, Punctuation, Record, Schema
+from repro.core.tuples import WILDCARD, element_size
+from repro.errors import SchemaError
+
+
+class TestField:
+    def test_defaults_are_unbounded(self):
+        f = Field("x")
+        assert not f.bounded
+        assert f.domain_size() == math.inf
+
+    def test_integer_range_domain_size(self):
+        f = Field("port", int, bounded=True, domain=(0, 65535))
+        assert f.domain_size() == 65536
+
+    def test_categorical_domain_size(self):
+        f = Field("flag", str, bounded=True, domain=("SYN", "ACK", "FIN"))
+        assert f.domain_size() == 3
+
+    def test_bounded_without_domain_is_infinite(self):
+        f = Field("x", bounded=True)
+        assert f.domain_size() == math.inf
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("not a name")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Field("")
+
+
+class TestSchema:
+    def test_string_fields_are_promoted(self):
+        s = Schema(["a", "b"])
+        assert s.names == ("a", "b")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_unknown_ordering_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"], ordering="b")
+
+    def test_field_lookup_and_contains(self):
+        s = Schema([Field("a", int)])
+        assert s.field("a").dtype is int
+        assert "a" in s
+        assert "b" not in s
+
+    def test_field_lookup_error_names_schema(self):
+        s = Schema(["a"])
+        with pytest.raises(SchemaError, match="unknown attribute"):
+            s.field("zz")
+
+    def test_project_keeps_ordering_when_included(self):
+        s = Schema(["ts", "a"], ordering="ts")
+        p = s.project(["ts"])
+        assert p.ordering == "ts"
+
+    def test_project_drops_ordering_when_excluded(self):
+        s = Schema(["ts", "a"], ordering="ts")
+        p = s.project(["a"])
+        assert p.ordering is None
+
+    def test_rename(self):
+        s = Schema(["ts", "a"], ordering="ts")
+        r = s.rename({"a": "b", "ts": "time"})
+        assert r.names == ("time", "b")
+        assert r.ordering == "time"
+
+    def test_join_disjoint(self):
+        left = Schema(["a"])
+        right = Schema(["b"])
+        assert left.join(right).names == ("a", "b")
+
+    def test_join_clash_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema(["a"]).join(Schema(["a"]))
+
+    def test_validate_missing_attribute(self):
+        s = Schema(["a", "b"])
+        with pytest.raises(SchemaError, match="missing"):
+            s.validate({"a": 1})
+
+    def test_equality_and_hash(self):
+        a = Schema(["x"], ordering=None)
+        b = Schema(["x"])
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRecord:
+    def test_getitem_and_get(self):
+        r = Record({"a": 1}, ts=2.0)
+        assert r["a"] == 1
+        assert r.get("b", 7) == 7
+
+    def test_missing_attribute_raises_schema_error(self):
+        r = Record({"a": 1})
+        with pytest.raises(SchemaError, match="no attribute"):
+            r["b"]
+
+    def test_with_values_preserves_stamps(self):
+        r = Record({"a": 1}, ts=3.0, seq=5, size=0.5)
+        r2 = r.with_values({"b": 2})
+        assert r2.ts == 3.0 and r2.seq == 5 and r2.size == 0.5
+        assert "a" not in r2
+
+    def test_merged_takes_max_ts(self):
+        a = Record({"x": 1}, ts=1.0, seq=1)
+        b = Record({"y": 2}, ts=5.0, seq=2)
+        m = a.merged(b)
+        assert m.ts == 5.0
+        assert m.values == {"x": 1, "y": 2}
+
+    def test_merged_right_overrides_left(self):
+        a = Record({"x": 1})
+        b = Record({"x": 2})
+        assert a.merged(b)["x"] == 2
+
+    def test_key_extraction(self):
+        r = Record({"a": 1, "b": 2, "c": 3})
+        assert r.key(["c", "a"]) == (3, 1)
+
+    def test_equality(self):
+        assert Record({"a": 1}, ts=1.0) == Record({"a": 1}, ts=1.0)
+        assert Record({"a": 1}, ts=1.0) != Record({"a": 1}, ts=2.0)
+
+
+class TestPunctuation:
+    def test_literal_pattern_matches(self):
+        p = Punctuation.of({"auction": 7})
+        assert p.matches(Record({"auction": 7, "price": 3}))
+        assert not p.matches(Record({"auction": 8}))
+
+    def test_wildcard_matches_any_value(self):
+        p = Punctuation.of({"a": WILDCARD})
+        assert p.matches(Record({"a": "anything"}))
+
+    def test_missing_attribute_does_not_match(self):
+        p = Punctuation.of({"a": 1})
+        assert not p.matches(Record({"b": 1}))
+
+    def test_range_pattern(self):
+        p = Punctuation.of({"ts": (None, 10)})
+        assert p.matches(Record({"ts": 10}))
+        assert p.matches(Record({"ts": -5}))
+        assert not p.matches(Record({"ts": 11}))
+
+    def test_two_sided_range(self):
+        p = Punctuation.of({"v": (5, 10)})
+        assert not p.matches(Record({"v": 4}))
+        assert p.matches(Record({"v": 5}))
+        assert p.matches(Record({"v": 10}))
+        assert not p.matches(Record({"v": 11}))
+
+    def test_time_bound_constructor(self):
+        p = Punctuation.time_bound("ts", 100.0)
+        assert p.ts == 100.0
+        assert p.bound_for("ts") == 100.0
+        assert p.matches(Record({"ts": 99.0}))
+        assert not p.matches(Record({"ts": 101.0}))
+
+    def test_bound_for_literal(self):
+        p = Punctuation.of({"tb": 5})
+        assert p.bound_for("tb") == 5.0
+        assert p.bound_for("other") is None
+
+    def test_punctuation_is_hashable_and_frozen(self):
+        p = Punctuation.of({"a": 1})
+        assert hash(p) == hash(Punctuation.of({"a": 1}))
+
+
+class TestElementSize:
+    def test_record_size(self):
+        assert element_size(Record({"a": 1}, size=2.5)) == 2.5
+
+    def test_punctuation_is_free(self):
+        assert element_size(Punctuation.of({"a": 1})) == 0.0
+
+
+@given(
+    st.dictionaries(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(-1000, 1000),
+        min_size=1,
+    )
+)
+def test_record_roundtrip_property(values):
+    """Values in == values out, for any attribute dict."""
+    r = Record(values, ts=1.0)
+    for k, v in values.items():
+        assert r[k] == v
+
+
+@given(st.integers(-100, 100), st.integers(-100, 100))
+def test_range_punctuation_membership_property(bound, probe):
+    """time_bound(attr, b) matches exactly the records with attr <= b."""
+    p = Punctuation.time_bound("ts", float(bound))
+    assert p.matches(Record({"ts": probe})) == (probe <= bound)

@@ -1,0 +1,148 @@
+"""Tests for CQL expression evaluation semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Field, ListSource, Record, Schema, run_plan
+from repro.cql import Catalog, compile_query, parse
+from repro.cql.semantic import Resolver, compile_expr
+from repro.errors import SemanticError
+
+
+def evaluate(expr_text, record_values, schema_fields=("a", "b", "c", "s")):
+    """Parse `select <expr> from S`, compile, evaluate on one record."""
+    stmt = parse(f"select {expr_text} from S")
+    resolver = Resolver({"S": Schema(list(schema_fields))})
+    fn = compile_expr(stmt.projections[0].expr, resolver)
+    return fn(Record(record_values))
+
+
+class TestArithmetic:
+    def test_precedence(self):
+        assert evaluate("a + b * c", {"a": 1, "b": 2, "c": 3}) == 7
+
+    def test_parentheses(self):
+        assert evaluate("(a + b) * c", {"a": 1, "b": 2, "c": 3}) == 9
+
+    def test_unary_minus(self):
+        assert evaluate("-a + b", {"a": 1, "b": 5}) == 4
+
+    def test_modulo(self):
+        assert evaluate("a % 3", {"a": 10}) == 1
+
+    def test_integer_division_floor(self):
+        assert evaluate("a / 60", {"a": 125}) == 2
+
+    def test_float_division_exact(self):
+        assert evaluate("a / 4", {"a": 10.0}) == 2.5
+
+    def test_subtraction_chain_left_assoc(self):
+        assert evaluate("a - b - c", {"a": 10, "b": 3, "c": 2}) == 5
+
+
+class TestComparisonsAndBooleans:
+    def test_comparisons(self):
+        assert evaluate("a < b", {"a": 1, "b": 2}) is True
+        assert evaluate("a >= b", {"a": 1, "b": 2}) is False
+        assert evaluate("a != b", {"a": 1, "b": 2}) is True
+
+    def test_and_or_not(self):
+        values = {"a": 1, "b": 2, "c": 3}
+        assert evaluate("a = 1 and b = 2", values) is True
+        assert evaluate("a = 9 or c = 3", values) is True
+        assert evaluate("not a = 9", values) is True
+
+    def test_boolean_literals(self):
+        assert evaluate("true", {}) is True
+        assert evaluate("false", {}) is False
+
+    def test_contains(self):
+        assert evaluate("s contains 'bc'", {"s": "abcd"}) is True
+        assert evaluate("s contains 'zz'", {"s": "abcd"}) is False
+
+
+class TestBuiltins:
+    def test_abs(self):
+        assert evaluate("abs(a)", {"a": -5}) == 5
+
+    def test_floor(self):
+        assert evaluate("floor(a)", {"a": 2.9}) == 2.0
+
+    def test_string_functions(self):
+        assert evaluate("upper(s)", {"s": "ab"}) == "AB"
+        assert evaluate("lower(s)", {"s": "AB"}) == "ab"
+        assert evaluate("length(s)", {"s": "abc"}) == 3
+
+
+class TestUDFs:
+    def test_udf_with_literal_argument(self):
+        """The slide-37 idiom f(destIP, 'peerid.tbl')."""
+        catalog = Catalog()
+        catalog.register_stream(
+            "S", Schema([Field("ts", float), Field("ip", int)], ordering="ts")
+        )
+        table = {1: "peerA", 2: "peerB"}
+        catalog.register_function(
+            "f", lambda ip, tbl: table.get(ip, "unknown")
+        )
+        plan = compile_query(
+            "select f(ip, 'peerid.tbl') as peer from S", catalog
+        )
+        rows = run_plan(
+            plan,
+            [ListSource("S", [{"ts": 0.0, "ip": 1}, {"ts": 1.0, "ip": 9}],
+                        ts_attr="ts")],
+        ).values()
+        assert [r["peer"] for r in rows] == ["peerA", "unknown"]
+
+    def test_udf_in_group_by(self):
+        catalog = Catalog()
+        catalog.register_stream(
+            "S", Schema([Field("ts", float), Field("ip", int)], ordering="ts")
+        )
+        catalog.register_function("bucket", lambda ip: ip // 10)
+        plan = compile_query(
+            "select bucket(ip) as b, count(*) as n from S "
+            "group by bucket(ip) as b",
+            catalog,
+        )
+        rows = run_plan(
+            plan,
+            [ListSource(
+                "S",
+                [{"ts": float(i), "ip": i} for i in range(25)],
+                ts_attr="ts",
+            )],
+        ).values()
+        assert sorted((r["b"], r["n"]) for r in rows) == [
+            (0, 10), (1, 10), (2, 5),
+        ]
+
+
+class TestErrors:
+    def test_star_outside_count(self):
+        resolver = Resolver({"S": Schema(["a"])})
+        stmt = parse("select f(*) from S")
+        from repro.cql.ast import Star
+
+        with pytest.raises(SemanticError):
+            compile_expr(Star(), resolver)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(-50, 50),
+    st.integers(-50, 50),
+    st.integers(1, 9),
+)
+def test_arithmetic_matches_python_property(a, b, m):
+    """Compiled CQL arithmetic agrees with Python on integers."""
+    values = {"a": a, "b": b, "c": m}
+    assert evaluate("a + b", values) == a + b
+    assert evaluate("a - b", values) == a - b
+    assert evaluate("a * b", values) == a * b
+    assert evaluate("a % c", values) == a % m
+    assert evaluate("a / c", values) == a // m  # SQL integer division
+    assert evaluate("a < b", values) == (a < b)
+    assert evaluate("-a", values) == -a

@@ -1,0 +1,283 @@
+"""Tests for the CQL lexer and parser."""
+
+import pytest
+
+from repro.cql import parse, tokenize
+from repro.cql.ast import (
+    BinOp,
+    Column,
+    FuncCall,
+    Literal,
+    Star,
+    UnaryOp,
+    columns_in,
+    split_conjuncts,
+)
+from repro.errors import LexError, ParseError
+from repro.windows import (
+    NowWindow,
+    PartitionedWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        toks = tokenize("select SELECT SeLeCt")
+        assert all(t.is_keyword("SELECT") for t in toks[:-1])
+
+    def test_numbers(self):
+        toks = tokenize("1 2.5 .75")
+        assert [t.value for t in toks[:-1]] == ["1", "2.5", ".75"]
+
+    def test_strings_with_escapes(self):
+        toks = tokenize(r"'it\'s'")
+        assert toks[0].value == "it's"
+
+    def test_operators(self):
+        toks = tokenize("<= >= != <> = ( ) [ ] , .")
+        values = [t.value for t in toks[:-1]]
+        assert values == ["<=", ">=", "!=", "!=", "=", "(", ")", "[", "]", ",", "."]
+
+    def test_illegal_character(self):
+        with pytest.raises(LexError):
+            tokenize("select @")
+
+    def test_positions_recorded(self):
+        toks = tokenize("a  b")
+        assert toks[0].pos == 0 and toks[1].pos == 3
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "EOF"
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        stmt = parse("select a, b from S")
+        assert [p.expr.name for p in stmt.projections] == ["a", "b"]
+        assert stmt.relations[0].name == "S"
+
+    def test_select_star(self):
+        stmt = parse("select * from S")
+        assert stmt.select_star
+
+    def test_distinct(self):
+        assert parse("select distinct a from S").distinct
+
+    def test_aliases(self):
+        stmt = parse("select a as x from S as T")
+        assert stmt.projections[0].alias == "x"
+        assert stmt.relations[0].alias == "T"
+
+    def test_implicit_relation_alias(self):
+        stmt = parse("select S.a from Stream1 S")
+        assert stmt.relations[0].alias == "S"
+
+    def test_where_group_having(self):
+        stmt = parse(
+            "select g, count(*) from S where v > 1 "
+            "group by g having count(*) > 5"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_group_by_alias(self):
+        stmt = parse("select tb from S group by ts/60 as tb")
+        assert stmt.group_by[0].alias == "tb"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select a from S where x = 1 garbage")
+
+    def test_bare_name_after_relation_is_alias(self):
+        stmt = parse("select a from S extra")
+        assert stmt.relations[0].alias == "extra"
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select a")
+
+
+class TestWindowClauses:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("[range 60]", TimeWindow(60.0)),
+            ("[rows 100]", RowWindow(100)),
+            ("[now]", NowWindow()),
+            ("[unbounded]", UnboundedWindow()),
+            ("[tumble 30]", TumblingWindow(30.0)),
+            ("[partition by k rows 5]", PartitionedWindow(("k",), 5)),
+        ],
+    )
+    def test_window_forms(self, text, expected):
+        stmt = parse(f"select a from S {text}")
+        assert stmt.relations[0].window == expected
+
+    def test_multi_key_partition(self):
+        stmt = parse("select a from S [partition by k1, k2 rows 5]")
+        assert stmt.relations[0].window.keys == ("k1", "k2")
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ParseError):
+            parse("select a from S [sideways 5]")
+
+
+class TestStreamify:
+    @pytest.mark.parametrize("kind", ["istream", "dstream", "rstream"])
+    def test_wrappers(self, kind):
+        stmt = parse(f"{kind}(select a from S)")
+        assert stmt.streamify == kind
+
+    def test_plain_query_has_no_streamify(self):
+        assert parse("select a from S").streamify is None
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        stmt = parse("select a from S where a = 1 or b = 2 and c = 3")
+        expr = stmt.where
+        assert isinstance(expr, BinOp) and expr.op == "OR"
+        assert isinstance(expr.right, BinOp) and expr.right.op == "AND"
+
+    def test_precedence_arithmetic(self):
+        stmt = parse("select a + b * c from S")
+        expr = stmt.projections[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        stmt = parse("select (a + b) * c from S")
+        assert stmt.projections[0].expr.op == "*"
+
+    def test_unary_not_and_minus(self):
+        stmt = parse("select a from S where not a = -1")
+        assert isinstance(stmt.where, UnaryOp)
+
+    def test_qualified_column(self):
+        stmt = parse("select S.a from S")
+        col = stmt.projections[0].expr
+        assert col.qualifier == "S" and col.name == "a"
+
+    def test_count_star(self):
+        stmt = parse("select count(*) from S")
+        call = stmt.projections[0].expr
+        assert isinstance(call, FuncCall)
+        assert isinstance(call.args[0], Star)
+
+    def test_count_distinct(self):
+        stmt = parse("select count(distinct a) from S")
+        assert stmt.projections[0].expr.distinct
+
+    def test_function_args(self):
+        stmt = parse("select f(a, 'x', 1) from S")
+        call = stmt.projections[0].expr
+        assert len(call.args) == 3
+        assert isinstance(call.args[1], Literal)
+
+    def test_contains_operator(self):
+        stmt = parse("select a from S where payload contains 'X-Kazaa'")
+        assert stmt.where.op == "CONTAINS"
+
+    def test_string_and_bool_literals(self):
+        stmt = parse("select a from S where b = 'text' and c = true")
+        conjs = split_conjuncts(stmt.where)
+        assert conjs[0].right.value == "text"
+        assert conjs[1].right.value is True
+
+
+class TestAstUtilities:
+    def test_columns_in(self):
+        stmt = parse("select a from S where x + y > f(z)")
+        cols = {c.name for c in columns_in(stmt.where)}
+        assert cols == {"x", "y", "z"}
+
+    def test_split_conjuncts_flattens_nested_ands(self):
+        stmt = parse("select a from S where p = 1 and q = 2 and r = 3")
+        assert len(split_conjuncts(stmt.where)) == 3
+
+    def test_split_conjuncts_keeps_or_whole(self):
+        stmt = parse("select a from S where p = 1 or q = 2")
+        assert len(split_conjuncts(stmt.where)) == 1
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+
+class TestSlideQueries:
+    """The tutorial's own example queries must parse (slides 13, 29-38)."""
+
+    def test_slide13_aggregation(self):
+        stmt = parse(
+            "select tb, srcIP, sum(len) from IPv4 where protocol = 6 "
+            "group by time/60 as tb, srcIP having count(*) > 5"
+        )
+        assert len(stmt.group_by) == 2
+
+    def test_slide13_rtt_join(self):
+        stmt = parse(
+            "select S.tstmp, S.srcIP, S.destIP, S.srcPort, S.destPort, "
+            "(A.tstmp - S.tstmp) as rtt "
+            "from tcp_syn S, tcp_syn_ack A "
+            "where S.srcIP = A.destIP and S.destIP = A.srcIP "
+            "and S.srcPort = A.destPort and S.destPort = A.srcPort "
+            "and S.tb = A.tb"
+        )
+        assert len(stmt.relations) == 2
+        assert len(split_conjuncts(stmt.where)) == 5
+
+    def test_slide29_projection(self):
+        parse("select sourceIP, time from Traffic where length > 512")
+
+    def test_slide30_window_join(self):
+        stmt = parse(
+            "select A.sourceIP, B.sourceIP from Traffic1 [range 30] A, "
+            "Traffic2 [range 60] B where A.destIP = B.destIP"
+        )
+        assert stmt.relations[0].window == TimeWindow(30.0)
+        assert stmt.relations[1].window == TimeWindow(60.0)
+
+    def test_slide36_distinct(self):
+        parse(
+            "select distinct length from Traffic [range 100] "
+            "where length > 512"
+        )
+
+    def test_slide38_having_fraction(self):
+        parse(
+            "select g, count(*) from S group by g having count(*) > 100"
+        )
+
+
+class TestPunctuatedWindow:
+    def test_parse_punctuated_window(self):
+        from repro.windows import PunctuationWindow
+
+        stmt = parse("select a from S [punctuated on auction]")
+        assert stmt.relations[0].window == PunctuationWindow(("auction",))
+
+    def test_multi_attribute(self):
+        from repro.windows import PunctuationWindow
+
+        stmt = parse("select a from S [punctuated on x, y]")
+        assert stmt.relations[0].window == PunctuationWindow(("x", "y"))
+
+    def test_compiles_and_runs(self):
+        from repro.core import ListSource, run_plan
+        from repro.cql import Catalog, compile_query
+        from repro.workloads import AuctionGenerator, bid_schema
+
+        cat = Catalog()
+        cat.register_stream("bids", bid_schema())
+        plan = compile_query(
+            "select auction, max(price) as winning from bids "
+            "[punctuated on auction] group by auction",
+            cat,
+        )
+        elements = AuctionGenerator().elements()
+        res = run_plan(plan, [ListSource("bids", elements)])
+        assert len(res.records()) == 20

@@ -1,0 +1,398 @@
+"""Tests for CQL semantic analysis and plan compilation."""
+
+import pytest
+
+from repro.core import Field, ListSource, Schema, run_plan
+from repro.cql import Catalog, compile_query, parse
+from repro.cql.semantic import (
+    compile_expr,
+    detect_tumbling_group,
+    resolve_stmt,
+    Resolver,
+)
+from repro.errors import SemanticError, UnboundedMemoryError
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    cat.register_stream(
+        "Traffic",
+        Schema(
+            [
+                Field("ts", float),
+                Field("src_ip", int),
+                Field("dst_ip", int),
+                Field("length", int, bounded=True, domain=(40, 1500)),
+                Field("payload", str),
+            ],
+            ordering="ts",
+        ),
+    )
+    cat.register_stream(
+        "Other",
+        Schema([Field("ts", float), Field("dst_ip", int)], ordering="ts"),
+    )
+    return cat
+
+
+def traffic_rows(n=20):
+    return [
+        {
+            "ts": float(i),
+            "src_ip": i % 3,
+            "dst_ip": i % 2,
+            "length": 100 + (i % 5) * 300,
+            "payload": "X-Kazaa" if i % 4 == 0 else "",
+        }
+        for i in range(n)
+    ]
+
+
+def run_q(text, catalog, rows=None, **kwargs):
+    plan = compile_query(text, catalog, **kwargs)
+    src = ListSource("Traffic", rows or traffic_rows(), ts_attr="ts")
+    return run_plan(plan, [src]).values()
+
+
+class TestResolution:
+    def test_unknown_stream(self, catalog):
+        with pytest.raises(SemanticError, match="unknown stream"):
+            compile_query("select a from Nope", catalog)
+
+    def test_unknown_column(self, catalog):
+        with pytest.raises(SemanticError, match="unknown column"):
+            compile_query("select nope from Traffic", catalog)
+
+    def test_ambiguous_column_in_join(self, catalog):
+        with pytest.raises(SemanticError, match="ambiguous"):
+            compile_query(
+                "select dst_ip from Traffic A, Other B "
+                "where A.dst_ip = B.dst_ip",
+                catalog,
+            )
+
+    def test_bad_qualifier(self, catalog):
+        with pytest.raises(SemanticError, match="alias"):
+            compile_query("select Z.src_ip from Traffic", catalog)
+
+    def test_group_alias_usable_in_select(self, catalog):
+        rows = run_q(
+            "select tb, count(*) as n from Traffic group by ts/10 as tb",
+            catalog,
+        )
+        assert {r["tb"] for r in rows} == {0, 1}
+
+
+class TestTumblingDetection:
+    def test_detects_division_of_ordering_attr(self):
+        stmt = parse("select tb from S group by ts/60 as tb")
+        w = detect_tumbling_group(stmt.group_by[0], {"ts"})
+        assert w is not None and w.width == 60.0
+
+    def test_rejects_non_ordering_attr(self):
+        stmt = parse("select tb from S group by price/60 as tb")
+        assert detect_tumbling_group(stmt.group_by[0], {"ts"}) is None
+
+    def test_rejects_non_literal_divisor(self):
+        stmt = parse("select tb from S group by ts/x as tb")
+        assert detect_tumbling_group(stmt.group_by[0], {"ts"}) is None
+
+
+class TestExpressionCompilation:
+    def test_integer_division_matches_gsql(self):
+        """time/60 over int operands is integer division (slide 37)."""
+        from repro.core import Record
+
+        resolver = Resolver({"S": Schema(["time"])})
+        fn = compile_expr(parse("select time/60 from S").projections[0].expr, resolver)
+        assert fn(Record({"time": 125})) == 2
+
+    def test_float_division(self):
+        from repro.core import Record
+
+        resolver = Resolver({"S": Schema(["x"])})
+        fn = compile_expr(parse("select x/4 from S where x > 0").projections[0].expr, resolver)
+        assert fn(Record({"x": 10.0})) == 2.5
+
+    def test_unknown_function(self, catalog):
+        with pytest.raises(SemanticError, match="unknown function"):
+            compile_query("select mystery(src_ip) from Traffic", catalog)
+
+    def test_registered_udf(self, catalog):
+        catalog.register_function("double", lambda x: 2 * x)
+        rows = run_q("select double(length) as d from Traffic", catalog)
+        assert rows[0]["d"] == 200
+
+    def test_contains(self, catalog):
+        rows = run_q(
+            "select src_ip from Traffic where payload contains 'Kazaa'",
+            catalog,
+        )
+        assert len(rows) == 5
+
+
+class TestSingleStreamQueries:
+    def test_select_project(self, catalog):
+        rows = run_q(
+            "select src_ip, length from Traffic where length > 512",
+            catalog,
+        )
+        assert len(rows) == 12
+        assert set(rows[0]) == {"src_ip", "length"}
+
+    def test_select_star(self, catalog):
+        rows = run_q("select * from Traffic where length > 1200", catalog)
+        assert set(rows[0]) == {"ts", "src_ip", "dst_ip", "length", "payload"}
+
+    def test_computed_projection(self, catalog):
+        rows = run_q("select length * 2 as kb from Traffic", catalog)
+        assert rows[0]["kb"] == 200
+
+    def test_distinct(self, catalog):
+        rows = run_q("select distinct src_ip from Traffic", catalog)
+        assert sorted(r["src_ip"] for r in rows) == [0, 1, 2]
+
+    def test_distinct_requires_plain_columns(self, catalog):
+        with pytest.raises(SemanticError, match="plain column"):
+            compile_query("select distinct length + 1 from Traffic", catalog)
+
+    def test_aggregation_unwindowed(self, catalog):
+        rows = run_q(
+            "select src_ip, count(*) as n, sum(length) as vol "
+            "from Traffic group by src_ip",
+            catalog,
+        )
+        assert sum(r["n"] for r in rows) == 20
+
+    def test_tumbling_aggregation(self, catalog):
+        rows = run_q(
+            "select tb, count(*) as n from Traffic group by ts/10 as tb",
+            catalog,
+        )
+        assert [(r["tb"], r["n"]) for r in rows] == [(0, 10), (1, 10)]
+
+    def test_having(self, catalog):
+        rows = run_q(
+            "select src_ip, count(*) as n from Traffic "
+            "group by src_ip having count(*) > 6",
+            catalog,
+        )
+        # 20 records over 3 ips: counts 7,7,6
+        assert all(r["n"] == 7 for r in rows) and len(rows) == 2
+
+    def test_having_with_hidden_aggregate(self, catalog):
+        rows = run_q(
+            "select src_ip from Traffic group by src_ip "
+            "having sum(length) > 4000",
+            catalog,
+        )
+        assert all("_having" not in k for r in rows for k in r)
+
+    def test_sliding_window_aggregate(self, catalog):
+        rows = run_q(
+            "select count(*) as n from Traffic [rows 5]",
+            catalog,
+        )
+        # per-arrival emission; the last output covers 5 rows
+        assert rows[-1]["n"] == 5
+
+    def test_ungrouped_column_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="neither grouped"):
+            compile_query(
+                "select length, count(*) from Traffic group by src_ip",
+                catalog,
+            )
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="not allowed"):
+            compile_query(
+                "select src_ip from Traffic where count(*) > 1", catalog
+            )
+
+
+class TestBoundedMemoryGate:
+    def test_unbounded_group_rejected_when_required(self, catalog):
+        with pytest.raises(UnboundedMemoryError):
+            compile_query(
+                "select src_ip, count(*) from Traffic group by src_ip",
+                catalog,
+                require_bounded_memory=True,
+            )
+
+    def test_bounded_group_accepted(self, catalog):
+        compile_query(
+            "select length, count(*) from Traffic group by length",
+            catalog,
+            require_bounded_memory=True,
+        )
+
+    def test_unbounded_distinct_rejected(self, catalog):
+        with pytest.raises(UnboundedMemoryError):
+            compile_query(
+                "select distinct src_ip from Traffic",
+                catalog,
+                require_bounded_memory=True,
+            )
+
+    def test_windowed_distinct_accepted(self, catalog):
+        compile_query(
+            "select distinct src_ip from Traffic [range 60]",
+            catalog,
+            require_bounded_memory=True,
+        )
+
+
+class TestStreamifyCompilation:
+    def test_istream_dedups(self, catalog):
+        rows = run_q(
+            "istream(select src_ip from Traffic)",
+            catalog,
+        )
+        assert len(rows) == 3
+
+
+class TestJoinQueries:
+    def test_join_with_pushdown(self, catalog):
+        plan = compile_query(
+            "select A.ts, B.ts from Traffic [range 5] A, Other [range 5] B "
+            "where A.dst_ip = B.dst_ip and A.length > 512",
+            catalog,
+        )
+        a_rows = traffic_rows(6)
+        b_rows = [{"ts": float(i) + 0.5, "dst_ip": i % 2} for i in range(6)]
+        out = run_plan(
+            plan,
+            {
+                "Traffic": ListSource("Traffic", a_rows, ts_attr="ts"),
+                "Other": ListSource("Other", b_rows, ts_attr="ts"),
+            },
+        ).values()
+        assert out, "join produced no rows"
+        # pushdown applied: all joined A-sides had length > 512
+        lengths = {r["length"] for r in a_rows if r["length"] > 512}
+        assert lengths
+
+    def test_join_requires_equality(self, catalog):
+        with pytest.raises(SemanticError, match="equality"):
+            compile_query(
+                "select A.ts from Traffic A, Other B where A.ts < B.ts",
+                catalog,
+            )
+
+    def test_self_join_needs_two_names(self, catalog):
+        with pytest.raises(SemanticError, match="self-join"):
+            compile_query(
+                "select A.ts from Traffic A, Traffic B "
+                "where A.dst_ip = B.dst_ip",
+                catalog,
+            )
+
+    def test_three_way_join_unsupported(self, catalog):
+        cat = catalog
+        cat.register_stream(
+            "Third", Schema([Field("ts", float), Field("dst_ip", int)], ordering="ts")
+        )
+        with pytest.raises(SemanticError, match="binary"):
+            compile_query(
+                "select A.ts from Traffic A, Other B, Third C "
+                "where A.dst_ip = B.dst_ip and B.dst_ip = C.dst_ip",
+                cat,
+            )
+
+    def test_residual_theta(self, catalog):
+        plan = compile_query(
+            "select A.ts, B.ts from Traffic [range 100] A, Other [range 100] B "
+            "where A.dst_ip = B.dst_ip and A.ts < B.ts",
+            catalog,
+        )
+        a_rows = [{"ts": 0.0, "src_ip": 0, "dst_ip": 1, "length": 100, "payload": ""}]
+        b_rows = [
+            {"ts": 1.0, "dst_ip": 1},
+            {"ts": 0.0, "dst_ip": 1},
+        ]
+        out = run_plan(
+            plan,
+            {
+                "Traffic": ListSource("Traffic", a_rows, ts_attr="ts"),
+                "Other": ListSource(
+                    "Other", sorted(b_rows, key=lambda r: r["ts"]), ts_attr="ts"
+                ),
+            },
+        ).values()
+        assert len(out) == 1 and out[0]["B.ts"] == 1.0
+
+
+class TestJoinEdgeCases:
+    @pytest.fixture
+    def join_catalog(self):
+        cat = Catalog()
+        cat.register_stream(
+            "A",
+            Schema([Field("ts", float), Field("x", int), Field("z", int)],
+                   ordering="ts"),
+        )
+        cat.register_stream(
+            "B",
+            Schema([Field("ts", float), Field("y", int), Field("w", int)],
+                   ordering="ts"),
+        )
+        return cat
+
+    def run_join(self, text, cat, a_rows, b_rows):
+        plan = compile_query(text, cat)
+        return run_plan(
+            plan,
+            {
+                "A": ListSource("A", a_rows, ts_attr="ts"),
+                "B": ListSource("B", b_rows, ts_attr="ts"),
+            },
+        ).values()
+
+    def test_or_across_sides_is_residual_theta(self, join_catalog):
+        out = self.run_join(
+            "select P.ts from A [range 100] P, B [range 100] Q "
+            "where P.x = Q.y and (P.z = Q.w or P.z > Q.w)",
+            join_catalog,
+            [{"ts": 0.0, "x": 1, "z": 5}],
+            [{"ts": 1.0, "y": 1, "w": 5}, {"ts": 2.0, "y": 1, "w": 9}],
+        )
+        assert len(out) == 1
+
+    def test_same_side_equality_pushed_down(self, join_catalog):
+        out = self.run_join(
+            "select P.ts from A [range 100] P, B [range 100] Q "
+            "where P.x = Q.y and P.x = P.z",
+            join_catalog,
+            [{"ts": 0.0, "x": 1, "z": 1}, {"ts": 0.5, "x": 2, "z": 9}],
+            [{"ts": 1.0, "y": 1, "w": 5}, {"ts": 2.0, "y": 1, "w": 9}],
+        )
+        assert len(out) == 2  # only the x=z tuple joins, twice
+
+    def test_aggregation_over_join_with_having(self, join_catalog):
+        out = self.run_join(
+            "select P.x, count(*) as n from A [range 100] P, "
+            "B [range 100] Q where P.x = Q.y "
+            "group by P.x having count(*) > 1",
+            join_catalog,
+            [{"ts": 0.0, "x": 1, "z": 1}],
+            [{"ts": 1.0, "y": 1, "w": 5}, {"ts": 2.0, "y": 1, "w": 9}],
+        )
+        assert out == [{"x": 1, "n": 2}]
+
+
+class TestAggregateExpressions:
+    def test_arithmetic_over_aggregates(self, catalog):
+        rows = run_q(
+            "select sum(length) / count(*) as mean_len from Traffic",
+            catalog,
+        )
+        total = sum(100 + (i % 5) * 300 for i in range(20))
+        assert rows == [{"mean_len": total // 20}]
+
+    def test_two_aggregates_in_one_expression(self, catalog):
+        rows = run_q(
+            "select max(length) - min(length) as spread from Traffic",
+            catalog,
+        )
+        assert rows == [{"spread": 1200}]

@@ -1,0 +1,119 @@
+"""Tests for distributed top-k monitoring and adaptive filters."""
+
+import random
+
+import pytest
+
+from repro.distributed import (
+    AdaptiveFilterSum,
+    TopKCoordinator,
+    naive_topk_messages,
+    uniform_messages,
+)
+from repro.errors import StreamError
+from repro.workloads import ZipfGenerator
+
+
+def zipf_events(n_events, n_nodes=4, n_objects=50, seed=3):
+    gen = ZipfGenerator(n_objects, 1.2, seed=seed)
+    rng = random.Random(seed + 1)
+    return [(rng.randrange(n_nodes), gen.sample()) for _ in range(n_events)]
+
+
+class TestTopKCoordinator:
+    def test_maintains_true_topk(self):
+        events = zipf_events(3000)
+        coord = TopKCoordinator(n_nodes=4, k=5, slack=0.5)
+        coord.observe_stream(events)
+        # After a resolution-consistent run, the maintained set matches
+        # the truth (allow one borderline swap between ties).
+        truth = coord.true_topk()
+        assert len(coord.current_answer() & truth) >= 4
+
+    def test_fewer_messages_than_naive(self):
+        events = zipf_events(3000)
+        coord = TopKCoordinator(n_nodes=4, k=5, slack=0.5)
+        coord.observe_stream(events)
+        assert coord.messages < naive_topk_messages(events) / 2
+
+    def test_more_slack_fewer_resolutions(self):
+        events = zipf_events(3000, seed=9)
+        tight = TopKCoordinator(n_nodes=4, k=5, slack=0.0)
+        loose = TopKCoordinator(n_nodes=4, k=5, slack=0.8)
+        tight.observe_stream(events)
+        loose.observe_stream(events)
+        assert loose.resolutions <= tight.resolutions
+
+    def test_single_node_degenerates_gracefully(self):
+        events = [(0, obj) for _n, obj in zipf_events(500)]
+        coord = TopKCoordinator(n_nodes=1, k=3)
+        coord.observe_stream(events)
+        assert coord.accuracy() >= 2 / 3
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            TopKCoordinator(0, 5)
+        with pytest.raises(StreamError):
+            TopKCoordinator(4, 5, slack=1.0)
+
+    def test_accuracy_on_empty(self):
+        coord = TopKCoordinator(2, 3)
+        assert coord.accuracy() == 1.0
+
+
+class TestAdaptiveFilterSum:
+    @staticmethod
+    def random_walk_updates(n, n_sources=8, volatilities=None, seed=11):
+        rng = random.Random(seed)
+        if volatilities is None:
+            volatilities = [1.0] * n_sources
+        values = [0.0] * n_sources
+        updates = []
+        for _ in range(n):
+            i = rng.randrange(n_sources)
+            values[i] += rng.gauss(0.0, volatilities[i])
+            updates.append((i, values[i]))
+        return updates
+
+    def run(self, updates, n_sources, precision, adaptive):
+        f = AdaptiveFilterSum(n_sources, precision, adaptive=adaptive)
+        for src, val in updates:
+            f.update(src, val)
+            assert f.within_precision(), "precision contract violated"
+        return f
+
+    def test_precision_contract_holds_throughout(self):
+        updates = self.random_walk_updates(4000)
+        self.run(updates, 8, precision=5.0, adaptive=True)
+
+    def test_fewer_messages_than_shipping_everything(self):
+        updates = self.random_walk_updates(4000)
+        f = self.run(updates, 8, precision=10.0, adaptive=True)
+        assert f.messages < uniform_messages(updates, 8) / 2
+
+    def test_looser_precision_fewer_messages(self):
+        updates = self.random_walk_updates(4000, seed=13)
+        tight = self.run(updates, 8, precision=2.0, adaptive=False)
+        loose = self.run(updates, 8, precision=20.0, adaptive=False)
+        assert loose.messages < tight.messages
+
+    def test_adaptive_beats_uniform_on_skewed_volatility(self):
+        """The OJW03 claim: width should follow volatility."""
+        vol = [5.0] * 2 + [0.05] * 6  # two hot sources, six cold
+        updates = self.random_walk_updates(
+            6000, n_sources=8, volatilities=vol, seed=17
+        )
+        uniform = self.run(updates, 8, precision=6.0, adaptive=False)
+        adaptive = self.run(updates, 8, precision=6.0, adaptive=True)
+        assert adaptive.messages < uniform.messages
+
+    def test_width_budget_preserved(self):
+        updates = self.random_walk_updates(2000, seed=19)
+        f = self.run(updates, 8, precision=4.0, adaptive=True)
+        assert f.total_width() == pytest.approx(8.0, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            AdaptiveFilterSum(0, 1.0)
+        with pytest.raises(StreamError):
+            AdaptiveFilterSum(4, 0.0)

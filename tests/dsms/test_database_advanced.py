@@ -1,0 +1,120 @@
+"""Deeper DBMS-tier tests: multi-table queries, ordering, audit flows."""
+
+import pytest
+
+from repro.core import Field, Schema
+from repro.dsms import Database
+from repro.errors import SemanticError
+
+
+@pytest.fixture
+def db():
+    database = Database("warehouse")
+    calls = database.create_table(
+        "calls",
+        Schema(
+            [
+                Field("ts", float),
+                Field("origin", int),
+                Field("duration", float),
+            ],
+            ordering="ts",
+        ),
+    )
+    customers = database.create_table(
+        "customers",
+        Schema([Field("id", int), Field("region", str)]),
+    )
+    calls.insert_many(
+        [
+            {"ts": float(i), "origin": i % 4, "duration": 10.0 * (i + 1)}
+            for i in range(12)
+        ]
+    )
+    customers.insert_many(
+        [
+            {"id": 0, "region": "east"},
+            {"id": 1, "region": "west"},
+            {"id": 2, "region": "east"},
+            {"id": 3, "region": "west"},
+        ]
+    )
+    return database
+
+
+class TestMultiTableQueries:
+    def test_join_tables(self, db):
+        rows = db.query(
+            "select C.origin as origin, R.region as region "
+            "from calls C, customers R where C.origin = R.id"
+        )
+        assert len(rows) == 12
+        east = [r for r in rows if r["region"] == "east"]
+        assert len(east) == 6
+
+    def test_join_then_aggregate(self, db):
+        rows = db.query(
+            "select R.region, count(*) as n, sum(C.duration) as total "
+            "from calls C, customers R where C.origin = R.id "
+            "group by R.region order by total desc"
+        )
+        assert [r["region"] for r in rows[:1]]  # non-empty, ordered
+        totals = [r["total"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+        assert sum(r["n"] for r in rows) == 12
+
+    def test_order_and_limit(self, db):
+        rows = db.query(
+            "select origin, duration from calls order by duration desc limit 3"
+        )
+        assert [r["duration"] for r in rows] == [120.0, 110.0, 100.0]
+
+    def test_aggregate_all(self, db):
+        rows = db.query(
+            "select count(*) as n, avg(duration) as mean from calls"
+        )
+        assert rows[0]["n"] == 12
+        assert rows[0]["mean"] == pytest.approx(65.0)
+
+    def test_table_listing(self, db):
+        assert db.tables() == ["calls", "customers"]
+        assert "calls" in db
+
+    def test_query_error_reports_catalog(self, db):
+        with pytest.raises(SemanticError, match="unknown stream"):
+            db.query("select x from missing_table")
+
+
+class TestTableMaintenance:
+    def test_insert_scan_update_delete_cycle(self, db):
+        calls = db.table("calls")
+        n = calls.update(lambda r: r["origin"] == 0, {"duration": 0.0})
+        assert n == 3
+        zeroed = calls.scan(lambda r: r["duration"] == 0.0)
+        assert len(zeroed) == 3
+        deleted = calls.delete(lambda r: r["duration"] == 0.0)
+        assert deleted == 3
+        assert len(calls) == 9
+
+
+class TestUnsortedTables:
+    def test_tumbling_query_over_unsorted_rows(self):
+        """Tables are unordered relations; order-sensitive queries must
+        still produce one row per (bucket, group)."""
+        from repro.core import Field, Schema
+        from repro.dsms import Database
+
+        db = Database()
+        t = db.create_table(
+            "events", Schema([Field("ts", float), Field("v", int)],
+                             ordering="ts"),
+        )
+        # Insert out of order on purpose.
+        for ts in (25.0, 3.0, 17.0, 8.0, 21.0, 1.0):
+            t.insert({"ts": ts, "v": 1})
+        rows = db.query(
+            "select tb, count(*) as n from events group by ts/10 as tb"
+        )
+        keys = [r["tb"] for r in rows]
+        assert keys == sorted(set(keys)), "one row per bucket, in order"
+        assert sum(r["n"] for r in rows) == 6

@@ -1,0 +1,250 @@
+"""Tests for the DSMS layer: database, standing queries, three levels,
+QoS, and the comparative-matrix profiles."""
+
+import math
+
+import pytest
+
+from repro.aggregates import AggSpec
+from repro.core import Field, Schema
+from repro.dsms import (
+    Database,
+    PROFILES,
+    QoSGraph,
+    StreamSystem,
+    ThreeLevelPipeline,
+    comparative_matrix,
+    latency_qos,
+    loss_qos,
+    run_profile_demo,
+    shedding_order,
+)
+from repro.errors import SemanticError, StorageError, StreamError
+from repro.shedding import RandomShedder
+from repro.windows import TumblingWindow
+from repro.workloads import PacketGenerator, packet_schema
+
+
+class TestDatabase:
+    def schema(self):
+        return Schema([Field("k", int), Field("v", int)])
+
+    def test_create_insert_scan(self):
+        db = Database()
+        t = db.create_table("t", self.schema())
+        t.insert({"k": 1, "v": 10})
+        t.insert({"k": 2, "v": 20})
+        assert len(t) == 2
+        assert t.scan(lambda r: r["v"] > 15) == [{"k": 2, "v": 20}]
+
+    def test_schema_validated_on_insert(self):
+        from repro.errors import SchemaError
+
+        t = Database().create_table("t", self.schema())
+        with pytest.raises(SchemaError):
+            t.insert({"k": 1})
+
+    def test_duplicate_table_rejected(self):
+        db = Database()
+        db.create_table("t", self.schema())
+        with pytest.raises(StorageError):
+            db.create_table("t", self.schema())
+
+    def test_update_and_delete(self):
+        db = Database()
+        t = db.create_table("t", self.schema())
+        t.insert_many([{"k": i, "v": i} for i in range(5)])
+        assert t.update(lambda r: r["k"] < 2, {"v": 99}) == 2
+        assert t.delete(lambda r: r["v"] == 99) == 2
+        assert len(t) == 3
+
+    def test_cql_query_over_table(self):
+        """Slide 15: the DBMS supports sophisticated (audit) queries."""
+        db = Database()
+        t = db.create_table("t", self.schema())
+        t.insert_many([{"k": i % 2, "v": i} for i in range(10)])
+        rows = db.query(
+            "select k, count(*) as n, sum(v) as total from t group by k"
+        )
+        assert sorted((r["k"], r["n"]) for r in rows) == [(0, 5), (1, 5)]
+
+    def test_unknown_table_in_query(self):
+        with pytest.raises(SemanticError):
+            Database().query("select a from missing")
+
+
+class TestStreamSystem:
+    def test_standing_query_receives_increments(self):
+        sys_ = StreamSystem()
+        sys_.register_stream("Traffic", packet_schema())
+        seen = []
+        sys_.submit(
+            "big",
+            "select src_ip, length from Traffic where length > 1000",
+            callback=lambda r: seen.append(r["length"]),
+        )
+        pkts = PacketGenerator().generate(200)
+        sys_.push_many("Traffic", pkts)
+        expected = sum(1 for p in pkts if p["length"] > 1000)
+        assert len(seen) == expected
+
+    def test_multiple_queries_share_stream(self):
+        sys_ = StreamSystem()
+        sys_.register_stream("Traffic", packet_schema())
+        q1 = sys_.submit("a", "select src_ip from Traffic where length > 1000")
+        q2 = sys_.submit("b", "select src_ip from Traffic where length <= 1000")
+        pkts = PacketGenerator().generate(100)
+        sys_.push_many("Traffic", pkts)
+        assert len(q1.results) + len(q2.results) == 100
+
+    def test_blocking_query_results_on_stop(self):
+        sys_ = StreamSystem()
+        sys_.register_stream("Traffic", packet_schema())
+        sys_.submit(
+            "counts",
+            "select src_ip, count(*) as n from Traffic group by src_ip",
+        )
+        sys_.push_many("Traffic", PacketGenerator().generate(50))
+        results = sys_.stop("counts")
+        assert sum(r["n"] for r in results) == 50
+
+    def test_duplicate_query_name_rejected(self):
+        sys_ = StreamSystem()
+        sys_.register_stream("Traffic", packet_schema())
+        sys_.submit("q", "select src_ip from Traffic")
+        with pytest.raises(SemanticError):
+            sys_.submit("q", "select src_ip from Traffic")
+
+    def test_system_level_shedding(self):
+        sys_ = StreamSystem(shedder=RandomShedder(0.5, seed=3))
+        sys_.register_stream("Traffic", packet_schema())
+        q = sys_.submit("all", "select src_ip from Traffic")
+        sys_.push_many("Traffic", PacketGenerator().generate(400))
+        assert sys_.shed > 100
+        assert len(q.results) == sys_.pushed
+
+    def test_finish_all(self):
+        sys_ = StreamSystem()
+        sys_.register_stream("Traffic", packet_schema())
+        sys_.submit("q", "select src_ip from Traffic")
+        sys_.push_many("Traffic", PacketGenerator().generate(10))
+        out = sys_.finish_all()
+        assert list(out) == ["q"] and len(out["q"]) == 10
+        assert not sys_.queries
+
+
+class TestThreeLevel:
+    def make_pipeline(self, max_groups=8):
+        return ThreeLevelPipeline(
+            n_points=2,
+            window=TumblingWindow(30.0),
+            group_attrs=["src_ip"],
+            aggregates=[
+                AggSpec("n", "count"),
+                AggSpec("vol", "sum", "length"),
+            ],
+            max_groups_low=max_groups,
+        )
+
+    def test_counts_conserved_end_to_end(self):
+        pkts = PacketGenerator().generate(600)
+        pipe = self.make_pipeline()
+        rows = pipe.run([pkts[:300], pkts[300:]])
+        assert sum(r["n"] for r in rows) == 600
+        assert pipe.stats.raw_tuples == 600
+        assert pipe.stats.db_rows == len(rows)
+
+    def test_data_reduction_monotone(self):
+        """Slide 15: each level reduces data volume."""
+        pkts = PacketGenerator().generate(600)
+        pipe = self.make_pipeline()
+        pipe.run([pkts[:300], pkts[300:]])
+        s = pipe.stats
+        assert s.raw_tuples > s.low_level_out >= s.high_level_out
+        assert s.reduction_low() > 1.0
+
+    def test_audit_query(self):
+        pkts = PacketGenerator().generate(400)
+        pipe = self.make_pipeline()
+        rows = pipe.run([pkts[:200], pkts[200:]])
+        audit = pipe.audit(
+            "select tb, sum(n) as total from stream_results group by tb"
+        )
+        assert sum(r["total"] for r in audit) == 400
+
+    def test_wrong_batch_count_rejected(self):
+        pipe = self.make_pipeline()
+        with pytest.raises(ValueError):
+            pipe.run([[]])
+
+
+class TestQoS:
+    def test_latency_graph_shape(self):
+        g = latency_qos(good_until=1.0, zero_at=5.0)
+        assert g.utility(0.5) == 1.0
+        assert g.utility(3.0) == pytest.approx(0.5)
+        assert g.utility(10.0) == 0.0
+
+    def test_monotone_non_increasing(self):
+        g = latency_qos(1.0, 5.0)
+        xs = [i / 10 for i in range(0, 80)]
+        utils = [g.utility(x) for x in xs]
+        assert all(a >= b - 1e-12 for a, b in zip(utils, utils[1:]))
+
+    def test_invalid_graphs(self):
+        with pytest.raises(StreamError):
+            QoSGraph([(0.0, 1.0)])
+        with pytest.raises(StreamError):
+            QoSGraph([(0.0, 1.0), (0.0, 0.5)])
+        with pytest.raises(StreamError):
+            QoSGraph([(0.0, 2.0), (1.0, 0.0)])
+
+    def test_shedding_order_prefers_flat_graphs(self):
+        """Aurora sheds where utility is lost slowest (slide 47)."""
+        tolerant = loss_qos(0.5, name="tolerant")
+        strict = QoSGraph([(0.0, 1.0), (0.05, 0.1), (1.0, 0.0)], name="strict")
+        order = shedding_order(
+            [("tolerant", tolerant, 0.0), ("strict", strict, 0.0)]
+        )
+        assert order[0] == "tolerant"
+
+    def test_critical_x(self):
+        g = latency_qos(1.0, 5.0)
+        assert g.critical_x(0.5) == pytest.approx(3.0, abs=0.1)
+
+
+class TestProfiles:
+    def test_matrix_matches_slide_52(self):
+        matrix = comparative_matrix()
+        systems = [row["System"] for row in matrix]
+        assert systems == [
+            "Aurora", "Gigascope", "Hancock", "STREAM", "Telegraph",
+        ]
+        by_system = {row["System"]: row for row in matrix}
+        assert by_system["Gigascope"]["Query Language"] == "GSQL"
+        assert by_system["STREAM"]["Query Language"] == "CQL"
+        assert by_system["Hancock"]["Data Model"] == "RS-in R-out"
+        assert by_system["Aurora"]["Query Plan"] == "QoS-based, load shedding"
+        assert by_system["Telegraph"]["Query Plan"] == (
+            "adaptive plans, multi-query"
+        )
+
+    def test_profiles_are_runnable(self):
+        for name in PROFILES:
+            out = run_profile_demo(name, n_tuples=20)
+            assert out["peak_memory"] > 0
+
+    def test_aurora_sheds_stream_does_not(self):
+        aurora = run_profile_demo("aurora", n_tuples=60, burst_rate=4.0)
+        stream = run_profile_demo("stream", n_tuples=60, burst_rate=4.0)
+        assert aurora["shed"] > 0
+        assert stream["shed"] == 0
+
+    def test_stream_profile_minimizes_memory(self):
+        """STREAM's Chain scheduler yields the lowest peak memory among
+        non-shedding profiles."""
+        peaks = {
+            name: run_profile_demo(name, n_tuples=60, burst_rate=4.0)["peak_memory"]
+            for name in ("gigascope", "hancock", "stream", "telegraph")
+        }
+        assert peaks["stream"] == min(peaks.values())

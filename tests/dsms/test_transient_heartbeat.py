@@ -1,0 +1,123 @@
+"""Tests for transient queries and heartbeat injection (slides 19, 48)."""
+
+import pytest
+
+from repro.dsms import StreamSystem
+from repro.errors import SemanticError
+from repro.workloads import PacketGenerator, packet_schema
+
+
+class TestTransientQueries:
+    def make_system(self, history=500):
+        system = StreamSystem()
+        system.register_stream("Traffic", packet_schema(), history=history)
+        return system
+
+    def test_query_once_over_recent_history(self):
+        system = self.make_system()
+        pkts = PacketGenerator().generate(300)
+        system.push_many("Traffic", pkts)
+        rows = system.query_once(
+            "select count(*) as n, sum(length) as vol from Traffic"
+        )
+        assert rows[0]["n"] == 300
+        assert rows[0]["vol"] == sum(p["length"] for p in pkts)
+
+    def test_history_is_bounded_ring(self):
+        system = self.make_system(history=100)
+        pkts = PacketGenerator().generate(400)
+        system.push_many("Traffic", pkts)
+        rows = system.query_once("select count(*) as n from Traffic")
+        assert rows[0]["n"] == 100  # only the most recent suffix
+
+    def test_transient_and_persistent_coexist(self):
+        """Slide 19: both query kinds over the same stream."""
+        system = self.make_system()
+        standing = system.submit(
+            "big", "select src_ip from Traffic where length > 1000"
+        )
+        pkts = PacketGenerator().generate(200)
+        system.push_many("Traffic", pkts)
+        transient = system.query_once(
+            "select count(*) as n from Traffic where length > 1000"
+        )
+        assert transient[0]["n"] == len(standing.results)
+
+    def test_no_history_is_an_error(self):
+        system = StreamSystem()
+        system.register_stream("Traffic", packet_schema())
+        with pytest.raises(SemanticError, match="history"):
+            system.query_once("select count(*) from Traffic")
+
+    def test_bad_history_rejected(self):
+        system = StreamSystem()
+        with pytest.raises(SemanticError):
+            system.register_stream("T", packet_schema(), history=0)
+
+    def test_transient_query_with_order_by(self):
+        system = self.make_system()
+        system.push_many("Traffic", PacketGenerator().generate(50))
+        rows = system.query_once(
+            "select length from Traffic order by length desc limit 3"
+        )
+        lengths = [r["length"] for r in rows]
+        assert lengths == sorted(lengths, reverse=True)
+
+
+class TestHeartbeats:
+    def test_heartbeat_closes_buckets_without_new_records(self):
+        """A tumbling standing query emits bucket 0 as soon as the
+        heartbeat crosses the boundary — not only when a much later
+        record arrives."""
+        system = StreamSystem()
+        system.register_stream("Traffic", packet_schema(), heartbeat=10.0)
+        q = system.submit(
+            "per_bucket",
+            "select tb, count(*) as n from Traffic group by ts/10 as tb",
+        )
+        base = {
+            "src_ip": 1, "dst_ip": 2, "src_port": 1, "dst_port": 2,
+            "protocol": 6, "length": 100, "flags": "DATA", "payload": "",
+        }
+        for ts in (1.0, 5.0, 9.0):
+            system.push("Traffic", dict(base, ts=ts))
+        assert q.results == []  # bucket 0 still open
+        system.push("Traffic", dict(base, ts=10.5))
+        assert [(r["tb"], r["n"]) for r in q.results] == [(0, 3)]
+
+    def test_heartbeat_punctuations_counted_as_pushes_not_records(self):
+        system = StreamSystem()
+        system.register_stream("Traffic", packet_schema(), heartbeat=5.0)
+        q = system.submit("all", "select src_ip from Traffic")
+        base = {
+            "src_ip": 1, "dst_ip": 2, "src_port": 1, "dst_port": 2,
+            "protocol": 6, "length": 100, "flags": "DATA", "payload": "",
+        }
+        for ts in (0.0, 6.0, 12.0):
+            system.push("Traffic", dict(base, ts=ts))
+        # All three records delivered; punctuations do not add results.
+        assert len(q.results) == 3
+
+
+class TestCustomOrderingHeartbeat:
+    def test_heartbeat_on_non_ts_ordering_attribute(self):
+        """Streams ordered by e.g. connect_ts still get bucket closes
+        from heartbeats on that attribute."""
+        from repro.core import Field, Schema
+
+        schema = Schema(
+            [Field("connect_ts", float), Field("origin", int)],
+            ordering="connect_ts",
+        )
+        system = StreamSystem()
+        system.register_stream("calls", schema, heartbeat=10.0)
+        q = system.submit(
+            "per_bucket",
+            "select tb, count(*) as n from calls "
+            "group by connect_ts/10 as tb",
+        )
+        for ts in (1.0, 5.0, 9.0):
+            system.push("calls", {"connect_ts": ts, "origin": 1})
+        assert q.results == []
+        system.push("calls", {"connect_ts": 11.0, "origin": 1})
+        assert [(r["tb"], r["n"]) for r in q.results] == [(0, 3)]

@@ -1,0 +1,191 @@
+"""Tests for the Gigascope substrate: schemas, two-level, decomposition."""
+
+import pytest
+
+from repro.aggregates import AggSpec
+from repro.core import Field, ListSource, Record, Schema, run_plan
+from repro.errors import SchemaError, SemanticError
+from repro.gigascope import (
+    ETH,
+    IPV4,
+    TCP,
+    Protocol,
+    TwoLevelAggregation,
+    decompose,
+    gigascope_catalog,
+    to_stream_schema,
+)
+from repro.windows import TumblingWindow
+from repro.workloads import PacketGenerator
+
+
+class TestProtocolHierarchy:
+    def test_inheritance_accumulates_fields(self):
+        """Slide 12: IPv4 inherits from IP inherits from the link layer."""
+        names = [f.name for f in IPV4.all_fields()]
+        assert "ethertype" in names  # from ETH
+        assert "ipversion" in names  # from IP
+        assert "ttl" in names  # own
+
+    def test_lineage(self):
+        assert TCP.lineage() == ["ETH", "IP", "IPv4", "TCP"]
+
+    def test_redefinition_rejected(self):
+        child = Protocol("Bad", (Field("ipversion", int),), parent=ETH)
+        child2 = Protocol(
+            "Bad2", (Field("ethertype", int),), parent=ETH
+        )
+        with pytest.raises(SchemaError):
+            child2.all_fields()
+
+    def test_to_stream_schema_adds_ordering(self):
+        schema = to_stream_schema(ETH)
+        assert schema.ordering == "ts"
+        assert "ts" in schema
+
+    def test_catalog_registers_streams_and_udfs(self):
+        cat = gigascope_catalog()
+        assert "IPv4" in cat and "TCP" in cat
+        assert cat.function("matches_p2p_keyword") is not None
+        assert cat.function("is_p2p_port")(1214)
+        assert not cat.function("is_p2p_port")(80)
+
+
+class TestTwoLevelAggregation:
+    def agg_specs(self):
+        return [AggSpec("n", "count"), AggSpec("vol", "sum", "length")]
+
+    def test_end_to_end_counts(self):
+        pkts = PacketGenerator().generate(500)
+        pipeline = TwoLevelAggregation(
+            "IPv4",
+            TumblingWindow(10.0),
+            ["src_ip"],
+            self.agg_specs(),
+            max_groups=8,
+        )
+        result = pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+        total = sum(r["n"] for r in result.records())
+        assert total == 500
+
+    def test_lfta_filter_reduces_data(self):
+        pkts = PacketGenerator().generate(500)
+        pipeline = TwoLevelAggregation(
+            "IPv4",
+            TumblingWindow(10.0),
+            ["src_ip"],
+            self.agg_specs(),
+            max_groups=8,
+            lfta_filter=lambda r: r["length"] > 1000,
+        )
+        result = pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+        total = sum(r["n"] for r in result.records())
+        expected = sum(1 for p in pkts if p["length"] > 1000)
+        assert total == expected
+
+    def test_smaller_tables_ship_more_rows(self):
+        """Slide 37's trade: tighter LFTA bound -> more boundary traffic."""
+        pkts = PacketGenerator().generate(800)
+        shipped = {}
+        for max_groups in (2, 64):
+            pipeline = TwoLevelAggregation(
+                "IPv4",
+                TumblingWindow(20.0),
+                ["src_ip"],
+                self.agg_specs(),
+                max_groups=max_groups,
+            )
+            pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+            shipped[max_groups] = pipeline.shipped_rows
+        assert shipped[2] > shipped[64]
+
+    def test_boundary_always_below_raw(self):
+        pkts = PacketGenerator().generate(600)
+        pipeline = TwoLevelAggregation(
+            "IPv4",
+            TumblingWindow(20.0),
+            ["src_ip"],
+            self.agg_specs(),
+            max_groups=4,
+        )
+        pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+        assert pipeline.shipped_rows < len(pkts)
+
+
+class TestDecompose:
+    def test_placement_report(self):
+        cat = gigascope_catalog()
+        d = decompose(
+            "select tb, src_ip, sum(length) as vol from IPv4 "
+            "where protocol = 6 group by ts/60 as tb, src_ip",
+            cat,
+            max_groups=8,
+        )
+        assert d.placement["partial aggregation"] == "lfta"
+        assert d.placement["final aggregation merge"] == "hfta"
+        assert any("filter" in k for k in d.placement)
+
+    def test_results_match_direct_cql(self):
+        """Decomposed two-level execution == one-level CQL execution."""
+        from repro.cql import compile_query
+
+        cat = gigascope_catalog()
+        pkts = PacketGenerator().generate(400)
+        text = (
+            "select tb, src_ip, count(*) as n from IPv4 "
+            "where length > 300 group by ts/30 as tb, src_ip"
+        )
+        d = decompose(text, cat, max_groups=4)
+        two = d.pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+        two_rows = sorted(
+            (r["tb"], r["src_ip"], r["n"]) for r in two.records()
+        )
+        plan = compile_query(text, gigascope_catalog())
+        one = run_plan(plan, [ListSource("IPv4", pkts, ts_attr="ts")])
+        one_rows = sorted(
+            (r["tb"], r["src_ip"], r["n"]) for r in one.records()
+        )
+        assert two_rows == one_rows
+
+    def test_having_applied_at_hfta(self):
+        cat = gigascope_catalog()
+        pkts = PacketGenerator().generate(400)
+        d = decompose(
+            "select tb, src_ip, count(*) as n from IPv4 "
+            "group by ts/30 as tb, src_ip having count(*) > 3",
+            cat,
+            max_groups=4,
+        )
+        res = d.pipeline.run(ListSource("IPv4", pkts, ts_attr="ts"))
+        assert all(r["n"] > 3 for r in res.records())
+        assert d.placement["having"] == "hfta"
+
+    def test_udf_predicate_rejected(self):
+        cat = gigascope_catalog()
+        with pytest.raises(SemanticError, match="UDF"):
+            decompose(
+                "select tb, count(*) from TCP "
+                "where matches_p2p_keyword(payload) = true "
+                "group by ts/60 as tb",
+                cat,
+                max_groups=8,
+            )
+
+    def test_join_rejected(self):
+        cat = gigascope_catalog()
+        with pytest.raises(SemanticError, match="single-stream"):
+            decompose(
+                "select A.ts from IPv4 A, TCP B where A.src_ip = B.src_ip",
+                cat,
+                max_groups=8,
+            )
+
+    def test_default_window_when_no_tumbling_group(self):
+        cat = gigascope_catalog()
+        d = decompose(
+            "select src_ip, count(*) as n from IPv4 group by src_ip",
+            cat,
+            max_groups=8,
+            default_width=25.0,
+        )
+        assert d.pipeline.window.width == 25.0

@@ -1,0 +1,217 @@
+"""Tests for the Hancock substrate: events, signatures, I/O model."""
+
+import pytest
+
+from repro.errors import OrderingError, StorageError
+from repro.hancock import (
+    DiskParameters,
+    FraudDetector,
+    FraudSignatures,
+    PagedSignatureStore,
+    SignatureProgram,
+    SignatureStore,
+    blend,
+    block_cost,
+    iterate,
+    per_element_cost,
+)
+from repro.workloads import CDRConfig, CDRGenerator
+
+
+class RecordingProgram(SignatureProgram):
+    """Capture the event sequence for assertions."""
+
+    sorted_by = "k"
+
+    def __init__(self):
+        self.events = []
+
+    def filtered_by(self, record):
+        return not record.get("skip", False)
+
+    def line_begin(self, key):
+        self.events.append(("begin", key))
+
+    def call(self, record):
+        self.events.append(("call", record["v"]))
+
+    def line_end(self, key):
+        self.events.append(("end", key))
+
+    def block_begin(self):
+        self.events.append(("block_begin", None))
+
+    def block_end(self):
+        self.events.append(("block_end", None))
+
+
+class TestIterate:
+    def test_event_hierarchy(self):
+        """Slide 8: line_begin / call / line_end firing pattern."""
+        prog = RecordingProgram()
+        block = [
+            {"k": 1, "v": "a"},
+            {"k": 1, "v": "b"},
+            {"k": 2, "v": "c"},
+        ]
+        n = iterate(prog, block)
+        assert n == 3
+        assert prog.events == [
+            ("block_begin", None),
+            ("begin", 1),
+            ("call", "a"),
+            ("call", "b"),
+            ("end", 1),
+            ("begin", 2),
+            ("call", "c"),
+            ("end", 2),
+            ("block_end", None),
+        ]
+
+    def test_filteredby_skips_but_keeps_run(self):
+        prog = RecordingProgram()
+        iterate(prog, [{"k": 1, "v": "a", "skip": True}, {"k": 1, "v": "b"}])
+        calls = [e for e in prog.events if e[0] == "call"]
+        assert calls == [("call", "b")]
+
+    def test_unsorted_block_rejected(self):
+        prog = RecordingProgram()
+        with pytest.raises(OrderingError):
+            iterate(prog, [{"k": 2, "v": 1}, {"k": 1, "v": 2}])
+
+    def test_empty_block(self):
+        prog = RecordingProgram()
+        assert iterate(prog, []) == 0
+        assert prog.events == [("block_begin", None), ("block_end", None)]
+
+
+class TestBlendAndStore:
+    def test_blend_formula(self):
+        assert blend(10.0, 0.0, alpha=0.15) == pytest.approx(1.5)
+        assert blend(0.0, 10.0, alpha=0.15) == pytest.approx(8.5)
+
+    def test_store_roundtrip(self, tmp_path):
+        path = tmp_path / "sig.json"
+        store = SignatureStore(path)
+        store.put(123, {"calls": 4.0})
+        store.save()
+        reloaded = SignatureStore(path)
+        assert reloaded.get(123) == {"calls": 4.0}
+
+    def test_store_without_path_cannot_save(self):
+        with pytest.raises(StorageError):
+            SignatureStore().save()
+
+    def test_corrupt_store_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(StorageError):
+            SignatureStore(path)
+
+    def test_contains_and_len(self):
+        store = SignatureStore()
+        store.put("a", {"x": 1.0})
+        assert "a" in store and len(store) == 1
+
+
+class TestFraudSignatures:
+    def test_signature_accumulates_statistics(self):
+        store = SignatureStore()
+        prog = FraudSignatures(store, alpha=1.0)  # alpha=1: today only
+        block = [
+            {
+                "origin": 1,
+                "duration": 60.0,
+                "is_toll_free": True,
+                "is_intl": False,
+                "is_incomplete": False,
+            },
+            {
+                "origin": 1,
+                "duration": 30.0,
+                "is_toll_free": False,
+                "is_intl": True,
+                "is_incomplete": False,
+            },
+        ]
+        iterate(prog, block)
+        sig = store.get(1)
+        assert sig["out_tf_sec"] == 60.0
+        assert sig["intl_calls"] == 1.0
+        assert sig["calls"] == 2.0
+
+    def test_incomplete_calls_filtered(self):
+        store = SignatureStore()
+        prog = FraudSignatures(store, alpha=1.0)
+        iterate(
+            prog,
+            [
+                {
+                    "origin": 1,
+                    "duration": 60.0,
+                    "is_toll_free": False,
+                    "is_intl": False,
+                    "is_incomplete": True,
+                }
+            ],
+        )
+        assert store.get(1).get("calls", 0.0) == 0.0
+
+
+class TestFraudDetector:
+    def test_detects_injected_fraud(self):
+        gen = CDRGenerator(CDRConfig(seed=5))
+        detector = FraudDetector()
+        for _day in range(4):
+            block = gen.generate_sorted_by_origin(3000)
+            detector.process_day(block)
+        assert detector.alerts, "no fraud alerts raised"
+        flagged = {a["origin"] for a in detector.alerts}
+        assert flagged & gen.fraud_callers, (
+            "alerts did not include any injected fraudulent caller"
+        )
+
+    def test_alert_precision(self):
+        """Most alerts should be injected fraudsters, not honest lines."""
+        gen = CDRGenerator(CDRConfig(seed=9))
+        detector = FraudDetector()
+        for _day in range(4):
+            detector.process_day(gen.generate_sorted_by_origin(3000))
+        flagged = [a["origin"] for a in detector.alerts]
+        hits = sum(1 for o in flagged if o in gen.fraud_callers)
+        assert hits / len(flagged) > 0.6
+
+
+class TestIOModel:
+    def test_block_processing_beats_per_element(self):
+        """Slides 6/21/56: Hancock's block discipline wins on I/O."""
+        gen = CDRGenerator(CDRConfig(n_callers=600, seed=2))
+        calls = gen.generate(4000)
+        per_el = per_element_cost(
+            calls, PagedSignatureStore(page_size=16, cache_pages=4)
+        )
+        blocked = block_cost(
+            calls, PagedSignatureStore(page_size=16, cache_pages=4)
+        )
+        assert blocked < per_el / 5
+
+    def test_block_reads_each_page_once(self):
+        calls = [{"origin": i % 100} for i in range(1000)]
+        store = PagedSignatureStore(page_size=10, cache_pages=2)
+        block_cost(calls, store)
+        # 100 lines on 10 pages: sequential single read each.
+        assert store.page_reads == 10
+
+    def test_sequential_reads_cheaper_than_random(self):
+        disk = DiskParameters(seek=10.0, transfer=1.0)
+        assert disk.sequential_page() < disk.random_page()
+
+    def test_large_cache_eliminates_thrashing(self):
+        calls = [{"origin": i % 50} for i in range(2000)]
+        small = PagedSignatureStore(page_size=5, cache_pages=1)
+        large = PagedSignatureStore(page_size=5, cache_pages=50)
+        assert per_element_cost(calls, large) < per_element_cost(calls, small)
+
+    def test_validation(self):
+        with pytest.raises(StorageError):
+            PagedSignatureStore(page_size=0)

@@ -1,0 +1,214 @@
+"""Tests for grouped and windowed aggregation (slides 34-37)."""
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators import Aggregate, AggSpec, WindowedAggregate
+from repro.operators.base import run_chain
+from repro.windows import (
+    LandmarkWindow,
+    NowWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+)
+
+
+def recs(rows, ts_attr="ts"):
+    return [
+        Record(r, ts=float(r.get(ts_attr, i)), seq=i)
+        for i, r in enumerate(rows)
+    ]
+
+
+class TestBlockingAggregate:
+    def test_group_counts(self):
+        rows = [{"g": "a"}, {"g": "b"}, {"g": "a"}]
+        out = run_chain(
+            [Aggregate(["g"], [AggSpec("n", "count")])], recs(rows)
+        )
+        assert sorted((r["g"], r["n"]) for r in out) == [("a", 2), ("b", 1)]
+
+    def test_multiple_aggregates(self):
+        rows = [{"g": 1, "v": 10}, {"g": 1, "v": 20}]
+        out = run_chain(
+            [
+                Aggregate(
+                    ["g"],
+                    [
+                        AggSpec("total", "sum", "v"),
+                        AggSpec("mean", "avg", "v"),
+                        AggSpec("lo", "min", "v"),
+                        AggSpec("hi", "max", "v"),
+                    ],
+                )
+            ],
+            recs(rows),
+        )
+        assert out[0].values == {
+            "g": 1, "total": 30, "mean": 15.0, "lo": 10, "hi": 20,
+        }
+
+    def test_having_filters_groups(self):
+        rows = [{"g": "a"}, {"g": "a"}, {"g": "b"}]
+        out = run_chain(
+            [
+                Aggregate(
+                    ["g"],
+                    [AggSpec("n", "count")],
+                    having=lambda r: r["n"] > 1,
+                )
+            ],
+            recs(rows),
+        )
+        assert [r["g"] for r in out] == ["a"]
+
+    def test_computed_group_key(self):
+        rows = [{"v": 1}, {"v": 2}, {"v": 3}]
+        out = run_chain(
+            [
+                Aggregate(
+                    [("parity", lambda r: r["v"] % 2)],
+                    [AggSpec("n", "count")],
+                )
+            ],
+            recs(rows),
+        )
+        assert sorted((r["parity"], r["n"]) for r in out) == [(0, 1), (1, 2)]
+
+    def test_punctuation_closes_covered_groups_early(self):
+        """Slide 28: punctuation makes blocking aggregation streaming."""
+        agg = Aggregate(["auction"], [AggSpec("bids", "count")])
+        agg.process(Record({"auction": 1}, ts=0.0))
+        agg.process(Record({"auction": 2}, ts=1.0))
+        agg.process(Record({"auction": 1}, ts=2.0))
+        out = agg.process(Punctuation.of({"auction": 1}, ts=3.0))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records == [Record({"auction": 1, "bids": 2}, ts=3.0)]
+        assert agg.group_count == 1  # auction 2 still open
+
+    def test_memory_grows_with_groups(self):
+        agg = Aggregate(["g"], [AggSpec("n", "count")])
+        for i in range(10):
+            agg.process(Record({"g": i}, ts=float(i)))
+        assert agg.memory() >= 10
+
+    def test_holistic_state_counts_in_memory(self):
+        agg = Aggregate([], [AggSpec("med", "median", "v")])
+        for i in range(10):
+            agg.process(Record({"v": i}, ts=float(i)))
+        assert agg.memory() == 10  # one value retained per record
+
+
+class TestTumblingAggregate:
+    def test_buckets_close_on_watermark(self):
+        op = WindowedAggregate(
+            TumblingWindow(10.0), ["g"], [AggSpec("n", "count")]
+        )
+        out = []
+        for t in [0.0, 5.0, 9.0, 11.0]:
+            out += op.process(Record({"g": "x", "ts": t}, ts=t))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records == [Record({"g": "x", "tb": 0, "n": 3}, ts=10.0)]
+
+    def test_flush_emits_open_buckets(self):
+        op = WindowedAggregate(
+            TumblingWindow(10.0), ["g"], [AggSpec("n", "count")]
+        )
+        op.process(Record({"g": "x", "ts": 1.0}, ts=1.0))
+        out = op.flush()
+        assert out[0]["n"] == 1
+
+    def test_bucket_attribute_name(self):
+        op = WindowedAggregate(
+            TumblingWindow(60.0),
+            ["g"],
+            [AggSpec("n", "count")],
+            bucket_attr="minute",
+        )
+        op.process(Record({"g": 1, "ts": 70.0}, ts=70.0))
+        out = op.flush()
+        assert out[0]["minute"] == 1
+
+    def test_punctuation_closes_buckets(self):
+        op = WindowedAggregate(
+            TumblingWindow(10.0), ["g"], [AggSpec("n", "count")]
+        )
+        op.process(Record({"g": 1, "ts": 5.0}, ts=5.0))
+        out = op.process(Punctuation.time_bound("ts", 10.0))
+        records = [e for e in out if isinstance(e, Record)]
+        assert len(records) == 1
+
+    def test_out_of_order_within_open_bucket_ok(self):
+        op = WindowedAggregate(
+            TumblingWindow(10.0), [], [AggSpec("n", "count")]
+        )
+        op.process(Record({"ts": 5.0}, ts=5.0))
+        op.process(Record({"ts": 3.0}, ts=3.0))  # same bucket, earlier
+        out = op.flush()
+        assert out[0]["n"] == 2
+
+    def test_having(self):
+        op = WindowedAggregate(
+            TumblingWindow(10.0),
+            ["g"],
+            [AggSpec("n", "count")],
+            having=lambda r: r["n"] >= 2,
+        )
+        op.process(Record({"g": "a", "ts": 0.0}, ts=0.0))
+        op.process(Record({"g": "a", "ts": 1.0}, ts=1.0))
+        op.process(Record({"g": "b", "ts": 2.0}, ts=2.0))
+        out = op.flush()
+        assert [(r["g"], r["n"]) for r in out] == [("a", 2)]
+
+
+class TestSlidingAggregate:
+    def test_time_window_mean(self):
+        op = WindowedAggregate(
+            TimeWindow(10.0), [], [AggSpec("mean", "avg", "v")]
+        )
+        outs = []
+        for t, v in [(0.0, 10), (5.0, 20), (12.0, 30)]:
+            outs += op.process(Record({"ts": t, "v": v}, ts=t))
+        # At t=12 the t=0 tuple (ts <= 2) has expired: mean of 20, 30.
+        assert [o["mean"] for o in outs] == [10.0, 15.0, 25.0]
+
+    def test_row_window(self):
+        op = WindowedAggregate(
+            RowWindow(2), [], [AggSpec("total", "sum", "v")]
+        )
+        outs = []
+        for i in range(4):
+            outs += op.process(Record({"v": 1}, ts=float(i)))
+        assert [o["total"] for o in outs] == [1, 2, 2, 2]
+
+    def test_landmark_window_accumulates(self):
+        op = WindowedAggregate(
+            LandmarkWindow(0.0), [], [AggSpec("n", "count")]
+        )
+        outs = []
+        for i in range(3):
+            outs += op.process(Record({"v": i}, ts=float(i)))
+        assert [o["n"] for o in outs] == [1, 2, 3]
+
+    def test_per_group_isolation(self):
+        op = WindowedAggregate(
+            TimeWindow(100.0), ["g"], [AggSpec("n", "count")]
+        )
+        op.process(Record({"g": "a"}, ts=0.0))
+        out = op.process(Record({"g": "b"}, ts=1.0))
+        assert out[0].values == {"g": "b", "n": 1}
+
+    def test_unsupported_window_rejected(self):
+        with pytest.raises(WindowError):
+            WindowedAggregate(NowWindow(), [], [AggSpec("n", "count")])
+
+    def test_reset(self):
+        op = WindowedAggregate(
+            TimeWindow(100.0), [], [AggSpec("n", "count")]
+        )
+        op.process(Record({"v": 1}, ts=0.0))
+        op.reset()
+        out = op.process(Record({"v": 1}, ts=1.0))
+        assert out[0]["n"] == 1

@@ -1,0 +1,107 @@
+"""Tests for the Operator base class and CompiledChain fusion."""
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import PlanError
+from repro.operators import (
+    Aggregate,
+    AggSpec,
+    CompiledChain,
+    DistinctProject,
+    Select,
+    SymmetricHashJoin,
+)
+from repro.operators.base import run_chain
+from repro.operators.map import MapOp
+
+
+def rec(values, ts=0.0, seq=0):
+    return Record(values, ts=ts, seq=seq)
+
+
+class TestOperatorBase:
+    def test_bad_port_rejected(self):
+        op = Select(lambda r: True)
+        with pytest.raises(PlanError, match="arity"):
+            op.process(rec({"v": 1}), port=1)
+
+    def test_default_name_is_class_name(self):
+        assert Select(lambda r: True).name == "select"
+
+    def test_punctuation_default_passthrough(self):
+        op = MapOp(lambda r: r.values)
+        p = Punctuation.time_bound("ts", 1.0)
+        assert op.process(p) == [p]
+
+
+class TestCompiledChain:
+    def test_fuses_selectivity_and_cost(self):
+        chain = CompiledChain(
+            [
+                Select(lambda r: True, selectivity=0.5, cost_per_tuple=1.0),
+                Select(lambda r: True, selectivity=0.2, cost_per_tuple=2.0),
+            ]
+        )
+        assert chain.selectivity == pytest.approx(0.1)
+        assert chain.cost_per_tuple == pytest.approx(3.0)
+
+    def test_processes_through_all_stages(self):
+        chain = CompiledChain(
+            [
+                Select(lambda r: r["v"] > 0),
+                MapOp(lambda r: {"v": r["v"] * 10}),
+            ]
+        )
+        assert chain.process(rec({"v": 2}))[0]["v"] == 20
+        assert chain.process(rec({"v": -1})) == []
+
+    def test_flush_routes_through_remaining_stages(self):
+        """Elements flushed by stage i must traverse stages i+1..n."""
+        chain = CompiledChain(
+            [
+                Aggregate(["g"], [AggSpec("n", "count")]),
+                Select(lambda r: r["n"] >= 2),
+            ]
+        )
+        chain.process(rec({"g": "a"}))
+        chain.process(rec({"g": "a"}))
+        chain.process(rec({"g": "b"}))
+        out = chain.flush()
+        assert [r.values for r in out] == [{"g": "a", "n": 2}]
+
+    def test_rejects_binary_operators(self):
+        with pytest.raises(PlanError, match="unary"):
+            CompiledChain([SymmetricHashJoin(["k"], ["k"])])
+
+    def test_rejects_empty(self):
+        with pytest.raises(PlanError):
+            CompiledChain([])
+
+    def test_reset_and_memory_delegate(self):
+        inner = DistinctProject(["v"])
+        chain = CompiledChain([inner])
+        chain.process(rec({"v": 1}))
+        assert chain.memory() == 1
+        chain.reset()
+        assert chain.memory() == 0
+
+
+class TestRunChain:
+    def test_single_operator_path(self):
+        out = run_chain([Select(lambda r: r["v"] > 1)], [rec({"v": 2})])
+        assert len(out) == 1
+
+    def test_multi_operator_path(self):
+        out = run_chain(
+            [Select(lambda r: True), MapOp(lambda r: {"v": r["v"] + 1})],
+            [rec({"v": 1})],
+        )
+        assert out[0]["v"] == 2
+
+    def test_flush_included(self):
+        out = run_chain(
+            [Aggregate([], [AggSpec("n", "count")])],
+            [rec({"v": 1}), rec({"v": 2})],
+        )
+        assert out[0]["n"] == 2

@@ -1,0 +1,102 @@
+"""Tests for the eddy adaptive router (slide 22, AH00)."""
+
+from repro.core import Record
+from repro.operators import Eddy, EddyFilter, FixedFilterChain
+
+
+def rec(v):
+    return Record({"v": v})
+
+
+def filters():
+    return [
+        EddyFilter("gt", lambda r: r["v"] > 10, cost=1.0),
+        EddyFilter("even", lambda r: r["v"] % 2 == 0, cost=1.0),
+    ]
+
+
+class TestEddyFilter:
+    def test_statistics(self):
+        f = EddyFilter("f", lambda r: r["v"] > 0)
+        f.apply(rec(1))
+        f.apply(rec(-1))
+        assert f.observed_pass_rate() == 0.5
+
+    def test_unknown_filter_gets_prior(self):
+        f = EddyFilter("f", lambda r: True)
+        assert f.observed_pass_rate() == 0.5
+
+    def test_decay(self):
+        f = EddyFilter("f", lambda r: True)
+        f.apply(rec(1))
+        f.decay(0.5)
+        assert f.seen == 0.5
+
+
+class TestEddySemantics:
+    def test_same_results_as_fixed_chain(self):
+        """Adaptivity changes cost, never the answer."""
+        data = [rec(v) for v in range(40)]
+        eddy = Eddy(filters(), epsilon=0.2, seed=3)
+        fixed = FixedFilterChain(filters())
+        eddy_out = [r["v"] for d in data for r in eddy.process(d)]
+        fixed_out = [r["v"] for d in data for r in fixed.process(d)]
+        assert eddy_out == fixed_out
+
+    def test_deterministic_given_seed(self):
+        data = [rec(v) for v in range(50)]
+        runs = []
+        for _ in range(2):
+            eddy = Eddy(filters(), seed=11)
+            for d in data:
+                eddy.process(d)
+            runs.append(eddy.work_done)
+        assert runs[0] == runs[1]
+
+
+class TestEddyAdaptivity:
+    def test_learns_selective_filter_first(self):
+        # 'never' drops everything; eddy should route through it first.
+        fs = [
+            EddyFilter("always", lambda r: True, cost=1.0),
+            EddyFilter("never", lambda r: False, cost=1.0),
+        ]
+        eddy = Eddy(fs, epsilon=0.0, seed=1)
+        for v in range(30):
+            eddy.process(rec(v))
+        assert eddy.current_order()[0] == "never"
+        # With 'never' first, each tuple costs ~1 evaluation, not 2.
+        assert eddy.work_done < 45
+
+    def test_adapts_to_selectivity_drift(self):
+        """Slide 22: adaptive plans for volatile environments."""
+        phase = {"cut": 100}
+        f_a = EddyFilter("a", lambda r: r["v"] >= phase["cut"], cost=1.0)
+        f_b = EddyFilter("b", lambda r: r["v"] < phase["cut"], cost=1.0)
+        eddy = Eddy([f_a, f_b], epsilon=0.1, decay=0.9, seed=5)
+        # Phase 1: all v < 100 -> f_a drops everything -> a first.
+        for v in range(60):
+            eddy.process(rec(v))
+        order_phase1 = eddy.current_order()[0]
+        # Phase 2: all v >= 100 -> f_b drops everything -> b first.
+        for v in range(100, 200):
+            eddy.process(rec(v))
+        order_phase2 = eddy.current_order()[0]
+        assert order_phase1 == "a"
+        assert order_phase2 == "b"
+
+    def test_fixed_chain_cannot_adapt(self):
+        f_pass = EddyFilter("pass", lambda r: True, cost=1.0)
+        f_drop = EddyFilter("drop", lambda r: False, cost=1.0)
+        fixed = FixedFilterChain([f_pass, f_drop])
+        for v in range(50):
+            fixed.process(rec(v))
+        # Bad fixed order pays both filters for every tuple.
+        assert fixed.work_done == 100
+
+    def test_reset(self):
+        eddy = Eddy(filters(), seed=2)
+        eddy.process(rec(1))
+        eddy.reset()
+        assert eddy.work_done == 0
+        assert all(f.seen == 0 for f in eddy.filters)

@@ -1,0 +1,286 @@
+"""Tests for the join operators (slides 30-33): SHJ, window join, XJoin."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Punctuation, Record
+from repro.operators import (
+    EvictingHashJoin,
+    JoinCosts,
+    SymmetricHashJoin,
+    WindowJoin,
+    XJoin,
+)
+from repro.windows import RowWindow, TimeWindow
+
+
+def rec(values, ts=0.0, seq=0):
+    return Record(values, ts=ts, seq=seq)
+
+
+def feed(join, elements):
+    """elements: list of (port, record); returns all join outputs."""
+    out = []
+    for port, el in elements:
+        out += join.process(el, port)
+    out += join.flush()
+    return [e for e in out if isinstance(e, Record)]
+
+
+class TestSymmetricHashJoin:
+    def test_basic_equijoin(self):
+        j = SymmetricHashJoin(["k"], ["k"])
+        out = feed(
+            j,
+            [
+                (0, rec({"k": 1, "a": "x"})),
+                (1, rec({"k": 1, "b": "y"})),
+                (1, rec({"k": 2, "b": "z"})),
+            ],
+        )
+        assert len(out) == 1
+        assert out[0].values == {"k": 1, "a": "x", "b": "y"}
+
+    def test_results_regardless_of_arrival_side(self):
+        j = SymmetricHashJoin(["k"], ["k"])
+        out = feed(j, [(1, rec({"k": 1, "b": 1})), (0, rec({"k": 1, "a": 1}))])
+        assert len(out) == 1
+
+    def test_theta_residual(self):
+        j = SymmetricHashJoin(
+            ["k"], ["k"], theta=lambda l, r: l["a"] < r["b"]
+        )
+        out = feed(
+            j,
+            [
+                (0, rec({"k": 1, "a": 5})),
+                (1, rec({"k": 1, "b": 9})),
+                (1, rec({"k": 1, "b": 2})),
+            ],
+        )
+        assert len(out) == 1 and out[0]["b"] == 9
+
+    def test_cross_product_on_duplicate_keys(self):
+        j = SymmetricHashJoin(["k"], ["k"])
+        elements = [(0, rec({"k": 1, "a": i})) for i in range(3)]
+        elements += [(1, rec({"k": 1, "b": i})) for i in range(4)]
+        assert len(feed(j, elements)) == 12
+
+    def test_memory_grows_unbounded(self):
+        """Slide 30: general joins on streams are problematic."""
+        j = SymmetricHashJoin(["k"], ["k"])
+        for i in range(100):
+            j.process(rec({"k": i}, ts=float(i)), 0)
+        assert j.memory() == 100
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricHashJoin(["a", "b"], ["a"])
+
+    def test_swallows_punctuation(self):
+        j = SymmetricHashJoin(["k"], ["k"])
+        assert j.process(Punctuation.time_bound("ts", 1.0), 0) == []
+
+
+class TestWindowJoin:
+    def test_window_limits_matches(self):
+        """KNV03: only tuples within the window join (slide 32)."""
+        j = WindowJoin(
+            TimeWindow(5.0), TimeWindow(5.0), ["k"], ["k"]
+        )
+        out = feed(
+            j,
+            [
+                (0, rec({"k": 1}, ts=0.0)),
+                (1, rec({"k": 1}, ts=3.0)),   # within 5 -> match
+                (1, rec({"k": 1}, ts=20.0)),  # far away -> no match
+            ],
+        )
+        assert len(out) == 1
+
+    def test_expired_tuple_cannot_join(self):
+        j = WindowJoin(TimeWindow(5.0), TimeWindow(5.0), ["k"], ["k"])
+        j.process(rec({"k": 1}, ts=0.0), 0)
+        out = j.process(rec({"k": 1}, ts=6.0), 1)
+        assert out == []
+        assert j.window_sizes()[0] == 0  # expired and invalidated
+
+    def test_asymmetric_windows(self):
+        j = WindowJoin(TimeWindow(10.0), TimeWindow(1.0), ["k"], ["k"])
+        # B tuple at t=0; A arrives t=5: B's window is 1 -> expired.
+        j.process(rec({"k": 1}, ts=0.0), 1)
+        assert j.process(rec({"k": 1}, ts=5.0), 0) == []
+        # A tuple at t=5 stays 10: B arriving at t=9 still matches it.
+        out = j.process(rec({"k": 1}, ts=9.0), 1)
+        assert len(out) == 1
+
+    @pytest.mark.parametrize(
+        "ls,rs", itertools.product(["hash", "nl"], repeat=2)
+    )
+    def test_strategies_produce_identical_results(self, ls, rs):
+        """Slide 33: hash vs INL trade resources, not answers."""
+        elements = []
+        for i in range(30):
+            port = i % 2
+            elements.append(
+                (port, rec({"k": i % 3, "side": port}, ts=float(i)))
+            )
+        reference = feed(
+            WindowJoin(TimeWindow(10), TimeWindow(10), ["k"], ["k"]),
+            elements,
+        )
+        probe = feed(
+            WindowJoin(
+                TimeWindow(10),
+                TimeWindow(10),
+                ["k"],
+                ["k"],
+                left_strategy=ls,
+                right_strategy=rs,
+            ),
+            elements,
+        )
+        key = lambda r: sorted(r.values.items())
+        assert sorted(map(key, probe)) == sorted(map(key, reference))
+
+    def test_nl_scan_costs_more_cpu_than_hash(self):
+        elements = [
+            (i % 2, rec({"k": i % 5}, ts=float(i))) for i in range(200)
+        ]
+        hash_join = WindowJoin(
+            TimeWindow(50), TimeWindow(50), ["k"], ["k"],
+            left_strategy="hash", right_strategy="hash",
+        )
+        nl_join = WindowJoin(
+            TimeWindow(50), TimeWindow(50), ["k"], ["k"],
+            left_strategy="nl", right_strategy="nl",
+        )
+        feed(hash_join, elements)
+        feed(nl_join, elements)
+        assert nl_join.cpu_used > hash_join.cpu_used
+
+    def test_hash_uses_more_memory_than_nl(self):
+        elements = [
+            (i % 2, rec({"k": i}, ts=float(i))) for i in range(100)
+        ]
+        hash_join = WindowJoin(
+            TimeWindow(1000), TimeWindow(1000), ["k"], ["k"]
+        )
+        nl_join = WindowJoin(
+            TimeWindow(1000), TimeWindow(1000), ["k"], ["k"],
+            left_strategy="nl", right_strategy="nl",
+        )
+        feed(hash_join, elements)
+        feed(nl_join, elements)
+        assert hash_join.memory() > nl_join.memory()
+
+    def test_row_windows(self):
+        j = WindowJoin(RowWindow(1), RowWindow(1), ["k"], ["k"])
+        j.process(rec({"k": 1, "v": "old"}, ts=0.0), 0)
+        j.process(rec({"k": 1, "v": "new"}, ts=1.0), 0)  # evicts old
+        out = j.process(rec({"k": 1, "w": 1}, ts=2.0), 1)
+        assert len(out) == 1 and out[0]["v"] == "new"
+
+    def test_punctuation_purges_windows(self):
+        j = WindowJoin(TimeWindow(5.0), TimeWindow(5.0), ["k"], ["k"])
+        j.process(rec({"k": 1}, ts=0.0), 0)
+        j.process(Punctuation.time_bound("ts", 100.0), 1)
+        assert j.window_sizes() == (0, 0)
+
+    def test_results_counter(self):
+        j = WindowJoin(TimeWindow(5), TimeWindow(5), ["k"], ["k"])
+        feed(j, [(0, rec({"k": 1}, ts=0.0)), (1, rec({"k": 1}, ts=1.0))])
+        assert j.results == 1
+
+    def test_invalid_strategy_rejected(self):
+        from repro.errors import WindowError
+
+        with pytest.raises(WindowError):
+            WindowJoin(
+                TimeWindow(5), TimeWindow(5), ["k"], ["k"],
+                left_strategy="btree",
+            )
+
+
+class TestXJoin:
+    def _elements(self, n, keys=5):
+        els = []
+        for i in range(n):
+            els.append((i % 2, rec({"k": i % keys, "i": i}, ts=float(i), seq=i)))
+        return els
+
+    def _result_keys(self, records):
+        return sorted(tuple(sorted(r.values.items())) for r in records)
+
+    def test_no_memory_pressure_matches_shj(self):
+        els = self._elements(40)
+        shj = SymmetricHashJoin(["k"], ["k"])
+        xj = XJoin(["k"], ["k"], memory_budget=1000)
+        assert self._result_keys(feed(xj, els)) == self._result_keys(
+            feed(shj, els)
+        )
+
+    def test_spilling_loses_nothing(self):
+        """XJoin's point (slide 31): overflow goes to disk, not away."""
+        els = self._elements(60)
+        shj = SymmetricHashJoin(["k"], ["k"])
+        xj = XJoin(["k"], ["k"], memory_budget=8, n_partitions=4)
+        out = feed(xj, els)
+        assert xj.pages_written > 0  # it really spilled
+        assert self._result_keys(out) == self._result_keys(feed(shj, els))
+
+    def test_no_duplicates_after_cleanup(self):
+        els = self._elements(60, keys=2)
+        xj = XJoin(["k"], ["k"], memory_budget=6, n_partitions=2)
+        out = feed(xj, els)
+        keys = self._result_keys(out)
+        assert len(keys) == len(set(keys))
+
+    def test_evicting_join_loses_results(self):
+        els = self._elements(60)
+        full = feed(SymmetricHashJoin(["k"], ["k"]), els)
+        lossy_join = EvictingHashJoin(["k"], ["k"], memory_budget=8)
+        lossy = feed(lossy_join, els)
+        assert len(lossy) < len(full)
+        assert lossy_join.evicted > 0
+
+    def test_memory_budget_respected(self):
+        xj = XJoin(["k"], ["k"], memory_budget=10)
+        for port, el in self._elements(100):
+            xj.process(el, port)
+        assert xj.memory() <= 10
+
+    def test_too_small_budget_rejected(self):
+        with pytest.raises(ValueError):
+            XJoin(["k"], ["k"], memory_budget=1)
+
+    def test_reset(self):
+        xj = XJoin(["k"], ["k"], memory_budget=8)
+        for port, el in self._elements(30):
+            xj.process(el, port)
+        xj.reset()
+        assert xj.memory() == 0 and xj.disk_tuples == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1), st.integers(0, 3)),
+        min_size=0,
+        max_size=40,
+    ),
+    st.integers(2, 12),
+)
+def test_xjoin_equals_shj_for_any_input_property(arrivals, budget):
+    """For any interleaving and any budget, XJoin = SHJ result set."""
+    els = [
+        (port, rec({"k": k, "i": i}, ts=float(i), seq=i))
+        for i, (port, k) in enumerate(arrivals)
+    ]
+    ref = feed(SymmetricHashJoin(["k"], ["k"]), list(els))
+    out = feed(XJoin(["k"], ["k"], memory_budget=budget, n_partitions=3), list(els))
+    canon = lambda rs: sorted(tuple(sorted(r.values.items())) for r in rs)
+    assert canon(out) == canon(ref)

@@ -1,0 +1,92 @@
+"""Tests for map/rename/extend and the merge operators."""
+
+from repro.core import Punctuation, Record
+from repro.operators import Extend, MapOp, OrderedMerge, Rename, Union
+from repro.operators.base import run_chain
+
+
+def rec(values, ts=0.0, seq=0):
+    return Record(values, ts=ts, seq=seq)
+
+
+class TestMapOp:
+    def test_transform(self):
+        out = run_chain(
+            [MapOp(lambda r: {"v": r["v"] + 1})], [rec({"v": 1})]
+        )
+        assert out[0]["v"] == 2
+
+    def test_none_drops_record(self):
+        op = MapOp(lambda r: None if r["v"] < 0 else r.values)
+        assert op.process(rec({"v": -1})) == []
+        assert len(op.process(rec({"v": 1}))) == 1
+
+
+class TestRename:
+    def test_renames_and_keeps_rest(self):
+        out = run_chain(
+            [Rename({"a": "x"})], [rec({"a": 1, "b": 2})]
+        )
+        assert out[0].values == {"x": 1, "b": 2}
+
+
+class TestExtend:
+    def test_adds_computed_attribute(self):
+        """The GSQL `time/60 as tb` idiom (slide 37)."""
+        out = run_chain(
+            [Extend({"tb": lambda r: int(r["time"] // 60)})],
+            [rec({"time": 125.0})],
+        )
+        assert out[0].values == {"time": 125.0, "tb": 2}
+
+
+class TestUnion:
+    def test_forwards_both_ports(self):
+        op = Union()
+        assert op.process(rec({"v": 1}), 0)[0]["v"] == 1
+        assert op.process(rec({"v": 2}), 1)[0]["v"] == 2
+
+    def test_swallows_one_sided_punctuation(self):
+        op = Union()
+        assert op.process(Punctuation.time_bound("ts", 1.0), 0) == []
+
+
+class TestOrderedMerge:
+    def test_releases_only_up_to_watermark(self):
+        op = OrderedMerge()
+        assert op.process(rec({"v": 1}, ts=5.0), 0) == []  # port 1 at -inf
+        out = op.process(rec({"v": 2}, ts=3.0), 1)
+        # watermark = min(5, 3) = 3: releases the ts=3 tuple only.
+        assert [r.ts for r in out] == [3.0]
+
+    def test_output_is_ts_sorted(self):
+        op = OrderedMerge()
+        outs = []
+        outs += op.process(rec({"v": 1}, ts=2.0), 0)
+        outs += op.process(rec({"v": 2}, ts=1.0), 1)
+        outs += op.process(rec({"v": 3}, ts=9.0), 0)
+        outs += op.process(rec({"v": 4}, ts=9.0), 1)
+        outs += op.flush()
+        records = [r for r in outs if isinstance(r, Record)]
+        ts = [r.ts for r in records]
+        assert ts == sorted(ts)
+        assert len(records) == 4
+
+    def test_punctuation_advances_progress(self):
+        op = OrderedMerge()
+        op.process(rec({"v": 1}, ts=5.0), 0)
+        out = op.process(Punctuation.time_bound("ts", 10.0), 1)
+        # Port 1 promises nothing before 10, so the ts=5 tuple is safe.
+        assert any(isinstance(e, Record) and e.ts == 5.0 for e in out)
+
+    def test_flush_drains_buffer(self):
+        op = OrderedMerge()
+        op.process(rec({"v": 1}, ts=5.0), 0)
+        assert [r.ts for r in op.flush()] == [5.0]
+
+    def test_memory_tracks_buffered(self):
+        op = OrderedMerge()
+        op.process(rec({"v": 1}, ts=5.0), 0)
+        assert op.memory() == 1.0
+        op.reset()
+        assert op.memory() == 0.0

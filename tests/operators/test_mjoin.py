@@ -1,0 +1,186 @@
+"""Tests for the sliding-window multi-join ([GO03])."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Punctuation, Record
+from repro.errors import PlanError, WindowError
+from repro.operators import MultiJoin
+from repro.windows import RowWindow, TimeWindow
+
+
+def feed(join, arrivals):
+    out = []
+    for port, rec in arrivals:
+        out += join.process(rec, port)
+    return [e for e in out if isinstance(e, Record)]
+
+
+def reference_mjoin(arrivals, n_inputs, window):
+    """Brute force: when a tuple arrives, pick one alive match from
+    every other input with the same key; emit all combinations."""
+    results = []
+    history: list[list[Record]] = [[] for _ in range(n_inputs)]
+    for port, rec in arrivals:
+        alive = []
+        ok = True
+        for p in range(n_inputs):
+            if p == port:
+                continue
+            matches = [
+                r
+                for r in history[p]
+                if r["k"] == rec["k"] and r.ts > rec.ts - window
+            ]
+            if not matches:
+                ok = False
+                break
+            alive.append(matches)
+        if ok and alive:
+            for combo in itertools.product(*alive):
+                ids = tuple(sorted([rec["id"]] + [c["id"] for c in combo]))
+                results.append(ids)
+        history[port].append(rec)
+    return sorted(results)
+
+
+def tagged(port, key, ts, i):
+    return (port, Record({"k": key, "id": i, f"v{port}": i}, ts=ts, seq=i))
+
+
+class TestMultiJoinBasics:
+    def test_three_way_match(self):
+        mj = MultiJoin([TimeWindow(5)] * 3, [["k"]] * 3)
+        out = feed(
+            mj,
+            [
+                tagged(0, 1, 0.0, 0),
+                tagged(1, 1, 1.0, 1),
+                tagged(2, 1, 2.0, 2),
+            ],
+        )
+        assert len(out) == 1
+        assert out[0]["v0"] == 0 and out[0]["v1"] == 1 and out[0]["v2"] == 2
+
+    def test_no_result_until_all_sides_present(self):
+        mj = MultiJoin([TimeWindow(5)] * 3, [["k"]] * 3)
+        out = feed(mj, [tagged(0, 1, 0.0, 0), tagged(1, 1, 1.0, 1)])
+        assert out == []
+
+    def test_window_expiry_blocks_match(self):
+        mj = MultiJoin([TimeWindow(2)] * 3, [["k"]] * 3)
+        out = feed(
+            mj,
+            [
+                tagged(0, 1, 0.0, 0),
+                tagged(1, 1, 1.0, 1),
+                tagged(2, 1, 9.0, 2),  # others expired
+            ],
+        )
+        assert out == []
+
+    def test_cross_product_of_duplicates(self):
+        mj = MultiJoin([TimeWindow(10)] * 3, [["k"]] * 3)
+        arrivals = [
+            tagged(0, 1, 0.0, 0),
+            tagged(0, 1, 0.5, 1),
+            tagged(1, 1, 1.0, 2),
+            tagged(2, 1, 2.0, 3),  # joins 2 x 1 combinations
+        ]
+        out = feed(mj, arrivals)
+        assert len(out) == 2
+
+    def test_row_windows(self):
+        mj = MultiJoin([RowWindow(1)] * 2, [["k"]] * 2)
+        feed(mj, [tagged(0, 1, 0.0, 0), tagged(0, 1, 1.0, 1)])
+        assert mj.window_sizes()[0] == 1
+
+    def test_punctuation_purges(self):
+        mj = MultiJoin([TimeWindow(5)] * 2, [["k"]] * 2)
+        mj.process(Record({"k": 1, "id": 0}, ts=0.0), 0)
+        mj.process(Punctuation.time_bound("ts", 100.0), 1)
+        assert mj.window_sizes() == (0, 0)
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            MultiJoin([TimeWindow(5)], [["k"]])
+        with pytest.raises(PlanError):
+            MultiJoin([TimeWindow(5)] * 2, [["k"]])
+        with pytest.raises(PlanError):
+            MultiJoin([TimeWindow(5)] * 2, [["k"], ["k", "j"]])
+        with pytest.raises(WindowError):
+            MultiJoin([TimeWindow(5)] * 2, [["k"]] * 2, probe_order="magic")
+
+
+class TestProbeOrders:
+    def arrivals(self):
+        out = []
+        i = 0
+        # Input 0: few tuples; input 1: many; input 2: the probe stream.
+        for t in range(20):
+            out.append(tagged(1, t % 2, float(t) * 0.4, i)); i += 1
+        out.append(tagged(0, 0, 8.0, i)); i += 1
+        for t in range(5):
+            out.append(tagged(2, 0, 8.5 + t * 0.1, i)); i += 1
+        return sorted(out, key=lambda x: x[1].ts)
+
+    @pytest.mark.parametrize("order", ["fixed", "smallest_window", "fewest_matches"])
+    def test_all_orders_same_results(self, order):
+        reference = feed(
+            MultiJoin([TimeWindow(10)] * 3, [["k"]] * 3, probe_order="fixed"),
+            self.arrivals(),
+        )
+        got = feed(
+            MultiJoin([TimeWindow(10)] * 3, [["k"]] * 3, probe_order=order),
+            self.arrivals(),
+        )
+        canon = lambda rs: sorted(
+            tuple(sorted(r.values.items())) for r in rs
+        )
+        assert canon(got) == canon(reference)
+
+    def test_selective_order_does_less_work(self):
+        """GO03's point: probe the most selective stream first."""
+        data = self.arrivals()
+        fixed = MultiJoin([TimeWindow(10)] * 3, [["k"]] * 3, probe_order="fixed")
+        smart = MultiJoin(
+            [TimeWindow(10)] * 3, [["k"]] * 3, probe_order="fewest_matches"
+        )
+        feed(fixed, data)
+        feed(smart, data)
+        assert smart.results == fixed.results
+        # Not asserting strict inequality on this small case; A4 does
+        # the quantitative comparison.  Here: never materially worse.
+        assert smart.cpu_used <= fixed.cpu_used * 1.5
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 2), st.integers(0, 2), st.floats(0, 30)),
+        min_size=0,
+        max_size=30,
+    ),
+    st.floats(1.0, 15.0),
+)
+def test_mjoin_matches_brute_force_property(raw, window):
+    raw = sorted(raw, key=lambda x: x[2])
+    arrivals = [
+        (port, Record({"k": k, "id": i, f"v{port}": i}, ts=ts, seq=i))
+        for i, (port, k, ts) in enumerate(raw)
+    ]
+    mj = MultiJoin([TimeWindow(window)] * 3, [["k"]] * 3)
+    got = []
+    for port, rec in arrivals:
+        for res in mj.process(rec, port):
+            if isinstance(res, Record):
+                # ids of all three participants: probe tuple id is res['id']
+                # and merged records carry each side's 'id'... the merge
+                # overwrote 'id'; recover via v0/v1/v2 attributes.
+                ids = tuple(sorted(res[f"v{p}"] for p in range(3)))
+                got.append(ids)
+    expected = reference_mjoin(arrivals, 3, window)
+    assert sorted(got) == expected

@@ -1,0 +1,152 @@
+"""Tests for two-level (LFTA/HFTA) partial aggregation (slide 37)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators import (
+    Aggregate,
+    AggSpec,
+    FinalAggregate,
+    PartialAggregate,
+    WindowedAggregate,
+)
+from repro.windows import TimeWindow, TumblingWindow
+
+
+def specs():
+    return [AggSpec("n", "count"), AggSpec("total", "sum", "v")]
+
+
+def run_two_level(rows, max_groups, width=10.0):
+    lfta = PartialAggregate(
+        TumblingWindow(width), ["g"], specs(), max_groups=max_groups
+    )
+    hfta = FinalAggregate(["g"], specs())
+    out = []
+    for i, row in enumerate(rows):
+        for el in lfta.process(Record(row, ts=row["ts"], seq=i)):
+            out += hfta.process(el, 0)
+    for el in lfta.flush():
+        out += hfta.process(el, 0)
+    out += hfta.flush()
+    return [e for e in out if isinstance(e, Record)], lfta
+
+
+def run_single_level(rows, width=10.0):
+    agg = WindowedAggregate(TumblingWindow(width), ["g"], specs())
+    out = []
+    for i, row in enumerate(rows):
+        out += agg.process(Record(row, ts=row["ts"], seq=i))
+    out += agg.flush()
+    return [e for e in out if isinstance(e, Record)]
+
+
+def canon(records):
+    return sorted(
+        (r["tb"], r["g"], r["n"], r["total"]) for r in records
+    )
+
+
+class TestEquivalence:
+    def test_matches_single_level_without_pressure(self):
+        rows = [
+            {"g": i % 3, "v": i, "ts": float(i)} for i in range(30)
+        ]
+        two, lfta = run_two_level(rows, max_groups=100)
+        assert lfta.evictions == 0
+        assert canon(two) == canon(run_single_level(rows))
+
+    def test_matches_single_level_under_pressure(self):
+        """Bounded LFTA table evicts early but HFTA re-merges exactly."""
+        rows = [
+            {"g": i % 7, "v": 1, "ts": float(i)} for i in range(70)
+        ]
+        two, lfta = run_two_level(rows, max_groups=2)
+        assert lfta.evictions > 0
+        assert canon(two) == canon(run_single_level(rows))
+
+    def test_avg_merges_exactly(self):
+        """Algebraic aggregates must merge from partial states."""
+        rows = [{"g": 0, "v": v, "ts": 0.0} for v in (1, 2, 3, 4)]
+        lfta = PartialAggregate(
+            TumblingWindow(10.0),
+            ["g"],
+            [AggSpec("mean", "avg", "v")],
+            max_groups=1,
+        )
+        hfta = FinalAggregate(["g"], [AggSpec("mean", "avg", "v")])
+        out = []
+        for i, row in enumerate(rows):
+            for el in lfta.process(Record(row, ts=0.0, seq=i)):
+                out += hfta.process(el, 0)
+        for el in lfta.flush():
+            out += hfta.process(el, 0)
+        out += hfta.flush()
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0]["mean"] == pytest.approx(2.5)
+
+
+class TestLFTA:
+    def test_bounded_table(self):
+        lfta = PartialAggregate(
+            TumblingWindow(100.0), ["g"], specs(), max_groups=3
+        )
+        for i in range(50):
+            lfta.process(Record({"g": i, "v": 1, "ts": 0.0}, ts=0.0, seq=i))
+        assert lfta.memory() <= 3
+
+    def test_bucket_close_emits_punctuation(self):
+        lfta = PartialAggregate(
+            TumblingWindow(10.0), ["g"], specs(), max_groups=8
+        )
+        lfta.process(Record({"g": 1, "v": 1, "ts": 0.0}, ts=0.0))
+        out = lfta.process(Record({"g": 1, "v": 1, "ts": 15.0}, ts=15.0))
+        puncts = [e for e in out if isinstance(e, Punctuation)]
+        assert len(puncts) == 1
+        assert puncts[0].bound_for("tb") == 0
+
+    def test_requires_tumbling_window(self):
+        with pytest.raises(WindowError):
+            PartialAggregate(TimeWindow(10.0), ["g"], specs(), max_groups=2)
+
+    def test_max_groups_validation(self):
+        with pytest.raises(WindowError):
+            PartialAggregate(
+                TumblingWindow(10.0), ["g"], specs(), max_groups=0
+            )
+
+
+class TestHFTA:
+    def test_closes_on_punctuation(self):
+        hfta = FinalAggregate(["g"], specs())
+        states = [s.new_state() for s in specs()]
+        states[0].add(1)
+        states[1].add(5)
+        row = Record({"g": 1, "tb": 0, "_states": states}, ts=0.0)
+        assert hfta.process(row, 0) == []
+        out = hfta.process(Punctuation.of({"tb": (None, 0)}, ts=10.0), 0)
+        records = [e for e in out if isinstance(e, Record)]
+        assert records[0].values == {"g": 1, "tb": 0, "n": 1, "total": 5}
+        assert hfta.group_count == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 100)),
+        min_size=1,
+        max_size=60,
+    ),
+    st.integers(1, 4),
+)
+def test_two_level_equivalence_property(data, max_groups):
+    """For any stream and any LFTA bound, two-level == single-level."""
+    rows = [
+        {"g": g, "v": v, "ts": float(i)} for i, (g, v) in enumerate(data)
+    ]
+    two, _lfta = run_two_level(rows, max_groups=max_groups, width=7.0)
+    one = run_single_level(rows, width=7.0)
+    assert canon(two) == canon(one)

@@ -1,0 +1,76 @@
+"""Tests for punctuation-based windowed aggregation (slide 28)."""
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import WindowError
+from repro.operators import AggSpec, WindowedAggregate
+from repro.windows import PunctuationWindow
+from repro.workloads import AuctionGenerator
+
+
+def auction_aggregate():
+    return WindowedAggregate(
+        PunctuationWindow(("auction",)),
+        ["auction"],
+        [AggSpec("high", "max", "price"), AggSpec("bids", "count")],
+    )
+
+
+class TestPunctuationWindowAggregate:
+    def test_group_emitted_on_its_punctuation(self):
+        op = auction_aggregate()
+        op.process(Record({"auction": 1, "price": 10.0}, ts=0.0))
+        op.process(Record({"auction": 2, "price": 5.0}, ts=1.0))
+        op.process(Record({"auction": 1, "price": 12.0}, ts=2.0))
+        out = op.process(Punctuation.of({"auction": 1}, ts=3.0))
+        records = [e for e in out if isinstance(e, Record)]
+        assert records == [
+            Record({"auction": 1, "high": 12.0, "bids": 2}, ts=3.0)
+        ]
+        # Auction 2 is still open.
+        assert op.memory() > 0
+
+    def test_full_auction_stream(self):
+        op = auction_aggregate()
+        out = []
+        elements = AuctionGenerator().elements()
+        for el in elements:
+            out += op.process(el, 0)
+        records = [e for e in out if isinstance(e, Record)]
+        # Every auction closed by punctuation, before end of stream.
+        assert len(records) == 20
+        assert op.flush() == []
+        assert op.memory() == 0.0
+
+    def test_results_match_manual_computation(self):
+        elements = AuctionGenerator().elements()
+        truth: dict[int, tuple[float, int]] = {}
+        for el in elements:
+            if isinstance(el, Record):
+                high, n = truth.get(el["auction"], (0.0, 0))
+                truth[el["auction"]] = (max(high, el["price"]), n + 1)
+        op = auction_aggregate()
+        out = []
+        for el in elements:
+            out += op.process(el, 0)
+        got = {
+            r["auction"]: (r["high"], r["bids"])
+            for r in out
+            if isinstance(r, Record)
+        }
+        assert got == truth
+
+    def test_window_attrs_must_be_grouped(self):
+        with pytest.raises(WindowError, match="grouped"):
+            WindowedAggregate(
+                PunctuationWindow(("auction",)),
+                ["bidder"],
+                [AggSpec("n", "count")],
+            )
+
+    def test_reset(self):
+        op = auction_aggregate()
+        op.process(Record({"auction": 1, "price": 1.0}, ts=0.0))
+        op.reset()
+        assert op.memory() == 0.0

@@ -1,0 +1,108 @@
+"""Tests for selection and projection operators (slide 29)."""
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import SchemaError
+from repro.operators import DistinctProject, Project, Select
+from repro.operators.base import run_chain
+
+
+def recs(values, ts_attr=None):
+    out = []
+    for i, v in enumerate(values):
+        ts = float(v[ts_attr]) if ts_attr else float(i)
+        out.append(Record(v, ts=ts, seq=i))
+    return out
+
+
+class TestSelect:
+    def test_keeps_matching(self):
+        out = run_chain(
+            [Select(lambda r: r["v"] > 2)], recs([{"v": 1}, {"v": 3}])
+        )
+        assert [r["v"] for r in out] == [3]
+
+    def test_propagates_punctuation(self):
+        op = Select(lambda r: False)
+        p = Punctuation.time_bound("ts", 5.0)
+        assert op.process(p) == [p]
+
+    def test_stateless_memory(self):
+        assert Select(lambda r: True).memory() == 0.0
+
+
+class TestProject:
+    def test_column_subset(self):
+        out = run_chain([Project(["a"])], recs([{"a": 1, "b": 2}]))
+        assert out[0].values == {"a": 1}
+
+    def test_rename_via_mapping(self):
+        out = run_chain([Project({"x": "a"})], recs([{"a": 1}]))
+        assert out[0].values == {"x": 1}
+
+    def test_computed_column(self):
+        out = run_chain(
+            [Project({"double": lambda r: r["a"] * 2})], recs([{"a": 3}])
+        )
+        assert out[0]["double"] == 6
+
+    def test_must_retain_ordering_attribute(self):
+        """JMS95: projecting away the ordering attribute is an error."""
+        with pytest.raises(SchemaError, match="ordering"):
+            Project(["a"], ordering="ts")
+
+    def test_ordering_retained_is_fine(self):
+        Project(["ts", "a"], ordering="ts")
+
+    def test_preserves_timestamps(self):
+        out = run_chain([Project(["a"])], recs([{"a": 1, "ts": 9.0}], "ts"))
+        assert out[0].ts == 9.0
+
+
+class TestDistinctProject:
+    def test_emits_first_occurrence_only(self):
+        rows = [{"k": 1}, {"k": 2}, {"k": 1}, {"k": 2}, {"k": 3}]
+        out = run_chain([DistinctProject(["k"])], recs(rows))
+        assert [r["k"] for r in out] == [1, 2, 3]
+
+    def test_projects_to_key_columns(self):
+        out = run_chain([DistinctProject(["k"])], recs([{"k": 1, "x": 9}]))
+        assert out[0].values == {"k": 1}
+
+    def test_window_allows_reappearance(self):
+        """Slide 36: distinct over a window forgets old keys."""
+        rows = [{"k": 1, "t": 0.0}, {"k": 1, "t": 5.0}, {"k": 1, "t": 100.0}]
+        out = run_chain(
+            [DistinctProject(["k"], window=10.0)], recs(rows, "t")
+        )
+        # Second occurrence suppressed (within window), third re-emitted.
+        assert len(out) == 2
+
+    def test_unbounded_state_grows(self):
+        op = DistinctProject(["k"])
+        for i in range(50):
+            op.process(Record({"k": i}, ts=float(i)))
+        assert op.memory() == 50
+
+    def test_windowed_state_bounded(self):
+        op = DistinctProject(["k"], window=5.0)
+        for i in range(50):
+            op.process(Record({"k": i}, ts=float(i)))
+        assert op.memory() <= 7
+
+    def test_punctuation_purges_covered_keys(self):
+        op = DistinctProject(["k"])
+        op.process(Record({"k": 1}, ts=0.0))
+        op.process(Record({"k": 2}, ts=1.0))
+        out = op.process(Punctuation.of({"k": 1}, ts=2.0))
+        assert out == [Punctuation.of({"k": 1}, ts=2.0)]
+        assert op.memory() == 1
+
+    def test_reset(self):
+        op = DistinctProject(["k"])
+        op.process(Record({"k": 1}))
+        op.reset()
+        assert op.memory() == 0
+        # After reset the same key is "new" again.
+        assert len(op.process(Record({"k": 1}))) == 1

@@ -1,0 +1,158 @@
+"""Tests for Sort and Limit operators and their CQL clauses."""
+
+import pytest
+
+from repro.core import Field, ListSource, Punctuation, Record, Schema, run_plan
+from repro.cql import Catalog, compile_query, parse
+from repro.errors import PlanError, SemanticError
+from repro.operators import Limit, Sort
+
+
+def recs(values):
+    return [Record(v, ts=float(i), seq=i) for i, v in enumerate(values)]
+
+
+def run(op, elements):
+    out = []
+    for el in elements:
+        out += op.process(el)
+    out += op.flush()
+    return [e for e in out if isinstance(e, Record)]
+
+
+class TestSort:
+    def test_ascending(self):
+        out = run(Sort([("v", False)]), recs([{"v": 3}, {"v": 1}, {"v": 2}]))
+        assert [r["v"] for r in out] == [1, 2, 3]
+
+    def test_descending(self):
+        out = run(Sort([("v", True)]), recs([{"v": 3}, {"v": 1}, {"v": 2}]))
+        assert [r["v"] for r in out] == [3, 2, 1]
+
+    def test_multi_key(self):
+        rows = [
+            {"a": 1, "b": 2},
+            {"a": 0, "b": 9},
+            {"a": 1, "b": 1},
+            {"a": 0, "b": 3},
+        ]
+        out = run(Sort([("a", False), ("b", True)]), recs(rows))
+        assert [(r["a"], r["b"]) for r in out] == [
+            (0, 9), (0, 3), (1, 2), (1, 1),
+        ]
+
+    def test_sort_is_stable(self):
+        rows = [{"k": 1, "tag": i} for i in range(5)]
+        out = run(Sort([("k", False)]), recs(rows))
+        assert [r["tag"] for r in out] == [0, 1, 2, 3, 4]
+
+    def test_top_n_fusion(self):
+        out = run(
+            Sort([("v", True)], limit=2),
+            recs([{"v": i} for i in range(10)]),
+        )
+        assert [r["v"] for r in out] == [9, 8]
+
+    def test_absorbs_punctuation(self):
+        op = Sort([("v", False)])
+        assert op.process(Punctuation.time_bound("ts", 1.0)) == []
+
+    def test_memory_tracks_buffer(self):
+        op = Sort([("v", False)])
+        for el in recs([{"v": 1}, {"v": 2}]):
+            op.process(el)
+        assert op.memory() == 2
+        op.flush()
+        assert op.memory() == 0
+
+    def test_validation(self):
+        with pytest.raises(PlanError):
+            Sort([])
+        with pytest.raises(PlanError):
+            Sort([("v", False)], limit=-1)
+
+
+class TestLimit:
+    def test_forwards_first_n(self):
+        out = run(Limit(3), recs([{"v": i} for i in range(10)]))
+        assert [r["v"] for r in out] == [0, 1, 2]
+
+    def test_zero_limit(self):
+        assert run(Limit(0), recs([{"v": 1}])) == []
+
+    def test_exhausted_flag_and_reset(self):
+        op = Limit(1)
+        op.process(Record({"v": 1}))
+        assert op.exhausted
+        op.reset()
+        assert not op.exhausted
+
+    def test_punctuations_still_flow(self):
+        op = Limit(0)
+        p = Punctuation.time_bound("ts", 1.0)
+        assert op.process(p) == [p]
+
+
+class TestCQLOrderLimit:
+    @pytest.fixture
+    def catalog(self):
+        cat = Catalog()
+        cat.register_stream(
+            "S",
+            Schema([Field("ts", float), Field("g", int), Field("v", int)],
+                   ordering="ts"),
+        )
+        return cat
+
+    def rows(self):
+        return [
+            {"ts": float(i), "g": i % 3, "v": (7 * i) % 10} for i in range(12)
+        ]
+
+    def run_q(self, text, catalog):
+        plan = compile_query(text, catalog)
+        return run_plan(
+            plan, [ListSource("S", self.rows(), ts_attr="ts")]
+        ).values()
+
+    def test_parse_clauses(self):
+        stmt = parse("select v from S order by v desc, g limit 5")
+        assert stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+        assert stmt.limit == 5
+
+    def test_order_by_value(self, catalog):
+        rows = self.run_q("select v from S order by v", catalog)
+        values = [r["v"] for r in rows]
+        assert values == sorted(values)
+
+    def test_order_by_aggregate_alias(self, catalog):
+        rows = self.run_q(
+            "select g, sum(v) as total from S group by g "
+            "order by total desc",
+            catalog,
+        )
+        totals = [r["total"] for r in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_limit_without_order(self, catalog):
+        rows = self.run_q("select v from S limit 4", catalog)
+        assert len(rows) == 4
+
+    def test_order_with_limit(self, catalog):
+        rows = self.run_q("select v from S order by v desc limit 3", catalog)
+        # v = (7i) % 10 over i=0..11: values 0,7,4,1,8,5,2,9,6,3,0,7
+        assert [r["v"] for r in rows] == [9, 8, 7]
+
+    def test_order_by_expression_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="column references"):
+            compile_query("select v from S order by v + 1", catalog)
+
+    def test_order_with_streamify_rejected(self, catalog):
+        with pytest.raises(SemanticError, match="blocking"):
+            compile_query("istream(select v from S order by v)", catalog)
+
+    def test_limit_with_streamify_allowed(self, catalog):
+        rows = self.run_q("istream(select g from S limit 5)", catalog)
+        # 5 records pass the limit; istream dedups them to distinct g.
+        assert len(rows) == 3

@@ -1,0 +1,120 @@
+"""Tests for streamify (CQL ISTREAM/DSTREAM/RSTREAM) and punctuation ops."""
+
+from repro.core import Punctuation, Record
+from repro.operators import (
+    DropPunctuations,
+    DStream,
+    Heartbeat,
+    IStream,
+    PunctuationCounter,
+    RStream,
+)
+
+
+def rec(values, ts=0.0):
+    return Record(values, ts=ts)
+
+
+def run(op, elements):
+    out = []
+    for el in elements:
+        out += op.process(el)
+    out += op.flush()
+    return out
+
+
+class TestIStream:
+    def test_emits_first_appearance_only(self):
+        op = IStream()
+        out = run(op, [rec({"v": 1}, 0), rec({"v": 1}, 1), rec({"v": 2}, 2)])
+        assert [r["v"] for r in out] == [1, 2]
+
+    def test_state_grows_with_distinct_rows(self):
+        op = IStream()
+        run(op, [rec({"v": i}, float(i)) for i in range(5)])
+        assert op.memory() == 5
+
+    def test_reset(self):
+        op = IStream()
+        run(op, [rec({"v": 1})])
+        op.reset()
+        assert len(op.process(rec({"v": 1}))) == 1
+
+
+class TestDStream:
+    def test_emits_dropped_rows(self):
+        op = DStream()
+        out = run(
+            op,
+            [
+                rec({"v": 1}, 0.0),
+                rec({"v": 2}, 0.0),  # snapshot at t=0: {1, 2}
+                rec({"v": 2}, 1.0),  # snapshot at t=1: {2} -> 1 dropped
+            ],
+        )
+        values = [r["v"] for r in out]
+        # v=1 dropped at t=1; the final snapshot {2} is deleted at end.
+        assert values == [1, 2]
+
+    def test_no_deletions_when_snapshots_equal(self):
+        op = DStream()
+        out = run(op, [rec({"v": 1}, 0.0), rec({"v": 1}, 1.0)])
+        # only the end-of-stream deletion of the final snapshot remains
+        assert [r["v"] for r in out] == [1]
+
+
+class TestRStream:
+    def test_reemits_whole_snapshot_each_instant(self):
+        op = RStream()
+        out = run(
+            op,
+            [
+                rec({"v": 1}, 0.0),
+                rec({"v": 2}, 0.0),
+                rec({"v": 3}, 1.0),
+            ],
+        )
+        assert sorted(r["v"] for r in out) == [1, 2, 3]
+
+
+class TestHeartbeat:
+    def test_injects_punctuation_at_boundaries(self):
+        op = Heartbeat(interval=10.0)
+        out = []
+        for t in [1.0, 9.0, 11.0, 25.0]:
+            out += op.process(rec({"v": t}, ts=t))
+        puncts = [e for e in out if isinstance(e, Punctuation)]
+        assert [p.bound_for("ts") for p in puncts] == [10.0, 20.0]
+
+    def test_punctuation_is_sound(self):
+        """No emitted record at or before an already-issued bound."""
+        op = Heartbeat(interval=5.0)
+        out = []
+        for t in [0.0, 5.0, 5.5, 10.0, 12.0]:
+            out += op.process(rec({"v": t}, ts=t))
+        bound = float("-inf")
+        for el in out:
+            if isinstance(el, Punctuation):
+                bound = max(bound, el.bound_for("ts"))
+            else:
+                assert el.ts > bound
+
+    def test_record_always_follows(self):
+        op = Heartbeat(interval=1.0)
+        out = op.process(rec({"v": 1}, ts=10.0))
+        assert isinstance(out[-1], Record)
+
+
+class TestPunctuationUtilities:
+    def test_drop_punctuations(self):
+        op = DropPunctuations()
+        assert op.process(Punctuation.time_bound("ts", 1.0)) == []
+        assert len(op.process(rec({"v": 1}))) == 1
+
+    def test_counter(self):
+        op = PunctuationCounter()
+        op.process(rec({"v": 1}))
+        op.process(Punctuation.time_bound("ts", 1.0))
+        assert (op.records, op.punctuations) == (1, 1)
+        op.reset()
+        assert (op.records, op.punctuations) == (0, 0)

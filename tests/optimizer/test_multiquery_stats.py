@@ -1,0 +1,158 @@
+"""Tests for multi-query sharing (slide 45) and stream statistics."""
+
+import pytest
+
+from repro.core import Record
+from repro.errors import PlanError
+from repro.optimizer import (
+    EwmaRate,
+    SelectivityTracker,
+    SharedFilterBank,
+    SharedWindowJoin,
+    selectivity_from_histogram,
+)
+from repro.synopses import EquiWidthHistogram
+
+
+def rec(values, ts=0.0, seq=0):
+    return Record(values, ts=ts, seq=seq)
+
+
+class TestSharedFilterBank:
+    def bank(self):
+        preds = {
+            "big": lambda r: r["len"] > 100,
+            "tcp": lambda r: r["proto"] == 6,
+            "local": lambda r: r["ip"] < 10,
+        }
+        queries = {
+            "q1": ["big", "tcp"],
+            "q2": ["big", "local"],
+            "q3": ["big"],
+        }
+        return SharedFilterBank(preds, queries)
+
+    def test_verdicts(self):
+        bank = self.bank()
+        verdicts = bank.process(rec({"len": 200, "proto": 6, "ip": 50}))
+        assert verdicts == {"q1": True, "q2": False, "q3": True}
+
+    def test_shared_cost_is_distinct_predicates(self):
+        bank = self.bank()
+        bank.process(rec({"len": 200, "proto": 6, "ip": 5}))
+        assert bank.shared_evals == 3  # big, tcp, local evaluated once
+
+    def test_independent_cost_counts_per_query(self):
+        bank = self.bank()
+        bank.process(rec({"len": 200, "proto": 6, "ip": 5}))
+        # q1: big+tcp=2, q2: big+local=2, q3: big=1 -> 5
+        assert bank.independent_evals == 5
+
+    def test_sharing_saves_work_over_many_queries(self):
+        preds = {f"p{i}": (lambda r, i=i: r["v"] % (i + 2) == 0) for i in range(4)}
+        queries = {f"q{j}": [f"p{j % 4}", f"p{(j + 1) % 4}"] for j in range(16)}
+        bank = SharedFilterBank(preds, queries)
+        for v in range(100):
+            bank.process(rec({"v": v}))
+        assert bank.shared_evals < bank.independent_evals
+
+    def test_run_collects_per_query(self):
+        bank = self.bank()
+        out = bank.run([rec({"len": 200, "proto": 6, "ip": 5})])
+        assert len(out["q1"]) == 1 and len(out["q2"]) == 1
+
+    def test_unknown_predicate_rejected(self):
+        with pytest.raises(PlanError):
+            SharedFilterBank({}, {"q": ["nope"]})
+
+
+class TestSharedWindowJoin:
+    def test_routes_by_window(self):
+        sj = SharedWindowJoin(
+            ["k"], ["k"], {"tight": 1.0, "loose": 10.0}
+        )
+        sj.process(rec({"k": 1}, ts=0.0), 0)
+        routed = sj.process(rec({"k": 1}, ts=5.0), 1)
+        assert len(routed["loose"]) == 1
+        assert len(routed["tight"]) == 0
+
+    def test_within_tight_window_routes_to_both(self):
+        sj = SharedWindowJoin(["k"], ["k"], {"tight": 1.0, "loose": 10.0})
+        sj.process(rec({"k": 1}, ts=0.0), 0)
+        routed = sj.process(rec({"k": 1}, ts=0.5), 1)
+        assert len(routed["tight"]) == 1 and len(routed["loose"]) == 1
+
+    def test_shared_join_is_one_physical_join(self):
+        """N queries' results from one probe: the HFAE03 saving."""
+        windows = {f"q{i}": float(i + 1) for i in range(5)}
+        sj = SharedWindowJoin(["k"], ["k"], windows)
+        for i in range(50):
+            sj.process(rec({"k": i % 3}, ts=float(i)), i % 2)
+        shared = sj.shared_cpu
+        # Independent execution would run 5 joins over the same input.
+        assert shared > 0
+
+    def test_routed_pairs_have_no_internal_attributes(self):
+        sj = SharedWindowJoin(["k"], ["k"], {"q": 5.0})
+        sj.process(rec({"k": 1, "a": 1}, ts=0.0), 0)
+        routed = sj.process(rec({"k": 1, "b": 2}, ts=1.0), 1)
+        pair = routed["q"][0]
+        assert not any(k.startswith("_side_ts") for k in pair.values)
+        assert pair["a"] == 1 and pair["b"] == 2
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(PlanError):
+            SharedWindowJoin(["k"], ["k"], {})
+
+
+class TestEwmaRate:
+    def test_uniform_rate_estimation(self):
+        est = EwmaRate(alpha=0.3)
+        for i in range(100):
+            est.update(i * 0.1)  # 10 per unit
+        assert est.rate == pytest.approx(10.0, rel=0.05)
+
+    def test_adapts_to_rate_change(self):
+        est = EwmaRate(alpha=0.3)
+        t = 0.0
+        for _ in range(50):
+            t += 1.0
+            est.update(t)
+        slow = est.rate
+        for _ in range(50):
+            t += 0.1
+            est.update(t)
+        assert est.rate > slow * 5
+
+    def test_no_rate_before_two_arrivals(self):
+        est = EwmaRate()
+        est.update(1.0)
+        assert est.rate == 0.0
+
+
+class TestSelectivityTracker:
+    def test_prior_before_observations(self):
+        assert SelectivityTracker(prior=0.2).selectivity == 0.2
+
+    def test_converges_to_observed(self):
+        t = SelectivityTracker()
+        for i in range(100):
+            t.observe(i % 4 == 0)
+        assert t.selectivity == pytest.approx(0.25)
+
+    def test_decay_forgets_old_behaviour(self):
+        t = SelectivityTracker(decay=0.9)
+        for _ in range(50):
+            t.observe(True)
+        for _ in range(50):
+            t.observe(False)
+        assert t.selectivity < 0.05
+
+
+class TestHistogramSelectivity:
+    def test_range_estimate(self):
+        hist = EquiWidthHistogram(0.0, 100.0, buckets=20)
+        hist.extend(float(i) for i in range(100))
+        sel = selectivity_from_histogram(hist, 0.0, 50.0)
+        assert sel == pytest.approx(0.5, abs=0.05)
+

@@ -1,0 +1,122 @@
+"""Tests for rate-based optimization (slides 40-41, VN02)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PlanError
+from repro.optimizer import (
+    RateOperator,
+    best_rate_order,
+    chain_output_rate,
+    chain_rate_profile,
+    join_output_rate,
+    least_cost_order,
+)
+
+
+def slide41_ops():
+    slow = RateOperator("s1", capacity=50.0, selectivity=0.1, cost=10.0)
+    fast = RateOperator("s2", capacity=1e12, selectivity=0.1, cost=0.01)
+    return slow, fast
+
+
+class TestSlide41:
+    """The tutorial's exact worked example."""
+
+    def test_slow_first_gives_half_tuple_per_sec(self):
+        slow, fast = slide41_ops()
+        assert chain_output_rate([slow, fast], 500.0) == pytest.approx(0.5)
+
+    def test_fast_first_gives_five_tuples_per_sec(self):
+        slow, fast = slide41_ops()
+        assert chain_output_rate([fast, slow], 500.0) == pytest.approx(5.0)
+
+    def test_optimizer_picks_fast_first(self):
+        slow, fast = slide41_ops()
+        order, rate = best_rate_order([slow, fast], 500.0)
+        assert [op.name for op in order] == ["s2", "s1"]
+        assert rate == pytest.approx(5.0)
+
+    def test_rate_profile_annotations(self):
+        slow, fast = slide41_ops()
+        profile = chain_rate_profile([fast, slow], 500.0)
+        assert profile == [
+            ("input", 500.0),
+            ("s2", pytest.approx(50.0)),
+            ("s1", pytest.approx(5.0)),
+        ]
+
+    def test_cost_based_order_differs(self):
+        """The classical cost model ranks by cost/(1-sel) and ignores
+        capacity — on this pair it happily runs the slow filter first
+        while the rate model knows better."""
+        fast = RateOperator("s2", capacity=1e12, selectivity=0.9, cost=0.1)
+        slow = RateOperator("s1", capacity=50.0, selectivity=0.1, cost=0.05)
+        cost_order = least_cost_order([slow, fast])
+        assert cost_order[0].name == "s1"  # classical winner
+        rate_order, _ = best_rate_order([slow, fast], 500.0)
+        assert rate_order[0].name == "s2"  # rate-based winner
+
+
+class TestChainRate:
+    def test_capacity_clips_input(self):
+        op = RateOperator("x", capacity=10.0, selectivity=1.0)
+        assert op.output_rate(100.0) == 10.0
+
+    def test_empty_order_rejected(self):
+        with pytest.raises(PlanError):
+            best_rate_order([], 100.0)
+
+    def test_three_way_enumeration(self):
+        ops = [
+            RateOperator("a", capacity=1e9, selectivity=0.5),
+            RateOperator("b", capacity=20.0, selectivity=0.5),
+            RateOperator("c", capacity=1e9, selectivity=0.1),
+        ]
+        order, rate = best_rate_order(ops, 1000.0)
+        # Optimal plans keep the low-capacity filter b last: both
+        # [a,c,b] and [c,a,b] reach 10 tuples/sec; ties break
+        # lexicographically.
+        assert rate == pytest.approx(10.0)
+        assert order[-1].name == "b"
+        assert [op.name for op in order] == ["a", "c", "b"]
+
+
+class TestJoinRate:
+    def test_symmetric_formula(self):
+        rate = join_output_rate(10.0, 10.0, 2.0, 2.0, 0.1)
+        assert rate == pytest.approx(0.1 * (10 * 20 + 10 * 20))
+
+    def test_zero_inputs(self):
+        assert join_output_rate(0.0, 0.0, 1.0, 1.0, 0.5) == 0.0
+
+    def test_capacity_reduces_output(self):
+        unbounded = join_output_rate(100.0, 100.0, 1.0, 1.0, 0.01)
+        clipped = join_output_rate(100.0, 100.0, 1.0, 1.0, 0.01, capacity=100.0)
+        assert clipped < unbounded
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(1.0, 1e6), st.floats(0.01, 1.0)),
+        min_size=1,
+        max_size=4,
+    ),
+    st.floats(1.0, 1e4),
+)
+def test_best_rate_order_is_optimal_property(specs, input_rate):
+    """best_rate_order really does maximize over all permutations."""
+    import itertools
+
+    ops = [
+        RateOperator(f"op{i}", capacity=c, selectivity=s)
+        for i, (c, s) in enumerate(specs)
+    ]
+    _order, best = best_rate_order(ops, input_rate)
+    brute = max(
+        chain_output_rate(perm, input_rate)
+        for perm in itertools.permutations(ops)
+    )
+    assert best == pytest.approx(brute)

@@ -1,0 +1,127 @@
+"""Tests for load shedding (slide 44)."""
+
+import collections
+
+import pytest
+
+from repro.core import Record
+from repro.errors import SheddingError
+from repro.shedding import (
+    LoadController,
+    PredicateShedder,
+    RandomShedder,
+    SemanticShedder,
+    shed_stream,
+)
+
+
+def recs(n, group_fn=lambda i: i % 4):
+    return [Record({"g": group_fn(i), "v": i}, ts=float(i)) for i in range(n)]
+
+
+class TestRandomShedder:
+    def test_realized_rate_close_to_target(self):
+        shedder = RandomShedder(0.3, seed=1)
+        kept = shed_stream(recs(5000), shedder)
+        assert abs(shedder.keep_rate - 0.7) < 0.03
+        assert len(kept) == shedder.admitted
+
+    def test_zero_and_one(self):
+        assert len(shed_stream(recs(100), RandomShedder(0.0))) == 100
+        assert len(shed_stream(recs(100), RandomShedder(1.0))) == 0
+
+    def test_invalid_rate(self):
+        with pytest.raises(SheddingError):
+            RandomShedder(1.5)
+
+    def test_deterministic_with_seed(self):
+        a = [r["v"] for r in shed_stream(recs(100), RandomShedder(0.5, seed=3))]
+        b = [r["v"] for r in shed_stream(recs(100), RandomShedder(0.5, seed=3))]
+        assert a == b
+
+    def test_rescaled_counts_are_unbiased(self):
+        """Slide 44: random shed + rescale approximates true counts."""
+        data = recs(8000)
+        shedder = RandomShedder(0.5, seed=7)
+        kept = shed_stream(data, shedder)
+        true_counts = collections.Counter(r["g"] for r in data)
+        est_counts = collections.Counter(r["g"] for r in kept)
+        for g, true_c in true_counts.items():
+            estimate = est_counts[g] / shedder.keep_rate
+            assert abs(estimate - true_c) / true_c < 0.1
+
+
+class TestPredicateShedder:
+    def test_sheds_exactly_non_matching(self):
+        shedder = PredicateShedder(lambda r: r["g"] == 0)
+        kept = shed_stream(recs(100), shedder)
+        assert all(r["g"] == 0 for r in kept)
+        assert len(kept) == 25
+
+
+class TestSemanticShedder:
+    def test_high_utility_always_kept(self):
+        shedder = SemanticShedder(
+            utility=lambda r: 1.0 if r["g"] == 0 else 0.0,
+            drop_rate=0.9,
+        )
+        kept = shed_stream(recs(400), shedder)
+        assert sum(1 for r in kept if r["g"] == 0) == 100
+
+    def test_semantic_beats_random_on_queried_group(self):
+        """The point of semantic shedding: the group the query cares
+        about stays exact while random shedding perturbs it."""
+        data = recs(2000)
+        semantic = SemanticShedder(
+            utility=lambda r: 1.0 if r["g"] == 0 else 0.0,
+            drop_rate=0.5,
+        )
+        random_ = RandomShedder(0.5, seed=13)
+        kept_sem = shed_stream(data, semantic)
+        kept_rnd = shed_stream(data, random_)
+        true_g0 = sum(1 for r in data if r["g"] == 0)
+        sem_g0 = sum(1 for r in kept_sem if r["g"] == 0)
+        rnd_g0 = sum(1 for r in kept_rnd if r["g"] == 0)
+        assert sem_g0 == true_g0
+        assert rnd_g0 < true_g0
+
+    def test_drop_rate_tracked(self):
+        shedder = SemanticShedder(
+            utility=lambda r: 0.0, drop_rate=0.25
+        )
+        shed_stream(recs(1000), shedder)
+        assert abs(1 - shedder.keep_rate - 0.25) < 0.01
+
+    def test_invalid_rate(self):
+        with pytest.raises(SheddingError):
+            SemanticShedder(lambda r: 0.0, drop_rate=-0.1)
+
+
+class TestLoadController:
+    def test_no_shedding_below_low_watermark(self):
+        ctl = LoadController(10.0, 20.0)
+        assert ctl.current_drop_rate(5.0) == 0.0
+
+    def test_full_shedding_above_high_watermark(self):
+        ctl = LoadController(10.0, 20.0, max_drop_rate=0.8)
+        assert ctl.current_drop_rate(25.0) == 0.8
+
+    def test_linear_ramp(self):
+        ctl = LoadController(10.0, 20.0, max_drop_rate=1.0)
+        assert ctl.current_drop_rate(15.0) == pytest.approx(0.5)
+
+    def test_admit_uses_memory_argument(self):
+        ctl = LoadController(0.0, 1.0, max_drop_rate=1.0, seed=5)
+        drops = sum(
+            0 if ctl(Record({"v": i}), 0.0, 100.0) else 1 for i in range(50)
+        )
+        assert drops == 50  # memory far above high watermark
+
+    def test_watermark_validation(self):
+        with pytest.raises(SheddingError):
+            LoadController(10.0, 10.0)
+
+    def test_trace_recorded(self):
+        ctl = LoadController(0.0, 10.0)
+        ctl(Record({"v": 1}), now=3.0, memory=5.0)
+        assert ctl.trace == [(3.0, 0.5)]

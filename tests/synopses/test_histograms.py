@@ -1,0 +1,107 @@
+"""Tests for equi-width and equi-depth histograms."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses import EquiDepthHistogram, EquiWidthHistogram
+
+
+class TestEquiWidth:
+    def test_counts_land_in_buckets(self):
+        h = EquiWidthHistogram(0.0, 10.0, buckets=10)
+        h.extend([0.5, 1.5, 1.7, 9.9])
+        counts = h.counts()
+        assert counts[0] == 1 and counts[1] == 2 and counts[9] == 1
+
+    def test_out_of_range_tracked(self):
+        h = EquiWidthHistogram(0.0, 10.0, buckets=5)
+        h.add(-1.0)
+        h.add(10.0)  # [low, high): high is out of range
+        assert h.underflow == 1 and h.overflow == 1
+        assert sum(h.counts()) == 0
+
+    def test_range_estimate_uniform(self):
+        h = EquiWidthHistogram(0.0, 100.0, buckets=20)
+        h.extend(float(i) + 0.5 for i in range(100))
+        assert h.estimate_range(0.0, 50.0) == pytest.approx(50.0, abs=1.0)
+
+    def test_partial_bucket_interpolation(self):
+        h = EquiWidthHistogram(0.0, 10.0, buckets=1)
+        h.extend([1.0, 3.0, 5.0, 7.0])
+        # Half the single bucket's extent -> half its mass.
+        assert h.estimate_range(0.0, 5.0) == pytest.approx(2.0)
+
+    def test_selectivity(self):
+        h = EquiWidthHistogram(0.0, 10.0, buckets=10)
+        h.extend([float(i % 10) + 0.5 for i in range(100)])
+        assert h.estimate_selectivity(0.0, 2.0) == pytest.approx(0.2)
+
+    def test_empty_selectivity(self):
+        h = EquiWidthHistogram(0.0, 1.0)
+        assert h.estimate_selectivity(0.0, 1.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(SynopsisError):
+            EquiWidthHistogram(1.0, 1.0)
+        with pytest.raises(SynopsisError):
+            EquiWidthHistogram(0.0, 1.0, buckets=0)
+
+
+class TestEquiDepth:
+    def test_bucket_boundaries_balance_mass(self):
+        values = [float(i) for i in range(100)]
+        h = EquiDepthHistogram(values, buckets=4)
+        # Quartile boundaries for 0..99.
+        assert h.bucket_of(10.0) == 0
+        assert h.bucket_of(30.0) == 1
+        assert h.bucket_of(60.0) == 2
+        assert h.bucket_of(90.0) == 3
+
+    def test_selectivity_on_skewed_data(self):
+        """Equi-depth adapts boundaries to skew; estimates stay sane."""
+        rng = random.Random(3)
+        values = [rng.expovariate(1.0) for _ in range(2000)]
+        h = EquiDepthHistogram(values, buckets=16)
+        true_sel = sum(1 for v in values if v < 1.0) / len(values)
+        est = h.estimate_selectivity(0.0, 1.0)
+        assert est == pytest.approx(true_sel, abs=0.08)
+
+    def test_handles_duplicates(self):
+        values = [5.0] * 50 + [1.0, 9.0]
+        h = EquiDepthHistogram(values, buckets=4)
+        sel = h.estimate_selectivity(4.9, 5.1)
+        assert sel > 0.5  # the point mass dominates
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynopsisError):
+            EquiDepthHistogram([], buckets=4)
+
+    def test_more_buckets_than_values(self):
+        h = EquiDepthHistogram([1.0, 2.0], buckets=10)
+        assert h.buckets == 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.floats(0.0, 100.0), min_size=20, max_size=300),
+    st.floats(0.0, 100.0),
+    st.floats(0.0, 100.0),
+)
+def test_equiwidth_selectivity_bounded_property(values, a, b):
+    lo, hi = min(a, b), max(a, b)
+    h = EquiWidthHistogram(0.0, 100.0001, buckets=16)
+    h.extend(values)
+    sel = h.estimate_selectivity(lo, hi)
+    assert 0.0 <= sel <= 1.0 + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(0.0, 100.0), min_size=5, max_size=200))
+def test_equidepth_full_range_is_everything_property(values):
+    h = EquiDepthHistogram(values, buckets=8)
+    sel = h.estimate_selectivity(min(values) - 1, max(values) + 1)
+    assert sel == pytest.approx(1.0, abs=0.3)

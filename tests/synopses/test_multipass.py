@@ -1,0 +1,93 @@
+"""Tests for Munro-Paterson multi-pass selection (slide 21, [MP80])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses import MultiPassSelection, multipass_select
+
+
+def uniform_data(n=5000, seed=3):
+    rng = random.Random(seed)
+    return [rng.random() * 1000 for _ in range(n)]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("q", [0.0, 0.1, 0.5, 0.9, 0.99, 1.0])
+    def test_quantiles_exact(self, q):
+        data = uniform_data()
+        value, _passes = multipass_select(lambda: iter(data), q, memory=64)
+        truth = sorted(data)[min(int(q * len(data)), len(data) - 1)]
+        assert value == truth
+
+    def test_select_by_rank(self):
+        data = uniform_data(500)
+        sel = MultiPassSelection(lambda: iter(data), memory=32)
+        assert sel.select(250) == sorted(data)[250]
+
+    def test_heavy_duplicates(self):
+        rng = random.Random(9)
+        data = [float(rng.randrange(3)) for _ in range(3000)]
+        value, _p = multipass_select(lambda: iter(data), 0.5, memory=32)
+        assert value == sorted(data)[1500]
+
+    def test_all_equal(self):
+        data = [7.0] * 1000
+        value, _p = multipass_select(lambda: iter(data), 0.5, memory=32)
+        assert value == 7.0
+
+    def test_tiny_stream(self):
+        value, passes = multipass_select(lambda: iter([3.0, 1.0, 2.0]), 0.5, memory=16)
+        assert value == 2.0
+        assert passes == 2  # count pass + one scan that fits
+
+
+class TestResourceTrade:
+    def test_more_memory_fewer_passes(self):
+        """The MP80 trade the tutorial invokes on slide 21."""
+        data = uniform_data(20000, seed=7)
+        passes = {}
+        for memory in (32, 128, 1024):
+            _v, p = multipass_select(lambda: iter(data), 0.5, memory=memory)
+            passes[memory] = p
+        assert passes[1024] < passes[128] < passes[32]
+
+    def test_single_scan_when_everything_fits(self):
+        data = uniform_data(50)
+        sel = MultiPassSelection(lambda: iter(data), memory=64)
+        assert sel.quantile(0.5) == sorted(data)[25]
+        assert sel.passes == 1  # one scan after the count
+
+
+class TestValidation:
+    def test_empty_stream(self):
+        with pytest.raises(SynopsisError):
+            multipass_select(lambda: iter([]), 0.5)
+
+    def test_bad_rank(self):
+        sel = MultiPassSelection(lambda: iter([1.0]), memory=16)
+        with pytest.raises(SynopsisError):
+            sel.select(5)
+
+    def test_bad_quantile(self):
+        sel = MultiPassSelection(lambda: iter([1.0]), memory=16)
+        with pytest.raises(SynopsisError):
+            sel.quantile(1.5)
+
+    def test_memory_floor(self):
+        with pytest.raises(SynopsisError):
+            MultiPassSelection(lambda: iter([1.0]), memory=4)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.floats(-1e6, 1e6, allow_nan=False), min_size=1, max_size=400),
+    st.floats(0.0, 1.0),
+)
+def test_multipass_always_exact_property(values, q):
+    value, _passes = multipass_select(lambda: iter(values), q, memory=16)
+    truth = sorted(values)[min(int(q * len(values)), len(values) - 1)]
+    assert value == truth

@@ -1,0 +1,304 @@
+"""Tests for the synopsis structures (slides 20, 38, 53)."""
+
+import collections
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SynopsisError
+from repro.synopses import (
+    AMSSketch,
+    BloomFilter,
+    CountMinSketch,
+    ExponentialHistogram,
+    FMSketch,
+    GKQuantiles,
+    ReservoirSample,
+)
+from repro.synopses.hashing import stable_hash64
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash64("abc") == stable_hash64("abc")
+
+    def test_salt_changes_value(self):
+        assert stable_hash64("abc", 1) != stable_hash64("abc", 2)
+
+    def test_types_disambiguated(self):
+        assert stable_hash64(1) != stable_hash64("1")
+        assert stable_hash64(1) != stable_hash64(1.0)
+        assert stable_hash64(True) != stable_hash64(1)
+
+    def test_tuples(self):
+        assert stable_hash64((1, "a")) == stable_hash64((1, "a"))
+        assert stable_hash64((1, "a")) != stable_hash64(("a", 1))
+
+    def test_64_bits(self):
+        assert 0 <= stable_hash64("x") < (1 << 64)
+
+
+class TestReservoir:
+    def test_holds_everything_below_capacity(self):
+        r = ReservoirSample(10)
+        r.extend(range(5))
+        assert sorted(r.sample()) == [0, 1, 2, 3, 4]
+
+    def test_capacity_respected(self):
+        r = ReservoirSample(10)
+        r.extend(range(1000))
+        assert len(r) == 10
+        assert r.seen == 1000
+
+    def test_sample_is_roughly_uniform(self):
+        """Mean of a large uniform stream's sample ~ stream mean."""
+        r = ReservoirSample(500, seed=3)
+        r.extend(range(10000))
+        assert abs(r.estimate_mean() - 4999.5) < 600
+
+    def test_estimate_sum_scales_up(self):
+        r = ReservoirSample(100, seed=1)
+        r.extend([2.0] * 1000)
+        assert r.estimate_sum() == pytest.approx(2000.0)
+
+    def test_selectivity_estimate(self):
+        r = ReservoirSample(200, seed=5)
+        r.extend(range(1000))
+        est = r.estimate_selectivity(lambda v: v < 500)
+        assert abs(est - 0.5) < 0.1
+
+    def test_empty_errors(self):
+        with pytest.raises(SynopsisError):
+            ReservoirSample(5).estimate_mean()
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SynopsisError):
+            ReservoirSample(0)
+
+
+class TestCountMin:
+    def test_never_underestimates(self):
+        cm = CountMinSketch(width=64, depth=4)
+        truth = collections.Counter()
+        rng = random.Random(9)
+        for _ in range(2000):
+            k = rng.randrange(200)
+            cm.add(k)
+            truth[k] += 1
+        for k, c in truth.items():
+            assert cm.estimate(k) >= c
+
+    def test_error_bound_mostly_holds(self):
+        cm = CountMinSketch.from_error(epsilon=0.01, delta=0.01)
+        truth = collections.Counter()
+        rng = random.Random(4)
+        for _ in range(5000):
+            k = rng.randrange(500)
+            cm.add(k)
+            truth[k] += 1
+        overs = [cm.estimate(k) - c for k, c in truth.items()]
+        assert max(overs) <= 0.01 * cm.total + 1
+
+    def test_heavy_hitters(self):
+        """Slide 38: having count(*) > phi * |S|."""
+        cm = CountMinSketch(width=256, depth=4)
+        for _ in range(900):
+            cm.add("elephant")
+        for i in range(100):
+            cm.add(f"mouse{i}")
+        hh = cm.heavy_hitters(["elephant"] + [f"mouse{i}" for i in range(100)], 0.5)
+        assert [k for k, _ in hh] == ["elephant"]
+
+    def test_merge(self):
+        a = CountMinSketch(width=32, depth=3, seed=1)
+        b = CountMinSketch(width=32, depth=3, seed=1)
+        a.add("x", 3)
+        b.add("x", 4)
+        a.merge(b)
+        assert a.estimate("x") == 7
+
+    def test_merge_mismatch_rejected(self):
+        with pytest.raises(SynopsisError):
+            CountMinSketch(width=32).merge(CountMinSketch(width=64))
+
+
+class TestFM:
+    def test_estimate_within_factor(self):
+        fm = FMSketch(num_maps=64)
+        fm.extend(range(5000))
+        assert 2500 <= fm.estimate() <= 10000
+
+    def test_duplicates_do_not_inflate(self):
+        fm = FMSketch(num_maps=64)
+        for _ in range(10):
+            fm.extend(range(500))
+        fm2 = FMSketch(num_maps=64)
+        fm2.extend(range(500))
+        assert fm.estimate() == fm2.estimate()
+
+    def test_merge_equals_union(self):
+        a = FMSketch(num_maps=32, seed=2)
+        b = FMSketch(num_maps=32, seed=2)
+        a.extend(range(0, 1000))
+        b.extend(range(500, 1500))
+        union = FMSketch(num_maps=32, seed=2)
+        union.extend(range(0, 1500))
+        a.merge(b)
+        assert a.estimate() == union.estimate()
+
+    def test_memory_is_sublinear(self):
+        fm = FMSketch(num_maps=64)
+        fm.extend(range(100000))
+        assert fm.memory() == 64
+
+
+class TestAMS:
+    def test_f2_estimate(self):
+        sk = AMSSketch(width=64, depth=5)
+        values = [i % 20 for i in range(2000)]
+        for v in values:
+            sk.add(v)
+        truth = sum(c * c for c in collections.Counter(values).values())
+        assert abs(sk.estimate_f2() - truth) / truth < 0.35
+
+    def test_uniform_vs_skewed_f2_ordering(self):
+        """F2 measures skew: a skewed stream has higher F2."""
+        uniform = AMSSketch(width=64, depth=5)
+        skewed = AMSSketch(width=64, depth=5)
+        for i in range(1000):
+            uniform.add(i % 100)
+            skewed.add(0 if i % 2 else i % 100)
+        assert skewed.estimate_f2() > uniform.estimate_f2()
+
+
+class TestGK:
+    def test_rank_error_bound(self):
+        eps = 0.01
+        gk = GKQuantiles(eps)
+        n = 5000
+        gk.extend(range(n))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            answer = gk.query(q)
+            true_rank = q * n
+            assert abs(answer - true_rank) <= eps * n + 1
+
+    def test_space_is_sublinear(self):
+        gk = GKQuantiles(0.01)
+        gk.extend(range(20000))
+        assert gk.memory() < 2000
+
+    def test_unsorted_input(self):
+        rng = random.Random(7)
+        values = list(range(1000))
+        rng.shuffle(values)
+        gk = GKQuantiles(0.02)
+        gk.extend(values)
+        assert abs(gk.median() - 500) <= 0.02 * 1000 + 1
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SynopsisError):
+            GKQuantiles(0.1).query(0.5)
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(SynopsisError):
+            GKQuantiles(0.0)
+
+
+class TestDGIM:
+    def test_small_stream_estimate_close(self):
+        eh = ExponentialHistogram(window=100, k=2)
+        for _ in range(10):
+            eh.add(1)
+        # Estimator discounts half the oldest bucket; with k=2 the
+        # oldest bucket holds at most 4 of the 10 events.
+        assert 8 <= eh.estimate() <= 10
+        assert eh.exact_upper_bound() == 10
+
+    def test_relative_error_bound(self):
+        eh = ExponentialHistogram(window=1000, k=4)
+        rng = random.Random(11)
+        bits = []
+        for _ in range(5000):
+            bit = int(rng.random() < 0.4)
+            bits.append(bit)
+            eh.add(bit)
+        truth = sum(bits[-1000:])
+        est = eh.estimate()
+        assert abs(est - truth) / truth < 0.3
+
+    def test_memory_logarithmic(self):
+        eh = ExponentialHistogram(window=10000, k=2)
+        for _ in range(10000):
+            eh.add(1)
+        assert eh.memory() < 50
+
+    def test_old_events_expire(self):
+        eh = ExponentialHistogram(window=10, k=2)
+        for _ in range(5):
+            eh.add(1)
+        for _ in range(20):
+            eh.add(0)
+        assert eh.estimate() == 0.0
+
+
+class TestBloom:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(bits=4096, hashes=4)
+        keys = [f"k{i}" for i in range(200)]
+        bf.extend(keys)
+        assert all(k in bf for k in keys)
+
+    def test_false_positive_rate_reasonable(self):
+        bf = BloomFilter.from_capacity(500, fp_rate=0.01)
+        bf.extend(f"in{i}" for i in range(500))
+        fps = sum(1 for i in range(2000) if f"out{i}" in bf)
+        assert fps / 2000 < 0.05
+
+    def test_from_capacity_sizing(self):
+        bf = BloomFilter.from_capacity(1000, 0.01)
+        assert bf.bits >= 9000  # ~9.6 bits/key at 1% fp
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 30), min_size=1, max_size=200))
+def test_countmin_never_underestimates_property(keys):
+    cm = CountMinSketch(width=16, depth=3)
+    truth = collections.Counter(keys)
+    cm.extend(keys)
+    for k, c in truth.items():
+        assert cm.estimate(k) >= c
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=10, max_size=300))
+def test_gk_rank_error_property(values):
+    """GK guarantee: the answer's true rank interval sits within ~2εn of
+    the target rank (the summary's Δ can reach 2εn between compressions).
+    """
+    eps = 0.1
+    gk = GKQuantiles(eps)
+    gk.extend(values)
+    ordered = sorted(values)
+    n = len(values)
+    answer = gk.query(0.5)
+    assert answer in values
+    # 1-indexed rank interval of the answer value in the true data.
+    lo = ordered.index(answer) + 1
+    hi = n - ordered[::-1].index(answer)
+    target = 0.5 * n
+    distance = max(0.0, max(lo - target, target - hi))
+    assert distance <= 2 * eps * n + 1
+
+
+class TestGKLooseEpsilon:
+    def test_epsilon_above_half_does_not_crash(self):
+        gk = GKQuantiles(0.9)
+        gk.extend(range(100))
+        assert gk.query(0.5) in range(100)
+
+    def test_epsilon_quarter(self):
+        gk = GKQuantiles(0.25)
+        gk.extend(range(100))
+        assert abs(gk.query(0.5) - 50) <= 0.5 * 100 + 1

@@ -1,0 +1,168 @@
+"""Failure injection: malformed data, raising operators, hostile inputs.
+
+A production-quality engine must fail *loudly and precisely* — wrong
+data should raise the library's typed errors at the offending element,
+not corrupt downstream state or pass silently.
+"""
+
+import pytest
+
+from repro.core import (
+    Engine,
+    ListSource,
+    Plan,
+    Punctuation,
+    Record,
+    run_plan,
+)
+from repro.cql import Catalog, compile_query
+from repro.core.tuples import Field, Schema
+from repro.errors import SchemaError, SemanticError, StreamError
+from repro.operators import Aggregate, AggSpec, MapOp, Select
+
+
+def plan_of(*ops):
+    plan = Plan()
+    plan.add_input("S")
+    upstream = "S"
+    for op in ops:
+        plan.add(op, upstream=[upstream])
+        upstream = op
+    plan.mark_output(ops[-1], "out")
+    return plan
+
+
+class TestMalformedRecords:
+    def test_missing_attribute_raises_schema_error(self):
+        plan = plan_of(Select(lambda r: r["missing"] > 1))
+        with pytest.raises(SchemaError, match="missing"):
+            run_plan(plan, [ListSource("S", [{"v": 1}])])
+
+    def test_error_does_not_corrupt_engine_reuse(self):
+        """After a failed run, a fresh run over good data succeeds."""
+        agg = Aggregate(["g"], [AggSpec("n", "count")])
+        plan = plan_of(agg)
+        engine = Engine(plan)
+        with pytest.raises(SchemaError):
+            engine.run([ListSource("S", [{"x": 1}])])  # no attribute 'g'
+        result = engine.run([ListSource("S", [{"g": "a"}, {"g": "a"}])])
+        assert result.values() == [{"g": "a", "n": 2}]
+
+    def test_cql_runtime_error_names_attribute(self):
+        catalog = Catalog()
+        catalog.register_stream(
+            "S", Schema([Field("ts", float), Field("v", int)], ordering="ts")
+        )
+        plan = compile_query("select v from S where v > 0", catalog)
+        bad_rows = [{"ts": 0.0, "v": 1}, {"ts": 1.0}]  # second lacks v
+        with pytest.raises(SchemaError, match="'v'"):
+            run_plan(
+                plan,
+                [ListSource("S", bad_rows, ts_attr="ts", strict_order=False)],
+            )
+
+
+class TestRaisingOperators:
+    def test_udf_exception_propagates_with_context(self):
+        def exploding(record):
+            raise RuntimeError("udf blew up")
+
+        plan = plan_of(MapOp(exploding))
+        with pytest.raises(RuntimeError, match="udf blew up"):
+            run_plan(plan, [ListSource("S", [{"v": 1}])])
+
+    def test_partial_failure_preserves_earlier_outputs(self):
+        """Elements before the failure were already delivered; the
+        exception carries the failure point."""
+        seen = []
+
+        def spy_then_fail(record):
+            if record["v"] == 3:
+                raise ValueError("poison tuple")
+            seen.append(record["v"])
+            return record.values
+
+        plan = plan_of(MapOp(spy_then_fail))
+        with pytest.raises(ValueError):
+            run_plan(plan, [ListSource("S", [{"v": i} for i in range(5)])])
+        assert seen == [0, 1, 2]
+
+
+class TestHostileInputs:
+    def test_non_numeric_timestamps_rejected_at_source(self):
+        with pytest.raises((TypeError, ValueError)):
+            ListSource("S", [{"t": "noon"}], ts_attr="t")
+
+    def test_punctuation_only_stream(self):
+        plan = plan_of(Select(lambda r: True))
+        puncts = [Punctuation.time_bound("ts", float(i)) for i in range(5)]
+        result = run_plan(plan, [ListSource("S", puncts)])
+        assert result.records() == []
+        assert len(result.punctuations()) == 5
+
+    def test_empty_stream_through_full_pipeline(self):
+        catalog = Catalog()
+        catalog.register_stream(
+            "S", Schema([Field("ts", float), Field("g", int)], ordering="ts")
+        )
+        plan = compile_query(
+            "select g, count(*) as n from S group by g having count(*) > 1",
+            catalog,
+        )
+        result = run_plan(plan, [ListSource("S", [])])
+        assert result.values() == []
+
+    def test_extreme_timestamps(self):
+        plan = plan_of(Select(lambda r: True))
+        rows = [
+            Record({"v": 1}, ts=-1e18, seq=0),
+            Record({"v": 2}, ts=0.0, seq=1),
+            Record({"v": 3}, ts=1e18, seq=2),
+        ]
+        result = run_plan(plan, [ListSource("S", rows)])
+        assert len(result.records()) == 3
+
+    def test_adversarial_shedder_cannot_corrupt_counts(self):
+        """A shedder that throws is a shedder bug, surfaced as-is."""
+        from repro.core import SimConfig, Simulation
+        from repro.scheduling import FIFOScheduler
+
+        def bad_shedder(record, now, memory):
+            raise StreamError("shedder crashed")
+
+        plan = plan_of(Select(lambda r: True))
+        sim = Simulation(
+            plan, FIFOScheduler(), SimConfig(shedder=bad_shedder)
+        )
+        with pytest.raises(StreamError, match="shedder crashed"):
+            sim.run([ListSource("S", [{"v": 1, "ts": 0.0}], ts_attr="ts")])
+
+
+class TestSoak:
+    def test_large_randomized_pipeline_is_stable(self):
+        """10k mixed elements through a filter+aggregate pipeline."""
+        import random
+
+        rng = random.Random(99)
+        elements = []
+        for i in range(10000):
+            if rng.random() < 0.01:
+                elements.append(Punctuation.time_bound("ts", float(i)))
+            else:
+                elements.append(
+                    Record(
+                        {"g": rng.randrange(50), "v": rng.random()},
+                        ts=float(i),
+                        seq=i,
+                    )
+                )
+        agg = Aggregate(["g"], [AggSpec("n", "count")])
+        plan = plan_of(Select(lambda r: r["v"] < 0.9, selectivity=0.9), agg)
+        result = run_plan(plan, [ListSource("S", elements)])
+        total = sum(r["n"] for r in result.records())
+        expected = sum(
+            1
+            for el in elements
+            if isinstance(el, Record) and el["v"] < 0.9
+        )
+        assert total == expected

@@ -1,0 +1,163 @@
+"""Cross-subsystem integration tests: the tutorial's three applications
+run end to end through the public API.
+"""
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.cql import compile_query
+from repro.dsms import StreamSystem, ThreeLevelPipeline
+from repro.gigascope import gigascope_catalog
+from repro.hancock import FraudDetector
+from repro.operators import Aggregate, AggSpec
+from repro.core import Plan
+from repro.windows import TumblingWindow
+from repro.workloads import (
+    AuctionGenerator,
+    CDRConfig,
+    CDRGenerator,
+    NetflowConfig,
+    P2P_PORTS,
+    PacketGenerator,
+)
+
+
+class TestP2PDetection:
+    """Slide 10: payload inspection vs port-based Netflow accounting."""
+
+    @pytest.fixture(scope="class")
+    def packets(self):
+        return PacketGenerator(NetflowConfig(seed=21)).generate(4000)
+
+    def volumes(self, packets, text):
+        cat = gigascope_catalog()
+        plan = compile_query(text, cat)
+        res = run_plan(plan, [ListSource("TCP", packets, ts_attr="ts")])
+        return sum(r["vol"] for r in res.records())
+
+    def test_payload_finds_about_3x_port_based(self, packets):
+        payload_vol = self.volumes(
+            packets,
+            "select sum(length) as vol from TCP "
+            "where matches_p2p_keyword(payload) = true",
+        )
+        port_vol = self.volumes(
+            packets,
+            "select sum(length) as vol from TCP "
+            "where is_p2p_port(src_port) = true "
+            "or is_p2p_port(dst_port) = true",
+        )
+        assert payload_vol > 0 and port_vol > 0
+
+
+class TestRTTMonitoring:
+    """Slides 11/13: the GSQL SYN / SYN-ACK self-join."""
+
+    def test_rtt_distribution_recovered(self):
+        cfg = NetflowConfig(mean_rtt=0.05, rtt_jitter=0.01, seed=8)
+        pkts = PacketGenerator(cfg).generate(3000)
+        syns = [p for p in pkts if p["flags"] == "SYN"]
+        acks = [p for p in pkts if p["flags"] == "SYN-ACK"]
+        cat = gigascope_catalog()
+        from repro.gigascope import TCP, to_stream_schema
+
+        cat2 = gigascope_catalog()
+        # register the two logical streams of the slide-13 query
+        schema = to_stream_schema(TCP)
+        cat3 = gigascope_catalog()
+        for name in ("tcp_syn", "tcp_syn_ack"):
+            cat3.register_stream(name, schema)
+        plan = compile_query(
+            "select S.ts, (A.ts - S.ts) as rtt "
+            "from tcp_syn [range 2] S, tcp_syn_ack [range 2] A "
+            "where S.src_ip = A.dst_ip and S.dst_ip = A.src_ip "
+            "and S.src_port = A.dst_port and S.dst_port = A.src_port",
+            cat3,
+        )
+        res = run_plan(
+            plan,
+            {
+                "tcp_syn": ListSource("tcp_syn", syns, ts_attr="ts"),
+                "tcp_syn_ack": ListSource("tcp_syn_ack", acks, ts_attr="ts"),
+            },
+        )
+        rtts = [r["rtt"] for r in res.records()]
+        assert len(rtts) >= len(syns) * 0.9
+        mean_rtt = sum(rtts) / len(rtts)
+        assert mean_rtt == pytest.approx(0.05, abs=0.02)
+
+
+class TestFraudPipeline:
+    """Slide 6: Hancock-style signatures over the CDR stream."""
+
+    def test_multi_day_fraud_detection(self):
+        gen = CDRGenerator(CDRConfig(seed=31))
+        detector = FraudDetector()
+        for _day in range(3):
+            detector.process_day(gen.generate_sorted_by_origin(2500))
+        assert detector.alerts
+        precision_hits = {a["origin"] for a in detector.alerts}
+        assert precision_hits & gen.fraud_callers
+
+
+class TestPunctuatedAuctionQuery:
+    """Slide 28: punctuations let per-auction aggregates stream out."""
+
+    def test_results_emitted_before_end_of_stream(self):
+        elements = AuctionGenerator().elements()
+        plan = Plan()
+        plan.add_input("bids")
+        agg = Aggregate(
+            ["auction"],
+            [AggSpec("high", "max", "price"), AggSpec("bids", "count")],
+        )
+        plan.add(agg, upstream=["bids"])
+        plan.mark_output(agg, "out")
+        # Feed incrementally: results must appear mid-stream.
+        from repro.core import Engine
+
+        engine = Engine(plan)
+        engine.start()
+        early_results = 0
+        for i, el in enumerate(elements[: len(elements) // 2]):
+            early_results += len(
+                [e for e in engine.feed("bids", el) if isinstance(e, Record)]
+            )
+        assert early_results > 0, "punctuations should close auctions early"
+        engine.finish()
+
+
+class TestDSMSToDatabase:
+    """Slides 14-15: streams reduced at the DSMS, audited at the DBMS."""
+
+    def test_stream_answer_matches_audit(self):
+        pkts = PacketGenerator().generate(800)
+        pipe = ThreeLevelPipeline(
+            n_points=2,
+            window=TumblingWindow(30.0),
+            group_attrs=["src_ip"],
+            aggregates=[AggSpec("n", "count")],
+            max_groups_low=8,
+        )
+        rows = pipe.run([pkts[:400], pkts[400:]])
+        audit = pipe.audit("select sum(n) as total from stream_results")
+        assert audit[0]["total"] == sum(r["n"] for r in rows) == 800
+
+
+class TestStandingQueriesWithWindows:
+    def test_tumbling_query_streams_buckets(self):
+        sys_ = StreamSystem()
+        from repro.workloads import packet_schema
+
+        sys_.register_stream("Traffic", packet_schema())
+        q = sys_.submit(
+            "per_minute",
+            "select tb, count(*) as n from Traffic group by ts/60 as tb",
+        )
+        pkts = PacketGenerator().generate(2000)
+        sys_.push_many("Traffic", pkts)
+        mid_results = len(q.results)
+        final = sys_.stop("per_minute")
+        if pkts[-1]["ts"] > 60:
+            assert mid_results > 0, "closed buckets must stream out"
+        assert sum(r["n"] for r in final) == 2000

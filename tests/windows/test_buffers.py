@@ -1,0 +1,147 @@
+"""Tests for window runtime buffers, including property-based checks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Record
+from repro.errors import WindowError
+from repro.windows import (
+    LandmarkWindow,
+    NowWindow,
+    PartitionedWindow,
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    UnboundedWindow,
+    make_buffer,
+)
+from repro.windows.buffers import (
+    LandmarkBuffer,
+    NowBuffer,
+    PartitionedBuffer,
+    RowBuffer,
+    SlidingTimeBuffer,
+    UnboundedBuffer,
+)
+
+
+def rec(ts, **values):
+    return Record(values or {"x": ts}, ts=ts)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "spec,cls",
+        [
+            (TimeWindow(5.0), SlidingTimeBuffer),
+            (RowWindow(3), RowBuffer),
+            (PartitionedWindow(("k",), 2), PartitionedBuffer),
+            (LandmarkWindow(0.0), LandmarkBuffer),
+            (NowWindow(), NowBuffer),
+            (UnboundedWindow(), UnboundedBuffer),
+        ],
+    )
+    def test_make_buffer(self, spec, cls):
+        assert isinstance(make_buffer(spec), cls)
+
+    def test_punctuation_window_has_no_buffer(self):
+        with pytest.raises(WindowError):
+            make_buffer(PunctuationWindow(("a",)))
+
+
+class TestSlidingTimeBuffer:
+    def test_window_is_half_open(self):
+        """Window (ref-T, ref]: a tuple exactly T old is expired."""
+        buf = SlidingTimeBuffer(5.0)
+        buf.insert(rec(0.0))
+        buf.insert(rec(5.0))
+        evicted = buf.expire(5.0)
+        assert [r.ts for r in evicted] == [0.0]
+        assert [r.ts for r in buf] == [5.0]
+
+    def test_expire_returns_evicted_in_order(self):
+        buf = SlidingTimeBuffer(2.0)
+        for t in [0.0, 1.0, 2.0, 5.0]:
+            buf.insert(rec(t))
+        evicted = buf.expire(5.0)
+        assert [r.ts for r in evicted] == [0.0, 1.0, 2.0, 3.0][:3]
+
+    def test_zero_range_keeps_only_current(self):
+        buf = SlidingTimeBuffer(0.0)
+        buf.insert(rec(1.0))
+        buf.expire(1.0)
+        assert len(buf) == 0
+
+
+class TestRowBuffer:
+    def test_keeps_last_n(self):
+        buf = RowBuffer(2)
+        for t in range(5):
+            buf.insert(rec(float(t)))
+            buf.expire(float(t))
+        assert [r.ts for r in buf] == [3.0, 4.0]
+
+
+class TestPartitionedBuffer:
+    def test_per_key_rows(self):
+        buf = PartitionedBuffer(["k"], 1)
+        buf.insert(rec(0.0, k="a", v=1))
+        buf.insert(rec(1.0, k="b", v=2))
+        buf.insert(rec(2.0, k="a", v=3))
+        buf.expire(2.0)
+        assert len(buf) == 2
+        assert buf.partition(("a",))[0]["v"] == 3
+
+    def test_total_length(self):
+        buf = PartitionedBuffer(["k"], 2)
+        for i in range(10):
+            buf.insert(rec(float(i), k=i % 2, v=i))
+            buf.expire(float(i))
+        assert len(buf) == 4
+
+
+class TestNowBuffer:
+    def test_only_latest_instant(self):
+        buf = NowBuffer()
+        buf.insert(rec(1.0))
+        buf.insert(rec(1.0))
+        assert len(buf) == 2
+        buf.insert(rec(2.0))
+        assert [r.ts for r in buf] == [2.0]
+
+
+class TestLandmarkBuffer:
+    def test_ignores_before_start(self):
+        buf = LandmarkBuffer(start=5.0)
+        buf.insert(rec(1.0))
+        buf.insert(rec(6.0))
+        assert len(buf) == 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.floats(0, 1000), min_size=1, max_size=50).map(sorted),
+    st.floats(0.1, 100),
+)
+def test_sliding_buffer_invariant_property(times, range_):
+    """After expire(ref), contents are exactly {t : ref-T < t <= ref}."""
+    buf = SlidingTimeBuffer(range_)
+    for t in times:
+        buf.insert(rec(t))
+        buf.expire(t)
+    ref = times[-1]
+    expected = [t for t in times if t > ref - range_]
+    assert [r.ts for r in buf] == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=60), st.integers(1, 10))
+def test_row_buffer_invariant_property(values, rows):
+    """Row buffer always holds exactly the last `rows` insertions."""
+    buf = RowBuffer(rows)
+    for i, v in enumerate(values):
+        buf.insert(Record({"v": v}, ts=float(i)))
+        buf.expire(float(i))
+    expected = values[-rows:]
+    assert [r["v"] for r in buf] == expected

@@ -1,0 +1,74 @@
+"""Tests for window specifications (slides 26-28)."""
+
+import pytest
+
+from repro.errors import WindowError
+from repro.windows import (
+    LandmarkWindow,
+    NowWindow,
+    PartitionedWindow,
+    PunctuationWindow,
+    RowWindow,
+    TimeWindow,
+    TumblingWindow,
+    UnboundedWindow,
+)
+
+
+class TestTimeWindow:
+    def test_negative_range_rejected(self):
+        with pytest.raises(WindowError):
+            TimeWindow(-1.0)
+
+    def test_describe(self):
+        assert TimeWindow(60.0).describe() == "RANGE 60.0"
+
+
+class TestTumblingWindow:
+    def test_bucket_assignment(self):
+        w = TumblingWindow(60.0)
+        assert w.bucket_of(0.0) == 0
+        assert w.bucket_of(59.9) == 0
+        assert w.bucket_of(60.0) == 1
+        assert w.bucket_of(125.0) == 2
+
+    def test_origin_offset(self):
+        w = TumblingWindow(10.0, origin=5.0)
+        assert w.bucket_of(4.9) == -1
+        assert w.bucket_of(5.0) == 0
+        assert w.bucket_start(0) == 5.0
+
+    def test_bucket_start_inverse(self):
+        w = TumblingWindow(7.0)
+        for b in range(5):
+            assert w.bucket_of(w.bucket_start(b)) == b
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(WindowError):
+            TumblingWindow(0.0)
+
+
+class TestRowWindows:
+    def test_rows_validated(self):
+        with pytest.raises(WindowError):
+            RowWindow(0)
+
+    def test_partitioned_needs_keys(self):
+        with pytest.raises(WindowError):
+            PartitionedWindow((), 5)
+
+    def test_partitioned_describe(self):
+        w = PartitionedWindow(("a", "b"), 3)
+        assert w.describe() == "PARTITION BY a, b ROWS 3"
+
+
+class TestOtherWindows:
+    def test_describes(self):
+        assert "LANDMARK" in LandmarkWindow(0.0).describe()
+        assert NowWindow().describe() == "NOW"
+        assert UnboundedWindow().describe() == "UNBOUNDED"
+        assert "PUNCTUATED" in PunctuationWindow(("auction",)).describe()
+
+    def test_specs_are_hashable(self):
+        assert TimeWindow(5.0) == TimeWindow(5.0)
+        assert hash(RowWindow(3)) == hash(RowWindow(3))

@@ -1,0 +1,210 @@
+"""Tests for the synthetic workload generators."""
+
+import collections
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import StreamError
+from repro.workloads import (
+    AuctionConfig,
+    AuctionGenerator,
+    CDRConfig,
+    CDRGenerator,
+    NetflowConfig,
+    P2P_KEYWORDS,
+    P2P_PORTS,
+    PacketGenerator,
+    SensorConfig,
+    SensorGenerator,
+    ZipfGenerator,
+    at_times,
+    bursty_gaps,
+    poisson_gaps,
+    take_gaps,
+    uniform_gaps,
+)
+
+
+class TestArrivals:
+    def test_uniform(self):
+        assert take_gaps(uniform_gaps(4.0), 3) == [0.25, 0.25, 0.25]
+
+    def test_poisson_mean(self):
+        gaps = take_gaps(poisson_gaps(10.0, seed=3), 5000)
+        assert sum(gaps) / len(gaps) == pytest.approx(0.1, rel=0.1)
+
+    def test_poisson_deterministic(self):
+        assert take_gaps(poisson_gaps(1.0, seed=5), 10) == take_gaps(
+            poisson_gaps(1.0, seed=5), 10
+        )
+
+    def test_bursty_slide43_pattern(self):
+        """bursty(1, 5, 5): arrivals at t=0..4, then a 5s pause."""
+        gaps = take_gaps(bursty_gaps(1.0, 5.0, 5.0), 7)
+        times = []
+        t = 0.0
+        for g in gaps:
+            t += g
+            times.append(t)
+        assert times == [0.0, 1.0, 2.0, 3.0, 4.0, 10.0, 11.0]
+
+    def test_at_times_validation(self):
+        with pytest.raises(StreamError):
+            at_times([2.0, 1.0])
+
+    def test_bad_rate(self):
+        with pytest.raises(StreamError):
+            uniform_gaps(0.0)
+
+
+class TestZipf:
+    def test_range_and_skew(self):
+        z = ZipfGenerator(100, 1.2, seed=1)
+        samples = z.sample_many(5000)
+        counts = collections.Counter(samples)
+        assert all(0 <= s < 100 for s in samples)
+        assert counts[0] > counts.get(50, 0)
+
+    def test_expected_frequency_sums_to_one(self):
+        z = ZipfGenerator(20, 1.0)
+        assert sum(z.expected_frequency(k) for k in range(20)) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        z = ZipfGenerator(10, 0.0)
+        freqs = [z.expected_frequency(k) for k in range(10)]
+        assert all(f == pytest.approx(0.1) for f in freqs)
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            ZipfGenerator(0)
+
+
+class TestCDR:
+    def test_ordered_by_connect_ts(self):
+        calls = CDRGenerator().generate(500)
+        ts = [c["connect_ts"] for c in calls]
+        assert ts == sorted(ts)
+
+    def test_schema_fields_present(self):
+        gen = CDRGenerator()
+        call = gen.generate(1)[0]
+        for f in gen.schema.names:
+            assert f in call
+
+    def test_sorted_by_origin_layout(self):
+        block = CDRGenerator().generate_sorted_by_origin(500)
+        origins = [c["origin"] for c in block]
+        assert origins == sorted(origins)
+
+    def test_fraud_callers_make_more_intl_calls(self):
+        gen = CDRGenerator(CDRConfig(seed=3))
+        calls = gen.generate(8000)
+        intl = collections.Counter(
+            c["origin"] for c in calls if c["is_intl"]
+        )
+        total = collections.Counter(c["origin"] for c in calls)
+        fraud_rates, honest_rates = [], []
+        for origin, n in total.items():
+            if n < 10:
+                continue
+            rate = intl.get(origin, 0) / n
+            (fraud_rates if origin in gen.fraud_callers else honest_rates).append(rate)
+        assert fraud_rates, "no fraudulent caller had enough calls"
+        assert sum(fraud_rates) / len(fraud_rates) > 3 * (
+            sum(honest_rates) / len(honest_rates)
+        )
+
+    def test_deterministic(self):
+        a = CDRGenerator(CDRConfig(seed=7)).generate(100)
+        b = CDRGenerator(CDRConfig(seed=7)).generate(100)
+        assert a == b
+
+
+class TestNetflow:
+    def test_ordered_and_sized(self):
+        pkts = PacketGenerator().generate(1000)
+        assert len(pkts) == 1000
+        ts = [p["ts"] for p in pkts]
+        assert ts == sorted(ts)
+
+    def test_p2p_structure_supports_slide10(self):
+        """All P2P flows carry keywords; only ~1/3 use known ports, so
+        payload search finds ~3x the port-based volume."""
+        cfg = NetflowConfig(p2p_fraction=0.4, seed=11)
+        pkts = PacketGenerator(cfg).generate(6000)
+        payload_flows = set()
+        port_flows = set()
+        for p in pkts:
+            flow = (p["src_ip"], p["dst_ip"], p["src_port"], p["dst_port"])
+            rflow = (p["dst_ip"], p["src_ip"], p["dst_port"], p["src_port"])
+            if any(k in p["payload"] for k in P2P_KEYWORDS):
+                payload_flows.add(min(flow, rflow))
+            if p["src_port"] in P2P_PORTS or p["dst_port"] in P2P_PORTS:
+                port_flows.add(min(flow, rflow))
+        assert port_flows <= payload_flows | port_flows
+        ratio = len(payload_flows) / max(1, len(port_flows))
+        assert 2.0 < ratio < 4.5
+
+    def test_handshakes_have_syn_and_synack(self):
+        pkts = PacketGenerator().generate(2000)
+        syns = sum(1 for p in pkts if p["flags"] == "SYN")
+        acks = sum(1 for p in pkts if p["flags"] == "SYN-ACK")
+        assert syns > 0
+        assert abs(syns - acks) <= max(3, syns * 0.1)
+
+    def test_deterministic(self):
+        a = PacketGenerator(NetflowConfig(seed=2)).generate(200)
+        b = PacketGenerator(NetflowConfig(seed=2)).generate(200)
+        assert a == b
+
+
+class TestSensors:
+    def test_round_robin_stations(self):
+        gen = SensorGenerator(SensorConfig(n_stations=4))
+        readings = gen.generate(8)
+        assert [r["station"] for r in readings] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_anomalies_recorded(self):
+        gen = SensorGenerator(SensorConfig(anomaly_rate=0.2, seed=4))
+        gen.generate(500)
+        assert gen.injected_anomalies
+
+    def test_humidity_bounded(self):
+        readings = SensorGenerator().generate(300)
+        assert all(0.0 <= r["humidity"] <= 100.0 for r in readings)
+
+
+class TestAuctions:
+    def test_each_auction_closed_by_punctuation(self):
+        """Slide 28: the auction stream is the canonical punctuated one."""
+        cfg = AuctionConfig(n_auctions=10)
+        elements = AuctionGenerator(cfg).elements()
+        puncts = [e for e in elements if isinstance(e, Punctuation)]
+        assert len(puncts) == 10
+        closed = {p.as_dict()["auction"] for p in puncts}
+        assert closed == set(range(10))
+
+    def test_no_bids_after_close(self):
+        elements = AuctionGenerator().elements()
+        closed = set()
+        for el in elements:
+            if isinstance(el, Punctuation):
+                closed.add(el.as_dict()["auction"])
+            else:
+                assert el["auction"] not in closed
+
+    def test_prices_increase_within_auction(self):
+        elements = AuctionGenerator().elements()
+        last_price: dict[int, float] = {}
+        for el in elements:
+            if isinstance(el, Record):
+                a = el["auction"]
+                if a in last_price:
+                    assert el["price"] >= last_price[a]
+                last_price[a] = el["price"]
+
+    def test_elements_are_ts_ordered(self):
+        elements = AuctionGenerator().elements()
+        ts = [e.ts for e in elements]
+        assert ts == sorted(ts)

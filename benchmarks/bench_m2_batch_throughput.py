@@ -1,0 +1,235 @@
+"""M2 — Micro-batch execution throughput (wall-clock, informational).
+
+Measures tuples/sec of the push engine at ``batch_size`` in
+{1, 16, 256, 4096} on two workloads:
+
+* **CDR** — the select → project → aggregate chain over the call-detail
+  stream (the plan named by the M2 acceptance criteria);
+* **netflow** — select → project → tumbling aggregation over the packet
+  stream.
+
+Like M1, these are engineering-hygiene numbers, not paper
+reproductions: they certify that the micro-batched path amortizes
+per-element dispatch (>= 2x at batch_size=256 vs 1) and give future
+PRs a perf trajectory (recorded in ``BENCH_m1_m2.json`` by running this
+file as a script).  Output *correctness* across batch sizes is the job
+of ``tests/core/test_batch_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ListSource, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.operators import AggSpec, Aggregate, Select, WindowedAggregate
+from repro.operators.project import Project
+from repro.windows import TumblingWindow
+from repro.workloads import CDRGenerator, PacketGenerator
+
+BATCH_SIZES = [1, 16, 256, 4096]
+N = 20000
+
+
+def cdr_plan():
+    """The select → project → aggregate CDR plan (acceptance plan)."""
+    return linear_plan(
+        "calls",
+        [
+            Select(lambda r: r["is_intl"], name="intl"),
+            Project(
+                {
+                    "origin": "origin",
+                    "connect_ts": "connect_ts",
+                    "duration": "duration",
+                },
+                name="proj",
+            ),
+            Aggregate(
+                ["origin"],
+                [AggSpec("n", "count"), AggSpec("talk", "sum", "duration")],
+                name="per_origin",
+            ),
+        ],
+    )
+
+
+def netflow_plan():
+    return linear_plan(
+        "Traffic",
+        [
+            Select(lambda r: r["length"] > 512, name="big"),
+            Project(
+                {"ts": "ts", "src_ip": "src_ip", "length": "length"},
+                name="proj",
+            ),
+            WindowedAggregate(
+                TumblingWindow(10.0),
+                ["src_ip"],
+                [AggSpec("n", "count"), AggSpec("vol", "sum", "length")],
+                name="per_bucket",
+            ),
+        ],
+    )
+
+
+def _cdr_source(n: int = N) -> ListSource:
+    return ListSource(
+        "calls", CDRGenerator().generate(n), ts_attr="connect_ts"
+    )
+
+
+def _netflow_source(n: int = N) -> ListSource:
+    return ListSource(
+        "Traffic", PacketGenerator().generate(n), ts_attr="ts"
+    )
+
+
+WORKLOADS = {
+    "cdr": (cdr_plan, _cdr_source),
+    "netflow": (netflow_plan, _netflow_source),
+}
+
+
+def measure_throughput(
+    plan, source: ListSource, batch_size: int | None, repeats: int = 3
+) -> float:
+    """Best-of-``repeats`` tuples/sec over the pre-stamped source."""
+    n = len(source)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        run_plan(plan, [source], batch_size=batch_size)
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def batch_scaling(n: int = N, repeats: int = 3) -> dict[str, dict[str, float]]:
+    """Tuples/sec per workload per batch size (the M2 table)."""
+    results: dict[str, dict[str, float]] = {}
+    for name, (make_plan, make_source) in WORKLOADS.items():
+        source = make_source(n)
+        plan = make_plan()
+        results[name] = {
+            str(bs): round(measure_throughput(plan, source, bs, repeats), 1)
+            for bs in BATCH_SIZES
+        }
+    return results
+
+
+# -- pytest-benchmark entry points ----------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cdr_source():
+    return _cdr_source()
+
+
+@pytest.fixture(scope="module")
+def netflow_source():
+    return _netflow_source()
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_m2_cdr_batch_throughput(benchmark, cdr_source, batch_size):
+    plan = cdr_plan()
+    result = benchmark(
+        lambda: run_plan(plan, [cdr_source], batch_size=batch_size)
+    )
+    assert result.records()
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_m2_netflow_batch_throughput(benchmark, netflow_source, batch_size):
+    plan = netflow_plan()
+    result = benchmark(
+        lambda: run_plan(plan, [netflow_source], batch_size=batch_size)
+    )
+    assert result.records()
+
+
+def test_m2_batch_scaling_report(report):
+    """The M2 table: tuples/sec at each batch size, plus the 2x check."""
+    emit, table = report
+    scaling = batch_scaling(n=N, repeats=3)
+    rows = [
+        [workload]
+        + [by_size[str(bs)] for bs in BATCH_SIZES]
+        + [round(by_size[str(BATCH_SIZES[-1])] / by_size["1"], 2)]
+        for workload, by_size in scaling.items()
+    ]
+    table(
+        ["workload"]
+        + [f"bs={bs} tup/s" for bs in BATCH_SIZES]
+        + ["max speedup"],
+        rows,
+        title="M2: micro-batch throughput scaling",
+    )
+    emit(
+        "(differential suite tests/core/test_batch_equivalence.py proves "
+        "outputs are identical at every batch size)"
+    )
+    # Acceptance: >= 2x at batch_size=256 vs 1 on the CDR chain.
+    speedup = scaling["cdr"]["256"] / scaling["cdr"]["1"]
+    assert speedup >= 2.0, (
+        f"batch_size=256 is only {speedup:.2f}x batch_size=1 on the CDR "
+        f"select->project->aggregate plan (expected >= 2x)"
+    )
+
+
+# -- baseline recording ----------------------------------------------------
+
+
+def _m1_baseline(n: int = 5000) -> dict[str, float]:
+    """Quick re-measurement of the M1 hot paths for the trajectory file."""
+    packets = PacketGenerator().generate(n)
+    records = [Record(p, ts=p["ts"], seq=i) for i, p in enumerate(packets)]
+
+    op = Select(lambda r: r["length"] > 512)
+    t0 = time.perf_counter()
+    for r in records:
+        op.process(r)
+    select_tps = n / (time.perf_counter() - t0)
+
+    agg = WindowedAggregate(
+        TumblingWindow(10.0),
+        ["src_ip"],
+        [AggSpec("n", "count"), AggSpec("vol", "sum", "length")],
+    )
+    t0 = time.perf_counter()
+    for r in records:
+        agg.process(r, 0)
+    agg.flush()
+    agg_tps = n / (time.perf_counter() - t0)
+
+    return {
+        "select_tuples_per_sec": round(select_tps, 1),
+        "tumbling_agg_tuples_per_sec": round(agg_tps, 1),
+    }
+
+
+def record_baseline(path: str | Path | None = None) -> dict:
+    """Write the M1+M2 throughput baseline for future PRs to diff against."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_m1_m2.json"
+    baseline = {
+        "n_tuples": N,
+        "batch_sizes": BATCH_SIZES,
+        "m1_tuple_at_a_time": _m1_baseline(),
+        "m2_tuples_per_sec": batch_scaling(n=N, repeats=3),
+    }
+    scaling = baseline["m2_tuples_per_sec"]
+    baseline["m2_speedup_256_vs_1"] = {
+        w: round(by["256"] / by["1"], 2) for w, by in scaling.items()
+    }
+    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+if __name__ == "__main__":
+    recorded = record_baseline()
+    print(json.dumps(recorded, indent=2))

@@ -54,11 +54,26 @@ class Engine:
     * incremental — :meth:`start`, repeated :meth:`feed`, then
       :meth:`finish`; this is how a standing query inside a DSMS facade
       consumes an open-ended stream.
+
+    ``batch_size`` selects the execution path.  ``None`` (the default)
+    is tuple-at-a-time: every element takes one full trip through the
+    DAG.  An integer ``k >= 1`` enables micro-batching: the engine
+    drains sources in timestamp-ordered chunks of up to ``k``
+    consecutive same-input elements and dispatches each chunk with a
+    single :meth:`~repro.operators.base.Operator.process_batch` call
+    per operator, amortizing dispatch overhead.  A punctuation always
+    closes the current chunk, so state flushes triggered by
+    punctuations happen at exactly the same stream positions as in
+    tuple-at-a-time mode; outputs are element-for-element identical
+    for every batch size.
     """
 
-    def __init__(self, plan: Plan) -> None:
+    def __init__(self, plan: Plan, batch_size: int | None = None) -> None:
         plan.validate()
+        if batch_size is not None and batch_size < 1:
+            raise PlanError(f"batch_size must be >= 1; got {batch_size}")
         self.plan = plan
+        self.batch_size = batch_size
         self.metrics = MetricsRegistry()
         self._outputs: dict[str, list[Element]] | None = None
 
@@ -72,10 +87,46 @@ class Engine:
         by_name = self._resolve_sources(sources)
         self.start()
         assert self._outputs is not None
-        for input_name, element in merge_sources(*by_name.values()):
-            for consumer, port in self.plan.inputs[input_name]:
-                self._dispatch(consumer, element, port, self._outputs)
+        if len(by_name) == 1:
+            # A single source is already in order; skip the merge heap.
+            only = next(iter(by_name.values()))
+            merged = ((only.name, el) for el in only.events())
+        else:
+            merged = merge_sources(*by_name.values())
+        if self.batch_size is None:
+            for input_name, element in merged:
+                for consumer, port in self.plan.inputs[input_name]:
+                    self._dispatch(consumer, element, port, self._outputs)
+        else:
+            self._run_batched(merged, self._outputs)
         return self.finish()
+
+    def _run_batched(self, merged, outputs: dict[str, list[Element]]) -> None:
+        """Drain ``merged`` in chunks of consecutive same-input elements."""
+        batch_size = self.batch_size
+        assert batch_size is not None
+        inputs = self.plan.inputs
+        pending: list[Element] = []
+        pending_input: str | None = None
+        for input_name, element in merged:
+            if pending and (
+                input_name != pending_input or len(pending) >= batch_size
+            ):
+                for consumer, port in inputs[pending_input]:
+                    self._dispatch_batch(consumer, pending, port, outputs)
+                pending = []
+            pending_input = input_name
+            pending.append(element)
+            if isinstance(element, Punctuation):
+                # Close the chunk at the punctuation so downstream
+                # flushes keep their tuple-at-a-time positions.
+                for consumer, port in inputs[pending_input]:
+                    self._dispatch_batch(consumer, pending, port, outputs)
+                pending = []
+        if pending:
+            assert pending_input is not None
+            for consumer, port in inputs[pending_input]:
+                self._dispatch_batch(consumer, pending, port, outputs)
 
     # -- incremental interface ------------------------------------------------
 
@@ -99,6 +150,28 @@ class Engine:
         before = len(self._outputs[primary]) if primary else 0
         for consumer, port in self.plan.inputs[input_name]:
             self._dispatch(consumer, element, port, self._outputs)
+        if primary is None:
+            return []
+        return self._outputs[primary][before:]
+
+    def feed_batch(
+        self, input_name: str, elements: Sequence[Element]
+    ) -> list[Element]:
+        """Push a micro-batch into ``input_name``; return new 'out' output.
+
+        The batched analogue of :meth:`feed` for standing queries whose
+        driver already has elements in hand (e.g. a network read that
+        returned several tuples).
+        """
+        if self._outputs is None:
+            raise PlanError("Engine.feed_batch() called before start()")
+        if input_name not in self.plan.inputs:
+            raise PlanError(f"unknown input {input_name!r}")
+        primary = next(iter(self.plan.outputs), None)
+        before = len(self._outputs[primary]) if primary else 0
+        elements = list(elements)
+        for consumer, port in self.plan.inputs[input_name]:
+            self._dispatch_batch(consumer, elements, port, self._outputs)
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -151,6 +224,33 @@ class Engine:
                 m.punctuations_out += 1
         self._propagate(operator, produced, outputs)
 
+    def _dispatch_batch(
+        self,
+        operator,
+        elements: Sequence[Element],
+        port: int,
+        outputs: dict[str, list[Element]],
+    ) -> None:
+        if not elements:
+            return
+        m = self.metrics.for_operator(operator.name)
+        n_punct = 0
+        for el in elements:
+            if isinstance(el, Punctuation):
+                n_punct += 1
+        m.records_in += len(elements) - n_punct
+        m.punctuations_in += n_punct
+        m.invocations += 1
+        m.batches_in += 1
+        m.busy_time += operator.cost_per_tuple * len(elements)
+        produced = operator.process_batch(elements, port)
+        for out in produced:
+            if isinstance(out, Record):
+                m.records_out += 1
+            else:
+                m.punctuations_out += 1
+        self._propagate_batch(operator, produced, outputs)
+
     def _propagate(
         self, operator, produced: list[Element], outputs: dict[str, list[Element]]
     ) -> None:
@@ -163,7 +263,21 @@ class Engine:
             for out in produced:
                 self._dispatch(consumer, out, port, outputs)
 
+    def _propagate_batch(
+        self, operator, produced: list[Element], outputs: dict[str, list[Element]]
+    ) -> None:
+        # Whole-batch propagation preserves tuple-at-a-time output order:
+        # each consumer already received every produced element (in
+        # order) before the next consumer in the per-element path too.
+        if not produced:
+            return
+        for name in self.plan.output_names_for(operator):
+            outputs[name].extend(produced)
+        for consumer, port in self.plan.successors(operator):
+            self._dispatch_batch(consumer, produced, port, outputs)
+
     def _flush_all(self, outputs: dict[str, list[Element]]) -> None:
+        batched = self.batch_size is not None
         for operator in self.plan.topological_order():
             produced = operator.flush()
             if produced:
@@ -173,11 +287,20 @@ class Engine:
                         m.records_out += 1
                     else:
                         m.punctuations_out += 1
-                self._propagate(operator, produced, outputs)
+                if batched:
+                    self._propagate_batch(operator, produced, outputs)
+                else:
+                    self._propagate(operator, produced, outputs)
 
 
 def run_plan(
-    plan: Plan, sources: Sequence[Source] | Mapping[str, Source]
+    plan: Plan,
+    sources: Sequence[Source] | Mapping[str, Source],
+    batch_size: int | None = None,
 ) -> RunResult:
-    """One-shot convenience: build an :class:`Engine` and run it."""
-    return Engine(plan).run(sources)
+    """One-shot convenience: build an :class:`Engine` and run it.
+
+    ``batch_size=None`` executes tuple-at-a-time; an integer enables the
+    micro-batched path (identical outputs, amortized dispatch).
+    """
+    return Engine(plan, batch_size=batch_size).run(sources)

@@ -7,6 +7,7 @@ the scheduling/shedding experiments (slides 42-44).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 __all__ = ["OperatorMetrics", "TimeSeries", "MetricsRegistry"]
@@ -22,13 +23,29 @@ class OperatorMetrics:
     punctuations_out: int = 0
     invocations: int = 0
     busy_time: float = 0.0
+    #: Micro-batches dispatched to the operator (0 when the engine runs
+    #: tuple-at-a-time; each batch also counts one invocation).
+    batches_in: int = 0
 
     @property
     def observed_selectivity(self) -> float:
-        """Output/input ratio actually observed (records only)."""
+        """Output/input ratio actually observed (records only).
+
+        Returns ``nan`` when the operator has seen no input: "no
+        evidence" must stay distinguishable from "drops everything"
+        (selectivity 0.0), otherwise the rate-based optimizer would
+        order a never-fed operator as if it were a perfect filter.
+        """
         if self.records_in == 0:
-            return 0.0
+            return float("nan")
         return self.records_out / self.records_in
+
+    @property
+    def avg_batch_size(self) -> float:
+        """Mean elements per dispatched micro-batch (``nan`` if none)."""
+        if self.batches_in == 0:
+            return float("nan")
+        return (self.records_in + self.punctuations_in) / self.batches_in
 
 
 class TimeSeries:
@@ -85,14 +102,24 @@ class MetricsRegistry:
             self.series[name] = TimeSeries(name)
         return self.series[name]
 
-    def summary(self) -> dict[str, dict[str, float]]:
-        out: dict[str, dict[str, float]] = {}
+    def summary(self) -> dict[str, dict[str, float | None]]:
+        out: dict[str, dict[str, float | None]] = {}
         for name, m in self.operators.items():
+            selectivity = m.observed_selectivity
+            avg_batch = m.avg_batch_size
             out[name] = {
                 "records_in": m.records_in,
                 "records_out": m.records_out,
                 "invocations": m.invocations,
                 "busy_time": round(m.busy_time, 9),
-                "observed_selectivity": round(m.observed_selectivity, 6),
+                # NaN is not valid strict JSON; report the no-data cases
+                # as None so summaries stay serializable.
+                "observed_selectivity": (
+                    None if math.isnan(selectivity) else round(selectivity, 6)
+                ),
+                "batches_in": m.batches_in,
+                "avg_batch_size": (
+                    None if math.isnan(avg_batch) else round(avg_batch, 3)
+                ),
             }
         return out

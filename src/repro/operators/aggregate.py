@@ -104,6 +104,31 @@ class Aggregate(UnaryOperator):
         state.count += 1
         return []
 
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # Records only accumulate state, so the whole batch folds into
+        # the group table without any per-element list allocation.
+        self._validate_port(port)
+        groups = self._groups
+        specs = self.aggregates
+        out: list[Element] = []
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            if el.ts > self._max_ts:
+                self._max_ts = el.ts
+            key, values = self._group_key(el)
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(values, specs)
+                groups[key] = state
+            for spec, fn_state in zip(specs, state.states):
+                fn_state.add(spec.extract(el))
+            state.count += 1
+        return out
+
     def _emit(self, state: _GroupState, ts: float) -> Record | None:
         values = dict(state.key_values)
         for spec, fn_state in zip(self.aggregates, state.states):
@@ -282,6 +307,64 @@ class WindowedAggregate(UnaryOperator):
         for spec, fn_state in zip(self.aggregates, state.states):
             fn_state.add(spec.extract(record))
         state.count += 1
+        return out
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        """Amortized tumbling-window path.
+
+        The per-element path scans the open-bucket table on every record
+        to find closeable buckets.  Here we track the earliest open
+        bucket end and only scan when the watermark actually crosses it,
+        which is exactly when the per-element scan would have found work.
+        Non-tumbling windows emit per arrival and fall back to the
+        element loop.
+        """
+        self._validate_port(port)
+        if not self._tumbling:
+            return super().process_batch(elements, port)
+        window = self.window
+        buckets = self._buckets
+        specs = self.aggregates
+        min_end = min(
+            (window.bucket_start(b + 1) for b in buckets),
+            default=float("inf"),
+        )
+        out: list[Element] = []
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                min_end = min(
+                    (window.bucket_start(b + 1) for b in buckets),
+                    default=float("inf"),
+                )
+                continue
+            ts = el.ts
+            if ts > self._watermark:
+                self._watermark = ts
+            if self._watermark >= min_end:
+                out.extend(self._close_buckets(self._watermark))
+                min_end = min(
+                    (window.bucket_start(b + 1) for b in buckets),
+                    default=float("inf"),
+                )
+            bucket = window.bucket_of(ts)
+            groups = buckets.get(bucket)
+            if groups is None:
+                groups = {}
+                buckets[bucket] = groups
+                end = window.bucket_start(bucket + 1)
+                if end < min_end:
+                    min_end = end
+            key, values = self._group_values(el)
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(values, specs)
+                groups[key] = state
+            for spec, fn_state in zip(specs, state.states):
+                fn_state.add(spec.extract(el))
+            state.count += 1
         return out
 
     # -- buffered (sliding/row/landmark) path -------------------------------

@@ -45,15 +45,41 @@ class Operator:
 
     # -- data path -------------------------------------------------------
 
-    def process(self, element: Element, port: int = 0) -> list[Element]:
-        """Consume one element on ``port``; return emitted elements."""
+    def _validate_port(self, port: int) -> None:
         if port < 0 or port >= self.arity:
             raise PlanError(
                 f"operator {self.name!r} has arity {self.arity}; got port {port}"
             )
+
+    def process(self, element: Element, port: int = 0) -> list[Element]:
+        """Consume one element on ``port``; return emitted elements."""
+        self._validate_port(port)
         if isinstance(element, Punctuation):
             return self.on_punctuation(element, port)
         return self.on_record(element, port)
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        """Consume a micro-batch of elements on ``port``, in order.
+
+        The contract is strict equivalence: ``process_batch(batch)`` must
+        emit exactly the concatenation of ``process(el)`` over the batch.
+        The default implementation does literally that, so every operator
+        supports batching; hot operators override it with amortized loops
+        that skip the per-element dispatch machinery.
+        """
+        self._validate_port(port)
+        out: list[Element] = []
+        extend = out.extend
+        on_record = self.on_record
+        on_punctuation = self.on_punctuation
+        for el in elements:
+            if isinstance(el, Punctuation):
+                extend(on_punctuation(el, port))
+            else:
+                extend(on_record(el, port))
+        return out
 
     def on_record(self, record: Record, port: int) -> list[Element]:
         """Handle one data tuple.  Subclasses override."""
@@ -132,6 +158,20 @@ class CompiledChain(UnaryOperator):
             batch = next_batch
             if not batch:
                 return []
+        return batch
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # Stage-at-a-time batching: each fused operator consumes the whole
+        # intermediate batch before the next stage runs.  Per-element
+        # output order is unchanged because every stage preserves it.
+        self._validate_port(port)
+        batch = list(elements)
+        for op in self.operators:
+            if not batch:
+                return []
+            batch = op.process_batch(batch, 0)
         return batch
 
     def on_record(self, record: Record, port: int) -> list[Element]:

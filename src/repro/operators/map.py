@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.tuples import Record
+from repro.core.tuples import Punctuation, Record
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["MapOp", "Rename", "Extend"]
@@ -32,6 +32,22 @@ class MapOp(UnaryOperator):
             return []
         return [record.with_values(values)]
 
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        self._validate_port(port)
+        fn = self.fn
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            values = fn(el)
+            if values is not None:
+                append(el.with_values(values))
+        return out
+
 
 class Rename(UnaryOperator):
     """Rename attributes (used to qualify join inputs)."""
@@ -45,6 +61,21 @@ class Rename(UnaryOperator):
             self.mapping.get(k, k): v for k, v in record.values.items()
         }
         return [record.with_values(values)]
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        self._validate_port(port)
+        mapping_get = self.mapping.get
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            values = {mapping_get(k, k): v for k, v in el.values.items()}
+            append(el.with_values(values))
+        return out
 
 
 class Extend(UnaryOperator):
@@ -68,3 +99,20 @@ class Extend(UnaryOperator):
         for out_name, fn in self.additions.items():
             values[out_name] = fn(record)
         return [record.with_values(values)]
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        self._validate_port(port)
+        additions = list(self.additions.items())
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            values = dict(el.values)
+            for out_name, fn in additions:
+                values[out_name] = fn(el)
+            append(el.with_values(values))
+        return out

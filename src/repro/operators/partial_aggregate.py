@@ -115,6 +115,47 @@ class PartialAggregate(UnaryOperator):
         state.count += 1
         return out
 
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # The LFTA loop is the hottest spot of the two-level pipeline:
+        # fold the whole batch into the bounded group table, paying the
+        # bucket-close / eviction machinery only when it fires.
+        self._validate_port(port)
+        group_by = self.group_by
+        specs = self.aggregates
+        max_groups = self.max_groups
+        window = self.window
+        out: list[Element] = []
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            bucket = window.bucket_of(el.ts)
+            if self._bucket is None:
+                self._bucket = bucket
+            elif bucket != self._bucket:
+                out.extend(self._close_bucket(el.ts))
+                self._bucket = bucket
+            groups = self._groups
+            key = tuple(fn(el) for _name, fn in group_by)
+            state = groups.get(key)
+            if state is None:
+                if len(groups) >= max_groups:
+                    victim_key = max(
+                        groups, key=lambda k: (groups[k].count, repr(k))
+                    )
+                    victim = groups.pop(victim_key)
+                    out.append(self._partial_row(victim, bucket, el.ts))
+                    self.evictions += 1
+                values = {name: fn(el) for name, fn in group_by}
+                state = _GroupState(values, specs)
+                groups[key] = state
+            for spec, fn_state in zip(specs, state.states):
+                fn_state.add(spec.extract(el))
+            state.count += 1
+        return out
+
     def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
         bound = punct.bound_for(self.ts_attr)
         if bound is not None and self._bucket is not None:
@@ -175,6 +216,21 @@ class FinalAggregate(UnaryOperator):
         for mine, theirs in zip(entry[1], incoming):
             mine.merge(theirs)
         return []
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # Partial rows only merge state; punctuations (bucket-complete
+        # markers) are the only emitters, so batch output stays small.
+        self._validate_port(port)
+        out: list[Element] = []
+        on_record = self.on_record
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+            else:
+                on_record(el, port)
+        return out
 
     def _emit_bucket(self, bucket, ts: float) -> list[Element]:
         out: list[Element] = []

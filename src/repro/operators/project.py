@@ -57,6 +57,24 @@ class Project(UnaryOperator):
             out[out_name] = spec(record) if callable(spec) else record[spec]
         return [record.with_values(out)]
 
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        self._validate_port(port)
+        columns = list(self.columns.items())
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+                continue
+            values = {
+                name: (spec(el) if callable(spec) else el[spec])
+                for name, spec in columns
+            }
+            append(el.with_values(values))
+        return out
+
 
 class DistinctProject(UnaryOperator):
     """Duplicate-eliminating projection.

@@ -7,9 +7,9 @@ so any assertion about future records still holds on the output.
 
 from __future__ import annotations
 
-from typing import Callable
+from typing import Callable, Sequence
 
-from repro.core.tuples import Record
+from repro.core.tuples import Punctuation, Record
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["Select"]
@@ -42,3 +42,19 @@ class Select(UnaryOperator):
         if self.predicate(record):
             return [record]
         return []
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # One output list and one predicate lookup for the whole batch
+        # instead of a list allocation per element.
+        self._validate_port(port)
+        predicate = self.predicate
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                out.extend(self.on_punctuation(el, port))
+            elif predicate(el):
+                append(el)
+        return out

@@ -14,6 +14,7 @@ non-blocking one using ordering properties (slide 48).
 from __future__ import annotations
 
 import heapq
+from typing import Sequence
 
 from repro.core.tuples import Punctuation, Record
 from repro.operators.base import BinaryOperator, Element
@@ -34,6 +35,12 @@ class Union(BinaryOperator):
         # A punctuation on one input says nothing about the other; it
         # cannot be propagated as-is without being wrong for the union.
         return []
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        self._validate_port(port)
+        return [el for el in elements if not isinstance(el, Punctuation)]
 
 
 class OrderedMerge(BinaryOperator):

@@ -207,6 +207,68 @@ class WindowJoin(BinaryOperator):
             self.cpu_used += removed * per_removal
         return out
 
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        """Amortized probe loop for a batch arriving on one input.
+
+        Side/cost attribute lookups are hoisted out of the loop and the
+        abstract CPU charge is accumulated locally, folding back into
+        ``cpu_used`` once per batch instead of several times per tuple.
+        """
+        self._validate_port(port)
+        me = self.sides[port]
+        other = self.sides[1 - port]
+        costs = self.costs
+        theta = self.theta
+        me_keys = me.keys
+        me_is_rows = isinstance(me.window, RowWindow)
+        me_insert_cost = (
+            costs.hash_insert if me.strategy == "hash" else costs.list_insert
+        )
+        me_invalidate_cost = (
+            costs.hash_invalidate
+            if me.strategy == "hash"
+            else costs.list_invalidate
+        )
+        other_invalidate_cost = (
+            costs.hash_invalidate
+            if other.strategy == "hash"
+            else costs.list_invalidate
+        )
+        other_is_hash = other.strategy == "hash"
+        cpu = 0.0
+        results = 0
+        out: list[Element] = []
+        append = out.append
+        for el in elements:
+            if isinstance(el, Punctuation):
+                self.cpu_used += cpu
+                cpu = 0.0
+                out.extend(self.on_punctuation(el, port))
+                continue
+            cpu += me.expire(el.ts) * me_invalidate_cost
+            cpu += other.expire(el.ts) * other_invalidate_cost
+            key = el.key(me_keys)
+            found, inspected = other.matches(key)
+            if other_is_hash:
+                cpu += costs.hash_probe
+            else:
+                cpu += inspected * costs.scan_tuple
+            for match in found:
+                left, right = (el, match) if port == 0 else (match, el)
+                if theta is None or theta(left, right):
+                    append(left.merged(right, ts=max(left.ts, right.ts)))
+                    results += 1
+                    cpu += costs.output
+            me.insert(el)
+            cpu += me_insert_cost
+            if me_is_rows:
+                cpu += me.expire(el.ts) * me_invalidate_cost
+        self.cpu_used += cpu
+        self.results += results
+        return out
+
     def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
         bound = punct.bound_for("ts")
         if bound is None:

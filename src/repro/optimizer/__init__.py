@@ -13,6 +13,7 @@ from repro.optimizer.rate_based import (
     chain_rate_profile,
     join_output_rate,
     least_cost_order,
+    rate_operator_from_metrics,
 )
 from repro.optimizer.statistics import (
     EwmaRate,
@@ -32,6 +33,7 @@ __all__ = [
     "chain_rate_profile",
     "join_output_rate",
     "least_cost_order",
+    "rate_operator_from_metrics",
     "EwmaRate",
     "SelectivityTracker",
     "selectivity_from_histogram",

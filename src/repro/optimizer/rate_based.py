@@ -22,14 +22,17 @@ identical *cost-model* rankings on finite inputs.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from itertools import permutations
 from typing import Sequence
 
+from repro.core.metrics import OperatorMetrics
 from repro.errors import PlanError
 
 __all__ = [
     "RateOperator",
+    "rate_operator_from_metrics",
     "chain_output_rate",
     "chain_rate_profile",
     "best_rate_order",
@@ -54,6 +57,29 @@ class RateOperator:
 
     def output_rate(self, input_rate: float) -> float:
         return min(input_rate, self.capacity) * self.selectivity
+
+
+def rate_operator_from_metrics(
+    name: str,
+    metrics: OperatorMetrics,
+    capacity: float,
+    prior_selectivity: float = 1.0,
+    cost: float = 1.0,
+) -> RateOperator:
+    """Build a :class:`RateOperator` from measured engine counters.
+
+    ``observed_selectivity`` is ``nan`` for an operator that has seen no
+    input; that is *absence of evidence*, not a perfect filter, so the
+    model falls back to ``prior_selectivity`` instead of treating the
+    operator as selectivity-0 (which would make the rate-based order
+    push never-fed operators to the front of every chain).
+    """
+    selectivity = metrics.observed_selectivity
+    if math.isnan(selectivity):
+        selectivity = prior_selectivity
+    return RateOperator(
+        name, capacity=capacity, selectivity=selectivity, cost=cost
+    )
 
 
 def chain_output_rate(

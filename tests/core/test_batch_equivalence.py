@@ -1,0 +1,492 @@
+"""Differential certification of the micro-batched execution path.
+
+The batch path (``run_plan(..., batch_size=k)``) is only allowed to be
+*faster* than tuple-at-a-time execution — never different.  This suite
+runs every plan in a registry twice: once at ``batch_size=1`` (the
+baseline) and once per batch size in {2, 7, 64, 4096}, and asserts the
+outputs are element-for-element identical — records *and* punctuations,
+in order, on every declared output.  The default tuple-at-a-time path
+(``batch_size=None``) is held to the same standard.
+
+The registry covers two layers:
+
+* mirrors of every plan the ``examples/`` scripts build (quickstart's
+  programmatic, CQL, rows-window and join plans; network_monitoring's
+  P2P and RTT CQL queries; fraud_detection's CDR chain; the two-level
+  LFTA/HFTA decomposition of three_level_architecture), and
+* a generated grid of select/project/aggregate/window_join chains over
+  the seeded ``workloads.cdr`` / ``workloads.netflow`` generators, with
+  and without punctuations interleaved in the source.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Engine, ListSource, Plan, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.core.stream import records_from_dicts
+from repro.cql import Catalog, compile_query
+from repro.gigascope import gigascope_catalog
+from repro.operators import (
+    AggSpec,
+    Aggregate,
+    Select,
+    WindowJoin,
+    WindowedAggregate,
+)
+from repro.operators.map import Extend
+from repro.operators.partial_aggregate import FinalAggregate, PartialAggregate
+from repro.operators.project import DistinctProject, Project
+from repro.operators.punctuate import Heartbeat
+from repro.operators.union import OrderedMerge, Union
+from repro.windows import TimeWindow, TumblingWindow
+from repro.workloads import CDRGenerator, PacketGenerator, packet_schema
+
+BATCH_SIZES = [2, 7, 64, 4096]
+
+N_CDR = 600
+N_PACKETS = 800
+
+
+# --------------------------------------------------------------------------
+# seeded workload sources
+# --------------------------------------------------------------------------
+
+CDR_ROWS = CDRGenerator().generate(N_CDR)
+PACKET_ROWS = PacketGenerator().generate(N_PACKETS)
+
+
+def _punctuated(rows, ts_attr: str, every: int):
+    """Stamp ``rows`` and interleave a time-bound punctuation every
+    ``every`` records (asserting the stream has advanced past the last
+    seen timestamp)."""
+    records = records_from_dicts(rows, ts_attr=ts_attr)
+    elements = []
+    for i, record in enumerate(records):
+        elements.append(record)
+        if (i + 1) % every == 0:
+            elements.append(
+                Punctuation.time_bound(ts_attr, record.ts, ts=record.ts)
+            )
+    return elements
+
+
+def cdr_source():
+    return ListSource("calls", CDR_ROWS, ts_attr="connect_ts")
+
+
+def cdr_source_punctuated():
+    return ListSource(
+        "calls", _punctuated(CDR_ROWS, "connect_ts", every=50)
+    )
+
+
+def packet_source(name: str = "Traffic"):
+    return ListSource(name, PACKET_ROWS, ts_attr="ts")
+
+
+def packet_source_punctuated(name: str = "Traffic"):
+    return ListSource(name, _punctuated(PACKET_ROWS, "ts", every=40))
+
+
+def traffic_catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.register_stream("Traffic", packet_schema())
+    return catalog
+
+
+# --------------------------------------------------------------------------
+# example-mirror plans (one per plan built by the examples/ scripts)
+# --------------------------------------------------------------------------
+
+
+def quickstart_programmatic():
+    """examples/quickstart.py section 2a: Select -> tumbling aggregate."""
+    plan = Plan()
+    plan.add_input("Traffic")
+    big = plan.add(
+        Select(lambda r: r["length"] > 512, name="big"), upstream=["Traffic"]
+    )
+    per_minute = plan.add(
+        WindowedAggregate(
+            TumblingWindow(10.0),
+            ["src_ip"],
+            [AggSpec("n", "count"), AggSpec("bytes", "sum", "length")],
+            name="per_minute",
+        ),
+        upstream=[big],
+    )
+    plan.mark_output(per_minute, "out")
+    return plan, {"Traffic": packet_source()}
+
+
+def quickstart_cql():
+    """examples/quickstart.py section 2b: the same query in CQL."""
+    plan = compile_query(
+        "select tb, src_ip, count(*) as n, sum(length) as bytes "
+        "from Traffic where length > 512 group by ts/10 as tb, src_ip",
+        traffic_catalog(),
+    )
+    return plan, {"Traffic": packet_source()}
+
+
+def quickstart_rows_window():
+    """examples/quickstart.py section 3: a ROWS sliding window."""
+    plan = compile_query(
+        "select count(*) as in_window from Traffic [rows 5]",
+        traffic_catalog(),
+    )
+    return plan, {"Traffic": packet_source()}
+
+
+def quickstart_window_join():
+    """examples/quickstart.py section 4: a binary window join."""
+    join = WindowJoin(
+        left_window=TimeWindow(3.0),
+        right_window=TimeWindow(3.0),
+        left_keys=["src_ip"],
+        right_keys=["src_ip"],
+    )
+    plan = Plan()
+    plan.add_input("A")
+    plan.add_input("B")
+    plan.add(join, upstream=["A", "B"])
+    plan.mark_output(join, "out")
+    a_rows = [
+        {"ts": float(i), "src_ip": i % 4, "length": 99} for i in range(80)
+    ]
+    b_rows = [{"ts": i + 0.5, "src_ip": i % 4, "other": 1} for i in range(80)]
+    return plan, {
+        "A": ListSource("A", a_rows, ts_attr="ts"),
+        "B": ListSource("B", b_rows, ts_attr="ts"),
+    }
+
+
+def network_p2p_payload():
+    """examples/network_monitoring.py: payload-based P2P volume."""
+    plan = compile_query(
+        "select sum(length) as vol from TCP "
+        "where matches_p2p_keyword(payload) = true",
+        gigascope_catalog(),
+    )
+    return plan, {"TCP": packet_source("TCP")}
+
+
+def network_rtt_join():
+    """examples/network_monitoring.py: the SYN / SYN-ACK RTT join."""
+    from repro.gigascope import TCP, to_stream_schema
+
+    schema = to_stream_schema(TCP)
+    catalog = gigascope_catalog()
+    catalog.register_stream("tcp_syn", schema)
+    catalog.register_stream("tcp_syn_ack", schema)
+    plan = compile_query(
+        "select S.ts, (A.ts - S.ts) as rtt, S.src_ip "
+        "from tcp_syn [range 2] S, tcp_syn_ack [range 2] A "
+        "where S.src_ip = A.dst_ip and S.dst_ip = A.src_ip "
+        "and S.src_port = A.dst_port and S.dst_port = A.src_port",
+        catalog,
+    )
+    syns = [p for p in PACKET_ROWS if p["flags"] == "SYN"]
+    acks = [p for p in PACKET_ROWS if p["flags"] == "SYN-ACK"]
+    return plan, {
+        "tcp_syn": ListSource("tcp_syn", syns, ts_attr="ts"),
+        "tcp_syn_ack": ListSource("tcp_syn_ack", acks, ts_attr="ts"),
+    }
+
+
+def fraud_cdr_chain():
+    """examples/fraud_detection.py idiom: intl-call volume per origin.
+
+    This is the select -> project -> aggregate CDR plan named by the
+    M2 acceptance criteria.
+    """
+    plan = linear_plan(
+        "calls",
+        [
+            Select(lambda r: r["is_intl"], name="intl"),
+            Project(
+                {
+                    "origin": "origin",
+                    "connect_ts": "connect_ts",
+                    "duration": "duration",
+                },
+                name="proj",
+            ),
+            Aggregate(
+                ["origin"],
+                [AggSpec("n", "count"), AggSpec("talk", "sum", "duration")],
+                name="per_origin",
+            ),
+        ],
+    )
+    return plan, {"calls": cdr_source()}
+
+
+def two_level_lfta_hfta():
+    """examples/three_level_architecture.py: LFTA -> HFTA aggregation."""
+    plan = linear_plan(
+        "IPv4",
+        [
+            PartialAggregate(
+                TumblingWindow(5.0),
+                ["src_ip"],
+                [AggSpec("pkts", "count"), AggSpec("vol", "sum", "length")],
+                max_groups=8,
+                name="lfta",
+            ),
+            FinalAggregate(
+                ["src_ip"],
+                [AggSpec("pkts", "count"), AggSpec("vol", "sum", "length")],
+                name="hfta",
+            ),
+        ],
+    )
+    return plan, {"IPv4": packet_source("IPv4")}
+
+
+EXAMPLE_PLANS = {
+    "quickstart_programmatic": quickstart_programmatic,
+    "quickstart_cql": quickstart_cql,
+    "quickstart_rows_window": quickstart_rows_window,
+    "quickstart_window_join": quickstart_window_join,
+    "network_p2p_payload": network_p2p_payload,
+    "network_rtt_join": network_rtt_join,
+    "fraud_cdr_chain": fraud_cdr_chain,
+    "two_level_lfta_hfta": two_level_lfta_hfta,
+}
+
+
+# --------------------------------------------------------------------------
+# generated plan grid over the seeded workloads
+# --------------------------------------------------------------------------
+
+
+def _grid_chain(workload: str, punctuated: bool, chain: str):
+    if workload == "cdr":
+        source = cdr_source_punctuated() if punctuated else cdr_source()
+        input_name = "calls"
+        ts_attr = "connect_ts"
+        select = Select(lambda r: not r["is_toll_free"], name="sel")
+        project = Project(
+            {
+                "origin": "origin",
+                "connect_ts": "connect_ts",
+                "duration": "duration",
+                "is_intl": "is_intl",
+            },
+            name="proj",
+        )
+        aggregate = WindowedAggregate(
+            TumblingWindow(8.0),
+            ["origin"],
+            [AggSpec("n", "count"), AggSpec("talk", "sum", "duration")],
+            ts_attr=ts_attr,
+            name="agg",
+        )
+        distinct = DistinctProject(["origin"], name="dst")
+    else:
+        source = packet_source_punctuated() if punctuated else packet_source()
+        input_name = "Traffic"
+        ts_attr = "ts"
+        select = Select(lambda r: r["length"] > 256, name="sel")
+        project = Project(
+            {
+                "ts": "ts",
+                "src_ip": "src_ip",
+                "length": "length",
+                "kb": lambda r: r["length"] / 1024.0,
+            },
+            name="proj",
+        )
+        aggregate = WindowedAggregate(
+            TumblingWindow(2.0),
+            ["src_ip"],
+            [AggSpec("n", "count"), AggSpec("vol", "sum", "length")],
+            name="agg",
+        )
+        distinct = DistinctProject(["src_ip"], name="dst")
+
+    chains = {
+        "select": [select],
+        "select_project": [select, project],
+        "select_project_aggregate": [select, project, aggregate],
+        "heartbeat_aggregate": [
+            Heartbeat(4.0, attr=ts_attr),
+            Aggregate(
+                [(ts_attr, lambda r, a=ts_attr: int(r[a] // 4))],
+                [AggSpec("n", "count")],
+                name="punct_agg",
+            ),
+        ],
+        "extend_distinct": [
+            Extend({"bucket": lambda r, a=ts_attr: int(r[a] // 5)}),
+            distinct,
+        ],
+    }
+    return linear_plan(input_name, chains[chain]), {input_name: source}
+
+
+def grid_union():
+    plan = Plan()
+    plan.add_input("A")
+    plan.add_input("B")
+    union = plan.add(Union(), upstream=["A", "B"])
+    agg = plan.add(
+        WindowedAggregate(
+            TumblingWindow(3.0),
+            ["src_ip"],
+            [AggSpec("n", "count")],
+            name="agg",
+        ),
+        upstream=[union],
+    )
+    plan.mark_output(agg, "out")
+    half = N_PACKETS // 2
+    return plan, {
+        "A": ListSource("A", PACKET_ROWS[:half], ts_attr="ts"),
+        "B": ListSource("B", PACKET_ROWS[half:], ts_attr="ts"),
+    }
+
+
+def grid_ordered_merge():
+    plan = Plan()
+    plan.add_input("A")
+    plan.add_input("B")
+    merge = plan.add(OrderedMerge(), upstream=["A", "B"])
+    plan.mark_output(merge, "out")
+    evens = [p for i, p in enumerate(PACKET_ROWS) if i % 2 == 0]
+    odds = [p for i, p in enumerate(PACKET_ROWS) if i % 2 == 1]
+    return plan, {
+        "A": ListSource("A", _punctuated(evens, "ts", every=30)),
+        "B": ListSource("B", _punctuated(odds, "ts", every=45)),
+    }
+
+
+def grid_window_join_punctuated():
+    join = WindowJoin(
+        left_window=TimeWindow(1.5),
+        right_window=TimeWindow(1.5),
+        left_keys=["src_ip"],
+        right_keys=["src_ip"],
+        left_strategy="hash",
+        right_strategy="nl",
+    )
+    plan = Plan()
+    plan.add_input("A")
+    plan.add_input("B")
+    plan.add(join, upstream=["A", "B"])
+    plan.mark_output(join, "out")
+    half = N_PACKETS // 2
+    return plan, {
+        "A": ListSource("A", _punctuated(PACKET_ROWS[:half], "ts", every=25)),
+        "B": ListSource("B", _punctuated(PACKET_ROWS[half:], "ts", every=35)),
+    }
+
+
+GRID_PLANS = {}
+for _workload in ("cdr", "netflow"):
+    for _punct in (False, True):
+        for _chain in (
+            "select",
+            "select_project",
+            "select_project_aggregate",
+            "heartbeat_aggregate",
+            "extend_distinct",
+        ):
+            _key = f"{_workload}_{_chain}" + ("_punctuated" if _punct else "")
+            GRID_PLANS[_key] = (
+                lambda w=_workload, p=_punct, c=_chain: _grid_chain(w, p, c)
+            )
+GRID_PLANS["union_aggregate"] = grid_union
+GRID_PLANS["ordered_merge_punctuated"] = grid_ordered_merge
+GRID_PLANS["window_join_asymmetric_punctuated"] = grid_window_join_punctuated
+
+ALL_PLANS = {**EXAMPLE_PLANS, **GRID_PLANS}
+
+
+# --------------------------------------------------------------------------
+# the differential assertion
+# --------------------------------------------------------------------------
+
+
+def _assert_identical_outputs(name, reference, candidate, label):
+    assert set(reference.outputs) == set(candidate.outputs)
+    for out_name, ref_elements in reference.outputs.items():
+        got = candidate.outputs[out_name]
+        assert len(got) == len(ref_elements), (
+            f"{name}[{label}] output {out_name!r}: "
+            f"{len(got)} elements vs baseline {len(ref_elements)}"
+        )
+        for i, (want, have) in enumerate(zip(ref_elements, got)):
+            assert type(want) is type(have), (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{type(have).__name__} vs baseline {type(want).__name__}"
+            )
+            assert want == have, (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{have!r} vs baseline {want!r}"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_batch_outputs_identical(name):
+    build = ALL_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=1)
+    assert baseline.outputs, "plan must produce at least one output stream"
+
+    # The default tuple-at-a-time path must agree with batch_size=1 ...
+    default = run_plan(plan, sources)
+    _assert_identical_outputs(name, baseline, default, "tuple-at-a-time")
+
+    # ... and so must every micro-batch size.
+    for batch_size in BATCH_SIZES:
+        result = run_plan(plan, sources, batch_size=batch_size)
+        _assert_identical_outputs(
+            name, baseline, result, f"batch_size={batch_size}"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_batch_runs_produce_output(name):
+    """Guard against plans that trivially emit nothing (a vacuous diff)."""
+    plan, sources = ALL_PLANS[name]()
+    result = run_plan(plan, sources, batch_size=64)
+    total = sum(len(elements) for elements in result.outputs.values())
+    assert total > 0, f"{name} emitted nothing; the differential is vacuous"
+
+
+def test_batch_metrics_count_batches():
+    plan, sources = fraud_cdr_chain()
+    result = run_plan(plan, sources, batch_size=64)
+    m = result.metrics.for_operator("intl")
+    assert m.batches_in > 0
+    assert m.records_in == N_CDR
+    assert m.avg_batch_size == pytest.approx(N_CDR / m.batches_in)
+    # Tuple-at-a-time runs do not count batches.
+    tuple_result = run_plan(plan, sources)
+    assert tuple_result.metrics.for_operator("intl").batches_in == 0
+
+
+def test_feed_batch_matches_feed():
+    plan, sources = fraud_cdr_chain()
+    elements = sources["calls"].collect()
+
+    engine = Engine(plan)
+    engine.start()
+    fed = []
+    for el in elements:
+        fed.extend(engine.feed("calls", el))
+    fed_result = engine.finish()
+
+    engine_b = Engine(plan, batch_size=32)
+    engine_b.start()
+    fed_b = []
+    for i in range(0, len(elements), 32):
+        fed_b.extend(engine_b.feed_batch("calls", elements[i : i + 32]))
+    fed_b_result = engine_b.finish()
+
+    assert fed == fed_b
+    assert fed_result.outputs == fed_b_result.outputs

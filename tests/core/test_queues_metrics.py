@@ -1,5 +1,8 @@
 """Tests for inter-operator queues and the metrics registry."""
 
+import json
+import math
+
 from repro.core import OpQueue, Punctuation, Record
 from repro.core.metrics import MetricsRegistry, OperatorMetrics, TimeSeries
 
@@ -65,8 +68,19 @@ class TestOperatorMetrics:
         m = OperatorMetrics(records_in=10, records_out=3)
         assert m.observed_selectivity == 0.3
 
-    def test_observed_selectivity_no_input(self):
-        assert OperatorMetrics().observed_selectivity == 0.0
+    def test_observed_selectivity_no_input_is_nan(self):
+        # Regression: a never-fed operator must be distinguishable from
+        # a filter that drops every record (selectivity 0.0).
+        sel = OperatorMetrics().observed_selectivity
+        assert math.isnan(sel)
+        assert OperatorMetrics(records_in=5).observed_selectivity == 0.0
+
+    def test_avg_batch_size(self):
+        m = OperatorMetrics(records_in=10, punctuations_in=2, batches_in=4)
+        assert m.avg_batch_size == 3.0
+
+    def test_avg_batch_size_no_batches_is_nan(self):
+        assert math.isnan(OperatorMetrics(records_in=10).avg_batch_size)
 
 
 class TestTimeSeries:
@@ -105,3 +119,12 @@ class TestMetricsRegistry:
         m.records_out = 2
         summary = reg.summary()
         assert summary["a"]["observed_selectivity"] == 0.5
+
+    def test_summary_no_input_operator_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.for_operator("never_fed")
+        summary = reg.summary()
+        assert summary["never_fed"]["observed_selectivity"] is None
+        assert summary["never_fed"]["avg_batch_size"] is None
+        # NaN would violate strict JSON; None round-trips.
+        assert json.loads(json.dumps(summary, allow_nan=False))

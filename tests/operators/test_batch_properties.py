@@ -1,0 +1,286 @@
+"""Property-based certification of per-operator ``process_batch``.
+
+For every operator that overrides the batched path, hypothesis drives
+random element/punctuation interleavings through two fresh instances:
+one fed element-by-element via ``process``, one fed the same sequence
+cut into arbitrary micro-batches (including empty and punctuation-only
+batches) via ``process_batch``.  The emitted outputs — and the state
+left behind, observed through ``flush`` — must be identical.
+
+Aggregate states inside partial rows (`_states`) are compared by type
+and result value, since two pipelines necessarily hold distinct state
+objects.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregates.functions import AggregateFunction
+from repro.core.tuples import Punctuation, Record
+from repro.operators import AggSpec, Aggregate, Select, WindowJoin, WindowedAggregate
+from repro.operators.base import CompiledChain
+from repro.operators.map import Extend, MapOp, Rename
+from repro.operators.partial_aggregate import FinalAggregate, PartialAggregate
+from repro.operators.project import DistinctProject, Project
+from repro.operators.punctuate import Heartbeat
+from repro.operators.union import OrderedMerge, Union
+from repro.windows import RowWindow, TimeWindow, TumblingWindow
+
+
+# --------------------------------------------------------------------------
+# canonical form (aggregate states are compared by value, not identity)
+# --------------------------------------------------------------------------
+
+
+def _canon_value(value):
+    if isinstance(value, AggregateFunction):
+        return (type(value).__name__, value.result())
+    if isinstance(value, list):
+        return tuple(_canon_value(v) for v in value)
+    return value
+
+
+def canon(element):
+    if isinstance(element, Punctuation):
+        return ("punct", element.pattern, element.ts, element.seq)
+    return (
+        "record",
+        tuple(sorted((k, _canon_value(v)) for k, v in element.values.items())),
+        element.ts,
+        element.seq,
+    )
+
+
+def canon_list(elements):
+    return [canon(el) for el in elements]
+
+
+# --------------------------------------------------------------------------
+# element-sequence strategies
+# --------------------------------------------------------------------------
+
+
+@st.composite
+def element_sequences(draw, min_size=0, max_size=30):
+    """Ts-ordered records with interleaved punctuations.
+
+    Timestamps advance by small integer steps so float comparisons are
+    exact; punctuations are either sound time bounds at the current
+    watermark or key-pattern assertions (exercising group-close and
+    distinct-purge paths).
+    """
+    n = draw(st.integers(min_size, max_size))
+    elements = []
+    ts = 0.0
+    seq = 0
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(
+                ["record", "record", "record", "punct_ts", "punct_key"]
+            )
+        )
+        if kind == "record":
+            ts += draw(st.integers(0, 3))
+            elements.append(
+                Record(
+                    {
+                        "ts": ts,
+                        "k": draw(st.integers(0, 3)),
+                        "v": draw(st.integers(-5, 5)),
+                    },
+                    ts=ts,
+                    seq=seq,
+                )
+            )
+            seq += 1
+        elif kind == "punct_ts":
+            elements.append(Punctuation.time_bound("ts", ts, ts=ts))
+        else:
+            elements.append(
+                Punctuation.of(
+                    {"k": draw(st.integers(0, 3)), "ts": (None, ts)}, ts=ts
+                )
+            )
+    return elements
+
+
+@st.composite
+def chunked(draw, elements):
+    """Cut ``elements`` into consecutive batches, allowing empty ones."""
+    batches = []
+    i = 0
+    while i < len(elements):
+        if draw(st.booleans()) and draw(st.booleans()):
+            batches.append([])  # empty batches must be harmless
+        size = draw(st.integers(1, max(1, len(elements) - i)))
+        batches.append(elements[i : i + size])
+        i += size
+    if draw(st.booleans()):
+        batches.append([])
+    return batches
+
+
+# --------------------------------------------------------------------------
+# operator factories (fresh state per draw)
+# --------------------------------------------------------------------------
+
+
+def _two_level_chain():
+    specs = lambda: [AggSpec("n", "count"), AggSpec("s", "sum", "v")]
+    return CompiledChain(
+        [
+            PartialAggregate(
+                TumblingWindow(4.0), ["k"], specs(), max_groups=2, name="lfta"
+            ),
+            FinalAggregate(["k"], specs(), name="hfta"),
+        ]
+    )
+
+
+UNARY_FACTORIES = {
+    "select": lambda: Select(lambda r: r["v"] > 0),
+    "project": lambda: Project(
+        {"ts": "ts", "k": "k", "double": lambda r: r["v"] * 2}
+    ),
+    "distinct_project": lambda: DistinctProject(["k"]),
+    "map": lambda: MapOp(
+        lambda r: None if r["v"] == 0 else {"k": r["k"], "w": r["v"] + 1}
+    ),
+    "rename": lambda: Rename({"v": "val"}),
+    "extend": lambda: Extend({"bucket": lambda r: r["ts"] // 2}),
+    "aggregate": lambda: Aggregate(
+        ["k"], [AggSpec("n", "count"), AggSpec("s", "sum", "v")]
+    ),
+    "tumbling_aggregate": lambda: WindowedAggregate(
+        TumblingWindow(4.0), ["k"], [AggSpec("n", "count")]
+    ),
+    "sliding_aggregate": lambda: WindowedAggregate(
+        TimeWindow(3.0), ["k"], [AggSpec("n", "count")]
+    ),
+    "partial_aggregate": lambda: PartialAggregate(
+        TumblingWindow(4.0),
+        ["k"],
+        [AggSpec("n", "count"), AggSpec("s", "sum", "v")],
+        max_groups=2,
+    ),
+    "two_level_chain": _two_level_chain,
+    "compiled_chain": lambda: CompiledChain(
+        [
+            Select(lambda r: r["v"] != 0),
+            Extend({"w": lambda r: r["v"] * 3}),
+            Aggregate(["k"], [AggSpec("n", "count")]),
+        ]
+    ),
+    "heartbeat": lambda: Heartbeat(2.0),
+}
+
+BINARY_FACTORIES = {
+    "union": lambda: Union(),
+    "window_join_hash_nl": lambda: WindowJoin(
+        TimeWindow(2.0),
+        TimeWindow(2.0),
+        ["k"],
+        ["k"],
+        left_strategy="hash",
+        right_strategy="nl",
+    ),
+    "window_join_rows": lambda: WindowJoin(
+        RowWindow(3), TimeWindow(2.0), ["k"], ["k"]
+    ),
+    "ordered_merge": lambda: OrderedMerge(),
+}
+
+
+# --------------------------------------------------------------------------
+# properties
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(UNARY_FACTORIES), ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_unary_batch_equals_tuple(name, data):
+    factory = UNARY_FACTORIES[name]
+    elements = data.draw(element_sequences())
+    batches = data.draw(chunked(elements))
+
+    tuple_op = factory()
+    expected: list = []
+    for el in elements:
+        expected.extend(tuple_op.process(el, 0))
+
+    batch_op = factory()
+    got: list = []
+    for batch in batches:
+        got.extend(batch_op.process_batch(batch, 0))
+
+    assert canon_list(got) == canon_list(expected)
+    # Residual operator state must match too, observed via flush.
+    assert canon_list(batch_op.flush()) == canon_list(tuple_op.flush())
+
+
+@pytest.mark.parametrize("name", sorted(BINARY_FACTORIES), ids=str)
+@settings(max_examples=60, deadline=None)
+@given(data=st.data())
+def test_binary_batch_equals_tuple(name, data):
+    factory = BINARY_FACTORIES[name]
+    elements = data.draw(element_sequences())
+    ports = [data.draw(st.integers(0, 1)) for _ in elements]
+
+    tuple_op = factory()
+    expected: list = []
+    for el, port in zip(elements, ports):
+        expected.extend(tuple_op.process(el, port))
+
+    # Batch per run of consecutive same-port elements — exactly how the
+    # engine forms micro-batches for a binary operator's inputs.
+    batch_op = factory()
+    got: list = []
+    run: list = []
+    run_port: int | None = None
+    for el, port in zip(elements, ports):
+        if run and port != run_port:
+            got.extend(batch_op.process_batch(run, run_port))
+            run = []
+        run_port = port
+        run.append(el)
+    if run:
+        got.extend(batch_op.process_batch(run, run_port))
+
+    assert canon_list(got) == canon_list(expected)
+    assert canon_list(batch_op.flush()) == canon_list(tuple_op.flush())
+
+
+@pytest.mark.parametrize(
+    "name", sorted({**UNARY_FACTORIES, **BINARY_FACTORIES}), ids=str
+)
+def test_empty_batch_is_noop(name):
+    factory = {**UNARY_FACTORIES, **BINARY_FACTORIES}[name]
+    op = factory()
+    assert op.process_batch([], 0) == []
+    assert op.flush() == factory().flush()
+
+
+@pytest.mark.parametrize("name", sorted(UNARY_FACTORIES), ids=str)
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_punctuation_only_batches(name, data):
+    factory = UNARY_FACTORIES[name]
+    n = data.draw(st.integers(1, 6))
+    puncts = [
+        Punctuation.time_bound("ts", float(t), ts=float(t)) for t in range(n)
+    ]
+
+    tuple_op = factory()
+    expected: list = []
+    for p in puncts:
+        expected.extend(tuple_op.process(p, 0))
+
+    batch_op = factory()
+    got = batch_op.process_batch(puncts, 0)
+
+    assert canon_list(got) == canon_list(expected)
+    assert canon_list(batch_op.flush()) == canon_list(tuple_op.flush())

@@ -4,6 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.metrics import OperatorMetrics
 from repro.errors import PlanError
 from repro.optimizer import (
     RateOperator,
@@ -12,6 +13,7 @@ from repro.optimizer import (
     chain_rate_profile,
     join_output_rate,
     least_cost_order,
+    rate_operator_from_metrics,
 )
 
 
@@ -120,3 +122,32 @@ def test_best_rate_order_is_optimal_property(specs, input_rate):
         for perm in itertools.permutations(ops)
     )
     assert best == pytest.approx(brute)
+
+
+class TestRateOperatorFromMetrics:
+    """Bridging measured engine counters into the rate model."""
+
+    def test_observed_selectivity_is_used(self):
+        m = OperatorMetrics(records_in=100, records_out=25)
+        op = rate_operator_from_metrics("sel", m, capacity=1e4)
+        assert op.selectivity == 0.25
+        assert op.capacity == 1e4
+
+    def test_no_input_falls_back_to_prior(self):
+        # Regression for the observed_selectivity division semantics: a
+        # never-fed operator (selectivity nan) must not be modeled as a
+        # drop-everything filter, which would win every rate ordering.
+        m = OperatorMetrics()
+        op = rate_operator_from_metrics(
+            "never_fed", m, capacity=1e4, prior_selectivity=0.8
+        )
+        assert op.selectivity == 0.8
+
+    def test_true_zero_selectivity_is_preserved(self):
+        # A filter that really dropped all 100 records stays at 0.0 and
+        # is *not* replaced by the prior.
+        m = OperatorMetrics(records_in=100, records_out=0)
+        op = rate_operator_from_metrics(
+            "drop_all", m, capacity=1e4, prior_selectivity=0.8
+        )
+        assert op.selectivity == 0.0

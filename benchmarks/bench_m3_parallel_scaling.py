@@ -1,0 +1,237 @@
+"""M3 — Shared-nothing partition-parallel scaling (wall-clock).
+
+Measures tuples/sec of :class:`repro.parallel.ShardedEngine` at
+``n_shards`` in {1, 2, 4, 8} on the thread and process backends, over
+two round-robin-partitioned workloads:
+
+* **CDR** — the select → project → blocking-aggregate chain (the M2
+  acceptance plan); round-robin forces the *partial* strategy:
+  shard-local ``GroupPartial`` push-down + coordinator merge, so the
+  process backend ships only per-group aggregate states back through
+  the pipe;
+* **netflow** — select → project → tumbling aggregation; round-robin
+  again selects the partial strategy, with bucket-keyed shard states.
+
+The interesting comparison is thread vs process: shard work is pure
+Python, so the thread backend is GIL-serialized (its curve stays flat —
+it exists for its zero setup cost and for exactness testing), while the
+process backend forks one worker per shard and scales with physical
+cores until the coordinator's serial section (partition + merge,
+Amdahl) dominates.  On a single-core host the process curve is flat
+too — the scaling assertion is therefore gated on available CPUs, and
+``BENCH_m3.json`` records the CPU count next to the numbers.
+
+Output *correctness* of every strategy/backend is the job of
+``tests/parallel/test_sharded_equivalence.py``; this file only times.
+
+Run as a script to record ``BENCH_m3.json`` (add ``--smoke`` for the
+tiny CI variant that exercises both backends end-to-end in seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ListSource, run_plan
+from repro.parallel import RoundRobinPartition, ShardedEngine
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_m2_batch_throughput import (  # noqa: E402
+    _cdr_source,
+    _netflow_source,
+    cdr_plan,
+    netflow_plan,
+)
+
+SHARD_COUNTS = [1, 2, 4, 8]
+BACKENDS = ["thread", "process"]
+N = 60000
+
+WORKLOADS = {
+    "cdr": (cdr_plan, _cdr_source),
+    "netflow": (netflow_plan, _netflow_source),
+}
+
+
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def measure_sharded(
+    plan,
+    source: ListSource,
+    n_shards: int,
+    backend: str,
+    repeats: int = 3,
+) -> float:
+    """Best-of-``repeats`` tuples/sec through the sharded engine."""
+    engine = ShardedEngine(
+        plan, RoundRobinPartition(n_shards), backend=backend
+    )
+    n = len(source)
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        engine.run([source])
+        best = min(best, time.perf_counter() - t0)
+    return n / best
+
+
+def parallel_scaling(
+    n: int = N,
+    repeats: int = 3,
+    shard_counts=None,
+    backends=None,
+) -> dict:
+    """Tuples/sec per workload per backend per shard count (M3 table)."""
+    shard_counts = shard_counts or SHARD_COUNTS
+    backends = backends or BACKENDS
+    results: dict = {}
+    for name, (make_plan, make_source) in WORKLOADS.items():
+        source = make_source(n)
+        plan = make_plan()
+        per_backend: dict = {}
+        for backend in backends:
+            per_backend[backend] = {
+                str(s): round(
+                    measure_sharded(plan, source, s, backend, repeats), 1
+                )
+                for s in shard_counts
+            }
+        results[name] = per_backend
+    return results
+
+
+# -- pytest entry points ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cdr_source():
+    return _cdr_source(N)
+
+
+@pytest.fixture(scope="module")
+def netflow_source():
+    return _netflow_source(N)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("n_shards", [1, 4])
+def test_m3_cdr_sharded_throughput(benchmark, cdr_source, n_shards, backend):
+    plan = cdr_plan()
+    engine = ShardedEngine(
+        plan, RoundRobinPartition(n_shards), backend=backend
+    )
+    result = benchmark(lambda: engine.run([cdr_source]))
+    assert result.records()
+
+
+def test_m3_parallel_scaling_report(report):
+    """The M3 table: tuples/sec per backend per shard count."""
+    emit, table = report
+    cpus = available_cpus()
+    scaling = parallel_scaling(n=N, repeats=3)
+    rows = []
+    for workload, per_backend in scaling.items():
+        for backend, by_shards in per_backend.items():
+            rows.append(
+                [workload, backend]
+                + [by_shards[str(s)] for s in SHARD_COUNTS]
+                + [round(by_shards["4"] / by_shards["1"], 2)]
+            )
+    table(
+        ["workload", "backend"]
+        + [f"shards={s} tup/s" for s in SHARD_COUNTS]
+        + ["4-shard speedup"],
+        rows,
+        title=f"M3: partition-parallel scaling ({cpus} CPUs visible)",
+    )
+    emit(
+        "(differential suite tests/parallel/test_sharded_equivalence.py "
+        "proves sharded outputs identical to a single engine)"
+    )
+    # Acceptance: >= 2x at 4 process-backed shards vs 1 shard on the CDR
+    # partial-aggregate plan.  Process parallelism needs processors: the
+    # check is meaningless below 4 cores (the curve is necessarily flat
+    # when all forks timeshare one core), so it is gated, not faked.
+    speedup = scaling["cdr"]["process"]["4"] / scaling["cdr"]["process"]["1"]
+    if cpus < 4:
+        pytest.skip(
+            f"only {cpus} CPU(s) visible: 4-shard process speedup was "
+            f"{speedup:.2f}x; >= 2x requires >= 4 cores"
+        )
+    assert speedup >= 2.0, (
+        f"4 process shards are only {speedup:.2f}x one shard on the CDR "
+        f"partial-aggregate plan (expected >= 2x on {cpus} cores)"
+    )
+
+
+# -- baseline recording ----------------------------------------------------
+
+
+def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
+    """Write the M3 scaling baseline for future PRs to diff against."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_m3.json"
+    single = {}
+    for name, (make_plan, make_source) in WORKLOADS.items():
+        source = make_source(n)
+        plan = make_plan()
+        t0 = time.perf_counter()
+        run_plan(plan, [source], batch_size="auto")
+        single[name] = round(n / (time.perf_counter() - t0), 1)
+    baseline = {
+        "n_tuples": n,
+        "cpus": available_cpus(),
+        "shard_counts": SHARD_COUNTS,
+        "single_engine_tuples_per_sec": single,
+        "m3_tuples_per_sec": parallel_scaling(n=n, repeats=3),
+    }
+    scaling = baseline["m3_tuples_per_sec"]
+    baseline["m3_speedup_4_shards_vs_1"] = {
+        w: {b: round(by["4"] / by["1"], 2) for b, by in per.items()}
+        for w, per in scaling.items()
+    }
+    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def smoke(n: int = 2000) -> dict:
+    """Tiny CI variant: both backends, shards {1, 2}, plus an output
+    equality spot-check against the single engine."""
+    results = parallel_scaling(
+        n=n, repeats=1, shard_counts=[1, 2], backends=BACKENDS
+    )
+    for name, (make_plan, make_source) in WORKLOADS.items():
+        source = make_source(n)
+        plan = make_plan()
+        want = run_plan(plan, [source]).outputs
+        for backend in BACKENDS:
+            engine = ShardedEngine(
+                plan, RoundRobinPartition(2), backend=backend
+            )
+            got = engine.run([source]).outputs
+            if got != want:
+                raise AssertionError(
+                    f"smoke: {name}/{backend} sharded output differs "
+                    f"from single engine"
+                )
+    return results
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        print(json.dumps(smoke(), indent=2))
+        print("smoke ok: both backends match the single engine")
+    else:
+        recorded = record_baseline()
+        print(json.dumps(recorded, indent=2))

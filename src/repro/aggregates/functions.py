@@ -81,22 +81,82 @@ class Count(AggregateFunction):
         return self.n
 
 
+class _ExactSum:
+    """Order-independent numeric accumulator.
+
+    Exact types (int, Decimal, Fraction) accumulate directly.  Floats
+    are kept as a Shewchuk expansion — a list of non-overlapping
+    partials whose exact real sum equals the exact sum of every value
+    added — so the rounded result does not depend on addition order.
+    That property is what lets partial aggregation (per-shard or
+    LFTA-level sub-sums, merged later) produce *bit-identical* results
+    to a single accumulator fed in arrival order; with naive ``+=`` the
+    two differ in the last ulp.  Non-finite floats degrade to naive
+    accumulation, matching ``+=`` propagation of inf/nan.
+    """
+
+    __slots__ = ("exact", "partials")
+
+    def __init__(self) -> None:
+        self.exact: Any = 0
+        self.partials: list[float] = []
+
+    def add(self, value: Any) -> None:
+        if isinstance(value, float) and math.isfinite(value):
+            self._grow(value)
+        else:
+            self.exact += value
+
+    def merge(self, other: "_ExactSum") -> None:
+        self.exact += other.exact
+        for p in other.partials:
+            self._grow(p)
+
+    def _grow(self, x: float) -> None:
+        partials = self.partials
+        i = 0
+        for y in partials:
+            if abs(x) < abs(y):
+                x, y = y, x
+            hi = x + y
+            lo = y - (hi - x)
+            if lo:
+                partials[i] = lo
+                i += 1
+            x = hi
+        partials[i:] = [x]
+
+    def value(self) -> Any:
+        if not self.partials:
+            return self.exact
+        return self.exact + math.fsum(self.partials)
+
+
 class Sum(AggregateFunction):
-    """Numeric sum (distributive)."""
+    """Numeric sum (distributive).
+
+    Uses exact float summation so that merging partial sums yields the
+    same value as adding in arrival order — sum is then distributive
+    over floats not just mathematically but bit-for-bit.
+    """
 
     kind = "distributive"
 
     def __init__(self) -> None:
-        self.total = 0
+        self._sum = _ExactSum()
+
+    @property
+    def total(self) -> Any:
+        return self._sum.value()
 
     def add(self, value: Any) -> None:
-        self.total += value
+        self._sum.add(value)
 
     def merge(self, other: "Sum") -> None:
-        self.total += other.total
+        self._sum.merge(other._sum)
 
     def result(self) -> Any:
-        return self.total
+        return self._sum.value()
 
 
 class Min(AggregateFunction):
@@ -145,21 +205,21 @@ class Avg(AggregateFunction):
     kind = "algebraic"
 
     def __init__(self) -> None:
-        self.total = 0.0
+        self._sum = _ExactSum()
         self.n = 0
 
     def add(self, value: Any) -> None:
-        self.total += value
+        self._sum.add(value)
         self.n += 1
 
     def merge(self, other: "Avg") -> None:
-        self.total += other.total
+        self._sum.merge(other._sum)
         self.n += other.n
 
     def result(self) -> float | None:
         if self.n == 0:
             return None
-        return self.total / self.n
+        return self._sum.value() / self.n
 
 
 class StdDev(AggregateFunction):
@@ -169,24 +229,24 @@ class StdDev(AggregateFunction):
 
     def __init__(self) -> None:
         self.n = 0
-        self.total = 0.0
-        self.total_sq = 0.0
+        self._sum = _ExactSum()
+        self._sum_sq = _ExactSum()
 
     def add(self, value: Any) -> None:
         self.n += 1
-        self.total += value
-        self.total_sq += value * value
+        self._sum.add(value)
+        self._sum_sq.add(value * value)
 
     def merge(self, other: "StdDev") -> None:
         self.n += other.n
-        self.total += other.total
-        self.total_sq += other.total_sq
+        self._sum.merge(other._sum)
+        self._sum_sq.merge(other._sum_sq)
 
     def result(self) -> float | None:
         if self.n == 0:
             return None
-        mean = self.total / self.n
-        var = max(self.total_sq / self.n - mean * mean, 0.0)
+        mean = self._sum.value() / self.n
+        var = max(self._sum_sq.value() / self.n - mean * mean, 0.0)
         return math.sqrt(var)
 
 

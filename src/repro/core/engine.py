@@ -19,7 +19,7 @@ from repro.core.stream import Source, merge_sources
 from repro.core.tuples import Punctuation, Record
 from repro.errors import PlanError
 
-__all__ = ["RunResult", "Engine", "run_plan"]
+__all__ = ["RunResult", "Engine", "run_plan", "resolve_sources"]
 
 Element = Record | Punctuation
 
@@ -65,13 +65,31 @@ class Engine:
     closes the current chunk, so state flushes triggered by
     punctuations happen at exactly the same stream positions as in
     tuple-at-a-time mode; outputs are element-for-element identical
-    for every batch size.
+    for every batch size.  The string ``"auto"`` selects
+    :data:`DEFAULT_BATCH_SIZE`.
     """
 
-    def __init__(self, plan: Plan, batch_size: int | None = None) -> None:
+    #: Batch size selected by ``batch_size="auto"``.  Chosen from the M2
+    #: scaling table (``BENCH_m1_m2.json``): throughput rises steeply up
+    #: to ~256 and then flattens (CDR: 1.197M -> 1.213M t/s at 4096) or
+    #: regresses (netflow: 312k t/s at 256 vs 212k at 4096 — huge chunks
+    #: mostly buy larger intermediate element lists, worse locality, and
+    #: bigger open-state tables between punctuation-driven flushes, not
+    #: further dispatch savings).  256 is the knee on both workloads.
+    DEFAULT_BATCH_SIZE = 256
+
+    def __init__(self, plan: Plan, batch_size: int | str | None = None) -> None:
         plan.validate()
-        if batch_size is not None and batch_size < 1:
-            raise PlanError(f"batch_size must be >= 1; got {batch_size}")
+        if batch_size == "auto":
+            batch_size = self.DEFAULT_BATCH_SIZE
+        if batch_size is not None:
+            if not isinstance(batch_size, int):
+                raise PlanError(
+                    f"batch_size must be an int, None, or 'auto'; "
+                    f"got {batch_size!r}"
+                )
+            if batch_size < 1:
+                raise PlanError(f"batch_size must be >= 1; got {batch_size}")
         self.plan = plan
         self.batch_size = batch_size
         self.metrics = MetricsRegistry()
@@ -131,8 +149,14 @@ class Engine:
     # -- incremental interface ------------------------------------------------
 
     def start(self) -> None:
-        """Reset state and begin accepting :meth:`feed` calls."""
+        """Reset state and begin accepting :meth:`feed` calls.
+
+        Metrics are reset along with operator state: each run reports
+        its own counters, so back-to-back :meth:`run` calls on one
+        engine instance do not double-count.
+        """
         self.plan.reset()
+        self.metrics = MetricsRegistry()
         self._outputs = {name: [] for name in self.plan.outputs}
 
     def feed(self, input_name: str, element: Element) -> list[Element]:
@@ -190,17 +214,7 @@ class Engine:
     def _resolve_sources(
         self, sources: Sequence[Source] | Mapping[str, Source]
     ) -> dict[str, Source]:
-        if isinstance(sources, Mapping):
-            by_name = dict(sources)
-        else:
-            by_name = {src.name: src for src in sources}
-        missing = set(self.plan.inputs) - set(by_name)
-        if missing:
-            raise PlanError(f"no source provided for inputs {sorted(missing)}")
-        extra = set(by_name) - set(self.plan.inputs)
-        if extra:
-            raise PlanError(f"sources {sorted(extra)} match no plan input")
-        return by_name
+        return resolve_sources(self.plan, sources)
 
     def _dispatch(
         self,
@@ -293,14 +307,32 @@ class Engine:
                     self._propagate(operator, produced, outputs)
 
 
+def resolve_sources(
+    plan: Plan, sources: Sequence[Source] | Mapping[str, Source]
+) -> dict[str, Source]:
+    """Match ``sources`` to ``plan``'s declared inputs, by name."""
+    if isinstance(sources, Mapping):
+        by_name = dict(sources)
+    else:
+        by_name = {src.name: src for src in sources}
+    missing = set(plan.inputs) - set(by_name)
+    if missing:
+        raise PlanError(f"no source provided for inputs {sorted(missing)}")
+    extra = set(by_name) - set(plan.inputs)
+    if extra:
+        raise PlanError(f"sources {sorted(extra)} match no plan input")
+    return by_name
+
+
 def run_plan(
     plan: Plan,
     sources: Sequence[Source] | Mapping[str, Source],
-    batch_size: int | None = None,
+    batch_size: int | str | None = None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`Engine` and run it.
 
     ``batch_size=None`` executes tuple-at-a-time; an integer enables the
-    micro-batched path (identical outputs, amortized dispatch).
+    micro-batched path (identical outputs, amortized dispatch);
+    ``"auto"`` selects :data:`Engine.DEFAULT_BATCH_SIZE`.
     """
     return Engine(plan, batch_size=batch_size).run(sources)

@@ -41,7 +41,13 @@ from repro.errors import SemanticError
 from repro.gigascope.two_level import TwoLevelAggregation
 from repro.windows.spec import TumblingWindow
 
-__all__ = ["Decomposition", "decompose"]
+__all__ = [
+    "Decomposition",
+    "decompose",
+    "AggregateSplit",
+    "linearize_plan",
+    "split_chain_aggregate",
+]
 
 
 def _has_udf(expr: Expr) -> bool:
@@ -194,3 +200,123 @@ def _is_star(call: FuncCall) -> bool:
     from repro.cql.ast import Star
 
     return not call.args or isinstance(call.args[0], Star)
+
+
+# ---------------------------------------------------------------------------
+# Plan-level decomposition (reused by the partition-parallel engine)
+# ---------------------------------------------------------------------------
+#
+# The GSQL decomposer above splits a *query text* into LFTA + HFTA; the
+# helpers below apply the same split to an already-built operator plan:
+# a linear chain ending in an aggregate becomes a shard-local partial
+# aggregate (the LFTA role, one per shard) plus a coordinator-side final
+# merge (the HFTA role).  :mod:`repro.parallel` drives this to derive
+# per-shard plans.
+
+
+def linearize_plan(plan) -> list | None:
+    """Return the operator chain of a single-input, single-output,
+    linear unary plan, or ``None`` when the plan has any other shape
+    (multiple inputs/outputs, fan-out, or multi-port operators)."""
+    if len(plan.inputs) != 1 or len(plan.outputs) != 1:
+        return None
+    consumers = next(iter(plan.inputs.values()))
+    if len(consumers) != 1:
+        return None
+    op, port = consumers[0]
+    if port != 0 or op.arity != 1:
+        return None
+    chain = [op]
+    while True:
+        succ = plan.successors(op)
+        if not succ:
+            break
+        if len(succ) != 1:
+            return None
+        op, port = succ[0]
+        if port != 0 or op.arity != 1:
+            return None
+        chain.append(op)
+    output_op = next(iter(plan.outputs.values()))
+    if output_op is not chain[-1]:
+        return None
+    if len(chain) != len(plan.operators):
+        return None
+    return chain
+
+
+@dataclass
+class AggregateSplit:
+    """A terminal aggregate split into shard-partial + coordinator-final.
+
+    ``make_partial()`` builds a fresh shard-side (LFTA-role) operator;
+    the remaining fields describe the coordinator-side (HFTA-role)
+    merge: grouping names, aggregate specs, the HAVING predicate (which
+    must run after the merge, exactly as in the GSQL decomposition), and
+    the window/bucket metadata for tumbling aggregates (``window is
+    None`` for the blocking form).
+    """
+
+    prefix: list
+    terminal: object
+    group_by: list
+    group_names: list
+    aggregates: list
+    having: object
+    window: object = None
+    bucket_attr: str = "tb"
+    ts_attr: str = "ts"
+
+    def make_partial(self, name: str = "shard_partial"):
+        from repro.operators.partial_aggregate import BucketOf, GroupPartial
+
+        if self.window is None:
+            return GroupPartial(self.group_by, self.aggregates, name=name)
+        # Tumbling terminals keep shard state keyed (bucket, group): the
+        # coordinator decides when each bucket closes globally (a shard
+        # only sees its own slice of the watermark), so the shard ships
+        # states at flush and reports per-epoch progress via ``max_ts``.
+        bucket_key = (self.bucket_attr, BucketOf(self.window))
+        return GroupPartial(
+            [bucket_key, *self.group_by], self.aggregates, name=name
+        )
+
+
+def split_chain_aggregate(chain: list) -> AggregateSplit | None:
+    """Split a linear chain ending in an aggregate for shard execution.
+
+    Returns ``None`` when the terminal operator is not a blocking
+    :class:`~repro.operators.aggregate.Aggregate` or a tumbling
+    :class:`~repro.operators.aggregate.WindowedAggregate` — those are
+    the two forms whose output is a pure function of merged partial
+    states, which is what makes the partial/final split exact.
+    """
+    from repro.operators.aggregate import Aggregate, WindowedAggregate
+
+    if not chain:
+        return None
+    terminal = chain[-1]
+    if isinstance(terminal, Aggregate):
+        return AggregateSplit(
+            prefix=list(chain[:-1]),
+            terminal=terminal,
+            group_by=list(terminal.group_by),
+            group_names=[name for name, _fn in terminal.group_by],
+            aggregates=list(terminal.aggregates),
+            having=terminal.having,
+        )
+    if isinstance(terminal, WindowedAggregate) and isinstance(
+        terminal.window, TumblingWindow
+    ):
+        return AggregateSplit(
+            prefix=list(chain[:-1]),
+            terminal=terminal,
+            group_by=list(terminal.group_by),
+            group_names=[name for name, _fn in terminal.group_by],
+            aggregates=list(terminal.aggregates),
+            having=terminal.having,
+            window=terminal.window,
+            bucket_attr=terminal.bucket_attr,
+            ts_attr=terminal.ts_attr,
+        )
+    return None

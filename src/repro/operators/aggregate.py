@@ -38,10 +38,32 @@ from repro.windows.spec import (
     WindowSpec,
 )
 
-__all__ = ["AggSpec", "Aggregate", "WindowedAggregate"]
+__all__ = ["AggSpec", "Aggregate", "AttrGetter", "WindowedAggregate"]
 
 Extractor = Callable[[Record], Any]
 GroupItem = str | tuple[str, Extractor]
+
+
+class AttrGetter:
+    """Extractor for a plain grouping attribute.
+
+    A distinguishable (and picklable) stand-in for the
+    ``lambda r: r[attr]`` closure: the partition-parallel planner
+    inspects ``group_by`` extractors to decide whether a grouping column
+    is a raw attribute (so hash-partitioning on it colocates groups) or
+    a derived expression (which it cannot see through).
+    """
+
+    __slots__ = ("attr",)
+
+    def __init__(self, attr: str) -> None:
+        self.attr = attr
+
+    def __call__(self, record: Record) -> Any:
+        return record[self.attr]
+
+    def __repr__(self) -> str:
+        return f"AttrGetter({self.attr!r})"
 
 
 def _normalize_group_by(
@@ -50,8 +72,7 @@ def _normalize_group_by(
     normalized: list[tuple[str, Extractor]] = []
     for item in group_by:
         if isinstance(item, str):
-            attr = item
-            normalized.append((attr, lambda r, a=attr: r[a]))
+            normalized.append((item, AttrGetter(item)))
         else:
             normalized.append(item)
     return normalized

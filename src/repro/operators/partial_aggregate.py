@@ -30,10 +30,149 @@ from repro.operators.aggregate import AggSpec, _GroupState, _normalize_group_by
 from repro.operators.base import Element, UnaryOperator
 from repro.windows.spec import TumblingWindow
 
-__all__ = ["PartialAggregate", "FinalAggregate", "STATES_ATTR"]
+__all__ = [
+    "PartialAggregate",
+    "FinalAggregate",
+    "GroupPartial",
+    "BucketOf",
+    "STATES_ATTR",
+]
 
 #: Reserved attribute carrying aggregate states in partial rows.
 STATES_ATTR = "_states"
+
+
+class BucketOf:
+    """Extractor mapping a record to its tumbling-window bucket id.
+
+    Used as a grouping key so a :class:`GroupPartial` can keep windowed
+    partial states keyed by (bucket, group) — the shard-side shape of a
+    tumbling aggregate in the partition-parallel engine.  A class (not a
+    closure) so shard plans stay picklable and inspectable.
+    """
+
+    __slots__ = ("window",)
+
+    def __init__(self, window: TumblingWindow) -> None:
+        self.window = window
+
+    def __call__(self, record: Record) -> int:
+        return self.window.bucket_of(record.ts)
+
+    def __repr__(self) -> str:
+        return f"BucketOf({self.window.describe()})"
+
+
+class GroupPartial(UnaryOperator):
+    """Shard-side partial state for *unwindowed* grouped aggregation.
+
+    The unwindowed sibling of :class:`PartialAggregate`, used by the
+    partition-parallel engine (:mod:`repro.parallel`): each shard folds
+    its slice of the stream into per-group aggregate states and ships
+    the serialized states — in ``_states`` rows, exactly like the LFTA —
+    for a coordinator-side merge.  Mirroring
+    :class:`~repro.operators.aggregate.Aggregate`'s punctuation
+    semantics, groups fully covered by an arriving punctuation are
+    closed early (their states shipped, since no future record can
+    extend them); everything else ships at flush.
+
+    ``max_ts`` tracks the largest record timestamp seen, so the
+    coordinator can reconstruct the flush timestamp the single-engine
+    blocking aggregate would have stamped (the global max, which no
+    single shard observes).
+    """
+
+    def __init__(
+        self,
+        group_by: Sequence,
+        aggregates: Sequence[AggSpec],
+        name: str = "group_partial",
+        cost_per_tuple: float = 1.0,
+    ) -> None:
+        super().__init__(name, cost_per_tuple, selectivity=1.0)
+        self.group_by = _normalize_group_by(group_by)
+        self.aggregates = list(aggregates)
+        self._groups: dict[tuple, _GroupState] = {}
+        self.max_ts = 0.0
+
+    def _state_row(self, state: _GroupState, ts: float) -> Record:
+        values = dict(state.key_values)
+        values[STATES_ATTR] = list(state.states)
+        return Record(values, ts=ts)
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        if record.ts > self.max_ts:
+            self.max_ts = record.ts
+        key = tuple(fn(record) for _name, fn in self.group_by)
+        state = self._groups.get(key)
+        if state is None:
+            values = {name: fn(record) for name, fn in self.group_by}
+            state = _GroupState(values, self.aggregates)
+            self._groups[key] = state
+        for spec, fn_state in zip(self.aggregates, state.states):
+            fn_state.add(spec.extract(record))
+        state.count += 1
+        return []
+
+    def process_batch(
+        self, elements: Sequence[Element], port: int = 0
+    ) -> list[Element]:
+        # Shard-local hot loop: fold the whole batch into the group
+        # table without per-element dispatch.
+        self._validate_port(port)
+        group_by = self.group_by
+        specs = self.aggregates
+        groups = self._groups
+        out: list[Element] = []
+        max_ts = self.max_ts
+        for el in elements:
+            if isinstance(el, Punctuation):
+                self.max_ts = max_ts
+                out.extend(self.on_punctuation(el, port))
+                continue
+            if el.ts > max_ts:
+                max_ts = el.ts
+            key = tuple(fn(el) for _name, fn in group_by)
+            state = groups.get(key)
+            if state is None:
+                values = {name: fn(el) for name, fn in group_by}
+                state = _GroupState(values, specs)
+                groups[key] = state
+            for spec, fn_state in zip(specs, state.states):
+                fn_state.add(spec.extract(el))
+            state.count += 1
+        self.max_ts = max_ts
+        return out
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        pattern_attrs = {name for name, _ in punct.pattern}
+        group_attrs = {name for name, _ in self.group_by}
+        out: list[Element] = []
+        if group_attrs <= pattern_attrs:
+            closed = [
+                key
+                for key, state in self._groups.items()
+                if punct.matches(Record(state.key_values, ts=punct.ts))
+            ]
+            for key in sorted(closed, key=repr):
+                out.append(self._state_row(self._groups.pop(key), punct.ts))
+        out.append(punct)
+        return out
+
+    def flush(self) -> list[Element]:
+        out = [
+            self._state_row(self._groups[key], self.max_ts)
+            for key in sorted(self._groups, key=repr)
+        ]
+        self._groups.clear()
+        return out
+
+    def reset(self) -> None:
+        self._groups.clear()
+        self.max_ts = 0.0
+
+    def memory(self) -> float:
+        return float(len(self._groups))
 
 
 class PartialAggregate(UnaryOperator):

@@ -1,0 +1,33 @@
+"""Shared-nothing partition-parallel execution (PR 3 / milestone M3).
+
+Public surface:
+
+* :class:`~repro.parallel.partition.PartitionSpec` and its concrete
+  policies :class:`~repro.parallel.partition.HashPartition` and
+  :class:`~repro.parallel.partition.RoundRobinPartition`;
+* :class:`~repro.parallel.sharded.ShardedEngine` — one micro-batched
+  engine per shard plus a deterministic coordinator merge, with
+  Gigascope-style partial-aggregate push-down;
+* :func:`~repro.parallel.sharded.run_sharded` — one-shot convenience.
+"""
+
+from repro.parallel.partition import (
+    Epoch,
+    HashPartition,
+    PartitionSpec,
+    RoundRobinPartition,
+    split_epochs,
+    stable_hash,
+)
+from repro.parallel.sharded import ShardedEngine, run_sharded
+
+__all__ = [
+    "PartitionSpec",
+    "HashPartition",
+    "RoundRobinPartition",
+    "Epoch",
+    "split_epochs",
+    "stable_hash",
+    "ShardedEngine",
+    "run_sharded",
+]

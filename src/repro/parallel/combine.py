@@ -1,0 +1,310 @@
+"""Deterministic coordinator-side merge of shard outputs.
+
+Each combiner reconstructs the *exact* element sequence a single engine
+would have produced, from per-epoch shard outputs.  The merge rule
+depends on what the plan's terminal operator emits:
+
+* per-arrival chains (selections, projections, maps) — every output
+  record keeps the ``(ts, seq)`` stamp of the source record that caused
+  it, and source stamps are unique and monotone; sorting the shard union
+  by ``(ts, seq)`` is therefore the inverse of the partition
+  (:func:`merge_arrival`);
+* a terminal blocking aggregate — the single engine emits closed groups
+  sorted by ``repr`` of the group key, so the shard union per epoch is
+  re-sorted the same way (:func:`group_sort_key`), and at flush the
+  rows are re-stamped with the *global* max timestamp, which no single
+  shard observed;
+* a terminal tumbling aggregate — rows are sorted by (bucket, group
+  key); the sharded run additionally re-assigns each bucket's rows to
+  the epoch in which the *global* watermark crossed the bucket end,
+  because a shard's local watermark lags the global one (the sharded
+  engine handles that re-assignment; this module provides the sort);
+* Gigascope-style partial push-down — shards ship serialized aggregate
+  states (``_states`` rows); :class:`GroupMerger` (unwindowed) and
+  :class:`BucketMerger` (tumbling) merge them and produce the final
+  rows, replicating the single engine's emission order, timestamps and
+  HAVING filtering;
+* duplicate elimination under a non-colocating partition —
+  :class:`DistinctCombiner` replays the global first-seen decision over
+  the merged union (each shard only knows its local firsts) including
+  the punctuation-driven purge of
+  :class:`~repro.operators.project.DistinctProject`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+from repro.aggregates.spec import AggSpec
+from repro.core.metrics import MetricsRegistry
+from repro.core.tuples import Punctuation, Record
+from repro.operators.partial_aggregate import STATES_ATTR
+from repro.windows.spec import TumblingWindow
+
+__all__ = [
+    "merge_arrival",
+    "group_sort_key",
+    "bucket_sort_key",
+    "DistinctCombiner",
+    "GroupMerger",
+    "BucketMerger",
+    "merge_metrics",
+]
+
+
+def merge_arrival(per_shard: Iterable[Sequence]) -> list[Record]:
+    """Interleave shard record lists back into source arrival order.
+
+    Valid whenever every output record carries the unique, monotone
+    ``(ts, seq)`` stamp of the source record it derives from — true for
+    all per-arrival operators, which emit via ``Record.with_values``.
+    """
+    merged = [
+        el
+        for rows in per_shard
+        for el in rows
+        if isinstance(el, Record)
+    ]
+    merged.sort(key=lambda r: (r.ts, r.seq))
+    return merged
+
+
+def group_sort_key(group_names: Sequence[str]) -> Callable[[Record], str]:
+    """Sort key replicating the aggregate operators' group emission order.
+
+    The single-engine aggregates sort closed groups by ``repr`` of the
+    raw group-key tuple; the final rows carry those key values under the
+    group attribute names, so the tuple can be rebuilt from any row.
+    """
+    names = list(group_names)
+
+    def key(row: Record) -> str:
+        return repr(tuple(row.values[n] for n in names))
+
+    return key
+
+
+def bucket_sort_key(
+    group_names: Sequence[str], bucket_attr: str
+) -> Callable[[Record], tuple]:
+    """Sort key for tumbling rows: ascending bucket, then group order."""
+    names = list(group_names)
+
+    def key(row: Record) -> tuple:
+        return (
+            row.values[bucket_attr],
+            repr(tuple(row.values[n] for n in names)),
+        )
+
+    return key
+
+
+class DistinctCombiner:
+    """Global duplicate elimination over merged shard outputs.
+
+    Under a partition that does not colocate equal keys, each shard's
+    :class:`~repro.operators.project.DistinctProject` emits its *local*
+    first occurrence of every key.  The global first occurrence is the
+    earliest of those in ``(ts, seq)`` order, so replaying first-seen
+    over the arrival-merged union reproduces the single engine exactly.
+    Only the unwindowed form is replayable: the windowed form refreshes
+    key ages on *suppressed* occurrences too, which the shards do not
+    ship.
+    """
+
+    def __init__(self, columns: Sequence[str]) -> None:
+        self.columns = list(columns)
+        self._seen: dict[tuple, float] = {}
+
+    def filter(self, rows: Sequence[Record]) -> list[Record]:
+        """Keep the globally-first row per key, in order."""
+        out: list[Record] = []
+        seen = self._seen
+        columns = self.columns
+        for row in rows:
+            key = tuple(row.values[c] for c in columns)
+            if key in seen:
+                continue
+            seen[key] = row.ts
+            out.append(row)
+        return out
+
+    def purge(self, punct: Punctuation) -> None:
+        """Drop keys covered by ``punct`` (they can never recur)."""
+        bound_attrs = {name for name, _ in punct.pattern}
+        if not set(self.columns) <= bound_attrs:
+            return
+        self._seen = {
+            k: t
+            for k, t in self._seen.items()
+            if not punct.matches(Record(dict(zip(self.columns, k)), ts=t))
+        }
+
+
+class GroupMerger:
+    """Coordinator-side final merge for *unwindowed* grouped aggregation.
+
+    The HFTA role of the partial push-down: absorbs ``_states`` rows
+    shipped by shard-local
+    :class:`~repro.operators.partial_aggregate.GroupPartial` operators,
+    merges the aggregate states per group, and emits final rows with
+    the same order (groups sorted by ``repr`` of the key), timestamps
+    and HAVING semantics as the single-engine blocking
+    :class:`~repro.operators.aggregate.Aggregate`.
+    """
+
+    def __init__(
+        self,
+        group_names: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        having: Callable[[Record], bool] | None = None,
+    ) -> None:
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self._groups: dict[tuple, tuple[dict, list]] = {}
+
+    def absorb(self, row: Record) -> None:
+        """Merge one shipped ``_states`` row into the group table."""
+        values = row.values
+        key = tuple(values[n] for n in self.group_names)
+        entry = self._groups.get(key)
+        if entry is None:
+            key_values = {n: values[n] for n in self.group_names}
+            states = [spec.new_state() for spec in self.aggregates]
+            entry = (key_values, states)
+            self._groups[key] = entry
+        for mine, theirs in zip(entry[1], values[STATES_ATTR]):
+            mine.merge(theirs)
+
+    def _emit(self, key: tuple, ts: float) -> Record | None:
+        key_values, states = self._groups.pop(key)
+        values = dict(key_values)
+        for spec, state in zip(self.aggregates, states):
+            values[spec.name] = state.result()
+        row = Record(values, ts=ts)
+        if self.having is not None and not self.having(row):
+            return None
+        return row
+
+    def close_matching(self, punct: Punctuation) -> list[Record]:
+        """Close groups covered by ``punct``, mirroring ``Aggregate``."""
+        pattern_attrs = {name for name, _ in punct.pattern}
+        if not set(self.group_names) <= pattern_attrs:
+            return []
+        closed = [
+            key
+            for key, (key_values, _states) in self._groups.items()
+            if punct.matches(Record(key_values, ts=punct.ts))
+        ]
+        out: list[Record] = []
+        for key in sorted(closed, key=repr):
+            row = self._emit(key, punct.ts)
+            if row is not None:
+                out.append(row)
+        return out
+
+    def close_all(self, ts: float) -> list[Record]:
+        """Flush every remaining group at the global max timestamp."""
+        out: list[Record] = []
+        for key in sorted(self._groups, key=repr):
+            row = self._emit(key, ts)
+            if row is not None:
+                out.append(row)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+
+class BucketMerger:
+    """Coordinator-side final merge for *tumbling* grouped aggregation.
+
+    Absorbs (bucket, group)-keyed ``_states`` rows and closes buckets
+    when told the global watermark has passed their end — the sharded
+    engine computes that watermark per epoch from shard progress
+    reports, since no shard sees it locally.  Emission matches
+    :class:`~repro.operators.aggregate.WindowedAggregate`: ascending
+    buckets, groups sorted by ``repr`` of the key, row timestamp equal
+    to the bucket end, the bucket id under ``bucket_attr``, HAVING
+    applied to final rows.
+    """
+
+    def __init__(
+        self,
+        window: TumblingWindow,
+        group_names: Sequence[str],
+        aggregates: Sequence[AggSpec],
+        having: Callable[[Record], bool] | None = None,
+        bucket_attr: str = "tb",
+    ) -> None:
+        self.window = window
+        self.group_names = list(group_names)
+        self.aggregates = list(aggregates)
+        self.having = having
+        self.bucket_attr = bucket_attr
+        # bucket -> group key -> (key_values, states)
+        self._buckets: dict[int, dict[tuple, tuple[dict, list]]] = {}
+
+    def absorb(self, row: Record) -> None:
+        values = row.values
+        bucket = values[self.bucket_attr]
+        key = tuple(values[n] for n in self.group_names)
+        groups = self._buckets.setdefault(bucket, {})
+        entry = groups.get(key)
+        if entry is None:
+            key_values = {n: values[n] for n in self.group_names}
+            states = [spec.new_state() for spec in self.aggregates]
+            entry = (key_values, states)
+            groups[key] = entry
+        for mine, theirs in zip(entry[1], values[STATES_ATTR]):
+            mine.merge(theirs)
+
+    def close_upto(self, watermark: float) -> list[Record]:
+        """Emit every bucket whose end has passed ``watermark``."""
+        out: list[Record] = []
+        closeable = sorted(
+            b
+            for b in self._buckets
+            if self.window.bucket_start(b + 1) <= watermark
+        )
+        for bucket in closeable:
+            groups = self._buckets.pop(bucket)
+            end_ts = self.window.bucket_start(bucket + 1)
+            for key in sorted(groups, key=repr):
+                key_values, states = groups[key]
+                values = dict(key_values)
+                values[self.bucket_attr] = bucket
+                for spec, state in zip(self.aggregates, states):
+                    values[spec.name] = state.result()
+                row = Record(values, ts=end_ts)
+                if self.having is None or self.having(row):
+                    out.append(row)
+        return out
+
+    def close_all(self) -> list[Record]:
+        return self.close_upto(float("inf"))
+
+    def __len__(self) -> int:
+        return sum(len(groups) for groups in self._buckets.values())
+
+
+def merge_metrics(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
+    """Sum per-operator counters across shard runs.
+
+    Shard plans share operator names (they are copies of one chain), so
+    the merged registry reads like a single engine's — with invocation
+    and batch counts reflecting the total work across all shards.
+    """
+    merged = MetricsRegistry()
+    for registry in registries:
+        for name, m in registry.operators.items():
+            agg = merged.for_operator(name)
+            agg.records_in += m.records_in
+            agg.records_out += m.records_out
+            agg.punctuations_in += m.punctuations_in
+            agg.punctuations_out += m.punctuations_out
+            agg.invocations += m.invocations
+            agg.busy_time += m.busy_time
+            agg.batches_in += m.batches_in
+    return merged

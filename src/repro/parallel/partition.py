@@ -1,0 +1,200 @@
+"""Partitioning specs: how a stream is split across shards.
+
+The shared-nothing parallel engine (:mod:`repro.parallel.sharded`)
+splits one input stream into N disjoint shard streams.  Two policies:
+
+* :class:`HashPartition` — route each record by a stable hash of one or
+  more key attributes.  All records with equal key values land on the
+  same shard, so any operator state keyed by (a superset of) the
+  partition key is naturally colocated — the precondition for running
+  the *full* plan per shard, Gigascope-style.
+* :class:`RoundRobinPartition` — route by arrival position.  Perfectly
+  balanced, but colocates nothing; keyed operators then need the
+  partial-aggregate push-down or a coordinator-side merge.
+
+Punctuations are *broadcast*: a punctuation asserts a property of the
+whole stream, so every shard must observe it.  Each punctuation also
+closes an **epoch** — the unit at which the coordinator interleaves
+shard outputs back into a single deterministic sequence.
+
+Hashing is deliberately not Python's built-in ``hash`` (randomized per
+process): :func:`stable_hash` gives run-to-run and cross-process
+deterministic placement.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import PlanError
+
+__all__ = [
+    "PartitionSpec",
+    "HashPartition",
+    "RoundRobinPartition",
+    "Epoch",
+    "split_epochs",
+    "stable_hash",
+]
+
+Element = Record | Punctuation
+
+
+def stable_hash(key: tuple) -> int:
+    """Deterministic hash of a key tuple (stable across runs/processes)."""
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace"))
+
+
+class PartitionSpec:
+    """Base class: assigns each record of a stream to one of N shards."""
+
+    def __init__(self, n_shards: int) -> None:
+        if n_shards < 1:
+            raise PlanError(f"n_shards must be >= 1; got {n_shards}")
+        self.n_shards = n_shards
+
+    #: Attribute names the routing depends on, or ``None`` when routing
+    #: is not value-based (round-robin).  The planner uses this for the
+    #: group-key ⊇ partition-key colocation test.
+    key_attrs: tuple[str, ...] | None = None
+
+    def shard_of(self, record: Record, index: int) -> int:
+        """Shard id for ``record``, the ``index``-th record of the run."""
+        raise NotImplementedError
+
+    def split(
+        self, records: Sequence[Record], start_index: int = 0
+    ) -> list[list[Record]]:
+        """Route ``records`` (the ``start_index``-th record of the run
+        onward) into per-shard lists.  The generic implementation calls
+        :meth:`shard_of` per record; subclasses override with tighter
+        loops because this runs in the coordinator's serial section,
+        which Amdahl charges against every shard."""
+        buckets: list[list[Record]] = [[] for _ in range(self.n_shards)]
+        for offset, record in enumerate(records):
+            buckets[self.shard_of(record, start_index + offset)].append(record)
+        return buckets
+
+    def describe(self) -> str:
+        return f"{type(self).__name__}({self.n_shards})"
+
+
+class HashPartition(PartitionSpec):
+    """Hash-by-key routing: ``shard = stable_hash(key values) % N``."""
+
+    def __init__(self, key: str | Sequence[str], n_shards: int) -> None:
+        super().__init__(n_shards)
+        attrs = (key,) if isinstance(key, str) else tuple(key)
+        if not attrs:
+            raise PlanError("HashPartition requires at least one key attribute")
+        self.key_attrs = attrs
+
+    def shard_of(self, record: Record, index: int) -> int:
+        key = tuple(record[a] for a in self.key_attrs)
+        return stable_hash(key) % self.n_shards
+
+    def split(
+        self, records: Sequence[Record], start_index: int = 0
+    ) -> list[list[Record]]:
+        buckets: list[list[Record]] = [[] for _ in range(self.n_shards)]
+        n = self.n_shards
+        attrs = self.key_attrs
+        crc = zlib.crc32
+        for record in records:
+            values = record.values
+            key = tuple(values[a] for a in attrs)
+            blob = repr(key).encode("utf-8", "backslashreplace")
+            buckets[crc(blob) % n].append(record)
+        return buckets
+
+    def describe(self) -> str:
+        return f"hash({', '.join(self.key_attrs)}) % {self.n_shards}"
+
+
+class RoundRobinPartition(PartitionSpec):
+    """Position-based routing: record ``i`` goes to shard ``i % N``."""
+
+    key_attrs = None
+
+    def shard_of(self, record: Record, index: int) -> int:
+        return index % self.n_shards
+
+    def split(
+        self, records: Sequence[Record], start_index: int = 0
+    ) -> list[list[Record]]:
+        # Extended slices reproduce index-modulo routing at C speed:
+        # local position j has global index start_index + j, so shard s
+        # owns positions j ≡ s - start_index (mod n).
+        n = self.n_shards
+        if not isinstance(records, list):
+            records = list(records)
+        return [records[(s - start_index) % n :: n] for s in range(n)]
+
+    def describe(self) -> str:
+        return f"round_robin % {self.n_shards}"
+
+
+class _ExtractorPartition(PartitionSpec):
+    """Hash routing on computed key values (the group-key exchange).
+
+    Used when the coordinator re-partitions by the terminal aggregate's
+    *group* key — the fallback for plans whose aggregate states cannot
+    be merged across shards (order-sensitive aggregates).
+    """
+
+    key_attrs = None
+
+    def __init__(
+        self, extractors: Sequence[Callable[[Record], object]], n_shards: int
+    ) -> None:
+        super().__init__(n_shards)
+        self.extractors = list(extractors)
+
+    def shard_of(self, record: Record, index: int) -> int:
+        if not self.extractors:
+            return 0
+        key = tuple(fn(record) for fn in self.extractors)
+        return stable_hash(key) % self.n_shards
+
+    def describe(self) -> str:
+        return f"hash(group key) % {self.n_shards}"
+
+
+@dataclass
+class Epoch:
+    """One punctuation-delimited slice of the partitioned input.
+
+    ``batches[s]`` holds shard ``s``'s records for the slice, in arrival
+    order; ``punct`` is the punctuation closing the slice (``None`` for
+    the final, end-of-stream epoch).
+    """
+
+    batches: list[list[Record]]
+    punct: Punctuation | None = None
+
+
+def split_epochs(
+    elements: Iterable[Element], spec: PartitionSpec
+) -> list[Epoch]:
+    """Partition an ordered element sequence into per-shard epochs.
+
+    Records are routed by ``spec``; every punctuation is broadcast (it
+    ends the current epoch and will be fed to all shards).  The final
+    epoch (``punct is None``) holds the records after the last
+    punctuation, up to end of stream.
+    """
+    epochs: list[Epoch] = []
+    current: list[Record] = []
+    index = 0
+    for el in elements:
+        if isinstance(el, Punctuation):
+            epochs.append(Epoch(batches=spec.split(current, index), punct=el))
+            index += len(current)
+            current = []
+        else:
+            current.append(el)
+    epochs.append(Epoch(batches=spec.split(current, index), punct=None))
+    return epochs

@@ -163,9 +163,110 @@ class TestIncrementalEngine:
         result = engine.run([ListSource("S", [{"v": 2}])])
         assert len(result.records()) == 1
 
+    def test_back_to_back_runs_do_not_double_count_metrics(self):
+        """Regression: start() must reset metrics with operator state,
+        or a reused engine reports cumulative counters per run."""
+        plan = Plan()
+        plan.add_input("S")
+        op = plan.add(Select(lambda r: True, name="sel"), upstream=["S"])
+        plan.mark_output(op, "out")
+        engine = Engine(plan)
+        rows = [{"v": i} for i in range(7)]
+        first = engine.run([ListSource("S", rows)])
+        second = engine.run([ListSource("S", rows)])
+        assert first.metrics.for_operator("sel").records_in == 7
+        assert second.metrics.for_operator("sel").records_in == 7
+
+    def test_feed_batch_before_start_raises(self):
+        engine = Engine(select_plan(lambda r: True))
+        with pytest.raises(PlanError, match="before start"):
+            engine.feed_batch("S", [Record({"v": 1})])
+
+    def test_feed_batch_unknown_input_rejected(self):
+        engine = Engine(select_plan(lambda r: True))
+        engine.start()
+        with pytest.raises(PlanError, match="unknown input"):
+            engine.feed_batch("nope", [Record({"v": 1})])
+
+    def test_feed_batch_empty_batch_is_noop(self):
+        engine = Engine(select_plan(lambda r: True), batch_size=8)
+        engine.start()
+        assert engine.feed_batch("S", []) == []
+        result = engine.finish()
+        assert result.records() == []
+
+    def test_feed_batch_returns_primary_output_only(self):
+        """On a multi-output plan, feed/feed_batch report the increment
+        of the *first* declared output; other outputs accumulate for
+        finish()."""
+        plan = Plan()
+        plan.add_input("S")
+        evens = plan.add(
+            Select(lambda r: r["v"] % 2 == 0, name="even"), upstream=["S"]
+        )
+        everything = plan.add(
+            Select(lambda r: True, name="all"), upstream=["S"]
+        )
+        plan.mark_output(evens, "evens")
+        plan.mark_output(everything, "all")
+        engine = Engine(plan, batch_size=4)
+        engine.start()
+        out = engine.feed_batch(
+            "S", [Record({"v": i}, ts=float(i)) for i in range(4)]
+        )
+        assert [r["v"] for r in out] == [0, 2]
+        result = engine.finish()
+        assert len(result.records("all")) == 4
+
+
+class TestBatchSizeSelection:
+    def test_auto_selects_documented_default(self):
+        engine = Engine(select_plan(lambda r: True), batch_size="auto")
+        assert engine.batch_size == Engine.DEFAULT_BATCH_SIZE == 256
+
+    def test_none_is_tuple_at_a_time(self):
+        assert Engine(select_plan(lambda r: True)).batch_size is None
+
+    @pytest.mark.parametrize("bad", [0, -3, 2.5, "huge"])
+    def test_invalid_batch_size_rejected(self, bad):
+        with pytest.raises(PlanError, match="batch_size"):
+            Engine(select_plan(lambda r: True), batch_size=bad)
+
 
 class TestRunResult:
     def test_values_helper(self):
         plan = select_plan(lambda r: True)
         result = run_plan(plan, [ListSource("S", [{"v": 3}])])
         assert result.values() == [{"v": 3}]
+
+    def _multi_output_result(self):
+        plan = Plan()
+        plan.add_input("S")
+        evens = plan.add(
+            Select(lambda r: r["v"] % 2 == 0, name="even"), upstream=["S"]
+        )
+        everything = plan.add(
+            Select(lambda r: True, name="all"), upstream=["S"]
+        )
+        plan.mark_output(evens, "evens")
+        plan.mark_output(everything, "all")
+        elements = [Record({"v": i}, ts=float(i)) for i in range(5)]
+        elements.insert(3, Punctuation.time_bound("ts", 2.0, ts=2.0))
+        return run_plan(plan, [ListSource("S", elements)])
+
+    def test_records_and_values_select_named_output(self):
+        result = self._multi_output_result()
+        assert [r["v"] for r in result.records("evens")] == [0, 2, 4]
+        assert result.values("all") == [{"v": i} for i in range(5)]
+
+    def test_punctuations_per_output(self):
+        result = self._multi_output_result()
+        assert len(result.punctuations("evens")) == 1
+        assert len(result.punctuations("all")) == 1
+
+    def test_unknown_output_raises_key_error(self):
+        result = self._multi_output_result()
+        with pytest.raises(KeyError):
+            result.records("nope")
+        with pytest.raises(KeyError):
+            result.values("out")  # no output is named 'out' here

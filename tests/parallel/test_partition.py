@@ -1,0 +1,148 @@
+"""Partitioning specs: routing determinism and epoch splitting."""
+
+import zlib
+
+import pytest
+
+from repro.core import Punctuation, Record
+from repro.errors import PlanError
+from repro.parallel import (
+    HashPartition,
+    RoundRobinPartition,
+    split_epochs,
+    stable_hash,
+)
+from repro.parallel.partition import _ExtractorPartition
+
+
+def records(n, key=lambda i: i % 5):
+    return [
+        Record({"k": key(i), "v": i}, ts=float(i), seq=i) for i in range(n)
+    ]
+
+
+class TestStableHash:
+    def test_is_crc32_of_repr(self):
+        key = ("a", 1, 2.5)
+        assert stable_hash(key) == zlib.crc32(repr(key).encode("utf-8"))
+
+    def test_deterministic_across_calls(self):
+        assert stable_hash((1, "x")) == stable_hash((1, "x"))
+
+
+class TestHashPartition:
+    def test_requires_key(self):
+        with pytest.raises(PlanError, match="key attribute"):
+            HashPartition([], 2)
+
+    def test_requires_positive_shards(self):
+        with pytest.raises(PlanError, match="n_shards"):
+            HashPartition("k", 0)
+
+    def test_equal_keys_colocate(self):
+        part = HashPartition("k", 4)
+        shards = part.split(records(100))
+        placement = {}
+        for s, shard in enumerate(shards):
+            for r in shard:
+                placement.setdefault(r["k"], set()).add(s)
+        assert all(len(s) == 1 for s in placement.values())
+
+    def test_split_matches_shard_of(self):
+        part = HashPartition(["k", "v"], 3)
+        recs = records(50)
+        shards = part.split(recs)
+        rebuilt = [[] for _ in range(3)]
+        for i, r in enumerate(recs):
+            rebuilt[part.shard_of(r, i)].append(r)
+        assert shards == rebuilt
+
+    def test_preserves_order_within_shard(self):
+        part = HashPartition("k", 2)
+        shards = part.split(records(60))
+        for shard in shards:
+            seqs = [r.seq for r in shard]
+            assert seqs == sorted(seqs)
+
+    def test_string_key_shorthand(self):
+        assert HashPartition("k", 2).key_attrs == ("k",)
+        assert HashPartition(["a", "b"], 2).key_attrs == ("a", "b")
+
+
+class TestRoundRobinPartition:
+    def test_split_is_index_modulo(self):
+        part = RoundRobinPartition(3)
+        recs = records(20)
+        shards = part.split(recs)
+        for s, shard in enumerate(shards):
+            assert shard == recs[s::3]
+
+    def test_split_honours_start_index(self):
+        """A later slice must continue the global modulo, not restart."""
+        part = RoundRobinPartition(3)
+        recs = records(20)
+        whole = part.split(recs)
+        first, rest = recs[:7], recs[7:]
+        combined = [
+            a + b
+            for a, b in zip(part.split(first), part.split(rest, start_index=7))
+        ]
+        assert combined == whole
+
+    def test_single_shard_passthrough(self):
+        recs = records(9)
+        assert RoundRobinPartition(1).split(recs) == [recs]
+
+
+class TestExtractorPartition:
+    def test_routes_by_computed_key(self):
+        part = _ExtractorPartition([lambda r: r["k"]], 4)
+        placement = {}
+        recs = records(80)
+        for i, r in enumerate(recs):
+            placement.setdefault(r["k"], set()).add(part.shard_of(r, i))
+        assert all(len(s) == 1 for s in placement.values())
+
+    def test_no_extractors_collapses_to_shard_zero(self):
+        part = _ExtractorPartition([], 4)
+        assert part.shard_of(Record({"k": 1}), 5) == 0
+
+
+class TestSplitEpochs:
+    def test_punctuation_broadcast_closes_epoch(self):
+        recs = records(10)
+        punct = Punctuation.time_bound("ts", 4.0, ts=4.0)
+        elements = recs[:5] + [punct] + recs[5:]
+        epochs = split_epochs(elements, RoundRobinPartition(2))
+        assert len(epochs) == 2
+        assert epochs[0].punct is punct
+        assert epochs[1].punct is None
+        assert epochs[0].batches[0] + epochs[0].batches[1] != []
+        assert sorted(
+            r.seq for shard in epochs[0].batches for r in shard
+        ) == list(range(5))
+        assert sorted(
+            r.seq for shard in epochs[1].batches for r in shard
+        ) == list(range(5, 10))
+
+    def test_round_robin_index_is_global_across_epochs(self):
+        recs = records(10)
+        punct = Punctuation.time_bound("ts", 2.0, ts=2.0)
+        elements = recs[:3] + [punct] + recs[3:]
+        epochs = split_epochs(elements, RoundRobinPartition(2))
+        # record i must be on shard i % 2 regardless of its epoch
+        for epoch in epochs:
+            for s, shard in enumerate(epoch.batches):
+                assert all(r.seq % 2 == s for r in shard)
+
+    def test_stream_without_punctuations_is_one_epoch(self):
+        epochs = split_epochs(records(6), RoundRobinPartition(3))
+        assert len(epochs) == 1
+        assert epochs[0].punct is None
+
+    def test_trailing_punctuation_yields_empty_final_epoch(self):
+        punct = Punctuation.time_bound("ts", 9.0, ts=9.0)
+        epochs = split_epochs(records(4) + [punct], RoundRobinPartition(2))
+        assert len(epochs) == 2
+        assert epochs[0].punct is punct
+        assert epochs[1].batches == [[], []]

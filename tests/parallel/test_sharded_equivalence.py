@@ -1,0 +1,307 @@
+"""Differential certification of shared-nothing parallel execution.
+
+The sharded engine is only allowed to be *faster* than a single engine —
+never different.  This suite reuses the plan registry that certifies the
+micro-batch path (every example-mirror plan plus the generated workload
+grid) and asserts that ``ShardedEngine`` reproduces the single-engine
+output element-for-element — records AND punctuation positions — at
+shards {1, 2, 4}, on both the thread and process backends, for every
+strategy the planner can pick (local, partial, exchange, single).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.errors import PlanError, SchemaError
+from repro.operators import AggSpec, Aggregate, Select
+from repro.operators.project import DistinctProject
+from repro.parallel import (
+    HashPartition,
+    RoundRobinPartition,
+    ShardedEngine,
+    run_sharded,
+)
+from tests.core.test_batch_equivalence import (
+    ALL_PLANS,
+    N_CDR,
+    fraud_cdr_chain,
+    quickstart_programmatic,
+)
+
+SHARD_COUNTS = [1, 2, 4]
+BACKENDS = ["thread", "process"]
+
+
+def _hash_key_for(name: str) -> str:
+    """A plausible user-chosen partition key for each workload family."""
+    return "origin" if ("cdr" in name or "fraud" in name) else "src_ip"
+
+
+def _assert_identical(name, label, reference, candidate):
+    assert set(reference.outputs) == set(candidate.outputs)
+    for out_name, ref_elements in reference.outputs.items():
+        got = candidate.outputs[out_name]
+        assert len(got) == len(ref_elements), (
+            f"{name}[{label}] output {out_name!r}: "
+            f"{len(got)} elements vs baseline {len(ref_elements)}"
+        )
+        for i, (want, have) in enumerate(zip(ref_elements, got)):
+            assert type(want) is type(have), (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{type(have).__name__} vs baseline {type(want).__name__}"
+            )
+            assert want == have, (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{have!r} vs baseline {want!r}"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_sharded_matches_single_round_robin(name):
+    """Round-robin partitioning (colocates nothing: the adversarial
+    case) must be exact at every shard count, on both backends."""
+    build = ALL_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=1)
+    for n_shards in SHARD_COUNTS:
+        for backend in BACKENDS:
+            result = run_sharded(
+                plan, sources, RoundRobinPartition(n_shards), backend=backend
+            )
+            _assert_identical(
+                name, f"rr/{n_shards}/{backend}", baseline, result
+            )
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_sharded_matches_single_hash(name):
+    """Hash partitioning by a workload key (the colocating case, where
+    the planner may run the full plan per shard) must also be exact."""
+    build = ALL_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=1)
+    key = _hash_key_for(name)
+    for n_shards in SHARD_COUNTS:
+        for backend in BACKENDS:
+            result = run_sharded(
+                plan, sources, HashPartition(key, n_shards), backend=backend
+            )
+            _assert_identical(
+                name, f"hash({key})/{n_shards}/{backend}", baseline, result
+            )
+
+
+def test_inline_backend_matches_thread():
+    plan, sources = fraud_cdr_chain()
+    baseline = run_plan(plan, sources)
+    result = run_sharded(
+        plan, sources, RoundRobinPartition(3), backend="inline"
+    )
+    _assert_identical("fraud_cdr_chain", "inline", baseline, result)
+
+
+# --------------------------------------------------------------------------
+# strategy selection
+# --------------------------------------------------------------------------
+
+
+class TestStrategySelection:
+    def test_colocated_hash_runs_local(self):
+        plan, _ = fraud_cdr_chain()
+        eng = ShardedEngine(plan, HashPartition("origin", 4))
+        assert eng.strategy == "local"
+        assert eng.describe()["merge"] == "blocking"
+
+    def test_round_robin_aggregate_runs_partial(self):
+        plan, _ = fraud_cdr_chain()
+        eng = ShardedEngine(plan, RoundRobinPartition(4))
+        assert eng.strategy == "partial"
+        assert eng.describe()["merge"] == "partial_blocking"
+
+    def test_round_robin_tumbling_runs_partial(self):
+        plan, _ = quickstart_programmatic()
+        eng = ShardedEngine(plan, RoundRobinPartition(2))
+        assert eng.strategy == "partial"
+        assert eng.describe()["merge"] == "partial_tumbling"
+
+    def test_colocated_hash_tumbling_runs_local(self):
+        plan, _ = quickstart_programmatic()
+        eng = ShardedEngine(plan, HashPartition("src_ip", 2))
+        assert eng.strategy == "local"
+        assert eng.describe()["merge"] == "tumbling"
+
+    def test_non_colocating_hash_falls_back_to_partial(self):
+        """Hash on an attribute that is not the group key cannot run
+        the full plan per shard; the aggregate is still mergeable."""
+        plan, _ = fraud_cdr_chain()
+        eng = ShardedEngine(plan, HashPartition("duration", 2))
+        assert eng.strategy == "partial"
+
+    def test_order_sensitive_aggregate_runs_exchange(self):
+        plan = _first_call_plan()
+        eng = ShardedEngine(plan, RoundRobinPartition(3))
+        assert eng.strategy == "exchange"
+        assert eng.describe()["routing"] == "hash(group key) % 3"
+
+    def test_terminal_distinct_deduped_at_coordinator(self):
+        plan = linear_plan(
+            "calls", [DistinctProject(["origin"], name="dst")]
+        )
+        eng = ShardedEngine(plan, RoundRobinPartition(2))
+        assert eng.strategy == "local"
+        assert eng._strategy.dedupe_columns == ["origin"]
+
+    def test_windowed_distinct_not_shardable(self):
+        """The windowed form ages keys on *suppressed* occurrences,
+        which shards never ship — no exact replay exists."""
+        plan = linear_plan(
+            "calls",
+            [DistinctProject(["origin"], window=5.0, name="dst")],
+        )
+        eng = ShardedEngine(plan, RoundRobinPartition(2))
+        assert eng.strategy == "single"
+
+    def test_windowed_distinct_colocated_is_local(self):
+        plan = linear_plan(
+            "calls",
+            [DistinctProject(["origin"], window=5.0, name="dst")],
+        )
+        eng = ShardedEngine(plan, HashPartition("origin", 2))
+        assert eng.strategy == "local"
+
+    def test_join_plan_runs_single(self):
+        plan, _ = ALL_PLANS["quickstart_window_join"]()
+        eng = ShardedEngine(plan, RoundRobinPartition(2))
+        assert eng.strategy == "single"
+
+    def test_describe_reports_shape(self):
+        plan, _ = fraud_cdr_chain()
+        desc = ShardedEngine(
+            plan, RoundRobinPartition(2), backend="inline"
+        ).describe()
+        assert desc["shards"] == 2
+        assert desc["backend"] == "inline"
+        assert desc["partition"] == "round_robin % 2"
+        assert "mergeable" in desc["reason"]
+
+
+# --------------------------------------------------------------------------
+# targeted differentials for the rarer strategies
+# --------------------------------------------------------------------------
+
+
+def _first_call_plan():
+    """Select prefix + order-sensitive aggregate: the exchange case."""
+    return linear_plan(
+        "calls",
+        [
+            Select(lambda r: r["is_intl"], name="intl"),
+            Aggregate(
+                ["origin"],
+                [
+                    AggSpec("n", "count"),
+                    AggSpec("first_dur", "first", "duration"),
+                    AggSpec("last_dur", "last", "duration"),
+                ],
+                name="per_origin",
+            ),
+        ],
+    )
+
+
+def test_exchange_differential():
+    from tests.core.test_batch_equivalence import cdr_source
+
+    plan = _first_call_plan()
+    sources = {"calls": cdr_source()}
+    baseline = run_plan(plan, sources)
+    for n_shards in SHARD_COUNTS:
+        for backend in BACKENDS:
+            result = run_sharded(
+                plan, sources, RoundRobinPartition(n_shards), backend=backend
+            )
+            _assert_identical(
+                "first_call", f"exchange/{n_shards}/{backend}",
+                baseline, result,
+            )
+
+
+def test_dedupe_differential_with_punctuations():
+    rows = []
+    for i in range(200):
+        rows.append(Record({"ts": float(i), "origin": i % 17}, ts=float(i)))
+        if i % 40 == 39:
+            rows.append(
+                Punctuation.time_bound("ts", float(i), ts=float(i))
+            )
+    plan = linear_plan("calls", [DistinctProject(["origin"], name="dst")])
+    sources = {"calls": ListSource("calls", rows)}
+    baseline = run_plan(plan, sources)
+    for n_shards in SHARD_COUNTS:
+        result = run_sharded(plan, sources, RoundRobinPartition(n_shards))
+        _assert_identical("dedupe", f"rr/{n_shards}", baseline, result)
+
+
+# --------------------------------------------------------------------------
+# metrics, validation, failure propagation
+# --------------------------------------------------------------------------
+
+
+def test_merged_metrics_cover_all_shards():
+    plan, sources = fraud_cdr_chain()
+    result = run_sharded(plan, sources, HashPartition("origin", 3))
+    m = result.metrics.for_operator("intl")
+    assert m.records_in == N_CDR  # every shard's input sums to the stream
+    single = run_plan(plan, sources)
+    assert m.records_out == single.metrics.for_operator("intl").records_out
+
+
+def test_partial_strategy_ships_states_not_rows():
+    """The push-down's point: shard->coordinator traffic is aggregate
+    states (one row per group), not the filtered stream."""
+    plan, sources = fraud_cdr_chain()
+    eng = ShardedEngine(plan, RoundRobinPartition(2))
+    assert eng.strategy == "partial"
+    result = eng.run(sources)
+    m = result.metrics.for_operator("shard_partial")
+    n_groups = len(run_plan(plan, sources).records())
+    assert 0 < m.records_out <= 2 * n_groups  # <= shards x groups
+    assert m.records_out < m.records_in
+
+
+def test_invalid_backend_rejected():
+    plan, _ = fraud_cdr_chain()
+    with pytest.raises(PlanError, match="backend"):
+        ShardedEngine(plan, RoundRobinPartition(2), backend="gpu")
+
+
+def test_invalid_partition_rejected():
+    plan, _ = fraud_cdr_chain()
+    with pytest.raises(PlanError, match="PartitionSpec"):
+        ShardedEngine(plan, 4)
+
+
+def test_invalid_batch_size_rejected():
+    plan, _ = fraud_cdr_chain()
+    with pytest.raises(PlanError, match="batch_size"):
+        ShardedEngine(plan, RoundRobinPartition(2), batch_size=0)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_worker_failure_propagates(backend):
+    plan = linear_plan(
+        "calls", [Select(lambda r: r["missing"] > 0, name="boom")]
+    )
+    rows = [{"ts": 0.0, "v": 1}]
+    # thread backend re-raises the worker's SchemaError; the process
+    # backend wraps it in a RuntimeError carrying the shard id.
+    with pytest.raises((RuntimeError, SchemaError)):
+        run_sharded(
+            plan,
+            {"calls": ListSource("calls", rows, ts_attr="ts")},
+            RoundRobinPartition(2),
+            backend=backend,
+        )

@@ -1,0 +1,312 @@
+"""M4 — Fault-tolerant execution: recovery latency and overhead.
+
+Measures what the resilience layer costs and what it buys, over a
+punctuated per-key aggregation workload (punctuations every
+``EPOCH_LEN`` records delimit the checkpointable epochs):
+
+* **supervision overhead** — wall-clock of a fault-free supervised run
+  vs the bare :class:`~repro.parallel.ShardedEngine`, per backend
+  (epoch lockstep + checkpointing is the price of recoverability);
+* **recovery latency** — extra wall-clock when a seeded
+  :class:`~repro.resilience.FaultInjector` kills one shard mid-run
+  (worker rebuild + state restore + epoch replay), with the output
+  checked element-identical to a fault-free single-engine run;
+* **checkpoint cadence** — sparser checkpoints (``checkpoint_every``)
+  trade steady-state work for more replayed epochs at recovery time.
+
+Recovery *correctness* across every differential plan is the job of
+``tests/resilience/test_chaos_recovery.py``; this file times the happy
+and unhappy paths and records the numbers.
+
+Run as a script to record ``BENCH_m4.json`` (add ``--smoke`` for the
+tiny CI variant that injects a crash on both backends and verifies the
+output end-to-end in seconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.operators import AggSpec, Aggregate, Select
+from repro.parallel import HashPartition, ShardedEngine
+from repro.resilience import FaultInjector, Supervisor
+
+N = 40000
+EPOCH_LEN = 2000
+N_SHARDS = 4
+BACKENDS = ["thread", "process"]
+
+
+def available_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def recovery_plan():
+    """Select → per-key aggregate; hash partitioning keeps it local."""
+    return linear_plan(
+        "events",
+        [
+            Select(lambda r: r["v"] >= 0, name="keep"),
+            Aggregate(
+                ["k"],
+                [AggSpec("n", "count"), AggSpec("total", "sum", "v")],
+                name="per_key",
+            ),
+        ],
+    )
+
+
+def recovery_elements(n: int = N, epoch_len: int = EPOCH_LEN):
+    out = []
+    for i in range(n):
+        out.append(
+            Record(
+                {"ts": float(i), "k": i % 64, "v": (i * 7919) % 100 - 5},
+                ts=float(i),
+                seq=i,
+            )
+        )
+        if i % epoch_len == epoch_len - 1:
+            out.append(Punctuation.time_bound("ts", float(i), ts=float(i)))
+    return out
+
+
+def _source(elements) -> ListSource:
+    return ListSource("events", elements)
+
+
+def _sharded(backend: str) -> ShardedEngine:
+    return ShardedEngine(
+        recovery_plan(), HashPartition(["k"], N_SHARDS), backend=backend
+    )
+
+
+def _timed(fn, repeats: int = 3):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def measure_backend(
+    backend: str,
+    elements,
+    baseline_outputs,
+    crash_epoch: int,
+    repeats: int = 3,
+) -> dict:
+    """Clean vs supervised vs crash-recovery wall-clock for one backend."""
+    n = sum(1 for el in elements if isinstance(el, Record))
+
+    bare_s, _ = _timed(
+        lambda: _sharded(backend).run([_source(elements)]), repeats
+    )
+
+    def clean_supervised():
+        return Supervisor(_sharded(backend), backoff_base=0.001).run(
+            [_source(elements)]
+        )
+
+    clean_s, clean_result = _timed(clean_supervised, repeats)
+    assert clean_result.outputs == baseline_outputs
+
+    def crashed_supervised():
+        injector = FaultInjector(seed=17)
+        injector.crash_shard(1, epoch=crash_epoch)
+        sup = Supervisor(
+            _sharded(backend), backoff_base=0.001, injector=injector
+        )
+        result = sup.run([_source(elements)])
+        return sup.report, result
+
+    crash_s, (report, crash_result) = _timed(crashed_supervised, repeats)
+    assert crash_result.outputs == baseline_outputs
+    assert report.retries >= 1
+
+    return {
+        "bare_sharded_s": round(bare_s, 4),
+        "supervised_clean_s": round(clean_s, 4),
+        "supervision_overhead_s": round(clean_s - bare_s, 4),
+        "supervised_crash_s": round(crash_s, 4),
+        "recovery_latency_s": round(crash_s - clean_s, 4),
+        "retries": report.retries,
+        "replayed_epochs": report.replayed_epochs,
+        "tuples_per_sec_clean": round(n / clean_s, 1),
+        "tuples_per_sec_under_crash": round(n / crash_s, 1),
+        "output_identical": True,
+    }
+
+
+def checkpoint_cadence(
+    elements, baseline_outputs, crash_epoch: int, cadences=(1, 3, 7)
+) -> dict:
+    """Recovery cost as checkpoints get sparser (thread backend)."""
+    results = {}
+    for every in cadences:
+        injector = FaultInjector(seed=17)
+        injector.crash_shard(1, epoch=crash_epoch)
+        sup = Supervisor(
+            _sharded("thread"),
+            backoff_base=0.001,
+            checkpoint_every=every,
+            injector=injector,
+        )
+        t0 = time.perf_counter()
+        result = sup.run([_source(elements)])
+        elapsed = time.perf_counter() - t0
+        assert result.outputs == baseline_outputs
+        results[str(every)] = {
+            "crash_run_s": round(elapsed, 4),
+            "checkpoints": sup.report.checkpoints,
+            "replayed_epochs": sup.report.replayed_epochs,
+        }
+    return results
+
+
+# -- pytest entry points ---------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def workload():
+    elements = recovery_elements(8000, 500)
+    baseline = run_plan(recovery_plan(), [_source(elements)]).outputs
+    return elements, baseline
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_m4_crash_recovery_is_exact(benchmark, workload, backend):
+    elements, baseline = workload
+
+    def run_with_crash():
+        injector = FaultInjector(seed=17)
+        injector.crash_shard(1, epoch=4)
+        sup = Supervisor(
+            _sharded(backend), backoff_base=0.001, injector=injector
+        )
+        return sup.run([_source(elements)])
+
+    result = benchmark(run_with_crash)
+    assert result.outputs == baseline
+
+
+def test_m4_recovery_report(report, workload):
+    """The M4 table: overhead + recovery latency per backend."""
+    emit, table = report
+    elements, baseline = workload
+    rows = []
+    for backend in BACKENDS:
+        m = measure_backend(backend, elements, baseline, crash_epoch=4, repeats=1)
+        rows.append(
+            [
+                backend,
+                m["supervised_clean_s"],
+                m["supervision_overhead_s"],
+                m["recovery_latency_s"],
+                m["retries"],
+                m["replayed_epochs"],
+            ]
+        )
+    table(
+        [
+            "backend",
+            "clean s",
+            "supervision overhead s",
+            "recovery latency s",
+            "retries",
+            "replayed epochs",
+        ],
+        rows,
+        title="M4: crash recovery (1 shard killed mid-run, output exact)",
+    )
+    emit(
+        "(chaos suite tests/resilience/test_chaos_recovery.py proves "
+        "recovered outputs identical across every differential plan)"
+    )
+
+
+# -- baseline recording ----------------------------------------------------
+
+
+def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
+    """Write the M4 recovery baseline for future PRs to diff against."""
+    if path is None:
+        path = Path(__file__).resolve().parent.parent / "BENCH_m4.json"
+    elements = recovery_elements(n)
+    baseline_outputs = run_plan(recovery_plan(), [_source(elements)]).outputs
+    n_epochs = sum(1 for el in elements if isinstance(el, Punctuation))
+    # An odd crash epoch sits between sparse checkpoints, so the
+    # cadence sweep shows genuine epoch replay, not a lucky zero.
+    crash_epoch = n_epochs // 2 + 1
+    baseline = {
+        "n_tuples": n,
+        "epoch_len": EPOCH_LEN,
+        "n_shards": N_SHARDS,
+        "cpus": available_cpus(),
+        "crash_epoch": crash_epoch,
+        "m4_recovery": {
+            backend: measure_backend(
+                backend, elements, baseline_outputs, crash_epoch
+            )
+            for backend in BACKENDS
+        },
+        "m4_checkpoint_cadence": checkpoint_cadence(
+            elements, baseline_outputs, crash_epoch
+        ),
+    }
+    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    return baseline
+
+
+def smoke(n: int = 4000, epoch_len: int = 250) -> dict:
+    """Tiny CI variant: kill a shard on both backends, verify the
+    recovered output element-identical to a fault-free run."""
+    elements = recovery_elements(n, epoch_len)
+    baseline_outputs = run_plan(recovery_plan(), [_source(elements)]).outputs
+    results = {}
+    for backend in BACKENDS:
+        injector = FaultInjector(seed=17)
+        injector.crash_shard(1, epoch=3)
+        sup = Supervisor(
+            _sharded(backend), backoff_base=0.001, injector=injector
+        )
+        t0 = time.perf_counter()
+        result = sup.run([_source(elements)])
+        elapsed = time.perf_counter() - t0
+        if result.outputs != baseline_outputs:
+            raise AssertionError(
+                f"smoke: {backend} recovered output differs from the "
+                f"fault-free run"
+            )
+        if sup.report.retries < 1:
+            raise AssertionError(
+                f"smoke: {backend} injected crash never fired"
+            )
+        results[backend] = {
+            "crash_run_s": round(elapsed, 4),
+            "retries": sup.report.retries,
+            "replayed_epochs": sup.report.replayed_epochs,
+            "output_identical": True,
+        }
+    return results
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        print(json.dumps(smoke(), indent=2))
+        print("smoke ok: both backends recovered with exact output")
+    else:
+        recorded = record_baseline()
+        print(json.dumps(recorded, indent=2))

@@ -19,7 +19,13 @@ from repro.core.stream import Source, merge_sources
 from repro.core.tuples import Punctuation, Record
 from repro.errors import PlanError
 
-__all__ = ["RunResult", "Engine", "run_plan", "resolve_sources"]
+__all__ = [
+    "RunResult",
+    "Engine",
+    "EngineCheckpoint",
+    "run_plan",
+    "resolve_sources",
+]
 
 Element = Record | Punctuation
 
@@ -30,6 +36,8 @@ class RunResult:
 
     outputs: dict[str, list[Element]]
     metrics: MetricsRegistry
+    #: Records dropped at ingress by an overload guard (0 without one).
+    dropped: int = 0
 
     def records(self, output: str = "out") -> list[Record]:
         """Data tuples (punctuations filtered out) of one output."""
@@ -43,6 +51,27 @@ class RunResult:
         return [
             el for el in self.outputs[output] if isinstance(el, Punctuation)
         ]
+
+
+@dataclass
+class EngineCheckpoint:
+    """Consistent engine state captured at an epoch boundary.
+
+    A checkpoint pairs every operator's :meth:`~repro.operators.base.
+    Operator.snapshot` (in topological order) with the per-output
+    positions and punctuation watermarks at capture time.  Restoring it
+    rewinds the engine — operator state *and* already-emitted output —
+    to exactly that point, so re-feeding the same elements reproduces
+    the same results (the replay discipline the
+    :class:`repro.resilience.Supervisor` relies on).
+    """
+
+    operator_names: list[str]
+    operator_states: list[object]
+    output_lengths: dict[str, int]
+    #: per-output ``ts`` of the last punctuation emitted before the
+    #: checkpoint (``None`` when the output has seen no punctuation).
+    watermarks: dict[str, float | None]
 
 
 class Engine:
@@ -78,7 +107,12 @@ class Engine:
     #: further dispatch savings).  256 is the knee on both workloads.
     DEFAULT_BATCH_SIZE = 256
 
-    def __init__(self, plan: Plan, batch_size: int | str | None = None) -> None:
+    def __init__(
+        self,
+        plan: Plan,
+        batch_size: int | str | None = None,
+        guard=None,
+    ) -> None:
         plan.validate()
         if batch_size == "auto":
             batch_size = self.DEFAULT_BATCH_SIZE
@@ -92,6 +126,11 @@ class Engine:
                 raise PlanError(f"batch_size must be >= 1; got {batch_size}")
         self.plan = plan
         self.batch_size = batch_size
+        #: Optional ingress admission control (duck-typed to
+        #: :class:`repro.resilience.OverloadGuard`): consulted for every
+        #: arriving element; elements it refuses are counted as shed
+        #: load instead of entering the plan.
+        self.guard = guard
         self.metrics = MetricsRegistry()
         self._outputs: dict[str, list[Element]] | None = None
 
@@ -111,6 +150,8 @@ class Engine:
             merged = ((only.name, el) for el in only.events())
         else:
             merged = merge_sources(*by_name.values())
+        if self.guard is not None:
+            merged = self._guarded(merged)
         if self.batch_size is None:
             for input_name, element in merged:
                 for consumer, port in self.plan.inputs[input_name]:
@@ -146,6 +187,13 @@ class Engine:
             for consumer, port in inputs[pending_input]:
                 self._dispatch_batch(consumer, pending, port, outputs)
 
+    def _guarded(self, merged):
+        """Filter a merged element stream through the overload guard."""
+        guard = self.guard
+        for input_name, element in merged:
+            if guard.admit(input_name, element):
+                yield input_name, element
+
     # -- incremental interface ------------------------------------------------
 
     def start(self) -> None:
@@ -158,6 +206,8 @@ class Engine:
         self.plan.reset()
         self.metrics = MetricsRegistry()
         self._outputs = {name: [] for name in self.plan.outputs}
+        if self.guard is not None:
+            self.guard.attach(self.plan)
 
     def feed(self, input_name: str, element: Element) -> list[Element]:
         """Push one element into ``input_name``; return new 'out' output.
@@ -172,8 +222,9 @@ class Engine:
             raise PlanError(f"unknown input {input_name!r}")
         primary = next(iter(self.plan.outputs), None)
         before = len(self._outputs[primary]) if primary else 0
-        for consumer, port in self.plan.inputs[input_name]:
-            self._dispatch(consumer, element, port, self._outputs)
+        if self.guard is None or self.guard.admit(input_name, element):
+            for consumer, port in self.plan.inputs[input_name]:
+                self._dispatch(consumer, element, port, self._outputs)
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -194,6 +245,10 @@ class Engine:
         primary = next(iter(self.plan.outputs), None)
         before = len(self._outputs[primary]) if primary else 0
         elements = list(elements)
+        if self.guard is not None:
+            elements = [
+                el for el in elements if self.guard.admit(input_name, el)
+            ]
         for consumer, port in self.plan.inputs[input_name]:
             self._dispatch_batch(consumer, elements, port, self._outputs)
         if primary is None:
@@ -207,7 +262,76 @@ class Engine:
         outputs = self._outputs
         self._flush_all(outputs)
         self._outputs = None
-        return RunResult(outputs=outputs, metrics=self.metrics)
+        dropped = 0
+        if self.guard is not None:
+            dropped = self.guard.dropped()
+            self.guard.publish(self.metrics)
+        return RunResult(
+            outputs=outputs, metrics=self.metrics, dropped=dropped
+        )
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self) -> EngineCheckpoint:
+        """Capture a consistent snapshot of the running engine.
+
+        Must be called between :meth:`start` and :meth:`finish`, at an
+        epoch boundary (i.e. not mid-:meth:`feed`).  The snapshot is
+        detached: later processing does not mutate it, and one
+        checkpoint can seed multiple :meth:`restore_checkpoint` calls.
+        """
+        if self._outputs is None:
+            raise PlanError("Engine.checkpoint() called before start()")
+        names: list[str] = []
+        states: list[object] = []
+        for op in self.plan.topological_order():
+            names.append(op.name)
+            states.append(op.snapshot())
+        watermarks: dict[str, float | None] = {}
+        for out_name, elements in self._outputs.items():
+            mark: float | None = None
+            for el in reversed(elements):
+                if isinstance(el, Punctuation):
+                    mark = el.ts
+                    break
+            watermarks[out_name] = mark
+        return EngineCheckpoint(
+            operator_names=names,
+            operator_states=states,
+            output_lengths={
+                name: len(els) for name, els in self._outputs.items()
+            },
+            watermarks=watermarks,
+        )
+
+    def restore_checkpoint(self, cp: EngineCheckpoint) -> None:
+        """Rewind the engine to a previously captured checkpoint.
+
+        Operator state is restored in topological order and each
+        output is truncated to its checkpointed length, so re-feeding
+        the elements that originally followed the checkpoint replays
+        byte-identical results.
+        """
+        if self._outputs is None:
+            raise PlanError(
+                "Engine.restore_checkpoint() called before start()"
+            )
+        ops = list(self.plan.topological_order())
+        names = [op.name for op in ops]
+        if names != cp.operator_names:
+            raise PlanError(
+                f"checkpoint does not match plan: expected operators "
+                f"{cp.operator_names}, plan has {names}"
+            )
+        for op, state in zip(ops, cp.operator_states):
+            op.reset()
+            op.restore(state)
+        for out_name, length in cp.output_lengths.items():
+            if out_name not in self._outputs:
+                raise PlanError(
+                    f"checkpoint references unknown output {out_name!r}"
+                )
+            del self._outputs[out_name][length:]
 
     # -- internals --------------------------------------------------------
 

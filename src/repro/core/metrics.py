@@ -91,6 +91,13 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.operators: dict[str, OperatorMetrics] = {}
         self.series: dict[str, TimeSeries] = {}
+        #: Free-form named counters (overload drops, supervisor retries,
+        #: replayed epochs, ...) that do not belong to one operator.
+        self.counters: dict[str, float] = {}
+
+    def incr(self, name: str, by: float = 1.0) -> None:
+        """Increment the named run-level counter."""
+        self.counters[name] = self.counters.get(name, 0.0) + by
 
     def for_operator(self, name: str) -> OperatorMetrics:
         if name not in self.operators:

@@ -47,6 +47,11 @@ class OpQueue:
         Maximum total *size* of buffered records.  ``None`` means
         unbounded.  When a record would overflow a bounded queue it is
         dropped (tail drop) and counted in :attr:`stats`.
+
+    Punctuations are *never* dropped, whatever the capacity: losing one
+    would silently stall every downstream flush that waits on it, and
+    the epoch-recovery protocol treats punctuations as commit markers.
+    They also occupy no capacity (:func:`element_size` charges 0).
     """
 
     def __init__(self, name: str = "", capacity: float | None = None) -> None:
@@ -61,6 +66,7 @@ class OpQueue:
         sz = element_size(element)
         if (
             self.capacity is not None
+            and not isinstance(element, Punctuation)
             and sz > 0
             and self._size + sz > self.capacity
         ):

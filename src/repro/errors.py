@@ -61,6 +61,34 @@ class UnboundedMemoryError(SemanticError):
     """
 
 
+class ShardError(StreamError):
+    """A shard worker of a partition-parallel run failed or timed out.
+
+    Attributes
+    ----------
+    shard:
+        Index of the failed shard (``-1`` when unknown).
+    strategy:
+        The sharded-execution strategy in effect (``local``,
+        ``partial``, ``exchange``, or ``single``).
+    worker_traceback:
+        Formatted traceback from the worker, when one crossed the
+        process/thread boundary (``None`` for timeouts).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        shard: int = -1,
+        strategy: str = "",
+        worker_traceback: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.strategy = strategy
+        self.worker_traceback = worker_traceback
+
+
 class SchedulingError(StreamError):
     """A scheduler was configured or invoked inconsistently."""
 

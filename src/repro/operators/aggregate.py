@@ -20,6 +20,7 @@ or holistic aggregates ⇒ unbounded state) are observable through
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.aggregates.functions import AggregateFunction
@@ -190,6 +191,16 @@ class Aggregate(UnaryOperator):
     def reset(self) -> None:
         self._groups.clear()
         self._max_ts = 0.0
+
+    def snapshot(self) -> object:
+        return {
+            "groups": copy.deepcopy(self._groups),
+            "max_ts": self._max_ts,
+        }
+
+    def restore(self, state: object) -> None:
+        self._groups = copy.deepcopy(state["groups"])
+        self._max_ts = state["max_ts"]
 
     def memory(self) -> float:
         return float(
@@ -433,6 +444,27 @@ class WindowedAggregate(UnaryOperator):
             self._delegate.reset()
         else:
             self._buffer.clear()
+
+    def snapshot(self) -> object:
+        if self._tumbling:
+            return {
+                "buckets": copy.deepcopy(self._buckets),
+                "watermark": self._watermark,
+            }
+        if self._punctuated:
+            return {"delegate": self._delegate.snapshot()}
+        # Sliding/row/landmark windows: the buffer holds the whole
+        # window contents; a deep copy is the exact state.
+        return {"buffer": copy.deepcopy(self._buffer)}
+
+    def restore(self, state: object) -> None:
+        if self._tumbling:
+            self._buckets = copy.deepcopy(state["buckets"])
+            self._watermark = state["watermark"]
+        elif self._punctuated:
+            self._delegate.restore(state["delegate"])
+        else:
+            self._buffer = copy.deepcopy(state["buffer"])
 
     def memory(self) -> float:
         if self._tumbling:

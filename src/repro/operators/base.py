@@ -102,6 +102,37 @@ class Operator:
     def reset(self) -> None:
         """Discard all operator state, making the instance reusable."""
 
+    # -- state snapshots ---------------------------------------------------
+
+    def snapshot(self) -> object:
+        """Capture the operator's mutable state for checkpointing.
+
+        Returns a picklable value that, passed to :meth:`restore` on an
+        operator configured identically (same constructor arguments),
+        reproduces this operator's state exactly.  The returned value
+        must be *detached*: later processing on this operator must not
+        mutate an already-taken snapshot, and one snapshot must survive
+        being restored multiple times.  Stateless operators return
+        ``None`` (the base default); stateful operators override both
+        methods.  Epoch-aligned fault tolerance
+        (:mod:`repro.resilience`) is built on this protocol.
+        """
+        return None
+
+    def restore(self, state: object) -> None:
+        """Restore state captured by :meth:`snapshot`.
+
+        The base implementation accepts only ``None`` (the stateless
+        snapshot); a non-``None`` state on an operator that never
+        overrode :meth:`snapshot` indicates a checkpoint/operator
+        mismatch and raises.
+        """
+        if state is not None:
+            raise PlanError(
+                f"operator {self.name!r} ({type(self).__name__}) is "
+                f"stateless but was handed a non-empty snapshot"
+            )
+
     # -- resource model ----------------------------------------------------
 
     def memory(self) -> float:
@@ -196,6 +227,19 @@ class CompiledChain(UnaryOperator):
     def reset(self) -> None:
         for op in self.operators:
             op.reset()
+
+    def snapshot(self) -> object:
+        return [op.snapshot() for op in self.operators]
+
+    def restore(self, state: object) -> None:
+        states = list(state) if state is not None else []
+        if len(states) != len(self.operators):
+            raise PlanError(
+                f"chain {self.name!r} has {len(self.operators)} operators "
+                f"but the snapshot carries {len(states)} states"
+            )
+        for op, st in zip(self.operators, states):
+            op.restore(st)
 
     def memory(self) -> float:
         return sum(op.memory() for op in self.operators)

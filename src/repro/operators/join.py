@@ -73,6 +73,23 @@ class SymmetricHashJoin(BinaryOperator):
         self._tables = ({}, {})
         self.probes = 0
 
+    def snapshot(self) -> object:
+        return {
+            "tables": (
+                {k: list(v) for k, v in self._tables[0].items()},
+                {k: list(v) for k, v in self._tables[1].items()},
+            ),
+            "probes": self.probes,
+        }
+
+    def restore(self, state: object) -> None:
+        left, right = state["tables"]
+        self._tables = (
+            {k: list(v) for k, v in left.items()},
+            {k: list(v) for k, v in right.items()},
+        )
+        self.probes = state["probes"]
+
     def memory(self) -> float:
         return float(
             sum(len(v) for v in self._tables[0].values())

@@ -21,6 +21,7 @@ attribute ``_states``, so algebraic aggregates (avg) merge exactly.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, Sequence
 
 from repro.aggregates.functions import AggregateFunction
@@ -171,6 +172,16 @@ class GroupPartial(UnaryOperator):
         self._groups.clear()
         self.max_ts = 0.0
 
+    def snapshot(self) -> object:
+        return {
+            "groups": copy.deepcopy(self._groups),
+            "max_ts": self.max_ts,
+        }
+
+    def restore(self, state: object) -> None:
+        self._groups = copy.deepcopy(state["groups"])
+        self.max_ts = state["max_ts"]
+
     def memory(self) -> float:
         return float(len(self._groups))
 
@@ -316,6 +327,18 @@ class PartialAggregate(UnaryOperator):
         self._groups.clear()
         self.evictions = 0
 
+    def snapshot(self) -> object:
+        return {
+            "bucket": self._bucket,
+            "groups": copy.deepcopy(self._groups),
+            "evictions": self.evictions,
+        }
+
+    def restore(self, state: object) -> None:
+        self._bucket = state["bucket"]
+        self._groups = copy.deepcopy(state["groups"])
+        self.evictions = state["evictions"]
+
     def memory(self) -> float:
         return float(len(self._groups))
 
@@ -405,6 +428,12 @@ class FinalAggregate(UnaryOperator):
 
     def reset(self) -> None:
         self._merged.clear()
+
+    def snapshot(self) -> object:
+        return {"merged": copy.deepcopy(self._merged)}
+
+    def restore(self, state: object) -> None:
+        self._merged = copy.deepcopy(state["merged"])
 
     def memory(self) -> float:
         return float(len(self._merged))

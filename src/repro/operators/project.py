@@ -133,5 +133,11 @@ class DistinctProject(UnaryOperator):
     def reset(self) -> None:
         self._seen.clear()
 
+    def snapshot(self) -> object:
+        return {"seen": dict(self._seen)}
+
+    def restore(self, state: object) -> None:
+        self._seen = dict(state["seen"])
+
     def memory(self) -> float:
         return float(len(self._seen))

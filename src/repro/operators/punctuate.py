@@ -58,6 +58,12 @@ class Heartbeat(UnaryOperator):
     def reset(self) -> None:
         self._next_boundary = None
 
+    def snapshot(self) -> object:
+        return {"next_boundary": self._next_boundary}
+
+    def restore(self, state: object) -> None:
+        self._next_boundary = state["next_boundary"]
+
 
 class DropPunctuations(UnaryOperator):
     """Remove punctuations from a stream."""
@@ -91,3 +97,10 @@ class PunctuationCounter(UnaryOperator):
     def reset(self) -> None:
         self.records = 0
         self.punctuations = 0
+
+    def snapshot(self) -> object:
+        return {"records": self.records, "punctuations": self.punctuations}
+
+    def restore(self, state: object) -> None:
+        self.records = state["records"]
+        self.punctuations = state["punctuations"]

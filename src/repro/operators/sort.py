@@ -76,6 +76,12 @@ class Sort(UnaryOperator):
     def reset(self) -> None:
         self._buffer = []
 
+    def snapshot(self) -> object:
+        return {"buffer": list(self._buffer)}
+
+    def restore(self, state: object) -> None:
+        self._buffer = list(state["buffer"])
+
     def memory(self) -> float:
         return float(len(self._buffer))
 
@@ -98,6 +104,12 @@ class Limit(UnaryOperator):
 
     def reset(self) -> None:
         self._emitted = 0
+
+    def snapshot(self) -> object:
+        return {"emitted": self._emitted}
+
+    def restore(self, state: object) -> None:
+        self._emitted = state["emitted"]
 
     @property
     def exhausted(self) -> bool:

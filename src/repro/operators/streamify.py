@@ -43,6 +43,12 @@ class IStream(UnaryOperator):
     def reset(self) -> None:
         self._seen.clear()
 
+    def snapshot(self) -> object:
+        return {"seen": set(self._seen)}
+
+    def restore(self, state: object) -> None:
+        self._seen = set(state["seen"])
+
     def memory(self) -> float:
         return float(len(self._seen))
 
@@ -91,6 +97,18 @@ class _SnapshotDiff(UnaryOperator):
         self._current_ts = None
         self._current = {}
         self._previous = {}
+
+    def snapshot(self) -> object:
+        return {
+            "current_ts": self._current_ts,
+            "current": dict(self._current),
+            "previous": dict(self._previous),
+        }
+
+    def restore(self, state: object) -> None:
+        self._current_ts = state["current_ts"]
+        self._current = dict(state["current"])
+        self._previous = dict(state["previous"])
 
     def memory(self) -> float:
         return float(len(self._current) + len(self._previous))

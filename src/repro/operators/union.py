@@ -100,5 +100,17 @@ class OrderedMerge(BinaryOperator):
         self._progress = [float("-inf"), float("-inf")]
         self._counter = 0
 
+    def snapshot(self) -> object:
+        return {
+            "heap": list(self._heap),
+            "progress": list(self._progress),
+            "counter": self._counter,
+        }
+
+    def restore(self, state: object) -> None:
+        self._heap = list(state["heap"])
+        self._progress = list(state["progress"])
+        self._counter = state["counter"]
+
     def memory(self) -> float:
         return float(len(self._heap))

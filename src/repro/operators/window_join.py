@@ -22,6 +22,7 @@ fixed CPU budget without relying on Python wall-clock timing.
 
 from __future__ import annotations
 
+import copy
 from collections import deque
 from typing import Callable, Sequence
 
@@ -283,6 +284,27 @@ class WindowJoin(BinaryOperator):
             side.table.clear()
         self.cpu_used = 0.0
         self.results = 0
+
+    def snapshot(self) -> object:
+        # One deepcopy call over both sides' queue+table keeps the
+        # identity sharing between a side's arrival queue and its hash
+        # buckets (they reference the same Record objects).
+        sides = copy.deepcopy(
+            [(side.queue, side.table) for side in self.sides]
+        )
+        return {
+            "sides": sides,
+            "cpu_used": self.cpu_used,
+            "results": self.results,
+        }
+
+    def restore(self, state: object) -> None:
+        sides = copy.deepcopy(state["sides"])
+        for side, (queue, table) in zip(self.sides, sides):
+            side.queue = queue
+            side.table = table
+        self.cpu_used = state["cpu_used"]
+        self.results = state["results"]
 
     def memory(self) -> float:
         return self.sides[0].memory() + self.sides[1].memory()

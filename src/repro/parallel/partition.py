@@ -78,6 +78,16 @@ class PartitionSpec:
             buckets[self.shard_of(record, start_index + offset)].append(record)
         return buckets
 
+    def narrowed(self, n_shards: int) -> "PartitionSpec":
+        """Return a copy of this spec routing over ``n_shards`` shards.
+
+        Used by the resilience supervisor to degrade a sharded run onto
+        fewer workers after repeated shard failures.
+        """
+        raise PlanError(
+            f"{type(self).__name__} does not support narrowing"
+        )
+
     def describe(self) -> str:
         return f"{type(self).__name__}({self.n_shards})"
 
@@ -110,6 +120,9 @@ class HashPartition(PartitionSpec):
             buckets[crc(blob) % n].append(record)
         return buckets
 
+    def narrowed(self, n_shards: int) -> "HashPartition":
+        return HashPartition(self.key_attrs, n_shards)
+
     def describe(self) -> str:
         return f"hash({', '.join(self.key_attrs)}) % {self.n_shards}"
 
@@ -132,6 +145,9 @@ class RoundRobinPartition(PartitionSpec):
         if not isinstance(records, list):
             records = list(records)
         return [records[(s - start_index) % n :: n] for s in range(n)]
+
+    def narrowed(self, n_shards: int) -> "RoundRobinPartition":
+        return RoundRobinPartition(n_shards)
 
     def describe(self) -> str:
         return f"round_robin % {self.n_shards}"
@@ -158,6 +174,9 @@ class _ExtractorPartition(PartitionSpec):
             return 0
         key = tuple(fn(record) for fn in self.extractors)
         return stable_hash(key) % self.n_shards
+
+    def narrowed(self, n_shards: int) -> "_ExtractorPartition":
+        return _ExtractorPartition(self.extractors, n_shards)
 
     def describe(self) -> str:
         return f"hash(group key) % {self.n_shards}"

@@ -71,9 +71,11 @@ from __future__ import annotations
 
 import copy
 import multiprocessing
+import traceback
 import warnings
 from bisect import bisect_left
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -83,7 +85,7 @@ from repro.core.graph import Plan, linear_plan
 from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source
 from repro.core.tuples import Punctuation, Record
-from repro.errors import PlanError
+from repro.errors import PlanError, ShardError
 from repro.gigascope.decompose import (
     AggregateSplit,
     linearize_plan,
@@ -415,7 +417,12 @@ def _process_shard_entry(
         conn.send(("ok", run))
     except BaseException as exc:  # pragma: no cover - defensive
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                (
+                    "error",
+                    (f"{type(exc).__name__}: {exc}", traceback.format_exc()),
+                )
+            )
         except Exception:
             pass
     finally:
@@ -444,6 +451,12 @@ class ShardedEngine:
         :data:`Engine.DEFAULT_BATCH_SIZE`.
     backend:
         ``"thread"`` (default), ``"process"``, or ``"inline"``.
+    worker_timeout:
+        Seconds to wait for any single shard worker before declaring it
+        hung and raising :class:`~repro.errors.ShardError`.  ``None``
+        (default) waits forever.  For the process backend a timed-out
+        worker is killed; for the thread backend the thread cannot be
+        killed, but the engine stops waiting on it.
     """
 
     def __init__(
@@ -452,6 +465,7 @@ class ShardedEngine:
         partition: PartitionSpec,
         batch_size: int | str | None = "auto",
         backend: str = "thread",
+        worker_timeout: float | None = None,
     ) -> None:
         if not isinstance(partition, PartitionSpec):
             raise PlanError(
@@ -473,10 +487,15 @@ class ShardedEngine:
                 stacklevel=2,
             )
             backend = "thread"
+        if worker_timeout is not None and worker_timeout <= 0:
+            raise PlanError(
+                f"worker_timeout must be > 0 or None; got {worker_timeout}"
+            )
         self.plan = plan
         self.partition = partition
         self.batch_size = batch_size
         self.backend = backend
+        self.worker_timeout = worker_timeout
         self._strategy = _analyze(plan, partition)
         # Validate batch_size eagerly (Engine does the same check).
         Engine(plan, batch_size=batch_size)
@@ -559,11 +578,65 @@ class ShardedEngine:
             for shard, ops in enumerate(shard_ops)
         ]
         if self.backend == "inline" or len(payloads) == 1:
-            return [_run_shard(*payload) for payload in payloads]
+            runs = []
+            for shard, payload in enumerate(payloads):
+                try:
+                    runs.append(_run_shard(*payload))
+                except Exception as exc:
+                    raise self._shard_error(
+                        shard, f"{type(exc).__name__}: {exc}",
+                        worker_traceback=traceback.format_exc(),
+                    ) from exc
+            return runs
         if self.backend == "thread":
-            with ThreadPoolExecutor(max_workers=len(payloads)) as pool:
-                return list(pool.map(lambda p: _run_shard(*p), payloads))
+            return self._execute_thread(payloads)
         return self._execute_process(payloads)
+
+    def _shard_error(
+        self,
+        shard: int,
+        message: str,
+        worker_traceback: str | None = None,
+    ) -> ShardError:
+        strategy = self._strategy.name
+        return ShardError(
+            f"shard {shard} ({strategy} strategy) failed: {message}",
+            shard=shard,
+            strategy=strategy,
+            worker_traceback=worker_traceback,
+        )
+
+    def _execute_thread(self, payloads: list[tuple]) -> list[_ShardRun]:
+        pool = ThreadPoolExecutor(max_workers=len(payloads))
+        futures = [
+            pool.submit(_run_shard, *payload) for payload in payloads
+        ]
+        runs: list[_ShardRun] = []
+        try:
+            for shard, future in enumerate(futures):
+                try:
+                    runs.append(future.result(timeout=self.worker_timeout))
+                except FutureTimeoutError:
+                    raise self._shard_error(
+                        shard,
+                        f"no result within {self.worker_timeout}s "
+                        f"(worker presumed hung)",
+                    ) from None
+                except ShardError:
+                    raise
+                except Exception as exc:
+                    raise self._shard_error(
+                        shard, f"{type(exc).__name__}: {exc}",
+                        worker_traceback=traceback.format_exc(),
+                    ) from exc
+        except ShardError:
+            for future in futures:
+                future.cancel()
+            # Do not wait for a hung worker thread on the way out.
+            pool.shutdown(wait=False)
+            raise
+        pool.shutdown(wait=True)
+        return runs
 
     def _execute_process(self, payloads: list[tuple]) -> list[_ShardRun]:
         ctx = multiprocessing.get_context("fork")
@@ -577,25 +650,44 @@ class ShardedEngine:
             send_conn.close()
             procs.append((proc, recv_conn))
         runs: list[_ShardRun] = []
-        errors: list[str] = []
+        failure: ShardError | None = None
         # Drain pipes before joining: a worker blocked on a full pipe
         # buffer never exits.
         for shard, (proc, conn) in enumerate(procs):
+            if failure is not None:
+                conn.close()
+                continue
             try:
+                if self.worker_timeout is not None and not conn.poll(
+                    self.worker_timeout
+                ):
+                    failure = self._shard_error(
+                        shard,
+                        f"no result within {self.worker_timeout}s "
+                        f"(worker presumed hung)",
+                    )
+                    conn.close()
+                    continue
                 status, payload = conn.recv()
-            except EOFError:  # pragma: no cover - worker died
-                status, payload = "error", "worker exited without a result"
+            except EOFError:
+                status, payload = (
+                    "error",
+                    ("worker exited without a result", None),
+                )
             conn.close()
             if status == "ok":
                 runs.append(payload)
             else:
-                errors.append(f"shard {shard}: {payload}")
+                message, worker_tb = payload
+                failure = self._shard_error(
+                    shard, message, worker_traceback=worker_tb
+                )
         for proc, _conn in procs:
+            if failure is not None and proc.is_alive():
+                proc.terminate()
             proc.join()
-        if errors:
-            raise RuntimeError(
-                "sharded execution failed: " + "; ".join(errors)
-            )
+        if failure is not None:
+            raise failure
         return runs
 
     # -- combining -------------------------------------------------------
@@ -780,9 +872,14 @@ def run_sharded(
     partition: PartitionSpec,
     batch_size: int | str | None = "auto",
     backend: str = "thread",
+    worker_timeout: float | None = None,
 ) -> RunResult:
     """One-shot convenience: build a :class:`ShardedEngine` and run it."""
     engine = ShardedEngine(
-        plan, partition, batch_size=batch_size, backend=backend
+        plan,
+        partition,
+        batch_size=batch_size,
+        backend=backend,
+        worker_timeout=worker_timeout,
     )
     return engine.run(sources)

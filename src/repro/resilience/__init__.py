@@ -1,0 +1,40 @@
+"""Fault-tolerant execution (PR 4 / milestone M4).
+
+Public surface:
+
+* the operator ``snapshot()/restore()`` protocol plus
+  :class:`~repro.core.engine.EngineCheckpoint` — epoch-aligned engine
+  checkpoints (re-exported here for convenience);
+* :class:`~repro.resilience.supervisor.Supervisor` — epoch-lockstep
+  shard supervision over a :class:`~repro.parallel.sharded.ShardedEngine`
+  with checkpoint/replay recovery and graceful degradation;
+* :class:`~repro.resilience.chaos.FaultInjector` — seeded deterministic
+  fault schedules (shard crashes/hangs, operator exceptions, stream
+  perturbations) for the chaos suite;
+* :class:`~repro.resilience.overload.OverloadGuard` — live ingress
+  admission control wiring bounded queues and the shedding controllers
+  into the push engine.
+"""
+
+from repro.core.engine import EngineCheckpoint
+from repro.errors import ShardError
+from repro.resilience.chaos import (
+    Fault,
+    FaultInjector,
+    FaultyOperator,
+    InjectedFault,
+)
+from repro.resilience.overload import OverloadGuard
+from repro.resilience.supervisor import Supervisor, SupervisorReport
+
+__all__ = [
+    "EngineCheckpoint",
+    "ShardError",
+    "Fault",
+    "FaultInjector",
+    "FaultyOperator",
+    "InjectedFault",
+    "OverloadGuard",
+    "Supervisor",
+    "SupervisorReport",
+]

@@ -1,0 +1,230 @@
+"""Chaos-injection harness for resilience testing.
+
+Fault tolerance code is only trustworthy if its failure paths actually
+run.  :class:`FaultInjector` is a *seeded, deterministic* source of
+failures: shard crashes and hangs at chosen (or seeded-random) epochs,
+operator exceptions at the N-th element, and stream perturbations
+(duplicated or locally reordered batches).  Determinism matters twice
+over — a chaos test that fails must replay identically, and the
+supervisor's recovery guarantee ("output bit-identical to the fault-free
+run") is only checkable against a reproducible fault schedule.
+
+Shard faults are *directives*, not side effects: the supervisor asks
+:meth:`FaultInjector.fault_for` in the coordinator process and ships the
+resulting :class:`Fault` to the worker together with the epoch's data.
+This keeps the injector's consumption bookkeeping in one place — a
+forked worker mutating its own copy of the injector would be invisible
+to the parent and to every future worker.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.tuples import Punctuation, Record
+from repro.errors import StreamError
+from repro.operators.base import Element, Operator, UnaryOperator
+
+__all__ = ["InjectedFault", "Fault", "FaultInjector", "FaultyOperator"]
+
+
+class InjectedFault(StreamError):
+    """An artificial failure raised by the chaos harness."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One shard-fault directive, shipped from supervisor to worker.
+
+    ``kind`` is ``"crash"`` (die mid-epoch) or ``"hang"`` (stall for
+    ``seconds``, then die).  Workers apply the fault after feeding half
+    of the epoch's batch, so recovery genuinely has to rewind state —
+    a fault at an epoch boundary would make restore vacuous.
+    """
+
+    kind: str
+    shard: int
+    epoch: int | None
+    seconds: float = 0.0
+
+
+@dataclass
+class _Registered:
+    fault: Fault
+    #: number of attempts (per shard+epoch) the fault fires for
+    times: int
+
+
+class FaultInjector:
+    """Deterministic fault schedule plus stream-perturbation helpers.
+
+    Parameters
+    ----------
+    seed:
+        Seeds both random fault placement
+        (:meth:`crash_random_shard`) and the perturbation helpers.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._registered: list[_Registered] = []
+        #: faults actually handed out, for test assertions
+        self.fired: list[tuple[Fault, int]] = []
+
+    # -- shard fault schedule ---------------------------------------------
+
+    def crash_shard(
+        self, shard: int, epoch: int | None, times: int = 1
+    ) -> None:
+        """Crash ``shard`` during ``epoch`` (``None`` = every epoch)."""
+        self._registered.append(
+            _Registered(Fault("crash", shard, epoch), times)
+        )
+
+    def hang_shard(
+        self,
+        shard: int,
+        epoch: int | None,
+        seconds: float,
+        times: int = 1,
+    ) -> None:
+        """Stall ``shard`` for ``seconds`` during ``epoch``, then die."""
+        self._registered.append(
+            _Registered(Fault("hang", shard, epoch, seconds), times)
+        )
+
+    def crash_random_shard(
+        self, n_shards: int, n_epochs: int
+    ) -> tuple[int, int]:
+        """Schedule one crash at a seeded-random (shard, epoch) pair."""
+        shard = self._rng.randrange(n_shards)
+        epoch = self._rng.randrange(max(1, n_epochs))
+        self.crash_shard(shard, epoch)
+        return shard, epoch
+
+    def fault_for(self, shard: int, epoch: int, attempt: int) -> Fault | None:
+        """The fault (if any) to apply on this attempt of (shard, epoch).
+
+        ``attempt`` counts prior tries of the same (shard, epoch) pair;
+        a fault registered with ``times=k`` fires for attempts
+        ``0..k-1`` and then lets the retry succeed.
+        """
+        for reg in self._registered:
+            f = reg.fault
+            if f.shard != shard:
+                continue
+            if f.epoch is not None and f.epoch != epoch:
+                continue
+            if attempt < reg.times:
+                self.fired.append((f, attempt))
+                return f
+        return None
+
+    # -- stream perturbations ---------------------------------------------
+
+    def duplicate_elements(
+        self, elements: list[Element], rate: float = 0.1
+    ) -> list[Element]:
+        """Duplicate a seeded fraction of records (at-least-once feeds).
+
+        Punctuations are never duplicated: a repeated punctuation is a
+        repeated (harmless, idempotent) assertion, but duplicating it
+        would shift epoch boundaries rather than stress dedup logic.
+        """
+        # str seeds hash deterministically (unlike tuple-of-str hashes,
+        # which vary with PYTHONHASHSEED across processes).
+        rng = random.Random(f"{self.seed}-dup-{len(elements)}")
+        out: list[Element] = []
+        for el in elements:
+            out.append(el)
+            if isinstance(el, Record) and rng.random() < rate:
+                out.append(el)
+        return out
+
+    def reorder_elements(
+        self, elements: list[Element], window: int = 4
+    ) -> list[Element]:
+        """Locally shuffle records between punctuations.
+
+        Records are permuted only within ``window``-sized runs and never
+        across a punctuation, so every punctuation still truthfully
+        covers the records before it.
+        """
+        rng = random.Random(f"{self.seed}-reorder-{len(elements)}")
+        out: list[Element] = []
+        run: list[Element] = []
+
+        def spill() -> None:
+            for i in range(0, len(run), window):
+                chunk = run[i : i + window]
+                rng.shuffle(chunk)
+                out.extend(chunk)
+            run.clear()
+
+        for el in elements:
+            if isinstance(el, Punctuation):
+                spill()
+                out.append(el)
+            else:
+                run.append(el)
+        spill()
+        return out
+
+    # -- operator faults ---------------------------------------------------
+
+    def wrap_operator(self, op: Operator, fail_at: int) -> "FaultyOperator":
+        """Wrap ``op`` to raise after processing ``fail_at`` records."""
+        return FaultyOperator(op, fail_at)
+
+
+class FaultyOperator(UnaryOperator):
+    """Pass-through wrapper that raises at the N-th record — once.
+
+    The fault is one-shot across the operator's lifetime and survives
+    :meth:`reset`: a retried run over the same (restored) operator tree
+    must *not* re-fire, mirroring a transient failure.
+    """
+
+    def __init__(self, inner: Operator, fail_at: int) -> None:
+        super().__init__(
+            f"faulty({inner.name})", inner.cost_per_tuple, inner.selectivity
+        )
+        if inner.arity != 1:
+            raise StreamError("FaultyOperator wraps unary operators only")
+        self.inner = inner
+        self.fail_at = fail_at
+        self._count = 0
+        self._fired = False
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        self._count += 1
+        if not self._fired and self._count >= self.fail_at:
+            self._fired = True
+            raise InjectedFault(
+                f"injected operator fault in {self.inner.name!r} "
+                f"at record {self._count}"
+            )
+        return self.inner.on_record(record, port)
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        return self.inner.on_punctuation(punct, port)
+
+    def flush(self) -> list[Element]:
+        return self.inner.flush()
+
+    def reset(self) -> None:
+        # Deliberately keeps _fired: a transient fault does not recur.
+        self._count = 0
+        self.inner.reset()
+
+    def snapshot(self) -> object:
+        return {"count": self._count, "inner": self.inner.snapshot()}
+
+    def restore(self, state: object) -> None:
+        self._count = state["count"]
+        self.inner.restore(state["inner"])
+
+    def memory(self) -> float:
+        return self.inner.memory()

@@ -1,0 +1,136 @@
+"""Live overload protection for the push engine.
+
+The load-shedding machinery (:mod:`repro.shedding`) was built for the
+simulator, where admission decisions see the simulated clock and memory.
+:class:`OverloadGuard` wires the same policy objects into the *exact*
+push :class:`~repro.core.engine.Engine`:
+
+* every plan input gets a bounded ingress :class:`~repro.core.queues.
+  OpQueue` modelling the backlog accumulated since the last punctuation
+  (a punctuation closes an epoch, which is when a real ingest path
+  drains its buffers) — records that would overflow it are tail-dropped;
+* an optional :class:`~repro.shedding.controller.LoadController` (or any
+  :class:`~repro.shedding.base.Shedder`) is consulted per record with
+  the plan's *measured* operator memory, polled every
+  ``poll_interval`` records so the O(plan) walk stays off the hot path.
+
+Punctuations are always admitted — dropping one would stall every
+punctuation-driven flush downstream — and drain the ingress backlog.
+
+The guard is duck-typed into the engine (``Engine(plan, guard=...)``)
+via four methods: :meth:`attach`, :meth:`admit`, :meth:`dropped`,
+:meth:`publish`.  Drop counts surface in
+:attr:`~repro.core.engine.RunResult.dropped` and as
+``overload.*`` counters in the run's metrics.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import MetricsRegistry
+from repro.core.queues import OpQueue
+from repro.core.tuples import Punctuation, Record
+from repro.errors import SheddingError
+from repro.shedding.base import Shedder
+
+__all__ = ["OverloadGuard"]
+
+
+class OverloadGuard:
+    """Ingress admission control for a push engine.
+
+    Parameters
+    ----------
+    controller:
+        Optional :class:`Shedder` (typically a
+        :class:`~repro.shedding.controller.LoadController`) consulted
+        per record with the polled plan memory plus current backlog.
+    queue_capacity:
+        Per-input ingress backlog bound, in record-*size* units;
+        ``None`` disables tail drop.
+    poll_interval:
+        Records between re-measurements of plan operator memory.
+    """
+
+    def __init__(
+        self,
+        controller: Shedder | None = None,
+        queue_capacity: float | None = None,
+        poll_interval: int = 32,
+    ) -> None:
+        if controller is None and queue_capacity is None:
+            raise SheddingError(
+                "OverloadGuard needs a controller, a queue_capacity, "
+                "or both; with neither it would admit everything"
+            )
+        if queue_capacity is not None and queue_capacity <= 0:
+            raise SheddingError(
+                f"queue_capacity must be > 0; got {queue_capacity}"
+            )
+        if poll_interval < 1:
+            raise SheddingError(
+                f"poll_interval must be >= 1; got {poll_interval}"
+            )
+        self.controller = controller
+        self.queue_capacity = queue_capacity
+        self.poll_interval = poll_interval
+        self._plan = None
+        self._queues: dict[str, OpQueue] = {}
+        self._memory = 0.0
+        self._since_poll = 0
+
+    # -- engine protocol ---------------------------------------------------
+
+    def attach(self, plan) -> None:
+        """Bind to ``plan`` at engine start; resets all counters."""
+        self._plan = plan
+        self._queues = {
+            name: OpQueue(
+                name=f"ingress:{name}", capacity=self.queue_capacity
+            )
+            for name in plan.inputs
+        }
+        self._memory = 0.0
+        self._since_poll = 0
+        if self.controller is not None:
+            self.controller.reset()
+
+    def admit(self, input_name: str, element) -> bool:
+        """Decide whether ``element`` enters the plan."""
+        if isinstance(element, Punctuation):
+            # Epoch boundary: the backlog is considered drained, and
+            # the punctuation itself is never sheddable.
+            for queue in self._queues.values():
+                queue.clear()
+            return True
+        queue = self._queues[input_name]
+        if self.controller is not None:
+            self._since_poll += 1
+            if self._since_poll >= self.poll_interval or self._memory == 0.0:
+                self._memory = sum(
+                    op.memory() for op in self._plan.topological_order()
+                )
+                self._since_poll = 0
+            pressure = self._memory + sum(
+                q.size for q in self._queues.values()
+            )
+            if not self.controller(
+                element, now=getattr(element, "ts", 0.0), memory=pressure
+            ):
+                return False
+        return queue.push(element)
+
+    def dropped(self) -> int:
+        """Total records refused so far (shed + queue tail drops)."""
+        total = sum(q.stats.dropped for q in self._queues.values())
+        if self.controller is not None:
+            total += self.controller.dropped
+        return total
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Report drop/admission counters into a run's metrics."""
+        metrics.incr("overload.dropped", self.dropped())
+        queue_drops = sum(q.stats.dropped for q in self._queues.values())
+        metrics.incr("overload.queue_dropped", queue_drops)
+        if self.controller is not None:
+            metrics.incr("overload.shed", self.controller.dropped)
+            metrics.incr("overload.admitted", self.controller.admitted)

@@ -15,7 +15,7 @@ import pytest
 
 from repro.core import ListSource, Punctuation, Record, run_plan
 from repro.core.graph import linear_plan
-from repro.errors import PlanError, SchemaError
+from repro.errors import PlanError, SchemaError, ShardError
 from repro.operators import AggSpec, Aggregate, Select
 from repro.operators.project import DistinctProject
 from repro.parallel import (
@@ -290,18 +290,54 @@ def test_invalid_batch_size_rejected():
         ShardedEngine(plan, RoundRobinPartition(2), batch_size=0)
 
 
-@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("backend", BACKENDS + ["inline"])
 def test_worker_failure_propagates(backend):
     plan = linear_plan(
         "calls", [Select(lambda r: r["missing"] > 0, name="boom")]
     )
-    rows = [{"ts": 0.0, "v": 1}]
-    # thread backend re-raises the worker's SchemaError; the process
-    # backend wraps it in a RuntimeError carrying the shard id.
-    with pytest.raises((RuntimeError, SchemaError)):
+    rows = [{"ts": 0.0, "v": 1}, {"ts": 1.0, "v": 2}]
+    # Every backend wraps the worker's SchemaError in a ShardError
+    # carrying the shard id and strategy; the process backend also
+    # ships the worker's formatted traceback across the pipe.
+    with pytest.raises(ShardError) as excinfo:
         run_sharded(
             plan,
             {"calls": ListSource("calls", rows, ts_attr="ts")},
             RoundRobinPartition(2),
             backend=backend,
         )
+    err = excinfo.value
+    assert err.shard in (0, 1)
+    assert err.strategy == "local"
+    assert "SchemaError" in str(err)
+    if backend == "process":
+        assert err.worker_traceback is not None
+        assert "SchemaError" in err.worker_traceback
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_worker_timeout_raises_shard_error(backend):
+    """A hung worker must surface as ShardError, not block forever."""
+    import time
+
+    plan = linear_plan(
+        "calls",
+        # Long enough to trip the 0.2s timeout, short enough that the
+        # abandoned worker thread drains quickly at interpreter exit.
+        [Select(lambda r: time.sleep(1.0) or True, name="stall")],
+    )
+    rows = [{"ts": 0.0, "v": 1}, {"ts": 1.0, "v": 2}]
+    with pytest.raises(ShardError, match="hung"):
+        run_sharded(
+            plan,
+            {"calls": ListSource("calls", rows, ts_attr="ts")},
+            RoundRobinPartition(2),
+            backend=backend,
+            worker_timeout=0.2,
+        )
+
+
+def test_worker_timeout_validation():
+    plan, _ = fraud_cdr_chain()
+    with pytest.raises(PlanError, match="worker_timeout"):
+        ShardedEngine(plan, RoundRobinPartition(2), worker_timeout=0.0)

@@ -1,0 +1,319 @@
+"""Chaos suite: supervised execution must survive injected failures
+with output *bit-identical* to a fault-free single-engine run.
+
+The contract under test is the strongest one the resilience layer
+makes: for every differential plan in the registry, crashing any single
+shard once at a seeded-random epoch — on the thread AND the process
+backend — changes nothing about the output.  Records, punctuation
+positions, timestamps, everything.  Recovery that "mostly works"
+(drops an epoch, double-counts a replay) fails element-for-element
+comparison immediately.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.core.engine import resolve_sources
+from repro.core.graph import linear_plan
+from repro.errors import PlanError
+from repro.operators import AggSpec, Aggregate, Select
+from repro.parallel import HashPartition, RoundRobinPartition, ShardedEngine
+from repro.parallel.partition import split_epochs
+from repro.resilience import FaultInjector, InjectedFault, Supervisor
+from tests.core.test_batch_equivalence import ALL_PLANS, fraud_cdr_chain
+from tests.parallel.test_sharded_equivalence import (
+    _assert_identical,
+    _hash_key_for,
+)
+
+BACKENDS = ["thread", "process"]
+N_SHARDS = 4
+
+
+def _epoch_count(plan, sources, engine: ShardedEngine) -> int:
+    st = engine._strategy
+    by_name = resolve_sources(plan, sources)
+    return len(split_epochs(list(by_name[st.input_name].events()), st.routing))
+
+
+def _supervised(engine, injector=None, **kw):
+    kw.setdefault("backoff_base", 0.001)
+    kw.setdefault("epoch_timeout", 30.0)
+    return Supervisor(engine, injector=injector, **kw)
+
+
+# --------------------------------------------------------------------------
+# the headline guarantee: single-shard crash, every plan, both backends
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_single_crash_is_invisible(name, backend):
+    """Kill one seeded-random shard once; output must be unchanged."""
+    plan, sources = ALL_PLANS[name]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(
+        plan, HashPartition(_hash_key_for(name), N_SHARDS), backend=backend
+    )
+    # crc32, not hash(): str hashes vary with PYTHONHASHSEED and the
+    # fault schedule must be reproducible run to run.
+    injector = FaultInjector(seed=zlib.crc32(name.encode()) % 10_000)
+    if engine.strategy != "single":
+        injector.crash_random_shard(
+            N_SHARDS, _epoch_count(plan, sources, engine)
+        )
+    supervisor = _supervised(engine, injector)
+    result = supervisor.run(sources)
+    _assert_identical(name, f"crash/{backend}", baseline, result)
+    if engine.strategy != "single":
+        assert injector.fired, "the scheduled crash never fired"
+        assert supervisor.report.retries >= 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_crash_under_round_robin_partial(backend):
+    """The partial (aggregate push-down) strategy recovers too: the
+    checkpoint carries shard-local partial aggregate state."""
+    plan, sources = ALL_PLANS["cdr_select_project_aggregate_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, RoundRobinPartition(3), backend=backend)
+    assert engine.strategy == "partial"
+    injector = FaultInjector(seed=5)
+    injector.crash_random_shard(3, _epoch_count(plan, sources, engine))
+    supervisor = _supervised(engine, injector)
+    result = supervisor.run(sources)
+    _assert_identical("partial", f"crash/{backend}", baseline, result)
+    assert supervisor.report.retries >= 1
+
+
+# --------------------------------------------------------------------------
+# hangs, checkpoint spacing, dedup of replayed epochs
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_hung_shard_is_detected_and_replaced(backend):
+    plan, sources = ALL_PLANS["cdr_select_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 2), backend=backend)
+    injector = FaultInjector(seed=9)
+    injector.hang_shard(1, epoch=3, seconds=0.5)
+    supervisor = _supervised(engine, injector, epoch_timeout=0.1)
+    result = supervisor.run(sources)
+    _assert_identical("hang", backend, baseline, result)
+    assert supervisor.report.retries == 1
+    assert any("hung" in ev for ev in supervisor.report.events)
+
+
+@pytest.mark.parametrize("checkpoint_every", [1, 3, 10])
+def test_sparse_checkpoints_replay_and_dedupe(checkpoint_every):
+    """With checkpoints every k epochs, a crash forces up to k-1 epochs
+    of replay.  Replayed output must be discarded (deduped): if it were
+    re-emitted, the element-for-element comparison would see the extra
+    epochs immediately."""
+    plan, sources = ALL_PLANS["cdr_select_project_aggregate_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 2))
+    n_epochs = _epoch_count(plan, sources, engine)
+    crash_epoch = n_epochs - 2
+    injector = FaultInjector(seed=1)
+    injector.crash_shard(0, epoch=crash_epoch)
+    supervisor = _supervised(
+        engine, injector, checkpoint_every=checkpoint_every
+    )
+    result = supervisor.run(sources)
+    _assert_identical("dedupe", f"cp={checkpoint_every}", baseline, result)
+    expected_replay = crash_epoch - (
+        (crash_epoch // checkpoint_every) * checkpoint_every
+    )
+    assert supervisor.report.replayed_epochs == expected_replay
+
+
+def test_two_crashes_on_different_shards():
+    plan, sources = ALL_PLANS["cdr_extend_distinct_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 4))
+    injector = FaultInjector(seed=2)
+    injector.crash_shard(0, epoch=1)
+    injector.crash_shard(2, epoch=5)
+    supervisor = _supervised(engine, injector, checkpoint_every=2)
+    result = supervisor.run(sources)
+    _assert_identical("two-crashes", "thread", baseline, result)
+    assert supervisor.report.retries == 2
+
+
+def test_repeated_crash_retries_with_backoff_then_succeeds():
+    plan, sources = ALL_PLANS["cdr_select_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 2))
+    injector = FaultInjector(seed=4)
+    injector.crash_shard(1, epoch=2, times=3)  # three attempts die
+    supervisor = _supervised(engine, injector, max_retries=3)
+    result = supervisor.run(sources)
+    _assert_identical("triple-crash", "thread", baseline, result)
+    assert supervisor.report.retries == 3
+
+
+# --------------------------------------------------------------------------
+# graceful degradation
+# --------------------------------------------------------------------------
+
+
+def test_persistent_crash_degrades_to_fewer_shards_then_single():
+    """A shard that dies on every attempt walks the ladder
+    4 -> 2 -> 1 -> plain engine, and the answer still matches."""
+    plan, sources = ALL_PLANS["cdr_select_project_aggregate_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 4))
+    injector = FaultInjector(seed=6)
+    injector.crash_shard(0, epoch=None, times=10**9)  # never recovers
+    supervisor = _supervised(engine, injector, max_retries=1)
+    result = supervisor.run(sources)
+    _assert_identical("degrade", "ladder", baseline, result)
+    assert supervisor.report.degraded_to == "single"
+    assert any("degraded" in ev for ev in supervisor.report.events)
+    assert result.metrics.counters.get("supervisor.degradations") == 1.0
+
+
+def test_degradation_stops_midway_when_failures_stop():
+    """If only shards >= 2 are cursed, the 2-shard rung succeeds."""
+    plan, sources = ALL_PLANS["cdr_select_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, HashPartition("origin", 4))
+    injector = FaultInjector(seed=8)
+    injector.crash_shard(2, epoch=None, times=10**9)
+    injector.crash_shard(3, epoch=None, times=10**9)
+    supervisor = _supervised(engine, injector, max_retries=0)
+    result = supervisor.run(sources)
+    _assert_identical("degrade", "partial-ladder", baseline, result)
+    assert supervisor.report.degraded_to == "shards=2"
+
+
+# --------------------------------------------------------------------------
+# single-engine fallback and operator faults
+# --------------------------------------------------------------------------
+
+
+def test_single_strategy_plan_retries_transient_operator_fault():
+    """Plans with no sharded strategy run on one engine; a transient
+    injected operator fault is retried and the answer is unchanged."""
+    injector = FaultInjector(seed=3)
+    rows = [
+        Record({"ts": float(i), "v": i % 7}, ts=float(i)) for i in range(60)
+    ]
+
+    def build(with_fault: bool):
+        select = Select(lambda r: r["v"] > 1, name="keep")
+        agg = Aggregate(["v"], [AggSpec("n", "count")], name="by_v")
+        first = injector.wrap_operator(select, fail_at=30) if with_fault else select
+        return linear_plan("s", [first, agg])
+
+    sources = {"s": ListSource("s", rows)}
+    baseline = run_plan(build(False), sources)
+    plan = build(True)
+    engine = ShardedEngine(plan, RoundRobinPartition(2))
+    assert engine.strategy == "single"  # FaultyOperator is unknown to it
+    supervisor = _supervised(engine)
+    result = supervisor.run(sources)
+    _assert_identical("faulty-op", "single", baseline, result)
+    assert supervisor.report.retries == 1
+
+
+def test_single_strategy_fault_exhausts_retries():
+    """A permanent fault on the single-engine path surfaces after
+    max_retries clean re-attempts."""
+
+    from repro.operators.base import UnaryOperator
+
+    class _AlwaysBoom(UnaryOperator):
+        def on_record(self, record, port):
+            raise InjectedFault("permanent")
+
+    plan = linear_plan("s", [_AlwaysBoom(name="boom")])
+    rows = [Record({"ts": 0.0, "v": 1}, ts=0.0)]
+    engine = ShardedEngine(plan, RoundRobinPartition(2))
+    assert engine.strategy == "single"
+    supervisor = _supervised(engine, max_retries=2)
+    with pytest.raises(InjectedFault):
+        supervisor.run({"s": ListSource("s", rows)})
+    assert supervisor.report.retries == 2
+
+
+# --------------------------------------------------------------------------
+# stream perturbation helpers
+# --------------------------------------------------------------------------
+
+
+def _stamped(n=50, every=10):
+    out = []
+    for i in range(n):
+        out.append(Record({"ts": float(i), "v": i}, ts=float(i), seq=i))
+        if i % every == every - 1:
+            out.append(Punctuation.time_bound("ts", float(i), ts=float(i)))
+    return out
+
+
+def test_duplicate_elements_is_seeded_and_spares_punctuations():
+    elements = _stamped()
+    a = FaultInjector(seed=1).duplicate_elements(elements, rate=0.3)
+    b = FaultInjector(seed=1).duplicate_elements(elements, rate=0.3)
+    c = FaultInjector(seed=2).duplicate_elements(elements, rate=0.3)
+    assert a == b  # deterministic under the seed
+    assert a != c
+    assert len(a) > len(elements)
+    n_punct = sum(isinstance(el, Punctuation) for el in elements)
+    assert sum(isinstance(el, Punctuation) for el in a) == n_punct
+
+
+def test_reorder_elements_keeps_punctuations_truthful():
+    elements = _stamped()
+    shuffled = FaultInjector(seed=7).reorder_elements(elements, window=4)
+    assert shuffled != elements  # something actually moved
+    assert sorted(
+        (el.ts, el.seq) for el in shuffled if isinstance(el, Record)
+    ) == sorted((el.ts, el.seq) for el in elements if isinstance(el, Record))
+    # No record may cross a punctuation: every punctuation still bounds
+    # everything before it.
+    seen_bound = float("-inf")
+    for el in shuffled:
+        if isinstance(el, Punctuation):
+            seen_bound = el.bound_for("ts")
+        else:
+            assert el.ts > seen_bound
+
+
+def test_reorder_is_deterministic():
+    elements = _stamped(80, every=16)
+    a = FaultInjector(seed=42).reorder_elements(elements, window=5)
+    b = FaultInjector(seed=42).reorder_elements(elements, window=5)
+    assert a == b
+
+
+# --------------------------------------------------------------------------
+# validation
+# --------------------------------------------------------------------------
+
+
+def test_supervisor_validates_parameters():
+    plan, _ = fraud_cdr_chain()
+    engine = ShardedEngine(plan, HashPartition("origin", 2))
+    with pytest.raises(PlanError, match="max_retries"):
+        Supervisor(engine, max_retries=-1)
+    with pytest.raises(PlanError, match="checkpoint_every"):
+        Supervisor(engine, checkpoint_every=0)
+
+
+def test_narrowing_partitions():
+    assert HashPartition("a", 8).narrowed(2).n_shards == 2
+    assert RoundRobinPartition(8).narrowed(3).n_shards == 3
+    assert HashPartition(("a", "b"), 4).narrowed(1).key_attrs == ("a", "b")
+
+    from repro.parallel.partition import PartitionSpec
+
+    with pytest.raises(PlanError, match="narrowing"):
+        PartitionSpec(2).narrowed(1)

@@ -226,7 +226,9 @@ def record_baseline(path: str | Path | None = None) -> dict:
     baseline["m2_speedup_256_vs_1"] = {
         w: round(by["256"] / by["1"], 2) for w, by in scaling.items()
     }
-    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    Path(path).write_text(
+        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
+    )
     return baseline
 
 

@@ -201,7 +201,9 @@ def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
         w: {b: round(by["4"] / by["1"], 2) for b, by in per.items()}
         for w, per in scaling.items()
     }
-    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    Path(path).write_text(
+        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
+    )
     return baseline
 
 

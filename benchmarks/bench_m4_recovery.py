@@ -266,7 +266,9 @@ def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
             elements, baseline_outputs, crash_epoch
         ),
     }
-    Path(path).write_text(json.dumps(baseline, indent=2) + "\n")
+    Path(path).write_text(
+        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
+    )
     return baseline
 
 

@@ -1,0 +1,221 @@
+"""M5 — Observer overhead and measured-rate fidelity (wall-clock).
+
+The observe layer is only usable always-on if watching the engine does
+not meaningfully slow it down.  This bench runs the M2 CDR plan
+(select → project → aggregate, ``batch_size=256``) with observation
+off and at sampling strides 1, 8, and 64, interleaving the
+configurations round-robin and keeping best-of times so machine drift
+hits every configuration equally.
+
+Gates (the M5 acceptance criteria):
+
+* **overhead** — at ``sampling=64`` the observed run is < 5% slower
+  than the unobserved run;
+* **fidelity** — at ``sampling=1`` the summed per-operator
+  ``wall_time`` lands within 2x of the externally measured end-to-end
+  run time (the estimator measures the run it is part of).
+
+``--smoke`` runs both gates on a reduced input (CI); ``--check-json``
+strict-parses every committed ``BENCH_*.json`` (no NaN/Infinity
+literals — the serialization bug this PR's metrics audit fixed);
+running with no flag records ``BENCH_m5.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_m2_batch_throughput import _cdr_source, cdr_plan
+from repro.core import ListSource, run_plan
+from repro.observe import ObserveConfig
+
+SAMPLING = [1, 8, 64]
+BATCH = 256
+N = 20000
+GATE_SAMPLING = 64
+GATE_PCT = 5.0
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _configs() -> dict[str, ObserveConfig | None]:
+    return {
+        "off": None,
+        **{
+            f"sampling={s}": ObserveConfig(sampling=s)
+            for s in SAMPLING
+        },
+    }
+
+
+def overhead_ladder(
+    source: ListSource, repeats: int = 5
+) -> dict[str, float]:
+    """Best-of e2e seconds per observe configuration, interleaved."""
+    plan = cdr_plan()
+    best = {name: float("inf") for name in _configs()}
+    for _ in range(repeats):
+        for name, cfg in _configs().items():
+            t0 = time.perf_counter()
+            run_plan(plan, [source], batch_size=BATCH, observe=cfg)
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+def overhead_pct(best: dict[str, float]) -> dict[str, float]:
+    """Percent slowdown of each observed configuration vs off."""
+    off = best["off"]
+    return {
+        name: round(100.0 * (seconds / off - 1.0), 2)
+        for name, seconds in best.items()
+        if name != "off"
+    }
+
+
+def measure_fidelity(source: ListSource) -> dict:
+    """One fully-observed run: wall-time share and measured rates."""
+    plan = cdr_plan()
+    t0 = time.perf_counter()
+    result = run_plan(
+        plan, [source], batch_size=BATCH, observe=ObserveConfig(sampling=1)
+    )
+    e2e = time.perf_counter() - t0
+    summary = result.metrics.summary()
+    total_wall = sum(m["wall_time"] for m in summary.values())
+    return {
+        "e2e_seconds": round(e2e, 6),
+        "total_operator_wall_seconds": round(total_wall, 6),
+        "wall_over_e2e": round(total_wall / e2e, 4),
+        "measured_rates_tuples_per_sec": {
+            name: m["measured_rate"] for name, m in summary.items()
+        },
+        "modeled_busy_time_units": {
+            name: m["busy_time"] for name, m in summary.items()
+        },
+    }
+
+
+def _gated_ladder(
+    source: ListSource, repeats: int, attempts: int = 3
+) -> tuple[dict[str, float], float]:
+    """Re-measure up to ``attempts`` times before failing the 5% gate
+    (best-of timing is stable, but CI machines are shared)."""
+    pct = float("inf")
+    best: dict[str, float] = {}
+    for _ in range(attempts):
+        best = overhead_ladder(source, repeats)
+        pct = overhead_pct(best)[f"sampling={GATE_SAMPLING}"]
+        if pct < GATE_PCT:
+            break
+    return best, pct
+
+
+def smoke(n: int = N, repeats: int = 5) -> dict:
+    """CI gate: overhead < 5% at sampling=64, wall/e2e within 2x."""
+    source = _cdr_source(n)
+    best, pct = _gated_ladder(source, repeats)
+    fidelity = measure_fidelity(source)
+    payload = {
+        "n_tuples": n,
+        "batch_size": BATCH,
+        "e2e_seconds_best": {k: round(v, 6) for k, v in best.items()},
+        "overhead_pct_vs_off": overhead_pct(best),
+        "fidelity": fidelity,
+    }
+    if pct >= GATE_PCT:
+        raise SystemExit(
+            f"observer overhead at sampling={GATE_SAMPLING} is "
+            f"{pct:.2f}% (gate: < {GATE_PCT}%)"
+        )
+    ratio = fidelity["wall_over_e2e"]
+    if not 0.0 < ratio <= 2.0:
+        raise SystemExit(
+            f"summed operator wall_time is {ratio:.2f}x the end-to-end "
+            f"time (gate: within 2x)"
+        )
+    return payload
+
+
+def check_committed_json() -> list[str]:
+    """Strict-parse every committed BENCH_*.json baseline."""
+    paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        raise SystemExit("no BENCH_*.json baselines found")
+
+    def refuse(constant: str):
+        raise SystemExit(
+            f"{path}: contains non-strict JSON constant {constant!r}"
+        )
+
+    for path in paths:
+        json.loads(path.read_text(), parse_constant=refuse)
+    return [p.name for p in paths]
+
+
+# -- pytest entry point -----------------------------------------------------
+
+
+def test_m5_observer_overhead_report(report):
+    emit, table = report
+    source = _cdr_source(N)
+    best, pct = _gated_ladder(source, repeats=5)
+    pcts = overhead_pct(best)
+    table(
+        ["configuration", "e2e best (s)", "overhead vs off"],
+        [["off", round(best["off"], 4), "-"]]
+        + [
+            [name, round(best[name], 4), f"{pcts[name]:+.2f}%"]
+            for name in pcts
+        ],
+        title="M5: observer overhead on the M2 CDR plan (batch=256)",
+    )
+    fidelity = measure_fidelity(source)
+    emit(
+        f"(sampling=1 fidelity: operator wall_time sums to "
+        f"{fidelity['wall_over_e2e']:.2f}x the end-to-end time)"
+    )
+    assert pct < GATE_PCT, (
+        f"observer overhead at sampling={GATE_SAMPLING} is {pct:.2f}% "
+        f"(expected < {GATE_PCT}%)"
+    )
+    assert 0.0 < fidelity["wall_over_e2e"] <= 2.0
+
+
+# -- baseline recording -----------------------------------------------------
+
+
+def record_baseline(path: str | Path | None = None) -> dict:
+    if path is None:
+        path = REPO_ROOT / "BENCH_m5.json"
+    source = _cdr_source(N)
+    best = overhead_ladder(source, repeats=5)
+    baseline = {
+        "n_tuples": N,
+        "batch_size": BATCH,
+        "sampling_strides": SAMPLING,
+        "m5_e2e_seconds_best": {k: round(v, 6) for k, v in best.items()},
+        "m5_overhead_pct_vs_off": overhead_pct(best),
+        "m5_fidelity_sampling_1": measure_fidelity(source),
+    }
+    Path(path).write_text(
+        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
+    )
+    return baseline
+
+
+if __name__ == "__main__":
+    if "--check-json" in sys.argv:
+        checked = check_committed_json()
+        print(f"strict-JSON ok: {', '.join(checked)}")
+    elif "--smoke" in sys.argv:
+        print(json.dumps(smoke(n=8000, repeats=5), indent=2))
+        print(
+            f"smoke ok: overhead < {GATE_PCT}% at sampling="
+            f"{GATE_SAMPLING}, wall/e2e within 2x"
+        )
+    else:
+        print(json.dumps(record_baseline(), indent=2))

@@ -18,6 +18,7 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source, merge_sources
 from repro.core.tuples import Punctuation, Record
 from repro.errors import PlanError
+from repro.observe.observer import ObserveConfig, Observer
 
 __all__ = [
     "RunResult",
@@ -112,6 +113,7 @@ class Engine:
         plan: Plan,
         batch_size: int | str | None = None,
         guard=None,
+        observe=None,
     ) -> None:
         plan.validate()
         if batch_size == "auto":
@@ -131,6 +133,14 @@ class Engine:
         #: arriving element; elements it refuses are counted as shed
         #: load instead of entering the plan.
         self.guard = guard
+        #: Wall-clock observation: ``None`` (off), ``True``, an ``int``
+        #: sampling stride, or an :class:`~repro.observe.ObserveConfig`.
+        #: When set, operator dispatches are ``perf_counter``-timed
+        #: (1-in-N sampled) into ``wall_time``/latency histograms, and
+        #: queue-depth / watermark gauges are sampled at batch
+        #: boundaries — see :mod:`repro.observe`.
+        self.observe_config = ObserveConfig.coerce(observe)
+        self._observer: Observer | None = None
         self.metrics = MetricsRegistry()
         self._outputs: dict[str, list[Element]] | None = None
 
@@ -165,6 +175,7 @@ class Engine:
         batch_size = self.batch_size
         assert batch_size is not None
         inputs = self.plan.inputs
+        observing = self._observer is not None
         pending: list[Element] = []
         pending_input: str | None = None
         for input_name, element in merged:
@@ -173,6 +184,8 @@ class Engine:
             ):
                 for consumer, port in inputs[pending_input]:
                     self._dispatch_batch(consumer, pending, port, outputs)
+                if observing:
+                    self._observe_chunk(pending[-1])
                 pending = []
             pending_input = input_name
             pending.append(element)
@@ -181,11 +194,25 @@ class Engine:
                 # flushes keep their tuple-at-a-time positions.
                 for consumer, port in inputs[pending_input]:
                     self._dispatch_batch(consumer, pending, port, outputs)
+                if observing:
+                    self._observe_chunk(element)
                 pending = []
         if pending:
             assert pending_input is not None
             for consumer, port in inputs[pending_input]:
                 self._dispatch_batch(consumer, pending, port, outputs)
+            if observing:
+                self._observe_chunk(pending[-1])
+
+    def _observe_chunk(self, last_element: Element) -> None:
+        """Batch-boundary observation: stream-progress gauges plus, when
+        an overload guard is attached, its ingress queue depths."""
+        obs = self._observer
+        obs.on_chunk(last_element)
+        if self.guard is not None:
+            queues = getattr(self.guard, "ingress_queues", None)
+            if queues is not None:
+                obs.sample_queues(queues())
 
     def _guarded(self, merged):
         """Filter a merged element stream through the overload guard."""
@@ -205,9 +232,21 @@ class Engine:
         """
         self.plan.reset()
         self.metrics = MetricsRegistry()
+        for op in self.plan.topological_order():
+            self.metrics.operator_kinds[op.name] = getattr(
+                op, "kind", type(op).__name__.lower()
+            )
+        if self.observe_config is not None:
+            self._observer = Observer(self.observe_config, self.metrics)
+            self._observer.start_run()
+        else:
+            self._observer = None
         self._outputs = {name: [] for name in self.plan.outputs}
         if self.guard is not None:
             self.guard.attach(self.plan)
+            bind = getattr(self.guard, "bind_observer", None)
+            if bind is not None:
+                bind(self._observer)
 
     def feed(self, input_name: str, element: Element) -> list[Element]:
         """Push one element into ``input_name``; return new 'out' output.
@@ -251,6 +290,8 @@ class Engine:
             ]
         for consumer, port in self.plan.inputs[input_name]:
             self._dispatch_batch(consumer, elements, port, self._outputs)
+        if self._observer is not None and elements:
+            self._observe_chunk(elements[-1])
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -266,6 +307,9 @@ class Engine:
         if self.guard is not None:
             dropped = self.guard.dropped()
             self.guard.publish(self.metrics)
+        if self._observer is not None:
+            self._observer.finish_run()
+            self._observer = None
         return RunResult(
             outputs=outputs, metrics=self.metrics, dropped=dropped
         )
@@ -354,7 +398,16 @@ class Engine:
             m.punctuations_in += 1
         m.invocations += 1
         m.busy_time += operator.cost_per_tuple
-        produced = operator.process(element, port)
+        obs = self._observer
+        if obs is None:
+            produced = operator.process(element, port)
+        else:
+            # Inline per-operator sampling: untimed path = one decrement.
+            m.sample_tick -= 1
+            if m.sample_tick <= 0:
+                produced = obs.timed_process(operator, element, port, m)
+            else:
+                produced = operator.process(element, port)
         for out in produced:
             if isinstance(out, Record):
                 m.records_out += 1
@@ -381,7 +434,17 @@ class Engine:
         m.invocations += 1
         m.batches_in += 1
         m.busy_time += operator.cost_per_tuple * len(elements)
-        produced = operator.process_batch(elements, port)
+        obs = self._observer
+        if obs is None:
+            produced = operator.process_batch(elements, port)
+        else:
+            m.sample_tick -= 1
+            if m.sample_tick <= 0:
+                produced = obs.timed_process_batch(
+                    operator, elements, port, m
+                )
+            else:
+                produced = operator.process_batch(elements, port)
         for out in produced:
             if isinstance(out, Record):
                 m.records_out += 1
@@ -452,11 +515,13 @@ def run_plan(
     plan: Plan,
     sources: Sequence[Source] | Mapping[str, Source],
     batch_size: int | str | None = None,
+    observe=None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`Engine` and run it.
 
     ``batch_size=None`` executes tuple-at-a-time; an integer enables the
     micro-batched path (identical outputs, amortized dispatch);
-    ``"auto"`` selects :data:`Engine.DEFAULT_BATCH_SIZE`.
+    ``"auto"`` selects :data:`Engine.DEFAULT_BATCH_SIZE`.  ``observe``
+    enables wall-clock measurement (see :mod:`repro.observe`).
     """
-    return Engine(plan, batch_size=batch_size).run(sources)
+    return Engine(plan, batch_size=batch_size, observe=observe).run(sources)

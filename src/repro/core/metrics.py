@@ -3,14 +3,53 @@
 Both execution modes record per-operator counters; simulations also
 record time series (queue memory per tick, cumulative outputs) used by
 the scheduling/shedding experiments (slides 42-44).
+
+Two kinds of measurement coexist per operator:
+
+* ``busy_time`` — *modeled* virtual service time, charged from
+  ``cost_per_tuple``.  The simulator and the scheduling experiments
+  reason in these units, so they are deterministic and hardware-free.
+* ``wall_time`` — *measured* wall-clock seconds, recorded by the
+  :mod:`repro.observe` layer (``perf_counter`` spans, optionally
+  sampled).  Rate-based optimization and overload control can consume
+  these instead of the model (slides 41-44 presume the DSMS can measure
+  itself).
+
+The registry also carries the observability primitives those
+measurements land in: fixed-bucket :class:`FixedHistogram` (latency and
+batch-size distributions), last/min/max :class:`Gauge` (queue depth,
+watermark lag), free-form run counters, and finished trace spans.
 """
 
 from __future__ import annotations
 
 import math
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
+from typing import Iterable, Sequence
 
-__all__ = ["OperatorMetrics", "TimeSeries", "MetricsRegistry"]
+__all__ = [
+    "OperatorMetrics",
+    "TimeSeries",
+    "Gauge",
+    "FixedHistogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS",
+    "BATCH_BUCKETS",
+]
+
+#: Default per-dispatch latency buckets (seconds): 1µs .. 1s, roughly
+#: geometric.  The +inf overflow bucket is implicit.
+LATENCY_BUCKETS: tuple[float, ...] = (
+    1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+    1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+    1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1, 1.0,
+)
+
+#: Default batch-size buckets (elements per dispatched micro-batch).
+BATCH_BUCKETS: tuple[float, ...] = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096,
+)
 
 
 @dataclass
@@ -26,6 +65,21 @@ class OperatorMetrics:
     #: Micro-batches dispatched to the operator (0 when the engine runs
     #: tuple-at-a-time; each batch also counts one invocation).
     batches_in: int = 0
+    #: Estimated wall-clock seconds spent inside the operator's
+    #: ``process``/``process_batch`` calls (self time, excluding
+    #: downstream propagation).  Under 1-in-N sampling each measured
+    #: span is charged N times, so this stays an estimate of the total.
+    #: 0.0 when no observer was attached.
+    wall_time: float = 0.0
+    #: Dispatches actually measured with ``perf_counter`` (<= invocations
+    #: under sampling; 0 without an observer).
+    timed_invocations: int = 0
+    #: Observer sampling countdown — scheduling state, not a measurement.
+    #: Kept per operator so a fixed dispatch pattern (e.g. a two-operator
+    #: chain with an even stride) cannot alias the sampler onto a subset
+    #: of operators; 0 means the next dispatch is timed, so every
+    #: operator's first dispatch is always measured.
+    sample_tick: int = 0
 
     @property
     def observed_selectivity(self) -> float:
@@ -47,9 +101,28 @@ class OperatorMetrics:
             return float("nan")
         return (self.records_in + self.punctuations_in) / self.batches_in
 
+    @property
+    def measured_rate(self) -> float:
+        """Measured service rate in records/sec (``nan`` if unmeasured).
+
+        ``records_in / wall_time`` — the operator's observed capacity,
+        the quantity the rate-based optimizer (slide 41) needs instead
+        of a modeled ``cost_per_tuple``.  ``nan`` when no observer
+        timed this operator (absence of evidence, like
+        :attr:`observed_selectivity`).
+        """
+        if self.wall_time <= 0.0 or self.records_in == 0:
+            return float("nan")
+        return self.records_in / self.wall_time
+
 
 class TimeSeries:
-    """An append-only (t, value) series with simple reductions."""
+    """An append-only (t, value) series with simple reductions.
+
+    Times must be appended in non-decreasing order (every producer —
+    simulation ticks, batch boundaries — already appends
+    monotonically); :meth:`at` relies on that to binary-search.
+    """
 
     def __init__(self, name: str = "") -> None:
         self.name = name
@@ -77,12 +150,153 @@ class TimeSeries:
 
     def at(self, t: float) -> float:
         """Value at the greatest recorded time ``<= t`` (step semantics)."""
-        result = 0.0
-        for ti, vi in zip(self.times, self.values):
-            if ti > t:
-                break
-            result = vi
-        return result
+        index = bisect_right(self.times, t)
+        if index == 0:
+            return 0.0
+        return self.values[index - 1]
+
+
+class Gauge:
+    """A sampled instantaneous value with last/min/max/mean tracking."""
+
+    __slots__ = ("name", "last", "min", "max", "total", "samples")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.last = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.total = 0.0
+        self.samples = 0
+
+    def set(self, value: float) -> None:
+        self.last = value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.total += value
+        self.samples += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+    def merge(self, other: "Gauge") -> None:
+        """Fold another gauge's samples in (shard-merge discipline)."""
+        if other.samples == 0:
+            return
+        self.last = other.last  # later merge input wins, like a re-sample
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.total += other.total
+        self.samples += other.samples
+
+    def snapshot(self) -> dict[str, float | int | None]:
+        """JSON-safe summary (``None`` fields when never sampled)."""
+        if self.samples == 0:
+            return {
+                "last": None, "min": None, "max": None,
+                "mean": None, "samples": 0,
+            }
+        return {
+            "last": self.last,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "samples": self.samples,
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, last={self.last}, n={self.samples})"
+
+
+class FixedHistogram:
+    """Fixed-boundary histogram with an implicit +inf overflow bucket.
+
+    ``bounds`` are ascending bucket *upper* bounds; observation ``v``
+    lands in the first bucket with ``v <= bound`` (Prometheus ``le``
+    semantics).  Fixed buckets keep ``observe`` O(log B) with a bounded
+    footprint — the low-overhead requirement of the observe layer —
+    and make shard histograms mergeable by plain vector addition.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "count")
+
+    def __init__(
+        self, name: str = "", bounds: Sequence[float] = LATENCY_BUCKETS
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("FixedHistogram needs at least one bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError(f"bounds must be strictly ascending: {bounds}")
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # [+inf overflow last]
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Record ``value``; ``weight`` scales sampled observations."""
+        self.counts[bisect_left(self.bounds, value)] += weight
+        self.total += value * weight
+        self.count += weight
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile: the upper bound of the bucket where
+        the cumulative count crosses ``q`` (inf for the overflow
+        bucket, 0.0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0,1]; got {q}")
+        if self.count == 0:
+            return 0.0
+        threshold = q * self.count
+        cumulative = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cumulative += n
+            if cumulative >= threshold:
+                return bound
+        return math.inf
+
+    def merge(self, other: "FixedHistogram") -> None:
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.name!r} vs {other.name!r}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary; quantiles map +inf to ``None``."""
+        def q(value: float) -> float | None:
+            return None if math.isinf(value) else value
+
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "p50": q(self.quantile(0.50)),
+            "p95": q(self.quantile(0.95)),
+            "p99": q(self.quantile(0.99)),
+            "buckets": {
+                **{repr(b): c for b, c in zip(self.bounds, self.counts)},
+                "+inf": self.counts[-1],
+            },
+        }
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __repr__(self) -> str:
+        return f"FixedHistogram({self.name!r}, n={self.count})"
 
 
 class MetricsRegistry:
@@ -94,6 +308,16 @@ class MetricsRegistry:
         #: Free-form named counters (overload drops, supervisor retries,
         #: replayed epochs, ...) that do not belong to one operator.
         self.counters: dict[str, float] = {}
+        #: Sampled instantaneous values (queue depths, watermark lag).
+        self.gauges: dict[str, Gauge] = {}
+        #: Fixed-bucket distributions (dispatch latency, batch sizes).
+        self.histograms: dict[str, FixedHistogram] = {}
+        #: Finished trace spans (:class:`repro.observe.Span`), in end
+        #: order.  Plain data — picklable across shard/process merges.
+        self.spans: list = []
+        #: Operator-name -> operator kind (lowercase class name), for
+        #: exporter labels.  Populated by the engine at start.
+        self.operator_kinds: dict[str, str] = {}
 
     def incr(self, name: str, by: float = 1.0) -> None:
         """Increment the named run-level counter."""
@@ -109,20 +333,38 @@ class MetricsRegistry:
             self.series[name] = TimeSeries(name)
         return self.series[name]
 
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BUCKETS
+    ) -> FixedHistogram:
+        if name not in self.histograms:
+            self.histograms[name] = FixedHistogram(name, bounds)
+        return self.histograms[name]
+
     def summary(self) -> dict[str, dict[str, float | None]]:
         out: dict[str, dict[str, float | None]] = {}
         for name, m in self.operators.items():
             selectivity = m.observed_selectivity
             avg_batch = m.avg_batch_size
+            rate = m.measured_rate
             out[name] = {
                 "records_in": m.records_in,
                 "records_out": m.records_out,
                 "invocations": m.invocations,
                 "busy_time": round(m.busy_time, 9),
+                "wall_time": round(m.wall_time, 9),
+                "timed_invocations": m.timed_invocations,
                 # NaN is not valid strict JSON; report the no-data cases
                 # as None so summaries stay serializable.
                 "observed_selectivity": (
                     None if math.isnan(selectivity) else round(selectivity, 6)
+                ),
+                "measured_rate": (
+                    None if math.isnan(rate) else round(rate, 3)
                 ),
                 "batches_in": m.batches_in,
                 "avg_batch_size": (

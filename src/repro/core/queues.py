@@ -105,5 +105,16 @@ class OpQueue:
         self._items.clear()
         self._size = 0.0
 
+    def sample(self, registry, prefix: str = "queue") -> None:
+        """Record current depth/size into a registry's gauges.
+
+        Called by the observe layer at batch boundaries (never per
+        element): ``<prefix>.<name>.depth`` counts buffered elements,
+        ``<prefix>.<name>.size`` their total size units.
+        """
+        label = self.name or "anon"
+        registry.gauge(f"{prefix}.{label}.depth").set(float(len(self._items)))
+        registry.gauge(f"{prefix}.{label}.size").set(self._size)
+
     def __repr__(self) -> str:
         return f"OpQueue({self.name!r}, len={len(self._items)}, size={self._size})"

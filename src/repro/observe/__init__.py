@@ -1,0 +1,54 @@
+"""Wall-clock observability (milestone M5).
+
+The adaptation layers — rate-based optimization (slide 41), QoS
+scheduling (slides 42-43), load shedding (slide 44) — all presume the
+DSMS can *measure* itself.  This package is that measurement plane:
+
+* :class:`ObserveConfig` / :class:`Observer` — per-engine wall-clock
+  timing of operator dispatches (``perf_counter`` spans, 1-in-N
+  sampling knob), feeding per-operator ``wall_time`` estimates and
+  fixed-bucket latency / batch-size histograms, plus queue-depth and
+  watermark-lag gauges sampled at batch boundaries;
+* :class:`Span` / :class:`Tracer` — hierarchical trace spans
+  (run → epoch → shard → operator) that
+  :class:`~repro.parallel.sharded.ShardedEngine` and the resilience
+  :class:`~repro.resilience.supervisor.Supervisor` propagate across
+  thread/process backends, so recovery replays are visible in traces;
+* :func:`to_prometheus` / :func:`json_snapshot` — exporters off the
+  run's :class:`~repro.core.metrics.MetricsRegistry` (Prometheus text
+  exposition format, strict-JSON snapshot).
+
+Enable with ``Engine(plan, observe=True)`` (or an ``int`` sampling
+stride, or a full :class:`ObserveConfig`); the measurements land in the
+run's metrics registry alongside the modeled counters.
+"""
+
+from repro.core.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    FixedHistogram,
+    Gauge,
+)
+from repro.observe.export import (
+    dumps_strict,
+    json_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.observe.observer import ObserveConfig, Observer
+from repro.observe.trace import Span, Tracer
+
+__all__ = [
+    "ObserveConfig",
+    "Observer",
+    "Span",
+    "Tracer",
+    "FixedHistogram",
+    "Gauge",
+    "LATENCY_BUCKETS",
+    "BATCH_BUCKETS",
+    "to_prometheus",
+    "json_snapshot",
+    "dumps_strict",
+    "write_snapshot",
+]

@@ -1,0 +1,190 @@
+"""Metric exporters: Prometheus text format and strict-JSON snapshots.
+
+Both read a :class:`~repro.core.metrics.MetricsRegistry` — the merged
+registry of a sharded or supervised run works identically to a single
+engine's.
+
+*Strictness* is the point of the JSON path: ``json.dumps`` happily
+emits ``NaN``/``Infinity`` literals that are **not** JSON and break
+most consumers.  :func:`dumps_strict` forbids them, and
+:func:`json_snapshot` maps every no-data value to ``None`` first, so a
+registry containing never-fed operators (whose ``observed_selectivity``
+is deliberately ``nan`` in memory — the optimizer needs that) still
+serializes cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.core.metrics import MetricsRegistry
+
+__all__ = [
+    "to_prometheus",
+    "json_snapshot",
+    "dumps_strict",
+    "write_snapshot",
+]
+
+
+def _sanitize(name: str) -> str:
+    """Make a metric/label name Prometheus-legal ([a-zA-Z0-9_:])."""
+    return "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: +Inf/-Inf/NaN spellings, repr floats."""
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+_OPERATOR_COUNTERS = (
+    "records_in",
+    "records_out",
+    "punctuations_in",
+    "punctuations_out",
+    "invocations",
+    "batches_in",
+    "timed_invocations",
+)
+_OPERATOR_SECONDS = ("busy_time", "wall_time")
+
+
+def to_prometheus(registry: MetricsRegistry, namespace: str = "repro") -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Per-operator counters become ``<ns>_operator_<counter>_total`` with
+    ``operator`` (and, when known, ``kind``) labels; run counters become
+    ``<ns>_<name>_total``; gauges ``<ns>_<name>``; histograms the
+    standard ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple with
+    cumulative bucket counts.
+    """
+    ns = _sanitize(namespace)
+    lines: list[str] = []
+
+    def op_labels(name: str) -> str:
+        kind = registry.operator_kinds.get(name)
+        if kind is None:
+            return f'operator="{name}"'
+        return f'operator="{name}",kind="{_sanitize(kind)}"'
+
+    for counter in _OPERATOR_COUNTERS:
+        metric = f"{ns}_operator_{counter}_total"
+        lines.append(f"# TYPE {metric} counter")
+        for name, m in registry.operators.items():
+            lines.append(
+                f"{metric}{{{op_labels(name)}}} {_fmt(getattr(m, counter))}"
+            )
+    for seconds in _OPERATOR_SECONDS:
+        metric = f"{ns}_operator_{seconds}_seconds_total"
+        lines.append(f"# TYPE {metric} counter")
+        for name, m in registry.operators.items():
+            lines.append(
+                f"{metric}{{{op_labels(name)}}} {_fmt(getattr(m, seconds))}"
+            )
+
+    if registry.counters:
+        for name in sorted(registry.counters):
+            metric = f"{ns}_{_sanitize(name)}_total"
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_fmt(registry.counters[name])}")
+
+    if registry.gauges:
+        for name in sorted(registry.gauges):
+            gauge = registry.gauges[name]
+            if gauge.samples == 0:
+                continue
+            metric = f"{ns}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_fmt(gauge.last)}")
+
+    if registry.histograms:
+        for name in sorted(registry.histograms):
+            hist = registry.histograms[name]
+            metric = f"{ns}_{_sanitize(name)}"
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_fmt(bound)}"}} {cumulative}'
+                )
+            cumulative += hist.counts[-1]
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+            lines.append(f"{metric}_sum {_fmt(hist.total)}")
+            lines.append(f"{metric}_count {hist.count}")
+
+    return "\n".join(lines) + "\n"
+
+
+def json_snapshot(
+    registry: MetricsRegistry, include_spans: bool = True
+) -> dict:
+    """A strict-JSON-safe dict view of the whole registry.
+
+    Guaranteed to survive ``json.dumps(..., allow_nan=False)``:
+    operator no-data ``nan`` values arrive as ``None`` (the
+    :meth:`~repro.core.metrics.MetricsRegistry.summary` boundary
+    mapping), gauge/histogram snapshots do their own mapping, and any
+    remaining non-finite float is mapped to ``None`` defensively.
+    """
+    snapshot = {
+        "operators": registry.summary(),
+        "operator_kinds": dict(registry.operator_kinds),
+        "counters": dict(registry.counters),
+        "gauges": {
+            name: gauge.snapshot()
+            for name, gauge in sorted(registry.gauges.items())
+        },
+        "histograms": {
+            name: hist.snapshot()
+            for name, hist in sorted(registry.histograms.items())
+        },
+        "series": {
+            name: {"len": len(series), "last": series.last()}
+            for name, series in sorted(registry.series.items())
+        },
+    }
+    if include_spans:
+        snapshot["spans"] = [span.to_dict() for span in registry.spans]
+    return _jsonify(snapshot)
+
+
+def _jsonify(value):
+    """Deep-map non-finite floats to None; stringify non-JSON keys."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {
+            (k if isinstance(k, str) else repr(k)): _jsonify(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def dumps_strict(obj, **kwargs) -> str:
+    """``json.dumps`` that refuses NaN/Infinity instead of emitting them."""
+    kwargs.setdefault("allow_nan", False)
+    return json.dumps(obj, **kwargs)
+
+
+def write_snapshot(
+    registry: MetricsRegistry, path: str | Path, include_spans: bool = True
+) -> Path:
+    """Write the strict-JSON snapshot to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(
+        dumps_strict(json_snapshot(registry, include_spans), indent=2) + "\n"
+    )
+    return path

@@ -1,0 +1,128 @@
+"""Hierarchical trace spans.
+
+A :class:`Span` is one timed region of execution, addressed by a *path*
+— the chain of enclosing span segments, e.g.::
+
+    ("run:cdr", "epoch:3", "shard:1", "op:per_origin")
+
+Paths make the hierarchy explicit without object links, so spans are
+plain picklable data: worker processes record them locally (prefixed
+with the context the coordinator handed them) and ship them back inside
+their :class:`~repro.core.metrics.MetricsRegistry`; the coordinator's
+merge is list concatenation.  ``perf_counter`` timestamps are
+``CLOCK_MONOTONIC`` on Linux, which forked workers share, so parent and
+child span times are directly comparable on the fork backend.
+
+A :class:`Tracer` records finished spans into a bounded buffer — the
+observe layer never buffers unboundedly (the same discipline as the
+:class:`~repro.shedding.controller.LoadController` trace fix).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from time import perf_counter
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One finished timed region.
+
+    ``path`` is the full span address including the span's own segment
+    as the last element; ``attrs`` carries structured annotations
+    (``{"replay": True, "attempt": 2}`` on a recovery replay, shard and
+    epoch indices, element counts...).
+    """
+
+    path: tuple[str, ...]
+    start: float
+    end: float
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.path[-1] if self.path else ""
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def within(self, segment: str) -> bool:
+        """True when ``segment`` appears in this span's enclosing path."""
+        return segment in self.path[:-1]
+
+    def to_dict(self) -> dict:
+        """JSON-safe representation (for snapshot exporters)."""
+        return {
+            "path": list(self.path),
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Records spans under a fixed context path, into a bounded buffer.
+
+    Parameters
+    ----------
+    context:
+        Path segments of the enclosing spans (e.g. ``("run:x",
+        "shard:2")`` inside a shard worker).  Every span this tracer
+        records is prefixed with it.
+    max_spans:
+        Buffer bound.  Once full, further spans are counted in
+        :attr:`dropped` instead of stored — tracing degrades, it never
+        leaks.
+    """
+
+    def __init__(
+        self, context: tuple[str, ...] = (), max_spans: int = 4096
+    ) -> None:
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1; got {max_spans}")
+        self.context = tuple(context)
+        self.max_spans = max_spans
+        self.spans: list[Span] = []
+        self.dropped = 0
+
+    def record(
+        self, segment: str, start: float, end: float, **attrs
+    ) -> Span | None:
+        """Store one finished span; return it (``None`` if over bound)."""
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return None
+        span = Span(self.context + (segment,), start, end, attrs)
+        self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(self, segment: str, **attrs):
+        """Context manager timing one region::
+
+            with tracer.span("epoch:3", shard=1):
+                ...
+        """
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.record(segment, start, perf_counter(), **attrs)
+
+    def child_context(self, segment: str) -> tuple[str, ...]:
+        """The context a nested tracer (e.g. a shard worker) should use."""
+        return self.context + (segment,)
+
+    def publish(self, registry) -> None:
+        """Append recorded spans into a registry (and note drops)."""
+        registry.spans.extend(self.spans)
+        if self.dropped:
+            registry.incr("observe.spans_dropped", self.dropped)
+
+    def __len__(self) -> int:
+        return len(self.spans)

@@ -43,6 +43,12 @@ class Operator:
         self.cost_per_tuple = cost_per_tuple
         self.selectivity = selectivity
 
+    @property
+    def kind(self) -> str:
+        """Operator kind label for metric exporters (lowercase class
+        name; e.g. Prometheus ``kind="select"``)."""
+        return type(self).__name__.lower()
+
     # -- data path -------------------------------------------------------
 
     def _validate_port(self, port: int) -> None:

@@ -62,11 +62,18 @@ class RateOperator:
 def rate_operator_from_metrics(
     name: str,
     metrics: OperatorMetrics,
-    capacity: float,
+    capacity: float | None = None,
     prior_selectivity: float = 1.0,
     cost: float = 1.0,
 ) -> RateOperator:
     """Build a :class:`RateOperator` from measured engine counters.
+
+    ``capacity`` may be given explicitly (the modeled service rate), or
+    left ``None`` to derive it from the operator's *measured* wall-clock
+    throughput: ``records_in / wall_time`` as recorded by an observed
+    engine run (``Engine(..., observe=...)``).  An unobserved operator
+    has no measured rate (``nan``), in which case an explicit capacity
+    is required.
 
     ``observed_selectivity`` is ``nan`` for an operator that has seen no
     input; that is *absence of evidence*, not a perfect filter, so the
@@ -74,6 +81,14 @@ def rate_operator_from_metrics(
     operator as selectivity-0 (which would make the rate-based order
     push never-fed operators to the front of every chain).
     """
+    if capacity is None:
+        measured = metrics.measured_rate
+        if math.isnan(measured):
+            raise PlanError(
+                f"operator {name!r} has no measured rate (was the run "
+                f"observed?); pass an explicit capacity"
+            )
+        capacity = measured
     selectivity = metrics.observed_selectivity
     if math.isnan(selectivity):
         selectivity = prior_selectivity

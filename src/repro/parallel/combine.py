@@ -307,4 +307,22 @@ def merge_metrics(registries: Iterable[MetricsRegistry]) -> MetricsRegistry:
             agg.invocations += m.invocations
             agg.busy_time += m.busy_time
             agg.batches_in += m.batches_in
+            agg.wall_time += m.wall_time
+            agg.timed_invocations += m.timed_invocations
+        for name, value in registry.counters.items():
+            if name == "observe.sampling":
+                # A setting, not a count: identical across shards.
+                merged.counters[name] = value
+            else:
+                merged.incr(name, value)
+        for name, gauge in registry.gauges.items():
+            merged.gauge(name).merge(gauge)
+        for name, hist in registry.histograms.items():
+            merged.histogram(name, hist.bounds).merge(hist)
+        merged.spans.extend(registry.spans)
+        merged.operator_kinds.update(registry.operator_kinds)
+    # Spans arrive grouped per shard; re-order chronologically so the
+    # merged trace reads like one timeline (perf_counter is the shared
+    # CLOCK_MONOTONIC across threads and forked workers on Linux).
+    merged.spans.sort(key=lambda span: span.start)
     return merged

@@ -77,6 +77,7 @@ from bisect import bisect_left
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Mapping, Sequence
 
 from repro.aggregates.functions import First, Last
@@ -91,6 +92,8 @@ from repro.gigascope.decompose import (
     linearize_plan,
     split_chain_aggregate,
 )
+from repro.observe.observer import ObserveConfig
+from repro.observe.trace import Tracer
 from repro.operators.aggregate import Aggregate, AttrGetter, WindowedAggregate
 from repro.operators.map import Extend, MapOp, Rename
 from repro.operators.partial_aggregate import GroupPartial
@@ -371,10 +374,11 @@ def _run_shard(
     batches: Sequence[Sequence[Record]],
     puncts: Sequence[Punctuation | None],
     batch_size,
+    observe=None,
 ) -> _ShardRun:
     """Run one shard's plan over its epoch slices."""
     plan = linear_plan(input_name, ops, output_name)
-    engine = Engine(plan, batch_size=batch_size)
+    engine = Engine(plan, batch_size=batch_size, observe=observe)
     engine.start()
     terminal = ops[-1]
     epochs_out: list[list[Element]] = []
@@ -402,17 +406,20 @@ def _run_shard(
 
 
 def _process_shard_entry(
-    conn, ops, input_name, output_name, batches, puncts, batch_size
+    conn, ops, input_name, output_name, batches, puncts, batch_size,
+    observe=None,
 ) -> None:
     """Forked child: run the shard and ship the result over the pipe.
 
     Inputs arrive via fork inheritance (lambdas in plans never cross a
     pickle boundary); only the result — records, aggregate states,
-    metrics, all picklable — returns through the pipe.
+    metrics, all picklable (trace spans included) — returns through
+    the pipe.
     """
     try:
         run = _run_shard(
-            ops, input_name, output_name, batches, puncts, batch_size
+            ops, input_name, output_name, batches, puncts, batch_size,
+            observe,
         )
         conn.send(("ok", run))
     except BaseException as exc:  # pragma: no cover - defensive
@@ -457,6 +464,14 @@ class ShardedEngine:
         (default) waits forever.  For the process backend a timed-out
         worker is killed; for the thread backend the thread cannot be
         killed, but the engine stops waiting on it.
+    observe:
+        Wall-clock observation (see :mod:`repro.observe`): ``None``,
+        ``True``, an ``int`` sampling stride, or an
+        :class:`~repro.observe.ObserveConfig`.  Each shard worker runs
+        an observed engine whose spans nest under
+        ``("run", "shard:<i>")`` — across the thread *and* process
+        backends — and the merged run metrics carry the union of shard
+        histograms, gauges, and spans plus a coordinator ``run`` span.
     """
 
     def __init__(
@@ -466,6 +481,7 @@ class ShardedEngine:
         batch_size: int | str | None = "auto",
         backend: str = "thread",
         worker_timeout: float | None = None,
+        observe=None,
     ) -> None:
         if not isinstance(partition, PartitionSpec):
             raise PlanError(
@@ -496,6 +512,7 @@ class ShardedEngine:
         self.batch_size = batch_size
         self.backend = backend
         self.worker_timeout = worker_timeout
+        self.observe_config = ObserveConfig.coerce(observe)
         self._strategy = _analyze(plan, partition)
         # Validate batch_size eagerly (Engine does the same check).
         Engine(plan, batch_size=batch_size)
@@ -530,8 +547,12 @@ class ShardedEngine:
     ) -> RunResult:
         """Execute the plan over ``sources`` and return merged outputs."""
         st = self._strategy
+        cfg = self.observe_config
         if st.name == "single":
-            return Engine(self.plan, batch_size=self.batch_size).run(sources)
+            return Engine(
+                self.plan, batch_size=self.batch_size, observe=cfg
+            ).run(sources)
+        run_start = perf_counter() if cfg is not None else 0.0
         by_name = resolve_sources(self.plan, sources)
         source = by_name[st.input_name]
         epochs = split_epochs(source.events(), st.routing)
@@ -539,6 +560,21 @@ class ShardedEngine:
         runs = self._execute(shard_ops, epochs)
         combined = self._combine(epochs, runs)
         metrics = merge_metrics(run.metrics for run in runs)
+        if cfg is not None and cfg.trace:
+            tracer = Tracer(cfg.context, max_spans=cfg.max_spans)
+            tracer.record(
+                "run",
+                run_start,
+                perf_counter(),
+                strategy=st.name,
+                backend=self.backend,
+                shards=st.routing.n_shards,
+                epochs=len(epochs),
+            )
+            tracer.publish(metrics)
+            # Keep the merged trace chronological: the coordinator span
+            # starts before every worker span it encloses.
+            metrics.spans.sort(key=lambda span: span.start)
         return RunResult(outputs={st.output_name: combined}, metrics=metrics)
 
     def _shard_ops(self) -> list[list]:
@@ -574,6 +610,7 @@ class ShardedEngine:
                 [epoch.batches[shard] for epoch in epochs],
                 [epoch.punct for epoch in epochs],
                 self.batch_size,
+                self._shard_observe(shard),
             )
             for shard, ops in enumerate(shard_ops)
         ]
@@ -591,6 +628,12 @@ class ShardedEngine:
         if self.backend == "thread":
             return self._execute_thread(payloads)
         return self._execute_process(payloads)
+
+    def _shard_observe(self, shard: int):
+        """Worker observe config: shard spans nest under the run span."""
+        if self.observe_config is None:
+            return None
+        return self.observe_config.with_context("run", f"shard:{shard}")
 
     def _shard_error(
         self,
@@ -873,6 +916,7 @@ def run_sharded(
     batch_size: int | str | None = "auto",
     backend: str = "thread",
     worker_timeout: float | None = None,
+    observe=None,
 ) -> RunResult:
     """One-shot convenience: build a :class:`ShardedEngine` and run it."""
     engine = ShardedEngine(
@@ -881,5 +925,6 @@ def run_sharded(
         batch_size=batch_size,
         backend=backend,
         worker_timeout=worker_timeout,
+        observe=observe,
     )
     return engine.run(sources)

@@ -22,6 +22,15 @@ via four methods: :meth:`attach`, :meth:`admit`, :meth:`dropped`,
 :meth:`publish`.  Drop counts surface in
 :attr:`~repro.core.engine.RunResult.dropped` and as
 ``overload.*`` counters in the run's metrics.
+
+Two optional hooks connect the guard to the observe layer when the
+engine runs with ``observe=`` enabled: :meth:`bind_observer` (the engine
+calls it at start) and :meth:`ingress_queues` (the engine samples the
+ingress backlogs into queue gauges at batch boundaries).  With
+``pressure="measured"`` the controller is fed *seconds of measured
+work queued* — backlog length times the observer's measured mean
+per-record operator cost — instead of the modeled memory-unit pressure,
+so shedding watermarks can be written in real time units.
 """
 
 from __future__ import annotations
@@ -49,6 +58,14 @@ class OverloadGuard:
         ``None`` disables tail drop.
     poll_interval:
         Records between re-measurements of plan operator memory.
+    pressure:
+        What the controller's ``memory`` argument means.  ``"memory"``
+        (default): modeled operator memory plus backlog size units.
+        ``"measured"``: backlog length × the bound observer's measured
+        mean per-record cost — estimated seconds of real work queued.
+        Requires the engine to run with ``observe=`` enabled; until the
+        observer has timed anything (or when there is none), the guard
+        falls back to the modeled pressure.
     """
 
     def __init__(
@@ -56,6 +73,7 @@ class OverloadGuard:
         controller: Shedder | None = None,
         queue_capacity: float | None = None,
         poll_interval: int = 32,
+        pressure: str = "memory",
     ) -> None:
         if controller is None and queue_capacity is None:
             raise SheddingError(
@@ -70,13 +88,19 @@ class OverloadGuard:
             raise SheddingError(
                 f"poll_interval must be >= 1; got {poll_interval}"
             )
+        if pressure not in ("memory", "measured"):
+            raise SheddingError(
+                f'pressure must be "memory" or "measured"; got {pressure!r}'
+            )
         self.controller = controller
         self.queue_capacity = queue_capacity
         self.poll_interval = poll_interval
+        self.pressure = pressure
         self._plan = None
         self._queues: dict[str, OpQueue] = {}
         self._memory = 0.0
         self._since_poll = 0
+        self._observer = None
 
     # -- engine protocol ---------------------------------------------------
 
@@ -91,8 +115,17 @@ class OverloadGuard:
         }
         self._memory = 0.0
         self._since_poll = 0
+        self._observer = None
         if self.controller is not None:
             self.controller.reset()
+
+    def bind_observer(self, observer) -> None:
+        """Called by the engine when it runs with observation enabled."""
+        self._observer = observer
+
+    def ingress_queues(self):
+        """The ingress backlog queues (sampled into gauges per chunk)."""
+        return self._queues.values()
 
     def admit(self, input_name: str, element) -> bool:
         """Decide whether ``element`` enters the plan."""
@@ -104,15 +137,25 @@ class OverloadGuard:
             return True
         queue = self._queues[input_name]
         if self.controller is not None:
-            self._since_poll += 1
-            if self._since_poll >= self.poll_interval or self._memory == 0.0:
-                self._memory = sum(
-                    op.memory() for op in self._plan.topological_order()
+            pressure = None
+            if self.pressure == "measured" and self._observer is not None:
+                cost = self._observer.mean_record_cost()
+                if cost > 0.0:
+                    backlog = sum(len(q) for q in self._queues.values())
+                    pressure = backlog * cost
+            if pressure is None:
+                self._since_poll += 1
+                if (
+                    self._since_poll >= self.poll_interval
+                    or self._memory == 0.0
+                ):
+                    self._memory = sum(
+                        op.memory() for op in self._plan.topological_order()
+                    )
+                    self._since_poll = 0
+                pressure = self._memory + sum(
+                    q.size for q in self._queues.values()
                 )
-                self._since_poll = 0
-            pressure = self._memory + sum(
-                q.size for q in self._queues.values()
-            )
             if not self.controller(
                 element, now=getattr(element, "ts", 0.0), memory=pressure
             ):

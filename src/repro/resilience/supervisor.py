@@ -50,6 +50,7 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source
 from repro.core.tuples import Punctuation, Record
 from repro.errors import PlanError, ShardError
+from repro.observe.trace import Span, Tracer
 from repro.parallel.combine import merge_metrics
 from repro.parallel.partition import Epoch, split_epochs
 from repro.parallel.sharded import (
@@ -105,13 +106,14 @@ class _ShardCore:
     """One shard's engine plus epoch bookkeeping (runs in any backend)."""
 
     def __init__(
-        self, ops: list, input_name: str, output_name: str, batch_size
+        self, ops: list, input_name: str, output_name: str, batch_size,
+        observe=None,
     ) -> None:
         self.ops = ops
         self.input_name = input_name
         self.output_name = output_name
         plan = linear_plan(input_name, ops, output_name)
-        self.engine = Engine(plan, batch_size=batch_size)
+        self.engine = Engine(plan, batch_size=batch_size, observe=observe)
         self.engine.start()
         self.emitted = 0
 
@@ -261,7 +263,7 @@ class _ThreadWorker:
 
 
 def _process_worker_main(
-    conn, ops, input_name, output_name, batch_size
+    conn, ops, input_name, output_name, batch_size, observe=None
 ) -> None:
     """Forked child: serve epoch/snapshot/restore/finish commands.
 
@@ -269,7 +271,7 @@ def _process_worker_main(
     exception — the parent observes it as EOF on the result pipe,
     exactly like a segfaulted or OOM-killed worker.
     """
-    core = _ShardCore(ops, input_name, output_name, batch_size)
+    core = _ShardCore(ops, input_name, output_name, batch_size, observe)
     try:
         while True:
             cmd = conn.recv()
@@ -322,7 +324,8 @@ class _ProcessWorker:
     """
 
     def __init__(
-        self, ops, input_name: str, output_name: str, batch_size
+        self, ops, input_name: str, output_name: str, batch_size,
+        observe=None,
     ) -> None:
         ctx = multiprocessing.get_context("fork")
         # Two one-way pipes.  The child holds the *only* write end of
@@ -339,6 +342,7 @@ class _ProcessWorker:
                 input_name,
                 output_name,
                 batch_size,
+                observe,
             ),
         )
         self.proc.start()
@@ -472,6 +476,8 @@ class Supervisor:
         self.injector = injector
         self.report = SupervisorReport()
         self._attempts: dict[tuple[int, int], int] = {}
+        self._tracer: Tracer | None = None
+        self._run_started = 0.0
 
     # -- public entry ------------------------------------------------------
 
@@ -482,6 +488,16 @@ class Supervisor:
         self.report = SupervisorReport()
         self._attempts = {}
         engine = self.engine
+        cfg = engine.observe_config
+        self._run_started = time.perf_counter()
+        # Coordinator-side trace: epoch rounds, checkpoints, recoveries
+        # and replays nest under the "run" span, beside the per-shard
+        # worker spans the engines record (same context discipline).
+        self._tracer = (
+            Tracer(cfg.context + ("run",), max_spans=cfg.max_spans)
+            if cfg is not None and cfg.trace
+            else None
+        )
         st = engine._strategy
         if st.name == "single":
             return self._run_plain(engine.plan, engine.batch_size, sources)
@@ -512,6 +528,7 @@ class Supervisor:
                     self.engine.partition.narrowed(narrowed),
                     batch_size=self.engine.batch_size,
                     backend=self.engine.backend,
+                    observe=self.engine.observe_config,
                 )
                 if engine._strategy.name == "single":
                     self.report.degraded_to = "single"
@@ -529,14 +546,16 @@ class Supervisor:
         st = engine._strategy
         epochs = split_epochs(elements, st.routing)
         n = st.routing.n_shards
-        workers = [self._make_worker(engine, st) for _ in range(n)]
+        workers = [self._make_worker(engine, st, s) for s in range(n)]
         accepted: list[list[list[Element]]] = [[] for _ in range(n)]
         progress: list[list[float]] = [[] for _ in range(n)]
         cp_epoch = 0
         checkpoints = [w.snapshot() for w in workers]
         self.report.checkpoints += 1
+        tracer = self._tracer
         try:
             for e, epoch in enumerate(epochs):
+                epoch_started = time.perf_counter()
                 for shard, worker in enumerate(workers):
                     worker.start_epoch(
                         epoch.batches[shard],
@@ -569,10 +588,22 @@ class Supervisor:
                             )
                     accepted[shard].append(produced)
                     progress[shard].append(prog)
+                if tracer is not None:
+                    tracer.record(
+                        f"epoch:{e}",
+                        epoch_started,
+                        time.perf_counter(),
+                        epoch=e,
+                        shards=n,
+                    )
                 if (e + 1) % self.checkpoint_every == 0 and e + 1 < len(
                     epochs
                 ):
-                    checkpoints = [w.snapshot() for w in workers]
+                    if tracer is None:
+                        checkpoints = [w.snapshot() for w in workers]
+                    else:
+                        with tracer.span(f"checkpoint:{e + 1}", epoch=e + 1):
+                            checkpoints = [w.snapshot() for w in workers]
                     cp_epoch = e + 1
                     self.report.checkpoints += 1
             runs: list[_ShardRun] = []
@@ -598,14 +629,16 @@ class Supervisor:
             return None
         return self.injector.fault_for(shard, epoch, attempt)
 
-    def _make_worker(self, engine: ShardedEngine, st: _Strategy):
+    def _make_worker(self, engine: ShardedEngine, st: _Strategy, shard: int):
         ops = _fresh_ops(st)
+        observe = engine._shard_observe(shard)
         if engine.backend == "process":
             return _ProcessWorker(
-                ops, st.input_name, st.output_name, engine.batch_size
+                ops, st.input_name, st.output_name, engine.batch_size,
+                observe,
             )
         core = _ShardCore(
-            ops, st.input_name, st.output_name, engine.batch_size
+            ops, st.input_name, st.output_name, engine.batch_size, observe
         )
         if engine.backend == "thread":
             return _ThreadWorker(core)
@@ -638,15 +671,29 @@ class Supervisor:
         self.report.retries += 1
         self.report.events.append(str(cause))
         time.sleep(self.backoff_base * self.backoff_factor ** (attempt - 1))
-        worker = self._make_worker(engine, st)
+        worker = self._make_worker(engine, st, shard)
         worker.restore(checkpoint)
         # Replay the epochs since the checkpoint.  Their output is
         # discarded — the coordinator already accepted it — which is
         # exactly the dedup that keeps replays invisible downstream.
+        # Each replay is traced with ``replay=True`` so a recovery run's
+        # trace distinguishes re-executed epochs from first-run epochs.
+        tracer = self._tracer
         for replay_index in range(cp_epoch, epoch_index):
             epoch = epochs[replay_index]
+            replay_started = time.perf_counter()
             worker.replay_epoch(epoch.batches[shard], epoch.punct)
             self.report.replayed_epochs += 1
+            if tracer is not None:
+                tracer.record(
+                    f"replay:{replay_index}",
+                    replay_started,
+                    time.perf_counter(),
+                    shard=shard,
+                    epoch=replay_index,
+                    replay=True,
+                    attempt=attempt,
+                )
         return worker
 
     # -- single-engine path ------------------------------------------------
@@ -666,7 +713,11 @@ class Supervisor:
         attempt = 0
         while True:
             try:
-                result = Engine(plan, batch_size=batch_size).run(sources)
+                result = Engine(
+                    plan,
+                    batch_size=batch_size,
+                    observe=self.engine.observe_config,
+                ).run(sources)
                 self._publish(result.metrics)
                 return result
             except Exception as exc:
@@ -689,3 +740,23 @@ class Supervisor:
         metrics.incr("supervisor.checkpoints", self.report.checkpoints)
         if self.report.degraded_to is not None:
             metrics.incr("supervisor.degradations", 1)
+        tracer = self._tracer
+        if tracer is None:
+            return
+        tracer.publish(metrics)
+        cfg = self.engine.observe_config
+        metrics.spans.append(
+            Span(
+                cfg.context + ("run",),
+                self._run_started,
+                time.perf_counter(),
+                {
+                    "supervised": True,
+                    "retries": self.report.retries,
+                    "replayed_epochs": self.report.replayed_epochs,
+                    "checkpoints": self.report.checkpoints,
+                    "degraded_to": self.report.degraded_to,
+                },
+            )
+        )
+        metrics.spans.sort(key=lambda span: span.start)

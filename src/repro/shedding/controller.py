@@ -11,6 +11,7 @@ full ``max_drop_rate`` at the high mark.
 from __future__ import annotations
 
 import random
+from collections import deque
 
 from repro.core.tuples import Record
 from repro.errors import SheddingError
@@ -20,7 +21,14 @@ __all__ = ["LoadController"]
 
 
 class LoadController(Shedder):
-    """Memory-watermark-driven random shedding."""
+    """Memory-watermark-driven random shedding.
+
+    ``trace_limit`` bounds the diagnostics trace: the controller sits on
+    the per-record admission path of arbitrarily long runs, so an
+    unbounded trace list is a memory leak — exactly the overload the
+    controller exists to prevent.  The trace is a ring buffer keeping
+    the most recent ``trace_limit`` entries.
+    """
 
     def __init__(
         self,
@@ -28,6 +36,7 @@ class LoadController(Shedder):
         high_watermark: float,
         max_drop_rate: float = 1.0,
         seed: int = 42,
+        trace_limit: int = 4096,
     ) -> None:
         super().__init__(name="controller")
         if high_watermark <= low_watermark:
@@ -39,12 +48,17 @@ class LoadController(Shedder):
             raise SheddingError(
                 f"max_drop_rate must be in [0,1]; got {max_drop_rate}"
             )
+        if trace_limit < 1:
+            raise SheddingError(
+                f"trace_limit must be >= 1; got {trace_limit}"
+            )
         self.low = low_watermark
         self.high = high_watermark
         self.max_drop_rate = max_drop_rate
         self._rng = random.Random(seed)
-        #: time series of (now, applied drop rate) for diagnostics
-        self.trace: list[tuple[float, float]] = []
+        #: bounded time series of (now, applied drop rate) — most recent
+        #: ``trace_limit`` admissions
+        self.trace: deque[tuple[float, float]] = deque(maxlen=trace_limit)
 
     def current_drop_rate(self, memory: float) -> float:
         if memory <= self.low:

@@ -1,0 +1,247 @@
+"""Engine-level observation: wall-clock accounting, sampling, gauges,
+measured-rate consumers (optimizer capacity, overload pressure)."""
+
+from __future__ import annotations
+
+from time import perf_counter
+
+import pytest
+
+from repro.core import Engine, ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.errors import PlanError, SheddingError
+from repro.observe import ObserveConfig
+from repro.operators import AggSpec, Aggregate, Select
+from repro.optimizer.rate_based import rate_operator_from_metrics
+from repro.resilience import OverloadGuard
+from repro.shedding.controller import LoadController
+
+
+def _elements(n: int, punct_every: int = 0) -> list:
+    out = []
+    for i in range(n):
+        out.append(Record({"k": i % 4, "v": 1.0}, ts=float(i), seq=i))
+        if punct_every and (i + 1) % punct_every == 0:
+            out.append(Punctuation([("k", None)], ts=float(i)))
+    return out
+
+
+def _plan():
+    return linear_plan(
+        "in",
+        [
+            Select(lambda r: r.values["v"] >= 0, name="sel"),
+            Aggregate(["k"], [AggSpec("s", "sum", "v")], name="agg"),
+        ],
+        "out",
+    )
+
+
+def _run(observe, batch_size=32, n=800, guard=None):
+    engine = Engine(_plan(), batch_size=batch_size, guard=guard,
+                    observe=observe)
+    return engine.run({"in": ListSource("in", _elements(n, punct_every=200))})
+
+
+# --------------------------------------------------------------------------
+# Wall-clock accounting
+# --------------------------------------------------------------------------
+
+
+class TestWallClock:
+    def test_unobserved_run_records_no_wall_time(self):
+        result = _run(observe=None)
+        for m in result.metrics.summary().values():
+            assert m["wall_time"] == 0.0
+            assert m["timed_invocations"] == 0
+            assert m["measured_rate"] is None
+        assert result.metrics.spans == []
+
+    def test_wall_time_within_2x_of_end_to_end(self):
+        """Acceptance: summed operator self-time stays within 2x of the
+        externally measured end-to-end run time."""
+        t0 = perf_counter()
+        result = _run(observe=True, n=2000)
+        elapsed = perf_counter() - t0
+        summary = result.metrics.summary()
+        total_wall = sum(m["wall_time"] for m in summary.values())
+        assert total_wall > 0.0
+        assert total_wall <= 2.0 * elapsed
+        for m in summary.values():
+            assert m["timed_invocations"] > 0
+
+    def test_measured_rate_derived_from_wall_time(self):
+        result = _run(observe=True)
+        sel = result.metrics.summary()["sel"]
+        assert sel["measured_rate"] == pytest.approx(
+            sel["records_in"] / sel["wall_time"], rel=1e-3
+        )
+
+    def test_sampling_times_a_subset_but_charges_totals(self):
+        result = _run(observe=ObserveConfig(sampling=8), n=1600)
+        metrics = result.metrics
+        sel = metrics.operators["sel"]
+        assert 0 < sel.timed_invocations < sel.invocations
+        assert sel.wall_time > 0.0
+        # Histogram weights are scaled by the stride, so counts estimate
+        # the total number of dispatches, not the sampled subset.
+        hist = metrics.histograms["op.sel.latency"]
+        assert hist.count == sel.timed_invocations * 8
+        assert metrics.counters["observe.sampling"] == 8.0
+
+    def test_tuple_at_a_time_path_is_observed_too(self):
+        result = _run(observe=True, batch_size=None)
+        summary = result.metrics.summary()
+        assert summary["sel"]["wall_time"] > 0.0
+        assert summary["sel"]["timed_invocations"] > 0
+
+    def test_run_span_recorded(self):
+        result = _run(observe=True)
+        (engine_span,) = [
+            s for s in result.metrics.spans if s.name == "engine"
+        ]
+        assert engine_span.duration > 0.0
+
+    def test_trace_can_be_disabled(self):
+        result = _run(observe=ObserveConfig(trace=False))
+        assert result.metrics.spans == []
+        # Timing still happens; only span recording is off.
+        assert result.metrics.summary()["sel"]["wall_time"] > 0.0
+
+    def test_batch_size_histogram_under_microbatching(self):
+        result = _run(observe=True, batch_size=32, n=800)
+        hist = result.metrics.histograms["op.sel.batch_size"]
+        assert hist.count > 0
+        # Batches are at most the configured size.
+        assert hist.quantile(1.0) <= 32
+
+    def test_rejects_bad_observe_argument(self):
+        with pytest.raises(PlanError):
+            Engine(_plan(), observe="always")
+
+
+# --------------------------------------------------------------------------
+# Gauges at batch boundaries
+# --------------------------------------------------------------------------
+
+
+class TestGauges:
+    def test_watermark_gauges_track_stream_progress(self):
+        result = _run(observe=True, n=800)
+        gauges = result.metrics.gauges
+        # The final chunk closes on the punctuation, so max_ts reads the
+        # last *record-chunk* boundary; the watermark reads the final
+        # punctuation exactly.
+        assert gauges["ingress.watermark"].last == 799.0
+        max_ts = gauges["ingress.max_ts"]
+        assert max_ts.samples > 0
+        assert 0.0 <= max_ts.max <= 799.0
+        lag = gauges["ingress.watermark_lag"]
+        assert lag.min >= 0.0
+        assert lag.last == 0.0  # watermark caught up at the end
+
+    def test_ingress_queue_gauges_with_guard(self):
+        guard = OverloadGuard(queue_capacity=1e12)
+        result = _run(observe=True, guard=guard, n=400)
+        gauges = result.metrics.gauges
+        depth = gauges["queue.ingress:in.depth"]
+        assert depth.samples > 0
+        assert depth.max > 0.0
+        assert "queue.ingress:in.size" in gauges
+
+
+# --------------------------------------------------------------------------
+# Measured-pressure overload control
+# --------------------------------------------------------------------------
+
+
+class TestMeasuredPressure:
+    def test_pressure_validation(self):
+        with pytest.raises(SheddingError):
+            OverloadGuard(queue_capacity=10.0, pressure="wallclock")
+
+    def test_measured_pressure_is_backlog_times_record_cost(self):
+        """Deterministic semantics via a stub observer: pressure is the
+        queued record count times the measured per-record cost, and a
+        punctuation drains it back to zero."""
+
+        class _StubObserver:
+            def mean_record_cost(self):
+                return 0.01
+
+        guard = OverloadGuard(
+            controller=LoadController(0.25, 0.5, max_drop_rate=1.0),
+            pressure="measured",
+        )
+        plan = _plan()
+        guard.attach(plan)
+        guard.bind_observer(_StubObserver())
+        decisions = [
+            guard.admit("in", r) for r in _elements(100)
+        ]
+        admitted = sum(decisions)
+        # Shedding ramps from 25 queued records (0.25s) and is total at
+        # 50 (0.5s); below 25 nothing is dropped.
+        assert decisions[:25] == [True] * 25
+        assert 25 <= admitted <= 50
+        assert guard.dropped() == 100 - admitted
+        # A punctuation drains the backlog: pressure back to zero.
+        assert guard.admit("in", Punctuation([("k", None)], ts=100.0))
+        assert guard.admit("in", _elements(1)[0])
+
+    def test_measured_pressure_sheds_less_than_modeled(self):
+        """Watermarks in [0.25, 0.5] seconds: an epoch's backlog is far
+        past them in modeled memory units but only microseconds of
+        measured work, so the measured guard sheds strictly less."""
+        def run(pressure):
+            guard = OverloadGuard(
+                controller=LoadController(0.25, 0.5, max_drop_rate=1.0),
+                queue_capacity=None,
+                pressure=pressure,
+            )
+            result = Engine(
+                _plan(), batch_size=16, guard=guard, observe=True
+            ).run({"in": ListSource("in", _elements(600, punct_every=50))})
+            return result.dropped
+
+        modeled = run("memory")
+        measured = run("measured")
+        assert modeled > 0
+        assert measured < modeled
+
+    def test_measured_pressure_without_observer_falls_back(self):
+        guard = OverloadGuard(
+            controller=LoadController(0.25, 0.5, max_drop_rate=1.0),
+            pressure="measured",
+        )
+        result = Engine(_plan(), batch_size=16, guard=guard).run(
+            {"in": ListSource("in", _elements(600))}
+        )
+        # No observer bound: modeled memory pressure applies and sheds.
+        assert result.dropped > 0
+
+
+# --------------------------------------------------------------------------
+# Measured capacity for the rate-based optimizer
+# --------------------------------------------------------------------------
+
+
+class TestMeasuredCapacity:
+    def test_capacity_defaults_to_measured_rate(self):
+        result = _run(observe=True)
+        m = result.metrics.operators["sel"]
+        op = rate_operator_from_metrics("sel", m)
+        assert op.capacity == pytest.approx(m.measured_rate)
+        assert op.selectivity == pytest.approx(m.observed_selectivity)
+
+    def test_explicit_capacity_still_wins(self):
+        result = _run(observe=True)
+        m = result.metrics.operators["sel"]
+        assert rate_operator_from_metrics("sel", m, 123.0).capacity == 123.0
+
+    def test_unmeasured_operator_requires_explicit_capacity(self):
+        result = _run(observe=None)
+        m = result.metrics.operators["sel"]
+        with pytest.raises(PlanError):
+            rate_operator_from_metrics("sel", m)
+        assert rate_operator_from_metrics("sel", m, 10.0).capacity == 10.0

@@ -1,0 +1,188 @@
+"""Exporter tests: Prometheus text format and strict-JSON snapshots.
+
+The Prometheus output is checked line-by-line against a format parser;
+the JSON snapshot must survive ``allow_nan=False`` serialization and a
+round-trip — including a registry holding a never-fed operator, whose
+in-memory selectivity is deliberately ``nan``.  The repo's committed
+``BENCH_*.json`` baselines are held to the same strictness.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import Engine, ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.core.metrics import MetricsRegistry
+from repro.observe import (
+    Span,
+    dumps_strict,
+    json_snapshot,
+    to_prometheus,
+    write_snapshot,
+)
+from repro.operators import AggSpec, Aggregate, Select
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+# name{labels} value  |  name value
+_SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" (NaN|[+-]Inf|-?[0-9.e+-]+)$"
+)
+
+
+def _observed_run():
+    els = []
+    for i in range(400):
+        els.append(Record({"k": i % 3, "v": 1.0}, ts=float(i), seq=i))
+        if (i + 1) % 100 == 0:
+            els.append(Punctuation([("k", None)], ts=float(i)))
+    plan = linear_plan(
+        "in",
+        [
+            # Never passes a record: the aggregate downstream stays
+            # never-fed (records_in == 0, selectivity nan in memory).
+            Select(lambda r: r.values["v"] > 0, name="keep"),
+            Select(lambda r: False, name="drop_all"),
+            Aggregate(["k"], [AggSpec("s", "sum", "v")], name="starved"),
+        ],
+        "out",
+    )
+    return Engine(plan, batch_size=32, observe=True).run(
+        {"in": ListSource("in", els)}
+    )
+
+
+class TestPrometheus:
+    def test_every_line_is_well_formed(self):
+        text = to_prometheus(_observed_run().metrics)
+        assert text.endswith("\n")
+        for line in text.strip().split("\n"):
+            if line.startswith("# TYPE "):
+                parts = line.split()
+                assert len(parts) == 4
+                assert parts[3] in ("counter", "gauge", "histogram")
+            else:
+                assert _SAMPLE_RE.match(line), f"bad sample line: {line!r}"
+
+    def test_operator_counters_match_metrics(self):
+        result = _observed_run()
+        text = to_prometheus(result.metrics)
+        keep = result.metrics.operators["keep"]
+        line = (
+            f'repro_operator_records_in_total'
+            f'{{operator="keep",kind="select"}} {keep.records_in}'
+        )
+        assert line in text.split("\n")
+        # Never-fed operator still exports (value 0), with its kind.
+        assert (
+            'repro_operator_records_in_total'
+            '{operator="starved",kind="aggregate"} 0'
+        ) in text.split("\n")
+
+    def test_wall_time_exported_as_seconds_counter(self):
+        text = to_prometheus(_observed_run().metrics)
+        lines = [
+            ln for ln in text.split("\n")
+            if ln.startswith("repro_operator_wall_time_seconds_total{")
+        ]
+        assert len(lines) == 3  # one per operator
+        values = [float(ln.rsplit(" ", 1)[1]) for ln in lines]
+        assert any(v > 0 for v in values)
+
+    def test_histogram_buckets_are_cumulative_and_end_at_inf(self):
+        result = _observed_run()
+        text = to_prometheus(result.metrics)
+        hist = result.metrics.histograms["op.keep.latency"]
+        pattern = re.compile(
+            r'repro_op_keep_latency_bucket\{le="([^"]+)"\} (\d+)'
+        )
+        buckets = pattern.findall(text)
+        assert buckets, "no bucket lines for op.keep.latency"
+        counts = [int(c) for _, c in buckets]
+        assert counts == sorted(counts)  # cumulative => non-decreasing
+        assert buckets[-1][0] == "+Inf"
+        assert counts[-1] == hist.count
+        assert f"repro_op_keep_latency_count {hist.count}" in text
+
+    def test_unsampled_gauges_are_omitted(self):
+        registry = MetricsRegistry()
+        registry.gauge("never.set")
+        assert "never_set" not in to_prometheus(registry)
+
+    def test_custom_namespace_and_label_sanitization(self):
+        registry = MetricsRegistry()
+        registry.incr("weird name-with.chars", 2)
+        text = to_prometheus(registry, namespace="dsms")
+        assert "dsms_weird_name_with_chars_total 2" in text
+
+
+class TestJsonSnapshot:
+    def test_strict_round_trip(self):
+        snapshot = json_snapshot(_observed_run().metrics)
+        text = dumps_strict(snapshot)  # raises on NaN/Infinity
+        assert json.loads(text) == snapshot
+
+    def test_never_fed_operator_serializes_as_none(self):
+        result = _observed_run()
+        # In memory: nan (evidence-free, the optimizer contract)...
+        assert math.isnan(
+            result.metrics.operators["starved"].observed_selectivity
+        )
+        snapshot = json_snapshot(result.metrics)
+        starved = snapshot["operators"]["starved"]
+        # ...at the serialization boundary: None, never NaN.
+        assert starved["observed_selectivity"] is None
+        assert starved["measured_rate"] is None
+        json.loads(dumps_strict(snapshot))
+
+    def test_spans_included_and_json_safe(self):
+        result = _observed_run()
+        snapshot = json_snapshot(result.metrics)
+        names = [span["path"][-1] for span in snapshot["spans"]]
+        assert "engine" in names
+        assert json_snapshot(result.metrics, include_spans=False).get(
+            "spans"
+        ) is None
+
+    def test_defensive_nonfinite_mapping(self):
+        registry = MetricsRegistry()
+        registry.incr("bad", math.inf)
+        registry.spans.append(Span(("x",), 0.0, 1.0, {"v": math.nan}))
+        snapshot = json_snapshot(registry)
+        assert snapshot["counters"]["bad"] is None
+        assert snapshot["spans"][0]["attrs"]["v"] is None
+        json.loads(dumps_strict(snapshot))
+
+    def test_dumps_strict_refuses_nan(self):
+        with pytest.raises(ValueError):
+            dumps_strict({"x": float("nan")})
+
+    def test_write_snapshot(self, tmp_path):
+        path = write_snapshot(_observed_run().metrics, tmp_path / "snap.json")
+        loaded = json.loads(path.read_text())
+        assert "operators" in loaded and "histograms" in loaded
+
+
+class TestCommittedBaselines:
+    def test_bench_baselines_are_strict_json(self):
+        """Every committed BENCH_*.json must parse without NaN/Infinity
+        literals (the bug the bench-writer audit fixed)."""
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert paths, "no BENCH_*.json baselines found at the repo root"
+
+        def refuse(constant):
+            raise AssertionError(
+                f"non-strict JSON constant {constant!r}"
+            )
+
+        for path in paths:
+            json.loads(path.read_text(), parse_constant=refuse)

@@ -1,0 +1,274 @@
+"""Unit tests for the observability primitives.
+
+Fixed-bucket histograms, gauges, the bounded tracer, observe-config
+coercion, and the binary-searched :meth:`TimeSeries.at` lookup.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core.metrics import (
+    BATCH_BUCKETS,
+    LATENCY_BUCKETS,
+    FixedHistogram,
+    Gauge,
+    MetricsRegistry,
+    TimeSeries,
+)
+from repro.errors import PlanError
+from repro.observe import ObserveConfig, Span, Tracer
+
+# --------------------------------------------------------------------------
+# TimeSeries.at — bisect step lookup
+# --------------------------------------------------------------------------
+
+
+class TestTimeSeriesAt:
+    def test_empty_series_reads_zero(self):
+        assert TimeSeries("q").at(5.0) == 0.0
+
+    def test_before_first_sample_reads_zero(self):
+        ts = TimeSeries("q")
+        ts.append(10.0, 3.0)
+        assert ts.at(9.999) == 0.0
+
+    def test_step_semantics(self):
+        ts = TimeSeries("q")
+        ts.append(1.0, 10.0)
+        ts.append(2.0, 20.0)
+        ts.append(4.0, 40.0)
+        assert ts.at(1.0) == 10.0  # exact hit
+        assert ts.at(1.5) == 10.0  # holds until next step
+        assert ts.at(2.0) == 20.0
+        assert ts.at(3.999) == 20.0
+        assert ts.at(4.0) == 40.0
+        assert ts.at(100.0) == 40.0  # after last
+
+    def test_duplicate_times_read_latest_value(self):
+        ts = TimeSeries("q")
+        ts.append(1.0, 1.0)
+        ts.append(1.0, 2.0)
+        assert ts.at(1.0) == 2.0
+
+    def test_matches_linear_scan(self):
+        rng = random.Random(11)
+        ts = TimeSeries("q")
+        t = 0.0
+        for _ in range(200):
+            t += rng.random()
+            ts.append(t, rng.random())
+
+        def linear_at(query: float) -> float:
+            value = 0.0
+            for when, v in ts:
+                if when > query:
+                    break
+                value = v
+            return value
+
+        for _ in range(100):
+            q = rng.random() * t * 1.1
+            assert ts.at(q) == linear_at(q)
+
+
+# --------------------------------------------------------------------------
+# Gauge
+# --------------------------------------------------------------------------
+
+
+class TestGauge:
+    def test_tracks_last_min_max_mean(self):
+        g = Gauge("depth")
+        for v in (4.0, 1.0, 3.0):
+            g.set(v)
+        assert g.last == 3.0
+        assert g.min == 1.0
+        assert g.max == 4.0
+        assert g.mean == pytest.approx(8.0 / 3.0)
+        assert g.samples == 3
+
+    def test_unsampled_snapshot_is_all_none(self):
+        snap = Gauge("idle").snapshot()
+        assert snap == {
+            "last": None, "min": None, "max": None, "mean": None,
+            "samples": 0,
+        }
+
+    def test_merge_folds_samples(self):
+        a, b = Gauge("q"), Gauge("q")
+        a.set(1.0)
+        a.set(5.0)
+        b.set(3.0)
+        a.merge(b)
+        assert a.last == 3.0  # merge input wins, like a re-sample
+        assert a.min == 1.0
+        assert a.max == 5.0
+        assert a.samples == 3
+
+    def test_merge_of_empty_gauge_is_noop(self):
+        a = Gauge("q")
+        a.set(2.0)
+        a.merge(Gauge("q"))
+        assert a.snapshot()["last"] == 2.0
+        assert a.samples == 1
+
+
+# --------------------------------------------------------------------------
+# FixedHistogram
+# --------------------------------------------------------------------------
+
+
+class TestFixedHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            FixedHistogram(bounds=())
+        with pytest.raises(ValueError):
+            FixedHistogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            FixedHistogram(bounds=(2.0, 1.0))
+
+    def test_le_bucket_semantics(self):
+        h = FixedHistogram(bounds=(1.0, 2.0, 4.0))
+        h.observe(0.5)   # <= 1.0
+        h.observe(1.0)   # == bound: inclusive (Prometheus le)
+        h.observe(1.5)   # <= 2.0
+        h.observe(4.0)   # == last bound
+        h.observe(99.0)  # overflow
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == pytest.approx(0.5 + 1.0 + 1.5 + 4.0 + 99.0)
+
+    def test_weighted_observation(self):
+        h = FixedHistogram(bounds=(1.0,))
+        h.observe(0.5, weight=8)
+        assert h.count == 8
+        assert h.counts == [8, 0]
+        assert h.total == pytest.approx(4.0)
+        assert h.mean == pytest.approx(0.5)
+
+    def test_quantiles_are_bucket_upper_bounds(self):
+        h = FixedHistogram(bounds=(1.0, 2.0, 4.0))
+        for v in (0.5,) * 50 + (1.5,) * 45 + (3.0,) * 5:
+            h.observe(v)
+        assert h.quantile(0.5) == 1.0
+        assert h.quantile(0.95) == 2.0
+        assert h.quantile(1.0) == 4.0
+        assert FixedHistogram(bounds=(1.0,)).quantile(0.9) == 0.0  # empty
+        h.observe(100.0)  # overflow observation
+        assert h.quantile(1.0) == math.inf
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_merge_is_vector_addition(self):
+        a = FixedHistogram(bounds=(1.0, 2.0))
+        b = FixedHistogram(bounds=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(9.0)
+        a.merge(b)
+        assert a.counts == [1, 1, 1]
+        assert a.count == 3
+        with pytest.raises(ValueError):
+            a.merge(FixedHistogram(bounds=(1.0, 3.0)))
+
+    def test_snapshot_maps_inf_quantiles_to_none(self):
+        h = FixedHistogram(bounds=(1.0,))
+        h.observe(50.0)  # everything in the overflow bucket
+        snap = h.snapshot()
+        assert snap["p50"] is None
+        assert snap["p99"] is None
+        assert snap["buckets"]["+inf"] == 1
+
+    def test_default_bucket_ladders_are_valid(self):
+        # The module-level defaults must satisfy the constructor.
+        FixedHistogram(bounds=LATENCY_BUCKETS)
+        FixedHistogram(bounds=BATCH_BUCKETS)
+
+
+# --------------------------------------------------------------------------
+# Tracer / Span
+# --------------------------------------------------------------------------
+
+
+class TestTracer:
+    def test_spans_carry_context_path(self):
+        tracer = Tracer(("run", "shard:2"))
+        span = tracer.record("engine", 1.0, 3.5, batches=4)
+        assert span.path == ("run", "shard:2", "engine")
+        assert span.name == "engine"
+        assert span.duration == 2.5
+        assert span.attrs == {"batches": 4}
+        assert span.within("shard:2")
+        assert not span.within("engine")  # own segment is not enclosing
+
+    def test_span_contextmanager_times_the_region(self):
+        tracer = Tracer()
+        with tracer.span("work", n=1):
+            pass
+        (span,) = tracer.spans
+        assert span.name == "work"
+        assert span.end >= span.start
+
+    def test_buffer_is_bounded_and_counts_drops(self):
+        tracer = Tracer(max_spans=3)
+        for i in range(10):
+            tracer.record(f"s{i}", 0.0, 1.0)
+        assert len(tracer) == 3
+        assert tracer.dropped == 7
+        registry = MetricsRegistry()
+        tracer.publish(registry)
+        assert len(registry.spans) == 3
+        assert registry.counters["observe.spans_dropped"] == 7
+
+    def test_max_spans_validation(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+    def test_child_context_extends_path(self):
+        tracer = Tracer(("run",))
+        assert tracer.child_context("shard:0") == ("run", "shard:0")
+
+    def test_span_to_dict_is_plain_data(self):
+        span = Span(("a", "b"), 1.0, 2.0, {"replay": True})
+        d = span.to_dict()
+        assert d == {
+            "path": ["a", "b"],
+            "start": 1.0,
+            "end": 2.0,
+            "duration": 1.0,
+            "attrs": {"replay": True},
+        }
+
+
+# --------------------------------------------------------------------------
+# ObserveConfig coercion
+# --------------------------------------------------------------------------
+
+
+class TestObserveConfig:
+    def test_coerce_disabled_forms(self):
+        assert ObserveConfig.coerce(None) is None
+        assert ObserveConfig.coerce(False) is None
+
+    def test_coerce_enabled_forms(self):
+        assert ObserveConfig.coerce(True) == ObserveConfig()
+        assert ObserveConfig.coerce(16).sampling == 16
+        cfg = ObserveConfig(sampling=4, trace=False)
+        assert ObserveConfig.coerce(cfg) is cfg
+
+    def test_coerce_rejects_garbage(self):
+        with pytest.raises(PlanError):
+            ObserveConfig.coerce("yes")
+
+    def test_sampling_validation(self):
+        with pytest.raises(PlanError):
+            ObserveConfig(sampling=0)
+
+    def test_with_context_extends(self):
+        cfg = ObserveConfig(context=("run",))
+        assert cfg.with_context("shard:1").context == ("run", "shard:1")
+        assert cfg.context == ("run",)  # original untouched (frozen)

@@ -1,0 +1,184 @@
+"""Trace propagation across the parallel and resilience layers.
+
+Worker engines record spans under the context the coordinator hands
+them (``run -> shard:i -> engine``), the spans cross thread and process
+backends inside the merged metrics, and a supervised recovery marks
+replayed epochs with ``replay=True`` — distinguishable from first-run
+epoch spans, which is what makes a chaos run's trace readable.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.observe import ObserveConfig
+from repro.operators import AggSpec, Aggregate, Select
+from repro.parallel.partition import HashPartition
+from repro.parallel.sharded import ShardedEngine
+from repro.resilience.chaos import FaultInjector
+from repro.resilience.supervisor import Supervisor
+
+N_SHARDS = 4
+BACKENDS = ("thread", "process")
+
+
+def _elements(n=1200, punct_every=300):
+    rng = random.Random(7)
+    out = []
+    for i in range(n):
+        out.append(Record({"k": rng.randrange(8), "v": 1.0}, ts=float(i)))
+        if (i + 1) % punct_every == 0:
+            out.append(Punctuation([("k", None)], ts=float(i)))
+    return out
+
+
+def _plan():
+    return linear_plan(
+        "in",
+        [
+            Select(lambda r: r.values["v"] >= 0, name="sel"),
+            Aggregate(["k"], [AggSpec("s", "sum", "v")], name="agg"),
+        ],
+        "out",
+    )
+
+
+def _sharded(backend, observe=True):
+    return ShardedEngine(
+        _plan(),
+        HashPartition("k", N_SHARDS),
+        batch_size=64,
+        backend=backend,
+        observe=observe,
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestShardedTrace:
+    def test_worker_spans_nest_under_shard_context(self, backend):
+        result = _sharded(backend).run({"in": ListSource("in", _elements())})
+        spans = result.metrics.spans
+        paths = {span.path for span in spans}
+        assert ("run",) in paths  # coordinator span
+        for shard in range(N_SHARDS):
+            assert ("run", f"shard:{shard}", "engine") in paths
+        # Chronological merge order, even across backends.
+        starts = [span.start for span in spans]
+        assert starts == sorted(starts)
+
+    def test_coordinator_span_encloses_workers(self, backend):
+        result = _sharded(backend).run({"in": ListSource("in", _elements())})
+        spans = result.metrics.spans
+        (run,) = [s for s in spans if s.path == ("run",)]
+        assert run.attrs["shards"] == N_SHARDS
+        assert run.attrs["backend"] == backend
+        for worker in (s for s in spans if s.name == "engine"):
+            assert worker.within("run")
+            assert run.start <= worker.start
+            assert worker.end <= run.end
+
+    def test_shard_wall_time_merges(self, backend):
+        result = _sharded(backend).run({"in": ListSource("in", _elements())})
+        summary = result.metrics.summary()
+        assert summary["sel"]["wall_time"] > 0.0
+        assert summary["sel"]["measured_rate"] is not None
+        # The sampling setting survives the merge as a setting (not a
+        # sum over shards).
+        assert result.metrics.counters["observe.sampling"] == 1.0
+
+    def test_observation_off_records_nothing(self, backend):
+        result = _sharded(backend, observe=None).run(
+            {"in": ListSource("in", _elements())}
+        )
+        assert result.metrics.spans == []
+        assert result.metrics.summary()["sel"]["wall_time"] == 0.0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestSupervisedTrace:
+    def test_replayed_epochs_distinguishable_from_first_run(self, backend):
+        """Acceptance: a chaos run's trace marks replayed epochs."""
+        injector = FaultInjector()
+        injector.crash_shard(1, epoch=3)
+        supervisor = Supervisor(
+            _sharded(backend), injector=injector, checkpoint_every=2
+        )
+        result = supervisor.run({"in": ListSource("in", _elements())})
+        assert supervisor.report.retries == 1
+        assert supervisor.report.replayed_epochs == 1
+        spans = result.metrics.spans
+        replays = [s for s in spans if s.attrs.get("replay")]
+        assert len(replays) == 1
+        (replay,) = replays
+        assert replay.path == ("run", "replay:2")
+        assert replay.attrs["shard"] == 1
+        assert replay.attrs["epoch"] == 2
+        assert replay.attrs["attempt"] == 1
+        first_run = [
+            s for s in spans
+            if s.name.startswith("epoch:") and not s.attrs.get("replay")
+        ]
+        # One per input epoch: 4 punctuation-closed plus the tail epoch.
+        assert len(first_run) == 5
+        # Coordinator run span carries the recovery tallies.
+        (run,) = [s for s in spans if s.path == ("run",)]
+        assert run.attrs["supervised"] is True
+        assert run.attrs["retries"] == 1
+        assert run.attrs["replayed_epochs"] == 1
+
+    def test_supervised_output_matches_unfaulted_run(self, backend):
+        def key(el):
+            if isinstance(el, Punctuation):
+                return ("P", el.ts)
+            return ("R", el.ts, tuple(sorted(el.values.items())))
+
+        baseline = [
+            key(el)
+            for el in _sharded("thread", observe=None)
+            .run({"in": ListSource("in", _elements())})
+            .outputs["out"]
+        ]
+        injector = FaultInjector()
+        injector.crash_shard(2, epoch=1)
+        supervisor = Supervisor(
+            _sharded(backend), injector=injector, checkpoint_every=2
+        )
+        result = supervisor.run({"in": ListSource("in", _elements())})
+        assert [key(el) for el in result.outputs["out"]] == baseline
+
+    def test_fault_free_supervised_trace_has_no_replays(self, backend):
+        supervisor = Supervisor(_sharded(backend), checkpoint_every=2)
+        result = supervisor.run({"in": ListSource("in", _elements())})
+        spans = result.metrics.spans
+        assert not [s for s in spans if s.attrs.get("replay")]
+        checkpoint_spans = [
+            s for s in spans if s.name.startswith("checkpoint:")
+        ]
+        assert checkpoint_spans  # mid-run checkpoints are traced
+        assert result.metrics.counters["supervisor.retries"] == 0
+
+
+class TestUnobservedSupervision:
+    def test_supervisor_without_observation_still_recovers(self):
+        injector = FaultInjector()
+        injector.crash_shard(0, epoch=2)
+        supervisor = Supervisor(
+            _sharded("thread", observe=None),
+            injector=injector,
+            checkpoint_every=1,
+        )
+        result = supervisor.run({"in": ListSource("in", _elements())})
+        assert supervisor.report.retries == 1
+        assert result.metrics.spans == []
+
+    def test_context_prefix_propagates_to_workers(self):
+        cfg = ObserveConfig(context=("job:nightly",))
+        engine = _sharded("thread", observe=cfg)
+        result = engine.run({"in": ListSource("in", _elements())})
+        paths = {span.path for span in result.metrics.spans}
+        assert ("job:nightly", "run") in paths
+        assert ("job:nightly", "run", "shard:0", "engine") in paths

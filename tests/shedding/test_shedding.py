@@ -124,4 +124,16 @@ class TestLoadController:
     def test_trace_recorded(self):
         ctl = LoadController(0.0, 10.0)
         ctl(Record({"v": 1}), now=3.0, memory=5.0)
-        assert ctl.trace == [(3.0, 0.5)]
+        assert list(ctl.trace) == [(3.0, 0.5)]
+
+    def test_trace_is_bounded(self):
+        ctl = LoadController(0.0, 10.0, trace_limit=8)
+        for i in range(100):
+            ctl(Record({"v": i}), now=float(i), memory=5.0)
+        assert len(ctl.trace) == 8
+        # Ring buffer keeps the most recent admissions.
+        assert [t for t, _rate in ctl.trace] == [float(i) for i in range(92, 100)]
+
+    def test_trace_limit_validation(self):
+        with pytest.raises(SheddingError):
+            LoadController(0.0, 10.0, trace_limit=0)

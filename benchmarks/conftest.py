@@ -40,6 +40,14 @@ def _fmt(value) -> str:
     return str(value)
 
 
+def pytest_collection_modifyitems(items):
+    """Every collected bench test is ``slow``: benches are excluded from
+    the tier-1 run (``addopts -m 'not slow'``) and run in the dedicated
+    slow CI job (``-m slow``) instead."""
+    for item in items:
+        item.add_marker(pytest.mark.slow)
+
+
 @pytest.fixture
 def report():
     """Fixture handing benches the (emit, table) pair."""

@@ -1,0 +1,56 @@
+"""Adaptive runtime re-optimization (M6).
+
+The tutorial's adaptivity arc — rate-based plan selection (VN02),
+eddies (AH00), feedback load shedding — treated each technique as a
+design-time choice.  This package closes the loop at *runtime*: an
+:class:`AdaptiveController` watches the measured rates, selectivities,
+and costs the observe layer collects, and migrates the running plan at
+punctuation/epoch boundaries — re-ordering commutative filters,
+swapping a fixed filter chain for an eddy (and freezing it back),
+retuning the micro-batch size and overload watermarks — without losing
+or duplicating a single tuple (the PR 3 snapshot/restore machinery
+carries operator state across each migration).
+
+Entry points: :func:`run_adaptive` for one-shot runs,
+:class:`AdaptiveEngine` / :class:`AdaptiveShardedEngine` for driver
+objects, :class:`AdaptiveConfig` for the decision knobs.
+"""
+
+from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
+from repro.adaptive.revision import (
+    Migration,
+    ReorderChain,
+    ReorderFilters,
+    RetuneShedding,
+    Revision,
+    SetBatchSize,
+    SwapToChain,
+    SwapToEddy,
+    apply_revisions,
+    apply_to_chain,
+    reorderable_runs,
+)
+from repro.adaptive.runner import (
+    AdaptiveEngine,
+    AdaptiveShardedEngine,
+    run_adaptive,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "AdaptiveController",
+    "AdaptiveEngine",
+    "AdaptiveShardedEngine",
+    "Migration",
+    "ReorderChain",
+    "ReorderFilters",
+    "RetuneShedding",
+    "Revision",
+    "SetBatchSize",
+    "SwapToChain",
+    "SwapToEddy",
+    "apply_revisions",
+    "apply_to_chain",
+    "reorderable_runs",
+    "run_adaptive",
+]

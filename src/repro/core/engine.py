@@ -314,6 +314,57 @@ class Engine:
             outputs=outputs, metrics=self.metrics, dropped=dropped
         )
 
+    # -- live plan migration -----------------------------------------------
+
+    def migrate_plan(self, new_plan: Plan) -> None:
+        """Swap the running engine onto ``new_plan`` without losing state.
+
+        The adaptive layer (:mod:`repro.adaptive`) calls this at a
+        punctuation boundary — never mid-:meth:`feed` — to apply a plan
+        revision (a re-ordered filter chain, a
+        ``FixedFilterChain``/``Eddy`` swap) to a standing query.  The
+        migration reuses the PR 3 snapshot protocol: every old operator
+        is snapshotted by name, and every new-plan operator with a
+        matching name is ``reset()`` then ``restore()``-d from that
+        snapshot, so stateful operators (aggregates, windows) carry
+        their open groups across the swap and no tuple is lost or
+        duplicated.  New-plan operators without a predecessor start
+        fresh; old operators absent from the new plan are dropped.
+
+        The new plan must keep the same input and output names.
+        Accumulated outputs, metrics, the observer, and the overload
+        guard all survive — metrics stay keyed by operator name, so a
+        migrated operator keeps accruing into the same counters.
+        """
+        if self._outputs is None:
+            raise PlanError("Engine.migrate_plan() called before start()")
+        new_plan.validate()
+        if set(new_plan.inputs) != set(self.plan.inputs):
+            raise PlanError(
+                f"migration cannot change plan inputs: "
+                f"{sorted(self.plan.inputs)} -> {sorted(new_plan.inputs)}"
+            )
+        if set(new_plan.outputs) != set(self.plan.outputs):
+            raise PlanError(
+                f"migration cannot change plan outputs: "
+                f"{sorted(self.plan.outputs)} -> {sorted(new_plan.outputs)}"
+            )
+        states = {
+            op.name: op.snapshot() for op in self.plan.topological_order()
+        }
+        for op in new_plan.topological_order():
+            op.reset()
+            if op.name in states:
+                op.restore(states[op.name])
+            self.metrics.operator_kinds[op.name] = getattr(
+                op, "kind", type(op).__name__.lower()
+            )
+        self.plan = new_plan
+        if self.guard is not None:
+            rebind = getattr(self.guard, "rebind", None)
+            if rebind is not None:
+                rebind(new_plan)
+
     # -- checkpointing -----------------------------------------------------
 
     def checkpoint(self) -> EngineCheckpoint:

@@ -35,12 +35,16 @@ from repro.observe.export import (
     to_prometheus,
     write_snapshot,
 )
+from repro.observe.feedback import OperatorStats, collect_stats, merge_stats
 from repro.observe.observer import ObserveConfig, Observer
 from repro.observe.trace import Span, Tracer
 
 __all__ = [
     "ObserveConfig",
     "Observer",
+    "OperatorStats",
+    "collect_stats",
+    "merge_stats",
     "Span",
     "Tracer",
     "FixedHistogram",

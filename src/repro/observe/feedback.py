@@ -1,0 +1,122 @@
+"""Measured-statistics feedback for runtime adaptation.
+
+The adaptive controller (:mod:`repro.adaptive`) runs in the
+coordinator, but the measurements it needs live inside engines that may
+be running in worker threads or forked worker processes.  This module
+defines the picklable carrier that crosses that boundary:
+:class:`OperatorStats` is a frozen value snapshot of one operator's
+cumulative counters, and :func:`collect_stats` captures every operator
+of a running engine's registry at an epoch boundary.
+
+Stats are *cumulative*; the controller differences consecutive
+snapshots itself (see
+:meth:`repro.adaptive.controller.AdaptiveController.observe`) because
+drift detection needs per-window estimates — a selectivity shift in the
+last thousand records is invisible in a lifetime average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.metrics import MetricsRegistry, OperatorMetrics
+
+__all__ = ["OperatorStats", "collect_stats", "merge_stats"]
+
+
+@dataclass(frozen=True)
+class OperatorStats:
+    """Picklable snapshot of one operator's cumulative counters.
+
+    ``wall_time``/``timed_invocations`` are 0.0/0 for an operator the
+    observer never sampled — consumers must treat that as *unmeasured*,
+    not as infinitely fast (the ``timed_invocations == 0`` discipline
+    audited by ``tests/optimizer/test_rate_based.py``).
+    """
+
+    records_in: int = 0
+    records_out: int = 0
+    punctuations_in: int = 0
+    wall_time: float = 0.0
+    timed_invocations: int = 0
+
+    @staticmethod
+    def of(m: OperatorMetrics) -> "OperatorStats":
+        return OperatorStats(
+            records_in=m.records_in,
+            records_out=m.records_out,
+            punctuations_in=m.punctuations_in,
+            wall_time=m.wall_time,
+            timed_invocations=m.timed_invocations,
+        )
+
+    def delta(self, earlier: "OperatorStats") -> "OperatorStats":
+        """Counters accumulated since ``earlier`` (a windowed view)."""
+        return OperatorStats(
+            records_in=self.records_in - earlier.records_in,
+            records_out=self.records_out - earlier.records_out,
+            punctuations_in=self.punctuations_in - earlier.punctuations_in,
+            wall_time=self.wall_time - earlier.wall_time,
+            timed_invocations=self.timed_invocations
+            - earlier.timed_invocations,
+        )
+
+    def __add__(self, other: "OperatorStats") -> "OperatorStats":
+        return OperatorStats(
+            records_in=self.records_in + other.records_in,
+            records_out=self.records_out + other.records_out,
+            punctuations_in=self.punctuations_in + other.punctuations_in,
+            wall_time=self.wall_time + other.wall_time,
+            timed_invocations=self.timed_invocations
+            + other.timed_invocations,
+        )
+
+    # -- derived estimates (windowed when taken on a delta) ---------------
+
+    @property
+    def measured(self) -> bool:
+        """Whether the observer actually timed this operator."""
+        return self.timed_invocations > 0 and self.wall_time > 0.0
+
+    @property
+    def selectivity(self) -> float:
+        """Output/input record ratio; ``nan`` with no input (absence of
+        evidence, matching :attr:`OperatorMetrics.observed_selectivity`)."""
+        if self.records_in == 0:
+            return float("nan")
+        return self.records_out / self.records_in
+
+    @property
+    def rate(self) -> float:
+        """Records/sec serviced; ``nan`` when unmeasured."""
+        if not self.measured or self.records_in == 0:
+            return float("nan")
+        return self.records_in / self.wall_time
+
+    @property
+    def record_cost(self) -> float:
+        """Measured wall seconds per input record; 0.0 when unmeasured."""
+        if not self.measured or self.records_in == 0:
+            return 0.0
+        return self.wall_time / self.records_in
+
+
+def collect_stats(registry: MetricsRegistry) -> dict[str, OperatorStats]:
+    """Snapshot every operator's counters from a run's registry."""
+    return {
+        name: OperatorStats.of(m) for name, m in registry.operators.items()
+    }
+
+
+def merge_stats(
+    snapshots: list[dict[str, OperatorStats]],
+) -> dict[str, OperatorStats]:
+    """Sum per-operator stats across shards (same chain per shard)."""
+    total: dict[str, OperatorStats] = {}
+    for snap in snapshots:
+        for name, stats in snap.items():
+            if name in total:
+                total[name] = total[name] + stats
+            else:
+                total[name] = stats
+    return total

@@ -20,9 +20,21 @@ import random
 from typing import Callable, Sequence
 
 from repro.core.tuples import Record
+from repro.errors import PlanError
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["EddyFilter", "Eddy", "FixedFilterChain"]
+
+
+def _snapshot_filters(filters: Sequence["EddyFilter"]) -> dict:
+    return {f.name: (f.seen, f.passed) for f in filters}
+
+
+def _restore_filters(filters: Sequence["EddyFilter"], state: dict) -> None:
+    for f in filters:
+        seen, passed = state.get(f.name, (0.0, 0.0))
+        f.seen = seen
+        f.passed = passed
 
 
 class EddyFilter:
@@ -77,6 +89,7 @@ class Eddy(UnaryOperator):
         self.filters = list(filters)
         self.epsilon = epsilon
         self.decay_factor = decay
+        self.seed = seed
         self._rng = random.Random(seed)
         #: total predicate-evaluation cost spent (the adaptivity metric)
         self.work_done = 0.0
@@ -107,6 +120,30 @@ class Eddy(UnaryOperator):
             f.seen = 0.0
             f.passed = 0.0
         self.work_done = 0.0
+        self._rng = random.Random(self.seed)
+
+    def snapshot(self) -> object:
+        return {
+            "filters": _snapshot_filters(self.filters),
+            "work_done": self.work_done,
+            "rng": self._rng.getstate(),
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        if not isinstance(state, dict) or "filters" not in state:
+            raise PlanError(
+                f"eddy {self.name!r} handed an incompatible snapshot"
+            )
+        _restore_filters(self.filters, state["filters"])
+        self.work_done = state.get("work_done", 0.0)
+        # A snapshot taken from a FixedFilterChain (the adaptive
+        # chain -> eddy migration) carries no RNG state; exploration
+        # then restarts from the configured seed.
+        rng_state = state.get("rng")
+        if rng_state is not None:
+            self._rng.setstate(rng_state)
 
 
 class FixedFilterChain(UnaryOperator):
@@ -129,5 +166,47 @@ class FixedFilterChain(UnaryOperator):
                 return []
         return [record]
 
+    def current_order(self) -> list[str]:
+        """The (fixed) application order, mirroring :meth:`Eddy.current_order`."""
+        return [f.name for f in self.filters]
+
+    def reordered(self, order: Sequence[str]) -> "FixedFilterChain":
+        """A new chain applying the same filters in ``order``.
+
+        The conjunction is commutative — a record passes iff every
+        predicate holds — so any permutation emits the same records;
+        only the work spent differs.
+        """
+        by_name = {f.name: f for f in self.filters}
+        if sorted(by_name) != sorted(order):
+            raise PlanError(
+                f"chain {self.name!r} holds filters {sorted(by_name)}; "
+                f"cannot reorder to {list(order)}"
+            )
+        return FixedFilterChain(
+            [by_name[fname] for fname in order],
+            name=self.name,
+            cost_per_tuple=self.cost_per_tuple,
+        )
+
     def reset(self) -> None:
         self.work_done = 0.0
+
+    def snapshot(self) -> object:
+        return {
+            "filters": _snapshot_filters(self.filters),
+            "work_done": self.work_done,
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            return
+        if not isinstance(state, dict) or "filters" not in state:
+            raise PlanError(
+                f"filter chain {self.name!r} handed an incompatible snapshot"
+            )
+        # Accepts an Eddy snapshot too (the eddy -> chain migration):
+        # the RNG state it carries has no counterpart here and is
+        # dropped with the adaptivity it served.
+        _restore_filters(self.filters, state["filters"])
+        self.work_done = state.get("work_done", 0.0)

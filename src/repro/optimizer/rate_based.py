@@ -65,29 +65,43 @@ def rate_operator_from_metrics(
     capacity: float | None = None,
     prior_selectivity: float = 1.0,
     cost: float = 1.0,
+    fallback_capacity: float | None = None,
 ) -> RateOperator:
     """Build a :class:`RateOperator` from measured engine counters.
 
     ``capacity`` may be given explicitly (the modeled service rate), or
     left ``None`` to derive it from the operator's *measured* wall-clock
     throughput: ``records_in / wall_time`` as recorded by an observed
-    engine run (``Engine(..., observe=...)``).  An unobserved operator
-    has no measured rate (``nan``), in which case an explicit capacity
-    is required.
+    engine run (``Engine(..., observe=...)``).
+
+    A metrics object with ``timed_invocations == 0`` — the operator ran
+    without an observer, the sampling stride never landed on it, or it
+    only ever saw punctuations — has no measured rate (``nan``).  That
+    is *absence of evidence* about capacity, not evidence of capacity:
+    the model must not divide by the zero ``wall_time`` or rank the
+    operator as infinitely fast/slow.  When ``fallback_capacity`` is
+    given it stands in for the missing measurement (the adaptive
+    controller passes a modeled ``1/cost_per_tuple`` rate here so a
+    never-sampled filter stays orderable); with no fallback an explicit
+    capacity is required and the mismatch raises.
 
     ``observed_selectivity`` is ``nan`` for an operator that has seen no
-    input; that is *absence of evidence*, not a perfect filter, so the
+    input; that too is absence of evidence, not a perfect filter, so the
     model falls back to ``prior_selectivity`` instead of treating the
     operator as selectivity-0 (which would make the rate-based order
     push never-fed operators to the front of every chain).
     """
     if capacity is None:
         measured = metrics.measured_rate
-        if math.isnan(measured):
-            raise PlanError(
-                f"operator {name!r} has no measured rate (was the run "
-                f"observed?); pass an explicit capacity"
-            )
+        if math.isnan(measured) or metrics.timed_invocations == 0:
+            if fallback_capacity is None:
+                raise PlanError(
+                    f"operator {name!r} has no measured rate (was the "
+                    f"run observed? timed_invocations="
+                    f"{metrics.timed_invocations}); pass an explicit "
+                    f"capacity or a fallback_capacity"
+                )
+            measured = fallback_capacity
         capacity = measured
     selectivity = metrics.observed_selectivity
     if math.isnan(selectivity):

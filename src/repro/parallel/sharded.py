@@ -95,6 +95,7 @@ from repro.gigascope.decompose import (
 from repro.observe.observer import ObserveConfig
 from repro.observe.trace import Tracer
 from repro.operators.aggregate import Aggregate, AttrGetter, WindowedAggregate
+from repro.operators.eddy import Eddy, FixedFilterChain
 from repro.operators.map import Extend, MapOp, Rename
 from repro.operators.partial_aggregate import GroupPartial
 from repro.operators.project import DistinctProject, Project
@@ -124,7 +125,10 @@ Element = Record | Punctuation
 #: Stateless per-record operators: one record in, at most one out, with
 #: the output carrying the input's (ts, seq) stamp.  A shard's slice of
 #: the chain output through these equals the chain output of its slice.
-_STATELESS_OPS = (Select, Project, MapOp, Rename, Extend)
+#: ``FixedFilterChain``/``Eddy`` qualify — their routing statistics are
+#: internal work bookkeeping, not cross-record *output* state: whether a
+#: record passes depends only on the record itself.
+_STATELESS_OPS = (Select, Project, MapOp, Rename, Extend, FixedFilterChain, Eddy)
 
 _BACKENDS = ("inline", "thread", "process")
 
@@ -164,7 +168,8 @@ def _order_sensitive(aggregates) -> bool:
 def _preserved_after(op, preserved: set) -> set:
     """Attributes of ``preserved`` still carrying the source value under
     the source name after passing through ``op``."""
-    if isinstance(op, Select):
+    if isinstance(op, (Select, FixedFilterChain, Eddy)):
+        # Pure filters: surviving records pass through byte-identical.
         return preserved
     if isinstance(op, Project):
         identity = {

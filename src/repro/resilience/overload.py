@@ -123,6 +123,37 @@ class OverloadGuard:
         """Called by the engine when it runs with observation enabled."""
         self._observer = observer
 
+    def rebind(self, plan) -> None:
+        """Follow a live plan migration (:meth:`Engine.migrate_plan`).
+
+        Unlike :meth:`attach`, this keeps queues, drop counters, and the
+        bound observer: the run continues, only the operator DAG whose
+        memory is polled has changed.  Plan inputs are migration-
+        invariant, so the ingress queues stay valid; the cached memory
+        poll is invalidated because the operator set may differ.
+        """
+        self._plan = plan
+        self._memory = 0.0
+        self._since_poll = 0
+
+    def retune(self, low: float, high: float) -> None:
+        """Forward new shedding watermarks to the controller, if any.
+
+        A no-op without a controller (a queue-capacity-only guard has no
+        ramp to retune).  Raises
+        :class:`~repro.errors.SheddingError` on an inverted pair, same
+        as the controller's constructor.
+        """
+        if self.controller is None:
+            return
+        set_marks = getattr(self.controller, "set_watermarks", None)
+        if set_marks is None:
+            raise SheddingError(
+                f"shedder {type(self.controller).__name__} does not "
+                f"support watermark retuning"
+            )
+        set_marks(low, high)
+
     def ingress_queues(self):
         """The ingress backlog queues (sampled into gauges per chunk)."""
         return self._queues.values()

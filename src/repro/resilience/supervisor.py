@@ -160,6 +160,28 @@ class _ShardCore:
         # after the restore to be accounted for.
         self.emitted = len(self.engine._outputs[self.output_name])
 
+    def stats(self):
+        """Picklable per-operator counter snapshot (adaptive feedback)."""
+        from repro.observe.feedback import collect_stats
+
+        return collect_stats(self.engine.metrics)
+
+    def revise(self, revisions) -> None:
+        """Apply plan revisions at the current epoch boundary.
+
+        Lazy import: :mod:`repro.adaptive` drives these workers, so a
+        top-level import here would be a cycle.
+        """
+        from repro.adaptive.revision import apply_revisions
+
+        self.ops = apply_revisions(
+            self.engine,
+            revisions,
+            self.input_name,
+            self.output_name,
+            self.ops,
+        )
+
     def finish(self) -> tuple[list[Element], float, MetricsRegistry]:
         result = self.engine.finish()
         flush = result.outputs[self.output_name][self.emitted :]
@@ -209,6 +231,12 @@ class _InlineWorker:
     def restore(self, cp: EngineCheckpoint) -> None:
         self.core.restore(cp)
 
+    def stats(self):
+        return self.core.stats()
+
+    def revise(self, revisions) -> None:
+        self.core.revise(revisions)
+
     def finish(self):
         return self.core.finish()
 
@@ -254,6 +282,14 @@ class _ThreadWorker:
 
     def restore(self, cp: EngineCheckpoint) -> None:
         self.core.restore(cp)
+
+    def stats(self):
+        # Called by the coordinator between epochs, when the pool thread
+        # is idle — same lockstep discipline as snapshot().
+        return self.core.stats()
+
+    def revise(self, revisions) -> None:
+        self.core.revise(revisions)
 
     def finish(self):
         return self.core.finish()
@@ -303,6 +339,11 @@ def _process_worker_main(
                 conn.send(("ok", core.checkpoint()))
             elif tag == "restore":
                 core.restore(cmd[1])
+                conn.send(("ok",))
+            elif tag == "stats":
+                conn.send(("ok", core.stats()))
+            elif tag == "revise":
+                core.revise(cmd[1])
                 conn.send(("ok",))
             elif tag == "finish":
                 conn.send(("ok", core.finish()))
@@ -385,6 +426,17 @@ class _ProcessWorker:
 
     def restore(self, cp: EngineCheckpoint) -> None:
         self._cmd_send.send(("restore", cp))
+        self._recv(None)
+
+    def stats(self):
+        self._cmd_send.send(("stats",))
+        (snap,) = self._recv(None)
+        return snap
+
+    def revise(self, revisions) -> None:
+        # Revisions are picklable by design (names + scalars only);
+        # the worker resolves them against its own operator instances.
+        self._cmd_send.send(("revise", revisions))
         self._recv(None)
 
     def finish(self):

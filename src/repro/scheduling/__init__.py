@@ -1,5 +1,6 @@
 """Operator scheduling policies (slides 42-43)."""
 
+from repro.scheduling.adaptive import MeasuredRateScheduler
 from repro.scheduling.base import ReadyOp, Scheduler
 from repro.scheduling.chain import ChainScheduler, lower_envelope_priorities
 from repro.scheduling.fifo import FIFOScheduler
@@ -13,5 +14,6 @@ __all__ = [
     "lower_envelope_priorities",
     "FIFOScheduler",
     "GreedyScheduler",
+    "MeasuredRateScheduler",
     "RoundRobinScheduler",
 ]

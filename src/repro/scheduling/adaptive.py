@@ -1,0 +1,73 @@
+"""Measured-rate operator scheduling.
+
+The slide 42-43 schedulers rank queued work by *modeled* quantities
+(``cost_per_tuple``, declared selectivity).  Once the observe layer can
+measure real per-operator rates, the natural adaptive policy is to
+serve the operator that destroys backlog fastest *as measured*: its
+drop throughput ``(1 - observed_selectivity) * measured_rate`` —
+records removed from the stream per second of service.
+
+The subtlety this module exists to get right is the **never-sampled
+operator**.  Under 1-in-N sampling an operator may have
+``timed_invocations == 0`` even after many dispatches, and its
+``measured_rate``/``observed_selectivity`` are ``nan``.  Naively
+feeding ``nan`` into a ``max()`` key makes the choice depend on list
+order (every comparison with ``nan`` is False), which is both wrong
+and nondeterministic across plans.  :class:`MeasuredRateScheduler`
+falls back to the modeled :attr:`~repro.scheduling.base.ReadyOp.
+release_rate` for exactly those operators — the same audit as
+``rate_operator_from_metrics(..., fallback_capacity=...)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.metrics import MetricsRegistry
+from repro.scheduling.base import ReadyOp, Scheduler
+
+__all__ = ["MeasuredRateScheduler"]
+
+
+class MeasuredRateScheduler(Scheduler):
+    """Serve the operator with the highest *measured* drop throughput.
+
+    Parameters
+    ----------
+    metrics:
+        A :class:`~repro.core.metrics.MetricsRegistry` from an observed
+        run of (a representative sample of) the same plan — e.g. the
+        registry of a finished :class:`~repro.core.engine.Engine` run
+        with ``observe=`` enabled.  Looked up by operator name at every
+        :meth:`choose`, so the caller may keep measuring into it while
+        the simulator replays the plan.
+
+    Operators the observer actually timed are ranked by
+    ``(1 - observed_selectivity) * measured_rate``; operators with no
+    evidence (missing from the registry, never fed, or never sampled —
+    ``timed_invocations == 0``) rank by the modeled
+    :attr:`~repro.scheduling.base.ReadyOp.release_rate` instead.  Ties
+    break by arrival order then key, like
+    :class:`~repro.scheduling.greedy.GreedyScheduler`.
+    """
+
+    name = "measured_rate"
+
+    def __init__(self, metrics: MetricsRegistry) -> None:
+        self.metrics = metrics
+
+    def priority(self, ready: ReadyOp) -> float:
+        """The (finite) rank of one ready operator."""
+        m = self.metrics.operators.get(ready.op_name)
+        if m is not None and m.timed_invocations > 0:
+            rate = m.measured_rate
+            selectivity = m.observed_selectivity
+            if not math.isnan(rate) and not math.isnan(selectivity):
+                return (1.0 - selectivity) * rate
+        return ready.release_rate
+
+    def choose(self, ready: list[ReadyOp], now: float) -> ReadyOp:
+        return max(
+            ready,
+            key=lambda r: (self.priority(r), -r.head_entry_seq, -r.key),
+        )

@@ -60,6 +60,23 @@ class LoadController(Shedder):
         #: ``trace_limit`` admissions
         self.trace: deque[tuple[float, float]] = deque(maxlen=trace_limit)
 
+    def set_watermarks(self, low: float, high: float) -> None:
+        """Retune the shedding ramp at runtime.
+
+        The adaptive controller calls this at punctuation boundaries to
+        convert a latency target into pressure-unit watermarks using the
+        *measured* per-record cost (a cheap plan serves a longer backlog
+        within the same latency budget).  Validation matches the
+        constructor; admission/drop counters and the trace are kept —
+        retuning is a policy change, not a new run.
+        """
+        if high <= low:
+            raise SheddingError(
+                f"need high > low watermark; got {low}, {high}"
+            )
+        self.low = low
+        self.high = high
+
     def current_drop_rate(self, memory: float) -> float:
         if memory <= self.low:
             return 0.0

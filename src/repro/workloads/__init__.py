@@ -17,7 +17,7 @@ from repro.workloads.netflow import (
     packet_schema,
 )
 from repro.workloads.sensors import SensorConfig, SensorGenerator, sensor_schema
-from repro.workloads.zipf import ZipfGenerator
+from repro.workloads.zipf import PhaseShiftZipf, ZipfGenerator
 
 __all__ = [
     "at_times",
@@ -40,4 +40,5 @@ __all__ = [
     "SensorGenerator",
     "sensor_schema",
     "ZipfGenerator",
+    "PhaseShiftZipf",
 ]

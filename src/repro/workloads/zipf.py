@@ -2,6 +2,10 @@
 
 Network identifiers (IPs, ports, callers) are heavy-tailed; the synopsis
 experiments (E10) and heavy-hitter queries need a controllable skew.
+:class:`PhaseShiftZipf` adds the *drift* dimension the adaptive
+experiments (M6) need: the marginal law stays Zipf, but which keys are
+hot changes at phase boundaries, so selectivities measured in one phase
+mislead a static plan in the next.
 """
 
 from __future__ import annotations
@@ -11,7 +15,7 @@ import random
 
 from repro.errors import StreamError
 
-__all__ = ["ZipfGenerator"]
+__all__ = ["ZipfGenerator", "PhaseShiftZipf"]
 
 
 class ZipfGenerator:
@@ -47,3 +51,61 @@ class ZipfGenerator:
             raise StreamError(f"rank out of range: {k}")
         lo = self._cdf[k - 1] if k > 0 else 0.0
         return self._cdf[k] - lo
+
+
+class PhaseShiftZipf:
+    """A Zipf stream whose hot keys rotate every ``phase_length`` samples.
+
+    Frequency *rank* is drawn from Zipf(``s``) as usual, but the rank →
+    key mapping rotates by ``rotation`` positions at each phase
+    boundary: key ``(rank + phase * rotation) % n``.  Within any one
+    phase the key distribution is exactly Zipf-skewed; across phases the
+    identity of the heavy hitters moves, which is the skew-shift a
+    drift-sensitive consumer (a filter selective on the phase-1 hot set,
+    a synopsis sized for it) experiences as a changed selectivity.
+
+    Sampling is deterministic for a given seed, independent of how
+    ``sample``/``sample_many`` calls are interleaved.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        s: float = 1.1,
+        seed: int = 42,
+        phase_length: int = 1000,
+        rotation: int | None = None,
+    ) -> None:
+        if phase_length < 1:
+            raise StreamError(
+                f"phase_length must be >= 1; got {phase_length}"
+            )
+        self._zipf = ZipfGenerator(n, s, seed)
+        self.n = n
+        self.s = s
+        self.phase_length = phase_length
+        self.rotation = n // 2 if rotation is None else rotation % n
+        self._emitted = 0
+
+    @property
+    def current_phase(self) -> int:
+        """Phase index of the *next* sample (0-based)."""
+        return self._emitted // self.phase_length
+
+    def key_for(self, rank: int, phase: int) -> int:
+        """The key that frequency rank ``rank`` maps to in ``phase``."""
+        if not 0 <= rank < self.n:
+            raise StreamError(f"rank out of range: {rank}")
+        return (rank + phase * self.rotation) % self.n
+
+    def hot_keys(self, phase: int, top: int = 1) -> list[int]:
+        """The ``top`` most frequent keys of ``phase``, hottest first."""
+        return [self.key_for(rank, phase) for rank in range(top)]
+
+    def sample(self) -> int:
+        key = self.key_for(self._zipf.sample(), self.current_phase)
+        self._emitted += 1
+        return key
+
+    def sample_many(self, count: int) -> list[int]:
+        return [self.sample() for _ in range(count)]

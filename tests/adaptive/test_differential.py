@@ -1,0 +1,237 @@
+"""Differential certification of adaptive execution.
+
+Adaptive re-optimization is only allowed to change the *work* a plan
+spends — never its output.  This suite reuses the plan registry of the
+batch differential (``tests/core/test_batch_equivalence.py``) and runs
+every plan twice: once statically (``run_plan``) and once under an
+:class:`~repro.adaptive.AdaptiveEngine` /
+:class:`~repro.adaptive.AdaptiveShardedEngine` with a deliberately
+trigger-happy controller (no hysteresis, tiny decision windows), then
+asserts the outputs are element-for-element identical — records *and*
+punctuations, in order, on every declared output, across the inline,
+thread, and process backends.
+
+The configs are aggressive on purpose: a controller that never fires
+would certify nothing.  A dedicated skew test
+(``test_skew_shift_reorders``) pins down that migrations actually
+happen on a workload built to need them; here the point is that
+*whatever* the controller decides, outputs are invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import (
+    AdaptiveConfig,
+    AdaptiveEngine,
+    AdaptiveShardedEngine,
+    run_adaptive,
+)
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.operators import Select
+from repro.operators.eddy import Eddy, EddyFilter, FixedFilterChain
+from repro.parallel.partition import RoundRobinPartition
+from repro.workloads import PhaseShiftZipf
+
+from tests.core.test_batch_equivalence import (
+    ALL_PLANS,
+    _assert_identical_outputs,
+    _punctuated,
+    PACKET_ROWS,
+)
+
+# No hysteresis, decide at every boundary, accept any predicted gain:
+# maximize the number of migrations the differential has to survive.
+AGGRESSIVE = AdaptiveConfig(
+    decide_every=1,
+    min_window_records=1,
+    min_gain=1.0,
+    churn_threshold=0.01,
+    churn_history=2,
+    stable_windows=1,
+    retune_batch=True,
+)
+
+
+def _filter_bank():
+    return [
+        EddyFilter("len", lambda r: r["length"] > 200, cost=1.0),
+        EddyFilter("ip", lambda r: r["src_ip"] % 3 != 0, cost=2.0),
+        EddyFilter("port", lambda r: r["dst_port"] != 80, cost=0.5),
+    ]
+
+
+def eddy_select_chain():
+    """A chain mixing Select / FixedFilterChain / Eddy: every structural
+    revision kind (reorder, chain->eddy, eddy->chain) is reachable."""
+    plan = linear_plan(
+        "Traffic",
+        [
+            Select(lambda r: r["length"] > 64, name="pre"),
+            FixedFilterChain(_filter_bank(), name="chain"),
+            Eddy(_filter_bank(), name="eddy", seed=11),
+        ],
+    )
+    return plan, {
+        "Traffic": ListSource(
+            "Traffic", _punctuated(PACKET_ROWS, "ts", every=40)
+        )
+    }
+
+
+ADAPTIVE_PLANS = {**ALL_PLANS, "eddy_select_chain": eddy_select_chain}
+
+
+@pytest.mark.parametrize("name", sorted(ADAPTIVE_PLANS), ids=str)
+def test_adaptive_engine_outputs_identical(name):
+    """Single-engine adaptive run == static run, for every plan."""
+    build = ADAPTIVE_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=7)
+    assert baseline.outputs, "plan must produce at least one output stream"
+
+    plan2, sources2 = build()
+    adaptive = AdaptiveEngine(plan2, config=AGGRESSIVE, batch_size=7)
+    result = adaptive.run(sources2)
+    _assert_identical_outputs(name, baseline, result, "adaptive")
+
+    # Tuple-at-a-time adaptive execution is held to the same standard.
+    plan3, sources3 = build()
+    unbatched = AdaptiveEngine(plan3, config=AGGRESSIVE, batch_size=None)
+    _assert_identical_outputs(
+        name, baseline, unbatched.run(sources3), "adaptive-unbatched"
+    )
+
+
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+@pytest.mark.parametrize("name", sorted(ADAPTIVE_PLANS), ids=str)
+def test_adaptive_sharded_outputs_identical(name, backend):
+    """Sharded adaptive run == static single-engine run, all backends.
+
+    Plans the sharding planner cannot split fall back to the adaptive
+    single engine (never silently to static execution), so every plan
+    in the registry is exercised on every backend.
+    """
+    if backend == "process" and name in _PROCESS_SKIP:
+        pytest.skip("plan holds closures over module state; fork-only")
+    build = ADAPTIVE_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=16)
+
+    plan2, sources2 = build()
+    sharded = AdaptiveShardedEngine(
+        plan2,
+        RoundRobinPartition(2),
+        config=AGGRESSIVE,
+        batch_size=16,
+        backend=backend,
+    )
+    result = sharded.run(sources2)
+    _assert_identical_outputs(name, baseline, result, f"sharded-{backend}")
+
+
+# Plans whose operators cannot cross a process boundary (if any turn up
+# they are listed here with the reason; empty means full coverage).
+_PROCESS_SKIP: set[str] = set()
+
+
+# --------------------------------------------------------------------------
+# the skew-shift workload: migrations must actually happen
+# --------------------------------------------------------------------------
+
+
+def _skew_elements(n=4000, punct_every=250):
+    gen = PhaseShiftZipf(100, s=1.2, seed=7, phase_length=500)
+    elements = []
+    for i in range(n):
+        elements.append(
+            Record({"k": gen.sample(), "v": i}, ts=float(i), seq=i)
+        )
+        if (i + 1) % punct_every == 0:
+            elements.append(
+                Punctuation.time_bound("ts", float(i), ts=float(i))
+            )
+    return elements
+
+
+def _skew_chain():
+    """Worst-order chain: the expensive low-drop filter runs first."""
+    gen = PhaseShiftZipf(100, s=1.2, seed=7, phase_length=500)
+    hot = set(gen.hot_keys(0, top=5))
+
+    def expensive(r):
+        acc = 0
+        for _ in range(40):
+            acc += 1
+        return r["v"] % 10 != 0
+
+    return [
+        Select(expensive, name="exp", cost_per_tuple=4.0),
+        Select(lambda r: r["k"] in hot, name="cheap", cost_per_tuple=1.0),
+    ]
+
+
+def test_skew_shift_reorders_and_matches_static():
+    """On a workload built to punish the static order, the controller
+    must record at least one structural migration — and the outputs
+    must still match the static run exactly."""
+    elements = _skew_elements()
+    static = run_plan(
+        linear_plan("in", _skew_chain(), "out"),
+        {"in": ListSource("in", elements)},
+        batch_size=64,
+    )
+    result, migrations = run_adaptive(
+        linear_plan("in", _skew_chain(), "out"),
+        {"in": ListSource("in", elements)},
+        config=AdaptiveConfig(min_window_records=64, min_gain=1.05),
+        batch_size=64,
+    )
+    structural = [m for m in migrations if m.revision.structural]
+    assert structural, "skew-shift workload must trigger a reorder"
+    _assert_identical_outputs("skew_shift", static, result, "adaptive")
+
+
+@pytest.mark.parametrize("backend", ["inline", "thread", "process"])
+def test_skew_shift_sharded_reorders(backend):
+    """The sharded driver decides centrally and migrates every shard at
+    the same epoch boundary; outputs still match the static truth."""
+    elements = _skew_elements()
+    static = run_plan(
+        linear_plan("in", _skew_chain(), "out"),
+        {"in": ListSource("in", elements)},
+        batch_size=64,
+    )
+    result, migrations = run_adaptive(
+        linear_plan("in", _skew_chain(), "out"),
+        {"in": ListSource("in", elements)},
+        config=AdaptiveConfig(min_window_records=64, min_gain=1.05),
+        partition=RoundRobinPartition(2),
+        batch_size=64,
+        backend=backend,
+    )
+    structural = [m for m in migrations if m.revision.structural]
+    assert structural, f"no migration recorded on {backend} backend"
+    _assert_identical_outputs(
+        "skew_shift", static, result, f"sharded-{backend}"
+    )
+    assert result.metrics.counters.get("adaptive.migrations", 0) >= 1
+
+
+def test_migration_log_is_explainable():
+    """Every migration carries the boundary it fired at and a
+    human-readable reason naming the measured evidence."""
+    elements = _skew_elements()
+    _result, migrations = run_adaptive(
+        linear_plan("in", _skew_chain(), "out"),
+        {"in": ListSource("in", elements)},
+        config=AdaptiveConfig(min_window_records=64, min_gain=1.05),
+        batch_size=64,
+    )
+    assert migrations
+    for migration in migrations:
+        assert migration.boundary >= 1
+        assert migration.reason
+        assert "t/s" in migration.reason or "us/record" in migration.reason

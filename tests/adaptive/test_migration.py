@@ -1,0 +1,343 @@
+"""Engine-level plan migration: state carry, validation, guard wiring.
+
+``Engine.migrate_plan`` is the single primitive every structural
+revision rides on: snapshot the old operators by name, reset + restore
+the new ones, keep outputs/metrics/guard.  These tests pin down the
+contract directly — mid-run state carry for stateful operators,
+cross-class snapshot compatibility (FixedFilterChain <-> Eddy), the
+validation errors, and the revision applicator built on top.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import (
+    ReorderChain,
+    ReorderFilters,
+    RetuneShedding,
+    SetBatchSize,
+    SwapToChain,
+    SwapToEddy,
+    apply_revisions,
+    apply_to_chain,
+    reorderable_runs,
+)
+from repro.core import Engine, ListSource, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.errors import PlanError, SheddingError
+from repro.operators import Aggregate, AggSpec, Select
+from repro.operators.eddy import Eddy, EddyFilter, FixedFilterChain
+from repro.resilience.overload import OverloadGuard
+from repro.shedding.base import Shedder
+from repro.shedding.controller import LoadController
+
+
+def _rows(n=100):
+    return [
+        Record({"k": i % 5, "v": i}, ts=float(i), seq=i) for i in range(n)
+    ]
+
+
+def _agg_chain():
+    return [
+        Select(lambda r: r["v"] % 3 != 0, name="sel"),
+        Aggregate(["k"], [AggSpec("n", "count")], name="agg"),
+    ]
+
+
+def _filters():
+    return [
+        EddyFilter("mod", lambda r: r["v"] % 7 != 0, cost=1.0),
+        EddyFilter("key", lambda r: r["k"] != 2, cost=2.0),
+    ]
+
+
+class TestMigratePlan:
+    def test_stateful_operator_state_survives_migration(self):
+        """Open aggregate groups carry across a mid-run plan swap: the
+        migrated run's output equals the unmigrated run's exactly."""
+        rows = _rows()
+        static = run_plan(
+            linear_plan("in", _agg_chain(), "out"),
+            {"in": ListSource("in", rows)},
+        )
+
+        engine = Engine(linear_plan("in", _agg_chain(), "out"))
+        engine.start()
+        for record in rows[:50]:
+            engine.feed("in", record)
+        # Fresh operator instances, same names: state must be restored
+        # from the snapshots, not inherited by identity.
+        engine.migrate_plan(linear_plan("in", _agg_chain(), "out"))
+        for record in rows[50:]:
+            engine.feed("in", record)
+        result = engine.finish()
+        assert result.outputs == static.outputs
+
+    def test_migrate_before_start_raises(self):
+        engine = Engine(linear_plan("in", _agg_chain(), "out"))
+        with pytest.raises(PlanError, match="before start"):
+            engine.migrate_plan(linear_plan("in", _agg_chain(), "out"))
+
+    def test_migration_cannot_change_inputs(self):
+        engine = Engine(linear_plan("in", _agg_chain(), "out"))
+        engine.start()
+        with pytest.raises(PlanError, match="inputs"):
+            engine.migrate_plan(linear_plan("other", _agg_chain(), "out"))
+
+    def test_migration_cannot_change_outputs(self):
+        engine = Engine(linear_plan("in", _agg_chain(), "out"))
+        engine.start()
+        with pytest.raises(PlanError, match="outputs"):
+            engine.migrate_plan(linear_plan("in", _agg_chain(), "renamed"))
+
+    def test_chain_to_eddy_snapshot_crosses_classes(self):
+        """An Eddy's learned per-filter statistics restore into a
+        FixedFilterChain of the same name (and back into a later eddy),
+        so swaps do not reset what the filters have learned.  (Only the
+        eddy updates filter statistics; a fixed chain evaluates the
+        predicates without learning.)"""
+        rows = _rows()
+        eddy_plan = linear_plan("in", [Eddy(_filters(), name="f")], "out")
+        engine = Engine(eddy_plan)
+        engine.start()
+        for record in rows[:60]:
+            engine.feed("in", record)
+
+        chain_plan = linear_plan(
+            "in", [FixedFilterChain(_filters(), name="f")], "out"
+        )
+        engine.migrate_plan(chain_plan)
+        (chain,) = [
+            op for op in engine.plan.topological_order() if op.name == "f"
+        ]
+        assert isinstance(chain, FixedFilterChain)
+        assert {f.name: f.seen for f in chain.filters}["mod"] > 0
+
+        # ... and back: the statistics flow through the chain into a
+        # fresh eddy; the chain snapshot carries no RNG state, so
+        # exploration restarts from the new eddy's seed.
+        back = linear_plan("in", [Eddy(_filters(), name="f")], "out")
+        engine.migrate_plan(back)
+        (eddy,) = [
+            op for op in engine.plan.topological_order() if op.name == "f"
+        ]
+        assert {f.name: f.seen for f in eddy.filters}["mod"] > 0
+        for record in rows[60:]:
+            engine.feed("in", record)
+        result = engine.finish()
+
+        static = run_plan(
+            linear_plan(
+                "in", [FixedFilterChain(_filters(), name="f")], "out"
+            ),
+            {"in": ListSource("in", rows)},
+        )
+        assert result.outputs == static.outputs
+
+    def test_guard_follows_the_migration(self):
+        guard = OverloadGuard(queue_capacity=1e9)
+        engine = Engine(linear_plan("in", _agg_chain(), "out"), guard=guard)
+        engine.start()
+        queues_before = guard._queues
+        new_plan = linear_plan("in", _agg_chain(), "out")
+        engine.migrate_plan(new_plan)
+        assert guard._plan is new_plan
+        # rebind keeps the live ingress queues (their drop counters are
+        # part of the run), unlike a fresh attach.
+        assert guard._queues is queues_before
+
+
+class TestApplyToChain:
+    def test_reorder_permutes_a_contiguous_run(self):
+        a, b, c = _sel("a"), _sel("b"), _sel("c")
+        out = apply_to_chain([a, b, c], ReorderChain(("c", "a", "b")))
+        assert [op.name for op in out] == ["c", "a", "b"]
+        assert out[0] is c  # instances carried, not rebuilt
+
+    def test_reorder_rejects_non_contiguous_sets(self):
+        chain = [
+            _sel("a"),
+            Aggregate(["k"], [AggSpec("n", "count")], name="agg"),
+            _sel("b"),
+        ]
+        with pytest.raises(PlanError, match="contiguous"):
+            apply_to_chain(chain, ReorderChain(("b", "a")))
+
+    def test_reorder_rejects_duplicates_and_unknowns(self):
+        chain = [_sel("a"), _sel("b")]
+        with pytest.raises(PlanError, match="duplicate"):
+            apply_to_chain(chain, ReorderChain(("a", "a")))
+        with pytest.raises(PlanError, match="not in chain"):
+            apply_to_chain(chain, ReorderChain(("a", "zz")))
+
+    def test_reorder_refuses_non_commutative_operators(self):
+        chain = [
+            _sel("a"),
+            Aggregate(["k"], [AggSpec("n", "count")], name="agg"),
+            _sel("b"),
+        ]
+        with pytest.raises(PlanError, match="not a commutative filter"):
+            apply_to_chain(chain, ReorderChain(("agg", "a", "b")))
+
+    def test_reorder_filters_inside_a_chain(self):
+        op = FixedFilterChain(_filters(), name="f")
+        (new,) = apply_to_chain([op], ReorderFilters("f", ("key", "mod")))
+        assert new.current_order() == ["key", "mod"]
+        # The underlying EddyFilter instances (and their statistics)
+        # are shared, not copied.
+        assert set(new.filters) == set(op.filters)
+
+    def test_swap_to_eddy_and_back_keeps_filters(self):
+        op = FixedFilterChain(_filters(), name="f")
+        (eddy,) = apply_to_chain([op], SwapToEddy("f", seed=3))
+        assert isinstance(eddy, Eddy)
+        assert eddy.name == "f"
+        assert eddy.filters == op.filters
+        (chain,) = apply_to_chain([eddy], SwapToChain("f", ("key", "mod")))
+        assert isinstance(chain, FixedFilterChain)
+        assert chain.current_order() == ["key", "mod"]
+
+    def test_swap_to_chain_freezes_learned_order(self):
+        eddy = Eddy(_filters(), name="f", epsilon=0.0)
+        # Teach the eddy that 'key' drops more per unit cost.
+        for f in eddy.filters:
+            f.seen = 100.0
+        dict(
+            (f.name, f) for f in eddy.filters
+        )["mod"].passed = 90.0
+        learned = eddy.current_order()
+        (chain,) = apply_to_chain([eddy], SwapToChain("f", order=None))
+        assert chain.current_order() == learned
+
+    def test_swap_type_mismatches_raise(self):
+        chain_op = FixedFilterChain(_filters(), name="f")
+        eddy_op = Eddy(_filters(), name="e")
+        with pytest.raises(PlanError, match="not an Eddy"):
+            apply_to_chain([chain_op], SwapToChain("f"))
+        with pytest.raises(PlanError, match="not a FixedFilterChain"):
+            apply_to_chain([eddy_op], SwapToEddy("e"))
+        with pytest.raises(PlanError, match="no operator named"):
+            apply_to_chain([chain_op], SwapToEddy("missing"))
+
+    def test_non_structural_revisions_are_rejected(self):
+        with pytest.raises(PlanError, match="not a structural"):
+            apply_to_chain([_sel("a")], SetBatchSize(32))
+
+
+class TestReorderableRuns:
+    def test_runs_split_at_non_filters(self):
+        agg = Aggregate(["k"], [AggSpec("n", "count")], name="agg")
+        chain = [_sel("a"), _sel("b"), agg, _sel("c"), _sel("d"), _sel("e")]
+        runs = reorderable_runs(chain)
+        assert [[op.name for op in run] for run in runs] == [
+            ["a", "b"],
+            ["c", "d", "e"],
+        ]
+
+    def test_single_filters_are_not_runs(self):
+        agg = Aggregate(["k"], [AggSpec("n", "count")], name="agg")
+        assert reorderable_runs([_sel("a"), agg, _sel("b")]) == []
+
+    def test_select_subclasses_are_excluded(self):
+        # A Select subclass may override on_record into something
+        # order-sensitive; only exact Selects (and the filter-bank
+        # operators) commute by construction.
+        class Sneaky(Select):
+            pass
+
+        chain = [
+            Sneaky(lambda r: True, name="a"),
+            _sel("b"),
+            _sel("c"),
+        ]
+        runs = reorderable_runs(chain)
+        assert [[op.name for op in run] for run in runs] == [["b", "c"]]
+
+    def test_mixed_filter_kinds_form_one_run(self):
+        chain = [
+            _sel("a"),
+            FixedFilterChain(_filters(), name="f"),
+            Eddy(_filters(), name="e"),
+        ]
+        runs = reorderable_runs(chain)
+        assert [[op.name for op in run] for run in runs] == [
+            ["a", "f", "e"]
+        ]
+
+
+class TestApplyRevisions:
+    def test_batch_size_revision_tunes_the_engine(self):
+        chain = _agg_chain()
+        engine = Engine(linear_plan("in", chain, "out"), batch_size=16)
+        engine.start()
+        out = apply_revisions(
+            engine, [SetBatchSize(128)], "in", "out", chain
+        )
+        assert engine.batch_size == 128
+        assert out is chain  # no structural change, no rebuild
+
+    def test_structural_revisions_are_batched_into_one_migration(self):
+        chain = [_sel("a"), _sel("b"), _sel("c")]
+        engine = Engine(linear_plan("in", chain, "out"))
+        engine.start()
+        new_chain = apply_revisions(
+            engine,
+            [ReorderChain(("b", "a", "c")), ReorderChain(("c", "b", "a"))],
+            "in",
+            "out",
+            chain,
+        )
+        assert [op.name for op in new_chain] == ["c", "b", "a"]
+        names = [
+            op.name
+            for op in engine.plan.topological_order()
+            if isinstance(op, Select)
+        ]
+        assert names == ["c", "b", "a"]
+
+    def test_retune_shedding_reaches_the_controller(self):
+        controller = LoadController(low_watermark=10, high_watermark=20)
+        guard = OverloadGuard(controller=controller)
+        chain = _agg_chain()
+        engine = Engine(linear_plan("in", chain, "out"), guard=guard)
+        engine.start()
+        apply_revisions(
+            engine, [RetuneShedding(100.0, 400.0)], "in", "out", chain
+        )
+        assert (controller.low, controller.high) == (100.0, 400.0)
+
+    def test_retune_without_guard_is_a_noop(self):
+        chain = _agg_chain()
+        engine = Engine(linear_plan("in", chain, "out"))
+        engine.start()
+        out = apply_revisions(
+            engine, [RetuneShedding(1.0, 2.0)], "in", "out", chain
+        )
+        assert out is chain
+
+
+class TestGuardRetune:
+    def test_queue_only_guard_ignores_retune(self):
+        guard = OverloadGuard(queue_capacity=100)
+        guard.retune(1.0, 2.0)  # nothing to retune; must not raise
+
+    def test_inverted_watermarks_raise(self):
+        controller = LoadController(low_watermark=10, high_watermark=20)
+        guard = OverloadGuard(controller=controller)
+        with pytest.raises(SheddingError):
+            guard.retune(5.0, 5.0)
+
+    def test_shedder_without_watermarks_raises(self):
+        class Fixed(Shedder):
+            def admit(self, record, now=0.0, memory=0.0):
+                return True
+
+        guard = OverloadGuard(controller=Fixed(name="fixed"))
+        with pytest.raises(SheddingError, match="retuning"):
+            guard.retune(1.0, 2.0)
+
+
+def _sel(name):
+    return Select(lambda r: True, name=name)

@@ -151,3 +151,50 @@ class TestRateOperatorFromMetrics:
             "drop_all", m, capacity=1e4, prior_selectivity=0.8
         )
         assert op.selectivity == 0.0
+
+
+class TestNeverSampledOperators:
+    """``timed_invocations == 0`` is absence of evidence, not capacity.
+
+    Regression suite for the measured-rate consumers: an operator the
+    sampling stride never landed on must stay orderable (via an
+    explicit fallback) and must never be ranked off a division by its
+    zero wall_time.
+    """
+
+    def test_unmeasured_without_fallback_raises(self):
+        m = OperatorMetrics(records_in=100, records_out=50)  # never timed
+        with pytest.raises(PlanError, match="no measured rate"):
+            rate_operator_from_metrics("cold", m)
+
+    def test_fallback_capacity_stands_in_for_the_measurement(self):
+        m = OperatorMetrics(records_in=100, records_out=50)
+        op = rate_operator_from_metrics("cold", m, fallback_capacity=250.0)
+        assert op.capacity == 250.0
+        assert op.selectivity == 0.5  # observed selectivity still used
+
+    def test_measured_rate_wins_over_fallback(self):
+        m = OperatorMetrics(
+            records_in=100,
+            records_out=50,
+            wall_time=0.01,
+            timed_invocations=100,
+        )
+        op = rate_operator_from_metrics("warm", m, fallback_capacity=250.0)
+        assert op.capacity == pytest.approx(10_000.0)
+
+    def test_explicit_capacity_needs_no_measurement(self):
+        op = rate_operator_from_metrics(
+            "cold", OperatorMetrics(), capacity=123.0
+        )
+        assert op.capacity == 123.0
+
+    def test_punctuation_only_operator_is_unmeasured(self):
+        # Saw punctuations (so it was invoked) but no records and no
+        # timed samples: still the fallback path, not a zero division.
+        m = OperatorMetrics(punctuations_in=7)
+        op = rate_operator_from_metrics(
+            "punct_only", m, fallback_capacity=99.0, prior_selectivity=0.6
+        )
+        assert op.capacity == 99.0
+        assert op.selectivity == 0.6

@@ -18,6 +18,10 @@ import pytest
 
 from repro.core import ListSource, Punctuation, Record, run_plan
 from repro.core.engine import resolve_sources
+
+# Chaos injection forks/kills workers and sleeps through backoffs:
+# minutes of wall-clock, so it runs in the slow CI job, not tier-1.
+pytestmark = pytest.mark.slow
 from repro.core.graph import linear_plan
 from repro.errors import PlanError
 from repro.operators import AggSpec, Aggregate, Select

@@ -1,0 +1,181 @@
+"""Property certification of the synopsis error guarantees.
+
+Each synopsis in :mod:`repro.synopses` publishes an analytical error
+bound (slide 30's sketch menu).  These hypothesis suites drive each
+structure with adversarially drawn streams and check the *published*
+bound — not merely "close to exact":
+
+* Count-Min: estimates never underestimate, and overshoot is within
+  εN for a ``from_error(ε, δ)`` sketch (checked over every queried
+  key; the per-key failure probability δ is driven far below the
+  suite's example count by construction).
+* Greenwald-Khanna: a quantile query at φ returns an element whose
+  true rank is within εn of φn.
+* DGIM / exponential histogram: the windowed bit count is within the
+  (1 + 1/k) factor of the exact window sum.
+* Reservoir sampling: the sample is always min(capacity, n) items and
+  a subset (as a multiset) of the input.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.synopses import (
+    CountMinSketch,
+    ExponentialHistogram,
+    GKQuantiles,
+    ReservoirSample,
+)
+
+pytestmark = pytest.mark.slow
+
+# Skewed alphabets: small key spaces with repeated heavy keys are the
+# regime where sketch collisions actually happen.
+_keys = st.lists(
+    st.integers(min_value=0, max_value=30),
+    min_size=1,
+    max_size=400,
+)
+
+
+class TestCountMin:
+    @settings(max_examples=80, deadline=None)
+    @given(keys=_keys, epsilon=st.sampled_from([0.1, 0.05, 0.01]))
+    def test_never_underestimates_and_bounded_overshoot(
+        self, keys, epsilon
+    ):
+        # δ=1e-6: across every (example × key) query this suite makes,
+        # the expected number of bound violations is ~0; a single one
+        # is a real failure, not sampling noise.
+        sketch = CountMinSketch.from_error(epsilon, delta=1e-6)
+        exact: dict[int, int] = {}
+        for key in keys:
+            sketch.add(key)
+            exact[key] = exact.get(key, 0) + 1
+        n = len(keys)
+        assert sketch.total == n
+        for key, true_count in exact.items():
+            estimate = sketch.estimate(key)
+            assert estimate >= true_count, "CM must never underestimate"
+            assert estimate <= true_count + epsilon * n + 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(keys=_keys)
+    def test_unseen_keys_are_bounded_too(self, keys):
+        sketch = CountMinSketch.from_error(0.05, delta=1e-6)
+        for key in keys:
+            sketch.add(key)
+        # Keys disjoint from the stream: true count 0, same εN bound.
+        for probe in range(1000, 1010):
+            assert 0 <= sketch.estimate(probe) <= 0.05 * len(keys) + 1e-9
+
+
+class TestGreenwaldKhanna:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e6,
+                max_value=1e6,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=1,
+            max_size=500,
+        ),
+        epsilon=st.sampled_from([0.1, 0.05]),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_rank_error_within_epsilon_n(self, values, epsilon, q):
+        gk = GKQuantiles(epsilon)
+        gk.extend(values)
+        answer = gk.query(q)
+        ordered = sorted(values)
+        n = len(ordered)
+        # True rank range of the returned element (duplicates span).
+        lo = ordered.index(answer) + 1
+        hi = n - ordered[::-1].index(answer)
+        target = q * n
+        slack = epsilon * n + 1  # rank is integral; ±1 for the floor
+        assert lo - slack <= target <= hi + slack, (
+            f"GK({epsilon}) rank error: φn={target}, returned element "
+            f"spans ranks [{lo}, {hi}] of n={n}"
+        )
+
+
+class TestExponentialHistogram:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        bits=st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=1,
+            max_size=600,
+        ),
+        window=st.sampled_from([16, 64, 128]),
+        k=st.sampled_from([1, 2, 4]),
+    )
+    def test_windowed_count_within_published_factor(
+        self, bits, window, k
+    ):
+        eh = ExponentialHistogram(window, k=k)
+        for bit in bits:
+            eh.add(bit)
+        exact = sum(bits[-window:])
+        estimate = eh.estimate()
+        # Published bound: within a (1 + 1/k) multiplicative factor.
+        # The absolute slack of 1 covers the k=1 boundary case where a
+        # single straddling bucket is halved against an exact count of
+        # one (0.5 vs 1 is factor-2 exact, float-rounded).
+        factor = 1.0 + 1.0 / k
+        assert estimate <= exact * factor + 1
+        assert estimate >= exact / factor - 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        bits=st.lists(
+            st.integers(min_value=0, max_value=1),
+            min_size=1,
+            max_size=600,
+        )
+    )
+    def test_default_k_keeps_relative_error_under_half(self, bits):
+        """The M6/E10 configuration (k=2): relative error <= 50%."""
+        eh = ExponentialHistogram(128, k=2)
+        for bit in bits:
+            eh.add(bit)
+        exact = sum(bits[-128:])
+        if exact == 0:
+            assert eh.estimate() == 0
+        else:
+            assert abs(eh.estimate() - exact) / exact <= 0.5
+
+
+class TestReservoir:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(st.integers(), min_size=0, max_size=300),
+        capacity=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=9999),
+    )
+    def test_size_invariant_and_subset(self, values, capacity, seed):
+        reservoir = ReservoirSample(capacity, seed=seed)
+        for i, value in enumerate(values):
+            reservoir.add(value)
+            assert len(reservoir) == min(capacity, i + 1)
+        sample = reservoir.sample()
+        assert len(sample) == min(capacity, len(values))
+        # Multiset inclusion: no element appears more often than in
+        # the input (uniqueness of *positions*, not values).
+        remaining = list(values)
+        for item in sample:
+            assert item in remaining
+            remaining.remove(item)
+
+    def test_small_streams_are_kept_verbatim(self):
+        reservoir = ReservoirSample(10, seed=1)
+        reservoir.extend(range(7))
+        assert sorted(reservoir.sample()) == list(range(7))

@@ -208,3 +208,72 @@ class TestAuctions:
         elements = AuctionGenerator().elements()
         ts = [e.ts for e in elements]
         assert ts == sorted(ts)
+
+
+from repro.workloads import PhaseShiftZipf
+
+
+class TestPhaseShiftZipf:
+    """The M6 drift workload: Zipf marginal, rotating hot set."""
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            PhaseShiftZipf(0)
+        with pytest.raises(StreamError):
+            PhaseShiftZipf(10, s=-1.0)
+        with pytest.raises(StreamError):
+            PhaseShiftZipf(10, phase_length=0)
+        with pytest.raises(StreamError):
+            PhaseShiftZipf(10).key_for(10, 0)
+        with pytest.raises(StreamError):
+            PhaseShiftZipf(10).hot_keys(0, top=11)
+
+    def test_rank_to_key_rotation(self):
+        gen = PhaseShiftZipf(10, rotation=3)
+        assert gen.key_for(0, 0) == 0
+        assert gen.key_for(0, 1) == 3
+        assert gen.key_for(9, 1) == 2  # wraps modulo n
+        assert gen.hot_keys(2, top=3) == [6, 7, 8]
+
+    def test_default_rotation_is_half_the_keyspace(self):
+        gen = PhaseShiftZipf(100)
+        assert gen.hot_keys(1)[0] == 50
+
+    def test_within_phase_marginal_is_zipf_skewed(self):
+        gen = PhaseShiftZipf(50, s=1.2, seed=3, phase_length=2000)
+        counts = collections.Counter(gen.sample_many(2000))
+        hottest = gen.hot_keys(0)[0]
+        assert counts[hottest] == max(counts.values())
+        # The phase-0 hot set dominates the phase-0 samples.
+        top5 = set(gen.hot_keys(0, top=5))
+        assert sum(counts[k] for k in top5) > 0.5 * 2000
+
+    def test_hot_set_moves_across_phases(self):
+        gen = PhaseShiftZipf(50, s=1.2, seed=3, phase_length=1000)
+        phase0 = collections.Counter(gen.sample_many(1000))
+        assert gen.current_phase == 1
+        phase1 = collections.Counter(gen.sample_many(1000))
+        hot0 = set(gen.hot_keys(0, top=5))
+        hot1 = set(gen.hot_keys(1, top=5))
+        assert hot0.isdisjoint(hot1)
+        # The drift a selective-on-hot0 filter experiences: its pass
+        # rate collapses at the phase boundary.
+        pass0 = sum(phase0[k] for k in hot0) / 1000
+        pass1 = sum(phase1[k] for k in hot0) / 1000
+        assert pass0 > 0.5
+        assert pass1 < 0.2
+
+    def test_determinism_independent_of_call_shape(self):
+        a = PhaseShiftZipf(30, seed=11, phase_length=7)
+        b = PhaseShiftZipf(30, seed=11, phase_length=7)
+        left = a.sample_many(50)
+        right = [b.sample() for _ in range(50)]
+        assert left == right
+
+    def test_phase_counter_tracks_emission(self):
+        gen = PhaseShiftZipf(10, phase_length=4)
+        assert gen.current_phase == 0
+        gen.sample_many(4)
+        assert gen.current_phase == 1
+        gen.sample_many(8)
+        assert gen.current_phase == 3

@@ -296,6 +296,20 @@ class Engine:
             return []
         return self._outputs[primary][before:]
 
+    def peek_output(self, name: str) -> list[Element]:
+        """The elements accumulated so far on output ``name``.
+
+        Valid between :meth:`start` and :meth:`finish`.  Returns the
+        live list — callers must treat it as read-only.  The standing-
+        query service uses this to drain per-query outputs and to
+        preserve a query's results across a deregistering migration.
+        """
+        if self._outputs is None:
+            raise PlanError("Engine.peek_output() called before start()")
+        if name not in self._outputs:
+            raise PlanError(f"unknown output {name!r}")
+        return self._outputs[name]
+
     def finish(self) -> RunResult:
         """Flush all operators and return the accumulated result."""
         if self._outputs is None:
@@ -316,7 +330,9 @@ class Engine:
 
     # -- live plan migration -----------------------------------------------
 
-    def migrate_plan(self, new_plan: Plan) -> None:
+    def migrate_plan(
+        self, new_plan: Plan, allow_io_changes: bool = False
+    ) -> None:
         """Swap the running engine onto ``new_plan`` without losing state.
 
         The adaptive layer (:mod:`repro.adaptive`) calls this at a
@@ -331,7 +347,16 @@ class Engine:
         duplicated.  New-plan operators without a predecessor start
         fresh; old operators absent from the new plan are dropped.
 
-        The new plan must keep the same input and output names.
+        By default the new plan must keep the same input and output
+        names.  ``allow_io_changes=True`` lifts that restriction for
+        multi-query DAGs whose input/output sets change as standing
+        queries register and deregister: surviving outputs keep their
+        accumulated elements, new outputs start empty, and removed
+        outputs are discarded (capture them with :meth:`peek_output`
+        first if they must survive).  Because name-keyed state transfer
+        is only safe when names are unambiguous, the relaxed path also
+        requires unique operator names on both sides.
+
         Accumulated outputs, metrics, the observer, and the overload
         guard all survive — metrics stay keyed by operator name, so a
         migrated operator keeps accruing into the same counters.
@@ -339,16 +364,21 @@ class Engine:
         if self._outputs is None:
             raise PlanError("Engine.migrate_plan() called before start()")
         new_plan.validate()
-        if set(new_plan.inputs) != set(self.plan.inputs):
-            raise PlanError(
-                f"migration cannot change plan inputs: "
-                f"{sorted(self.plan.inputs)} -> {sorted(new_plan.inputs)}"
-            )
-        if set(new_plan.outputs) != set(self.plan.outputs):
-            raise PlanError(
-                f"migration cannot change plan outputs: "
-                f"{sorted(self.plan.outputs)} -> {sorted(new_plan.outputs)}"
-            )
+        if not allow_io_changes:
+            if set(new_plan.inputs) != set(self.plan.inputs):
+                raise PlanError(
+                    f"migration cannot change plan inputs: "
+                    f"{sorted(self.plan.inputs)} -> {sorted(new_plan.inputs)}"
+                )
+            if set(new_plan.outputs) != set(self.plan.outputs):
+                raise PlanError(
+                    f"migration cannot change plan outputs: "
+                    f"{sorted(self.plan.outputs)} -> "
+                    f"{sorted(new_plan.outputs)}"
+                )
+        else:
+            self.plan.ensure_unique_names()
+            new_plan.ensure_unique_names()
         states = {
             op.name: op.snapshot() for op in self.plan.topological_order()
         }
@@ -360,6 +390,12 @@ class Engine:
                 op, "kind", type(op).__name__.lower()
             )
         self.plan = new_plan
+        if allow_io_changes:
+            old_outputs = self._outputs
+            self._outputs = {
+                name: old_outputs.get(name, [])
+                for name in new_plan.outputs
+            }
         if self.guard is not None:
             rebind = getattr(self.guard, "rebind", None)
             if rebind is not None:

@@ -140,6 +140,25 @@ class Plan:
             raise PlanError("plan declares no outputs")
         self.topological_order()
 
+    def ensure_unique_names(self) -> None:
+        """Raise when two operators share a name.
+
+        Duplicate names are tolerated for single-query plans (operators
+        are identified by object), but anything keyed by name — metrics,
+        traces, checkpoints, live migration — silently merges homonyms.
+        Multi-query DAG builders call this after namespacing.
+        """
+        seen: dict[str, int] = {}
+        for op in self.operators:
+            seen[op.name] = seen.get(op.name, 0) + 1
+        dupes = sorted(name for name, n in seen.items() if n > 1)
+        if dupes:
+            raise PlanError(
+                f"plan has colliding operator names: {dupes}; metrics "
+                f"and migration are keyed by name, so shared DAGs must "
+                f"namespace per-query operators"
+            )
+
     def reset(self) -> None:
         """Reset the state of every operator for a fresh run."""
         for op in self.operators:

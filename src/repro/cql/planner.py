@@ -63,7 +63,7 @@ from repro.windows.spec import (
     WindowSpec,
 )
 
-__all__ = ["compile_query", "plan_stmt"]
+__all__ = ["compile_query", "plan_stmt", "shareable_chain"]
 
 
 def compile_query(
@@ -96,6 +96,31 @@ def plan_stmt(
     if resolved.is_join:
         return builder.build_join()
     return builder.build_single()
+
+
+def shareable_chain(
+    stmt: SelectStmt, catalog: Catalog
+) -> list[Operator] | None:
+    """Compile ``stmt`` minus its WHERE clause into a linear chain.
+
+    The standing-query service routes records through a predicate index
+    and feeds only the queries whose full WHERE predicate matched, so
+    the per-query plan it merges into the shared DAG is the *suffix*
+    after selection.  Returns the suffix operators in dataflow order,
+    or ``None`` when the statement does not compile to a single linear
+    chain (joins, and any future multi-output shapes) — those queries
+    keep their private full plan.
+    """
+    import dataclasses
+
+    resolved = resolve_stmt(stmt, catalog)
+    if resolved.is_join:
+        return None
+    suffix_stmt = dataclasses.replace(stmt, where=None)
+    plan = plan_stmt(suffix_stmt, catalog)
+    from repro.gigascope.decompose import linearize_plan
+
+    return linearize_plan(plan)
 
 
 class _PlanBuilder:

@@ -14,7 +14,14 @@ from typing import Sequence
 
 from repro.errors import StreamError
 
-__all__ = ["QoSGraph", "latency_qos", "loss_qos", "shedding_order"]
+__all__ = [
+    "QoSGraph",
+    "TIER_LOSS_TOLERANCES",
+    "latency_qos",
+    "loss_qos",
+    "shedding_order",
+    "tier_loss_qos",
+]
 
 
 class QoSGraph:
@@ -75,6 +82,29 @@ def loss_qos(tolerable_loss: float, name: str = "loss") -> QoSGraph:
         raise StreamError("tolerable_loss must be in (0,1)")
     return QoSGraph(
         [(0.0, 1.0), (tolerable_loss, 0.9), (1.0, 0.0)], name=name
+    )
+
+
+#: Loss fraction each service tier tolerates before utility collapses.
+#: Gold tenants barely tolerate loss (steep QoS graph past the knee), so
+#: :func:`shedding_order` ranks them last; bronze tenants tolerate much
+#: more and shed first.
+TIER_LOSS_TOLERANCES: dict[str, float] = {
+    "gold": 0.02,
+    "silver": 0.15,
+    "bronze": 0.45,
+}
+
+
+def tier_loss_qos(tier: str, name: str | None = None) -> QoSGraph:
+    """The canonical loss-QoS graph for a named service tier."""
+    if tier not in TIER_LOSS_TOLERANCES:
+        raise StreamError(
+            f"unknown QoS tier {tier!r}; expected one of "
+            f"{sorted(TIER_LOSS_TOLERANCES)}"
+        )
+    return loss_qos(
+        TIER_LOSS_TOLERANCES[tier], name=name or f"loss:{tier}"
     )
 
 

@@ -103,3 +103,11 @@ class SynopsisError(StreamError):
 
 class StorageError(StreamError):
     """The Hancock signature store or the mini-DBMS detected corruption."""
+
+
+class ServiceError(StreamError):
+    """The standing-query service was misused (unknown query, bad feed)."""
+
+
+class AdmissionError(ServiceError):
+    """A query registration was refused by service admission control."""

@@ -46,6 +46,7 @@ __all__ = [
     "decompose",
     "AggregateSplit",
     "linearize_plan",
+    "shared_pane_width",
     "split_chain_aggregate",
 ]
 
@@ -243,6 +244,49 @@ def linearize_plan(plan) -> list | None:
     if len(chain) != len(plan.operators):
         return None
     return chain
+
+
+def shared_pane_width(widths: list[float]) -> float | None:
+    """Largest pane width that tiles every tumbling width in ``widths``.
+
+    Panes (partial-aggregate sub-windows, the LFTA role generalized to
+    multi-query sharing) can feed several tumbling aggregations at once
+    when one pane width divides every query's window width exactly.
+    Computes the greatest common divisor over the widths, restricted to
+    *exact* float divisibility (``width % pane == 0.0``) so pane
+    boundaries land precisely on every query's bucket boundaries —
+    a pane that drifts off a bucket edge would split one input record's
+    contribution across two buckets.  Returns ``None`` when any width is
+    non-positive or no exact common divisor exists (e.g. float widths
+    whose ratio is irrational in binary).
+    """
+    if not widths:
+        return None
+    for w in widths:
+        if not (w > 0):
+            return None
+    pane = widths[0]
+    for w in widths[1:]:
+        a, b = pane, w
+        # Euclid on floats: terminates because % strictly decreases.
+        steps = 0
+        while b:
+            a, b = b, a % b
+            steps += 1
+            if steps > 64:
+                return None
+        pane = a
+    if not (pane > 0):
+        return None
+    if pane < max(widths) * 1e-9:
+        # Float-noise gcd (e.g. widths 1.0 and 0.3): a pane this many
+        # orders of magnitude below the windows is rounding residue,
+        # not a real common divisor, even if `%` lands on exact zeros.
+        return None
+    for w in widths:
+        if w % pane != 0.0:
+            return None
+    return pane
 
 
 @dataclass

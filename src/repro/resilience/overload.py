@@ -101,6 +101,7 @@ class OverloadGuard:
         self._memory = 0.0
         self._since_poll = 0
         self._observer = None
+        self._retired_drops = 0
 
     # -- engine protocol ---------------------------------------------------
 
@@ -116,6 +117,7 @@ class OverloadGuard:
         self._memory = 0.0
         self._since_poll = 0
         self._observer = None
+        self._retired_drops = 0
         if self.controller is not None:
             self.controller.reset()
 
@@ -128,13 +130,33 @@ class OverloadGuard:
 
         Unlike :meth:`attach`, this keeps queues, drop counters, and the
         bound observer: the run continues, only the operator DAG whose
-        memory is polled has changed.  Plan inputs are migration-
-        invariant, so the ingress queues stay valid; the cached memory
-        poll is invalidated because the operator set may differ.
+        memory is polled has changed.  The cached memory poll is
+        invalidated because the operator set may differ.
+
+        Plan inputs are invariant under adaptive migrations, but a
+        multi-query DAG (``migrate_plan(..., allow_io_changes=True)``)
+        adds and removes ingress streams as standing queries register
+        and deregister, so the queue table is reconciled: surviving
+        inputs keep their backlog and drop counters, new inputs get a
+        fresh queue, and queues for removed inputs are retired (their
+        drop totals folded into :attr:`_retired_drops` so
+        :meth:`dropped` stays monotone across migrations).
         """
         self._plan = plan
         self._memory = 0.0
         self._since_poll = 0
+        # Reconcile in place: the queue table object is shared with
+        # observers sampling ingress gauges mid-run.
+        queues = self._queues
+        for name in list(queues):
+            if name not in plan.inputs:
+                self._retired_drops += queues[name].stats.dropped
+                del queues[name]
+        for name in plan.inputs:
+            if name not in queues:
+                queues[name] = OpQueue(
+                    name=f"ingress:{name}", capacity=self.queue_capacity
+                )
 
     def retune(self, low: float, high: float) -> None:
         """Forward new shedding watermarks to the controller, if any.
@@ -195,7 +217,8 @@ class OverloadGuard:
 
     def dropped(self) -> int:
         """Total records refused so far (shed + queue tail drops)."""
-        total = sum(q.stats.dropped for q in self._queues.values())
+        total = self._retired_drops
+        total += sum(q.stats.dropped for q in self._queues.values())
         if self.controller is not None:
             total += self.controller.dropped
         return total
@@ -203,7 +226,9 @@ class OverloadGuard:
     def publish(self, metrics: MetricsRegistry) -> None:
         """Report drop/admission counters into a run's metrics."""
         metrics.incr("overload.dropped", self.dropped())
-        queue_drops = sum(q.stats.dropped for q in self._queues.values())
+        queue_drops = self._retired_drops + sum(
+            q.stats.dropped for q in self._queues.values()
+        )
         metrics.incr("overload.queue_dropped", queue_drops)
         if self.controller is not None:
             metrics.incr("overload.shed", self.controller.dropped)

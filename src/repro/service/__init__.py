@@ -1,0 +1,55 @@
+"""Standing-query service: thousands of CQL queries, one shared DAG.
+
+The multi-query half of the paper's DSMS architecture: per-tenant
+registration of continuous queries over shared source streams, executed
+jointly via shared-subplan detection (:mod:`.canonical`), predicate
+indexing (:mod:`.predindex`), shared pane-based window aggregation
+(:mod:`.panes`), and QoS-tiered tenant shedding (:mod:`.qos`) —
+orchestrated by :class:`StandingQueryService` (:mod:`.service`).
+"""
+
+from repro.service.canonical import (
+    StageDescriptor,
+    agg_signature,
+    node_key,
+    route_key,
+    suffix_descriptors,
+)
+from repro.service.panes import (
+    PANE_ATTR,
+    PANE_SAFE_FUNCS,
+    PaneAggregate,
+    PaneMerge,
+    pane_safe,
+)
+from repro.service.predindex import PredicateIndex, anchor_of
+from repro.service.qos import TenantShedder, TenantSpec
+from repro.service.service import (
+    QueryHandle,
+    QueryResult,
+    ServiceConfig,
+    ServiceResult,
+    StandingQueryService,
+)
+
+__all__ = [
+    "PANE_ATTR",
+    "PANE_SAFE_FUNCS",
+    "PaneAggregate",
+    "PaneMerge",
+    "PredicateIndex",
+    "QueryHandle",
+    "QueryResult",
+    "ServiceConfig",
+    "ServiceResult",
+    "StageDescriptor",
+    "StandingQueryService",
+    "TenantShedder",
+    "TenantSpec",
+    "agg_signature",
+    "anchor_of",
+    "node_key",
+    "pane_safe",
+    "route_key",
+    "suffix_descriptors",
+]

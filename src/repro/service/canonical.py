@@ -1,0 +1,213 @@
+"""Canonical fingerprints for shared-subplan detection.
+
+Two standing queries can share an operator chain exactly when the
+chains are *provably identical*: same source, same selection (as a set
+of WHERE conjuncts — the compiled AND is eager, so conjunct order
+cannot change results), and the same post-selection suffix stage by
+stage.  The planner (:func:`repro.cql.planner.plan_stmt`) is a pure,
+deterministic function of the resolved statement, and every AST node is
+a frozen dataclass with a deterministic ``repr``, so the repr of the
+relevant statement fragments is a sound canonical form: equal canon
+implies equal compiled behavior.
+
+Three layers of keys:
+
+* :func:`route_key` — (source, sorted WHERE-conjunct set).  Queries on
+  the same route see the same post-selection record stream, which is
+  the precondition for sharing *anything* stateful.
+* :func:`suffix_descriptors` — one ``(kind, canon, stateful)``
+  descriptor per operator of the WHERE-stripped compiled chain,
+  mirroring the planner's deterministic shapes.  A prefix of equal
+  descriptors under the same route is a shareable prefix.
+* :func:`node_key` — hash-chained over (parent key, descriptor,
+  generation), so a node's key commits to its entire upstream lineage
+  and nodes are only ever shared under identical ancestry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.cql.ast import Column, FuncCall, SelectStmt, Star, split_conjuncts
+from repro.cql.semantic import contains_aggregate, extract_aggregates
+
+__all__ = [
+    "StageDescriptor",
+    "agg_signature",
+    "digest",
+    "node_key",
+    "route_key",
+    "suffix_descriptors",
+]
+
+
+def digest(*parts: str) -> str:
+    """Short stable hash over canonical strings."""
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()[:16]
+
+
+def route_key(source: str, stmt: SelectStmt) -> str:
+    """Fingerprint of (source stream, WHERE-conjunct set).
+
+    Conjuncts are sorted by repr: compiled AND evaluates both operands
+    eagerly (no short-circuit), so permuted conjunct orders are
+    result-identical and must land on the same route.
+    """
+    conjuncts = sorted(repr(c) for c in split_conjuncts(stmt.where))
+    return digest("route", source, *conjuncts)
+
+
+class StageDescriptor:
+    """Canonical identity of one suffix-chain stage.
+
+    ``kind`` names the planner shape (``aggregate``, ``project``, ...),
+    ``canon`` is the repr-based canonical string of everything that
+    parameterizes the stage, and ``stateful`` records whether the
+    operator accumulates state (stateful stages are only shareable by
+    queries registered in the same generation — a query joining
+    mid-stream must not inherit state built from records it never saw).
+    """
+
+    __slots__ = ("kind", "canon", "stateful")
+
+    def __init__(self, kind: str, canon: str, stateful: bool) -> None:
+        self.kind = kind
+        self.canon = canon
+        self.stateful = stateful
+
+    def __repr__(self) -> str:
+        return f"StageDescriptor({self.kind}, stateful={self.stateful})"
+
+
+def _default_agg_name(call: FuncCall) -> str:
+    # Mirror _PlanBuilder._agg_default_name exactly.
+    if not call.args or isinstance(call.args[0], Star):
+        return call.name
+    arg = call.args[0]
+    if isinstance(arg, Column):
+        return f"{call.name}_{arg.name}"
+    return call.name
+
+
+def agg_signature(stmt: SelectStmt) -> tuple[tuple[str, str], ...]:
+    """Ordered (aggregate-call repr, output name) pairs for ``stmt``.
+
+    Reproduces the planner's naming walk over SELECT then HAVING —
+    including hidden ``_having_N`` aggregates — so the signature pins
+    both which aggregate states exist and what the output row calls
+    them.
+    """
+    pairs: list[tuple[str, str]] = []
+    seen: set[FuncCall] = set()
+    for proj in stmt.projections:
+        for call in extract_aggregates(proj.expr):
+            if call in seen:
+                continue
+            seen.add(call)
+            name = (
+                proj.alias
+                if proj.alias and proj.expr == call
+                else _default_agg_name(call)
+            )
+            pairs.append((repr(call), name))
+    hidden = 0
+    for call in extract_aggregates(stmt.having):
+        if call in seen:
+            continue
+        seen.add(call)
+        hidden += 1
+        pairs.append((repr(call), f"_having_{hidden}"))
+    return tuple(pairs)
+
+
+def suffix_descriptors(stmt: SelectStmt) -> list[StageDescriptor] | None:
+    """Descriptors for the WHERE-stripped chain the planner would build.
+
+    Mirrors ``_PlanBuilder.build_single`` + ``_finish`` shape by shape.
+    Returns ``None`` for statements the shared builder does not model
+    (joins); callers must cross-check the descriptor count against the
+    actually compiled chain and fall back to a private plan on any
+    mismatch.
+    """
+    if len(stmt.relations) != 1:
+        return None
+    rel = stmt.relations[0]
+    descs: list[StageDescriptor] = []
+    proj_canon = repr(
+        tuple((p.alias, repr(p.expr)) for p in stmt.projections)
+    )
+    group_canon = repr(
+        tuple((g.alias, repr(g.expr)) for g in stmt.group_by)
+    )
+    window_canon = repr(rel.window)
+    has_aggs = any(
+        contains_aggregate(p.expr) for p in stmt.projections
+    ) or contains_aggregate(stmt.having)
+    if stmt.group_by or has_aggs:
+        descs.append(
+            StageDescriptor(
+                "aggregate",
+                "|".join(
+                    (
+                        group_canon,
+                        repr(agg_signature(stmt)),
+                        window_canon,
+                        repr(stmt.having),
+                    )
+                ),
+                stateful=True,
+            )
+        )
+        descs.append(
+            StageDescriptor(
+                "project",
+                "|".join((proj_canon, group_canon, repr(agg_signature(stmt)))),
+                stateful=False,
+            )
+        )
+    elif stmt.distinct:
+        descs.append(
+            StageDescriptor(
+                "distinct",
+                "|".join((proj_canon, window_canon)),
+                stateful=True,
+            )
+        )
+    elif stmt.select_star:
+        descs.append(StageDescriptor("scan", "*", stateful=False))
+    else:
+        descs.append(StageDescriptor("project", proj_canon, stateful=False))
+    if stmt.order_by:
+        order_canon = repr(
+            tuple((repr(o.expr), o.descending) for o in stmt.order_by)
+        )
+        descs.append(
+            StageDescriptor(
+                "sort", f"{order_canon}|{stmt.limit}", stateful=True
+            )
+        )
+    elif stmt.limit is not None:
+        descs.append(
+            StageDescriptor("limit", repr(stmt.limit), stateful=True)
+        )
+    if stmt.streamify:
+        descs.append(
+            StageDescriptor(stmt.streamify, stmt.streamify, stateful=True)
+        )
+    return descs
+
+
+def node_key(parent_key: str, desc: StageDescriptor, gen: int) -> str:
+    """Hash-chained identity of one shared-DAG node.
+
+    Stateless stages ignore ``gen``: an operator with no state is safe
+    to share across registration generations (a late registrant's
+    output starts empty at migration, and the operator's behavior does
+    not depend on records it processed before).
+    """
+    effective_gen = gen if desc.stateful else 0
+    return digest("node", parent_key, desc.kind, desc.canon, str(effective_gen))

@@ -1,0 +1,205 @@
+"""Attribute index over thousands of registered selection predicates.
+
+A DSMS with N standing queries cannot afford N predicate evaluations
+per arriving tuple.  The classical answer (VLDB tutorial slide 45:
+"indexing the queries, not the data") is to index the *predicates*: for
+each route (a distinct WHERE-conjunct set over one source) pick one
+indexable conjunct as its **anchor** — an equality or one-sided
+comparison against a literal — and bucket routes by anchor attribute.
+A probe then touches only the routes whose anchor accepts the tuple:
+
+* equality anchors: one hash lookup per (attribute, value);
+* comparison anchors: a binary search over the sorted thresholds per
+  (attribute, direction) — all lower bounds below the value (resp.
+  upper bounds above it) match at once;
+* routes with no indexable conjunct fall into a small scan bucket, and
+  unfiltered routes into an always-match list.
+
+The anchor is a *necessary* condition only; every candidate's full
+compiled predicate is verified before the route is reported, so probe
+results are exactly the brute-force scan's (a property the test suite
+checks with hypothesis).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Callable, Iterable
+
+from repro.core.tuples import Record
+from repro.cql.ast import BinOp, Column, Expr, Literal
+from repro.errors import ServiceError
+
+__all__ = ["PredicateIndex", "anchor_of"]
+
+#: comparison flips when the literal is on the left: ``5 < x`` ≡ ``x > 5``.
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def anchor_of(conjuncts: Iterable[Expr]) -> tuple[str, str, object] | None:
+    """Pick an indexable ``(attr, op, literal)`` anchor, or ``None``.
+
+    Prefers equality anchors (most selective bucket shape); otherwise
+    the first one-sided numeric comparison.  Only unqualified plain
+    columns against numeric/string literals qualify — anything fancier
+    stays un-anchored and lands in the scan bucket.
+    """
+    comparison: tuple[str, str, object] | None = None
+    for conj in conjuncts:
+        if not isinstance(conj, BinOp):
+            continue
+        op = conj.op
+        left, right = conj.left, conj.right
+        if isinstance(left, Literal) and isinstance(right, Column):
+            left, right = right, left
+            op = _FLIP.get(op, op)
+        if not (isinstance(left, Column) and isinstance(right, Literal)):
+            continue
+        if left.qualifier is not None:
+            continue
+        value = right.value
+        if op == "=" and not isinstance(value, bool):
+            return (left.name, "=", value)
+        if op in ("<", "<=", ">", ">=") and isinstance(
+            value, (int, float)
+        ) and not isinstance(value, bool):
+            if comparison is None:
+                comparison = (left.name, op, value)
+    return comparison
+
+
+class PredicateIndex:
+    """Route lookup structure: record -> matching route ids."""
+
+    def __init__(self) -> None:
+        # attr -> value -> [route ids]
+        self._eq: dict[str, dict[object, list[str]]] = {}
+        # attr -> sorted [( (threshold, strictness), route id )] for
+        # lower bounds (> / >=) and upper bounds (< / <=) respectively.
+        self._lower: dict[str, list[tuple[tuple[float, int], str]]] = {}
+        self._upper: dict[str, list[tuple[tuple[float, int], str]]] = {}
+        self._scan: list[str] = []
+        self._always: list[str] = []
+        # route id -> full verification predicate
+        self._verify: dict[str, Callable[[Record], bool] | None] = {}
+        self._anchors: dict[str, tuple[str, str, object] | None] = {}
+
+    def __len__(self) -> int:
+        return len(self._verify)
+
+    def add(
+        self,
+        route_id: str,
+        conjuncts: list[Expr],
+        predicate: Callable[[Record], bool] | None,
+    ) -> None:
+        """Register ``route_id`` with its conjuncts and compiled WHERE."""
+        if route_id in self._verify:
+            raise ServiceError(f"route {route_id!r} already indexed")
+        self._verify[route_id] = predicate
+        if predicate is None or not conjuncts:
+            self._anchors[route_id] = None
+            self._always.append(route_id)
+            return
+        anchor = anchor_of(conjuncts)
+        self._anchors[route_id] = anchor
+        if anchor is None:
+            self._scan.append(route_id)
+            return
+        attr, op, value = anchor
+        if op == "=":
+            self._eq.setdefault(attr, {}).setdefault(value, []).append(
+                route_id
+            )
+        elif op in (">", ">="):
+            # matches x iff value < x (strict=1) or value <= x (strict=0)
+            strict = 1 if op == ">" else 0
+            insort(
+                self._lower.setdefault(attr, []),
+                ((float(value), strict), route_id),
+            )
+        else:
+            # < / <=: matches x iff value > x, or value >= x for <=
+            strict = 1 if op == "<=" else 0
+            insort(
+                self._upper.setdefault(attr, []),
+                ((float(value), strict), route_id),
+            )
+
+    def remove(self, route_id: str) -> None:
+        if route_id not in self._verify:
+            raise ServiceError(f"route {route_id!r} not indexed")
+        anchor = self._anchors.pop(route_id)
+        self._verify.pop(route_id)
+        if route_id in self._always:
+            self._always.remove(route_id)
+            return
+        if anchor is None:
+            self._scan.remove(route_id)
+            return
+        attr, op, value = anchor
+        if op == "=":
+            bucket = self._eq[attr][value]
+            bucket.remove(route_id)
+            if not bucket:
+                del self._eq[attr][value]
+        elif op in (">", ">="):
+            entries = self._lower[attr]
+            strict = 1 if op == ">" else 0
+            entries.remove(((float(value), strict), route_id))
+        else:
+            entries = self._upper[attr]
+            strict = 1 if op == "<=" else 0
+            entries.remove(((float(value), strict), route_id))
+
+    # -- probing -----------------------------------------------------------
+
+    def _candidates(self, record: Record) -> list[str]:
+        out = list(self._always)
+        values = record.values
+        for attr, by_value in self._eq.items():
+            if attr in values:
+                out.extend(by_value.get(values[attr], ()))
+        for attr, entries in self._lower.items():
+            x = values.get(attr)
+            if not isinstance(x, (int, float)) or isinstance(x, bool):
+                continue
+            # thresholds strictly below x, plus (x, non-strict)
+            idx = bisect_left(entries, ((float(x), 1), ""))
+            out.extend(rid for _key, rid in entries[:idx])
+        for attr, entries in self._upper.items():
+            x = values.get(attr)
+            if not isinstance(x, (int, float)) or isinstance(x, bool):
+                continue
+            # thresholds strictly above x, plus (x, inclusive)
+            idx = bisect_right(entries, ((float(x), 0), "￿"))
+            out.extend(rid for _key, rid in entries[idx:])
+        out.extend(self._scan)
+        return out
+
+    def probe(self, record: Record) -> list[str]:
+        """Route ids whose full predicate accepts ``record``."""
+        matched: list[str] = []
+        for rid in self._candidates(record):
+            pred = self._verify[rid]
+            if pred is None or pred(record):
+                matched.append(rid)
+        return matched
+
+    def brute_force(self, record: Record) -> list[str]:
+        """Reference implementation: evaluate every route's predicate."""
+        matched: list[str] = []
+        for rid, pred in self._verify.items():
+            if pred is None or pred(record):
+                matched.append(rid)
+        return matched
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "routes": len(self._verify),
+            "eq_buckets": sum(len(v) for v in self._eq.values()),
+            "lower_entries": sum(len(v) for v in self._lower.values()),
+            "upper_entries": sum(len(v) for v in self._upper.values()),
+            "scan": len(self._scan),
+            "always": len(self._always),
+        }

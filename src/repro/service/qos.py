@@ -1,0 +1,77 @@
+"""Per-tenant QoS for the standing-query service.
+
+Tenants register under a named service tier; each tier maps to an
+Aurora-style loss-QoS graph (:func:`repro.dsms.qos.tier_loss_qos`).
+Under overload the service suspends whole tenants, worst-value-first:
+:class:`TenantShedder` ranks sheddable tenants with
+:func:`repro.dsms.qos.shedding_order` — the tenant whose utility graph
+is flattest at its current loss (bronze, then silver, then gold) sheds
+first — and restores in LIFO order once pressure clears, with
+hysteresis between the two watermarks.
+"""
+
+from __future__ import annotations
+
+from repro.dsms.qos import QoSGraph, shedding_order, tier_loss_qos
+from repro.errors import ServiceError
+
+__all__ = ["TenantSpec", "TenantShedder"]
+
+
+class TenantSpec:
+    """One tenant's identity and QoS contract."""
+
+    def __init__(
+        self, name: str, tier: str = "silver", graph: QoSGraph | None = None
+    ) -> None:
+        if not name:
+            raise ServiceError("tenant name must be non-empty")
+        self.name = name
+        self.tier = tier
+        self.graph = graph if graph is not None else tier_loss_qos(tier)
+
+    def __repr__(self) -> str:
+        return f"TenantSpec({self.name!r}, tier={self.tier!r})"
+
+
+class TenantShedder:
+    """Watermark-driven shed/restore policy over tenants.
+
+    ``decide`` is called at every poll with the current pressure and
+    each tenant's observed loss fraction; it returns at most one
+    transition per poll — ``("shed", name)``, ``("restore", name)``, or
+    ``None`` — so the service degrades and recovers one tenant at a
+    time rather than oscillating.
+    """
+
+    def __init__(self, low: float, high: float) -> None:
+        if high <= low:
+            raise ServiceError(
+                f"shed watermarks must satisfy low < high; "
+                f"got low={low}, high={high}"
+            )
+        self.low = low
+        self.high = high
+        #: Tenants currently shed, in shed order (restored LIFO).
+        self.shed: list[str] = []
+
+    def decide(
+        self,
+        pressure: float,
+        tenants: dict[str, TenantSpec],
+        losses: dict[str, float],
+    ) -> tuple[str, str] | None:
+        if pressure >= self.high:
+            candidates = [
+                (name, spec.graph, losses.get(name, 0.0))
+                for name, spec in tenants.items()
+                if name not in self.shed
+            ]
+            if not candidates:
+                return None
+            victim = shedding_order(candidates)[0]
+            self.shed.append(victim)
+            return ("shed", victim)
+        if pressure <= self.low and self.shed:
+            return ("restore", self.shed.pop())
+        return None

@@ -1,0 +1,868 @@
+"""The standing-query service: N continuous queries, one merged DAG.
+
+:class:`StandingQueryService` is the long-running DSMS facade the paper
+describes: tenants register CQL queries over shared source streams, and
+the service executes all of them as **one** exact push-engine plan:
+
+* registration compiles the query, canonicalizes it
+  (:mod:`repro.service.canonical`), and merges it into a shared DAG —
+  identical (source, WHERE-set, suffix-prefix) chains collapse into
+  single operator chains with fan-out;
+* arriving tuples probe a per-source predicate index
+  (:mod:`repro.service.predindex`) and are fed only to the routes whose
+  selection they satisfy — one probe instead of N filter evaluations;
+* compatible tumbling aggregations share partial-aggregate panes
+  (:mod:`repro.service.panes`);
+* tenants get admission control, QoS-tiered load shedding
+  (:mod:`repro.service.qos`), and per-query ``RunResult``-style
+  outputs and metrics.
+
+Registration and deregistration while the stream is live reuse the
+engine's migration protocol (``migrate_plan(allow_io_changes=True)``):
+surviving queries keep operator state and accumulated output, which the
+differential suite certifies element-identical to isolated engines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Sequence
+
+from repro.core.engine import Engine, RunResult
+from repro.core.graph import Plan
+from repro.core.metrics import MetricsRegistry, OperatorMetrics
+from repro.core.stream import Source, merge_sources
+from repro.core.tuples import Punctuation, Record
+from repro.cql.ast import SelectStmt, split_conjuncts
+from repro.cql.parser import parse
+from repro.cql.planner import _Passthrough, plan_stmt, shareable_chain
+from repro.cql.registry import Catalog
+from repro.cql.semantic import (
+    compile_expr,
+    detect_tumbling_group,
+    resolve_stmt,
+)
+from repro.errors import AdmissionError, ServiceError, StreamError
+from repro.gigascope.decompose import shared_pane_width
+from repro.operators.aggregate import Aggregate, WindowedAggregate
+from repro.operators.base import Element, Operator, UnaryOperator
+from repro.operators.project import DistinctProject, Project
+from repro.operators.sort import Limit, Sort
+from repro.operators.streamify import DStream, IStream, RStream
+from repro.service.canonical import (
+    StageDescriptor,
+    agg_signature,
+    digest,
+    node_key,
+    route_key,
+    suffix_descriptors,
+)
+from repro.service.panes import PaneAggregate, PaneMerge, pane_safe
+from repro.service.predindex import PredicateIndex
+from repro.service.qos import TenantShedder, TenantSpec
+from repro.windows.spec import TumblingWindow
+
+__all__ = [
+    "QueryHandle",
+    "QueryResult",
+    "ServiceConfig",
+    "ServiceResult",
+    "StandingQueryService",
+]
+
+_KIND_CLASSES: dict[str, tuple[type, ...]] = {
+    "aggregate": (Aggregate, WindowedAggregate),
+    "project": (Project,),
+    "distinct": (DistinctProject,),
+    "scan": (_Passthrough,),
+    "sort": (Sort,),
+    "limit": (Limit,),
+    "istream": (IStream,),
+    "dstream": (DStream,),
+    "rstream": (RStream,),
+}
+
+
+class _Drain(UnaryOperator):
+    """Keeps the merged plan valid when zero queries are active."""
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        return []
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        return []
+
+
+class ServiceConfig:
+    """Tuning knobs for a :class:`StandingQueryService`.
+
+    Parameters
+    ----------
+    batch_size:
+        Engine micro-batch size (``None`` / int / ``"auto"``); also the
+        service's route-buffer chunk size.
+    guard:
+        Optional :class:`~repro.resilience.OverloadGuard` attached to
+        the merged engine.
+    observe:
+        Engine observation config (see :mod:`repro.observe`).
+    max_queries / max_queries_per_tenant:
+        Admission-control caps; exceeding either raises
+        :class:`~repro.errors.AdmissionError`.
+    shed_low / shed_high:
+        Pressure watermarks for tenant-level shedding; both ``None``
+        disables it.
+    shed_poll:
+        Records between shedding-policy polls.
+    pressure:
+        Pressure probe ``fn(service) -> float``.  Defaults to the sum
+        of the guard's ingress backlog sizes (0 with no guard) —
+        tests inject a deterministic function here.
+    """
+
+    def __init__(
+        self,
+        batch_size: int | str | None = None,
+        guard=None,
+        observe=None,
+        max_queries: int | None = None,
+        max_queries_per_tenant: int | None = None,
+        shed_low: float | None = None,
+        shed_high: float | None = None,
+        shed_poll: int = 64,
+        pressure: Callable[["StandingQueryService"], float] | None = None,
+    ) -> None:
+        if (shed_low is None) != (shed_high is None):
+            raise ServiceError(
+                "shed_low and shed_high must be set together"
+            )
+        if shed_poll < 1:
+            raise ServiceError(f"shed_poll must be >= 1; got {shed_poll}")
+        self.batch_size = batch_size
+        self.guard = guard
+        self.observe = observe
+        self.max_queries = max_queries
+        self.max_queries_per_tenant = max_queries_per_tenant
+        self.shed_low = shed_low
+        self.shed_high = shed_high
+        self.shed_poll = shed_poll
+        self.pressure = pressure
+
+
+class QueryHandle:
+    """Public identity of one registered standing query."""
+
+    def __init__(
+        self, qid: int, query: str, tenant: str, shared: bool
+    ) -> None:
+        self.qid = qid
+        self.query = query
+        self.tenant = tenant
+        #: whether the query joined the shared DAG (vs a private plan)
+        self.shared = shared
+        self.output = f"q:{qid}"
+
+    def __repr__(self) -> str:
+        return f"QueryHandle(qid={self.qid}, tenant={self.tenant!r})"
+
+
+class QueryResult:
+    """Per-query slice of a finished service run (``RunResult`` style)."""
+
+    def __init__(
+        self,
+        qid: int,
+        query: str,
+        tenant: str,
+        outputs: list[Element],
+        delivered: int,
+        shed: int,
+        operator_names: list[str],
+        metrics: MetricsRegistry,
+    ) -> None:
+        self.qid = qid
+        self.query = query
+        self.tenant = tenant
+        self.outputs = outputs
+        #: records routed into this query's chain while it was active
+        self.delivered = delivered
+        #: records this query would have received while suspended
+        self.shed = shed
+        self.operator_names = operator_names
+        self._metrics = metrics
+
+    def records(self) -> list[Record]:
+        return [el for el in self.outputs if isinstance(el, Record)]
+
+    def values(self) -> list[dict]:
+        return [r.values for r in self.records()]
+
+    def punctuations(self) -> list[Punctuation]:
+        return [el for el in self.outputs if isinstance(el, Punctuation)]
+
+    def operator_metrics(self) -> dict[str, OperatorMetrics]:
+        """This query's per-operator counters (shared ops included)."""
+        return {
+            name: self._metrics.operators[name]
+            for name in self.operator_names
+            if name in self._metrics.operators
+        }
+
+    @property
+    def loss_fraction(self) -> float:
+        total = self.delivered + self.shed
+        return self.shed / total if total else 0.0
+
+
+class ServiceResult:
+    """Everything a finished service run produced."""
+
+    def __init__(
+        self,
+        queries: dict[int, QueryResult],
+        metrics: MetricsRegistry,
+        dropped: int,
+        shed_log: list[tuple[str, str, float]],
+        stats: dict,
+    ) -> None:
+        self.queries = queries
+        self.metrics = metrics
+        self.dropped = dropped
+        self.shed_log = shed_log
+        self.stats = stats
+
+    def query(self, handle: QueryHandle | int) -> QueryResult:
+        qid = handle.qid if isinstance(handle, QueryHandle) else handle
+        if qid not in self.queries:
+            raise ServiceError(f"unknown query id {qid}")
+        return self.queries[qid]
+
+    def by_tenant(self, tenant: str) -> list[QueryResult]:
+        return [q for q in self.queries.values() if q.tenant == tenant]
+
+
+class _Route:
+    """One distinct (source, WHERE-conjunct set): a shared plan input."""
+
+    __slots__ = ("key", "source", "conjuncts", "predicate", "input_name", "queries")
+
+    def __init__(self, key, source, conjuncts, predicate) -> None:
+        self.key = key
+        self.source = source
+        self.conjuncts = conjuncts
+        self.predicate = predicate
+        self.input_name = f"r:{key}"
+        self.queries: set[int] = set()
+
+
+class _Query:
+    """Internal registration record."""
+
+    def __init__(self, qid: int, text: str, tenant: str, gen: int) -> None:
+        self.qid = qid
+        self.text = text
+        self.tenant = tenant
+        self.gen = gen
+        self.private = False
+        self.plan: Plan | None = None  # private full plan
+        self.chain: list[Operator] | None = None
+        self.descs: list[StageDescriptor] | None = None
+        self.route_key: str | None = None
+        self.sources: list[str] = []
+        self.pane_ck: str | None = None
+        self.width: float | None = None
+        self.suspended = False
+        self.frozen: list[Element] = []
+        self.delivered = 0
+        self.shed = 0
+        self.op_names: list[str] = []
+        self.isolated_ops = 0
+
+    @property
+    def output(self) -> str:
+        return f"q:{self.qid}"
+
+
+class StandingQueryService:
+    """A multi-tenant DSMS executing standing queries as one DAG."""
+
+    def __init__(
+        self, catalog: Catalog, config: ServiceConfig | None = None
+    ) -> None:
+        self.catalog = catalog
+        self.config = config or ServiceConfig()
+        self._queries: dict[int, _Query] = {}
+        self._retired: dict[int, _Query] = {}
+        self._next_qid = 1
+        self._routes: dict[str, _Route] = {}
+        self._indexes: dict[str, PredicateIndex] = {}
+        self._private_by_source: dict[str, set[int]] = {}
+        self._nodes: dict[str, Operator] = {}
+        self._pane_widths_seen: dict[str, set[float]] = {}
+        self._tenants: dict[str, TenantSpec] = {}
+        self._shedder: TenantShedder | None = None
+        if self.config.shed_high is not None:
+            self._shedder = TenantShedder(
+                self.config.shed_low, self.config.shed_high
+            )
+        self.shed_log: list[tuple[str, str, float]] = []
+        self._engine: Engine | None = None
+        self._started = False
+        self._era = 0
+        self._era_sealed = False
+        self._since_poll = 0
+        self._chunk = 1
+        self._buffers: dict[str, list[Element]] = {}
+        self._bcast: list[tuple[str, Element]] = []
+
+    # -- tenants -----------------------------------------------------------
+
+    def register_tenant(self, spec: TenantSpec) -> TenantSpec:
+        if spec.name in self._tenants:
+            raise ServiceError(f"tenant {spec.name!r} already registered")
+        self._tenants[spec.name] = spec
+        return spec
+
+    def tenant_loss(self, name: str) -> float:
+        delivered = shed = 0
+        for q in self._queries.values():
+            if q.tenant == name:
+                delivered += q.delivered
+                shed += q.shed
+        total = delivered + shed
+        return shed / total if total else 0.0
+
+    # -- registration ------------------------------------------------------
+
+    def _next_gen(self) -> int:
+        if self._era_sealed:
+            self._era += 1
+            self._era_sealed = False
+        return self._era
+
+    def register(
+        self,
+        query: str | SelectStmt,
+        tenant: str = "default",
+        tier: str = "silver",
+    ) -> QueryHandle:
+        """Register one standing query for ``tenant``.
+
+        Admission control applies the configured caps; the query text is
+        compiled, canonicalized, and merged into the shared DAG (private
+        plans for shapes the shared builder cannot model, e.g. joins).
+        Registering against a live stream migrates the running engine at
+        the current element boundary.
+        """
+        cfg = self.config
+        if cfg.max_queries is not None and len(self._queries) >= cfg.max_queries:
+            raise AdmissionError(
+                f"service is at its query cap ({cfg.max_queries})"
+            )
+        if tenant not in self._tenants:
+            self.register_tenant(TenantSpec(tenant, tier=tier))
+        if cfg.max_queries_per_tenant is not None:
+            mine = sum(
+                1 for q in self._queries.values() if q.tenant == tenant
+            )
+            if mine >= cfg.max_queries_per_tenant:
+                raise AdmissionError(
+                    f"tenant {tenant!r} is at its query cap "
+                    f"({cfg.max_queries_per_tenant})"
+                )
+        stmt = parse(query) if isinstance(query, str) else query
+        text = query if isinstance(query, str) else repr(stmt)
+        resolved = resolve_stmt(stmt, self.catalog)
+        qid = self._next_qid
+        self._next_qid += 1
+        q = _Query(qid, text, tenant, gen=self._next_gen())
+        q.sources = [rel.name for rel in stmt.relations]
+
+        chain = descs = None
+        if not resolved.is_join:
+            chain = shareable_chain(stmt, self.catalog)
+            descs = suffix_descriptors(stmt)
+        shared = (
+            chain is not None
+            and descs is not None
+            and len(chain) == len(descs)
+            and all(
+                isinstance(op, _KIND_CLASSES[d.kind])
+                for op, d in zip(chain, descs)
+            )
+        )
+        if shared:
+            q.chain = chain
+            q.descs = descs
+            q.isolated_ops = len(chain) + (1 if stmt.where is not None else 0)
+            self._register_route(q, stmt, resolved)
+            self._register_pane(q, stmt, resolved)
+        else:
+            q.private = True
+            full = plan_stmt(stmt, self.catalog)
+            for op in full.operators:
+                op.name = f"q{qid}:{op.name}"
+            q.plan = full
+            q.isolated_ops = len(full.operators)
+            for source in q.sources:
+                self._private_by_source.setdefault(source, set()).add(qid)
+        self._queries[qid] = q
+        if self._started:
+            self._migrate()
+        return QueryHandle(qid, text, tenant, shared)
+
+    def _register_route(self, q: _Query, stmt: SelectStmt, resolved) -> None:
+        source = stmt.relations[0].name
+        key = route_key(source, stmt)
+        route = self._routes.get(key)
+        if route is None:
+            conjuncts = split_conjuncts(stmt.where)
+            predicate = None
+            if stmt.where is not None:
+                predicate = compile_expr(
+                    stmt.where, resolved.resolver, self.catalog
+                )
+            route = _Route(key, source, conjuncts, predicate)
+            self._routes[key] = route
+            index = self._indexes.setdefault(source, PredicateIndex())
+            index.add(key, route.conjuncts, route.predicate)
+        q.route_key = key
+        route.queries.add(q.qid)
+
+    def _register_pane(self, q: _Query, stmt: SelectStmt, resolved) -> None:
+        assert q.chain is not None
+        head = q.chain[0]
+        if not (
+            isinstance(head, WindowedAggregate)
+            and isinstance(head.window, TumblingWindow)
+            and pane_safe(head.aggregates)
+        ):
+            return
+        plain_groups = tuple(
+            (item.alias, repr(item.expr))
+            for item in stmt.group_by
+            if detect_tumbling_group(item, resolved.ordering_attrs) is None
+        )
+        q.pane_ck = digest(
+            "panegrp",
+            q.route_key or "",
+            repr(plain_groups),
+            repr(agg_signature(stmt)),
+            head.ts_attr,
+            repr(head.window.origin),
+            str(q.gen),
+        )
+        q.width = head.window.width
+        self._pane_widths_seen.setdefault(q.pane_ck, set()).add(q.width)
+
+    def deregister(self, handle: QueryHandle | int) -> None:
+        """Remove a standing query; other queries' outputs are unaffected.
+
+        When the stream is live, the query's accumulated output is
+        frozen first, so a later :meth:`finish` still reports it.
+        """
+        qid = handle.qid if isinstance(handle, QueryHandle) else handle
+        q = self._queries.get(qid)
+        if q is None:
+            raise ServiceError(f"unknown query id {qid}")
+        if self._started and not q.suspended:
+            self._flush_all_buffers()
+            assert self._engine is not None
+            if q.output in self._engine.plan.outputs:
+                q.frozen.extend(self._engine.peek_output(q.output))
+        del self._queries[qid]
+        self._retired[qid] = q
+        if q.route_key is not None:
+            route = self._routes[q.route_key]
+            route.queries.discard(qid)
+            if not route.queries:
+                self._indexes[route.source].remove(route.key)
+                del self._routes[route.key]
+        if q.private:
+            for source in q.sources:
+                members = self._private_by_source.get(source)
+                if members:
+                    members.discard(qid)
+                    if not members:
+                        del self._private_by_source[source]
+        if self._started:
+            self._migrate()
+
+    # -- plan construction -------------------------------------------------
+
+    def _shared_name(self, kind: str, key: str) -> str:
+        return f"s:{kind}:{key[:12]}"
+
+    def _pane_width_for(self, ck: str) -> float | None:
+        """Pane granularity for a compat group, or ``None`` for direct
+        per-width aggregation.  Sticky: once a group has seen more than
+        one width, it stays in pane mode (and the gcd over *all* widths
+        ever seen is pinned) so deregistrations never restructure
+        stateful sealed operators."""
+        seen = self._pane_widths_seen.get(ck, set())
+        if len(seen) < 2:
+            return None
+        return shared_pane_width(sorted(seen))
+
+    def _build_plan(self) -> Plan:
+        plan = Plan("service")
+        active = [
+            self._queries[qid]
+            for qid in sorted(self._queries)
+            if not self._queries[qid].suspended
+        ]
+        if not active:
+            plan.add_input("_idle")
+            drain = _Drain("svc:drain")
+            plan.add(drain, upstream=["_idle"])
+            plan.mark_output(drain, "_idle")
+            return plan
+        used: set[str] = set()
+        added: dict[str, Operator] = {}
+        declared_inputs: set[str] = set()
+
+        def ensure_input(name: str) -> None:
+            if name not in declared_inputs:
+                plan.add_input(name)
+                declared_inputs.add(name)
+
+        def place(key: str, kind: str, make, parent) -> Operator:
+            used.add(key)
+            op = self._nodes.get(key)
+            if op is None:
+                op = make()
+                self._nodes[key] = op
+            if key not in added:
+                op.name = self._shared_name(kind, key)
+                plan.add(op, upstream=[parent])
+                added[key] = op
+            return added[key]
+
+        for q in active:
+            if q.private:
+                self._graft_private(plan, q, ensure_input)
+                continue
+            assert q.chain is not None and q.descs is not None
+            route = self._routes[q.route_key]
+            ensure_input(route.input_name)
+            parent: object = route.input_name
+            parent_key = f"in:{route.key}"
+            names: list[str] = []
+            stages = list(zip(q.descs, q.chain))
+            start = 0
+            pane_g = (
+                self._pane_width_for(q.pane_ck)
+                if q.pane_ck is not None
+                else None
+            )
+            if pane_g is not None:
+                head = q.chain[0]
+                assert isinstance(head, WindowedAggregate)
+                pane_key = digest("panenode", q.pane_ck, repr(pane_g))
+                pane_op = place(
+                    pane_key,
+                    "pane",
+                    lambda: PaneAggregate(
+                        TumblingWindow(pane_g, head.window.origin),
+                        head.group_by,
+                        head.aggregates,
+                        ts_attr=head.ts_attr,
+                    ),
+                    parent,
+                )
+                merge_key = digest(
+                    "mergenode", q.pane_ck, q.descs[0].canon
+                )
+                merge_op = place(
+                    merge_key,
+                    "merge",
+                    lambda: PaneMerge(
+                        head.window,
+                        [name for name, _fn in head.group_by],
+                        head.aggregates,
+                        having=head.having,
+                        bucket_attr=head.bucket_attr,
+                        ts_attr=head.ts_attr,
+                    ),
+                    pane_op,
+                )
+                names.extend([pane_op.name, merge_op.name])
+                parent, parent_key = merge_op, merge_key
+                start = 1
+            for desc, chain_op in stages[start:]:
+                key = node_key(parent_key, desc, q.gen)
+                op = place(key, desc.kind, lambda: chain_op, parent)
+                names.append(op.name)
+                parent, parent_key = op, key
+            assert isinstance(parent, Operator)
+            plan.mark_output(parent, q.output)
+            q.op_names = names
+        # Prune nodes no active query references; resumed/re-added
+        # chains start fresh (shed data is lost by definition).
+        self._nodes = {k: op for k, op in self._nodes.items() if k in used}
+        plan.ensure_unique_names()
+        return plan
+
+    def _graft_private(self, plan: Plan, q: _Query, ensure_input) -> None:
+        sub = q.plan
+        assert sub is not None
+        for source in q.sources:
+            ensure_input(f"src:{source}")
+        for op in sub.topological_order():
+            plan.add(op)
+        for iname, consumers in sub.inputs.items():
+            for consumer, port in consumers:
+                plan.connect(f"src:{iname}", consumer, port)
+        for op in sub.operators:
+            for consumer, port in sub.successors(op):
+                plan.connect(op, consumer, port)
+        out_op = next(iter(sub.outputs.values()))
+        plan.mark_output(out_op, q.output)
+        q.op_names = [op.name for op in sub.operators]
+
+    def _migrate(self) -> None:
+        self._flush_all_buffers()
+        assert self._engine is not None
+        self._engine.migrate_plan(self._build_plan(), allow_io_changes=True)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Build the merged plan and begin accepting :meth:`feed` calls."""
+        if self._started:
+            raise ServiceError("service already started")
+        if not self._queries:
+            raise ServiceError("no standing queries registered")
+        plan = self._build_plan()
+        self._engine = Engine(
+            plan,
+            batch_size=self.config.batch_size,
+            guard=self.config.guard,
+            observe=self.config.observe,
+        )
+        self._engine.start()
+        self._chunk = self._engine.batch_size or 1
+        self._started = True
+        self._buffers = {}
+        self._bcast = []
+        self._since_poll = 0
+
+    def feed(self, source: str, element: Element) -> None:
+        """Push one element of ``source`` into every matching query."""
+        if not self._started:
+            raise ServiceError("StandingQueryService.feed() before start()")
+        self._era_sealed = True
+        if isinstance(element, Punctuation):
+            self._flush_all_buffers()
+            self._feed_punct(source, element)
+        else:
+            self._route_record(source, element)
+
+    def feed_batch(self, source: str, elements: Sequence[Element]) -> None:
+        for el in elements:
+            self.feed(source, el)
+
+    def _route_record(self, source: str, record: Record) -> None:
+        engine = self._engine
+        assert engine is not None
+        index = self._indexes.get(source)
+        if index is not None:
+            for rid in index.probe(record):
+                route = self._routes[rid]
+                live = False
+                for qid in route.queries:
+                    q = self._queries[qid]
+                    if q.suspended:
+                        q.shed += 1
+                    else:
+                        q.delivered += 1
+                        live = True
+                if live:
+                    buf = self._buffers.setdefault(route.input_name, [])
+                    buf.append(record)
+                    if len(buf) >= self._chunk:
+                        engine.feed_batch(route.input_name, buf)
+                        buf.clear()
+        privates = self._private_by_source.get(source)
+        if privates:
+            live = False
+            for qid in privates:
+                q = self._queries[qid]
+                if q.suspended:
+                    q.shed += 1
+                else:
+                    q.delivered += 1
+                    live = True
+            if live:
+                self._bcast.append((f"src:{source}", record))
+                if len(self._bcast) >= self._chunk:
+                    self._flush_broadcast()
+        if self._shedder is not None:
+            self._since_poll += 1
+            if self._since_poll >= self.config.shed_poll:
+                self._since_poll = 0
+                self._poll_shedding()
+
+    def _feed_punct(self, source: str, punct: Punctuation) -> None:
+        engine = self._engine
+        assert engine is not None
+        inputs = engine.plan.inputs
+        for key in sorted(self._routes):
+            route = self._routes[key]
+            if route.source == source and route.input_name in inputs:
+                engine.feed(route.input_name, punct)
+        bname = f"src:{source}"
+        if bname in inputs:
+            engine.feed(bname, punct)
+
+    def _flush_broadcast(self) -> None:
+        engine = self._engine
+        assert engine is not None
+        run_input: str | None = None
+        run: list[Element] = []
+        for name, el in self._bcast:
+            if run and name != run_input:
+                engine.feed_batch(run_input, run)
+                run = []
+            run_input = name
+            run.append(el)
+        if run:
+            assert run_input is not None
+            engine.feed_batch(run_input, run)
+        self._bcast.clear()
+
+    def _flush_all_buffers(self) -> None:
+        engine = self._engine
+        if engine is None:
+            return
+        for name in sorted(self._buffers):
+            buf = self._buffers[name]
+            if buf and name in engine.plan.inputs:
+                engine.feed_batch(name, buf)
+            buf.clear()
+        self._flush_broadcast()
+
+    # -- shedding ----------------------------------------------------------
+
+    def _default_pressure(self) -> float:
+        guard = self._engine.guard if self._engine is not None else None
+        if guard is None:
+            return 0.0
+        queues = getattr(guard, "ingress_queues", None)
+        if queues is None:
+            return 0.0
+        return float(sum(q.size for q in queues()))
+
+    def _poll_shedding(self) -> None:
+        assert self._shedder is not None
+        if self.config.pressure is not None:
+            pressure = float(self.config.pressure(self))
+        else:
+            pressure = self._default_pressure()
+        populated = {
+            name: spec
+            for name, spec in self._tenants.items()
+            if any(q.tenant == name for q in self._queries.values())
+        }
+        losses = {name: self.tenant_loss(name) for name in populated}
+        action = self._shedder.decide(pressure, populated, losses)
+        if action is None:
+            return
+        kind, tenant = action
+        self.shed_log.append((kind, tenant, pressure))
+        self._set_tenant_suspended(tenant, kind == "shed")
+
+    def _set_tenant_suspended(self, tenant: str, flag: bool) -> None:
+        changed = False
+        self._flush_all_buffers()
+        for q in self._queries.values():
+            if q.tenant != tenant or q.suspended == flag:
+                continue
+            if flag and self._started:
+                assert self._engine is not None
+                if q.output in self._engine.plan.outputs:
+                    q.frozen.extend(self._engine.peek_output(q.output))
+            q.suspended = flag
+            changed = True
+        if changed and self._started:
+            self._migrate()
+
+    @property
+    def shed_tenants(self) -> list[str]:
+        """Tenants currently shed, in shed order."""
+        return list(self._shedder.shed) if self._shedder else []
+
+    # -- results -----------------------------------------------------------
+
+    def finish(self) -> ServiceResult:
+        """Flush everything and return per-query results and metrics."""
+        if not self._started:
+            raise ServiceError("StandingQueryService.finish() before start()")
+        self._flush_all_buffers()
+        assert self._engine is not None
+        run: RunResult = self._engine.finish()
+        self._started = False
+        queries: dict[int, QueryResult] = {}
+        reportable = dict(self._retired)
+        reportable.update(self._queries)
+        for qid in sorted(reportable):
+            q = reportable[qid]
+            live = run.outputs.get(q.output, [])
+            queries[qid] = QueryResult(
+                qid=qid,
+                query=q.text,
+                tenant=q.tenant,
+                outputs=list(q.frozen) + list(live),
+                delivered=q.delivered,
+                shed=q.shed,
+                operator_names=list(q.op_names),
+                metrics=run.metrics,
+            )
+        return ServiceResult(
+            queries=queries,
+            metrics=run.metrics,
+            dropped=run.dropped,
+            shed_log=list(self.shed_log),
+            stats=self.stats(),
+        )
+
+    def run(
+        self, sources: Sequence[Source] | Mapping[str, Source]
+    ) -> ServiceResult:
+        """One-shot convenience: start, stream every source, finish.
+
+        Sources are named by *stream* (catalog) name and interleaved in
+        global ``(ts, seq)`` order, exactly as :meth:`Engine.run` does.
+        """
+        if isinstance(sources, Mapping):
+            by_name = dict(sources)
+        else:
+            by_name = {src.name: src for src in sources}
+        self.start()
+        if len(by_name) == 1:
+            only = next(iter(by_name.values()))
+            merged: Iterable = ((only.name, el) for el in only.events())
+        else:
+            merged = merge_sources(*by_name.values())
+        for name, element in merged:
+            self.feed(name, element)
+        return self.finish()
+
+    def stats(self) -> dict:
+        """Sharing effectiveness of the current merged DAG."""
+        plan_ops = (
+            len(self._engine.plan.operators)
+            if self._engine is not None
+            else 0
+        )
+        return {
+            "queries": len(self._queries),
+            "routes": len(self._routes),
+            "plan_operators": plan_ops,
+            "isolated_operators": sum(
+                q.isolated_ops for q in self._queries.values()
+            ),
+            "index": {
+                source: index.stats()
+                for source, index in sorted(self._indexes.items())
+            },
+        }

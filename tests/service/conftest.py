@@ -1,0 +1,116 @@
+"""Shared fixtures for the standing-query service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import Engine
+from repro.core.stream import ListSource, Punctuation, records_from_dicts
+from repro.core.tuples import Field, Schema
+from repro.cql.parser import parse
+from repro.cql.planner import plan_stmt
+from repro.cql.registry import Catalog
+
+
+def pkts_schema() -> Schema:
+    return Schema(
+        [
+            Field("ts", float),
+            Field("src", str),
+            Field("dst", str),
+            Field("len", int),
+        ],
+        ordering="ts",
+        name="pkts",
+    )
+
+
+def flows_schema() -> Schema:
+    return Schema(
+        [Field("ts", float), Field("src", str), Field("bytes", int)],
+        ordering="ts",
+        name="flows",
+    )
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    cat = Catalog()
+    cat.register_stream("pkts", pkts_schema())
+    cat.register_stream("flows", flows_schema())
+    return cat
+
+
+def make_pkt_rows(n: int = 120) -> list[dict]:
+    return [
+        {
+            "ts": float(i),
+            "src": "abc"[i % 3],
+            "dst": "xy"[i % 2],
+            "len": (i * 7) % 23,
+        }
+        for i in range(n)
+    ]
+
+
+def make_flow_rows(n: int = 40) -> list[dict]:
+    return [
+        {"ts": float(i) + 0.5, "src": "abc"[i % 3], "bytes": i * 10}
+        for i in range(n)
+    ]
+
+
+@pytest.fixture
+def pkt_rows() -> list[dict]:
+    return make_pkt_rows()
+
+
+@pytest.fixture
+def flow_rows() -> list[dict]:
+    return make_flow_rows()
+
+
+def pkt_elements(rows: list[dict], punct_every: int | None = None) -> list:
+    """Records (optionally interleaved with time-bound punctuations)."""
+    elements: list = []
+    for i, rec in enumerate(records_from_dicts(rows, ts_attr="ts")):
+        elements.append(rec)
+        if punct_every and (i + 1) % punct_every == 0:
+            elements.append(
+                Punctuation.of({"ts": (None, rec.ts)}, ts=rec.ts)
+            )
+    return elements
+
+
+def fresh_sources(
+    pkt_rows: list[dict],
+    flow_rows: list[dict] | None = None,
+    punct_every: int | None = None,
+) -> list[ListSource]:
+    """New source objects per call — sources are single-use iterables."""
+    sources = [ListSource("pkts", pkt_elements(pkt_rows, punct_every))]
+    if flow_rows is not None:
+        sources.append(
+            ListSource("flows", records_from_dicts(flow_rows, ts_attr="ts"))
+        )
+    return sources
+
+
+def isolated_outputs(
+    query: str,
+    catalog: Catalog,
+    pkt_rows: list[dict],
+    flow_rows: list[dict] | None = None,
+    batch_size=None,
+    punct_every: int | None = None,
+) -> list:
+    """Reference run: the query alone on its own dedicated engine."""
+    plan = plan_stmt(parse(query), catalog)
+    engine = Engine(plan, batch_size=batch_size)
+    sources = [
+        src
+        for src in fresh_sources(pkt_rows, flow_rows, punct_every)
+        if src.name in plan.inputs
+    ]
+    result = engine.run(sources)
+    return result.outputs["out"]

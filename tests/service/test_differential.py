@@ -1,0 +1,248 @@
+"""Differential certification of the standing-query service.
+
+The service's contract is exact multi-query execution: N queries
+registered jointly and executed as one merged DAG must produce, for
+every query, the element-identical output sequence of that query
+running alone on its own engine.  Every test here runs both sides and
+compares ``==`` over the full element lists (records *and*
+punctuations, values, timestamps, order) across sharing patterns,
+micro-batch sizes, and registration orders.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceConfig, StandingQueryService
+
+from tests.service.conftest import fresh_sources, isolated_outputs
+
+# One entry per overlap pattern the sharing machinery distinguishes:
+# no sharing at all, full chain collapse, shared stateful prefix with
+# divergent suffixes, and pane-compatible tumbling windows.
+PATTERNS = {
+    "disjoint": [
+        "select src, len from pkts where len > 10",
+        "select dst from pkts where src = 'a'",
+        "select src, bytes from flows where bytes > 50",
+    ],
+    "identical": [
+        "select tb, count(*) as n from pkts where len > 5 group by ts/10 as tb",
+        "select tb, count(*) as n from pkts where len > 5 group by ts/10 as tb",
+        "select tb, count(*) as n from pkts where len > 5 group by ts/10 as tb",
+    ],
+    "partial-prefix": [
+        "select tb, src, count(*) as n, sum(len) as s from pkts"
+        " where len > 3 group by ts/10 as tb, src",
+        "select src, tb, sum(len) as s from pkts"
+        " where len > 3 group by ts/10 as tb, src",
+        "select tb, src, count(*) as n, sum(len) as s from pkts"
+        " where len > 3 group by ts/10 as tb, src having count(*) > 2",
+    ],
+    "compatible-window": [
+        "select tb, count(*) as n, sum(len) as s from pkts"
+        " where len > 2 group by ts/10 as tb",
+        "select tb, count(*) as n, sum(len) as s from pkts"
+        " where len > 2 group by ts/15 as tb",
+        "select tb, count(*) as n, sum(len) as s from pkts"
+        " where len > 2 group by ts/20 as tb",
+    ],
+}
+
+
+def run_joint(queries, catalog, pkt_rows, flow_rows, batch_size=None):
+    service = StandingQueryService(
+        catalog, ServiceConfig(batch_size=batch_size)
+    )
+    handles = [service.register(q) for q in queries]
+    result = service.run(fresh_sources(pkt_rows, flow_rows))
+    return service, handles, result
+
+
+class TestOverlapPatterns:
+    @pytest.mark.parametrize("batch_size", [1, 256])
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_joint_equals_isolated(
+        self, pattern, batch_size, catalog, pkt_rows, flow_rows
+    ):
+        queries = PATTERNS[pattern]
+        _service, handles, result = run_joint(
+            queries, catalog, pkt_rows, flow_rows, batch_size
+        )
+        for handle, query in zip(handles, queries):
+            expected = isolated_outputs(
+                query, catalog, pkt_rows, flow_rows, batch_size=batch_size
+            )
+            assert result.query(handle).outputs == expected, (
+                f"{pattern!r} (batch={batch_size}): {query}"
+            )
+
+    @pytest.mark.parametrize("pattern", sorted(PATTERNS))
+    def test_registration_order_is_irrelevant(
+        self, pattern, catalog, pkt_rows, flow_rows
+    ):
+        queries = PATTERNS[pattern]
+        _s, handles_fwd, fwd = run_joint(
+            queries, catalog, pkt_rows, flow_rows
+        )
+        _s, handles_rev, rev = run_joint(
+            list(reversed(queries)), catalog, pkt_rows, flow_rows
+        )
+        for h_f, h_r in zip(handles_fwd, reversed(handles_rev)):
+            assert fwd.query(h_f).outputs == rev.query(h_r).outputs
+
+    def test_identical_queries_share_the_whole_chain(
+        self, catalog, pkt_rows
+    ):
+        queries = PATTERNS["identical"]
+        service, _handles, result = run_joint(
+            queries, catalog, pkt_rows, None
+        )
+        # 3 queries, but the merged plan holds exactly one chain.
+        single = isolated_outputs(queries[0], catalog, pkt_rows)
+        stats = result.stats
+        assert stats["plan_operators"] < stats["isolated_operators"]
+        assert stats["routes"] == 1
+        assert single  # the pattern actually produces output
+
+    def test_compatible_windows_share_one_pane_operator(
+        self, catalog, pkt_rows
+    ):
+        queries = PATTERNS["compatible-window"]
+        service = StandingQueryService(catalog)
+        for q in queries:
+            service.register(q)
+        service.start()
+        kinds = [
+            type(op).__name__
+            for op in service._engine.plan.operators
+        ]
+        # one shared PaneAggregate, one PaneMerge per distinct width
+        assert kinds.count("PaneAggregate") == 1
+        assert kinds.count("PaneMerge") == 3
+        service.finish()
+
+
+class TestPunctuatedStreams:
+    @pytest.mark.parametrize("batch_size", [1, 256])
+    def test_punctuations_flow_identically(
+        self, batch_size, catalog, pkt_rows
+    ):
+        queries = PATTERNS["compatible-window"] + [
+            "select src, len from pkts where len > 10"
+        ]
+        service = StandingQueryService(
+            catalog, ServiceConfig(batch_size=batch_size)
+        )
+        handles = [service.register(q) for q in queries]
+        result = service.run(fresh_sources(pkt_rows, punct_every=17))
+        for handle, query in zip(handles, queries):
+            expected = isolated_outputs(
+                query,
+                catalog,
+                pkt_rows,
+                batch_size=batch_size,
+                punct_every=17,
+            )
+            assert result.query(handle).outputs == expected, query
+
+
+class TestJoinFallback:
+    def test_join_triple_runs_privately_but_exactly(
+        self, catalog, pkt_rows, flow_rows
+    ):
+        queries = [
+            "select p.src, len, bytes from pkts p, flows f"
+            " where p.src = f.src",
+            "select tb, count(*) as n from pkts"
+            " where len > 5 group by ts/10 as tb",
+            "select src, bytes from flows where bytes > 100",
+        ]
+        service, handles, result = run_joint(
+            queries, catalog, pkt_rows, flow_rows
+        )
+        assert not handles[0].shared and handles[1].shared
+        for handle, query in zip(handles, queries):
+            expected = isolated_outputs(
+                query, catalog, pkt_rows, flow_rows
+            )
+            assert result.query(handle).outputs == expected, query
+
+
+class TestLiveMigration:
+    def test_mid_stream_registration_sees_only_the_suffix(
+        self, catalog, pkt_rows
+    ):
+        early = (
+            "select tb, count(*) as n from pkts"
+            " where len > 5 group by ts/10 as tb"
+        )
+        late = (
+            "select tb, sum(len) as s from pkts"
+            " where len > 5 group by ts/10 as tb"
+        )
+        service = StandingQueryService(catalog)
+        h_early = service.register(early)
+        service.start()
+        split = 60
+        from repro.core.stream import records_from_dicts
+
+        for rec in records_from_dicts(pkt_rows[:split], ts_attr="ts"):
+            service.feed("pkts", rec)
+        h_late = service.register(late)
+        for rec in records_from_dicts(
+            pkt_rows[split:], ts_attr="ts", start_seq=split
+        ):
+            service.feed("pkts", rec)
+        result = service.finish()
+        assert result.query(h_early).outputs == isolated_outputs(
+            early, catalog, pkt_rows
+        )
+        # The late query must behave as if its stream began at the
+        # registration point — no inherited aggregate state.
+        from repro.core.engine import Engine
+        from repro.core.stream import ListSource
+        from repro.cql.parser import parse
+        from repro.cql.planner import plan_stmt
+
+        suffix = Engine(plan_stmt(parse(late), catalog)).run(
+            [
+                ListSource(
+                    "pkts",
+                    records_from_dicts(
+                        pkt_rows[split:], ts_attr="ts", start_seq=split
+                    ),
+                )
+            ]
+        )
+        assert result.query(h_late).outputs == suffix.outputs["out"]
+
+    def test_deregistration_freezes_output_and_spares_the_rest(
+        self, catalog, pkt_rows
+    ):
+        keep = (
+            "select tb, count(*) as n from pkts"
+            " where len > 5 group by ts/10 as tb"
+        )
+        drop = "select src, len from pkts where len > 5"
+        service = StandingQueryService(catalog)
+        h_keep = service.register(keep)
+        h_drop = service.register(drop)
+        service.start()
+        from repro.core.stream import records_from_dicts
+
+        split = 70
+        for rec in records_from_dicts(pkt_rows[:split], ts_attr="ts"):
+            service.feed("pkts", rec)
+        service.deregister(h_drop)
+        for rec in records_from_dicts(
+            pkt_rows[split:], ts_attr="ts", start_seq=split
+        ):
+            service.feed("pkts", rec)
+        result = service.finish()
+        assert result.query(h_keep).outputs == isolated_outputs(
+            keep, catalog, pkt_rows
+        )
+        assert result.query(h_drop).outputs == isolated_outputs(
+            drop, catalog, pkt_rows[:split]
+        )

@@ -1,0 +1,213 @@
+"""Property layer for the standing-query service.
+
+Hypothesis drives three invariants the differential suite only spot
+checks: registration order never matters, deregistering one query
+mid-stream never perturbs any other query's output, and the predicate
+index is an exact (not approximate) accelerator — probing returns
+precisely the brute-force scan's matches for every record.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tuples import Record
+from repro.cql.ast import split_conjuncts
+from repro.cql.parser import parse
+from repro.cql.semantic import compile_expr, resolve_stmt
+from repro.service import (
+    PredicateIndex,
+    ServiceConfig,
+    StandingQueryService,
+)
+
+from tests.service.conftest import (
+    fresh_sources,
+    isolated_outputs,
+    make_pkt_rows,
+)
+
+# A pool mixing every sharing relationship: identical pairs, shared
+# aggregation prefixes, pane-compatible windows, and plain selections.
+QUERY_POOL = [
+    "select src, len from pkts where len > 10",
+    "select src, len from pkts where len > 10",
+    "select tb, count(*) as n from pkts where len > 4 group by ts/10 as tb",
+    "select tb, sum(len) as s from pkts where len > 4 group by ts/10 as tb",
+    "select tb, count(*) as n from pkts where len > 4 group by ts/15 as tb",
+    "select dst from pkts where src = 'b'",
+    "select * from pkts where len < 3",
+]
+
+ROWS = make_pkt_rows(80)
+
+
+class TestRegistrationOrderInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        order=st.permutations(range(len(QUERY_POOL))),
+        batch_size=st.sampled_from([None, 1, 256]),
+    )
+    def test_outputs_do_not_depend_on_registration_order(
+        self, order, batch_size
+    ):
+        from tests.service.conftest import flows_schema, pkts_schema
+        from repro.cql.registry import Catalog
+
+        catalog = Catalog()
+        catalog.register_stream("pkts", pkts_schema())
+        catalog.register_stream("flows", flows_schema())
+        service = StandingQueryService(
+            catalog, ServiceConfig(batch_size=batch_size)
+        )
+        handles = {i: service.register(QUERY_POOL[i]) for i in order}
+        result = service.run(fresh_sources(ROWS))
+        for i, query in enumerate(QUERY_POOL):
+            expected = isolated_outputs(
+                query, catalog, ROWS, batch_size=batch_size
+            )
+            assert result.query(handles[i]).outputs == expected, query
+
+
+class TestDeregistrationInvariance:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        victim=st.integers(min_value=0, max_value=len(QUERY_POOL) - 1),
+        split=st.integers(min_value=0, max_value=len(ROWS)),
+    )
+    def test_mid_stream_deregistration_spares_every_other_query(
+        self, victim, split
+    ):
+        from tests.service.conftest import flows_schema, pkts_schema
+        from repro.core.stream import records_from_dicts
+        from repro.cql.registry import Catalog
+
+        catalog = Catalog()
+        catalog.register_stream("pkts", pkts_schema())
+        catalog.register_stream("flows", flows_schema())
+        service = StandingQueryService(catalog)
+        handles = [service.register(q) for q in QUERY_POOL]
+        service.start()
+        for rec in records_from_dicts(ROWS[:split], ts_attr="ts"):
+            service.feed("pkts", rec)
+        service.deregister(handles[victim])
+        for rec in records_from_dicts(
+            ROWS[split:], ts_attr="ts", start_seq=split
+        ):
+            service.feed("pkts", rec)
+        result = service.finish()
+        for i, query in enumerate(QUERY_POOL):
+            if i == victim:
+                continue
+            expected = isolated_outputs(query, catalog, ROWS)
+            assert result.query(handles[i]).outputs == expected, query
+
+
+# -- predicate index ------------------------------------------------------
+
+_CONDITIONS = [
+    "len > {v}",
+    "len >= {v}",
+    "len < {v}",
+    "len <= {v}",
+    "len = {v}",
+    "src = '{s}'",
+    "len > {v} and src = '{s}'",
+    "len + 0 > {v}",  # un-anchorable: lands in the scan bucket
+    "{v} < len",  # literal on the left: flipped anchor
+]
+
+
+def _build_index(specs, catalog):
+    """specs: list of (condition template already formatted | None)."""
+    index = PredicateIndex()
+    for i, cond in enumerate(specs):
+        text = f"select * from pkts where {cond}" if cond else (
+            "select * from pkts"
+        )
+        stmt = parse(text)
+        resolved = resolve_stmt(stmt, catalog)
+        predicate = (
+            compile_expr(stmt.where, resolved.resolver, catalog)
+            if stmt.where is not None
+            else None
+        )
+        index.add(f"r{i}", split_conjuncts(stmt.where), predicate)
+    return index
+
+
+@st.composite
+def predicate_specs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    specs = []
+    for _ in range(n):
+        template = draw(st.sampled_from(_CONDITIONS + [None]))
+        if template is None:
+            specs.append(None)
+            continue
+        v = draw(st.integers(min_value=-2, max_value=25))
+        s = draw(st.sampled_from("abc"))
+        specs.append(template.format(v=v, s=s))
+    return specs
+
+
+class TestPredicateIndexExactness:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        specs=predicate_specs(),
+        records=st.lists(
+            st.tuples(
+                st.integers(min_value=-2, max_value=25),
+                st.sampled_from("abcd"),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_probe_equals_brute_force(self, specs, records):
+        from tests.service.conftest import flows_schema, pkts_schema
+        from repro.cql.registry import Catalog
+
+        catalog = Catalog()
+        catalog.register_stream("pkts", pkts_schema())
+        catalog.register_stream("flows", flows_schema())
+        index = _build_index(specs, catalog)
+        for i, (length, src) in enumerate(records):
+            record = Record(
+                {"ts": float(i), "src": src, "dst": "x", "len": length},
+                ts=float(i),
+                seq=i,
+            )
+            assert sorted(index.probe(record)) == sorted(
+                index.brute_force(record)
+            )
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        specs=predicate_specs(),
+        removals=st.lists(st.integers(min_value=0, max_value=11), max_size=6),
+    )
+    def test_probe_stays_exact_under_removal(self, specs, removals):
+        from tests.service.conftest import flows_schema, pkts_schema
+        from repro.cql.registry import Catalog
+
+        catalog = Catalog()
+        catalog.register_stream("pkts", pkts_schema())
+        catalog.register_stream("flows", flows_schema())
+        index = _build_index(specs, catalog)
+        for r in removals:
+            rid = f"r{r % len(specs)}"
+            try:
+                index.remove(rid)
+            except Exception:
+                pass  # already removed
+        for length in (-2, 0, 3, 11, 25):
+            record = Record(
+                {"ts": 0.0, "src": "a", "dst": "x", "len": length},
+                ts=0.0,
+                seq=0,
+            )
+            assert sorted(index.probe(record)) == sorted(
+                index.brute_force(record)
+            )

@@ -1,0 +1,302 @@
+"""Service building blocks: namespacing, migration, panes, results.
+
+Regression anchor for the operator-name collision bug: merging two
+compiled query plans naively puts two operators named ``select_1`` in
+one DAG, so per-operator metrics (and everything built on them —
+``rate_operator_from_metrics``, the adaptive controller) silently
+aggregate across queries.  The service namespaces every operator name;
+``Plan.ensure_unique_names`` now rejects the naive merge outright.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregates.spec import AggSpec
+from repro.core.engine import Engine
+from repro.core.graph import Plan
+from repro.core.stream import ListSource, records_from_dicts
+from repro.core.tuples import Punctuation, Record
+from repro.cql.parser import parse
+from repro.cql.planner import plan_stmt
+from repro.errors import PlanError, ServiceError
+from repro.gigascope.decompose import shared_pane_width
+from repro.operators.aggregate import WindowedAggregate
+from repro.operators.base import Operator
+from repro.operators.select import Select
+from repro.optimizer.rate_based import rate_operator_from_metrics
+from repro.service import (
+    PaneAggregate,
+    PaneMerge,
+    ServiceConfig,
+    StandingQueryService,
+    pane_safe,
+)
+from repro.windows.spec import TumblingWindow
+
+from tests.service.conftest import (
+    fresh_sources,
+    isolated_outputs,
+    make_pkt_rows,
+)
+
+
+class TestMetricsNamespacing:
+    """Satellite fix: per-query operator names in shared DAGs."""
+
+    PREFIX_PAIR = [
+        "select tb, count(*) as n from pkts where len > 3"
+        " group by ts/10 as tb",
+        "select count(*) as n from pkts where len > 3"
+        " group by ts/10 as tb",
+    ]
+
+    def test_naive_plan_merge_collides_and_is_rejected(self, catalog):
+        merged = Plan("naive")
+        merged.add_input("pkts")
+        for query in self.PREFIX_PAIR:
+            sub = plan_stmt(parse(query), catalog)
+            for op in sub.topological_order():
+                merged.add(op)
+            for _iname, consumers in sub.inputs.items():
+                for consumer, port in consumers:
+                    merged.connect("pkts", consumer, port)
+            for op in sub.operators:
+                for consumer, port in sub.successors(op):
+                    merged.connect(op, consumer, port)
+        # Both compiled plans name their operators select_1,
+        # window_aggregate_2, ... — the naive merge is ambiguous.
+        names = [op.name for op in merged.operators]
+        assert len(set(names)) < len(names)
+        with pytest.raises(PlanError, match="colliding operator names"):
+            merged.ensure_unique_names()
+
+    def test_service_plan_names_are_unique_and_metrics_split(
+        self, catalog, pkt_rows
+    ):
+        service = StandingQueryService(catalog)
+        h1 = service.register(self.PREFIX_PAIR[0])
+        h2 = service.register(self.PREFIX_PAIR[1])
+        result = service.run(fresh_sources(pkt_rows))
+        q1, q2 = result.query(h1), result.query(h2)
+        names = set(q1.operator_names) | set(q2.operator_names)
+        assert len(names) == len(q1.operator_names) + len(
+            q2.operator_names
+        ) - len(set(q1.operator_names) & set(q2.operator_names))
+        # The queries share their aggregate but own their projections.
+        shared = set(q1.operator_names) & set(q2.operator_names)
+        assert shared  # the common stateful prefix
+        assert set(q1.operator_names) != set(q2.operator_names)
+        # Every named operator has its own (un-collided) metrics row
+        # usable by the rate-based optimizer.
+        for name in sorted(names):
+            metrics = result.metrics.operators[name]
+            rate_op = rate_operator_from_metrics(
+                name, metrics, fallback_capacity=1000.0
+            )
+            assert rate_op.name == name
+        # Cross-check: the shared aggregate processed each record once.
+        agg = next(n for n in shared if ":aggregate:" in n or ":pane" in n)
+        expected = isolated_outputs(self.PREFIX_PAIR[0], catalog, pkt_rows)
+        assert q1.outputs == expected
+        assert result.metrics.operators[agg].records_in == q1.delivered
+
+
+class TestMigrateAllowIOChanges:
+    def _plan(self, input_name, output_name, threshold):
+        plan = Plan(f"p-{output_name}")
+        plan.add_input(input_name)
+        select = Select(
+            lambda r, t=threshold: r["v"] > t, name=f"sel:{output_name}"
+        )
+        plan.add(select, upstream=[input_name])
+        plan.mark_output(select, output_name)
+        return plan
+
+    def test_surviving_output_keeps_elements_new_starts_empty(self):
+        plan_a = self._plan("in_a", "out_a", 0)
+        engine = Engine(plan_a)
+        engine.start()
+        for i in range(4):
+            engine.feed("in_a", Record({"v": i + 1}, ts=float(i), seq=i))
+        before = list(engine.peek_output("out_a"))
+        assert len(before) == 4
+
+        merged = Plan("merged")
+        merged.add_input("in_a")
+        merged.add_input("in_b")
+        keep = Select(lambda r: r["v"] > 0, name="sel:out_a")
+        new = Select(lambda r: r["v"] > 10, name="sel:out_b")
+        merged.add(keep, upstream=["in_a"])
+        merged.add(new, upstream=["in_b"])
+        merged.mark_output(keep, "out_a")
+        merged.mark_output(new, "out_b")
+        engine.migrate_plan(merged, allow_io_changes=True)
+
+        assert engine.peek_output("out_a") == before
+        assert engine.peek_output("out_b") == []
+        engine.feed("in_b", Record({"v": 99}, ts=9.0, seq=9))
+        assert len(engine.peek_output("out_b")) == 1
+        result = engine.finish()
+        assert len(result.outputs["out_a"]) == 4
+
+    def test_default_migration_still_rejects_io_changes(self):
+        plan_a = self._plan("in_a", "out_a", 0)
+        engine = Engine(plan_a)
+        engine.start()
+        plan_b = self._plan("in_b", "out_a", 0)
+        with pytest.raises(PlanError):
+            engine.migrate_plan(plan_b)
+        engine.finish()
+
+
+class TestSharedPaneWidth:
+    def test_gcd_of_compatible_widths(self):
+        assert shared_pane_width([60.0, 90.0]) == 30.0
+        assert shared_pane_width([10.0, 15.0, 20.0]) == 5.0
+        assert shared_pane_width([10.0]) == 10.0
+
+    def test_incompatible_or_degenerate_widths(self):
+        assert shared_pane_width([]) is None
+        assert shared_pane_width([60.0, 0.0]) is None
+        assert shared_pane_width([1.0, 0.3]) is None  # no exact divisor
+
+    def test_pane_safety_classification(self):
+        assert pane_safe([AggSpec("n", "count"), AggSpec("s", "sum", "v")])
+        assert not pane_safe([AggSpec("f", "first", "v")])
+
+
+def _direct_plan(width):
+    plan = Plan("direct")
+    plan.add_input("S")
+    agg = WindowedAggregate(
+        TumblingWindow(width),
+        ["g"],
+        [AggSpec("n", "count"), AggSpec("s", "sum", "v")],
+        name="direct_agg",
+    )
+    plan.add(agg, upstream=["S"])
+    plan.mark_output(agg, "out")
+    return plan
+
+
+def _pane_plan(pane_width, widths):
+    plan = Plan("paned")
+    plan.add_input("S")
+    pane = PaneAggregate(
+        TumblingWindow(pane_width),
+        ["g"],
+        [AggSpec("n", "count"), AggSpec("s", "sum", "v")],
+        name="pane",
+    )
+    plan.add(pane, upstream=["S"])
+    outputs = []
+    for width in widths:
+        merge = PaneMerge(
+            TumblingWindow(width),
+            ["g"],
+            [AggSpec("n", "count"), AggSpec("s", "sum", "v")],
+            name=f"merge:{width}",
+        )
+        plan.add(merge, upstream=[pane])
+        plan.mark_output(merge, f"w{width}")
+        outputs.append(f"w{width}")
+    return plan, outputs
+
+
+def _stream(gaps=False, late=False, puncts=False):
+    elements = []
+    ts_values = list(range(40))
+    if gaps:
+        # leave whole panes empty between bursts
+        ts_values = [t for t in ts_values if (t // 5) % 3 != 1]
+    seq = 0
+    for t in ts_values:
+        elements.append(
+            Record({"g": "ab"[t % 2], "v": t % 7}, ts=float(t), seq=seq)
+        )
+        seq += 1
+        if late and t % 11 == 0 and t > 0:
+            elements.append(
+                Record({"g": "a", "v": 1}, ts=float(t) - 1.5, seq=seq)
+            )
+            seq += 1
+        if puncts and t % 13 == 12:
+            elements.append(
+                Punctuation.of({"ts": (None, float(t))}, ts=float(t))
+            )
+    return elements
+
+
+class TestPaneDecomposition:
+    @pytest.mark.parametrize("batch_size", [None, 1, 7, 256])
+    @pytest.mark.parametrize(
+        "shape",
+        ["plain", "gaps", "late", "puncts", "everything"],
+    )
+    def test_pane_merge_matches_direct_aggregate(self, shape, batch_size):
+        kwargs = {
+            "plain": {},
+            "gaps": {"gaps": True},
+            "late": {"late": True},
+            "puncts": {"puncts": True},
+            "everything": {"gaps": True, "late": True, "puncts": True},
+        }[shape]
+        widths = [10.0, 15.0]
+        paned, outputs = _pane_plan(5.0, widths)
+        pane_result = Engine(paned, batch_size=batch_size).run(
+            [ListSource("S", _stream(**kwargs), strict_order=False)]
+        )
+        for width, output in zip(widths, outputs):
+            direct = Engine(_direct_plan(width), batch_size=batch_size).run(
+                [ListSource("S", _stream(**kwargs), strict_order=False)]
+            )
+            assert pane_result.outputs[output] == direct.outputs["out"], (
+                f"width={width} shape={shape} batch={batch_size}"
+            )
+
+
+class TestResultsAndStats:
+    def test_query_result_helpers_and_sharing_stats(
+        self, catalog, pkt_rows
+    ):
+        queries = [
+            "select tb, count(*) as n from pkts where len > 3"
+            " group by ts/10 as tb",
+            "select tb, count(*) as n from pkts where len > 3"
+            " group by ts/10 as tb",
+            "select src from pkts where len > 20",
+        ]
+        service = StandingQueryService(catalog, ServiceConfig(batch_size=8))
+        handles = [service.register(q) for q in queries]
+        result = service.run(fresh_sources(pkt_rows, punct_every=25))
+        q0 = result.query(handles[0])
+        assert q0.values() == [r.values for r in q0.records()]
+        assert all(
+            isinstance(p, Punctuation) for p in q0.punctuations()
+        )
+        assert q0.delivered > 0 and q0.shed == 0
+        stats = result.stats
+        assert stats["queries"] == 3
+        assert stats["routes"] == 2
+        assert stats["plan_operators"] < stats["isolated_operators"]
+        assert stats["index"]["pkts"]["routes"] == 2
+        with pytest.raises(ServiceError, match="unknown query"):
+            result.query(42)
+
+    def test_all_queries_deregistered_leaves_a_drainable_service(
+        self, catalog, pkt_rows
+    ):
+        service = StandingQueryService(catalog)
+        handle = service.register("select src from pkts where len > 5")
+        service.start()
+        rows = records_from_dicts(pkt_rows, ts_attr="ts")
+        for rec in rows[:30]:
+            service.feed("pkts", rec)
+        service.deregister(handle)
+        for rec in rows[30:]:
+            service.feed("pkts", rec)  # routed nowhere, must not raise
+        result = service.finish()
+        assert result.query(handle).outputs == isolated_outputs(
+            "select src from pkts where len > 5", catalog, pkt_rows[:30]
+        )

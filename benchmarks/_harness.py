@@ -1,0 +1,86 @@
+"""Shared measurement harness for the milestone benchmarks.
+
+Every ``bench_m*.py`` used to carry its own copy of the same three
+idioms — a best-of-N ``perf_counter`` loop, an interleaved variant for
+config ladders (so drift hits every configuration equally), and the
+strict-JSON baseline writer (``allow_nan=False``, two-space indent,
+trailing newline).  They live here now; the benches import them.
+
+Timing conventions:
+
+* **best-of, not mean-of** — these benches quantify the *capability* of
+  a code path on a noisy shared machine; the minimum over repeats is
+  the standard estimator for that (it discards scheduler noise, which
+  is strictly additive).
+* **warmup runs are discarded** — the first execution pays allocator
+  and bytecode-cache effects the steady state doesn't.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def best_of(
+    fn: Callable[[], Any], repeats: int = 3, warmup: int = 0
+) -> tuple[float, Any]:
+    """``(best_seconds, last_result)`` of ``fn()`` over ``repeats`` runs."""
+    for _ in range(warmup):
+        fn()
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def throughput(
+    fn: Callable[[], Any], n: int, repeats: int = 3, warmup: int = 0
+) -> float:
+    """Best-of-``repeats`` items/sec for a run that processes ``n`` items."""
+    best, _ = best_of(fn, repeats=repeats, warmup=warmup)
+    return n / best
+
+
+def interleaved_best(
+    runs: Mapping[str, Callable[[], Any]],
+    repeats: int = 5,
+    warmup: int = 0,
+) -> dict[str, float]:
+    """Best-of seconds per named run, *interleaved* across repeats.
+
+    Round-robin order means thermal / load drift during the measurement
+    biases every configuration equally instead of penalizing whichever
+    one happens to run last.
+    """
+    for _ in range(warmup):
+        for fn in runs.values():
+            fn()
+    best = {name: float("inf") for name in runs}
+    for _ in range(repeats):
+        for name, fn in runs.items():
+            t0 = time.perf_counter()
+            fn()
+            best[name] = min(best[name], time.perf_counter() - t0)
+    return best
+
+
+def baseline_path(filename: str, path: str | Path | None = None) -> Path:
+    """Resolve a baseline file: explicit ``path`` wins, else repo root."""
+    return Path(path) if path is not None else REPO_ROOT / filename
+
+
+def write_baseline(
+    filename: str, payload: dict, path: str | Path | None = None
+) -> dict:
+    """Write ``payload`` as strict JSON (no NaN/Inf) and return it."""
+    baseline_path(filename, path).write_text(
+        json.dumps(payload, indent=2, allow_nan=False) + "\n"
+    )
+    return payload

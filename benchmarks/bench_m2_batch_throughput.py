@@ -20,10 +20,10 @@ from __future__ import annotations
 
 import json
 import time
-from pathlib import Path
 
 import pytest
 
+from _harness import throughput, write_baseline
 from repro.core import ListSource, Record, run_plan
 from repro.core.graph import linear_plan
 from repro.operators import AggSpec, Aggregate, Select, WindowedAggregate
@@ -99,13 +99,11 @@ def measure_throughput(
     plan, source: ListSource, batch_size: int | None, repeats: int = 3
 ) -> float:
     """Best-of-``repeats`` tuples/sec over the pre-stamped source."""
-    n = len(source)
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        run_plan(plan, [source], batch_size=batch_size)
-        best = min(best, time.perf_counter() - t0)
-    return n / best
+    return throughput(
+        lambda: run_plan(plan, [source], batch_size=batch_size),
+        len(source),
+        repeats=repeats,
+    )
 
 
 def batch_scaling(n: int = N, repeats: int = 3) -> dict[str, dict[str, float]]:
@@ -212,10 +210,8 @@ def _m1_baseline(n: int = 5000) -> dict[str, float]:
     }
 
 
-def record_baseline(path: str | Path | None = None) -> dict:
+def record_baseline(path=None) -> dict:
     """Write the M1+M2 throughput baseline for future PRs to diff against."""
-    if path is None:
-        path = Path(__file__).resolve().parent.parent / "BENCH_m1_m2.json"
     baseline = {
         "n_tuples": N,
         "batch_sizes": BATCH_SIZES,
@@ -226,10 +222,7 @@ def record_baseline(path: str | Path | None = None) -> dict:
     baseline["m2_speedup_256_vs_1"] = {
         w: round(by["256"] / by["1"], 2) for w, by in scaling.items()
     }
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m1_m2.json", baseline, path)
 
 
 if __name__ == "__main__":

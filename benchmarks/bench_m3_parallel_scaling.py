@@ -42,6 +42,7 @@ from repro.core import ListSource, run_plan
 from repro.parallel import RoundRobinPartition, ShardedEngine
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import throughput, write_baseline  # noqa: E402
 from bench_m2_batch_throughput import (  # noqa: E402
     _cdr_source,
     _netflow_source,
@@ -77,13 +78,9 @@ def measure_sharded(
     engine = ShardedEngine(
         plan, RoundRobinPartition(n_shards), backend=backend
     )
-    n = len(source)
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        engine.run([source])
-        best = min(best, time.perf_counter() - t0)
-    return n / best
+    return throughput(
+        lambda: engine.run([source]), len(source), repeats=repeats
+    )
 
 
 def parallel_scaling(
@@ -180,15 +177,18 @@ def test_m3_parallel_scaling_report(report):
 
 def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
     """Write the M3 scaling baseline for future PRs to diff against."""
-    if path is None:
-        path = Path(__file__).resolve().parent.parent / "BENCH_m3.json"
     single = {}
     for name, (make_plan, make_source) in WORKLOADS.items():
         source = make_source(n)
         plan = make_plan()
-        t0 = time.perf_counter()
-        run_plan(plan, [source], batch_size="auto")
-        single[name] = round(n / (time.perf_counter() - t0), 1)
+        single[name] = round(
+            throughput(
+                lambda: run_plan(plan, [source], batch_size="auto"),
+                n,
+                repeats=1,
+            ),
+            1,
+        )
     baseline = {
         "n_tuples": n,
         "cpus": available_cpus(),
@@ -201,10 +201,7 @@ def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
         w: {b: round(by["4"] / by["1"], 2) for b, by in per.items()}
         for w, per in scaling.items()
     }
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m3.json", baseline, path)
 
 
 def smoke(n: int = 2000) -> dict:

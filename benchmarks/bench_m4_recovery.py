@@ -28,10 +28,12 @@ from __future__ import annotations
 import json
 import os
 import sys
-import time
 from pathlib import Path
 
 import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import best_of, write_baseline  # noqa: E402
 
 from repro.core import ListSource, Punctuation, Record, run_plan
 from repro.core.graph import linear_plan
@@ -92,15 +94,6 @@ def _sharded(backend: str) -> ShardedEngine:
     )
 
 
-def _timed(fn, repeats: int = 3):
-    best, result = float("inf"), None
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - t0)
-    return best, result
-
-
 def measure_backend(
     backend: str,
     elements,
@@ -111,7 +104,7 @@ def measure_backend(
     """Clean vs supervised vs crash-recovery wall-clock for one backend."""
     n = sum(1 for el in elements if isinstance(el, Record))
 
-    bare_s, _ = _timed(
+    bare_s, _ = best_of(
         lambda: _sharded(backend).run([_source(elements)]), repeats
     )
 
@@ -120,7 +113,7 @@ def measure_backend(
             [_source(elements)]
         )
 
-    clean_s, clean_result = _timed(clean_supervised, repeats)
+    clean_s, clean_result = best_of(clean_supervised, repeats)
     assert clean_result.outputs == baseline_outputs
 
     def crashed_supervised():
@@ -132,7 +125,7 @@ def measure_backend(
         result = sup.run([_source(elements)])
         return sup.report, result
 
-    crash_s, (report, crash_result) = _timed(crashed_supervised, repeats)
+    crash_s, (report, crash_result) = best_of(crashed_supervised, repeats)
     assert crash_result.outputs == baseline_outputs
     assert report.retries >= 1
 
@@ -164,9 +157,9 @@ def checkpoint_cadence(
             checkpoint_every=every,
             injector=injector,
         )
-        t0 = time.perf_counter()
-        result = sup.run([_source(elements)])
-        elapsed = time.perf_counter() - t0
+        elapsed, result = best_of(
+            lambda: sup.run([_source(elements)]), repeats=1
+        )
         assert result.outputs == baseline_outputs
         results[str(every)] = {
             "crash_run_s": round(elapsed, 4),
@@ -242,8 +235,6 @@ def test_m4_recovery_report(report, workload):
 
 def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
     """Write the M4 recovery baseline for future PRs to diff against."""
-    if path is None:
-        path = Path(__file__).resolve().parent.parent / "BENCH_m4.json"
     elements = recovery_elements(n)
     baseline_outputs = run_plan(recovery_plan(), [_source(elements)]).outputs
     n_epochs = sum(1 for el in elements if isinstance(el, Punctuation))
@@ -266,10 +257,7 @@ def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
             elements, baseline_outputs, crash_epoch
         ),
     }
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m4.json", baseline, path)
 
 
 def smoke(n: int = 4000, epoch_len: int = 250) -> dict:
@@ -284,9 +272,9 @@ def smoke(n: int = 4000, epoch_len: int = 250) -> dict:
         sup = Supervisor(
             _sharded(backend), backoff_base=0.001, injector=injector
         )
-        t0 = time.perf_counter()
-        result = sup.run([_source(elements)])
-        elapsed = time.perf_counter() - t0
+        elapsed, result = best_of(
+            lambda: sup.run([_source(elements)]), repeats=1
+        )
         if result.outputs != baseline_outputs:
             raise AssertionError(
                 f"smoke: {backend} recovered output differs from the "

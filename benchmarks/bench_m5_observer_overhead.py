@@ -25,11 +25,12 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
 
 import pytest
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import best_of, interleaved_best, write_baseline  # noqa: E402
 from bench_m2_batch_throughput import _cdr_source, cdr_plan
 from repro.core import ListSource, run_plan
 from repro.observe import ObserveConfig
@@ -57,13 +58,17 @@ def overhead_ladder(
 ) -> dict[str, float]:
     """Best-of e2e seconds per observe configuration, interleaved."""
     plan = cdr_plan()
-    best = {name: float("inf") for name in _configs()}
-    for _ in range(repeats):
-        for name, cfg in _configs().items():
-            t0 = time.perf_counter()
-            run_plan(plan, [source], batch_size=BATCH, observe=cfg)
-            best[name] = min(best[name], time.perf_counter() - t0)
-    return best
+    return interleaved_best(
+        {
+            name: (
+                lambda cfg=cfg: run_plan(
+                    plan, [source], batch_size=BATCH, observe=cfg
+                )
+            )
+            for name, cfg in _configs().items()
+        },
+        repeats=repeats,
+    )
 
 
 def overhead_pct(best: dict[str, float]) -> dict[str, float]:
@@ -79,11 +84,13 @@ def overhead_pct(best: dict[str, float]) -> dict[str, float]:
 def measure_fidelity(source: ListSource) -> dict:
     """One fully-observed run: wall-time share and measured rates."""
     plan = cdr_plan()
-    t0 = time.perf_counter()
-    result = run_plan(
-        plan, [source], batch_size=BATCH, observe=ObserveConfig(sampling=1)
+    e2e, result = best_of(
+        lambda: run_plan(
+            plan, [source], batch_size=BATCH,
+            observe=ObserveConfig(sampling=1),
+        ),
+        repeats=1,
     )
-    e2e = time.perf_counter() - t0
     summary = result.metrics.summary()
     total_wall = sum(m["wall_time"] for m in summary.values())
     return {
@@ -189,8 +196,6 @@ def test_m5_observer_overhead_report(report):
 
 
 def record_baseline(path: str | Path | None = None) -> dict:
-    if path is None:
-        path = REPO_ROOT / "BENCH_m5.json"
     source = _cdr_source(N)
     best = overhead_ladder(source, repeats=5)
     baseline = {
@@ -201,10 +206,7 @@ def record_baseline(path: str | Path | None = None) -> dict:
         "m5_overhead_pct_vs_off": overhead_pct(best),
         "m5_fidelity_sampling_1": measure_fidelity(source),
     }
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m5.json", baseline, path)
 
 
 if __name__ == "__main__":

@@ -23,8 +23,10 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import interleaved_best, write_baseline  # noqa: E402
 
 from repro.adaptive import AdaptiveConfig, run_adaptive
 from repro.core import ListSource, Punctuation, Record, run_plan
@@ -98,20 +100,21 @@ def compare(n: int = N, repeats: int = 3) -> dict:
     """Best-of wall time for static worst-order vs adaptive, plus the
     migration log and an output-identity check on the final pair."""
     elements = _elements(n)
-    best = {"static_worst": float("inf"), "adaptive": float("inf")}
-    static = adaptive = None
-    migrations: list = []
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        static = _run_static(elements)
-        best["static_worst"] = min(
-            best["static_worst"], time.perf_counter() - t0
-        )
-        t0 = time.perf_counter()
-        adaptive, migrations = _run_adaptive(elements)
-        best["adaptive"] = min(
-            best["adaptive"], time.perf_counter() - t0
-        )
+    state: dict = {}
+
+    def run_static():
+        state["static"] = _run_static(elements)
+
+    def run_adaptive_once():
+        state["adaptive"], state["migrations"] = _run_adaptive(elements)
+
+    best = interleaved_best(
+        {"static_worst": run_static, "adaptive": run_adaptive_once},
+        repeats=repeats,
+    )
+    static = state["static"]
+    adaptive = state["adaptive"]
+    migrations = state["migrations"]
     assert static is not None and adaptive is not None
     if adaptive.outputs != static.outputs:
         raise SystemExit(
@@ -226,14 +229,9 @@ def test_m6_adaptive_payoff(report):
 
 
 def record_baseline(path: str | Path | None = None) -> dict:
-    if path is None:
-        path = REPO_ROOT / "BENCH_m6.json"
     payload = compare(N, repeats=3)
     baseline = {f"m6_{k}": v for k, v in payload.items()}
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m6.json", baseline, path)
 
 
 if __name__ == "__main__":

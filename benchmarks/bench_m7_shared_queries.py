@@ -26,8 +26,10 @@ from __future__ import annotations
 
 import json
 import sys
-import time
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import interleaved_best, write_baseline  # noqa: E402
 
 from repro.core.engine import Engine
 from repro.core.stream import ListSource, records_from_dicts
@@ -138,17 +140,22 @@ def compare(n: int = N, repeats: int = 3) -> dict:
     }
     for pattern in patterns:
         queries = _queries(pattern)
-        best = {"joint": float("inf"), "isolated": float("inf")}
-        joint_outputs = isolated_outputs = service = None
-        for _ in range(repeats):
-            t0 = time.perf_counter()
-            service, joint_outputs = _run_joint(queries, catalog, rows)
-            best["joint"] = min(best["joint"], time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            isolated_outputs = _run_isolated(queries, catalog, rows)
-            best["isolated"] = min(
-                best["isolated"], time.perf_counter() - t0
+        state: dict = {}
+
+        def run_joint():
+            state["service"], state["joint"] = _run_joint(
+                queries, catalog, rows
             )
+
+        def run_isolated():
+            state["isolated"] = _run_isolated(queries, catalog, rows)
+
+        best = interleaved_best(
+            {"joint": run_joint, "isolated": run_isolated}, repeats=repeats
+        )
+        service = state["service"]
+        joint_outputs = state["joint"]
+        isolated_outputs = state["isolated"]
         assert joint_outputs is not None and isolated_outputs is not None
         for i, (joint, isolated) in enumerate(
             zip(joint_outputs, isolated_outputs)
@@ -259,14 +266,9 @@ def test_m7_shared_queries(report):
 
 
 def record_baseline(path: str | Path | None = None) -> dict:
-    if path is None:
-        path = REPO_ROOT / "BENCH_m7.json"
     payload = compare(N, repeats=3)
     baseline = {f"m7_{k}": v for k, v in payload.items()}
-    Path(path).write_text(
-        json.dumps(baseline, indent=2, allow_nan=False) + "\n"
-    )
-    return baseline
+    return write_baseline("BENCH_m7.json", baseline, path)
 
 
 if __name__ == "__main__":

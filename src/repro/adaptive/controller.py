@@ -41,6 +41,7 @@ from repro.adaptive.revision import (
     RetuneShedding,
     Revision,
     SetBatchSize,
+    SetRepresentation,
     SwapToChain,
     SwapToEddy,
     reorderable_runs,
@@ -111,6 +112,23 @@ class AdaptiveConfig:
         queued work, converted to the overload controller's pressure
         units using the measured per-record cost.  ``None`` disables
         shedding retune.
+    select_representation:
+        Enable per-chain representation selection: switch a tuple-mode
+        engine to columnar execution when enough of the chain
+        vectorizes, and revert (once, then stop trying) if the measured
+        per-record cost got *worse* after the switch.
+    representation_threshold:
+        Minimum fraction of chain operators reporting
+        ``supports_columns()`` before a columnar switch is proposed.
+    representation_fuse:
+        Also fuse stateless runs when switching to columnar.
+    representation_revert_ratio:
+        Revert to tuple mode when the measured columnar cost per record
+        exceeds this multiple of the pre-switch cost (the measured-rate
+        guard against pathological chains).
+    column_backend:
+        Backend pinned by emitted :class:`SetRepresentation` revisions
+        (``None`` keeps the engine's auto choice).
     max_migrations:
         Cap on *structural* migrations per run (``None`` = unlimited).
     """
@@ -132,6 +150,11 @@ class AdaptiveConfig:
     min_batch: int = 16
     max_batch: int = 4096
     shed_target_seconds: tuple[float, float] | None = None
+    select_representation: bool = False
+    representation_threshold: float = 0.5
+    representation_fuse: bool = True
+    representation_revert_ratio: float = 1.25
+    column_backend: str | None = None
     max_migrations: int | None = None
 
     def __post_init__(self) -> None:
@@ -152,6 +175,16 @@ class AdaptiveConfig:
                     f"shed_target_seconds needs 0 <= low < high; "
                     f"got {self.shed_target_seconds}"
                 )
+        if not 0.0 < self.representation_threshold <= 1.0:
+            raise PlanError(
+                f"representation_threshold must be in (0, 1]; "
+                f"got {self.representation_threshold}"
+            )
+        if self.representation_revert_ratio < 1.0:
+            raise PlanError(
+                f"representation_revert_ratio must be >= 1.0; "
+                f"got {self.representation_revert_ratio}"
+            )
 
 
 _ZERO = OperatorStats()
@@ -177,6 +210,10 @@ class AdaptiveController:
         self._eddy_stable: dict[str, int] = {}
         self._last_batch: int | None = None
         self._last_shed: tuple[float, float] | None = None
+        # Representation selection: measured cost before the columnar
+        # switch, and a one-way block after a revert (no flip-flopping).
+        self._repr_cost_before: float | None = None
+        self._repr_blocked = False
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -199,6 +236,7 @@ class AdaptiveController:
         chain: list | None,
         batch_size: int | None = None,
         has_guard: bool = False,
+        representation: str | None = None,
     ) -> list[Revision]:
         """One boundary's worth of feedback; returns revisions to apply.
 
@@ -231,6 +269,15 @@ class AdaptiveController:
             revisions.extend(self._decide_batch(window, chain, batch_size))
         if self.config.shed_target_seconds is not None and has_guard:
             revisions.extend(self._decide_shedding(window, chain))
+        if (
+            self.config.select_representation
+            and chain is not None
+            and batch_size is not None
+            and representation is not None
+        ):
+            revisions.extend(
+                self._decide_representation(window, chain, representation)
+            )
         return revisions
 
     def _ingress_records(self, window, chain) -> int:
@@ -375,6 +422,64 @@ class AdaptiveController:
             revision,
             f"measured {cost * 1e6:.2f}us/record: batch {batch_size} "
             f"-> {size} for ~{cfg.target_chunk_seconds * 1e3:.1f}ms chunks",
+        )
+        return [revision]
+
+    # -- representation selection ------------------------------------------
+
+    def _decide_representation(
+        self, window, chain, representation: str
+    ) -> list[Revision]:
+        """Pick tuple vs columnar for the chain from measured rates.
+
+        Switch to columnar when enough of the chain vectorizes
+        (capability is what bounds the win: incapable operators fall
+        back to the row path and only add conversion overhead), then
+        watch the measured per-record cost — if the columnar windows
+        come out *more* expensive than the tuple window before the
+        switch, revert and stop proposing (one-way hysteresis; the
+        evidence says this chain does not vectorize profitably).
+        """
+        cfg = self.config
+        if self._repr_blocked:
+            return []
+        cost = self._record_cost(window, chain)
+        if representation == "columnar":
+            before = self._repr_cost_before
+            if (
+                before is not None
+                and before > 0.0
+                and cost > cfg.representation_revert_ratio * before
+            ):
+                self._repr_blocked = True
+                revision = SetRepresentation("tuple", fuse=False)
+                self._log(
+                    self._boundaries,
+                    revision,
+                    f"columnar window cost {cost * 1e6:.2f}us/record > "
+                    f"{cfg.representation_revert_ratio:.2f}x tuple cost "
+                    f"{before * 1e6:.2f}us/record: reverting to tuple",
+                )
+                return [revision]
+            return []
+        capable = sum(1 for op in chain if op.supports_columns())
+        fraction = capable / len(chain)
+        if fraction < cfg.representation_threshold:
+            return []
+        if not self._may_migrate():
+            return []
+        self._repr_cost_before = cost if cost > 0.0 else None
+        revision = SetRepresentation(
+            "columnar",
+            column_backend=cfg.column_backend,
+            fuse=cfg.representation_fuse,
+        )
+        self._log(
+            self._boundaries,
+            revision,
+            f"{capable}/{len(chain)} chain operators vectorize "
+            f"(>= {cfg.representation_threshold:.0%}): columnar execution"
+            + (" with fusion" if cfg.representation_fuse else ""),
         )
         return [revision]
 

@@ -87,13 +87,20 @@ class AdaptiveEngine:
         batch_size: int | str | None = "auto",
         guard=None,
         observe=True,
+        representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         if controller is not None and config is not None:
             raise PlanError(
                 "pass either a controller or a config, not both"
             )
         self.engine = Engine(
-            plan, batch_size=batch_size, guard=guard, observe=observe
+            plan,
+            batch_size=batch_size,
+            guard=guard,
+            observe=observe,
+            representation=representation,
+            column_backend=column_backend,
         )
         self.controller = controller or AdaptiveController(config)
         self._chain = chain_of(plan)
@@ -155,6 +162,7 @@ class AdaptiveEngine:
             self._chain,
             batch_size=engine.batch_size,
             has_guard=engine.guard is not None,
+            representation=engine.representation,
         )
         if revisions:
             self._chain = apply_revisions(
@@ -189,6 +197,8 @@ class AdaptiveShardedEngine:
         batch_size: int | str | None = "auto",
         backend: str = "thread",
         observe=True,
+        representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         if controller is not None and config is not None:
             raise PlanError(
@@ -200,6 +210,8 @@ class AdaptiveShardedEngine:
             batch_size=batch_size,
             backend=backend,
             observe=observe,
+            representation=representation,
+            column_backend=column_backend,
         )
         self.controller = controller or AdaptiveController(config)
         self._observe = observe
@@ -223,6 +235,8 @@ class AdaptiveShardedEngine:
                 controller=self.controller,
                 batch_size=engine.batch_size,
                 observe=self._observe,
+                representation=engine.representation,
+                column_backend=engine.column_backend,
             ).run(sources)
         by_name = resolve_sources(engine.plan, sources)
         elements = list(by_name[st.input_name].events())
@@ -237,6 +251,7 @@ class AdaptiveShardedEngine:
         batch_size = engine.batch_size
         if batch_size == "auto":
             batch_size = Engine.DEFAULT_BATCH_SIZE
+        representation = engine.representation
         accepted: list[list[list[Element]]] = [[] for _ in range(n)]
         progress: list[list[float]] = [[] for _ in range(n)]
         try:
@@ -257,13 +272,16 @@ class AdaptiveShardedEngine:
                     shadow,
                     batch_size=batch_size,
                     has_guard=False,
+                    representation=representation,
                 )
                 if revisions:
                     for worker in workers:
                         worker.revise(revisions)
                     shadow = self._apply_to_shadow(shadow, revisions)
                     for revision in revisions:
-                        if not revision.structural and hasattr(
+                        if hasattr(revision, "representation"):
+                            representation = revision.representation
+                        elif not revision.structural and hasattr(
                             revision, "batch_size"
                         ):
                             batch_size = revision.batch_size
@@ -304,9 +322,17 @@ class AdaptiveShardedEngine:
                 st.output_name,
                 engine.batch_size,
                 observe,
+                engine.representation,
+                engine.column_backend,
             )
         core = _ShardCore(
-            ops, st.input_name, st.output_name, engine.batch_size, observe
+            ops,
+            st.input_name,
+            st.output_name,
+            engine.batch_size,
+            observe,
+            engine.representation,
+            engine.column_backend,
         )
         if engine.backend == "thread":
             return _ThreadWorker(core)
@@ -330,6 +356,8 @@ def run_adaptive(
     backend: str = "thread",
     observe=True,
     guard=None,
+    representation: str = "tuple",
+    column_backend: str | None = None,
 ) -> tuple[RunResult, list]:
     """One-shot convenience: run ``plan`` adaptively, return
     ``(result, migration log)``.
@@ -350,6 +378,8 @@ def run_adaptive(
             batch_size=batch_size,
             backend=backend,
             observe=observe,
+            representation=representation,
+            column_backend=column_backend,
         )
         return sharded.run(sources), sharded.migrations
     adaptive = AdaptiveEngine(
@@ -358,5 +388,7 @@ def run_adaptive(
         batch_size=batch_size,
         guard=guard,
         observe=observe,
+        representation=representation,
+        column_backend=column_backend,
     )
     return adaptive.run(sources), adaptive.migrations

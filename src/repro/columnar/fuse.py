@@ -1,0 +1,240 @@
+"""Operator fusion: compile stateless runs into one batch sweep.
+
+Adjacent stateless, columnar-capable operators (``Select`` /
+``Project`` / ``MapOp`` / ``Rename`` / ``Extend``) in a linear chain
+are replaced by a single :class:`FusedOperator`.  On the columnar path
+it executes the whole run as **one mask + transform sweep**: selection
+masks from consecutive ``Select`` stages are AND-combined and applied
+lazily, so a ``select → select → project`` run touches the batch once
+instead of three times.  On the tuple/row path it degrades to
+stage-at-a-time execution with identical semantics, so fused plans stay
+bit-identical to unfused ones on every execution tier.
+
+Metrics attribution
+-------------------
+
+The engine sees the fused node, but observability (``repro.observe``
+exporters, the VN02 ``rate_operator_from_metrics`` model, and the
+``AdaptiveController`` selectivity windows) must keep seeing the
+*constituents*.  The fused operator therefore tallies per-stage
+``records_in``/``records_out``/``punctuations``/``invocations``/
+``batches_in`` as it executes, and the engine settles those tallies
+into each constituent's ``OperatorMetrics`` after every dispatch via
+:meth:`FusedOperator.drain_attribution` — including a pro-rata share of
+the sampled ``wall_time``.
+
+Vectorized-predicate totality
+-----------------------------
+
+AND-combining masks means a later ``Select``'s vectorized predicate is
+evaluated over rows an earlier one already rejected.  Expressions built
+from :class:`~repro.columnar.expr.Col` must therefore be *total* over
+the batch (any missing-field access raises
+:class:`~repro.errors.ColumnUnavailable`, which safely reroutes the
+whole batch down the row path, where strict stage-at-a-time order is
+restored).
+"""
+
+from __future__ import annotations
+
+from repro.columnar.batch import ColumnBatch
+from repro.columnar.expr import mask_and, mask_count
+from repro.core.tuples import Record
+from repro.errors import ColumnUnavailable, PlanError
+from repro.operators.base import Operator, UnaryOperator
+from repro.operators.map import Extend, MapOp, Rename
+from repro.operators.project import Project
+from repro.operators.select import Select
+
+__all__ = ["FusedOperator", "fuse_chain", "unfuse_chain", "fusable"]
+
+#: Stateless operator types eligible for fusion.  ``DistinctProject``
+#: (stateful) is excluded by the exact-type check.
+_FUSABLE_TYPES = (Select, Project, MapOp, Rename, Extend)
+
+
+def fusable(op: Operator) -> bool:
+    """True when ``op`` may join a fused run (stateless + columnar)."""
+    return type(op) in _FUSABLE_TYPES and op.supports_columns()
+
+
+class FusedOperator(UnaryOperator):
+    """A compiled run of stateless operators executed as one sweep.
+
+    ``constituents`` (never ``operators`` — that attribute belongs to
+    :class:`~repro.operators.base.CompiledChain`) holds the original
+    operators in order; they remain the unit of metrics attribution
+    and of un-fusion.
+    """
+
+    def __init__(self, constituents: list[Operator]) -> None:
+        if len(constituents) < 2:
+            raise PlanError("a fused operator needs at least 2 constituents")
+        for op in constituents:
+            if not fusable(op):
+                raise PlanError(
+                    f"operator {op.name!r} ({type(op).__name__}) "
+                    "is not fusable"
+                )
+        name = "fused[" + "+".join(op.name for op in constituents) + "]"
+        super().__init__(
+            name,
+            cost_per_tuple=sum(op.cost_per_tuple for op in constituents),
+        )
+        self.constituents = list(constituents)
+        # {name: [records_in, records_out, puncts_in, puncts_out,
+        #         invocations, batches_in]}
+        self._tallies: dict[str, list[int]] = {}
+
+    @property
+    def kind(self) -> str:
+        return "fused"
+
+    def supports_columns(self) -> bool:
+        return True
+
+    # -- attribution -----------------------------------------------------
+
+    def _tally(self, name, rin, rout, pin, pout, inv, batches) -> None:
+        t = self._tallies.get(name)
+        if t is None:
+            self._tallies[name] = [rin, rout, pin, pout, inv, batches]
+        else:
+            t[0] += rin
+            t[1] += rout
+            t[2] += pin
+            t[3] += pout
+            t[4] += inv
+            t[5] += batches
+
+    def drain_attribution(self) -> dict[str, list[int]]:
+        """Per-constituent tallies since the last drain (then reset).
+
+        The engine calls this after each dispatch and folds the counts
+        into the constituents' :class:`OperatorMetrics`.
+        """
+        out = self._tallies
+        self._tallies = {}
+        return out
+
+    # -- columnar path ---------------------------------------------------
+
+    def process_columns(self, batch: ColumnBatch, port: int = 0):
+        cur = batch
+        mask = None
+        alive = batch.length
+        stages: list[tuple[Operator, int, int]] = []
+        try:
+            for op in self.constituents:
+                rin = alive
+                if type(op) is Select:
+                    m = op.predicate.mask(cur)
+                    mask = m if mask is None else mask_and(mask, m, cur)
+                    alive = mask_count(mask)
+                else:
+                    if mask is not None:
+                        cur = cur.compress(mask)
+                        mask = None
+                    cur = op._transform_columns(cur)
+                    alive = cur.length
+                stages.append((op, rin, alive))
+            if mask is not None:
+                cur = cur.compress(mask)
+        except ColumnUnavailable:
+            # Whole-batch fallback: strict stage-at-a-time row semantics
+            # (which also re-raises any schema error the tuple path would).
+            return self.process_batch(batch.to_rows(), port)
+        for op, rin, rout in stages:
+            self._tally(op.name, rin, rout, 0, 0, 1, 1)
+        return cur
+
+    # -- row path --------------------------------------------------------
+
+    def process_batch(self, elements, port: int = 0):
+        cur = list(elements)
+        for op in self.constituents:
+            pin = sum(1 for el in cur if not isinstance(el, Record))
+            rin = len(cur) - pin
+            cur = op.process_batch(cur, 0)
+            pout = sum(1 for el in cur if not isinstance(el, Record))
+            self._tally(op.name, rin, len(cur) - pout, pin, pout, 1, 1)
+            if not cur:
+                break
+        return cur
+
+    def process(self, element, port: int = 0):
+        return self.process_batch([element], port)
+
+    # -- lifecycle (constituents are stateless, but stay faithful) -------
+
+    def flush(self):
+        batch = []
+        for i, op in enumerate(self.constituents):
+            produced = op.flush()
+            for later in self.constituents[i + 1:]:
+                if not produced:
+                    break
+                produced = later.process_batch(produced, 0)
+            batch.extend(produced)
+        return batch
+
+    def reset(self) -> None:
+        self._tallies = {}
+        for op in self.constituents:
+            op.reset()
+
+    def snapshot(self):
+        return [op.snapshot() for op in self.constituents]
+
+    def restore(self, state) -> None:
+        states = list(state) if state is not None else [
+            None for _ in self.constituents
+        ]
+        if len(states) != len(self.constituents):
+            raise PlanError(
+                f"fused operator {self.name!r} has "
+                f"{len(self.constituents)} constituents but the snapshot "
+                f"has {len(states)} entries"
+            )
+        for op, st in zip(self.constituents, states):
+            op.restore(st)
+
+    def __repr__(self) -> str:
+        return f"FusedOperator({[op.name for op in self.constituents]})"
+
+
+def fuse_chain(ops, min_run: int = 2) -> list[Operator]:
+    """Replace maximal fusable runs in a linear chain with fused nodes.
+
+    Runs shorter than ``min_run`` are left untouched.  Already-fused
+    operators pass through unchanged (fusion is idempotent).
+    """
+    out: list[Operator] = []
+    run: list[Operator] = []
+
+    def close_run() -> None:
+        if len(run) >= min_run:
+            out.append(FusedOperator(list(run)))
+        else:
+            out.extend(run)
+        run.clear()
+
+    for op in ops:
+        if fusable(op):
+            run.append(op)
+        else:
+            close_run()
+            out.append(op)
+    close_run()
+    return out
+
+
+def unfuse_chain(ops) -> list[Operator]:
+    """Expand fused nodes back into their constituent operators."""
+    out: list[Operator] = []
+    for op in ops:
+        if isinstance(op, FusedOperator):
+            out.extend(op.constituents)
+        else:
+            out.append(op)
+    return out

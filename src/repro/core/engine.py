@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
+from repro.columnar.batch import BACKENDS, ColumnBatch, HAVE_NUMPY
 from repro.core.graph import Plan
 from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source, merge_sources
@@ -114,6 +115,8 @@ class Engine:
         batch_size: int | str | None = None,
         guard=None,
         observe=None,
+        representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         plan.validate()
         if batch_size == "auto":
@@ -128,6 +131,19 @@ class Engine:
                 raise PlanError(f"batch_size must be >= 1; got {batch_size}")
         self.plan = plan
         self.batch_size = batch_size
+        self._columnar = False
+        self._column_backend: str | None = None
+        self._backend_eff = "numpy" if HAVE_NUMPY else "python"
+        #: Batch representation on the micro-batched path: ``"tuple"``
+        #: dispatches record lists through ``process_batch``;
+        #: ``"columnar"`` converts record runs to
+        #: :class:`~repro.columnar.ColumnBatch` and routes
+        #: columnar-capable operators through ``process_columns``
+        #: (tuple-only operators transparently get rows back).
+        self.representation = representation
+        #: Column storage backend (``None`` = auto: numpy when
+        #: installed, else pure-python lists).
+        self.column_backend = column_backend
         #: Optional ingress admission control (duck-typed to
         #: :class:`repro.resilience.OverloadGuard`): consulted for every
         #: arriving element; elements it refuses are counted as shed
@@ -144,6 +160,43 @@ class Engine:
         self.metrics = MetricsRegistry()
         self._outputs: dict[str, list[Element]] | None = None
 
+    @property
+    def representation(self) -> str:
+        return "columnar" if self._columnar else "tuple"
+
+    @representation.setter
+    def representation(self, value: str) -> None:
+        if value not in ("tuple", "columnar"):
+            raise PlanError(
+                f"representation must be 'tuple' or 'columnar'; got {value!r}"
+            )
+        if value == "columnar" and self.batch_size is None:
+            raise PlanError(
+                "columnar execution requires micro-batching; "
+                "set batch_size (e.g. 'auto')"
+            )
+        self._columnar = value == "columnar"
+
+    @property
+    def column_backend(self) -> str | None:
+        return self._column_backend
+
+    @column_backend.setter
+    def column_backend(self, value: str | None) -> None:
+        if value is not None:
+            if value not in BACKENDS:
+                raise PlanError(
+                    f"column_backend must be one of {BACKENDS} or None; "
+                    f"got {value!r}"
+                )
+            if value == "numpy" and not HAVE_NUMPY:
+                raise PlanError(
+                    "column_backend 'numpy' requires numpy "
+                    "(install repro[numpy])"
+                )
+        self._column_backend = value
+        self._backend_eff = value or ("numpy" if HAVE_NUMPY else "python")
+
     def run(self, sources: Sequence[Source] | Mapping[str, Source]) -> RunResult:
         """Execute the plan over ``sources`` and return all outputs.
 
@@ -154,6 +207,19 @@ class Engine:
         by_name = self._resolve_sources(sources)
         self.start()
         assert self._outputs is not None
+        if (
+            self._columnar
+            and self.guard is None
+            and len(by_name) == 1
+        ):
+            only = next(iter(by_name.values()))
+            elements = getattr(only, "_elements", None)
+            punct_positions = getattr(only, "_punct_positions", None)
+            if elements is not None and punct_positions is not None:
+                self._run_sliced(
+                    only.name, elements, punct_positions, self._outputs
+                )
+                return self.finish()
         if len(by_name) == 1:
             # A single source is already in order; skip the merge heap.
             only = next(iter(by_name.values()))
@@ -204,6 +270,57 @@ class Engine:
             if observing:
                 self._observe_chunk(pending[-1])
 
+    def _run_sliced(
+        self,
+        input_name: str,
+        elements: Sequence[Element],
+        punct_positions: Sequence[int],
+        outputs: dict[str, list[Element]],
+    ) -> None:
+        """Columnar ingress over a pre-materialized source list.
+
+        Chunk boundaries are identical to :meth:`_run_batched` —
+        ``batch_size`` records or a punctuation, whichever comes first —
+        but chunks are cut by *slicing* instead of a per-element append
+        loop, and each chunk is known by construction to be all records
+        except possibly a trailing punctuation, so capable consumers get
+        their :class:`ColumnBatch` without re-scanning the chunk.
+        """
+        batch_size = self.batch_size
+        assert batch_size is not None
+        consumers = self.plan.inputs[input_name]
+        observing = self._observer is not None
+        backend = self._backend_eff
+        n = len(elements)
+        puncts = iter(punct_positions)
+        next_p = next(puncts, n)
+        start = 0
+        while start < n:
+            end = start + batch_size
+            punct_last = False
+            if next_p < end:
+                end = next_p + 1
+                punct_last = True
+                next_p = next(puncts, n)
+            chunk = elements[start:end]
+            start = end
+            for consumer, port in consumers:
+                if consumer.supports_columns():
+                    run = chunk[:-1] if punct_last else chunk
+                    if run:
+                        self._dispatch_columns(
+                            consumer,
+                            ColumnBatch.from_rows(run, backend),
+                            port,
+                            outputs,
+                        )
+                    if punct_last:
+                        self._dispatch(consumer, chunk[-1], port, outputs)
+                else:
+                    self._dispatch_batch(consumer, chunk, port, outputs)
+            if observing:
+                self._observe_chunk(chunk[-1])
+
     def _observe_chunk(self, last_element: Element) -> None:
         """Batch-boundary observation: stream-progress gauges plus, when
         an overload guard is attached, its ingress queue depths."""
@@ -236,6 +353,10 @@ class Engine:
             self.metrics.operator_kinds[op.name] = getattr(
                 op, "kind", type(op).__name__.lower()
             )
+            for sub in getattr(op, "constituents", ()):
+                self.metrics.operator_kinds[sub.name] = getattr(
+                    sub, "kind", type(sub).__name__.lower()
+                )
         if self.observe_config is not None:
             self._observer = Observer(self.observe_config, self.metrics)
             self._observer.start_run()
@@ -389,6 +510,10 @@ class Engine:
             self.metrics.operator_kinds[op.name] = getattr(
                 op, "kind", type(op).__name__.lower()
             )
+            for sub in getattr(op, "constituents", ()):
+                self.metrics.operator_kinds[sub.name] = getattr(
+                    sub, "kind", type(sub).__name__.lower()
+                )
         self.plan = new_plan
         if allow_io_changes:
             old_outputs = self._outputs
@@ -511,6 +636,32 @@ class Engine:
     ) -> None:
         if not elements:
             return
+        if self._columnar and operator.supports_columns():
+            # Columnar tier: convert maximal record runs to column
+            # batches; punctuations dispatch individually in between,
+            # preserving exact stream positions.
+            run: list[Element] = []
+            for el in elements:
+                if isinstance(el, Punctuation):
+                    if run:
+                        self._dispatch_columns(
+                            operator,
+                            ColumnBatch.from_rows(run, self._backend_eff),
+                            port,
+                            outputs,
+                        )
+                        run = []
+                    self._dispatch(operator, el, port, outputs)
+                else:
+                    run.append(el)
+            if run:
+                self._dispatch_columns(
+                    operator,
+                    ColumnBatch.from_rows(run, self._backend_eff),
+                    port,
+                    outputs,
+                )
+            return
         m = self.metrics.for_operator(operator.name)
         n_punct = 0
         for el in elements:
@@ -521,6 +672,10 @@ class Engine:
         m.invocations += 1
         m.batches_in += 1
         m.busy_time += operator.cost_per_tuple * len(elements)
+        settling = getattr(operator, "drain_attribution", None) is not None
+        if settling:
+            wall0 = m.wall_time
+            timed0 = m.timed_invocations
         obs = self._observer
         if obs is None:
             produced = operator.process_batch(elements, port)
@@ -537,7 +692,88 @@ class Engine:
                 m.records_out += 1
             else:
                 m.punctuations_out += 1
+        if settling:
+            self._settle_constituents(operator, m, wall0, timed0)
         self._propagate_batch(operator, produced, outputs)
+
+    def _dispatch_columns(
+        self,
+        operator,
+        batch: ColumnBatch,
+        port: int,
+        outputs: dict[str, list[Element]],
+    ) -> None:
+        if batch.length == 0:
+            return
+        m = self.metrics.for_operator(operator.name)
+        m.records_in += batch.length
+        m.invocations += 1
+        m.batches_in += 1
+        m.busy_time += operator.cost_per_tuple * batch.length
+        settling = getattr(operator, "drain_attribution", None) is not None
+        if settling:
+            wall0 = m.wall_time
+            timed0 = m.timed_invocations
+        obs = self._observer
+        if obs is None:
+            produced = operator.process_columns(batch, port)
+        else:
+            m.sample_tick -= 1
+            if m.sample_tick <= 0:
+                produced = obs.timed_process_columns(operator, batch, port, m)
+            else:
+                produced = operator.process_columns(batch, port)
+        if isinstance(produced, ColumnBatch):
+            m.records_out += produced.length
+            if settling:
+                self._settle_constituents(operator, m, wall0, timed0)
+            self._propagate_columns(operator, produced, outputs)
+        else:
+            for out in produced:
+                if isinstance(out, Record):
+                    m.records_out += 1
+                else:
+                    m.punctuations_out += 1
+            if settling:
+                self._settle_constituents(operator, m, wall0, timed0)
+            self._propagate_batch(operator, produced, outputs)
+
+    def _settle_constituents(self, operator, m, wall0, timed0) -> None:
+        """Fold a fused operator's per-stage tallies into the metrics of
+        its constituents, so observability and the adaptive controller
+        keep seeing the individual operators.
+
+        The fused node's sampled ``wall_time`` since ``wall0`` is
+        distributed across constituents pro rata by records_in, and the
+        fused node's own wall/timed counters are rolled back so chain
+        cost totals (``AdaptiveController._record_cost``) don't count
+        the same measured time twice.
+        """
+        tallies = operator.drain_attribution()
+        if not tallies:
+            return
+        costs = {op.name: op.cost_per_tuple for op in operator.constituents}
+        wall_delta = m.wall_time - wall0
+        timed_delta = m.timed_invocations - timed0
+        total_in = 0
+        for t in tallies.values():
+            total_in += t[0]
+        for name, t in tallies.items():
+            cm = self.metrics.for_operator(name)
+            cm.records_in += t[0]
+            cm.records_out += t[1]
+            cm.punctuations_in += t[2]
+            cm.punctuations_out += t[3]
+            cm.invocations += t[4]
+            cm.batches_in += t[5]
+            cm.busy_time += costs.get(name, 0.0) * (t[0] + t[2])
+            if timed_delta > 0:
+                cm.timed_invocations += timed_delta
+                if total_in > 0:
+                    cm.wall_time += wall_delta * (t[0] / total_in)
+        if timed_delta > 0:
+            m.wall_time = wall0
+            m.timed_invocations = timed0
 
     def _propagate(
         self, operator, produced: list[Element], outputs: dict[str, list[Element]]
@@ -564,10 +800,39 @@ class Engine:
         for consumer, port in self.plan.successors(operator):
             self._dispatch_batch(consumer, produced, port, outputs)
 
+    def _propagate_columns(
+        self, operator, batch: ColumnBatch, outputs: dict[str, list[Element]]
+    ) -> None:
+        # Column batches flow onward in columnar form to capable
+        # consumers; rows are rebuilt once at the first boundary that
+        # needs them (plan outputs or tuple-only consumers).
+        if batch.length == 0:
+            return
+        rows: list[Element] | None = None
+        for name in self.plan.output_names_for(operator):
+            if rows is None:
+                rows = batch.to_rows()
+            outputs[name].extend(rows)
+        for consumer, port in self.plan.successors(operator):
+            if consumer.supports_columns():
+                self._dispatch_columns(consumer, batch, port, outputs)
+            else:
+                if rows is None:
+                    rows = batch.to_rows()
+                self._dispatch_batch(consumer, rows, port, outputs)
+
     def _flush_all(self, outputs: dict[str, list[Element]]) -> None:
         batched = self.batch_size is not None
         for operator in self.plan.topological_order():
             produced = operator.flush()
+            if getattr(operator, "drain_attribution", None) is not None:
+                # Settle tallies left by tuple-path dispatches (and the
+                # flush itself); no timed window spans the flush, so
+                # only the counts are distributed.
+                m = self.metrics.for_operator(operator.name)
+                self._settle_constituents(
+                    operator, m, m.wall_time, m.timed_invocations
+                )
             if produced:
                 m = self.metrics.for_operator(operator.name)
                 for out in produced:
@@ -603,6 +868,8 @@ def run_plan(
     sources: Sequence[Source] | Mapping[str, Source],
     batch_size: int | str | None = None,
     observe=None,
+    representation: str = "tuple",
+    column_backend: str | None = None,
 ) -> RunResult:
     """One-shot convenience: build an :class:`Engine` and run it.
 
@@ -610,5 +877,14 @@ def run_plan(
     micro-batched path (identical outputs, amortized dispatch);
     ``"auto"`` selects :data:`Engine.DEFAULT_BATCH_SIZE`.  ``observe``
     enables wall-clock measurement (see :mod:`repro.observe`).
+    ``representation="columnar"`` (requires a batch size) runs
+    columnar-capable operators on struct-of-arrays batches — same
+    outputs again, vectorized kernels (see :mod:`repro.columnar`).
     """
-    return Engine(plan, batch_size=batch_size, observe=observe).run(sources)
+    return Engine(
+        plan,
+        batch_size=batch_size,
+        observe=observe,
+        representation=representation,
+        column_backend=column_backend,
+    ).run(sources)

@@ -114,9 +114,13 @@ class ListSource(Source):
         if ts_attr is None and schema is not None:
             ts_attr = schema.ordering
         stamped: list[Record | Punctuation] = []
+        punct_positions: list[int] = []
         seq = 0
         for el in elements:
-            if isinstance(el, (Record, Punctuation)):
+            if isinstance(el, Punctuation):
+                punct_positions.append(seq)
+                stamped.append(el)
+            elif isinstance(el, Record):
                 stamped.append(el)
             else:
                 ts = float(el[ts_attr]) if ts_attr else float(seq)
@@ -131,6 +135,9 @@ class ListSource(Source):
                     )
                 last = el.ts
         self._elements = stamped
+        #: indices of punctuations, in order — lets the engine's sliced
+        #: columnar ingress cut chunks without re-scanning per element.
+        self._punct_positions = punct_positions
 
     def events(self) -> Iterator[Record | Punctuation]:
         return iter(self._elements)

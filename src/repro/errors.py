@@ -111,3 +111,17 @@ class ServiceError(StreamError):
 
 class AdmissionError(ServiceError):
     """A query registration was refused by service admission control."""
+
+
+class ColumnError(StreamError):
+    """A columnar batch or backend was misused or misconfigured."""
+
+
+class ColumnUnavailable(ColumnError):
+    """A vectorized kernel cannot derive the column it needs.
+
+    Raised by :meth:`repro.columnar.ColumnBatch.column` when a field is
+    missing from some rows (a null mask exists) or absent entirely.
+    Columnar kernels catch it and fall back to their row-at-a-time
+    ``process_batch`` over ``to_rows()``, which reproduces the exact
+    tuple-path behaviour (including any :class:`SchemaError`)."""

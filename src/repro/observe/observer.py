@@ -191,6 +191,26 @@ class Observer:
         ).observe(n, weight=self.sampling)
         return produced
 
+    def timed_process_columns(
+        self, operator, batch, port: int, m: OperatorMetrics
+    ) -> object:
+        """Time one columnar-batch dispatch.
+
+        Same accounting as :meth:`timed_process_batch` — the batch-size
+        histogram counts *records*, so tuple, row-batch, and columnar
+        tiers stay comparable in the exporters.
+        """
+        m.sample_tick = self.sampling
+        t0 = perf_counter()
+        produced = operator.process_columns(batch, port)
+        dt = perf_counter() - t0
+        n = batch.length
+        self._charge(operator, m, dt, n)
+        self.registry.histogram(
+            f"op.{operator.name}.batch_size", self.config.batch_buckets
+        ).observe(n, weight=self.sampling)
+        return produced
+
     def _charge(self, operator, m: OperatorMetrics, dt: float, n: int) -> None:
         stride = self.sampling
         m.wall_time += dt * stride

@@ -26,7 +26,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.aggregates.functions import AggregateFunction
 from repro.aggregates.spec import AggSpec
 from repro.core.tuples import Punctuation, Record
-from repro.errors import WindowError
+from repro.errors import ColumnUnavailable, WindowError
 from repro.operators.base import Element, UnaryOperator
 from repro.windows.buffers import WindowBuffer, make_buffer
 from repro.windows.spec import (
@@ -86,6 +86,61 @@ class _GroupState:
         self.key_values = key_values
         self.states = [spec.new_state() for spec in specs]
         self.count = 0
+
+
+def _columnar_capable(group_by, aggregates) -> bool:
+    """Whether group extractors and agg inputs vectorize over a batch.
+
+    Plain attributes (:class:`AttrGetter` / str inputs) and columnar
+    expressions qualify; opaque callables (lambdas) do not — they can
+    only be evaluated record-at-a-time.
+    """
+    for _name, fn in group_by:
+        if not (isinstance(fn, AttrGetter) or hasattr(fn, "values")):
+            return False
+    for spec in aggregates:
+        inp = spec.input
+        if inp is not None and not isinstance(inp, str) \
+                and not hasattr(inp, "values"):
+            return False
+    return True
+
+
+def _group_columns(group_by, batch) -> list[list]:
+    """One native-valued column per grouping key (may raise
+    :class:`~repro.errors.ColumnUnavailable`).
+
+    Values must be *native* Python (``pylist``): group keys feed dict
+    lookups and the ``repr``-sorted emission order, both of which must
+    match the tuple path exactly.
+    """
+    from repro.columnar.batch import as_pylist
+    from repro.columnar.expr import column_of
+
+    cols = []
+    for _name, fn in group_by:
+        if isinstance(fn, AttrGetter):
+            cols.append(batch.pylist(fn.attr))
+        else:
+            cols.append(as_pylist(column_of(fn.values(batch), batch)))
+    return cols
+
+
+def _spec_columns(aggregates, batch) -> list[list | None]:
+    """One native-valued input column per agg spec (``None`` ≙ count)."""
+    from repro.columnar.batch import as_pylist
+    from repro.columnar.expr import column_of
+
+    cols: list[list | None] = []
+    for spec in aggregates:
+        inp = spec.input
+        if inp is None:
+            cols.append(None)
+        elif isinstance(inp, str):
+            cols.append(batch.pylist(inp))
+        else:
+            cols.append(as_pylist(column_of(inp.values(batch), batch)))
+    return cols
 
 
 class Aggregate(UnaryOperator):
@@ -150,6 +205,57 @@ class Aggregate(UnaryOperator):
                 fn_state.add(spec.extract(el))
             state.count += 1
         return out
+
+    def supports_columns(self) -> bool:
+        return _columnar_capable(self.group_by, self.aggregates)
+
+    def process_columns(self, batch, port: int = 0) -> list[Element]:
+        self._validate_port(port)
+        if batch.length == 0:
+            return []
+        try:
+            key_cols = _group_columns(self.group_by, batch)
+            spec_cols = _spec_columns(self.aggregates, batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+        mx = max(batch.ts_list())
+        if mx > self._max_ts:
+            self._max_ts = mx
+        groups = self._groups
+        specs = self.aggregates
+        names = [name for name, _ in self.group_by]
+        keys = zip(*key_cols) if key_cols else iter(
+            [()] * batch.length  # global aggregation: one empty key
+        )
+        # Bucket row indices per key first, then fold group by group
+        # with each state's add() bound once per batch instead of once
+        # per row.  Every group still sees its own rows in stream order
+        # (buckets are insertion-ordered, indices ascending), so
+        # exact-sum states stay bit-identical to the tuple path.
+        buckets: dict[tuple, list[int]] = {}
+        buckets_get = buckets.get
+        for i, key in enumerate(keys):
+            b = buckets_get(key)
+            if b is None:
+                buckets[key] = [i]
+            else:
+                b.append(i)
+        groups_get = groups.get
+        for key, idxs in buckets.items():
+            state = groups_get(key)
+            if state is None:
+                state = _GroupState(dict(zip(names, key)), specs)
+                groups[key] = state
+            state.count += len(idxs)
+            for fn_state, col in zip(state.states, spec_cols):
+                add = fn_state.add
+                if col is None:
+                    for _ in idxs:
+                        add(1)
+                else:
+                    for i in idxs:
+                        add(col[i])
+        return []
 
     def _emit(self, state: _GroupState, ts: float) -> Record | None:
         values = dict(state.key_values)
@@ -396,6 +502,62 @@ class WindowedAggregate(UnaryOperator):
                 groups[key] = state
             for spec, fn_state in zip(specs, state.states):
                 fn_state.add(spec.extract(el))
+            state.count += 1
+        return out
+
+    def supports_columns(self) -> bool:
+        # Only the tumbling path folds without per-record emission; the
+        # buffered windows emit one refreshed row per arrival and the
+        # punctuated form delegates to the blocking Aggregate.
+        return self._tumbling and _columnar_capable(
+            self.group_by, self.aggregates
+        )
+
+    def process_columns(self, batch, port: int = 0) -> list[Element]:
+        self._validate_port(port)
+        if batch.length == 0:
+            return []
+        try:
+            key_cols = _group_columns(self.group_by, batch)
+            spec_cols = _spec_columns(self.aggregates, batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+        window = self.window
+        buckets = self._buckets
+        specs = self.aggregates
+        names = [name for name, _ in self.group_by]
+        inputs = list(zip(specs, spec_cols))
+        ts_list = batch.ts_list()
+        min_end = min(
+            (window.bucket_start(b + 1) for b in buckets),
+            default=float("inf"),
+        )
+        out: list[Element] = []
+        keys = zip(*key_cols) if key_cols else iter([()] * batch.length)
+        for i, key in enumerate(keys):
+            ts = ts_list[i]
+            if ts > self._watermark:
+                self._watermark = ts
+            if self._watermark >= min_end:
+                out.extend(self._close_buckets(self._watermark))
+                min_end = min(
+                    (window.bucket_start(b + 1) for b in buckets),
+                    default=float("inf"),
+                )
+            bucket = window.bucket_of(ts)
+            groups = buckets.get(bucket)
+            if groups is None:
+                groups = {}
+                buckets[bucket] = groups
+                end = window.bucket_start(bucket + 1)
+                if end < min_end:
+                    min_end = end
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(dict(zip(names, key)), specs)
+                groups[key] = state
+            for (_spec, col), fn_state in zip(inputs, state.states):
+                fn_state.add(1 if col is None else col[i])
             state.count += 1
         return out
 

@@ -91,6 +91,37 @@ class Operator:
         """Handle one data tuple.  Subclasses override."""
         raise NotImplementedError
 
+    # -- columnar path -----------------------------------------------------
+
+    def supports_columns(self) -> bool:
+        """Whether :meth:`process_columns` may be used on this instance.
+
+        The engine's columnar tier calls this per operator to decide
+        between handing it a :class:`~repro.columnar.batch.ColumnBatch`
+        or converting back to records.  The answer may depend on the
+        *configuration* (e.g. a ``Select`` is columnar-capable only when
+        its predicate is a vectorizable expression), so this is a method
+        on the instance, not a class flag.  Base default: ``False``.
+        """
+        return False
+
+    def process_columns(self, batch, port: int = 0):
+        """Consume a columnar micro-batch (records only, no punctuation).
+
+        Only called when :meth:`supports_columns` is true.  Returns
+        either a :class:`~repro.columnar.batch.ColumnBatch` (stateless
+        transforms) or a list of elements (aggregations that emit on
+        punctuation return ``[]`` here and keep emitting through
+        :meth:`on_punctuation`/:meth:`flush`).  The contract is strict
+        equivalence with ``process_batch(batch.to_rows(), port)``; the
+        standard escape hatch for unvectorizable batches (null masks,
+        odd types) is to catch
+        :class:`~repro.errors.ColumnUnavailable` and call exactly that.
+        """
+        raise NotImplementedError(
+            f"operator {self.name!r} does not support columnar execution"
+        )
+
     def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
         """Handle a punctuation.
 

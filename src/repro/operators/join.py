@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.core.tuples import Punctuation, Record
+from repro.errors import ColumnUnavailable
 from repro.operators.base import BinaryOperator, Element
 
 __all__ = ["SymmetricHashJoin"]
@@ -62,6 +63,45 @@ class SymmetricHashJoin(BinaryOperator):
             if self.theta is None or self.theta(left, right):
                 out.append(left.merged(right, ts=max(left.ts, right.ts)))
         self._tables[port].setdefault(key, []).append(record)
+        return out
+
+    def supports_columns(self) -> bool:
+        return True
+
+    def process_columns(self, batch, port: int = 0) -> list[Element]:
+        # Vectorized probe: extract the key columns once for the whole
+        # batch instead of building a key tuple through record.key()
+        # per row, then run the classic probe+insert per element.
+        self._validate_port(port)
+        names = self.keys[port]
+        try:
+            key_cols = [batch.pylist(n) for n in names]
+        except ColumnUnavailable:
+            # Row path reproduces the exact KeyError of record.key().
+            return self.process_batch(batch.to_rows(), port)
+        rows = batch.to_rows()
+        other = self._tables[1 - port]
+        mine = self._tables[port]
+        theta = self.theta
+        out: list[Element] = []
+        keys = zip(*key_cols) if key_cols else iter([()] * batch.length)
+        for record, key in zip(rows, keys):
+            matches = other.get(key)
+            if matches:
+                for match in matches:
+                    self.probes += 1
+                    left, right = (
+                        (record, match) if port == 0 else (match, record)
+                    )
+                    if theta is None or theta(left, right):
+                        out.append(
+                            left.merged(right, ts=max(left.ts, right.ts))
+                        )
+            bucket = mine.get(key)
+            if bucket is None:
+                mine[key] = [record]
+            else:
+                bucket.append(record)
         return out
 
     def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.tuples import Punctuation, Record
+from repro.errors import ColumnUnavailable
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["MapOp", "Rename", "Extend"]
@@ -48,6 +49,21 @@ class MapOp(UnaryOperator):
                 append(el.with_values(values))
         return out
 
+    def supports_columns(self) -> bool:
+        # Vectorizable only for batch-aware functions such as
+        # repro.columnar.ColumnMapFn (which never drop records).
+        return hasattr(self.fn, "apply_columns")
+
+    def _transform_columns(self, batch):
+        return self.fn.apply_columns(batch)
+
+    def process_columns(self, batch, port: int = 0):
+        self._validate_port(port)
+        try:
+            return self._transform_columns(batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+
 
 class Rename(UnaryOperator):
     """Rename attributes (used to qualify join inputs)."""
@@ -76,6 +92,36 @@ class Rename(UnaryOperator):
             values = {mapping_get(k, k): v for k, v in el.values.items()}
             append(el.with_values(values))
         return out
+
+    def supports_columns(self) -> bool:
+        return True
+
+    def _transform_columns(self, batch):
+        full = batch.materialize()
+        mapping_get = self.mapping.get
+        names = full.fields()
+        renamed = [mapping_get(n, n) for n in names]
+        if len(set(renamed)) != len(renamed):
+            # Colliding targets resolve per-record in the tuple path
+            # (that record's key order wins); don't vectorize those.
+            raise ColumnUnavailable(
+                f"rename {self.name!r} maps several fields to one name"
+            )
+        columns = {}
+        masks = {}
+        for old, new in zip(names, renamed):
+            values, mask = full.raw_column(old)
+            columns[new] = values
+            if mask is not None:
+                masks[new] = mask
+        return full.with_columns(columns, masks)
+
+    def process_columns(self, batch, port: int = 0):
+        self._validate_port(port)
+        try:
+            return self._transform_columns(batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
 
 
 class Extend(UnaryOperator):
@@ -116,3 +162,34 @@ class Extend(UnaryOperator):
                 values[out_name] = fn(el)
             append(el.with_values(values))
         return out
+
+    def supports_columns(self) -> bool:
+        return all(
+            hasattr(fn, "values") and not isinstance(fn, dict)
+            for fn in self.additions.values()
+        )
+
+    def _transform_columns(self, batch):
+        from repro.columnar.expr import column_of
+
+        full = batch.materialize()
+        columns = {}
+        masks = {}
+        for name in full.fields():
+            values, mask = full.raw_column(name)
+            columns[name] = values
+            if mask is not None:
+                masks[name] = mask
+        for out_name, fn in self.additions.items():
+            # Each addition reads the *input* record, same as the tuple
+            # path, so evaluating over the original batch is exact.
+            columns[out_name] = column_of(fn.values(batch), batch)
+            masks.pop(out_name, None)
+        return full.with_columns(columns, masks)
+
+    def process_columns(self, batch, port: int = 0):
+        self._validate_port(port)
+        try:
+            return self._transform_columns(batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)

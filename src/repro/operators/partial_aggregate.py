@@ -26,8 +26,14 @@ from typing import Callable, Sequence
 
 from repro.aggregates.functions import AggregateFunction
 from repro.core.tuples import Punctuation, Record
-from repro.errors import WindowError
-from repro.operators.aggregate import AggSpec, _GroupState, _normalize_group_by
+from repro.errors import ColumnUnavailable, WindowError
+from repro.operators.aggregate import (
+    AggSpec,
+    AttrGetter,
+    _GroupState,
+    _normalize_group_by,
+    _spec_columns,
+)
 from repro.operators.base import Element, UnaryOperator
 from repro.windows.spec import TumblingWindow
 
@@ -62,6 +68,42 @@ class BucketOf:
 
     def __repr__(self) -> str:
         return f"BucketOf({self.window.describe()})"
+
+
+def _partial_capable(group_by, aggregates) -> bool:
+    """Columnar capability for the shard-side partial operators.
+
+    Same rules as the blocking aggregate, plus :class:`BucketOf`, whose
+    column derives from the batch timestamps.
+    """
+    for _name, fn in group_by:
+        if not (
+            isinstance(fn, (AttrGetter, BucketOf)) or hasattr(fn, "values")
+        ):
+            return False
+    for spec in aggregates:
+        inp = spec.input
+        if inp is not None and not isinstance(inp, str) \
+                and not hasattr(inp, "values"):
+            return False
+    return True
+
+
+def _partial_group_columns(group_by, batch) -> list[list]:
+    """Native-valued grouping columns, resolving BucketOf via ts."""
+    from repro.columnar.batch import as_pylist
+    from repro.columnar.expr import column_of
+
+    cols = []
+    for _name, fn in group_by:
+        if isinstance(fn, AttrGetter):
+            cols.append(batch.pylist(fn.attr))
+        elif isinstance(fn, BucketOf):
+            bucket_of = fn.window.bucket_of
+            cols.append([bucket_of(ts) for ts in batch.ts_list()])
+        else:
+            cols.append(as_pylist(column_of(fn.values(batch), batch)))
+    return cols
 
 
 class GroupPartial(UnaryOperator):
@@ -144,6 +186,36 @@ class GroupPartial(UnaryOperator):
             state.count += 1
         self.max_ts = max_ts
         return out
+
+    def supports_columns(self) -> bool:
+        return _partial_capable(self.group_by, self.aggregates)
+
+    def process_columns(self, batch, port: int = 0) -> list[Element]:
+        self._validate_port(port)
+        if batch.length == 0:
+            return []
+        try:
+            key_cols = _partial_group_columns(self.group_by, batch)
+            spec_cols = _spec_columns(self.aggregates, batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+        mx = max(batch.ts_list())
+        if mx > self.max_ts:
+            self.max_ts = mx
+        groups = self._groups
+        specs = self.aggregates
+        names = [name for name, _ in self.group_by]
+        inputs = list(zip(specs, spec_cols))
+        keys = zip(*key_cols) if key_cols else iter([()] * batch.length)
+        for i, key in enumerate(keys):
+            state = groups.get(key)
+            if state is None:
+                state = _GroupState(dict(zip(names, key)), specs)
+                groups[key] = state
+            for (_spec, col), fn_state in zip(inputs, state.states):
+                fn_state.add(1 if col is None else col[i])
+            state.count += 1
+        return []
 
     def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
         pattern_attrs = {name for name, _ in punct.pattern}
@@ -303,6 +375,54 @@ class PartialAggregate(UnaryOperator):
                 groups[key] = state
             for spec, fn_state in zip(specs, state.states):
                 fn_state.add(spec.extract(el))
+            state.count += 1
+        return out
+
+    def supports_columns(self) -> bool:
+        return _partial_capable(self.group_by, self.aggregates)
+
+    def process_columns(self, batch, port: int = 0) -> list[Element]:
+        # Index loop (not a bulk fold): bucket closes and bounded-table
+        # evictions interleave with arrivals, and their emission order
+        # must match the tuple path row for row.
+        self._validate_port(port)
+        if batch.length == 0:
+            return []
+        try:
+            key_cols = _partial_group_columns(self.group_by, batch)
+            spec_cols = _spec_columns(self.aggregates, batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+        window = self.window
+        specs = self.aggregates
+        max_groups = self.max_groups
+        names = [name for name, _ in self.group_by]
+        inputs = list(zip(specs, spec_cols))
+        ts_list = batch.ts_list()
+        out: list[Element] = []
+        keys = zip(*key_cols) if key_cols else iter([()] * batch.length)
+        for i, key in enumerate(keys):
+            ts = ts_list[i]
+            bucket = window.bucket_of(ts)
+            if self._bucket is None:
+                self._bucket = bucket
+            elif bucket != self._bucket:
+                out.extend(self._close_bucket(ts))
+                self._bucket = bucket
+            groups = self._groups
+            state = groups.get(key)
+            if state is None:
+                if len(groups) >= max_groups:
+                    victim_key = max(
+                        groups, key=lambda k: (groups[k].count, repr(k))
+                    )
+                    victim = groups.pop(victim_key)
+                    out.append(self._partial_row(victim, bucket, ts))
+                    self.evictions += 1
+                state = _GroupState(dict(zip(names, key)), specs)
+                groups[key] = state
+            for (_spec, col), fn_state in zip(inputs, state.states):
+                fn_state.add(1 if col is None else col[i])
             state.count += 1
         return out
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.core.tuples import Punctuation, Record
-from repro.errors import SchemaError
+from repro.errors import ColumnUnavailable, SchemaError
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["Project", "DistinctProject"]
@@ -74,6 +74,33 @@ class Project(UnaryOperator):
             }
             append(el.with_values(values))
         return out
+
+    def supports_columns(self) -> bool:
+        # Every spec must be a plain attribute keep/rename or an
+        # expression with batch evaluation (repro.columnar.Expr).
+        return all(
+            isinstance(spec, str) or hasattr(spec, "values")
+            for spec in self.columns.values()
+        )
+
+    def _transform_columns(self, batch):
+        """Projected columns over ``batch`` (raises ColumnUnavailable)."""
+        from repro.columnar.expr import column_of
+
+        out = {}
+        for name, spec in self.columns.items():
+            if isinstance(spec, str):
+                out[name] = batch.column(spec)
+            else:
+                out[name] = column_of(spec.values(batch), batch)
+        return batch.with_columns(out)
+
+    def process_columns(self, batch, port: int = 0):
+        self._validate_port(port)
+        try:
+            return self._transform_columns(batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
 
 
 class DistinctProject(UnaryOperator):

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Callable, Sequence
 
 from repro.core.tuples import Punctuation, Record
+from repro.errors import ColumnUnavailable
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["Select"]
@@ -58,3 +59,16 @@ class Select(UnaryOperator):
             elif predicate(el):
                 append(el)
         return out
+
+    def supports_columns(self) -> bool:
+        # Vectorizable only when the predicate is an expression that can
+        # evaluate over a whole batch (e.g. repro.columnar.Col trees).
+        return hasattr(self.predicate, "mask")
+
+    def process_columns(self, batch, port: int = 0):
+        self._validate_port(port)
+        try:
+            mask = self.predicate.mask(batch)
+        except ColumnUnavailable:
+            return self.process_batch(batch.to_rows(), port)
+        return batch.compress(mask)

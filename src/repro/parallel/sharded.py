@@ -380,10 +380,18 @@ def _run_shard(
     puncts: Sequence[Punctuation | None],
     batch_size,
     observe=None,
+    representation: str = "tuple",
+    column_backend: str | None = None,
 ) -> _ShardRun:
     """Run one shard's plan over its epoch slices."""
     plan = linear_plan(input_name, ops, output_name)
-    engine = Engine(plan, batch_size=batch_size, observe=observe)
+    engine = Engine(
+        plan,
+        batch_size=batch_size,
+        observe=observe,
+        representation=representation,
+        column_backend=column_backend,
+    )
     engine.start()
     terminal = ops[-1]
     epochs_out: list[list[Element]] = []
@@ -412,7 +420,7 @@ def _run_shard(
 
 def _process_shard_entry(
     conn, ops, input_name, output_name, batches, puncts, batch_size,
-    observe=None,
+    observe=None, representation="tuple", column_backend=None,
 ) -> None:
     """Forked child: run the shard and ship the result over the pipe.
 
@@ -424,7 +432,7 @@ def _process_shard_entry(
     try:
         run = _run_shard(
             ops, input_name, output_name, batches, puncts, batch_size,
-            observe,
+            observe, representation, column_backend,
         )
         conn.send(("ok", run))
     except BaseException as exc:  # pragma: no cover - defensive
@@ -477,6 +485,12 @@ class ShardedEngine:
         ``("run", "shard:<i>")`` — across the thread *and* process
         backends — and the merged run metrics carry the union of shard
         histograms, gauges, and spans plus a coordinator ``run`` span.
+    representation / column_backend:
+        Per-shard engine execution representation (``"tuple"`` or
+        ``"columnar"``) and column storage backend — see
+        :class:`~repro.core.engine.Engine`.  The columnar tier is
+        certified element-identical per shard, so the merge discipline
+        is unchanged.
     """
 
     def __init__(
@@ -487,6 +501,8 @@ class ShardedEngine:
         backend: str = "thread",
         worker_timeout: float | None = None,
         observe=None,
+        representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         if not isinstance(partition, PartitionSpec):
             raise PlanError(
@@ -518,9 +534,17 @@ class ShardedEngine:
         self.backend = backend
         self.worker_timeout = worker_timeout
         self.observe_config = ObserveConfig.coerce(observe)
+        self.representation = representation
+        self.column_backend = column_backend
         self._strategy = _analyze(plan, partition)
-        # Validate batch_size eagerly (Engine does the same check).
-        Engine(plan, batch_size=batch_size)
+        # Validate batch_size/representation/backend eagerly (Engine
+        # performs the same checks per shard).
+        Engine(
+            plan,
+            batch_size=batch_size,
+            representation=representation,
+            column_backend=column_backend,
+        )
 
     # -- introspection ---------------------------------------------------
 
@@ -555,7 +579,11 @@ class ShardedEngine:
         cfg = self.observe_config
         if st.name == "single":
             return Engine(
-                self.plan, batch_size=self.batch_size, observe=cfg
+                self.plan,
+                batch_size=self.batch_size,
+                observe=cfg,
+                representation=self.representation,
+                column_backend=self.column_backend,
             ).run(sources)
         run_start = perf_counter() if cfg is not None else 0.0
         by_name = resolve_sources(self.plan, sources)
@@ -616,6 +644,8 @@ class ShardedEngine:
                 [epoch.punct for epoch in epochs],
                 self.batch_size,
                 self._shard_observe(shard),
+                self.representation,
+                self.column_backend,
             )
             for shard, ops in enumerate(shard_ops)
         ]
@@ -922,6 +952,8 @@ def run_sharded(
     backend: str = "thread",
     worker_timeout: float | None = None,
     observe=None,
+    representation: str = "tuple",
+    column_backend: str | None = None,
 ) -> RunResult:
     """One-shot convenience: build a :class:`ShardedEngine` and run it."""
     engine = ShardedEngine(
@@ -931,5 +963,7 @@ def run_sharded(
         backend=backend,
         worker_timeout=worker_timeout,
         observe=observe,
+        representation=representation,
+        column_backend=column_backend,
     )
     return engine.run(sources)

@@ -107,13 +107,20 @@ class _ShardCore:
 
     def __init__(
         self, ops: list, input_name: str, output_name: str, batch_size,
-        observe=None,
+        observe=None, representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         self.ops = ops
         self.input_name = input_name
         self.output_name = output_name
         plan = linear_plan(input_name, ops, output_name)
-        self.engine = Engine(plan, batch_size=batch_size, observe=observe)
+        self.engine = Engine(
+            plan,
+            batch_size=batch_size,
+            observe=observe,
+            representation=representation,
+            column_backend=column_backend,
+        )
         self.engine.start()
         self.emitted = 0
 
@@ -299,7 +306,8 @@ class _ThreadWorker:
 
 
 def _process_worker_main(
-    conn, ops, input_name, output_name, batch_size, observe=None
+    conn, ops, input_name, output_name, batch_size, observe=None,
+    representation="tuple", column_backend=None,
 ) -> None:
     """Forked child: serve epoch/snapshot/restore/finish commands.
 
@@ -307,7 +315,10 @@ def _process_worker_main(
     exception — the parent observes it as EOF on the result pipe,
     exactly like a segfaulted or OOM-killed worker.
     """
-    core = _ShardCore(ops, input_name, output_name, batch_size, observe)
+    core = _ShardCore(
+        ops, input_name, output_name, batch_size, observe,
+        representation, column_backend,
+    )
     try:
         while True:
             cmd = conn.recv()
@@ -366,7 +377,8 @@ class _ProcessWorker:
 
     def __init__(
         self, ops, input_name: str, output_name: str, batch_size,
-        observe=None,
+        observe=None, representation: str = "tuple",
+        column_backend: str | None = None,
     ) -> None:
         ctx = multiprocessing.get_context("fork")
         # Two one-way pipes.  The child holds the *only* write end of
@@ -384,6 +396,8 @@ class _ProcessWorker:
                 output_name,
                 batch_size,
                 observe,
+                representation,
+                column_backend,
             ),
         )
         self.proc.start()
@@ -581,6 +595,8 @@ class Supervisor:
                     batch_size=self.engine.batch_size,
                     backend=self.engine.backend,
                     observe=self.engine.observe_config,
+                    representation=self.engine.representation,
+                    column_backend=self.engine.column_backend,
                 )
                 if engine._strategy.name == "single":
                     self.report.degraded_to = "single"
@@ -687,10 +703,11 @@ class Supervisor:
         if engine.backend == "process":
             return _ProcessWorker(
                 ops, st.input_name, st.output_name, engine.batch_size,
-                observe,
+                observe, engine.representation, engine.column_backend,
             )
         core = _ShardCore(
-            ops, st.input_name, st.output_name, engine.batch_size, observe
+            ops, st.input_name, st.output_name, engine.batch_size,
+            observe, engine.representation, engine.column_backend,
         )
         if engine.backend == "thread":
             return _ThreadWorker(core)
@@ -769,6 +786,8 @@ class Supervisor:
                     plan,
                     batch_size=batch_size,
                     observe=self.engine.observe_config,
+                    representation=self.engine.representation,
+                    column_backend=self.engine.column_backend,
                 ).run(sources)
                 self._publish(result.metrics)
                 return result

@@ -1,0 +1,190 @@
+"""M9 — Feedback punctuations: targeted shedding quality vs random.
+
+The backward control channel exists to make load shedding *semantic*:
+instead of a uniform coin flip at ingress, the guard's per-key synopsis
+turns the same drop budget into ``DOWNSAMPLE`` advice on the measured
+hot keys.  Under Zipf skew that concentrates the loss where each group
+has counts to spare, so grouped-aggregate answers degrade much less.
+
+The experiment, at equal drop budgets over a seeded
+:class:`~repro.workloads.PhaseShiftZipf` overload (hot keys rotate
+mid-run, so static key lists would go stale):
+
+1. run the feedback-shedding guard, record its drop budget ``D`` and
+   the mean per-group relative error of a grouped count;
+2. re-run the identical stream through a uniform
+   :class:`~repro.shedding.RandomShedder` tuned to the same budget;
+3. gate: random's error must be **>= 1.5x** feedback's error — the
+   quality-domination bar from the M9 chaos certification.
+
+Run as a script to record ``BENCH_m9.json`` (add ``--smoke`` for the
+tiny CI variant that just enforces the 1.5x gate end-to-end).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import best_of, write_baseline  # noqa: E402
+
+from repro.core import Engine, ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.feedback import FeedbackShedding
+from repro.operators import Select
+from repro.resilience import OverloadGuard
+from repro.shedding import LoadController, RandomShedder
+from repro.workloads import PhaseShiftZipf
+
+N = 30_000
+KEYS = 32
+SKEW = 1.2
+PUNCT_EVERY = 250
+GATE = 1.5  # random error must be >= GATE x feedback error
+
+
+def elements_for(n: int, keys: int = KEYS, punct_every: int = PUNCT_EVERY):
+    gen = PhaseShiftZipf(keys, s=SKEW, phase_length=n // 3, seed=29)
+    out = []
+    for i in range(n):
+        out.append(
+            Record(
+                {"ts": float(i), "k": gen.sample(), "pad": "x" * 40},
+                ts=float(i),
+                seq=i,
+            )
+        )
+        if i % punct_every == punct_every - 1:
+            out.append(Punctuation.time_bound("ts", float(i), ts=float(i)))
+    return out
+
+
+def _run(guard, elements):
+    plan = linear_plan("s", [Select(lambda r: True, name="sel")], "out")
+    engine = Engine(plan, guard=guard, batch_size=None)
+    return engine.run({"s": ListSource("s", elements)})
+
+
+def _feedback_guard(trigger_after: int):
+    """Always-pressured ramp so the synopsis, not the watermarks, is
+    what the measurement exercises."""
+    return OverloadGuard(
+        controller=LoadController(
+            low_watermark=-2.0, high_watermark=-1.0, max_drop_rate=0.5
+        ),
+        feedback=FeedbackShedding(
+            key_attr="k",
+            keep_rate=0.3,
+            hot_keys=3,
+            trigger_after=trigger_after,
+            resume_after=10_000_000,
+        ),
+    )
+
+
+def _counts(records):
+    counts: dict = {}
+    for r in records:
+        if isinstance(r, Record):
+            counts[r.values["k"]] = counts.get(r.values["k"], 0) + 1
+    return counts
+
+
+def _mean_relative_error(truth, observed) -> float:
+    errs = [
+        abs(observed.get(k, 0) - n) / n for k, n in truth.items() if n > 0
+    ]
+    return sum(errs) / len(errs)
+
+
+def measure(n: int = N, repeats: int = 3) -> dict:
+    """Feedback vs random at equal drop budgets over one seeded stream."""
+    elements = elements_for(n)
+    offered = [e for e in elements if isinstance(e, Record)]
+    truth = _counts(offered)
+
+    fb_s, fb_result = best_of(
+        lambda: _run(_feedback_guard(trigger_after=n // 20), elements),
+        repeats,
+    )
+    budget = fb_result.dropped
+    if budget <= 0:
+        raise AssertionError("feedback guard shed nothing; no comparison")
+    fb_err = _mean_relative_error(truth, _counts(fb_result.outputs["out"]))
+
+    rnd_s, rnd_result = best_of(
+        lambda: _run(
+            OverloadGuard(
+                controller=RandomShedder(budget / len(offered), seed=7)
+            ),
+            elements,
+        ),
+        repeats,
+    )
+    rnd_budget = rnd_result.dropped
+    if abs(rnd_budget - budget) / budget > 0.25:
+        raise AssertionError(
+            f"budgets diverged: feedback dropped {budget}, "
+            f"random dropped {rnd_budget} — comparison is unfair"
+        )
+    rnd_err = _mean_relative_error(truth, _counts(rnd_result.outputs["out"]))
+
+    ratio = rnd_err / fb_err if fb_err > 0 else float("inf")
+    counters = fb_result.metrics.counters
+    return {
+        "n_tuples": n,
+        "keys": KEYS,
+        "zipf_s": SKEW,
+        "drop_budget": budget,
+        "random_drop_budget": rnd_budget,
+        "feedback_mean_rel_error": round(fb_err, 5),
+        "random_mean_rel_error": round(rnd_err, 5),
+        "error_ratio_random_over_feedback": round(min(ratio, 1e9), 3),
+        "feedback_run_s": round(fb_s, 4),
+        "random_run_s": round(rnd_s, 4),
+        "feedback_drops_by_reason": {
+            "feedback": counters.get("overload.drops.feedback", 0),
+            "random": counters.get("overload.drops.random", 0),
+            "queue": counters.get("overload.drops.queue", 0),
+        },
+        "gate": GATE,
+        "gate_passed": ratio >= GATE,
+    }
+
+
+def _enforce_gate(result: dict) -> None:
+    if not result["gate_passed"]:
+        raise AssertionError(
+            f"targeted shedding quality gate failed: random/feedback "
+            f"error ratio {result['error_ratio_random_over_feedback']} "
+            f"< {GATE} (feedback {result['feedback_mean_rel_error']}, "
+            f"random {result['random_mean_rel_error']}, "
+            f"budget {result['drop_budget']})"
+        )
+
+
+def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
+    baseline = {"m9_feedback_vs_random": measure(n)}
+    _enforce_gate(baseline["m9_feedback_vs_random"])
+    return write_baseline("BENCH_m9.json", baseline, path)
+
+
+def smoke(n: int = 8000) -> dict:
+    """Tiny CI variant: the 1.5x quality gate, end to end, seconds."""
+    result = measure(n, repeats=1)
+    _enforce_gate(result)
+    return result
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        print(json.dumps(smoke(), indent=2))
+        print(
+            f"smoke ok: targeted shedding beat random by "
+            f">= {GATE}x on grouped relative error at equal drop budgets"
+        )
+    else:
+        recorded = record_baseline()
+        print(json.dumps(recorded, indent=2))

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from repro.adaptive.revision import (
     Migration,
     ReorderChain,
+    RetuneFeedback,
     RetuneShedding,
     Revision,
     SetBatchSize,
@@ -131,6 +132,20 @@ class AdaptiveConfig:
         (``None`` keeps the engine's auto choice).
     max_migrations:
         Cap on *structural* migrations per run (``None`` = unlimited).
+    feedback_shedding:
+        Enable :class:`RetuneFeedback` decisions: when the attached
+        guard reports sustained *untargeted* drops (random coin flips or
+        queue overflow) and a measured key skew, install targeted
+        downsampling advice on the hottest keys instead — and retract it
+        (RESUME) once the untargeted pressure clears.  Requires the
+        runner to pass ``overload=guard.feedback_stats()``.
+    feedback_trigger_windows / feedback_resume_windows:
+        Hysteresis: consecutive pressured decision windows before
+        advising, and consecutive calm windows before resuming.
+    feedback_keep_rate:
+        Keep-rate for the advised hot keys.
+    feedback_hot_keys:
+        How many of the guard's measured hot keys to target.
     """
 
     decide_every: int = 1
@@ -156,6 +171,11 @@ class AdaptiveConfig:
     representation_revert_ratio: float = 1.25
     column_backend: str | None = None
     max_migrations: int | None = None
+    feedback_shedding: bool = False
+    feedback_trigger_windows: int = 2
+    feedback_resume_windows: int = 3
+    feedback_keep_rate: float = 0.25
+    feedback_hot_keys: int = 2
 
     def __post_init__(self) -> None:
         if self.decide_every < 1:
@@ -184,6 +204,22 @@ class AdaptiveConfig:
             raise PlanError(
                 f"representation_revert_ratio must be >= 1.0; "
                 f"got {self.representation_revert_ratio}"
+            )
+        if self.feedback_trigger_windows < 1 or self.feedback_resume_windows < 1:
+            raise PlanError(
+                f"feedback trigger/resume windows must be >= 1; got "
+                f"({self.feedback_trigger_windows}, "
+                f"{self.feedback_resume_windows})"
+            )
+        if not 0.0 <= self.feedback_keep_rate <= 1.0:
+            raise PlanError(
+                f"feedback_keep_rate must be in [0, 1]; "
+                f"got {self.feedback_keep_rate}"
+            )
+        if self.feedback_hot_keys < 1:
+            raise PlanError(
+                f"feedback_hot_keys must be >= 1; "
+                f"got {self.feedback_hot_keys}"
             )
 
 
@@ -214,6 +250,14 @@ class AdaptiveController:
         # switch, and a one-way block after a revert (no flip-flopping).
         self._repr_cost_before: float | None = None
         self._repr_blocked = False
+        # Feedback shedding hysteresis: consecutive pressured / calm
+        # decision windows, whether advice is currently installed, and
+        # the previous cumulative untargeted-drop counters to difference
+        # against.
+        self._fb_pressured = 0
+        self._fb_calm = 0
+        self._fb_active = False
+        self._fb_prev_drops: dict | None = None
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -237,6 +281,7 @@ class AdaptiveController:
         batch_size: int | None = None,
         has_guard: bool = False,
         representation: str | None = None,
+        overload: dict | None = None,
     ) -> list[Revision]:
         """One boundary's worth of feedback; returns revisions to apply.
 
@@ -269,6 +314,8 @@ class AdaptiveController:
             revisions.extend(self._decide_batch(window, chain, batch_size))
         if self.config.shed_target_seconds is not None and has_guard:
             revisions.extend(self._decide_shedding(window, chain))
+        if self.config.feedback_shedding and overload is not None:
+            revisions.extend(self._decide_feedback(overload))
         if (
             self.config.select_representation
             and chain is not None
@@ -504,3 +551,69 @@ class AdaptiveController:
             f"({marks[0]:.0f}, {marks[1]:.0f}) records",
         )
         return [revision]
+
+    # -- targeted feedback shedding ----------------------------------------
+
+    def _decide_feedback(self, overload: dict) -> list[Revision]:
+        """Hysteresis over the guard's *untargeted* drop counters.
+
+        ``overload`` is ``guard.feedback_stats()``.  Pressure is defined
+        as new random/queue drops this window — drops the guard was
+        forced to make blindly.  Sustained pressure plus a measured key
+        skew yields a :class:`RetuneFeedback` installing targeted
+        downsampling on the hottest keys; once the untargeted drops stop
+        (the advice absorbed the load, or the burst passed), sustained
+        calm retracts everything with ``resume=True``.  Feedback-advised
+        drops deliberately do NOT count as pressure, otherwise active
+        advice would keep itself alive forever.
+        """
+        cfg = self.config
+        drops = overload.get("drops", {})
+        untargeted = drops.get("random", 0) + drops.get("queue", 0)
+        prev = self._fb_prev_drops or {}
+        delta = untargeted - (prev.get("random", 0) + prev.get("queue", 0))
+        self._fb_prev_drops = dict(drops)
+        key_attr = overload.get("key_attr")
+        hot = overload.get("hot") or []
+        if delta > 0:
+            self._fb_pressured += 1
+            self._fb_calm = 0
+            if (
+                self._fb_pressured >= cfg.feedback_trigger_windows
+                and not self._fb_active
+                and key_attr
+                and hot
+            ):
+                keys = tuple(k for k, _ in hot[: cfg.feedback_hot_keys])
+                revision = RetuneFeedback(
+                    attr=key_attr,
+                    keys=keys,
+                    rate=cfg.feedback_keep_rate,
+                )
+                self._fb_active = True
+                self._log(
+                    self._boundaries,
+                    revision,
+                    f"{delta} untargeted drops this window after "
+                    f"{self._fb_pressured} pressured windows: downsample "
+                    f"{key_attr}∈{keys!r} to keep-rate "
+                    f"{cfg.feedback_keep_rate}",
+                )
+                return [revision]
+        else:
+            self._fb_pressured = 0
+            if self._fb_active:
+                self._fb_calm += 1
+                if self._fb_calm >= cfg.feedback_resume_windows:
+                    self._fb_active = False
+                    self._fb_calm = 0
+                    revision = RetuneFeedback(resume=True)
+                    self._log(
+                        self._boundaries,
+                        revision,
+                        "no untargeted drops for "
+                        f"{cfg.feedback_resume_windows} windows: "
+                        "retracting feedback advice",
+                    )
+                    return [revision]
+        return []

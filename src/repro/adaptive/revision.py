@@ -58,6 +58,7 @@ __all__ = [
     "SetBatchSize",
     "SetRepresentation",
     "RetuneShedding",
+    "RetuneFeedback",
     "Migration",
     "apply_to_chain",
     "apply_revisions",
@@ -173,6 +174,35 @@ class RetuneShedding(Revision):
     structural = False
     low: float
     high: float
+
+
+@dataclass(frozen=True)
+class RetuneFeedback(Revision):
+    """Install (or retract) targeted feedback advice at the guard.
+
+    The adaptive controller emits this when the guard reports sustained
+    pressure with a measured key skew: ``attr``/``keys``/``rate`` ask
+    the guard to downsample the named hot keys to keep-rate ``rate``;
+    ``resume=True`` retracts all feedback advice (pressure cleared).
+    """
+
+    structural = False
+    attr: str = ""
+    keys: tuple = ()
+    rate: float = 1.0
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+        if not self.resume:
+            if not self.attr or not self.keys:
+                raise PlanError(
+                    "RetuneFeedback needs attr and keys unless resume=True"
+                )
+            if not (0.0 <= self.rate <= 1.0):
+                raise PlanError(
+                    f"RetuneFeedback rate must be in [0, 1]: {self.rate}"
+                )
 
 
 @dataclass(frozen=True)
@@ -364,6 +394,9 @@ def apply_revisions(
         elif isinstance(revision, RetuneShedding):
             if engine.guard is not None:
                 engine.guard.retune(revision.low, revision.high)
+        elif isinstance(revision, RetuneFeedback):
+            if engine.guard is not None:
+                engine.guard.apply_retune(revision)
         elif isinstance(revision, SetRepresentation):
             if revision.column_backend is not None:
                 engine.column_backend = revision.column_backend

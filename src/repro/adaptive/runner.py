@@ -157,12 +157,19 @@ class AdaptiveEngine:
 
     def _boundary(self) -> None:
         engine = self.engine
+        guard = engine.guard
+        overload = (
+            guard.feedback_stats()
+            if guard is not None and hasattr(guard, "feedback_stats")
+            else None
+        )
         revisions = self.controller.observe(
             collect_stats(engine.metrics),
             self._chain,
             batch_size=engine.batch_size,
-            has_guard=engine.guard is not None,
+            has_guard=guard is not None,
             representation=engine.representation,
+            overload=overload,
         )
         if revisions:
             self._chain = apply_revisions(
@@ -264,6 +271,17 @@ class AdaptiveShardedEngine:
                     produced, prog = workers[shard].join_epoch(None)
                     accepted[shard].append(produced)
                     progress[shard].append(prog)
+                # Cross-shard feedback: advice any shard's operators
+                # pushed to their local ingress this epoch is broadcast
+                # so every shard sheds the same slice (a hot key is hot
+                # wherever the partitioner routed it; installation is
+                # idempotent on the originating shard).
+                exchanged: list = []
+                for worker in workers:
+                    exchanged.extend(worker.take_feedback())
+                if exchanged:
+                    for worker in workers:
+                        worker.apply_feedback(exchanged)
                 # Epoch boundary: every worker is quiescent.  Decide
                 # centrally on the summed stats, broadcast identically.
                 totals = merge_stats([w.stats() for w in workers])

@@ -17,8 +17,10 @@ from repro.columnar.batch import BACKENDS, ColumnBatch, HAVE_NUMPY
 from repro.core.graph import Plan
 from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source, merge_sources
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
 from repro.errors import PlanError
+from repro.feedback.channel import FeedbackChannel
+from repro.feedback.table import AdviceTable
 from repro.observe.observer import ObserveConfig, Observer
 
 __all__ = [
@@ -74,6 +76,11 @@ class EngineCheckpoint:
     #: per-output ``ts`` of the last punctuation emitted before the
     #: checkpoint (``None`` when the output has seen no punctuation).
     watermarks: dict[str, float | None]
+    #: ingress feedback state (engine advice table + guard feedback
+    #: snapshot); ``None`` for checkpoints taken before M9 or when no
+    #: feedback was active — recovery must not un-shed (see
+    #: :mod:`repro.feedback`).
+    feedback: object | None = None
 
 
 class Engine:
@@ -159,6 +166,15 @@ class Engine:
         self._observer: Observer | None = None
         self.metrics = MetricsRegistry()
         self._outputs: dict[str, list[Element]] | None = None
+        #: Backward control channel (see :mod:`repro.feedback`): built at
+        #: :meth:`start`, drained between forward dispatches.
+        self._feedback: FeedbackChannel | None = None
+        #: Ingress advice for guardless engines (with a guard, advice
+        #: installs into the guard instead).
+        self._advice: AdviceTable | None = None
+        self._ingress_dropped = 0
+        self._ops_by_name: dict[str, object] = {}
+        self._preds: dict[int, list] = {}
 
     @property
     def representation(self) -> str:
@@ -229,9 +245,17 @@ class Engine:
         if self.guard is not None:
             merged = self._guarded(merged)
         if self.batch_size is None:
+            channel = self._feedback
+            inputs = self.plan.inputs
             for input_name, element in merged:
-                for consumer, port in self.plan.inputs[input_name]:
+                if self._advice is not None and not self._admit_ingress(
+                    element
+                ):
+                    continue
+                for consumer, port in inputs[input_name]:
                     self._dispatch(consumer, element, port, self._outputs)
+                if channel is not None and channel.pending:
+                    self._process_feedback()
         else:
             self._run_batched(merged, self._outputs)
         return self.finish()
@@ -241,6 +265,7 @@ class Engine:
         batch_size = self.batch_size
         assert batch_size is not None
         inputs = self.plan.inputs
+        channel = self._feedback
         observing = self._observer is not None
         pending: list[Element] = []
         pending_input: str | None = None
@@ -248,27 +273,36 @@ class Engine:
             if pending and (
                 input_name != pending_input or len(pending) >= batch_size
             ):
+                chunk = self._shed_chunk(pending)
                 for consumer, port in inputs[pending_input]:
-                    self._dispatch_batch(consumer, pending, port, outputs)
+                    self._dispatch_batch(consumer, chunk, port, outputs)
                 if observing:
                     self._observe_chunk(pending[-1])
+                if channel is not None and channel.pending:
+                    self._process_feedback()
                 pending = []
             pending_input = input_name
             pending.append(element)
             if isinstance(element, Punctuation):
                 # Close the chunk at the punctuation so downstream
                 # flushes keep their tuple-at-a-time positions.
+                chunk = self._shed_chunk(pending)
                 for consumer, port in inputs[pending_input]:
-                    self._dispatch_batch(consumer, pending, port, outputs)
+                    self._dispatch_batch(consumer, chunk, port, outputs)
                 if observing:
                     self._observe_chunk(element)
+                if channel is not None and channel.pending:
+                    self._process_feedback()
                 pending = []
         if pending:
             assert pending_input is not None
+            chunk = self._shed_chunk(pending)
             for consumer, port in inputs[pending_input]:
-                self._dispatch_batch(consumer, pending, port, outputs)
+                self._dispatch_batch(consumer, chunk, port, outputs)
             if observing:
                 self._observe_chunk(pending[-1])
+            if channel is not None and channel.pending:
+                self._process_feedback()
 
     def _run_sliced(
         self,
@@ -302,8 +336,10 @@ class Engine:
                 end = next_p + 1
                 punct_last = True
                 next_p = next(puncts, n)
-            chunk = elements[start:end]
+            chunk = self._shed_chunk(elements[start:end])
             start = end
+            if not chunk:
+                continue
             for consumer, port in consumers:
                 if consumer.supports_columns():
                     run = chunk[:-1] if punct_last else chunk
@@ -320,6 +356,8 @@ class Engine:
                     self._dispatch_batch(consumer, chunk, port, outputs)
             if observing:
                 self._observe_chunk(chunk[-1])
+            if self._feedback is not None and self._feedback.pending:
+                self._process_feedback()
 
     def _observe_chunk(self, last_element: Element) -> None:
         """Batch-boundary observation: stream-progress gauges plus, when
@@ -363,11 +401,118 @@ class Engine:
         else:
             self._observer = None
         self._outputs = {name: [] for name in self.plan.outputs}
+        self._feedback = FeedbackChannel()
+        self._advice = None
+        self._ingress_dropped = 0
+        self._bind_feedback()
         if self.guard is not None:
             self.guard.attach(self.plan)
             bind = getattr(self.guard, "bind_observer", None)
             if bind is not None:
                 bind(self._observer)
+            bind_channel = getattr(self.guard, "bind_channel", None)
+            if bind_channel is not None:
+                bind_channel(self._feedback)
+
+    # -- backward control channel ------------------------------------------
+
+    def _bind_feedback(self) -> None:
+        """Attach the channel to every operator and cache the reverse
+        adjacency the upstream walk follows."""
+        self._ops_by_name = {}
+        self._preds = {}
+        for op in self.plan.topological_order():
+            op.bind_feedback(self._feedback)
+            self._ops_by_name[op.name] = op
+            self._preds[id(op)] = self.plan.predecessors(op)
+
+    def _process_feedback(self) -> None:
+        """Drain the channel, walking each emission upstream."""
+        channel = self._feedback
+        assert channel is not None
+        while channel.pending:
+            for fb in channel.drain():
+                origin = self._ops_by_name.get(fb.origin)
+                if origin is None:
+                    # Emitted from outside the plan (or by a renamed
+                    # operator): deliver straight to every ingress.
+                    for input_name in self.plan.inputs:
+                        self._deliver_ingress(input_name, fb)
+                    continue
+                self._propagate_feedback(origin, fb)
+
+    def _propagate_feedback(self, operator, fb: FeedbackPunctuation) -> None:
+        stack = [(operator, fb)]
+        while stack:
+            op, item = stack.pop()
+            for producer, _port in self._preds.get(id(op), ()):
+                if isinstance(producer, str):
+                    self._deliver_ingress(producer, item)
+                else:
+                    # The producer acts (returns []), translates, or
+                    # forwards; whatever survives keeps climbing.
+                    for passed in producer.on_feedback(item):
+                        stack.append((producer, passed))
+
+    def _deliver_ingress(self, input_name: str, fb: FeedbackPunctuation) -> None:
+        """Advice reached a plan input: install it at the ingress."""
+        apply_fb = getattr(self.guard, "apply_feedback", None)
+        if apply_fb is not None:
+            apply_fb(input_name, fb)
+        else:
+            if self._advice is None:
+                self._advice = AdviceTable()
+            self._advice.apply(fb)
+        assert self._feedback is not None
+        self._feedback.record_ingress(input_name, fb)
+
+    def apply_feedback(
+        self, items: Iterable[tuple[str, FeedbackPunctuation]]
+    ) -> None:
+        """Install ingress feedback pushed from outside (the sharding
+        coordinator's cross-shard broadcast).
+
+        Unlike locally-propagated feedback this is *not* recorded in the
+        channel's ingress log — re-broadcasting what a coordinator just
+        broadcast would loop.  Installation is idempotent, so the shard
+        that originated the advice re-applies harmlessly.
+        """
+        for input_name, fb in items:
+            apply_fb = getattr(self.guard, "apply_feedback", None)
+            if apply_fb is not None:
+                apply_fb(input_name, fb)
+            else:
+                if self._advice is None:
+                    self._advice = AdviceTable()
+                self._advice.apply(fb)
+
+    def take_ingress_feedback(self) -> list[tuple[str, FeedbackPunctuation]]:
+        """Drain feedback that reached this engine's ingresses (picklable)."""
+        if self._feedback is None:
+            return []
+        return self._feedback.take_ingress()
+
+    def _admit_ingress(self, element: Element) -> bool:
+        """Guardless ingress advice filter (guarded engines shed inside
+        the guard instead)."""
+        advice = self._advice
+        if advice is None or not isinstance(element, Record):
+            return True
+        if advice.admit(element):
+            return True
+        self._ingress_dropped += 1
+        return False
+
+    def _shed_chunk(self, elements: Sequence[Element]) -> Sequence[Element]:
+        advice = self._advice
+        if advice is None or not len(advice):
+            return elements
+        admit = self._admit_ingress
+        return [
+            el
+            for el in elements
+            if not isinstance(el, Record) or admit(el)
+        ]
 
     def feed(self, input_name: str, element: Element) -> list[Element]:
         """Push one element into ``input_name``; return new 'out' output.
@@ -382,9 +527,13 @@ class Engine:
             raise PlanError(f"unknown input {input_name!r}")
         primary = next(iter(self.plan.outputs), None)
         before = len(self._outputs[primary]) if primary else 0
-        if self.guard is None or self.guard.admit(input_name, element):
+        if (
+            self.guard is None or self.guard.admit(input_name, element)
+        ) and self._admit_ingress(element):
             for consumer, port in self.plan.inputs[input_name]:
                 self._dispatch(consumer, element, port, self._outputs)
+        if self._feedback is not None and self._feedback.pending:
+            self._process_feedback()
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -409,10 +558,13 @@ class Engine:
             elements = [
                 el for el in elements if self.guard.admit(input_name, el)
             ]
+        elements = list(self._shed_chunk(elements))
         for consumer, port in self.plan.inputs[input_name]:
             self._dispatch_batch(consumer, elements, port, self._outputs)
         if self._observer is not None and elements:
             self._observe_chunk(elements[-1])
+        if self._feedback is not None and self._feedback.pending:
+            self._process_feedback()
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -438,10 +590,20 @@ class Engine:
         outputs = self._outputs
         self._flush_all(outputs)
         self._outputs = None
-        dropped = 0
+        dropped = self._ingress_dropped
         if self.guard is not None:
-            dropped = self.guard.dropped()
+            dropped += self.guard.dropped()
             self.guard.publish(self.metrics)
+        if self._feedback is not None:
+            if self._feedback.emitted:
+                self.metrics.incr("feedback.emitted", self._feedback.emitted)
+                self.metrics.incr(
+                    "feedback.delivered", self._feedback.delivered
+                )
+            if self._ingress_dropped:
+                self.metrics.incr(
+                    "feedback.ingress_dropped", self._ingress_dropped
+                )
         if self._observer is not None:
             self._observer.finish_run()
             self._observer = None
@@ -525,6 +687,8 @@ class Engine:
             rebind = getattr(self.guard, "rebind", None)
             if rebind is not None:
                 rebind(new_plan)
+        if self._feedback is not None:
+            self._bind_feedback()
 
     # -- checkpointing -----------------------------------------------------
 
@@ -551,6 +715,16 @@ class Engine:
                     mark = el.ts
                     break
             watermarks[out_name] = mark
+        advice_state = (
+            self._advice.snapshot() if self._advice is not None else None
+        )
+        guard_fb = getattr(self.guard, "feedback_snapshot", None)
+        guard_state = guard_fb() if guard_fb is not None else None
+        feedback = (
+            {"advice": advice_state, "guard": guard_state}
+            if advice_state is not None or guard_state is not None
+            else None
+        )
         return EngineCheckpoint(
             operator_names=names,
             operator_states=states,
@@ -558,6 +732,7 @@ class Engine:
                 name: len(els) for name, els in self._outputs.items()
             },
             watermarks=watermarks,
+            feedback=feedback,
         )
 
     def restore_checkpoint(self, cp: EngineCheckpoint) -> None:
@@ -588,6 +763,17 @@ class Engine:
                     f"checkpoint references unknown output {out_name!r}"
                 )
             del self._outputs[out_name][length:]
+        feedback = getattr(cp, "feedback", None)
+        advice_state = feedback.get("advice") if feedback else None
+        if advice_state is not None:
+            if self._advice is None:
+                self._advice = AdviceTable()
+            self._advice.restore(advice_state)
+        elif self._advice is not None:
+            self._advice.reset()
+        guard_restore = getattr(self.guard, "feedback_restore", None)
+        if guard_restore is not None:
+            guard_restore(feedback.get("guard") if feedback else None)
 
     # -- internals --------------------------------------------------------
 

@@ -94,6 +94,24 @@ class Plan:
     def successors(self, operator: Operator) -> list[tuple[Operator, int]]:
         return list(self._succ.get(id(operator), []))
 
+    def predecessors(self, operator: Operator) -> list[tuple["Operator | str", int]]:
+        """Producers feeding ``operator``, as ``(producer, port)`` pairs.
+
+        A producer is either an upstream operator or an external input
+        name (a ``str``).  This is the reverse adjacency the feedback
+        channel walks when propagating advice against the dataflow.
+        """
+        preds: list[tuple[Operator | str, int]] = []
+        for input_name, consumers in self.inputs.items():
+            for consumer, port in consumers:
+                if consumer is operator:
+                    preds.append((input_name, port))
+        for producer in self.operators:
+            for consumer, port in self._succ.get(id(producer), []):
+                if consumer is operator:
+                    preds.append((producer, port))
+        return preds
+
     def output_names_for(self, operator: Operator) -> list[str]:
         return [n for n, op in self.outputs.items() if op is operator]
 

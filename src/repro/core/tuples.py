@@ -27,10 +27,17 @@ __all__ = [
     "Schema",
     "Record",
     "Punctuation",
+    "FeedbackPunctuation",
+    "Downsample",
+    "DropKeys",
+    "WidenSlide",
+    "Pause",
+    "Resume",
     "WILDCARD",
     "element_size",
     "is_record",
     "is_punctuation",
+    "is_feedback",
 ]
 
 
@@ -273,6 +280,38 @@ class Record:
         return f"Record({inner}, ts={self.ts})"
 
 
+def _pattern_matches(
+    pattern: tuple[tuple[str, Any], ...], record: "Record"
+) -> bool:
+    """TMSF03 pattern semantics, shared by data and feedback punctuations.
+
+    Range patterns compare with ``<``/``>``; on a mixed-type stream those
+    comparisons can raise ``TypeError`` (e.g. a ``(0, 100)`` bound probed
+    against a string key).  A value the range cannot order is simply not
+    covered by the range, so the comparison failure means *no match*, not
+    a crash mid-stream.
+    """
+    for name, pat in pattern:
+        if name not in record:
+            return False
+        value = record[name]
+        if pat == WILDCARD:
+            continue
+        if isinstance(pat, tuple) and len(pat) == 2:
+            low, high = pat
+            try:
+                if low is not None and value < low:
+                    return False
+                if high is not None and value > high:
+                    return False
+            except TypeError:
+                return False
+            continue
+        if value != pat:
+            return False
+    return True
+
+
 @dataclass(frozen=True)
 class Punctuation:
     """An in-band assertion that no future record matches ``pattern``.
@@ -306,22 +345,7 @@ class Punctuation:
 
     def matches(self, record: Record) -> bool:
         """Return ``True`` if ``record`` is covered by this punctuation."""
-        for name, pat in self.pattern:
-            if name not in record:
-                return False
-            value = record[name]
-            if pat == WILDCARD:
-                continue
-            if isinstance(pat, tuple) and len(pat) == 2:
-                low, high = pat
-                if low is not None and value < low:
-                    return False
-                if high is not None and value > high:
-                    return False
-                continue
-            if value != pat:
-                return False
-        return True
+        return _pattern_matches(self.pattern, record)
 
     def bound_for(self, attr: str) -> float | None:
         """Return the inclusive upper bound asserted for ``attr``, if any."""
@@ -339,6 +363,117 @@ class Punctuation:
         return f"Punctuation({inner})"
 
 
+@dataclass(frozen=True)
+class Downsample:
+    """Advice: keep only ``rate`` (0..1] of the records matching the pattern.
+
+    Rate is a *keep* rate: ``Downsample(0.25)`` asks the producer to let
+    one in four matching records through.  Producers implement it with a
+    deterministic counter stride (see ``repro.feedback.table``) so a
+    crash-replayed run admits the same records.
+    """
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.rate <= 1.0):
+            raise ValueError(f"Downsample rate must be in [0, 1]: {self.rate}")
+
+
+@dataclass(frozen=True)
+class DropKeys:
+    """Advice: drop matching records whose ``attr`` value is in ``keys``."""
+
+    attr: str
+    keys: tuple = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "keys", tuple(self.keys))
+
+
+@dataclass(frozen=True)
+class WidenSlide:
+    """Advice: emit every ``factor``-th sliding-window refresh instead of all."""
+
+    factor: int
+
+    def __post_init__(self) -> None:
+        if self.factor < 1:
+            raise ValueError(f"WidenSlide factor must be >= 1: {self.factor}")
+
+
+@dataclass(frozen=True)
+class Pause:
+    """Advice: drop every matching record until a RESUME arrives."""
+
+
+@dataclass(frozen=True)
+class Resume:
+    """Advice: cancel prior advice installed for the same pattern.
+
+    A resume with the empty pattern ``()`` cancels *all* advice at the
+    acting operator.
+    """
+
+
+@dataclass(frozen=True)
+class FeedbackPunctuation:
+    """A control marker flowing *against* the dataflow (FMT, arXiv:0909.2062).
+
+    Where a :class:`Punctuation` describes the past of the forward stream
+    ("no more records matching this pattern"), a feedback punctuation is a
+    request about its *future*: an overloaded consumer sends
+    ``FeedbackPunctuation(pattern, advice)`` upstream asking producers to
+    stop, thin, or coarsen the matching slice of the stream.  Operators
+    between the emitter and the source either *act* on it, *translate*
+    the pattern through their schema mapping, or *forward* it unchanged.
+
+    ``pattern`` uses the same attr → literal | :data:`WILDCARD` |
+    ``(low, high)`` grammar as data punctuations; ``origin`` names the
+    emitting operator (for traces), ``seq`` orders feedback from one
+    emitter.
+    """
+
+    pattern: tuple[tuple[str, Any], ...]
+    advice: Any
+    origin: str = ""
+    seq: int = 0
+
+    @staticmethod
+    def of(
+        pattern: Mapping[str, Any],
+        advice: Any,
+        origin: str = "",
+        seq: int = 0,
+    ) -> "FeedbackPunctuation":
+        """Build a feedback punctuation from a dict pattern."""
+        return FeedbackPunctuation(
+            tuple(sorted(pattern.items())), advice, origin=origin, seq=seq
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return dict(self.pattern)
+
+    def matches(self, record: Record) -> bool:
+        """Return ``True`` if ``record`` falls in this advice's slice."""
+        return _pattern_matches(self.pattern, record)
+
+    def with_pattern(
+        self, pattern: tuple[tuple[str, Any], ...], advice: Any | None = None
+    ) -> "FeedbackPunctuation":
+        """Copy with a translated pattern (and optionally advice)."""
+        return FeedbackPunctuation(
+            tuple(pattern),
+            self.advice if advice is None else advice,
+            origin=self.origin,
+            seq=self.seq,
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v!r}" for k, v in self.pattern)
+        return f"FeedbackPunctuation({inner}; {self.advice!r})"
+
+
 def is_record(element: object) -> bool:
     """Return ``True`` for data tuples (as opposed to punctuations)."""
     return isinstance(element, Record)
@@ -349,12 +484,17 @@ def is_punctuation(element: object) -> bool:
     return isinstance(element, Punctuation)
 
 
+def is_feedback(element: object) -> bool:
+    """Return ``True`` for backward-flowing feedback punctuations."""
+    return isinstance(element, FeedbackPunctuation)
+
+
 def element_size(element: object) -> float:
     """Memory footprint of a stream element for queue accounting.
 
     Punctuations are free; anything exposing a ``size`` attribute (records,
     and the simulator's in-flight tuples) is charged that size.
     """
-    if isinstance(element, Punctuation):
+    if isinstance(element, (Punctuation, FeedbackPunctuation)):
         return 0.0
     return float(getattr(element, "size", 0.0))

@@ -1,0 +1,66 @@
+"""Feedback punctuations — the backward control channel (milestone M9).
+
+Forward dataflow carries records and punctuations; this package adds
+the reverse direction (Fernández-Moctezuma & Tufte, arXiv:0909.2062):
+:class:`~repro.core.tuples.FeedbackPunctuation` markers that an
+overloaded consumer emits *against* the stream, carrying a pattern plus
+an advice verb (``DOWNSAMPLE``/``DROP_KEYS``/``WIDEN_SLIDE``/``PAUSE``/
+``RESUME``).  Operators between emitter and source act on the advice,
+translate its pattern through their schema mapping, or forward it; what
+reaches a plan ingress is installed in an :class:`AdviceTable` (by the
+:class:`~repro.resilience.overload.OverloadGuard` when present, by the
+engine itself otherwise) and thins exactly the advised slice of the
+input — shedding the skewed key instead of random tuples.
+
+Public surface:
+
+* :class:`FeedbackChannel` — the per-engine reverse mailbox;
+* :class:`AdviceTable` — installed advice, deterministic + idempotent;
+* :func:`translate_feedback` / :func:`rename_pattern` /
+  :func:`compose_mappings` — pure pattern translation;
+* :class:`FeedbackShedding` + :class:`KeyFrequency` — semantic-shedding
+  policy config and the per-key frequency synopsis behind it;
+* :class:`BackpressureProbe` — consumer-side emitter for guardless
+  (e.g. sharded-worker) plans.
+
+The advice verbs and :class:`FeedbackPunctuation` itself live beside
+:class:`~repro.core.tuples.Punctuation` in :mod:`repro.core.tuples` and
+are re-exported here.
+"""
+
+from repro.core.tuples import (
+    Downsample,
+    DropKeys,
+    FeedbackPunctuation,
+    Pause,
+    Resume,
+    WidenSlide,
+    is_feedback,
+)
+from repro.feedback.channel import FeedbackChannel
+from repro.feedback.probe import BackpressureProbe
+from repro.feedback.shed import FeedbackShedding, KeyFrequency
+from repro.feedback.table import AdviceTable
+from repro.feedback.translate import (
+    compose_mappings,
+    rename_pattern,
+    translate_feedback,
+)
+
+__all__ = [
+    "FeedbackPunctuation",
+    "Downsample",
+    "DropKeys",
+    "WidenSlide",
+    "Pause",
+    "Resume",
+    "is_feedback",
+    "FeedbackChannel",
+    "AdviceTable",
+    "BackpressureProbe",
+    "FeedbackShedding",
+    "KeyFrequency",
+    "compose_mappings",
+    "rename_pattern",
+    "translate_feedback",
+]

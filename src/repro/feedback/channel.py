@@ -1,0 +1,62 @@
+"""The backward control channel.
+
+Forward queues carry records and punctuations from sources to sinks; a
+:class:`FeedbackChannel` is the single reverse mailbox shared by every
+operator of one engine.  Operators bound to it call ``emit(fb)``; the
+engine drains ``pending`` between forward dispatches and walks each
+feedback punctuation *upstream* through the plan's reverse adjacency
+(``Plan.predecessors``), letting every operator on the path act,
+translate, or forward (``Operator.on_feedback``).  Advice that reaches
+a plan input is recorded in ``ingress_delivered`` — that is what the
+ingress guard installs, and what a sharding coordinator broadcasts to
+sibling shards.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import FeedbackPunctuation
+
+__all__ = ["FeedbackChannel"]
+
+
+class FeedbackChannel:
+    """Reverse mailbox: pending emissions plus delivery bookkeeping."""
+
+    def __init__(self) -> None:
+        self.pending: list[FeedbackPunctuation] = []
+        self.ingress_delivered: list[tuple[str, FeedbackPunctuation]] = []
+        self.emitted = 0
+        self.delivered = 0
+        self._seq = 0
+
+    def emit(self, fb: FeedbackPunctuation) -> None:
+        """Queue ``fb`` for upstream propagation at the next safe point."""
+        if fb.seq == 0:
+            self._seq += 1
+            fb = FeedbackPunctuation(
+                fb.pattern, fb.advice, origin=fb.origin, seq=self._seq
+            )
+        self.pending.append(fb)
+        self.emitted += 1
+
+    def drain(self) -> list[FeedbackPunctuation]:
+        """Take all pending feedback (emptying the mailbox)."""
+        pending, self.pending = self.pending, []
+        return pending
+
+    def record_ingress(self, input_name: str, fb: FeedbackPunctuation) -> None:
+        """Note that ``fb`` reached plan input ``input_name``."""
+        self.ingress_delivered.append((input_name, fb))
+        self.delivered += 1
+
+    def take_ingress(self) -> list[tuple[str, FeedbackPunctuation]]:
+        """Drain the ingress-delivered log (for cross-shard exchange)."""
+        delivered, self.ingress_delivered = self.ingress_delivered, []
+        return delivered
+
+    def reset(self) -> None:
+        self.pending = []
+        self.ingress_delivered = []
+        self.emitted = 0
+        self.delivered = 0
+        self._seq = 0

@@ -1,0 +1,155 @@
+"""Consumer-driven backpressure for plans without an ingress guard.
+
+:class:`~repro.resilience.overload.OverloadGuard` watches ingress
+queues, but sharded workers and plain engines have no guard — overload
+there shows up as *too many records per punctuation epoch* at some
+downstream operator.  :class:`BackpressureProbe` is a pass-through
+operator placed where the pressure is felt: it counts records between
+punctuations, keeps a per-key synopsis, and when an epoch overflows its
+capacity emits ``DOWNSAMPLE`` feedback targeted at the measured hot
+keys.  After ``resume_after`` consecutive calm epochs it emits
+``RESUME``.
+
+The probe is stateless with respect to the *data* (records pass through
+untouched), so it shards like a filter; its synopsis/hysteresis state
+participates in snapshot/restore so recovery does not forget what was
+shed.
+"""
+
+from __future__ import annotations
+
+from repro.core.tuples import (
+    Downsample,
+    FeedbackPunctuation,
+    Punctuation,
+    Record,
+    Resume,
+)
+from repro.feedback.shed import KeyFrequency
+from repro.operators.base import Element, UnaryOperator
+
+__all__ = ["BackpressureProbe"]
+
+
+class BackpressureProbe(UnaryOperator):
+    """Pass-through operator that emits feedback when epochs overflow.
+
+    Parameters
+    ----------
+    key_attr:
+        Attribute to profile; advice patterns target its hot values.
+    capacity:
+        Records per punctuation epoch this consumer can absorb.  An
+        epoch exceeding it counts toward triggering advice.
+    keep_rate:
+        Keep rate for the emitted ``DOWNSAMPLE``; ``None`` derives it
+        as ``capacity / observed`` of the overflowing epoch (clamped to
+        [0.05, 1.0]) so the advised thinning matches the overload.
+    hot_keys:
+        How many of the heaviest keys each advisory targets.
+    trigger_after / resume_after:
+        Epoch-count hysteresis before emitting advice / RESUME.
+    """
+
+    def __init__(
+        self,
+        key_attr: str,
+        capacity: int,
+        keep_rate: float | None = None,
+        hot_keys: int = 1,
+        trigger_after: int = 1,
+        resume_after: int = 4,
+        synopsis_size: int = 64,
+        name: str = "",
+    ) -> None:
+        super().__init__(name or "backpressure_probe", cost_per_tuple=0.0)
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1: {capacity}")
+        self.key_attr = key_attr
+        self.capacity = capacity
+        self.keep_rate = keep_rate
+        self.hot_keys = hot_keys
+        self.trigger_after = trigger_after
+        self.resume_after = resume_after
+        self.synopsis = KeyFrequency(synopsis_size)
+        self._epoch_count = 0
+        self._hot_epochs = 0
+        self._calm_epochs = 0
+        self._advised: list[tuple] = []  # patterns currently advised
+
+    def on_record(self, record: Record, port: int) -> list[Element]:
+        key = record.get(self.key_attr)
+        if key is not None:
+            self.synopsis.observe(key)
+        self._epoch_count += 1
+        return [record]
+
+    def on_punctuation(self, punct: Punctuation, port: int) -> list[Element]:
+        count, self._epoch_count = self._epoch_count, 0
+        if count > self.capacity:
+            self._hot_epochs += 1
+            self._calm_epochs = 0
+            if self._hot_epochs >= self.trigger_after:
+                self._emit_downsample(count)
+        else:
+            self._hot_epochs = 0
+            if self._advised:
+                self._calm_epochs += 1
+                if self._calm_epochs >= self.resume_after:
+                    self._emit_resume()
+        return [punct]
+
+    def _emit_downsample(self, observed: int) -> None:
+        rate = self.keep_rate
+        if rate is None:
+            rate = max(0.05, min(1.0, self.capacity / max(observed, 1)))
+        for key, _count in self.synopsis.top(self.hot_keys):
+            pattern = ((self.key_attr, key),)
+            if pattern in self._advised:
+                continue
+            self._advised.append(pattern)
+            self.emit_feedback(
+                FeedbackPunctuation(
+                    pattern, Downsample(rate), origin=self.name
+                )
+            )
+
+    def _emit_resume(self) -> None:
+        for pattern in self._advised:
+            self.emit_feedback(
+                FeedbackPunctuation(pattern, Resume(), origin=self.name)
+            )
+        self._advised = []
+        self._calm_epochs = 0
+
+    # -- state -------------------------------------------------------------
+
+    def snapshot(self) -> object:
+        return {
+            "synopsis": self.synopsis.snapshot(),
+            "epoch_count": self._epoch_count,
+            "hot_epochs": self._hot_epochs,
+            "calm_epochs": self._calm_epochs,
+            "advised": list(self._advised),
+        }
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            self.reset()
+            return
+        assert isinstance(state, dict)
+        self.synopsis.restore(state["synopsis"])
+        self._epoch_count = state["epoch_count"]
+        self._hot_epochs = state["hot_epochs"]
+        self._calm_epochs = state["calm_epochs"]
+        self._advised = [tuple(p) for p in state["advised"]]
+
+    def reset(self) -> None:
+        self.synopsis.reset()
+        self._epoch_count = 0
+        self._hot_epochs = 0
+        self._calm_epochs = 0
+        self._advised = []
+
+    def memory(self) -> float:
+        return float(len(self.synopsis.counts))

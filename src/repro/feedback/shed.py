@@ -1,0 +1,126 @@
+"""Semantic shedding policy: what to shed, chosen from measured skew.
+
+Random shedding at drop fraction *p* puts ≈ *p* relative error on every
+group of a grouped aggregate.  The same drop budget concentrated on the
+few hottest keys of a skewed stream leaves every other group exact —
+that is the quality argument (MWA+03 semantic shedding, FMT feedback
+punctuations) the M9 chaos certification measures.
+
+:class:`KeyFrequency` is the bounded per-key frequency synopsis
+(space-saving flavour) the guard maintains on admitted records;
+:class:`FeedbackShedding` is the picklable configuration selecting the
+key attribute, trigger/resume hysteresis, and how aggressively to thin
+hot keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FeedbackShedding", "KeyFrequency"]
+
+
+class KeyFrequency:
+    """Bounded per-key counter (space-saving style).
+
+    Tracks at most ``size`` keys exactly while they stay in the table; a
+    new key evicts the current minimum and inherits its count, so heavy
+    hitters are never undercounted by more than the evicted minimum —
+    plenty for picking the top handful of a Zipf stream.
+    """
+
+    def __init__(self, size: int = 64) -> None:
+        if size < 1:
+            raise ValueError(f"synopsis size must be >= 1: {size}")
+        self.size = size
+        self.counts: dict = {}
+        self.total = 0
+
+    def observe(self, key) -> None:
+        self.total += 1
+        counts = self.counts
+        if key in counts:
+            counts[key] += 1
+            return
+        if len(counts) < self.size:
+            counts[key] = 1
+            return
+        min_key = min(counts, key=lambda k: counts[k])
+        counts[key] = counts.pop(min_key) + 1
+
+    def top(self, n: int) -> list[tuple[object, int]]:
+        """The ``n`` heaviest keys as ``(key, count)``, heaviest first.
+
+        Ties break on ``repr(key)`` so the pick is deterministic across
+        runs regardless of dict insertion order.
+        """
+        return sorted(
+            self.counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )[:n]
+
+    def coverage(self, keys) -> float:
+        """Fraction of observed records carrying one of ``keys``."""
+        if not self.total:
+            return 0.0
+        return sum(self.counts.get(k, 0) for k in keys) / self.total
+
+    def snapshot(self) -> tuple:
+        return (dict(self.counts), self.total)
+
+    def restore(self, state: tuple) -> None:
+        counts, total = state
+        self.counts = dict(counts)
+        self.total = total
+
+    def reset(self) -> None:
+        self.counts = {}
+        self.total = 0
+
+
+@dataclass(frozen=True)
+class FeedbackShedding:
+    """Configuration for semantic (feedback-advised) shedding.
+
+    Parameters
+    ----------
+    key_attr:
+        Record attribute carrying the partition key to profile and shed.
+    keep_rate:
+        Keep rate to downsample hot keys to; ``None`` derives it from
+        the controller's current drop rate and the measured coverage of
+        the chosen hot keys (shed the needed volume, no more).
+    hot_keys:
+        How many of the heaviest keys to target per advisory.
+    trigger_after:
+        Consecutive pressured polls before advice is emitted
+        (hysteresis against transient spikes).
+    resume_after:
+        Consecutive calm polls before a RESUME is emitted.
+    synopsis_size:
+        Capacity of the :class:`KeyFrequency` synopsis.
+    auto:
+        When ``True`` the guard emits/retracts advice itself from the
+        controller's pressure signal; when ``False`` it only maintains
+        the synopsis and acts on advice pushed to it (e.g. by the
+        adaptive controller's ``RetuneFeedback`` revisions).
+    """
+
+    key_attr: str
+    keep_rate: float | None = None
+    hot_keys: int = 2
+    trigger_after: int = 3
+    resume_after: int = 6
+    synopsis_size: int = 64
+    auto: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.key_attr:
+            raise ValueError("key_attr must be a non-empty attribute name")
+        if self.keep_rate is not None and not (0.0 <= self.keep_rate <= 1.0):
+            raise ValueError(f"keep_rate must be in [0, 1]: {self.keep_rate}")
+        if self.hot_keys < 1:
+            raise ValueError(f"hot_keys must be >= 1: {self.hot_keys}")
+        if self.trigger_after < 1 or self.resume_after < 1:
+            raise ValueError("trigger_after and resume_after must be >= 1")
+        if self.synopsis_size < self.hot_keys:
+            raise ValueError("synopsis_size must be >= hot_keys")

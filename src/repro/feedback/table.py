@@ -1,0 +1,143 @@
+"""The acting side of feedback: an installed-advice table.
+
+An operator (or the engine at an ingress) that *acts* on feedback keeps
+an :class:`AdviceTable` — the set of currently-installed
+``(pattern, advice)`` entries — and filters its records through
+:meth:`AdviceTable.admit`.
+
+Two properties matter for correctness under crashes and cross-shard
+broadcast:
+
+* **Determinism.** ``DOWNSAMPLE`` uses an integer counter stride, not a
+  RNG: entry ``i`` admits record ``c`` iff
+  ``floor(c * rate) > floor((c - 1) * rate)``.  A replayed run sees the
+  same counters and admits the same records.
+* **Idempotence.** :meth:`apply` dedupes by ``(pattern, advice)``
+  equality and *keeps the existing counter* on re-apply, so an advice
+  that arrives twice (local emit + coordinator broadcast, or a
+  checkpoint-replayed feedback log) never resets the stride.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.core.tuples import (
+    Downsample,
+    DropKeys,
+    FeedbackPunctuation,
+    Pause,
+    Record,
+    Resume,
+    _pattern_matches,
+)
+
+__all__ = ["AdviceTable"]
+
+
+class _Entry:
+    __slots__ = ("pattern", "advice", "counter")
+
+    def __init__(
+        self,
+        pattern: tuple[tuple[str, Any], ...],
+        advice: Any,
+        counter: int = 0,
+    ) -> None:
+        self.pattern = pattern
+        self.advice = advice
+        self.counter = counter
+
+
+class AdviceTable:
+    """Installed feedback advice, applied record-by-record.
+
+    ``admit(record)`` returns ``False`` when any installed entry says to
+    drop the record; ``dropped`` counts those rejections.
+    """
+
+    def __init__(self) -> None:
+        self._entries: list[_Entry] = []
+        self.dropped = 0
+
+    # -- installation -----------------------------------------------------
+
+    def apply(self, fb: FeedbackPunctuation) -> bool:
+        """Install (or, for RESUME, cancel) advice.  Returns ``True`` if
+        the table changed."""
+        advice = fb.advice
+        if isinstance(advice, Resume):
+            before = len(self._entries)
+            if fb.pattern == ():
+                self._entries = []
+            else:
+                self._entries = [
+                    e for e in self._entries if e.pattern != fb.pattern
+                ]
+            return len(self._entries) != before
+        if not isinstance(advice, (Downsample, DropKeys, Pause)):
+            return False
+        for entry in self._entries:
+            if entry.pattern == fb.pattern and entry.advice == advice:
+                return False  # idempotent re-apply keeps the counter
+        self._entries.append(_Entry(fb.pattern, advice))
+        return True
+
+    @property
+    def entries(self) -> list[tuple[tuple[tuple[str, Any], ...], Any]]:
+        return [(e.pattern, e.advice) for e in self._entries]
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- filtering --------------------------------------------------------
+
+    def admit(self, record: Record) -> bool:
+        """Return ``False`` when installed advice says to drop ``record``."""
+        if not self._entries:
+            return True
+        for entry in self._entries:
+            if not _pattern_matches(entry.pattern, record):
+                continue
+            advice = entry.advice
+            if isinstance(advice, Pause):
+                self.dropped += 1
+                return False
+            if isinstance(advice, DropKeys):
+                if record.get(advice.attr) in advice.keys:
+                    self.dropped += 1
+                    return False
+            elif isinstance(advice, Downsample):
+                c = entry.counter = entry.counter + 1
+                if not math.floor(c * advice.rate) > math.floor(
+                    (c - 1) * advice.rate
+                ):
+                    self.dropped += 1
+                    return False
+        return True
+
+    # -- persistence ------------------------------------------------------
+
+    def snapshot(self) -> list[tuple] | None:
+        """Picklable state, or ``None`` when the table is empty."""
+        if not self._entries and not self.dropped:
+            return None
+        return [
+            (e.pattern, e.advice, e.counter) for e in self._entries
+        ] + [("__dropped__", None, self.dropped)]
+
+    def restore(self, state: list[tuple] | None) -> None:
+        self._entries = []
+        self.dropped = 0
+        if state is None:
+            return
+        for pattern, advice, counter in state:
+            if pattern == "__dropped__":
+                self.dropped = counter
+            else:
+                self._entries.append(_Entry(pattern, advice, counter))
+
+    def reset(self) -> None:
+        self._entries = []
+        self.dropped = 0

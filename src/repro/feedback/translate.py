@@ -1,0 +1,98 @@
+"""Pattern translation through schema-mapping operators.
+
+A feedback punctuation emitted below a ``Project`` or ``Rename``
+describes the *output* schema of that operator; to be useful upstream it
+must be rewritten into the operator's *input* schema.  The functions
+here are pure: an operator hands in its output→input attribute mapping
+and gets back either a rewritten punctuation or ``None`` meaning
+"untranslatable" — in which case the operator must *forward the
+original unchanged* (advice about attributes a producer cannot see is
+harmless; silently dropping it would strand the overload).
+
+Translation is compositional: translating through ``f`` then ``g``
+equals translating through the composed mapping ``g∘f`` (the hypothesis
+suite in ``tests/feedback/test_translate_properties.py`` certifies
+this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.tuples import DropKeys, FeedbackPunctuation
+
+__all__ = [
+    "canonical_pattern",
+    "rename_pattern",
+    "translate_feedback",
+    "compose_mappings",
+]
+
+
+def canonical_pattern(
+    entries: list[tuple[str, Any]],
+) -> tuple[tuple[str, Any], ...]:
+    """Deterministic pattern ordering, safe for mixed-type values.
+
+    A non-injective mapping can send two patterned attributes to the
+    same source attribute, so the sort key must never compare the
+    pattern *values* directly (``0`` vs ``""`` raises TypeError) —
+    ``repr`` is total and stable.
+    """
+    return tuple(sorted(entries, key=lambda kv: (kv[0], repr(kv[1]))))
+
+
+def rename_pattern(
+    mapping: Mapping[str, str],
+    pattern: tuple[tuple[str, Any], ...],
+) -> tuple[tuple[str, Any], ...] | None:
+    """Rewrite ``pattern`` attrs through ``mapping`` (out-name → in-name).
+
+    Returns ``None`` when any patterned attribute has no image — a
+    partially-translated pattern would match a *different* slice of the
+    stream, so translation is all-or-nothing.
+    """
+    renamed: list[tuple[str, Any]] = []
+    for name, pat in pattern:
+        if name not in mapping:
+            return None
+        renamed.append((mapping[name], pat))
+    return canonical_pattern(renamed)
+
+
+def translate_feedback(
+    fb: FeedbackPunctuation, mapping: Mapping[str, str]
+) -> FeedbackPunctuation | None:
+    """Rewrite a feedback punctuation through an out→in attribute mapping.
+
+    Both the pattern and any attribute named *inside* the advice (e.g.
+    ``DropKeys.attr``) must translate; otherwise returns ``None`` and the
+    caller forwards the original.
+    """
+    pattern = rename_pattern(mapping, fb.pattern)
+    if pattern is None:
+        return None
+    advice = fb.advice
+    if isinstance(advice, DropKeys):
+        if advice.attr not in mapping:
+            return None
+        advice = DropKeys(mapping[advice.attr], advice.keys)
+    return fb.with_pattern(pattern, advice)
+
+
+def compose_mappings(
+    first: Mapping[str, str], second: Mapping[str, str]
+) -> dict[str, str]:
+    """Compose two out→in mappings: translating through ``first`` then
+    ``second`` equals translating through the returned mapping.
+
+    ``first`` is the mapping of the *downstream* operator (applied
+    first, walking upstream); an output attr of ``first`` whose image
+    has no entry in ``second`` is dropped from the composition — it is
+    untranslatable through the pair.
+    """
+    composed: dict[str, str] = {}
+    for out_name, mid_name in first.items():
+        if mid_name in second:
+            composed[out_name] = second[mid_name]
+    return composed

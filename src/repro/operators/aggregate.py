@@ -25,7 +25,13 @@ from typing import Any, Callable, Mapping, Sequence
 
 from repro.aggregates.functions import AggregateFunction
 from repro.aggregates.spec import AggSpec
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import (
+    FeedbackPunctuation,
+    Punctuation,
+    Record,
+    Resume,
+    WidenSlide,
+)
 from repro.errors import ColumnUnavailable, WindowError
 from repro.operators.base import Element, UnaryOperator
 from repro.windows.buffers import WindowBuffer, make_buffer
@@ -316,6 +322,26 @@ class Aggregate(UnaryOperator):
             )
         )
 
+    def feedback_mapping(self) -> dict[str, str]:
+        """Output group attr → input attr, for plain-attribute groups."""
+        return {
+            name: fn.attr
+            for name, fn in self.group_by
+            if isinstance(fn, AttrGetter)
+        }
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        # Feedback over the aggregate's *output* (group columns) names
+        # the same attributes the input carries when the grouping is a
+        # plain AttrGetter; aggregate-result columns don't exist
+        # upstream, so advice naming them is forwarded untranslated.
+        from repro.feedback.translate import translate_feedback
+
+        translated = translate_feedback(fb, self.feedback_mapping())
+        return [fb if translated is None else translated]
+
     @property
     def group_count(self) -> int:
         return len(self._groups)
@@ -379,6 +405,10 @@ class WindowedAggregate(UnaryOperator):
                     f"WindowedAggregate does not support {window.describe()}"
                 )
             self._buffer: WindowBuffer = make_buffer(window)
+        # WIDEN_SLIDE feedback thins the buffered (per-arrival) refresh
+        # stream: emit every _emit_stride-th refresh only.
+        self._emit_stride = 1
+        self._emit_counter = 0
 
     # -- shared helpers ----------------------------------------------------
 
@@ -575,6 +605,10 @@ class WindowedAggregate(UnaryOperator):
             for spec, fn_state in zip(self.aggregates, states):
                 fn_state.add(spec.extract(r))
         row = self._row(key_values, states, ts=record.ts)
+        if row is not None and self._emit_stride > 1:
+            self._emit_counter += 1
+            if self._emit_counter % self._emit_stride:
+                return []
         return [row] if row is not None else []
 
     # -- punctuation & lifecycle ---------------------------------------------
@@ -606,18 +640,24 @@ class WindowedAggregate(UnaryOperator):
             self._delegate.reset()
         else:
             self._buffer.clear()
+        self._emit_stride = 1
+        self._emit_counter = 0
 
     def snapshot(self) -> object:
         if self._tumbling:
-            return {
+            state: dict = {
                 "buckets": copy.deepcopy(self._buckets),
                 "watermark": self._watermark,
             }
-        if self._punctuated:
-            return {"delegate": self._delegate.snapshot()}
-        # Sliding/row/landmark windows: the buffer holds the whole
-        # window contents; a deep copy is the exact state.
-        return {"buffer": copy.deepcopy(self._buffer)}
+        elif self._punctuated:
+            state = {"delegate": self._delegate.snapshot()}
+        else:
+            # Sliding/row/landmark windows: the buffer holds the whole
+            # window contents; a deep copy is the exact state.
+            state = {"buffer": copy.deepcopy(self._buffer)}
+        if self._emit_stride != 1 or self._emit_counter:
+            state["feedback"] = (self._emit_stride, self._emit_counter)
+        return state
 
     def restore(self, state: object) -> None:
         if self._tumbling:
@@ -627,6 +667,36 @@ class WindowedAggregate(UnaryOperator):
             self._delegate.restore(state["delegate"])
         else:
             self._buffer = copy.deepcopy(state["buffer"])
+        self._emit_stride, self._emit_counter = state.get("feedback", (1, 0))
+
+    def feedback_mapping(self) -> dict[str, str]:
+        """Output group attr → input attr, for plain-attribute groups."""
+        return {
+            name: fn.attr
+            for name, fn in self.group_by
+            if isinstance(fn, AttrGetter)
+        }
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        from repro.feedback.translate import translate_feedback
+
+        advice = fb.advice
+        if isinstance(advice, WidenSlide):
+            if not self._tumbling and not self._punctuated:
+                # Act: coarsen the per-arrival refresh stream.  The
+                # advice is addressed to the window, so it is consumed —
+                # nothing upstream knows what a slide is.
+                self._emit_stride = advice.factor
+                return []
+            return [fb]
+        if isinstance(advice, Resume) and self._emit_stride != 1:
+            self._emit_stride = 1
+            self._emit_counter = 0
+            # Fall through: RESUME also cancels advice installed above.
+        translated = translate_feedback(fb, self.feedback_mapping())
+        return [fb if translated is None else translated]
 
     def memory(self) -> float:
         if self._tumbling:

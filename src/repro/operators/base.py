@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
 from repro.errors import PlanError
 
 __all__ = ["Operator", "UnaryOperator", "BinaryOperator", "CompiledChain"]
@@ -170,6 +170,41 @@ class Operator:
                 f"stateless but was handed a non-empty snapshot"
             )
 
+    # -- backward control channel ------------------------------------------
+
+    def bind_feedback(self, channel) -> None:
+        """Attach the engine's :class:`~repro.feedback.channel.FeedbackChannel`.
+
+        Called by the engine at start; until then :meth:`emit_feedback`
+        is a no-op, so operators run unchanged outside an engine.
+        """
+        self._feedback_channel = channel
+
+    def emit_feedback(self, fb: FeedbackPunctuation) -> None:
+        """Send ``fb`` upstream through the bound channel (if any)."""
+        channel = getattr(self, "_feedback_channel", None)
+        if channel is not None:
+            if not fb.origin:
+                fb = FeedbackPunctuation(
+                    fb.pattern, fb.advice, origin=self.name, seq=fb.seq
+                )
+            channel.emit(fb)
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        """Handle feedback flowing upstream *through* this operator.
+
+        Returns the feedback to keep propagating to this operator's
+        producers.  The base default *forwards* unchanged — correct for
+        any operator that neither consumes the advice nor renames
+        attributes.  Acting operators return ``[]`` (or a residual) after
+        installing the advice; schema-mapping operators translate the
+        pattern, forwarding the original when untranslatable (never
+        silently dropping it).
+        """
+        return [fb]
+
     # -- resource model ----------------------------------------------------
 
     def memory(self) -> float:
@@ -280,6 +315,27 @@ class CompiledChain(UnaryOperator):
 
     def memory(self) -> float:
         return sum(op.memory() for op in self.operators)
+
+    def bind_feedback(self, channel) -> None:
+        super().bind_feedback(channel)
+        for op in self.operators:
+            op.bind_feedback(channel)
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        # Feedback entering a fused chain from below traverses the
+        # constituents in reverse dataflow order, each acting/translating
+        # in turn, exactly as if the chain were unfused.
+        current = [fb]
+        for op in reversed(self.operators):
+            passed: list[FeedbackPunctuation] = []
+            for item in current:
+                passed.extend(op.on_feedback(item))
+            current = passed
+            if not current:
+                return []
+        return current
 
 
 def run_chain(

@@ -4,8 +4,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import (
+    DropKeys,
+    FeedbackPunctuation,
+    Punctuation,
+    Record,
+)
 from repro.errors import ColumnUnavailable
+from repro.feedback.translate import canonical_pattern
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["MapOp", "Rename", "Extend"]
@@ -122,6 +128,45 @@ class Rename(UnaryOperator):
             return self._transform_columns(batch)
         except ColumnUnavailable:
             return self.process_batch(batch.to_rows(), port)
+
+    def feedback_mapping(self) -> dict[str, str]:
+        """Output attr → input attr (the inverse of ``mapping``).
+
+        When several input attributes collapse onto one output name the
+        output attr is ambiguous and left out — feedback naming it is
+        forwarded untranslated rather than guessing.
+        """
+        inverse: dict[str, str] = {}
+        ambiguous: set[str] = set()
+        for old, new in self.mapping.items():
+            if new in inverse:
+                ambiguous.add(new)
+            inverse[new] = old
+        for name in ambiguous:
+            del inverse[name]
+        return inverse
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        mapping = self.feedback_mapping()
+        renamed: list[tuple[str, object]] = []
+        for name, pat in fb.pattern:
+            # Identity for untouched attrs: only names this rename
+            # produces or consumes need mapping.
+            if name in mapping:
+                renamed.append((mapping[name], pat))
+            elif name in self.mapping:
+                return [fb]  # source name: gone downstream, ambiguous here
+            else:
+                renamed.append((name, pat))
+        advice = fb.advice
+        if isinstance(advice, DropKeys):
+            if advice.attr in mapping:
+                advice = DropKeys(mapping[advice.attr], advice.keys)
+            elif advice.attr in self.mapping:
+                return [fb]
+        return [fb.with_pattern(canonical_pattern(renamed), advice)]
 
 
 class Extend(UnaryOperator):

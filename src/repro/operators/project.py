@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
 from repro.errors import ColumnUnavailable, SchemaError
 from repro.operators.base import Element, UnaryOperator
 
@@ -101,6 +101,26 @@ class Project(UnaryOperator):
             return self._transform_columns(batch)
         except ColumnUnavailable:
             return self.process_batch(batch.to_rows(), port)
+
+    def feedback_mapping(self) -> dict[str, str]:
+        """Output attr → input attr, for the translatable (plain) specs.
+
+        Callable specs compute values the input stream does not carry;
+        feedback naming them cannot be translated and is forwarded.
+        """
+        return {
+            out: spec
+            for out, spec in self.columns.items()
+            if isinstance(spec, str)
+        }
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        from repro.feedback.translate import translate_feedback
+
+        translated = translate_feedback(fb, self.feedback_mapping())
+        return [fb if translated is None else translated]
 
 
 class DistinctProject(UnaryOperator):

@@ -9,8 +9,8 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from repro.core.tuples import Punctuation, Record
-from repro.errors import ColumnUnavailable
+from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
+from repro.errors import ColumnUnavailable, PlanError
 from repro.operators.base import Element, UnaryOperator
 
 __all__ = ["Select"]
@@ -38,8 +38,11 @@ class Select(UnaryOperator):
     ) -> None:
         super().__init__(name, cost_per_tuple, selectivity)
         self.predicate = predicate
+        self._advice = None  # lazily-built repro.feedback AdviceTable
 
     def on_record(self, record: Record, port: int) -> list[Element]:
+        if self._advice is not None and not self._advice.admit(record):
+            return []
         if self.predicate(record):
             return [record]
         return []
@@ -51,19 +54,66 @@ class Select(UnaryOperator):
         # instead of a list allocation per element.
         self._validate_port(port)
         predicate = self.predicate
+        advice = self._advice
         out: list[Element] = []
         append = out.append
         for el in elements:
             if isinstance(el, Punctuation):
                 out.extend(self.on_punctuation(el, port))
+            elif advice is not None and not advice.admit(el):
+                pass
             elif predicate(el):
                 append(el)
         return out
 
     def supports_columns(self) -> bool:
         # Vectorizable only when the predicate is an expression that can
-        # evaluate over a whole batch (e.g. repro.columnar.Col trees).
+        # evaluate over a whole batch (e.g. repro.columnar.Col trees) —
+        # and no feedback advice is installed (advice filters per record).
+        if self._advice is not None and len(self._advice):
+            return False
         return hasattr(self.predicate, "mask")
+
+    # -- feedback ----------------------------------------------------------
+
+    def on_feedback(
+        self, fb: FeedbackPunctuation
+    ) -> list[FeedbackPunctuation]:
+        # A selection *acts* by pre-dropping the advised slice before
+        # paying the predicate cost, and still forwards upstream so
+        # producers closer to the source can stop doing wasted work too.
+        if self._advice is None:
+            from repro.feedback.table import AdviceTable
+
+            self._advice = AdviceTable()
+        self._advice.apply(fb)
+        return [fb]
+
+    def snapshot(self) -> object:
+        if self._advice is None:
+            return None
+        return self._advice.snapshot()
+
+    def restore(self, state: object) -> None:
+        if state is None:
+            if self._advice is not None:
+                self._advice.reset()
+            return
+        if not isinstance(state, list):
+            raise PlanError(
+                f"operator {self.name!r} (Select) is stateless apart from "
+                f"feedback advice; cannot restore a "
+                f"{type(state).__name__} snapshot"
+            )
+        if self._advice is None:
+            from repro.feedback.table import AdviceTable
+
+            self._advice = AdviceTable()
+        self._advice.restore(state)
+
+    def reset(self) -> None:
+        if self._advice is not None:
+            self._advice.reset()
 
     def process_columns(self, batch, port: int = 0):
         self._validate_port(port)

@@ -87,6 +87,7 @@ from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source
 from repro.core.tuples import Punctuation, Record
 from repro.errors import PlanError, ShardError
+from repro.feedback.probe import BackpressureProbe
 from repro.gigascope.decompose import (
     AggregateSplit,
     linearize_plan,
@@ -128,7 +129,13 @@ Element = Record | Punctuation
 #: ``FixedFilterChain``/``Eddy`` qualify — their routing statistics are
 #: internal work bookkeeping, not cross-record *output* state: whether a
 #: record passes depends only on the record itself.
-_STATELESS_OPS = (Select, Project, MapOp, Rename, Extend, FixedFilterChain, Eddy)
+#: ``BackpressureProbe`` is pass-through on the data path (identity on
+#: records, stamps untouched); its synopsis is monitoring state, not
+#: output state, so it shards like a filter.
+_STATELESS_OPS = (
+    Select, Project, MapOp, Rename, Extend, FixedFilterChain, Eddy,
+    BackpressureProbe,
+)
 
 _BACKENDS = ("inline", "thread", "process")
 
@@ -168,8 +175,9 @@ def _order_sensitive(aggregates) -> bool:
 def _preserved_after(op, preserved: set) -> set:
     """Attributes of ``preserved`` still carrying the source value under
     the source name after passing through ``op``."""
-    if isinstance(op, (Select, FixedFilterChain, Eddy)):
-        # Pure filters: surviving records pass through byte-identical.
+    if isinstance(op, (Select, FixedFilterChain, Eddy, BackpressureProbe)):
+        # Pure filters / pass-throughs: surviving records pass through
+        # byte-identical.
         return preserved
     if isinstance(op, Project):
         identity = {

@@ -37,8 +37,16 @@ from __future__ import annotations
 
 from repro.core.metrics import MetricsRegistry
 from repro.core.queues import OpQueue
-from repro.core.tuples import Punctuation, Record
+from repro.core.tuples import (
+    Downsample,
+    FeedbackPunctuation,
+    Punctuation,
+    Record,
+    Resume,
+)
 from repro.errors import SheddingError
+from repro.feedback.shed import FeedbackShedding, KeyFrequency
+from repro.feedback.table import AdviceTable
 from repro.shedding.base import Shedder
 
 __all__ = ["OverloadGuard"]
@@ -74,11 +82,21 @@ class OverloadGuard:
         queue_capacity: float | None = None,
         poll_interval: int = 32,
         pressure: str = "memory",
+        feedback: FeedbackShedding | None = None,
     ) -> None:
         if controller is None and queue_capacity is None:
             raise SheddingError(
                 "OverloadGuard needs a controller, a queue_capacity, "
                 "or both; with neither it would admit everything"
+            )
+        if feedback is not None and feedback.auto and (
+            controller is None
+            or not hasattr(controller, "current_drop_rate")
+        ):
+            raise SheddingError(
+                "feedback shedding in auto mode uses the controller's "
+                "drop-rate ramp as its pressure signal; pass a "
+                "LoadController or FeedbackShedding(auto=False)"
             )
         if queue_capacity is not None and queue_capacity <= 0:
             raise SheddingError(
@@ -96,12 +114,24 @@ class OverloadGuard:
         self.queue_capacity = queue_capacity
         self.poll_interval = poll_interval
         self.pressure = pressure
+        self.feedback = feedback
         self._plan = None
         self._queues: dict[str, OpQueue] = {}
         self._memory = 0.0
         self._since_poll = 0
         self._observer = None
         self._retired_drops = 0
+        self._retired_advice_drops = 0
+        self._channel = None
+        self._advice = AdviceTable()
+        self._synopsis = (
+            KeyFrequency(feedback.synopsis_size)
+            if feedback is not None
+            else None
+        )
+        self._pressured_polls = 0
+        self._calm_polls = 0
+        self._active_patterns: list[tuple] = []
 
     # -- engine protocol ---------------------------------------------------
 
@@ -118,12 +148,26 @@ class OverloadGuard:
         self._since_poll = 0
         self._observer = None
         self._retired_drops = 0
+        self._retired_advice_drops = 0
+        self._channel = None
+        self._advice.reset()
+        if self._synopsis is not None:
+            self._synopsis.reset()
+        self._pressured_polls = 0
+        self._calm_polls = 0
+        self._active_patterns = []
         if self.controller is not None:
             self.controller.reset()
 
     def bind_observer(self, observer) -> None:
         """Called by the engine when it runs with observation enabled."""
         self._observer = observer
+
+    def bind_channel(self, channel) -> None:
+        """Attach the engine's feedback channel, so advice the guard
+        emits lands in the ingress log (where a sharding coordinator
+        picks it up for cross-shard broadcast)."""
+        self._channel = channel
 
     def rebind(self, plan) -> None:
         """Follow a live plan migration (:meth:`Engine.migrate_plan`).
@@ -189,6 +233,16 @@ class OverloadGuard:
                 queue.clear()
             return True
         queue = self._queues[input_name]
+        feedback = self.feedback
+        if self._synopsis is not None and isinstance(element, Record):
+            # Profile the *offered* load (before any drop) so hot keys
+            # stay visible while their advice is shedding them.
+            key = element.get(feedback.key_attr)
+            if key is not None:
+                self._synopsis.observe(key)
+        if len(self._advice) and isinstance(element, Record):
+            if not self._advice.admit(element):
+                return False
         if self.controller is not None:
             pressure = None
             if self.pressure == "measured" and self._observer is not None:
@@ -209,27 +263,185 @@ class OverloadGuard:
                 pressure = self._memory + sum(
                     q.size for q in self._queues.values()
                 )
-            if not self.controller(
+            if feedback is not None and feedback.auto:
+                # Semantic shedding: the controller's ramp is only the
+                # pressure signal; its per-record coin flip is
+                # suppressed — drops happen in the advice table above,
+                # concentrated on measured hot keys.
+                self._auto_feedback(pressure)
+            elif not self.controller(
                 element, now=getattr(element, "ts", 0.0), memory=pressure
             ):
                 return False
         return queue.push(element)
 
-    def dropped(self) -> int:
-        """Total records refused so far (shed + queue tail drops)."""
-        total = self._retired_drops
-        total += sum(q.stats.dropped for q in self._queues.values())
-        if self.controller is not None:
-            total += self.controller.dropped
-        return total
+    # -- feedback ----------------------------------------------------------
 
-    def publish(self, metrics: MetricsRegistry) -> None:
-        """Report drop/admission counters into a run's metrics."""
-        metrics.incr("overload.dropped", self.dropped())
+    def _auto_feedback(self, pressure: float) -> None:
+        """Hysteresis-controlled advise/resume from the pressure ramp."""
+        cfg = self.feedback
+        rate = self.controller.current_drop_rate(pressure)
+        if rate > 0.0:
+            self._pressured_polls += 1
+            self._calm_polls = 0
+            if (
+                self._pressured_polls >= cfg.trigger_after
+                and not self._active_patterns
+            ):
+                self._advise(rate)
+        else:
+            self._pressured_polls = 0
+            if self._active_patterns:
+                self._calm_polls += 1
+                if self._calm_polls >= cfg.resume_after:
+                    self._resume()
+
+    def _advise(self, drop_rate: float) -> None:
+        cfg = self.feedback
+        hot = self._synopsis.top(cfg.hot_keys)
+        if not hot:
+            return
+        keep = cfg.keep_rate
+        if keep is None:
+            # Thin the hot keys just enough to shed the needed volume:
+            # coverage * (1 - keep) == drop_rate.
+            coverage = self._synopsis.coverage([k for k, _ in hot])
+            keep = (
+                1.0 - drop_rate / coverage if coverage > drop_rate else 0.0
+            )
+            keep = max(0.05, min(1.0, keep))
+        for key, _count in hot:
+            pattern = ((cfg.key_attr, key),)
+            if pattern in self._active_patterns:
+                continue
+            fb = FeedbackPunctuation(
+                pattern, Downsample(keep), origin="overload_guard"
+            )
+            self._advice.apply(fb)
+            self._active_patterns.append(pattern)
+            if self._channel is not None:
+                self._channel.record_ingress("*", fb)
+
+    def _resume(self) -> None:
+        for pattern in self._active_patterns:
+            fb = FeedbackPunctuation(pattern, Resume(), origin="overload_guard")
+            self._advice.apply(fb)
+            if self._channel is not None:
+                self._channel.record_ingress("*", fb)
+        self._active_patterns = []
+        self._calm_polls = 0
+
+    def apply_feedback(self, input_name: str, fb: FeedbackPunctuation) -> bool:
+        """Install advice that arrived through the backward channel
+        (from a downstream emitter, the adaptive controller, or a
+        cross-shard broadcast).  Idempotent."""
+        changed = self._advice.apply(fb)
+        if isinstance(fb.advice, Resume):
+            if fb.pattern == ():
+                self._active_patterns = []
+            else:
+                self._active_patterns = [
+                    p for p in self._active_patterns if p != fb.pattern
+                ]
+        elif changed and fb.pattern not in self._active_patterns:
+            self._active_patterns.append(fb.pattern)
+        return changed
+
+    def apply_retune(self, revision) -> None:
+        """Apply a ``RetuneFeedback`` revision from the adaptive layer."""
+        if revision.resume:
+            self.apply_feedback(
+                "*", FeedbackPunctuation((), Resume(), origin="adaptive")
+            )
+            return
+        for key in revision.keys:
+            self.apply_feedback(
+                "*",
+                FeedbackPunctuation(
+                    ((revision.attr, key),),
+                    Downsample(revision.rate),
+                    origin="adaptive",
+                ),
+            )
+
+    def feedback_stats(self) -> dict:
+        """Picklable signal bundle for the adaptive controller."""
+        return {
+            "enabled": self.feedback is not None,
+            "key_attr": self.feedback.key_attr if self.feedback else None,
+            "pressured_polls": self._pressured_polls,
+            "calm_polls": self._calm_polls,
+            "active": len(self._active_patterns),
+            "hot": self._synopsis.top(self.feedback.hot_keys)
+            if self._synopsis is not None
+            else [],
+            "drops": self.drops_by_reason(),
+        }
+
+    def feedback_snapshot(self) -> object:
+        """Feedback state for engine checkpoints; ``None`` when inert."""
+        if (
+            not len(self._advice)
+            and not self._advice.dropped
+            and not self._active_patterns
+            and (self._synopsis is None or not self._synopsis.total)
+        ):
+            return None
+        return {
+            "advice": self._advice.snapshot(),
+            "synopsis": self._synopsis.snapshot()
+            if self._synopsis is not None
+            else None,
+            "pressured": self._pressured_polls,
+            "calm": self._calm_polls,
+            "active": list(self._active_patterns),
+        }
+
+    def feedback_restore(self, state) -> None:
+        if state is None:
+            self._advice.reset()
+            if self._synopsis is not None:
+                self._synopsis.reset()
+            self._pressured_polls = 0
+            self._calm_polls = 0
+            self._active_patterns = []
+            return
+        self._advice.restore(state["advice"])
+        if self._synopsis is not None and state["synopsis"] is not None:
+            self._synopsis.restore(state["synopsis"])
+        self._pressured_polls = state["pressured"]
+        self._calm_polls = state["calm"]
+        self._active_patterns = [tuple(p) for p in state["active"]]
+
+    # -- accounting --------------------------------------------------------
+
+    def drops_by_reason(self) -> dict[str, int]:
+        """Shed volume attributed to its cause: bounded-queue tail drops,
+        the controller's random coin flip, and feedback-advised drops."""
         queue_drops = self._retired_drops + sum(
             q.stats.dropped for q in self._queues.values()
         )
-        metrics.incr("overload.queue_dropped", queue_drops)
+        return {
+            "queue": queue_drops,
+            "random": self.controller.dropped
+            if self.controller is not None
+            else 0,
+            "feedback": self._retired_advice_drops + self._advice.dropped,
+        }
+
+    def dropped(self) -> int:
+        """Total records refused so far (shed + queue tail drops)."""
+        by_reason = self.drops_by_reason()
+        return by_reason["queue"] + by_reason["random"] + by_reason["feedback"]
+
+    def publish(self, metrics: MetricsRegistry) -> None:
+        """Report drop/admission counters into a run's metrics."""
+        by_reason = self.drops_by_reason()
+        metrics.incr("overload.dropped", self.dropped())
+        metrics.incr("overload.queue_dropped", by_reason["queue"])
+        metrics.incr("overload.drops.queue", by_reason["queue"])
+        metrics.incr("overload.drops.random", by_reason["random"])
+        metrics.incr("overload.drops.feedback", by_reason["feedback"])
         if self.controller is not None:
             metrics.incr("overload.shed", self.controller.dropped)
             metrics.incr("overload.admitted", self.controller.admitted)

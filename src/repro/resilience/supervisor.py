@@ -189,6 +189,19 @@ class _ShardCore:
             self.ops,
         )
 
+    def take_feedback(self) -> list:
+        """Drain feedback this shard's operators pushed to ingress.
+
+        Picklable ``(input_name, FeedbackPunctuation)`` pairs — the
+        coordinator broadcasts the union so every shard sheds the same
+        slice (a hot key is hot wherever the partitioner routed it).
+        """
+        return self.engine.take_ingress_feedback()
+
+    def apply_feedback(self, items) -> None:
+        """Install coordinator-broadcast feedback at this shard's ingress."""
+        self.engine.apply_feedback(items)
+
     def finish(self) -> tuple[list[Element], float, MetricsRegistry]:
         result = self.engine.finish()
         flush = result.outputs[self.output_name][self.emitted :]
@@ -244,6 +257,12 @@ class _InlineWorker:
     def revise(self, revisions) -> None:
         self.core.revise(revisions)
 
+    def take_feedback(self):
+        return self.core.take_feedback()
+
+    def apply_feedback(self, items) -> None:
+        self.core.apply_feedback(items)
+
     def finish(self):
         return self.core.finish()
 
@@ -297,6 +316,13 @@ class _ThreadWorker:
 
     def revise(self, revisions) -> None:
         self.core.revise(revisions)
+
+    def take_feedback(self):
+        # Coordinator-only call between epochs (the pool thread is idle).
+        return self.core.take_feedback()
+
+    def apply_feedback(self, items) -> None:
+        self.core.apply_feedback(items)
 
     def finish(self):
         return self.core.finish()
@@ -355,6 +381,11 @@ def _process_worker_main(
                 conn.send(("ok", core.stats()))
             elif tag == "revise":
                 core.revise(cmd[1])
+                conn.send(("ok",))
+            elif tag == "take_feedback":
+                conn.send(("ok", core.take_feedback()))
+            elif tag == "apply_feedback":
+                core.apply_feedback(cmd[1])
                 conn.send(("ok",))
             elif tag == "finish":
                 conn.send(("ok", core.finish()))
@@ -451,6 +482,16 @@ class _ProcessWorker:
         # Revisions are picklable by design (names + scalars only);
         # the worker resolves them against its own operator instances.
         self._cmd_send.send(("revise", revisions))
+        self._recv(None)
+
+    def take_feedback(self):
+        # Feedback punctuations are frozen value dataclasses — picklable.
+        self._cmd_send.send(("take_feedback",))
+        (items,) = self._recv(None)
+        return items
+
+    def apply_feedback(self, items) -> None:
+        self._cmd_send.send(("apply_feedback", list(items)))
         self._recv(None)
 
     def finish(self):
@@ -620,6 +661,11 @@ class Supervisor:
         cp_epoch = 0
         checkpoints = [w.snapshot() for w in workers]
         self.report.checkpoints += 1
+        # Per-epoch log of the broadcast feedback union.  Recovery
+        # replays re-apply it after each replayed epoch so a rebuilt
+        # shard re-sheds exactly what the original run shed — recovery
+        # must not un-shed.
+        feedback_log: list[list] = []
         tracer = self._tracer
         try:
             for e, epoch in enumerate(epochs):
@@ -648,6 +694,7 @@ class Supervisor:
                                 cp_epoch,
                                 checkpoints[shard],
                                 exc,
+                                feedback_log,
                             )
                             workers[shard].start_epoch(
                                 epoch.batches[shard],
@@ -656,6 +703,19 @@ class Supervisor:
                             )
                     accepted[shard].append(produced)
                     progress[shard].append(prog)
+                # Every worker is quiescent: exchange feedback.  Any
+                # advice a shard's operators emitted this epoch is
+                # broadcast to all shards — a hot key is hot wherever
+                # the partitioner routed it.  apply_feedback is
+                # idempotent, so the originating shard re-installing its
+                # own advice is a no-op.
+                exchanged: list = []
+                for worker in workers:
+                    exchanged.extend(worker.take_feedback())
+                if exchanged:
+                    for worker in workers:
+                        worker.apply_feedback(exchanged)
+                feedback_log.append(exchanged)
                 if tracer is not None:
                     tracer.record(
                         f"epoch:{e}",
@@ -724,6 +784,7 @@ class Supervisor:
         cp_epoch: int,
         checkpoint: EngineCheckpoint,
         exc: Exception,
+        feedback_log: list[list] | None = None,
     ):
         """Rebuild ``shard`` from its last checkpoint and replay forward."""
         attempt = self._attempts.get((shard, epoch_index), 1)
@@ -752,6 +813,14 @@ class Supervisor:
             epoch = epochs[replay_index]
             replay_started = time.perf_counter()
             worker.replay_epoch(epoch.batches[shard], epoch.punct)
+            if feedback_log is not None and replay_index < len(feedback_log):
+                items = feedback_log[replay_index]
+                if items:
+                    # Re-install the feedback union exactly where the
+                    # original run did, so the replayed epochs shed the
+                    # same slice (idempotent against advice the restored
+                    # checkpoint already carried).
+                    worker.apply_feedback(items)
             self.report.replayed_epochs += 1
             if tracer is not None:
                 tracer.record(
@@ -763,6 +832,10 @@ class Supervisor:
                     replay=True,
                     attempt=attempt,
                 )
+        # Replay re-emits only advice the original run already
+        # broadcast (replay is deterministic), so drain and discard it
+        # rather than re-broadcasting duplicates at the next boundary.
+        worker.take_feedback()
         return worker
 
     # -- single-engine path ------------------------------------------------

@@ -164,6 +164,16 @@ class TestPunctuation:
         assert p.matches(Record({"v": 10}))
         assert not p.matches(Record({"v": 11}))
 
+    def test_range_pattern_non_comparable_value_is_no_match(self):
+        """Regression: a record whose attribute cannot be compared to
+        the range bounds (mixed types) is *not covered* — ``matches``
+        must return False, not raise TypeError mid-pipeline."""
+        p = Punctuation.of({"ts": (None, 10)})
+        assert not p.matches(Record({"ts": "not-a-number"}))
+        assert not p.matches(Record({"ts": None}))
+        two_sided = Punctuation.of({"v": (5, 10)})
+        assert not two_sided.matches(Record({"v": "seven"}))
+
     def test_time_bound_constructor(self):
         p = Punctuation.time_bound("ts", 100.0)
         assert p.ts == 100.0

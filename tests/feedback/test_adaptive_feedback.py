@@ -1,0 +1,201 @@
+"""Adaptive-layer feedback: the RetuneFeedback revision and the
+controller's hysteresis over the guard's untargeted-drop counters.
+
+In this mode the guard runs ``FeedbackShedding(auto=False)``: it keeps
+the key synopsis and acts on installed advice, but the *decision* to
+advise lives in the :class:`AdaptiveController` — pressure is defined
+as new random/queue drops per decision window, and clearing pressure
+for ``feedback_resume_windows`` windows triggers an automatic RESUME.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import AdaptiveConfig, AdaptiveController, AdaptiveEngine
+from repro.adaptive.revision import RetuneFeedback
+from repro.core import ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.errors import PlanError
+from repro.feedback import FeedbackShedding
+from repro.operators import Select
+from repro.resilience import OverloadGuard
+from repro.shedding import LoadController
+from repro.workloads import ZipfGenerator
+
+
+class TestRevision:
+    def test_validation(self):
+        with pytest.raises(PlanError, match="attr and keys"):
+            RetuneFeedback(attr="", keys=(1,))
+        with pytest.raises(PlanError, match="attr and keys"):
+            RetuneFeedback(attr="k", keys=())
+        with pytest.raises(PlanError, match="rate"):
+            RetuneFeedback(attr="k", keys=(1,), rate=2.0)
+        # resume needs neither
+        RetuneFeedback(resume=True)
+        assert not RetuneFeedback(resume=True).structural
+
+    def test_is_picklable(self):
+        import pickle
+
+        r = RetuneFeedback(attr="k", keys=(1, 2), rate=0.25)
+        assert pickle.loads(pickle.dumps(r)) == r
+
+    def test_guard_applies_retune(self):
+        guard = OverloadGuard(
+            controller=LoadController(10.0, 20.0),
+            feedback=FeedbackShedding(key_attr="k", auto=False),
+        )
+        guard.attach(
+            linear_plan("s", [Select(lambda r: True, name="sel")], "out")
+        )
+        guard.apply_retune(RetuneFeedback(attr="k", keys=(0, 3), rate=0.5))
+        assert len(guard._active_patterns) == 2
+        guard.apply_retune(RetuneFeedback(resume=True))
+        assert guard._active_patterns == []
+
+
+def _overload(random=0, queue=0, feedback=0, hot=((0, 100), (1, 40))):
+    return {
+        "enabled": True,
+        "key_attr": "k",
+        "pressured_polls": 0,
+        "calm_polls": 0,
+        "active": 0,
+        "hot": list(hot),
+        "drops": {"random": random, "queue": queue, "feedback": feedback},
+    }
+
+
+def _controller(**kw):
+    kw.setdefault("feedback_shedding", True)
+    kw.setdefault("feedback_trigger_windows", 2)
+    kw.setdefault("feedback_resume_windows", 2)
+    kw.setdefault("min_window_records", 1)
+    return AdaptiveController(AdaptiveConfig(**kw))
+
+
+def _observe(controller, overload, records=100):
+    from repro.observe.feedback import OperatorStats
+
+    stats = OperatorStats(records_in=records, records_out=records)
+    # A fresh dict each call so cumulative differencing sees new input.
+    total = controller._prev.get("sel", OperatorStats())
+    merged = OperatorStats(
+        records_in=total.records_in + records,
+        records_out=total.records_out + records,
+    )
+    return controller.observe(
+        {"sel": merged}, None, has_guard=True, overload=overload
+    )
+
+
+class TestControllerHysteresis:
+    def test_sustained_pressure_triggers_targeted_advice(self):
+        c = _controller()
+        assert _observe(c, _overload(random=10)) == []  # 1st window
+        out = _observe(c, _overload(random=25))  # 2nd: trigger
+        assert len(out) == 1
+        rev = out[0]
+        assert isinstance(rev, RetuneFeedback)
+        assert rev.attr == "k"
+        assert rev.keys == (0, 1)
+        assert not rev.resume
+        # Already active: no re-advise while pressure continues.
+        assert _observe(c, _overload(random=40)) == []
+
+    def test_feedback_drops_do_not_count_as_pressure(self):
+        """Active advice keeps dropping (reason=feedback); only new
+        random/queue drops keep the pressure alive — else advice would
+        sustain itself forever."""
+        c = _controller()
+        _observe(c, _overload(random=10))
+        assert _observe(c, _overload(random=25))  # advised
+        # Untargeted drops stop; feedback drops continue climbing.
+        assert _observe(c, _overload(random=25, feedback=50)) == []
+        out = _observe(c, _overload(random=25, feedback=90))
+        assert len(out) == 1 and out[0].resume
+
+    def test_transient_spike_is_ignored(self):
+        c = _controller(feedback_trigger_windows=3)
+        assert _observe(c, _overload(random=5)) == []
+        assert _observe(c, _overload(random=5)) == []  # same cum. total
+        # The counter resets on a calm window before the third strike.
+        assert _observe(c, _overload(random=10)) == []
+
+    def test_no_advice_without_measured_skew(self):
+        c = _controller()
+        _observe(c, _overload(random=10, hot=()))
+        assert _observe(c, _overload(random=25, hot=())) == []
+
+    def test_config_validation(self):
+        with pytest.raises(PlanError):
+            AdaptiveConfig(feedback_trigger_windows=0)
+        with pytest.raises(PlanError):
+            AdaptiveConfig(feedback_keep_rate=1.5)
+        with pytest.raises(PlanError):
+            AdaptiveConfig(feedback_hot_keys=0)
+
+
+class TestEndToEnd:
+    def test_adaptive_engine_installs_and_resumes(self):
+        """Burst then calm through a real AdaptiveEngine: the controller
+        advises during the burst and retracts after it clears."""
+        gen = ZipfGenerator(12, s=1.3, seed=5)
+        elements = []
+        seq = 0
+        # Burst: heavy records, frequent punctuations.
+        for i in range(3000):
+            elements.append(
+                Record(
+                    {"ts": float(seq), "k": gen.sample(), "pad": "x" * 60},
+                    ts=float(seq),
+                    seq=seq,
+                )
+            )
+            seq += 1
+            if i % 100 == 99:
+                elements.append(
+                    Punctuation.time_bound("ts", float(seq), ts=float(seq))
+                )
+        # Calm tail: light trickle, many boundaries.
+        for i in range(600):
+            elements.append(
+                Record({"ts": float(seq), "k": 0}, ts=float(seq), seq=seq)
+            )
+            seq += 1
+            if i % 20 == 19:
+                elements.append(
+                    Punctuation.time_bound("ts", float(seq), ts=float(seq))
+                )
+        guard = OverloadGuard(
+            controller=LoadController(
+                low_watermark=50.0, high_watermark=400.0, seed=3
+            ),
+            feedback=FeedbackShedding(key_attr="k", auto=False),
+            poll_interval=4,
+        )
+        adaptive = AdaptiveEngine(
+            linear_plan("s", [Select(lambda r: True, name="sel")], "out"),
+            config=AdaptiveConfig(
+                feedback_shedding=True,
+                feedback_trigger_windows=2,
+                feedback_resume_windows=3,
+                feedback_keep_rate=0.2,
+                min_window_records=32,
+            ),
+            guard=guard,
+            batch_size=None,
+        )
+        result = adaptive.run({"s": ListSource("s", elements)})
+        revisions = [
+            m.revision
+            for m in adaptive.migrations
+            if isinstance(m.revision, RetuneFeedback)
+        ]
+        assert revisions, "controller never advised under the burst"
+        assert any(not r.resume for r in revisions)
+        assert any(r.resume for r in revisions), "never resumed after calm"
+        assert guard.drops_by_reason()["feedback"] > 0
+        assert result.dropped == sum(guard.drops_by_reason().values())

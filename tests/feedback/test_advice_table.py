@@ -1,0 +1,149 @@
+"""AdviceTable unit tests: deterministic downsampling, idempotent
+installation, verb semantics, and snapshot/restore continuity.
+
+These properties are what make feedback safe under crash replay and
+cross-shard broadcast: the same advice applied twice must not reset a
+stride, and a restored table must admit exactly the records the
+original would have admitted next.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from repro.core.tuples import (
+    Downsample,
+    DropKeys,
+    FeedbackPunctuation,
+    Pause,
+    Record,
+    Resume,
+    is_feedback,
+)
+from repro.feedback import AdviceTable, FeedbackChannel
+
+
+def _rec(i, **extra):
+    vals = {"ts": float(i), "k": i % 3}
+    vals.update(extra)
+    return Record(vals, ts=float(i), seq=i)
+
+
+def _fb(pattern, advice, **kw):
+    return FeedbackPunctuation(pattern, advice, **kw)
+
+
+class TestVerbs:
+    def test_downsample_is_a_deterministic_stride(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 0),), Downsample(0.25)))
+        admitted = [
+            i for i in range(40) if table.admit(_rec(0, k=0, seq=i))
+        ]
+        # floor(c * 0.25) increments exactly every 4th record.
+        expected = [
+            c - 1
+            for c in range(1, 41)
+            if math.floor(c * 0.25) > math.floor((c - 1) * 0.25)
+        ]
+        assert admitted == expected
+        assert table.dropped == 40 - len(expected)
+
+    def test_downsample_only_touches_matching_records(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 1),), Downsample(0.0)))
+        assert all(table.admit(_rec(i)) for i in range(10) if i % 3 != 1)
+        assert not any(table.admit(_rec(i)) for i in range(10) if i % 3 == 1)
+
+    def test_drop_keys(self):
+        table = AdviceTable()
+        table.apply(_fb((), DropKeys("k", (0, 2))))
+        assert not table.admit(_rec(0))
+        assert table.admit(_rec(1))
+        assert not table.admit(_rec(2))
+
+    def test_pause_and_targeted_resume(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 0),), Pause()))
+        assert not table.admit(_rec(0))
+        assert table.admit(_rec(1))
+        table.apply(_fb((("k", 0),), Resume()))
+        assert table.admit(_rec(0))
+
+    def test_global_resume_clears_everything(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 0),), Downsample(0.1)))
+        table.apply(_fb((("k", 1),), Pause()))
+        assert len(table) == 2
+        table.apply(_fb((), Resume()))
+        assert len(table) == 0
+        assert all(table.admit(_rec(i)) for i in range(6))
+
+
+class TestIdempotence:
+    def test_reapply_keeps_the_counter(self):
+        """Local apply + coordinator re-broadcast + checkpoint replay all
+        deliver the same (pattern, advice) — the stride must not reset."""
+        table = AdviceTable()
+        fb = _fb((("k", 0),), Downsample(0.5))
+        assert table.apply(fb)
+        first = [table.admit(_rec(0, k=0)) for _ in range(3)]
+        assert not table.apply(_fb((("k", 0),), Downsample(0.5)))
+        second = [table.admit(_rec(0, k=0)) for _ in range(3)]
+        # The combined admit sequence is one uninterrupted 0.5 stride.
+        combined = first + second
+        assert combined == [
+            math.floor(c * 0.5) > math.floor((c - 1) * 0.5)
+            for c in range(1, 7)
+        ]
+
+    def test_different_advice_same_pattern_is_a_new_entry(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 0),), Downsample(0.5)))
+        assert table.apply(_fb((("k", 0),), Downsample(0.25)))
+        assert len(table) == 2
+
+
+class TestSnapshot:
+    def test_inert_table_snapshots_to_none(self):
+        assert AdviceTable().snapshot() is None
+
+    def test_roundtrip_continues_the_stride(self):
+        table = AdviceTable()
+        table.apply(_fb((("k", 0),), Downsample(0.3)))
+        pre = [table.admit(_rec(0, k=0)) for _ in range(7)]
+        state = pickle.loads(pickle.dumps(table.snapshot()))
+        clone = AdviceTable()
+        clone.restore(state)
+        assert clone.dropped == table.dropped
+        for _ in range(13):
+            assert clone.admit(_rec(0, k=0)) == table.admit(_rec(0, k=0))
+        assert clone.dropped == table.dropped
+        assert pre  # the pre-snapshot stride actually exercised drops
+
+
+class TestChannel:
+    def test_emit_assigns_sequence_numbers(self):
+        channel = FeedbackChannel()
+        channel.emit(_fb((("k", 0),), Pause(), origin="probe"))
+        channel.emit(_fb((("k", 1),), Pause(), origin="probe"))
+        assert channel.emitted == 2
+        drained = channel.drain()
+        assert [fb.seq for fb in drained] == [1, 2]
+        assert [fb.pattern for fb in drained] == [
+            (("k", 0),),
+            (("k", 1),),
+        ]
+        assert channel.drain() == []
+
+    def test_ingress_log_drains_once(self):
+        channel = FeedbackChannel()
+        fb = _fb((("k", 0),), Pause(), origin="probe", seq=1)
+        channel.record_ingress("in", fb)
+        assert channel.take_ingress() == [("in", fb)]
+        assert channel.take_ingress() == []
+
+    def test_is_feedback_predicate(self):
+        assert is_feedback(_fb((), Resume()))
+        assert not is_feedback(_rec(0))

@@ -1,0 +1,261 @@
+"""End-to-end feedback propagation through live engines.
+
+A consumer-side :class:`BackpressureProbe` emits advice against the
+stream; the engine walks it upstream through the plan's reverse edges,
+each operator acting / translating / forwarding, until it reaches a
+plan ingress — where it is installed and thins exactly the advised
+slice.  These tests certify the full path plus the engine counters,
+the checkpoint round-trip, and the windowed WIDEN_SLIDE verb.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Engine, ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.core.tuples import (
+    Downsample,
+    FeedbackPunctuation,
+    Resume,
+    WidenSlide,
+)
+from repro.feedback import BackpressureProbe
+from repro.operators import (
+    AggSpec,
+    Project,
+    Rename,
+    Select,
+    WindowedAggregate,
+)
+from repro.windows import TimeWindow
+
+
+def _elements(n=300, keys=3, punct_every=50, hot_key=0, hot_weight=3):
+    """A skewed keyed stream: ``hot_key`` appears ``hot_weight``× more."""
+    out = []
+    for i in range(n):
+        k = hot_key if i % (hot_weight + 1) != hot_weight else 1 + i % (keys - 1)
+        out.append(Record({"ts": float(i), "k": k, "v": i}, ts=float(i), seq=i))
+        if i % punct_every == punct_every - 1:
+            out.append(Punctuation.time_bound("ts", float(i), ts=float(i)))
+    return out
+
+
+def _run(ops, elements, **kw):
+    engine = Engine(linear_plan("in", ops, "out"), **kw)
+    result = engine.run({"in": ListSource("in", elements)})
+    return engine, result
+
+
+class TestProbePropagation:
+    def test_probe_advice_reaches_ingress_and_sheds(self):
+        probe = BackpressureProbe(
+            "k", capacity=20, hot_keys=1, resume_after=10_000
+        )
+        engine, result = _run(
+            [Select(lambda r: True, name="sel"), probe], _elements()
+        )
+        counters = result.metrics.counters
+        assert counters["feedback.emitted"] >= 1
+        assert counters["feedback.delivered"] >= 1
+        assert counters["feedback.ingress_dropped"] > 0
+        # The drop landed on the advised hot key, nowhere else.
+        kept = [r.values["k"] for r in result.outputs["out"]
+                if isinstance(r, Record)]
+        offered = [e.values["k"] for e in _elements()
+                   if isinstance(e, Record)]
+        assert kept.count(0) < offered.count(0)
+        for cold in (1, 2):
+            assert kept.count(cold) == offered.count(cold)
+
+    def test_pattern_translates_through_rename_on_the_way_up(self):
+        """The probe sees the renamed attribute; the advice installed at
+        ingress must name the *source* attribute."""
+        probe = BackpressureProbe(
+            "key", capacity=20, hot_keys=1, resume_after=10_000
+        )
+        engine, result = _run(
+            [Rename({"k": "key"}, name="ren"), probe], _elements()
+        )
+        assert result.metrics.counters["feedback.ingress_dropped"] > 0
+        installed = engine._advice.entries
+        assert installed, "advice never reached the plan ingress"
+        for pattern, advice in installed:
+            assert pattern == (("k", 0),)
+            assert isinstance(advice, Downsample)
+
+    def test_pattern_translates_through_project(self):
+        probe = BackpressureProbe(
+            "key", capacity=20, hot_keys=1, resume_after=10_000
+        )
+        engine, result = _run(
+            [Project({"key": "k", "ts": "ts"}, name="proj"), probe],
+            _elements(),
+        )
+        assert result.metrics.counters["feedback.ingress_dropped"] > 0
+        assert all(
+            pattern == (("k", 0),) for pattern, _ in engine._advice.entries
+        )
+
+    def test_untranslatable_advice_is_forwarded_not_dropped(self):
+        """A Project computing ``key`` with a callable cannot translate
+        the pattern — the original must still arrive at ingress."""
+        probe = BackpressureProbe(
+            "key", capacity=20, hot_keys=1, resume_after=10_000
+        )
+        engine, result = _run(
+            [
+                Project(
+                    {"key": lambda r: r.values["k"], "ts": "ts"},
+                    name="opaque",
+                ),
+                probe,
+            ],
+            _elements(),
+        )
+        assert result.metrics.counters["feedback.delivered"] >= 1
+        assert any(
+            pattern == (("key", 0),) for pattern, _ in engine._advice.entries
+        )
+
+    def test_resume_clears_the_installed_advice(self):
+        """A burst that subsides must end with the advice retracted."""
+        burst = _elements(n=200, punct_every=25)
+        # Calm tail: few records per epoch, many epochs.
+        calm = []
+        for i in range(200, 280):
+            calm.append(
+                Record({"ts": float(i), "k": 2, "v": i}, ts=float(i), seq=i)
+            )
+            if i % 4 == 3:
+                calm.append(
+                    Punctuation.time_bound("ts", float(i), ts=float(i))
+                )
+        probe = BackpressureProbe("k", capacity=20, hot_keys=1, resume_after=3)
+        engine, result = _run([probe], burst + calm)
+        assert result.metrics.counters["feedback.ingress_dropped"] > 0
+        assert len(engine._advice) == 0, "RESUME never retracted the advice"
+
+    def test_batched_and_tuple_paths_shed_identically(self):
+        elements = _elements()
+        outs = []
+        for batch_size in (None, 7, 64):
+            probe = BackpressureProbe(
+                "k", capacity=20, hot_keys=1, resume_after=10_000
+            )
+            _, result = _run(
+                [Select(lambda r: True, name="sel"), probe],
+                elements,
+                batch_size=batch_size,
+            )
+            outs.append(result.outputs["out"])
+        assert outs[0] == outs[1] == outs[2]
+
+
+class TestCheckpointRoundTrip:
+    def test_feedback_state_survives_checkpoint_restore(self):
+        """Split a run at a checkpoint: restore must keep the installed
+        advice (and its stride counters) so the second half sheds
+        exactly like the uninterrupted run."""
+        elements = _elements(n=400, punct_every=50)
+        cut = 250
+
+        def build():
+            probe = BackpressureProbe(
+                "k", capacity=20, hot_keys=1, resume_after=10_000
+            )
+            plan = linear_plan(
+                "in", [Select(lambda r: True, name="sel"), probe], "out"
+            )
+            return Engine(plan, batch_size=None)
+
+        whole = build()
+        whole_result = whole.run({"in": ListSource("in", elements)})
+
+        first = build()
+        first.start()
+        for el in elements[:cut]:
+            first.feed("in", el)
+        cp = first.checkpoint()
+        assert cp.feedback is not None, "checkpoint dropped feedback state"
+        head = [list(first._outputs["out"])]
+
+        second = build()
+        second.start()
+        second.restore_checkpoint(cp)
+        for el in elements[cut:]:
+            second.feed("in", el)
+        resumed = second.finish()
+        combined = head[0] + list(resumed.outputs["out"])
+        assert combined == list(whole_result.outputs["out"])
+
+    def test_restore_from_pre_feedback_checkpoint_resets_advice(self):
+        """A checkpoint taken before any feedback activity carries
+        ``feedback=None``; restoring it must retract live advice (the
+        checkpointed past had none)."""
+        probe = BackpressureProbe(
+            "k", capacity=20, hot_keys=1, resume_after=10_000
+        )
+        plan = linear_plan("in", [probe], "out")
+        engine = Engine(plan, batch_size=None)
+        engine.start()
+        clean = engine.checkpoint()
+        assert clean.feedback is None
+        for el in _elements():
+            engine.feed("in", el)
+        assert len(engine._advice) > 0
+        engine.restore_checkpoint(clean)
+        assert len(engine._advice) == 0
+
+
+class TestWidenSlide:
+    def test_widen_slide_thins_buffered_refreshes(self):
+        win = WindowedAggregate(
+            TimeWindow(10.0),
+            ["k"],
+            [AggSpec("n", "count")],
+            name="wagg",
+        )
+        elements = [
+            Record({"ts": float(i), "k": 0}, ts=float(i), seq=i)
+            for i in range(40)
+        ]
+        dense = sum(
+            len(win.on_record(el, 0)) for el in elements[:20]
+        )
+        out = win.on_feedback(
+            FeedbackPunctuation((), WidenSlide(4.0), origin="x")
+        )
+        assert out == []  # acted on, not forwarded
+        sparse = sum(
+            len(win.on_record(el, 0)) for el in elements[20:]
+        )
+        assert sparse < dense
+        # RESUME restores the full refresh cadence.
+        win.on_feedback(FeedbackPunctuation((), Resume(), origin="x"))
+        assert win._emit_stride == 1
+
+    def test_widen_slide_state_snapshots(self):
+        win = WindowedAggregate(
+            TimeWindow(10.0),
+            ["k"],
+            [AggSpec("n", "count")],
+            name="wagg",
+        )
+        win.on_feedback(FeedbackPunctuation((), WidenSlide(3.0), origin="x"))
+        for i in range(7):
+            win.on_record(
+                Record({"ts": float(i), "k": 0}, ts=float(i), seq=i), 0
+            )
+        state = win.snapshot()
+        clone = WindowedAggregate(
+            TimeWindow(10.0),
+            ["k"],
+            [AggSpec("n", "count")],
+            name="wagg",
+        )
+        clone.restore(state)
+        for i in range(7, 30):
+            el = Record({"ts": float(i), "k": 0}, ts=float(i), seq=i)
+            assert win.on_record(el, 0) == clone.on_record(el, 0)

@@ -1,0 +1,142 @@
+"""Property suite: feedback-pattern translation through rename chains.
+
+Two laws keep feedback meaningful as it climbs through schema-mapping
+operators:
+
+1. **Compositionality** — translating through operator ``f`` and then
+   operator ``g`` must equal translating once through the composed
+   mapping ``g∘f`` (:func:`repro.feedback.compose_mappings`).  Without
+   it, where an advice pattern ends up would depend on *how many* hops
+   it took, not on what the chain computes.
+2. **No silent drops** — an untranslatable pattern (some attribute has
+   no pre-image) must be *forwarded unchanged*, never swallowed:
+   over-broad advice upstream is harmless, a stranded overload is not.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tuples import Downsample, DropKeys, FeedbackPunctuation
+from repro.feedback import (
+    compose_mappings,
+    rename_pattern,
+    translate_feedback,
+)
+from repro.feedback.translate import canonical_pattern
+from repro.operators import Project, Rename
+
+ATTRS = ["a", "b", "c", "d", "e", "f"]
+
+attr = st.sampled_from(ATTRS)
+value = st.one_of(st.integers(-5, 5), st.text("xy", max_size=2))
+
+# out-name -> in-name mappings, as an operator's feedback_mapping()
+# produces them.
+mapping = st.dictionaries(attr, attr, max_size=len(ATTRS))
+
+pattern = st.lists(
+    st.tuples(attr, value), max_size=3, unique_by=lambda kv: kv[0]
+).map(lambda kvs: tuple(sorted(kvs)))
+
+advice = st.one_of(
+    st.builds(Downsample, st.floats(0.0, 1.0, allow_nan=False)),
+    st.builds(DropKeys, attr, st.tuples(value)),
+)
+
+feedback = st.builds(
+    FeedbackPunctuation, pattern, advice, st.just("probe"), st.just(1)
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(first=mapping, second=mapping, fb=feedback)
+def test_translation_composes(first, second, fb):
+    """translate(translate(fb, f), g) == translate(fb, g∘f), including
+    agreement on untranslatability (None at any hop == None composed)."""
+    step = translate_feedback(fb, first)
+    two_hop = (
+        None if step is None else translate_feedback(step, second)
+    )
+    one_hop = translate_feedback(fb, compose_mappings(first, second))
+    assert two_hop == one_hop
+
+
+@settings(max_examples=300, deadline=None)
+@given(m=mapping, p=pattern)
+def test_rename_pattern_is_all_or_nothing(m, p):
+    out = rename_pattern(m, p)
+    if any(name not in m for name, _ in p):
+        assert out is None
+    else:
+        assert out == canonical_pattern(
+            [(m[name], pat) for name, pat in p]
+        )
+        assert len(out) == len(p)
+
+
+@settings(max_examples=300, deadline=None)
+@given(m=mapping, fb=feedback)
+def test_translate_preserves_origin_and_seq(m, fb):
+    out = translate_feedback(fb, m)
+    if out is not None:
+        assert (out.origin, out.seq) == (fb.origin, fb.seq)
+        assert type(out.advice) is type(fb.advice)
+
+
+@settings(max_examples=300, deadline=None)
+@given(m=mapping, fb=feedback)
+def test_drop_keys_attr_must_translate_too(m, fb):
+    out = translate_feedback(fb, m)
+    if isinstance(fb.advice, DropKeys) and fb.advice.attr not in m:
+        assert out is None
+    if out is not None and isinstance(out.advice, DropKeys):
+        assert out.advice.attr == m[fb.advice.attr]
+        assert out.advice.keys == fb.advice.keys
+
+
+# --------------------------------------------------------------------------
+# the same laws, exercised through the real operators
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=200, deadline=None)
+@given(fb=feedback)
+def test_operators_never_silently_drop_feedback(fb):
+    """Project and Rename must always return exactly one punctuation:
+    the translation when one exists, else the original unchanged."""
+    project = Project({"a": "b", "c": "c"})
+    rename = Rename({"a": "b", "c": "d"})
+    for op in (project, rename):
+        out = op.on_feedback(fb)
+        assert len(out) == 1
+        got = out[0]
+        m = op.feedback_mapping()
+        if all(name in m for name, _ in fb.pattern) and not (
+            isinstance(fb.advice, DropKeys) and fb.advice.attr not in m
+        ):
+            expected = translate_feedback(fb, m)
+            if expected is not None:
+                assert got == expected
+        # Rename forwards untouched only when translation failed — but
+        # in every case the advice verb itself survives.
+        assert type(got.advice) is type(fb.advice)
+
+
+@settings(max_examples=200, deadline=None)
+@given(fb=feedback)
+def test_project_chain_matches_composed_mapping(fb):
+    """Walking a feedback punctuation up through two concrete Projects
+    equals one translation through their composed mapping."""
+    lower = Project({"a": "b", "c": "d", "e": "e"}, name="lower")
+    upper = Project({"b": "c", "d": "a", "e": "f"}, name="upper")
+    step = lower.on_feedback(fb)[0]
+    two_hop = upper.on_feedback(step)[0]
+    composed = compose_mappings(
+        lower.feedback_mapping(), upper.feedback_mapping()
+    )
+    expected = translate_feedback(fb, composed)
+    if expected is not None and step != fb:
+        # Both hops translated: the chain must agree with composition.
+        assert two_hop == expected

@@ -1,0 +1,197 @@
+"""M10 — Cluster placement: cost-model vs round-robin makespan.
+
+The placement planner prices every candidate cut of the chain against
+the cluster's CPU speeds and link budgets (the VN02 rate model), so on
+a bandwidth-constrained topology it keeps the selective prefix on the
+ingress node and ships the *thinned* stream to the fast workers.  A
+naive round-robin dealer ignores the network entirely and pushes the
+raw stream over the thin edge link.
+
+The experiment, on a 3-node bandwidth-skewed cluster (slow ingress
+node behind thin links, 4x-fast workers):
+
+1. profile the chain once on a single engine to get measured
+   per-operator rates;
+2. plan twice from those stats — cost model vs round-robin — and
+   execute both placements on the simulated cluster;
+3. gate: round-robin's *executed* virtual makespan (max over per-node
+   CPU seconds and per-link transfer seconds, from the cluster
+   engine's network accounting) must be **>= 1.5x** the cost model's.
+
+Virtual time makes the measurement exact and machine-independent: the
+same placements produce the same makespans on any host, so the gate
+cannot flake.
+
+Run as a script to record ``BENCH_m10.json`` (add ``--smoke`` for the
+small CI variant that just enforces the 1.5x gate end-to-end).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import write_baseline  # noqa: E402
+
+from repro.cluster import (
+    bandwidth_skewed,
+    plan_placement,
+    round_robin_placement,
+    run_cluster,
+)
+from repro.core import ListSource, Punctuation, run_plan
+from repro.core.graph import linear_plan
+from repro.core.stream import records_from_dicts
+from repro.operators import AggSpec, Select, WindowedAggregate
+from repro.operators.project import Project
+from repro.windows import TumblingWindow
+
+N = 4_000
+PUNCT_EVERY = 100
+SELECTIVITY = 0.05  # 1-in-20 records survive the filter
+GATE = 1.5  # round-robin makespan must be >= GATE x cost model's
+
+
+def build_chain():
+    """Monitoring-shaped chain: cheap projection, selective filter,
+    grouped tumbling aggregate."""
+    proj = Project(
+        {"k": "k", "ts": "ts", "v": "v", "flag": "flag"},
+        name="proj",
+        cost_per_tuple=0.002,
+    )
+    sel = Select(
+        lambda r: r["flag"] == 0,
+        name="sel",
+        cost_per_tuple=0.002,
+        selectivity=SELECTIVITY,
+    )
+    agg = WindowedAggregate(
+        TumblingWindow(10.0),
+        ["k"],
+        [AggSpec("n", "count"), AggSpec("total", "sum", "v")],
+        name="agg",
+        cost_per_tuple=0.01,
+    )
+    # proj-before-sel: the round-robin dealer then pairs proj with the
+    # ingress node and ships the *unfiltered* stream over the thin
+    # link — the shape the cost model exists to avoid.
+    return linear_plan("in", [proj, sel, agg], "out")
+
+
+def build_sources(n: int):
+    period = int(1 / SELECTIVITY)
+    rows = [
+        {
+            "k": i % 8,
+            "ts": i * 0.05,
+            "v": float(i % 97),
+            "flag": i % period,
+        }
+        for i in range(n)
+    ]
+    elements = []
+    for i, rec in enumerate(records_from_dicts(rows, ts_attr="ts")):
+        elements.append(rec)
+        if (i + 1) % PUNCT_EVERY == 0:
+            elements.append(Punctuation.time_bound("ts", rec.ts, ts=rec.ts))
+    return {"in": ListSource("in", elements)}
+
+
+def _json_safe(value):
+    """Strict-JSON view of a describe() tree: inf -> "inf"."""
+    if isinstance(value, dict):
+        return {k: _json_safe(v) for k, v in value.items()}
+    if isinstance(value, float) and value == float("inf"):
+        return "inf"
+    return value
+
+
+def measure(n: int = N) -> dict:
+    cluster = bandwidth_skewed(3, worker_speed=4.0, thin_bandwidth=50.0)
+
+    # 1. profile: one single-engine run yields measured selectivities.
+    profiled = run_plan(build_chain(), build_sources(n))
+    stats = profiled.metrics.operators
+
+    # 2. plan + execute both placements on the simulated cluster.
+    cost = plan_placement(build_chain(), cluster, stats=stats)
+    naive = round_robin_placement(build_chain(), cluster, stats=stats)
+    cost_run = run_cluster(
+        build_chain(), build_sources(n), cluster, placement=cost
+    )
+    naive_run = run_cluster(
+        build_chain(), build_sources(n), cluster, placement=naive
+    )
+    if naive_run.outputs["out"] != cost_run.outputs["out"]:
+        raise AssertionError(
+            "placements disagreed on outputs — exactness bug, "
+            "makespans are not comparable"
+        )
+
+    ratio = (
+        naive_run.makespan / cost_run.makespan
+        if cost_run.makespan > 0
+        else float("inf")
+    )
+
+    def _net(run):
+        return {
+            link: round(usage["bytes"], 3)
+            for link, usage in sorted(run.network.items())
+        }
+
+    return {
+        "n_tuples": n,
+        "topology": _json_safe(cluster.describe()),
+        "cost_assignment": cost.assignment(),
+        "round_robin_assignment": naive.assignment(),
+        "cost_modeled_makespan": round(cost.makespan, 6),
+        "round_robin_modeled_makespan": round(naive.makespan, 6),
+        "cost_executed_makespan": round(cost_run.makespan, 6),
+        "round_robin_executed_makespan": round(naive_run.makespan, 6),
+        "executed_ratio": round(min(ratio, 1e9), 3),
+        "cost_link_bytes": _net(cost_run),
+        "round_robin_link_bytes": _net(naive_run),
+        "gate": GATE,
+        "gate_passed": ratio >= GATE,
+    }
+
+
+def _enforce_gate(result: dict) -> None:
+    if not result["gate_passed"]:
+        raise AssertionError(
+            f"placement gate failed: round-robin/cost executed makespan "
+            f"ratio {result['executed_ratio']} < {GATE} "
+            f"(cost {result['cost_executed_makespan']}, round-robin "
+            f"{result['round_robin_executed_makespan']}; assignments "
+            f"{result['cost_assignment']} vs "
+            f"{result['round_robin_assignment']})"
+        )
+
+
+def record_baseline(path: str | Path | None = None, n: int = N) -> dict:
+    baseline = {"m10_placement_vs_round_robin": measure(n)}
+    _enforce_gate(baseline["m10_placement_vs_round_robin"])
+    return write_baseline("BENCH_m10.json", baseline, path)
+
+
+def smoke(n: int = 1_000) -> dict:
+    """Small CI variant: the 1.5x makespan gate, end to end, seconds."""
+    result = measure(n)
+    _enforce_gate(result)
+    return result
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        print(json.dumps(smoke(), indent=2))
+        print(
+            f"smoke ok: cost-model placement beat round-robin by "
+            f">= {GATE}x on executed virtual makespan"
+        )
+    else:
+        recorded = record_baseline()
+        print(json.dumps(recorded, indent=2))

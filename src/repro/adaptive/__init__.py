@@ -19,6 +19,7 @@ objects, :class:`AdaptiveConfig` for the decision knobs.
 from repro.adaptive.controller import AdaptiveConfig, AdaptiveController
 from repro.adaptive.revision import (
     Migration,
+    RePlace,
     ReorderChain,
     ReorderFilters,
     RetuneShedding,
@@ -42,6 +43,7 @@ __all__ = [
     "AdaptiveEngine",
     "AdaptiveShardedEngine",
     "Migration",
+    "RePlace",
     "ReorderChain",
     "ReorderFilters",
     "RetuneShedding",

@@ -59,6 +59,7 @@ __all__ = [
     "SetRepresentation",
     "RetuneShedding",
     "RetuneFeedback",
+    "RePlace",
     "Migration",
     "apply_to_chain",
     "apply_revisions",
@@ -203,6 +204,39 @@ class RetuneFeedback(Revision):
                 raise PlanError(
                     f"RetuneFeedback rate must be in [0, 1]: {self.rate}"
                 )
+
+
+@dataclass(frozen=True)
+class RePlace(Revision):
+    """Migrate chain operators between cluster nodes (M10).
+
+    ``assignment`` maps operator names to node names — the complete
+    new placement, not a delta.  Like every revision it carries only
+    names and scalars; the cluster driver
+    (:class:`~repro.cluster.adaptive.AdaptiveClusterEngine`) resolves
+    names against its chain and carries operator state across the move
+    with the PR 3 snapshot/restore machinery.  ``structural = False``
+    because no single engine's plan is rebuilt — whole engines are
+    re-staged around unchanged chains.
+    """
+
+    structural = False
+    assignment: tuple[tuple[str, str], ...]
+    makespan: float = 0.0
+    reason: str = ""
+
+    def __post_init__(self) -> None:
+        pairs = tuple(
+            (str(op), str(node)) for op, node in self.assignment
+        )
+        object.__setattr__(self, "assignment", pairs)
+        if not pairs:
+            raise PlanError("RePlace needs a non-empty assignment")
+        names = [op for op, _node in pairs]
+        if len(set(names)) != len(names):
+            raise PlanError(
+                f"RePlace assignment names an operator twice: {names}"
+            )
 
 
 @dataclass(frozen=True)

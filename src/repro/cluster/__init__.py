@@ -1,0 +1,58 @@
+"""Multi-node operator placement on a simulated cluster (M10).
+
+Borealis/Medusa-era distribution, reproduced in the small: a
+deterministic cluster model (:class:`ClusterSpec` — per-node CPU speed
+factors, per-link bandwidth/latency budgets), a placement planner that
+cuts a linear plan into per-node stages minimizing the VN02 rate-model
+bottleneck (:func:`plan_placement` — with Gigascope partial-aggregate
+push-down competing in the same search), a staged execution engine
+with virtual-time network accounting and per-link gauges
+(:class:`ClusterEngine`), and an adaptive driver that migrates
+operators between nodes when measured rates drift
+(:class:`AdaptiveClusterEngine`, logging
+:class:`~repro.adaptive.revision.RePlace` revisions).
+
+The contract is the repository's usual one: placement decides only
+where virtual time is spent — outputs are element-identical to
+single-node execution for every placement, certified differentially
+in ``tests/cluster`` across the full plan registry and multiple
+topologies.
+"""
+
+from repro.cluster.adaptive import AdaptiveClusterEngine
+from repro.cluster.engine import ClusterEngine, ClusterResult, run_cluster
+from repro.cluster.place import (
+    PlacedStage,
+    Placement,
+    assignment_makespan,
+    evaluate_assignment,
+    plan_placement,
+    pushdown_placement,
+    round_robin_placement,
+)
+from repro.cluster.spec import (
+    ClusterSpec,
+    LinkSpec,
+    NodeSpec,
+    bandwidth_skewed,
+    homogeneous,
+)
+
+__all__ = [
+    "AdaptiveClusterEngine",
+    "ClusterEngine",
+    "ClusterResult",
+    "ClusterSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "PlacedStage",
+    "Placement",
+    "assignment_makespan",
+    "bandwidth_skewed",
+    "evaluate_assignment",
+    "homogeneous",
+    "plan_placement",
+    "pushdown_placement",
+    "round_robin_placement",
+    "run_cluster",
+]

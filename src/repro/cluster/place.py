@@ -1,0 +1,548 @@
+"""Operator placement under the VN02 rate model, network-aware.
+
+The planner answers one question: *which node should run which slice
+of the chain?*  Its objective is the steady-state bottleneck of the
+pipelined execution — the **virtual makespan** — under the rate model
+of rate-based optimization (Viglas & Naughton, SIGMOD 2002): a unit
+source rate flows through the chain, each operator thins it by its
+selectivity, and every resource is charged per source tuple:
+
+* a node is charged ``rate_in(op) * cost_per_tuple(op) / speed(node)``
+  for each operator it hosts;
+* a link is charged ``rate_crossing * record_size / bandwidth`` for
+  each chain edge that crosses it, plus ``latency * EPOCH_RATE`` per
+  crossing (transfers happen once per epoch, not per tuple);
+* the makespan is the maximum charge over all nodes and links — the
+  pipeline moves as fast as its slowest resource.
+
+Selectivities and costs default to the operators' declared values and
+are overridden by measured evidence when a prior run's
+``metrics.operators`` mapping is supplied (``stats=``): the observed
+selectivity when records flowed, the measured service rate when
+dispatches were wall-clock timed.  Absence of evidence falls back to
+the declared value — never to a fabricated measurement.
+
+Placements are searched exhaustively over *contiguous segmentations*
+of the chain assigned to *distinct* nodes (an operator pipeline never
+profits from revisiting a node: the traffic pays the link both ways
+while the CPU charge is unchanged).  When the terminal aggregate is
+mergeable, a **push-down variant** (Gigascope split: stateless prefix
++ partial aggregate upstream, final merge pinned at the egress node)
+competes in the same search — partial states crossing the link are
+usually far fewer than raw tuples, which is the whole point of
+push-down.  Ties break toward fewer segments, then lexicographically
+smaller node tuples, so planning is deterministic.
+
+Plans that are not single-input linear chains (joins, unions,
+multi-output) fall back to a ``single`` placement: the whole plan on
+the one node that minimizes the modeled makespan.  Exactness never
+depends on the placement — only the virtual time spent does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import combinations, permutations
+
+from repro.aggregates.functions import First, Last
+from repro.core.graph import Plan
+from repro.core.metrics import OperatorMetrics
+from repro.errors import PlanError
+from repro.gigascope.decompose import (
+    AggregateSplit,
+    linearize_plan,
+    split_chain_aggregate,
+)
+from repro.cluster.spec import ClusterSpec
+
+__all__ = [
+    "PlacedStage",
+    "Placement",
+    "plan_placement",
+    "round_robin_placement",
+    "pushdown_placement",
+    "evaluate_assignment",
+    "assignment_makespan",
+]
+
+#: Transfers are batched per epoch: a link's latency is charged per
+#: epoch, not per tuple.  One epoch per ~100 source tuples is the
+#: model's fixed assumption (the engine accounts actual epochs).
+EPOCH_RATE = 0.01
+
+#: Exhaustive-search budget; beyond it the planner degrades to the
+#: best single-node placement (still exact, merely less clever).
+MAX_CANDIDATES = 100_000
+
+
+@dataclass(frozen=True)
+class PlacedStage:
+    """A contiguous run of chain operators hosted by one node."""
+
+    node: str
+    ops: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """The planner's verdict: where each piece of the plan runs.
+
+    ``mode`` is ``"chain"`` (the chain cut into stages), ``"pushdown"``
+    (stages end in a partial aggregate; the final merge runs at the
+    cluster's egress node), or ``"single"`` (whole plan on one node).
+    ``makespan`` is the modeled virtual makespan per source tuple.
+    """
+
+    mode: str
+    stages: tuple[PlacedStage, ...]
+    makespan: float
+    reason: str = ""
+    split: AggregateSplit | None = field(default=None, compare=False)
+
+    def assignment(self) -> dict[str, str]:
+        """Operator name -> node name."""
+        return {
+            op: stage.node for stage in self.stages for op in stage.ops
+        }
+
+    def describe(self) -> dict:
+        return {
+            "mode": self.mode,
+            "stages": [
+                {"node": stage.node, "ops": list(stage.ops)}
+                for stage in self.stages
+            ],
+            "makespan": self.makespan,
+            "reason": self.reason,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the rate model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Position:
+    """One placeable chain position with its modeled traffic."""
+
+    name: str
+    rate_in: float
+    rate_out: float
+    cost: float
+
+
+def _measured(stats, name: str) -> OperatorMetrics | None:
+    if stats is None:
+        return None
+    metrics = stats.get(name)
+    return metrics if isinstance(metrics, OperatorMetrics) else None
+
+
+def _op_selectivity(op, stats) -> float:
+    metrics = _measured(stats, op.name)
+    if metrics is not None and metrics.records_in > 0:
+        observed = metrics.observed_selectivity
+        if not math.isnan(observed):
+            return observed
+    return float(getattr(op, "selectivity", 1.0))
+
+
+def _op_cost(op, stats) -> float:
+    metrics = _measured(stats, op.name)
+    if metrics is not None and metrics.timed_invocations > 0:
+        rate = metrics.measured_rate
+        if not math.isnan(rate) and rate > 0:
+            return 1.0 / rate
+    return float(getattr(op, "cost_per_tuple", 1.0))
+
+
+def _chain_positions(chain, stats) -> list[_Position]:
+    """Per-op input/output rates for a unit source rate."""
+    positions: list[_Position] = []
+    rate = 1.0
+    for op in chain:
+        sel = _op_selectivity(op, stats)
+        out = rate * sel
+        positions.append(
+            _Position(op.name, rate, out, _op_cost(op, stats))
+        )
+        rate = out
+    return positions
+
+
+def _order_sensitive(aggregates) -> bool:
+    """True when merging partial states depends on arrival order."""
+    return any(
+        isinstance(spec.new_state(), (First, Last)) for spec in aggregates
+    )
+
+
+# ---------------------------------------------------------------------------
+# makespan evaluation
+# ---------------------------------------------------------------------------
+
+
+def evaluate_assignment(
+    positions,
+    nodes,
+    cluster: ClusterSpec,
+    record_size: float = 1.0,
+    final_node: str | None = None,
+) -> float:
+    """Virtual makespan of hosting ``positions[i]`` on ``nodes[i]``.
+
+    ``final_node`` is where the last position's output is consumed
+    (the merge/egress node); its crossing is charged too.
+    """
+    if len(positions) != len(nodes):
+        raise PlanError(
+            f"{len(positions)} positions but {len(nodes)} node slots"
+        )
+    cpu: dict[str, float] = {}
+    net: dict[tuple[str, str], float] = {}
+
+    def cross(src: str, dst: str, rate: float) -> None:
+        if src == dst or rate <= 0:
+            return
+        link = cluster.link(src, dst)
+        charge = rate * record_size / link.bandwidth
+        charge += link.latency * EPOCH_RATE
+        key = (src, dst)
+        net[key] = net.get(key, 0.0) + charge
+
+    prev = cluster.ingress
+    for pos, node in zip(positions, nodes):
+        cross(prev, node, pos.rate_in)
+        speed = cluster.speed(node)
+        cpu[node] = cpu.get(node, 0.0) + pos.rate_in * pos.cost / speed
+        prev = node
+    if final_node is None:
+        final_node = cluster.egress
+    if positions:
+        cross(prev, final_node, positions[-1].rate_out)
+    loads = list(cpu.values()) + list(net.values())
+    return max(loads) if loads else 0.0
+
+
+def _segmentations(n_ops: int, max_segments: int):
+    """All ways to cut ``n_ops`` chain positions into contiguous runs."""
+    for k in range(1, max_segments + 1):
+        for cuts in combinations(range(1, n_ops), k - 1):
+            bounds = (0, *cuts, n_ops)
+            yield [
+                (bounds[i], bounds[i + 1]) for i in range(len(bounds) - 1)
+            ]
+
+
+def _candidate_count(n_ops: int, n_nodes: int) -> int:
+    total = 0
+    for k in range(1, min(n_ops, n_nodes) + 1):
+        total += math.comb(n_ops - 1, k - 1) * math.perm(n_nodes, k)
+    return total
+
+
+def _search_chain(
+    positions, cluster, record_size, extra_cpu_egress=0.0
+):
+    """Best (makespan, stage bounds, stage nodes) for one variant.
+
+    ``extra_cpu_egress`` charges the push-down variant's final merge
+    against the egress node's CPU on top of the searched placement.
+    """
+    names = cluster.node_names
+    n_ops = len(positions)
+    best = None
+    max_segments = min(n_ops, len(names))
+    for bounds in _segmentations(n_ops, max_segments):
+        for combo in permutations(names, len(bounds)):
+            per_position = [
+                combo[i]
+                for i, (lo, hi) in enumerate(bounds)
+                for _ in range(hi - lo)
+            ]
+            makespan = evaluate_assignment(
+                positions, per_position, cluster, record_size
+            )
+            if extra_cpu_egress:
+                egress_speed = cluster.speed(cluster.egress)
+                makespan = max(
+                    makespan, extra_cpu_egress / egress_speed
+                )
+            key = (makespan, len(bounds), combo)
+            if best is None or key < best[0]:
+                best = (key, bounds, combo)
+    assert best is not None
+    return best[0][0], best[1], best[2]
+
+
+def _stages_from(chain, bounds, combo) -> tuple[PlacedStage, ...]:
+    return tuple(
+        PlacedStage(node, tuple(op.name for op in chain[lo:hi]))
+        for (lo, hi), node in zip(bounds, combo)
+    )
+
+
+def _best_single_node(plan, cluster, stats, record_size) -> Placement:
+    """Whole plan on the one node with the smallest modeled makespan."""
+    total_cost = sum(
+        _op_cost(op, stats) for op in plan.topological_order()
+    )
+    best = None
+    for name in cluster.node_names:
+        load = total_cost / cluster.speed(name)
+        ingress = cluster.link(cluster.ingress, name)
+        egress = cluster.link(name, cluster.egress)
+        load = max(
+            load,
+            record_size / ingress.bandwidth
+            + ingress.latency * EPOCH_RATE,
+            record_size / egress.bandwidth + egress.latency * EPOCH_RATE,
+        )
+        key = (load, name)
+        if best is None or key < best:
+            best = key
+    makespan, node = best
+    ops = tuple(op.name for op in plan.topological_order())
+    return Placement(
+        mode="single",
+        stages=(PlacedStage(node, ops),),
+        makespan=makespan,
+        reason="plan is not a single-input linear chain; "
+        "placed whole on the least-loaded node",
+    )
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+
+def plan_placement(
+    plan: Plan,
+    cluster: ClusterSpec,
+    stats=None,
+    record_size: float = 1.0,
+    pushdown: bool = True,
+) -> Placement:
+    """Choose the placement minimizing the modeled virtual makespan.
+
+    ``stats`` is a prior run's ``metrics.operators`` mapping (operator
+    name -> :class:`~repro.core.metrics.OperatorMetrics`); measured
+    selectivities and service rates override the declared ones.
+    """
+    plan.validate()
+    chain = linearize_plan(plan)
+    if chain is None:
+        return _best_single_node(plan, cluster, stats, record_size)
+    if _candidate_count(len(chain), len(cluster.nodes)) > MAX_CANDIDATES:
+        single = _best_single_node(plan, cluster, stats, record_size)
+        return Placement(
+            mode="chain",
+            stages=single.stages,
+            makespan=single.makespan,
+            reason="search space over budget; single-node fallback",
+        )
+
+    positions = _chain_positions(chain, stats)
+    makespan, bounds, combo = _search_chain(
+        positions, cluster, record_size
+    )
+    best = Placement(
+        mode="chain",
+        stages=_stages_from(chain, bounds, combo),
+        makespan=makespan,
+        reason="bottleneck search over contiguous chain segmentations",
+    )
+
+    if pushdown:
+        split = split_chain_aggregate(chain)
+        if split is not None and not _order_sensitive(split.aggregates):
+            best = _consider_pushdown(
+                best, chain, split, cluster, stats, record_size
+            )
+    return best
+
+
+def _consider_pushdown(
+    best: Placement,
+    chain,
+    split: AggregateSplit,
+    cluster: ClusterSpec,
+    stats,
+    record_size: float,
+) -> Placement:
+    """Let the Gigascope split compete with the plain chain."""
+    partial = split.make_partial(name=_partial_name(chain))
+    push_chain = list(split.prefix) + [partial]
+    positions = _chain_positions(push_chain, stats)
+    # The partial inherits the terminal's thinning: its states stream
+    # is at most as dense as the final answer stream.
+    terminal_sel = _op_selectivity(split.terminal, stats)
+    last = positions[-1]
+    positions[-1] = _Position(
+        last.name,
+        last.rate_in,
+        last.rate_in * terminal_sel,
+        _op_cost(split.terminal, stats),
+    )
+    merge_cpu = positions[-1].rate_out * _op_cost(split.terminal, stats)
+    makespan, bounds, combo = _search_chain(
+        positions, cluster, record_size, extra_cpu_egress=merge_cpu
+    )
+    if makespan < best.makespan:
+        return Placement(
+            mode="pushdown",
+            stages=_stages_from(push_chain, bounds, combo),
+            makespan=makespan,
+            reason="partial-aggregate push-down shrinks the crossing; "
+            "final merge at egress",
+            split=split,
+        )
+    return best
+
+
+def _partial_name(chain) -> str:
+    """A partial-op name that cannot collide with the chain's own."""
+    taken = {op.name for op in chain}
+    name = "cluster_partial"
+    while name in taken:  # pragma: no cover - defensive
+        name += "_"
+    return name
+
+
+def pushdown_placement(
+    plan: Plan,
+    cluster: ClusterSpec,
+    node: str | None = None,
+    stats=None,
+    record_size: float = 1.0,
+) -> Placement:
+    """An explicit LFTA/HFTA-style deployment of a mergeable aggregate.
+
+    The stateless prefix and the partial aggregate run on ``node``
+    (default: the ingress node — Gigascope's low-tier FTA next to the
+    tap), only partial *states* cross the network, and the final merge
+    runs at the egress node.  In a single linear pipeline this ties the
+    best chain cut under the rate model (the crossing carries the same
+    state-rate either way), so the automatic search rarely picks it —
+    but it is the deployment shape the three-level architecture
+    prescribes, and the engine executes it exactly
+    (``tests/cluster`` certifies element-identity).
+
+    Raises :class:`~repro.errors.PlanError` when the plan is not a
+    linear chain or its terminal aggregate is not mergeable.
+    """
+    plan.validate()
+    chain = linearize_plan(plan)
+    if chain is None:
+        raise PlanError("pushdown_placement needs a linear chain plan")
+    split = split_chain_aggregate(chain)
+    if split is None:
+        raise PlanError(
+            "the chain's terminal aggregate is not mergeable; "
+            "no partial-aggregate push-down exists"
+        )
+    if _order_sensitive(split.aggregates):
+        raise PlanError(
+            "first/last aggregates are arrival-order sensitive; "
+            "refusing to push down"
+        )
+    node = cluster.ingress if node is None else node
+    cluster.node(node)
+    partial = split.make_partial(name=_partial_name(chain))
+    push_chain = list(split.prefix) + [partial]
+    positions = _chain_positions(push_chain, stats)
+    terminal_sel = _op_selectivity(split.terminal, stats)
+    last = positions[-1]
+    positions[-1] = _Position(
+        last.name,
+        last.rate_in,
+        last.rate_in * terminal_sel,
+        _op_cost(split.terminal, stats),
+    )
+    makespan = evaluate_assignment(
+        positions, [node] * len(positions), cluster, record_size
+    )
+    merge_cpu = positions[-1].rate_out * _op_cost(split.terminal, stats)
+    makespan = max(makespan, merge_cpu / cluster.speed(cluster.egress))
+    return Placement(
+        mode="pushdown",
+        stages=(
+            PlacedStage(node, tuple(op.name for op in push_chain)),
+        ),
+        makespan=makespan,
+        reason=f"explicit push-down: prefix + partial on {node!r}, "
+        f"merge at egress {cluster.egress!r}",
+        split=split,
+    )
+
+
+def assignment_makespan(
+    plan: Plan,
+    cluster: ClusterSpec,
+    placement: Placement,
+    stats=None,
+    record_size: float = 1.0,
+) -> float:
+    """Re-score an existing chain placement under (new) ``stats``.
+
+    The adaptive layer uses this for hysteresis: the incumbent and the
+    candidate must be compared under the *same* measured rates.
+    """
+    if placement.mode != "chain":
+        raise PlanError(
+            f"assignment_makespan scores chain placements; "
+            f"got mode {placement.mode!r}"
+        )
+    chain = linearize_plan(plan)
+    if chain is None:
+        raise PlanError("plan is not a linear chain")
+    assignment = placement.assignment()
+    try:
+        nodes = [assignment[op.name] for op in chain]
+    except KeyError as exc:
+        raise PlanError(
+            f"placement does not cover operator {exc.args[0]!r}"
+        ) from None
+    positions = _chain_positions(chain, stats)
+    return evaluate_assignment(positions, nodes, cluster, record_size)
+
+
+def round_robin_placement(
+    plan: Plan,
+    cluster: ClusterSpec,
+    stats=None,
+    record_size: float = 1.0,
+) -> Placement:
+    """The naive baseline: deal chain operators over nodes in order.
+
+    This is what a placement-oblivious scheduler does — and what the
+    M10 benchmark holds the cost model against.  Non-linear plans fall
+    back to the single-node placement (there is nothing to deal out).
+    """
+    plan.validate()
+    chain = linearize_plan(plan)
+    if chain is None:
+        return _best_single_node(plan, cluster, stats, record_size)
+    names = cluster.node_names
+    per_position = [names[i % len(names)] for i in range(len(chain))]
+    positions = _chain_positions(chain, stats)
+    makespan = evaluate_assignment(
+        positions, per_position, cluster, record_size
+    )
+    stages: list[PlacedStage] = []
+    for op, node in zip(chain, per_position):
+        if stages and stages[-1].node == node:
+            stages[-1] = PlacedStage(
+                node, stages[-1].ops + (op.name,)
+            )
+        else:
+            stages.append(PlacedStage(node, (op.name,)))
+    return Placement(
+        mode="chain",
+        stages=tuple(stages),
+        makespan=makespan,
+        reason="round-robin baseline (placement-oblivious)",
+    )

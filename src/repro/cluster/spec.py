@@ -1,0 +1,285 @@
+"""Simulated cluster topology: nodes, links, and their budgets.
+
+A :class:`ClusterSpec` is the placement planner's and the cluster
+engine's shared picture of the hardware: each node has a CPU *speed
+factor* (2.0 = tuples cost half the virtual service time they would on
+a speed-1.0 node), and each directed link has a *bandwidth* budget
+(record-size units per virtual second) and a fixed per-transfer
+*latency*.  Everything is deterministic and declarative — the cluster
+is simulated, not discovered — so placements, virtual makespans, and
+the M10 benchmark gate are exactly reproducible.
+
+Two conventions keep the model small:
+
+* A node's link to itself is free (infinite bandwidth, zero latency):
+  operators placed on one node exchange tuples through memory.
+* Undeclared links fall back to the spec's ``default_bandwidth`` /
+  ``default_latency``, so a homogeneous full mesh needs no link list
+  at all and a skewed topology declares only its bottlenecks.
+
+The stream enters at the ``ingress`` node (where sources arrive) and
+results are consumed at the ``egress`` node; both default sensibly so
+single-node clusters need no ceremony.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import PlanError
+
+__all__ = [
+    "NodeSpec",
+    "LinkSpec",
+    "ClusterSpec",
+    "homogeneous",
+    "bandwidth_skewed",
+]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node: a name and a CPU speed factor."""
+
+    name: str
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise PlanError("node name must be non-empty")
+        if not (self.speed > 0) or math.isinf(self.speed):
+            raise PlanError(
+                f"node {self.name!r} speed must be finite and > 0; "
+                f"got {self.speed}"
+            )
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """One directed link: bandwidth in record-size units per virtual
+    second, plus a fixed latency charged once per transfer (epoch)."""
+
+    src: str
+    dst: str
+    bandwidth: float = math.inf
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not (self.bandwidth > 0):
+            raise PlanError(
+                f"link {self.src}->{self.dst} bandwidth must be > 0; "
+                f"got {self.bandwidth}"
+            )
+        if not (self.latency >= 0) or math.isinf(self.latency):
+            raise PlanError(
+                f"link {self.src}->{self.dst} latency must be finite "
+                f"and >= 0; got {self.latency}"
+            )
+
+
+#: The implicit free link from a node to itself.
+_SELF_LINK_BANDWIDTH = math.inf
+_SELF_LINK_LATENCY = 0.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A deterministic simulated cluster.
+
+    Parameters
+    ----------
+    nodes:
+        At least one :class:`NodeSpec`; names must be unique.
+    links:
+        Declared directed links.  Order is irrelevant; at most one
+        declaration per (src, dst) pair.  Pairs without a declaration
+        use ``default_bandwidth``/``default_latency``.
+    ingress:
+        The node where source tuples arrive (defaults to the first
+        node).  The planner charges the first placed operator's input
+        rate against the ``ingress -> first_node`` link.
+    egress:
+        The node where results are consumed and where a pushed-down
+        aggregate's final merge runs (defaults to ``ingress``).
+    """
+
+    nodes: tuple[NodeSpec, ...]
+    links: tuple[LinkSpec, ...] = ()
+    ingress: str = ""
+    egress: str = ""
+    default_bandwidth: float = math.inf
+    default_latency: float = 0.0
+    _by_name: dict = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+    _link_map: dict = field(
+        default=None, repr=False, compare=False, hash=False
+    )
+
+    def __init__(
+        self,
+        nodes,
+        links=(),
+        ingress: str | None = None,
+        egress: str | None = None,
+        default_bandwidth: float = math.inf,
+        default_latency: float = 0.0,
+    ) -> None:
+        nodes = tuple(nodes)
+        links = tuple(links)
+        if not nodes:
+            raise PlanError("a cluster needs at least one node")
+        by_name: dict[str, NodeSpec] = {}
+        for node in nodes:
+            if not isinstance(node, NodeSpec):
+                raise PlanError(f"not a NodeSpec: {node!r}")
+            if node.name in by_name:
+                raise PlanError(f"duplicate node name {node.name!r}")
+            by_name[node.name] = node
+        link_map: dict[tuple[str, str], LinkSpec] = {}
+        for link in links:
+            if not isinstance(link, LinkSpec):
+                raise PlanError(f"not a LinkSpec: {link!r}")
+            for end in (link.src, link.dst):
+                if end not in by_name:
+                    raise PlanError(
+                        f"link {link.src}->{link.dst} references unknown "
+                        f"node {end!r}"
+                    )
+            if link.src == link.dst:
+                raise PlanError(
+                    f"self-link {link.src}->{link.dst} is implicit and "
+                    f"free; do not declare it"
+                )
+            key = (link.src, link.dst)
+            if key in link_map:
+                raise PlanError(
+                    f"duplicate link declaration {link.src}->{link.dst}"
+                )
+            link_map[key] = link
+        if not (default_bandwidth > 0):
+            raise PlanError(
+                f"default_bandwidth must be > 0; got {default_bandwidth}"
+            )
+        if not (default_latency >= 0) or math.isinf(default_latency):
+            raise PlanError(
+                f"default_latency must be finite and >= 0; "
+                f"got {default_latency}"
+            )
+        ingress = nodes[0].name if ingress is None else ingress
+        egress = ingress if egress is None else egress
+        for role, name in (("ingress", ingress), ("egress", egress)):
+            if name not in by_name:
+                raise PlanError(f"{role} node {name!r} is not in the cluster")
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "links", links)
+        object.__setattr__(self, "ingress", ingress)
+        object.__setattr__(self, "egress", egress)
+        object.__setattr__(self, "default_bandwidth", default_bandwidth)
+        object.__setattr__(self, "default_latency", default_latency)
+        object.__setattr__(self, "_by_name", by_name)
+        object.__setattr__(self, "_link_map", link_map)
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def node_names(self) -> list[str]:
+        return [node.name for node in self.nodes]
+
+    def node(self, name: str) -> NodeSpec:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PlanError(f"no node named {name!r}") from None
+
+    def speed(self, name: str) -> float:
+        return self.node(name).speed
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The effective link from ``src`` to ``dst``.
+
+        Same node: the implicit free link.  Declared pair: the
+        declaration.  Otherwise: the cluster defaults.
+        """
+        self.node(src)
+        self.node(dst)
+        if src == dst:
+            return LinkSpec(
+                src, dst, _SELF_LINK_BANDWIDTH, _SELF_LINK_LATENCY
+            )
+        declared = self._link_map.get((src, dst))
+        if declared is not None:
+            return declared
+        return LinkSpec(
+            src, dst, self.default_bandwidth, self.default_latency
+        )
+
+    def describe(self) -> dict:
+        """Plain-dict summary for logs and baselines."""
+        return {
+            "nodes": {node.name: node.speed for node in self.nodes},
+            "ingress": self.ingress,
+            "egress": self.egress,
+            "links": {
+                f"{link.src}->{link.dst}": {
+                    "bandwidth": link.bandwidth,
+                    "latency": link.latency,
+                }
+                for link in self.links
+            },
+            "default_bandwidth": self.default_bandwidth,
+            "default_latency": self.default_latency,
+        }
+
+
+# ---------------------------------------------------------------------------
+# factory topologies (tests and benchmarks)
+# ---------------------------------------------------------------------------
+
+
+def homogeneous(
+    n: int,
+    speed: float = 1.0,
+    bandwidth: float = math.inf,
+    latency: float = 0.0,
+) -> ClusterSpec:
+    """``n`` identical nodes ``n0..n{n-1}`` on a uniform full mesh."""
+    if n < 1:
+        raise PlanError(f"homogeneous cluster needs n >= 1; got {n}")
+    return ClusterSpec(
+        [NodeSpec(f"n{i}", speed) for i in range(n)],
+        ingress="n0",
+        default_bandwidth=bandwidth,
+        default_latency=latency,
+    )
+
+
+def bandwidth_skewed(
+    n: int = 3,
+    worker_speed: float = 4.0,
+    thin_bandwidth: float = 50.0,
+    thin_latency: float = 0.01,
+) -> ClusterSpec:
+    """An ingress node ``n0`` behind thin links to fast workers.
+
+    ``n0`` (speed 1.0) is where the stream arrives; ``n1..n{n-1}`` are
+    ``worker_speed``-times faster but every link touching ``n0`` is
+    bandwidth-constrained.  The cost model should therefore place
+    selective operators *before* the crossing — shipping the raw
+    stream over a thin link is the mistake the M10 benchmark measures.
+    Links among the workers are uncapped.
+    """
+    if n < 2:
+        raise PlanError(f"bandwidth_skewed cluster needs n >= 2; got {n}")
+    nodes = [NodeSpec("n0", 1.0)]
+    nodes += [NodeSpec(f"n{i}", worker_speed) for i in range(1, n)]
+    links = []
+    for i in range(1, n):
+        links.append(
+            LinkSpec("n0", f"n{i}", thin_bandwidth, thin_latency)
+        )
+        links.append(
+            LinkSpec(f"n{i}", "n0", thin_bandwidth, thin_latency)
+        )
+    return ClusterSpec(nodes, links, ingress="n0")

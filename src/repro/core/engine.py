@@ -17,7 +17,13 @@ from repro.columnar.batch import BACKENDS, ColumnBatch, HAVE_NUMPY
 from repro.core.graph import Plan
 from repro.core.metrics import MetricsRegistry
 from repro.core.stream import Source, merge_sources
-from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
+from repro.core.tuples import (
+    FeedbackPunctuation,
+    Punctuation,
+    Record,
+    Resume,
+    WidenSlide,
+)
 from repro.errors import PlanError
 from repro.feedback.channel import FeedbackChannel
 from repro.feedback.table import AdviceTable
@@ -463,8 +469,26 @@ class Engine:
             if self._advice is None:
                 self._advice = AdviceTable()
             self._advice.apply(fb)
+            self._forward_window_advice(fb)
         assert self._feedback is not None
         self._feedback.record_ingress(input_name, fb)
+
+    def _forward_window_advice(self, fb: FeedbackPunctuation) -> None:
+        """Re-deliver window-addressed verbs to the plan's operators.
+
+        ``WIDEN_SLIDE`` acts at a windowed aggregate, never at ingress
+        (the advice table has nothing to install for it), and a
+        ``RESUME`` must re-tighten any slide a prior ``WIDEN_SLIDE``
+        coarsened — advice broadcast from a sharding coordinator or
+        replayed from a supervisor's feedback log otherwise leaves the
+        aggregate coarse forever.  Acting is idempotent, so double
+        delivery is harmless; returns are ignored (delivery, not
+        propagation).
+        """
+        if not isinstance(fb.advice, (WidenSlide, Resume)):
+            return
+        for op in self.plan.operators:
+            op.on_feedback(fb)
 
     def apply_feedback(
         self, items: Iterable[tuple[str, FeedbackPunctuation]]
@@ -480,11 +504,13 @@ class Engine:
         for input_name, fb in items:
             apply_fb = getattr(self.guard, "apply_feedback", None)
             if apply_fb is not None:
+                # The guard forwards window-addressed verbs itself.
                 apply_fb(input_name, fb)
             else:
                 if self._advice is None:
                     self._advice = AdviceTable()
                 self._advice.apply(fb)
+                self._forward_window_advice(fb)
 
     def take_ingress_feedback(self) -> list[tuple[str, FeedbackPunctuation]]:
         """Drain feedback that reached this engine's ingresses (picklable)."""

@@ -83,6 +83,13 @@ class AdaptiveFilterSum:
 
     def update(self, source_id: int, value: float) -> None:
         """A remote source's value changes."""
+        # Explicit range check: Python's negative indexing would silently
+        # alias source_id=-1 onto source m-1 and corrupt its filter state.
+        if not 0 <= source_id < len(self.sources):
+            raise StreamError(
+                f"source_id must be in [0, {len(self.sources)}); "
+                f"got {source_id}"
+            )
         src = self.sources[source_id]
         src.value = value
         half = src.width / 2.0
@@ -136,5 +143,18 @@ class AdaptiveFilterSum:
 def uniform_messages(
     updates: Sequence[tuple[int, float]], n_sources: int
 ) -> int:
-    """Messages if every update were shipped (precision 0 baseline)."""
+    """Messages if every update were shipped (precision 0 baseline).
+
+    Validates the update stream against ``n_sources`` so the baseline
+    rejects exactly the ids :meth:`AdaptiveFilterSum.update` rejects —
+    otherwise the message comparison would count updates the adaptive
+    protocol refuses to process.
+    """
+    if n_sources < 1:
+        raise StreamError("need at least one source")
+    for source_id, _value in updates:
+        if not 0 <= source_id < n_sources:
+            raise StreamError(
+                f"source_id must be in [0, {n_sources}); got {source_id}"
+            )
     return len(updates)

@@ -93,6 +93,12 @@ class TopKCoordinator:
 
     def observe(self, node_id: int, obj: Hashable) -> None:
         """One local hit at ``node_id`` for ``obj``."""
+        # Same aliasing hazard as AdaptiveFilterSum.update: a negative
+        # node_id would silently credit the hit to node m-1.
+        if not 0 <= node_id < len(self.nodes):
+            raise StreamError(
+                f"node_id must be in [0, {len(self.nodes)}); got {node_id}"
+            )
         node = self.nodes[node_id]
         node.counts[obj] += 1
         if len(self.topk) < self.k and obj not in self._distinct_seen:

@@ -43,6 +43,7 @@ from repro.core.tuples import (
     Punctuation,
     Record,
     Resume,
+    WidenSlide,
 )
 from repro.errors import SheddingError
 from repro.feedback.shed import FeedbackShedding, KeyFrequency
@@ -326,16 +327,38 @@ class OverloadGuard:
         for pattern in self._active_patterns:
             fb = FeedbackPunctuation(pattern, Resume(), origin="overload_guard")
             self._advice.apply(fb)
+            self._forward_to_plan(fb)
             if self._channel is not None:
                 self._channel.record_ingress("*", fb)
         self._active_patterns = []
         self._calm_polls = 0
+
+    def _forward_to_plan(self, fb: FeedbackPunctuation) -> None:
+        """Re-deliver window-addressed verbs to the plan's operators.
+
+        ``WIDEN_SLIDE`` acts at a windowed aggregate, not at ingress
+        (the advice table has nothing to install for it), and a
+        ``RESUME`` must re-tighten any slide the overload response
+        coarsened — otherwise the aggregate stays coarse forever after
+        the pressure clears or after a supervisor replays the feedback
+        log on recovery.  Acting is idempotent, so double delivery
+        (e.g. advice that already traversed the operator upstream) is
+        harmless; returns are ignored because this is delivery, not
+        propagation.
+        """
+        if self._plan is None or not isinstance(
+            fb.advice, (WidenSlide, Resume)
+        ):
+            return
+        for op in self._plan.operators:
+            op.on_feedback(fb)
 
     def apply_feedback(self, input_name: str, fb: FeedbackPunctuation) -> bool:
         """Install advice that arrived through the backward channel
         (from a downstream emitter, the adaptive controller, or a
         cross-shard broadcast).  Idempotent."""
         changed = self._advice.apply(fb)
+        self._forward_to_plan(fb)
         if isinstance(fb.advice, Resume):
             if fb.pattern == ():
                 self._active_patterns = []

@@ -1,0 +1,177 @@
+"""Differential certification of cluster-placed execution.
+
+The placement decides only where virtual time is spent — never what is
+computed.  This suite reuses the plan registry that certifies the
+micro-batch and sharded paths and asserts that :class:`ClusterEngine`
+reproduces the single-engine output element-for-element — records AND
+punctuation positions — for every plan, on a homogeneous and on a
+bandwidth-skewed topology, under the cost-model placement, the naive
+round-robin placement, and (where the terminal aggregate is mergeable)
+the explicit partial-aggregate push-down.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    ClusterEngine,
+    bandwidth_skewed,
+    homogeneous,
+    pushdown_placement,
+    round_robin_placement,
+    run_cluster,
+)
+from repro.core import run_plan
+from repro.errors import PlanError
+from tests.core.test_batch_equivalence import ALL_PLANS
+
+TOPOLOGIES = {
+    "homogeneous": lambda: homogeneous(3),
+    "bandwidth_skewed": lambda: bandwidth_skewed(3),
+}
+
+
+def _assert_identical(name, label, reference, candidate):
+    assert set(reference.outputs) == set(candidate.outputs)
+    for out_name, ref_elements in reference.outputs.items():
+        got = candidate.outputs[out_name]
+        assert len(got) == len(ref_elements), (
+            f"{name}[{label}] output {out_name!r}: "
+            f"{len(got)} elements vs baseline {len(ref_elements)}"
+        )
+        for i, (want, have) in enumerate(zip(ref_elements, got)):
+            assert type(want) is type(have), (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{type(have).__name__} vs baseline {type(want).__name__}"
+            )
+            assert want == have, (
+                f"{name}[{label}] output {out_name!r} element {i}: "
+                f"{have!r} vs baseline {want!r}"
+            )
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES), ids=str)
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_cluster_matches_single(name, topo):
+    """Cost-model and round-robin placements must both be exact on
+    every topology — exactness is placement-independent."""
+    build = ALL_PLANS[name]
+    plan, sources = build()
+    baseline = run_plan(plan, sources, batch_size=1)
+    cluster = TOPOLOGIES[topo]()
+
+    plan_a, sources_a = build()
+    result = run_cluster(plan_a, sources_a, cluster)
+    _assert_identical(name, f"{topo}/cost", baseline, result)
+
+    plan_b, sources_b = build()
+    naive = round_robin_placement(plan_b, cluster)
+    result = run_cluster(plan_b, sources_b, cluster, placement=naive)
+    _assert_identical(name, f"{topo}/round_robin", baseline, result)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_cluster_pushdown_matches_single(name):
+    """Where the chain's terminal aggregate is mergeable, the explicit
+    push-down deployment (prefix + partial on a worker, merge at the
+    egress) must also be exact."""
+    build = ALL_PLANS[name]
+    plan, sources = build()
+    cluster = bandwidth_skewed(3)
+    try:
+        placement = pushdown_placement(plan, cluster, node="n1")
+    except PlanError:
+        pytest.skip("no mergeable terminal aggregate in this plan")
+    baseline = run_plan(plan, sources, batch_size=1)
+    plan_b, sources_b = build()
+    result = run_cluster(
+        plan_b, sources_b, cluster, placement=placement
+    )
+    _assert_identical(name, "pushdown", baseline, result)
+
+
+def test_some_plans_exercise_every_mode():
+    """Guard against a vacuous differential: the registry must drive
+    all three placement modes."""
+    cluster = bandwidth_skewed(3)
+    modes = set()
+    for build in ALL_PLANS.values():
+        plan, _sources = build()
+        engine = ClusterEngine(plan, cluster)
+        modes.add(engine.placement.mode)
+        try:
+            pushdown_placement(plan, cluster)
+        except PlanError:
+            pass
+        else:
+            modes.add("pushdown")
+    assert {"chain", "single", "pushdown"} <= modes
+
+
+class TestAccounting:
+    @staticmethod
+    def _staged_run():
+        from repro.cluster import ClusterSpec, LinkSpec, NodeSpec, Placement
+        from repro.cluster.place import PlacedStage
+        from tests.core.test_batch_equivalence import fraud_cdr_chain
+
+        plan, sources = fraud_cdr_chain()
+        cluster = ClusterSpec(
+            [NodeSpec("a", 1.0), NodeSpec("b", 2.0)],
+            [
+                LinkSpec("a", "b", bandwidth=100.0, latency=0.5),
+                LinkSpec("b", "a", bandwidth=100.0, latency=0.5),
+            ],
+            ingress="a",
+        )
+        engine = ClusterEngine(plan, cluster)
+        result = engine.run(sources)
+        return engine, result
+
+    def test_crossings_are_metered(self):
+        engine, result = self._staged_run()
+        nodes = {stage.node for stage in engine.placement.stages}
+        if len(nodes) < 2:
+            pytest.skip("planner chose a single node here")
+        assert result.network, "stages on two nodes but no link usage"
+        for usage in result.network.values():
+            assert usage["bytes"] >= 0
+            assert usage["transfers"] >= 1
+            assert usage["time"] >= usage["latency"]
+
+    def test_metrics_carry_link_counters_and_gauges(self):
+        _engine, result = self._staged_run()
+        link_counters = [
+            key
+            for key in result.metrics.counters
+            if key.startswith("cluster.link.") and key.endswith(".bytes")
+        ]
+        assert link_counters
+        assert any(
+            key.startswith("cluster.node.")
+            for key in result.metrics.counters
+        )
+        assert any(
+            key.endswith(".epoch_bytes") for key in result.metrics.gauges
+        )
+
+    def test_makespan_is_the_resource_bottleneck(self):
+        _engine, result = self._staged_run()
+        loads = list(result.cpu.values()) + [
+            usage["time"] for usage in result.network.values()
+        ]
+        assert result.makespan == pytest.approx(max(loads))
+
+    def test_operator_metrics_survive_the_merge(self):
+        """Per-operator counters from every stage land in the merged
+        registry, same as a single-engine run."""
+        from tests.core.test_batch_equivalence import fraud_cdr_chain
+
+        plan, sources = fraud_cdr_chain()
+        single = run_plan(plan, sources)
+        plan_b, sources_b = fraud_cdr_chain()
+        result = run_cluster(plan_b, sources_b, homogeneous(3))
+        for op_name, metrics in single.metrics.operators.items():
+            merged = result.metrics.for_operator(op_name)
+            assert merged.records_in == metrics.records_in, op_name

@@ -1,0 +1,246 @@
+"""Placement planner unit tests: the cost model's decisions."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    LinkSpec,
+    NodeSpec,
+    Placement,
+    assignment_makespan,
+    bandwidth_skewed,
+    homogeneous,
+    plan_placement,
+    pushdown_placement,
+    round_robin_placement,
+)
+from repro.cluster.place import PlacedStage
+from repro.core import ListSource, Plan
+from repro.core.graph import linear_plan
+from repro.errors import PlanError
+from repro.operators import AggSpec, Select, WindowJoin, WindowedAggregate
+from repro.operators.project import Project
+from repro.windows import TimeWindow, TumblingWindow
+
+
+def _chain(sel_selectivity=0.1, agg_cost=1.0):
+    sel = Select(
+        lambda r: r["v"] > 0, name="sel", selectivity=sel_selectivity
+    )
+    proj = Project({"k": "k", "ts": "ts", "v": "v"}, name="proj")
+    agg = WindowedAggregate(
+        TumblingWindow(10.0),
+        ["k"],
+        [AggSpec("n", "count")],
+        name="agg",
+        cost_per_tuple=agg_cost,
+    )
+    return linear_plan("in", [sel, proj, agg], "out")
+
+
+def _join_plan():
+    plan = Plan()
+    plan.add_input("a")
+    plan.add_input("b")
+    join = plan.add(
+        WindowJoin(
+            TimeWindow(5.0), TimeWindow(5.0), ["k"], ["k"], name="j"
+        ),
+        upstream=["a", "b"],
+    )
+    plan.mark_output(join, "out")
+    return plan
+
+
+class TestChainPlacement:
+    def test_selective_prefix_stays_before_the_thin_link(self):
+        """With a thin link out of the ingress node, the planner must
+        not ship the raw stream — the selective filter crosses first."""
+        cluster = ClusterSpec(
+            [NodeSpec("edge", 1.0), NodeSpec("core", 1.0)],
+            [
+                LinkSpec("edge", "core", bandwidth=0.5),
+                LinkSpec("core", "edge", bandwidth=0.5),
+            ],
+            ingress="edge",
+        )
+        placement = plan_placement(_chain(sel_selectivity=0.01), cluster)
+        assignment = placement.assignment()
+        # Crossing raw costs 1.0/0.5 = 2.0 virtual seconds per tuple;
+        # keeping sel on the edge makes every crossing negligible.
+        assert assignment["sel"] == "edge"
+
+    def test_fast_workers_attract_heavy_operators(self):
+        cluster = bandwidth_skewed(2, worker_speed=10.0,
+                                   thin_bandwidth=1e9)
+        placement = plan_placement(_chain(agg_cost=50.0), cluster)
+        assert placement.assignment()["agg"] == "n1"
+
+    def test_single_node_cluster_places_everything_there(self):
+        placement = plan_placement(_chain(), homogeneous(1))
+        assert placement.stages == (
+            PlacedStage("n0", ("sel", "proj", "agg")),
+        )
+
+    def test_planning_is_deterministic(self):
+        cluster = bandwidth_skewed(3)
+        a = plan_placement(_chain(), cluster)
+        b = plan_placement(_chain(), cluster)
+        assert a == b
+
+    def test_non_linear_plan_falls_back_to_single(self):
+        placement = plan_placement(_join_plan(), homogeneous(3))
+        assert placement.mode == "single"
+        assert len(placement.stages) == 1
+
+    def test_single_fallback_prefers_the_fast_node(self):
+        cluster = ClusterSpec(
+            [NodeSpec("slow", 1.0), NodeSpec("fast", 8.0)],
+            ingress="slow",
+        )
+        placement = plan_placement(_join_plan(), cluster)
+        assert placement.stages[0].node == "fast"
+
+
+class TestCostModelVsRoundRobin:
+    def test_cost_model_never_worse_than_round_robin(self):
+        """The exhaustive search includes round-robin's segment shape
+        whenever that shape is contiguous — and always finds something
+        at least as good on the model."""
+        for cluster in (homogeneous(3), bandwidth_skewed(3)):
+            cost = plan_placement(_chain(), cluster)
+            naive = round_robin_placement(_chain(), cluster)
+            assert cost.makespan <= naive.makespan
+
+    def test_round_robin_ships_raw_over_thin_links(self):
+        """Round-robin deals proj to the edge and sel to the core, so
+        the *unfiltered* stream crosses the thin link; the model must
+        price that as much worse than keeping the filter upstream."""
+
+        def build():
+            proj = Project(
+                {"k": "k", "ts": "ts", "v": "v"},
+                name="proj",
+                cost_per_tuple=0.1,
+            )
+            sel = Select(
+                lambda r: r["v"] > 0,
+                name="sel",
+                cost_per_tuple=0.1,
+                selectivity=0.01,
+            )
+            agg = WindowedAggregate(
+                TumblingWindow(10.0),
+                ["k"],
+                [AggSpec("n", "count")],
+                name="agg",
+            )
+            return linear_plan("in", [proj, sel, agg], "out")
+
+        cluster = ClusterSpec(
+            [NodeSpec("edge"), NodeSpec("core")],
+            [
+                LinkSpec("edge", "core", bandwidth=0.5),
+                LinkSpec("core", "edge", bandwidth=0.5),
+            ],
+            ingress="edge",
+        )
+        cost = plan_placement(build(), cluster)
+        naive = round_robin_placement(build(), cluster)
+        assert naive.makespan > 1.5 * cost.makespan
+
+
+class TestPushdownPlacement:
+    def test_explicit_pushdown_shape(self):
+        cluster = bandwidth_skewed(3)
+        placement = pushdown_placement(_chain(), cluster, node="n1")
+        assert placement.mode == "pushdown"
+        assert placement.split is not None
+        (stage,) = placement.stages
+        assert stage.node == "n1"
+        assert stage.ops[:2] == ("sel", "proj")
+        assert stage.ops[-1] == "cluster_partial"
+
+    def test_pushdown_defaults_to_the_ingress_node(self):
+        placement = pushdown_placement(_chain(), homogeneous(2))
+        assert placement.stages[0].node == "n0"
+
+    def test_pushdown_rejects_non_mergeable_chains(self):
+        sel = Select(lambda r: True, name="only")
+        plan = linear_plan("in", [sel], "out")
+        with pytest.raises(PlanError):
+            pushdown_placement(plan, homogeneous(2))
+
+    def test_pushdown_rejects_order_sensitive_aggregates(self):
+        agg = WindowedAggregate(
+            TumblingWindow(10.0),
+            ["k"],
+            [AggSpec("first_v", "first", "v")],
+            name="agg",
+        )
+        plan = linear_plan("in", [agg], "out")
+        with pytest.raises(PlanError):
+            pushdown_placement(plan, homogeneous(2))
+
+    def test_pushdown_rejects_non_linear_plans(self):
+        with pytest.raises(PlanError):
+            pushdown_placement(_join_plan(), homogeneous(2))
+
+
+class TestAssignmentMakespan:
+    def test_rescores_an_existing_placement(self):
+        cluster = homogeneous(2)
+        placement = plan_placement(_chain(), cluster)
+        rescored = assignment_makespan(_chain(), cluster, placement)
+        assert rescored == pytest.approx(placement.makespan)
+
+    def test_rejects_non_chain_modes(self):
+        cluster = homogeneous(2)
+        placement = pushdown_placement(_chain(), cluster)
+        with pytest.raises(PlanError):
+            assignment_makespan(_chain(), cluster, placement)
+
+    def test_rejects_incomplete_assignments(self):
+        cluster = homogeneous(2)
+        partial = Placement(
+            mode="chain",
+            stages=(PlacedStage("n0", ("sel",)),),
+            makespan=0.0,
+        )
+        with pytest.raises(PlanError):
+            assignment_makespan(_chain(), cluster, partial)
+
+
+class TestMeasuredStats:
+    def test_measured_selectivity_overrides_the_declared_one(self):
+        """A filter declared selective but measured as a pass-through
+        must lose its claim to the thin-link-front position."""
+        from repro.core import run_plan
+        from repro.core.stream import records_from_dicts
+
+        rows = [
+            {"k": i % 3, "ts": float(i), "v": 1.0} for i in range(200)
+        ]
+        plan = _chain(sel_selectivity=0.01)  # declared: drops 99%
+        sources = {
+            "in": ListSource("in", records_from_dicts(rows, ts_attr="ts"))
+        }
+        result = run_plan(plan, sources)  # measured: passes 100%
+        cluster = ClusterSpec(
+            [NodeSpec("edge", 1.0), NodeSpec("core", 100.0)],
+            [
+                LinkSpec("edge", "core", bandwidth=0.8),
+                LinkSpec("core", "edge", bandwidth=0.8),
+            ],
+            ingress="edge",
+        )
+        declared = plan_placement(_chain(sel_selectivity=0.01), cluster)
+        measured = plan_placement(
+            _chain(sel_selectivity=0.01),
+            cluster,
+            stats=result.metrics.operators,
+        )
+        # Declared model: sel thins the stream 100x, so crossing after
+        # it is cheap and the fast core takes the rest.  Measured
+        # model: sel thins nothing — the placements must differ.
+        assert declared.assignment() != measured.assignment()

@@ -1,0 +1,178 @@
+"""RePlace revisions and the drift-driven adaptive cluster engine."""
+
+import pickle
+
+import pytest
+
+from repro.adaptive import RePlace
+from repro.cluster import (
+    AdaptiveClusterEngine,
+    bandwidth_skewed,
+    homogeneous,
+)
+from repro.core import ListSource, Plan, run_plan
+from repro.core.graph import linear_plan
+from repro.core.stream import records_from_dicts
+from repro.core.tuples import Punctuation
+from repro.errors import PlanError
+from repro.operators import AggSpec, Select, WindowJoin, WindowedAggregate
+from repro.windows import TimeWindow, TumblingWindow
+
+
+class TestRePlaceRevision:
+    def test_coerces_and_validates(self):
+        rev = RePlace(assignment=(("sel", "n0"), ("agg", "n1")))
+        assert rev.assignment == (("sel", "n0"), ("agg", "n1"))
+        assert rev.structural is False
+
+    def test_rejects_empty_assignment(self):
+        with pytest.raises(PlanError):
+            RePlace(assignment=())
+
+    def test_rejects_duplicate_operator_names(self):
+        with pytest.raises(PlanError):
+            RePlace(assignment=(("sel", "n0"), ("sel", "n1")))
+
+    def test_picklable(self):
+        rev = RePlace(
+            assignment=(("sel", "n0"),), makespan=1.5, reason="test"
+        )
+        assert pickle.loads(pickle.dumps(rev)) == rev
+
+
+from repro.workloads import CDRGenerator
+
+_ROWS = CDRGenerator().generate(500)
+
+
+def _drift_chain(declared_selectivity=0.05):
+    """A filter declared highly selective; the CDR stream passes most
+    calls, so the declared placement is wrong from the first epoch."""
+    sel = Select(
+        lambda r: not r["is_toll_free"],
+        name="sel",
+        selectivity=declared_selectivity,
+    )
+    agg = WindowedAggregate(
+        TumblingWindow(8.0),
+        ["origin"],
+        [AggSpec("n", "count")],
+        ts_attr="connect_ts",
+        name="agg",
+    )
+    return linear_plan("calls", [sel, agg], "out")
+
+
+def _drift_source(punct_every=25):
+    elements = []
+    recs = records_from_dicts(_ROWS, ts_attr="connect_ts")
+    for i, rec in enumerate(recs):
+        elements.append(rec)
+        if (i + 1) % punct_every == 0:
+            elements.append(
+                Punctuation.time_bound("connect_ts", rec.ts, ts=rec.ts)
+            )
+    return {"calls": ListSource("calls", elements)}
+
+
+def _drift_cluster():
+    # Slow ingress node, fast workers: believing `sel` drops 95% of
+    # the traffic, the planner leaves it on the slow edge (crossing
+    # first would ship 20x the bytes).  The measured pass-through rate
+    # flips that: shipping raw to a 4x-fast worker wins.
+    return bandwidth_skewed(3)
+
+
+class TestConstructorValidation:
+    def test_rejects_non_linear_plans(self):
+        plan = Plan()
+        plan.add_input("a")
+        plan.add_input("b")
+        join = plan.add(
+            WindowJoin(
+                TimeWindow(5.0), TimeWindow(5.0), ["k"], ["k"], name="j"
+            ),
+            upstream=["a", "b"],
+        )
+        plan.mark_output(join, "out")
+        with pytest.raises(PlanError):
+            AdaptiveClusterEngine(plan, homogeneous(2))
+
+    def test_rejects_bad_replan_every(self):
+        with pytest.raises(PlanError):
+            AdaptiveClusterEngine(
+                _drift_chain(), homogeneous(2), replan_every=0
+            )
+
+    def test_rejects_bad_improvement(self):
+        with pytest.raises(PlanError):
+            AdaptiveClusterEngine(
+                _drift_chain(), homogeneous(2), improvement=1.0
+            )
+
+
+class TestDriftMigration:
+    def test_drift_triggers_migration_and_outputs_stay_exact(self):
+        baseline = run_plan(
+            _drift_chain(), _drift_source(), batch_size=1
+        )
+        engine = AdaptiveClusterEngine(
+            _drift_chain(),
+            _drift_cluster(),
+            replan_every=4,
+            improvement=1.05,
+        )
+        result = engine.run(_drift_source())
+        assert engine.migrations, "declared-vs-measured drift must move"
+        got = result.outputs["out"]
+        want = baseline.outputs["out"]
+        assert len(got) == len(want)
+        for w, g in zip(want, got):
+            assert type(w) is type(g)
+            assert w == g
+
+    def test_migration_log_contents(self):
+        engine = AdaptiveClusterEngine(
+            _drift_chain(),
+            _drift_cluster(),
+            replan_every=4,
+            improvement=1.05,
+        )
+        engine.run(_drift_source())
+        migration = engine.migrations[0]
+        assert isinstance(migration.revision, RePlace)
+        assert migration.boundary % 4 == 0
+        ops = {op for op, _node in migration.revision.assignment}
+        assert ops == {"sel", "agg"}
+        nodes = {node for _op, node in migration.revision.assignment}
+        assert nodes <= {"n0", "n1", "n2"}
+        assert "measured drift" in migration.reason
+
+    def test_stable_stream_never_migrates(self):
+        """When the declaration matches the measured rates there is
+        nothing to correct — the hysteresis keeps the incumbent."""
+        profiled = run_plan(_drift_chain(), _drift_source())
+        honest = profiled.metrics.operators["sel"].observed_selectivity
+        engine = AdaptiveClusterEngine(
+            _drift_chain(declared_selectivity=honest),
+            _drift_cluster(),
+            replan_every=4,
+            improvement=1.05,
+        )
+        engine.run(_drift_source())
+        assert engine.migrations == []
+
+    def test_result_accounts_cpu_across_placements(self):
+        engine = AdaptiveClusterEngine(
+            _drift_chain(),
+            _drift_cluster(),
+            replan_every=4,
+            improvement=1.05,
+        )
+        result = engine.run(_drift_source())
+        assert engine.migrations
+        # Work ran on more than one node across the migration eras.
+        assert len(result.cpu) >= 2
+        assert set(result.cpu) <= {"n0", "n1", "n2"}
+        assert all(seconds > 0 for seconds in result.cpu.values())
+        assert result.makespan > 0

@@ -1,0 +1,133 @@
+"""ClusterSpec validation and link-lookup semantics."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    ClusterSpec,
+    LinkSpec,
+    NodeSpec,
+    bandwidth_skewed,
+    homogeneous,
+)
+from repro.errors import PlanError
+
+
+class TestValidation:
+    def test_needs_at_least_one_node(self):
+        with pytest.raises(PlanError):
+            ClusterSpec([])
+
+    def test_rejects_duplicate_node_names(self):
+        with pytest.raises(PlanError):
+            ClusterSpec([NodeSpec("a"), NodeSpec("a")])
+
+    def test_rejects_bad_speed(self):
+        with pytest.raises(PlanError):
+            NodeSpec("a", 0.0)
+        with pytest.raises(PlanError):
+            NodeSpec("a", -1.0)
+        with pytest.raises(PlanError):
+            NodeSpec("a", math.inf)
+
+    def test_rejects_bad_link_budgets(self):
+        with pytest.raises(PlanError):
+            LinkSpec("a", "b", bandwidth=0.0)
+        with pytest.raises(PlanError):
+            LinkSpec("a", "b", latency=-1.0)
+        with pytest.raises(PlanError):
+            LinkSpec("a", "b", latency=math.inf)
+
+    def test_rejects_unknown_link_endpoints(self):
+        with pytest.raises(PlanError):
+            ClusterSpec([NodeSpec("a")], [LinkSpec("a", "ghost")])
+
+    def test_rejects_declared_self_link(self):
+        with pytest.raises(PlanError):
+            ClusterSpec(
+                [NodeSpec("a"), NodeSpec("b")], [LinkSpec("a", "a")]
+            )
+
+    def test_rejects_duplicate_link(self):
+        with pytest.raises(PlanError):
+            ClusterSpec(
+                [NodeSpec("a"), NodeSpec("b")],
+                [LinkSpec("a", "b", 10.0), LinkSpec("a", "b", 20.0)],
+            )
+
+    def test_rejects_unknown_ingress_egress(self):
+        with pytest.raises(PlanError):
+            ClusterSpec([NodeSpec("a")], ingress="ghost")
+        with pytest.raises(PlanError):
+            ClusterSpec([NodeSpec("a")], egress="ghost")
+
+
+class TestLookup:
+    def test_self_link_is_free(self):
+        spec = homogeneous(2, bandwidth=10.0, latency=0.5)
+        link = spec.link("n0", "n0")
+        assert link.bandwidth == math.inf
+        assert link.latency == 0.0
+
+    def test_undeclared_link_uses_defaults(self):
+        spec = ClusterSpec(
+            [NodeSpec("a"), NodeSpec("b")],
+            default_bandwidth=7.0,
+            default_latency=0.25,
+        )
+        link = spec.link("a", "b")
+        assert link.bandwidth == 7.0
+        assert link.latency == 0.25
+
+    def test_declared_link_overrides_defaults(self):
+        spec = ClusterSpec(
+            [NodeSpec("a"), NodeSpec("b")],
+            [LinkSpec("a", "b", 3.0, 0.1)],
+            default_bandwidth=100.0,
+        )
+        assert spec.link("a", "b").bandwidth == 3.0
+        # The reverse direction was not declared.
+        assert spec.link("b", "a").bandwidth == 100.0
+
+    def test_link_rejects_unknown_nodes(self):
+        spec = homogeneous(2)
+        with pytest.raises(PlanError):
+            spec.link("n0", "ghost")
+
+    def test_ingress_defaults_to_first_node_egress_to_ingress(self):
+        spec = ClusterSpec([NodeSpec("x"), NodeSpec("y")])
+        assert spec.ingress == "x"
+        assert spec.egress == "x"
+        spec = ClusterSpec(
+            [NodeSpec("x"), NodeSpec("y")], ingress="y"
+        )
+        assert spec.egress == "y"
+
+
+class TestFactories:
+    def test_homogeneous(self):
+        spec = homogeneous(4, speed=2.0)
+        assert spec.node_names == ["n0", "n1", "n2", "n3"]
+        assert all(spec.speed(n) == 2.0 for n in spec.node_names)
+        assert spec.ingress == "n0"
+        with pytest.raises(PlanError):
+            homogeneous(0)
+
+    def test_bandwidth_skewed(self):
+        spec = bandwidth_skewed(3, worker_speed=4.0, thin_bandwidth=50.0)
+        assert spec.speed("n0") == 1.0
+        assert spec.speed("n1") == 4.0
+        # Links touching n0 are thin in both directions ...
+        assert spec.link("n0", "n1").bandwidth == 50.0
+        assert spec.link("n2", "n0").bandwidth == 50.0
+        # ... worker-to-worker links are uncapped.
+        assert spec.link("n1", "n2").bandwidth == math.inf
+        with pytest.raises(PlanError):
+            bandwidth_skewed(1)
+
+    def test_describe_round_trips_the_shape(self):
+        desc = bandwidth_skewed(3).describe()
+        assert desc["ingress"] == "n0"
+        assert desc["nodes"]["n1"] == 4.0
+        assert desc["links"]["n0->n1"]["bandwidth"] == 50.0

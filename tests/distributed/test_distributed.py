@@ -56,6 +56,18 @@ class TestTopKCoordinator:
         with pytest.raises(StreamError):
             TopKCoordinator(4, 5, slack=1.0)
 
+    def test_observe_rejects_out_of_range_node_id(self):
+        """Negative ids must not alias node m-1 via Python indexing."""
+        coord = TopKCoordinator(n_nodes=4, k=2)
+        with pytest.raises(StreamError):
+            coord.observe(-1, "x")
+        with pytest.raises(StreamError):
+            coord.observe(4, "x")
+        # The rejected hits left no trace on any node.
+        assert all(not node.counts for node in coord.nodes)
+        coord.observe(3, "x")
+        assert coord.nodes[3].counts["x"] == 1
+
     def test_accuracy_on_empty(self):
         coord = TopKCoordinator(2, 3)
         assert coord.accuracy() == 1.0
@@ -117,3 +129,26 @@ class TestAdaptiveFilterSum:
             AdaptiveFilterSum(0, 1.0)
         with pytest.raises(StreamError):
             AdaptiveFilterSum(4, 0.0)
+
+    def test_update_rejects_out_of_range_source_id(self):
+        """Regression: update(-1, v) used to alias source m-1 through
+        Python's negative indexing, corrupting its filter state."""
+        f = AdaptiveFilterSum(4, precision=1.0)
+        with pytest.raises(StreamError):
+            f.update(-1, 100.0)
+        with pytest.raises(StreamError):
+            f.update(4, 100.0)
+        # The rejected updates left every source untouched.
+        assert f.true_sum() == 0.0
+        assert f.messages == 0
+        last = f.sources[-1]
+        assert last.value == 0.0 and last.last_report == 0.0
+
+    def test_uniform_messages_validates_ids(self):
+        assert uniform_messages([(0, 1.0), (3, 2.0)], 4) == 2
+        with pytest.raises(StreamError):
+            uniform_messages([(0, 1.0), (-1, 2.0)], 4)
+        with pytest.raises(StreamError):
+            uniform_messages([(4, 1.0)], 4)
+        with pytest.raises(StreamError):
+            uniform_messages([], 0)

@@ -236,6 +236,115 @@ class TestWidenSlide:
         win.on_feedback(FeedbackPunctuation((), Resume(), origin="x"))
         assert win._emit_stride == 1
 
+    def test_externally_pushed_widen_and_resume_reach_the_window(self):
+        """`Engine.apply_feedback` is the path a sharding coordinator's
+        broadcast and a supervisor's recovery replay take.  A WIDEN_SLIDE
+        pushed through it must coarsen the mid-plan window, and a RESUME
+        must re-tighten it — the ingress advice table alone can do
+        neither."""
+        win = WindowedAggregate(
+            TimeWindow(10.0), ["k"], [AggSpec("n", "count")], name="wagg"
+        )
+        engine = Engine(linear_plan("in", [win], "out"), batch_size=None)
+        engine.start()
+        engine.apply_feedback(
+            [("in", FeedbackPunctuation((), WidenSlide(4.0), origin="peer"))]
+        )
+        assert win._emit_stride == 4.0
+        engine.apply_feedback(
+            [("in", FeedbackPunctuation((), Resume(), origin="peer"))]
+        )
+        assert win._emit_stride == 1
+
+    def test_guarded_engine_forwards_pushed_window_advice(self):
+        from repro.resilience import OverloadGuard
+
+        win = WindowedAggregate(
+            TimeWindow(10.0), ["k"], [AggSpec("n", "count")], name="wagg"
+        )
+        engine = Engine(
+            linear_plan("in", [win], "out"),
+            guard=OverloadGuard(queue_capacity=1e9),
+            batch_size=None,
+        )
+        engine.start()
+        engine.apply_feedback(
+            [("in", FeedbackPunctuation((), WidenSlide(3.0), origin="peer"))]
+        )
+        assert win._emit_stride == 3.0
+        engine.apply_feedback(
+            [("in", FeedbackPunctuation((), Resume(), origin="peer"))]
+        )
+        assert win._emit_stride == 1
+
+    def test_guard_auto_resume_retightens_the_window(self):
+        """When the guard's pressure hysteresis clears it retracts its
+        advised patterns — the same RESUME must re-tighten a window the
+        overload response coarsened."""
+        from repro.resilience import OverloadGuard
+
+        win = WindowedAggregate(
+            TimeWindow(10.0), ["k"], [AggSpec("n", "count")], name="wagg"
+        )
+        engine = Engine(
+            linear_plan("in", [win], "out"),
+            guard=OverloadGuard(queue_capacity=1e9),
+            batch_size=None,
+        )
+        engine.start()
+        guard = engine.guard
+        guard.apply_feedback(
+            "in", FeedbackPunctuation((("k", 0),), Downsample(0.5), origin="x")
+        )
+        win.on_feedback(FeedbackPunctuation((), WidenSlide(4.0), origin="x"))
+        assert win._emit_stride == 4.0
+        guard._resume()  # the overload-cleared hysteresis path
+        assert win._emit_stride == 1
+        assert guard._active_patterns == []
+
+    def test_adaptive_resume_retune_retightens_the_window(self):
+        """`RetuneFeedback(resume=True)` from the adaptive controller is
+        the third RESUME source; it must re-tighten too."""
+        from repro.adaptive.revision import RetuneFeedback
+        from repro.resilience import OverloadGuard
+
+        win = WindowedAggregate(
+            TimeWindow(10.0), ["k"], [AggSpec("n", "count")], name="wagg"
+        )
+        engine = Engine(
+            linear_plan("in", [win], "out"),
+            guard=OverloadGuard(queue_capacity=1e9),
+            batch_size=None,
+        )
+        engine.start()
+        win.on_feedback(FeedbackPunctuation((), WidenSlide(2.0), origin="x"))
+        engine.guard.apply_retune(RetuneFeedback(resume=True))
+        assert win._emit_stride == 1
+
+    def test_recovery_replayed_resume_retightens_restored_stride(self):
+        """Supervisor recovery restores the coarse stride from the
+        checkpoint, then replays the post-checkpoint feedback log via
+        `apply_feedback` — the replayed RESUME must undo the widening."""
+        def build():
+            win = WindowedAggregate(
+                TimeWindow(10.0), ["k"], [AggSpec("n", "count")], name="wagg"
+            )
+            engine = Engine(linear_plan("in", [win], "out"), batch_size=None)
+            engine.start()
+            return engine, win
+
+        first, win1 = build()
+        win1.on_feedback(FeedbackPunctuation((), WidenSlide(5.0), origin="x"))
+        cp = first.checkpoint()
+
+        second, win2 = build()
+        second.restore_checkpoint(cp)
+        assert win2._emit_stride == 5.0, "checkpoint lost the stride"
+        second.apply_feedback(
+            [("in", FeedbackPunctuation((), Resume(), origin="replay"))]
+        )
+        assert win2._emit_stride == 1
+
     def test_widen_slide_state_snapshots(self):
         win = WindowedAggregate(
             TimeWindow(10.0),

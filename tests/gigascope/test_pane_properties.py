@@ -1,0 +1,156 @@
+"""Property suite: `shared_pane_width` under adversarial floats.
+
+The shared-pane planner only dares to share an LFTA-role pane between
+tumbling queries when the pane width divides every window width
+*exactly* in binary floating point — a pane that drifts off a bucket
+edge splits one record's contribution across two buckets.  Three guards
+make the float gcd safe, and each gets a property here:
+
+1. **Soundness** — whatever the input, a non-``None`` answer really
+   tiles every width exactly and is no further than nine orders of
+   magnitude below the largest window (the noise guard's bound).
+2. **The 64-step Euclid bail-out** — consecutive-Fibonacci width pairs
+   are the worst case for Euclid's algorithm (n-1 steps for the n-th
+   pair); pairs past the 64-step budget must come back ``None`` instead
+   of grinding.
+3. **The ``1e-9`` noise guard** — a gcd many orders of magnitude below
+   the windows is rounding residue, not a real divisor, even when ``%``
+   lands on exact zeros.  The boundary is sharp: ``[2**29, 1.0]``
+   shares at 1.0, ``[2**30, 1.0]`` refuses (2**30 > 1e9).
+
+Dyadic constructions (``m * 2**e`` bases) are used wherever exactness
+is asserted: scaling by a power of two is lossless in binary floats, so
+the expected gcd is computable in integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gigascope.decompose import shared_pane_width
+
+# Fibonacci numbers exactly representable as floats (F_78 < 2**53).
+_FIBS = [1, 1]
+while len(_FIBS) < 79:
+    _FIBS.append(_FIBS[-1] + _FIBS[-2])
+
+# A dyadic base m * 2**e round-trips float multiplication by small
+# integers exactly (m * k stays far under 2**53).
+dyadic_base = st.builds(
+    lambda m, e: m * 2.0**e,
+    st.integers(min_value=1, max_value=1 << 20),
+    st.integers(min_value=-30, max_value=10),
+)
+
+any_floats = st.lists(
+    st.floats(
+        allow_nan=False,
+        allow_infinity=False,
+        min_value=-1e18,
+        max_value=1e18,
+    ),
+    min_size=0,
+    max_size=6,
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(widths=any_floats)
+def test_soundness_on_arbitrary_floats(widths):
+    """A non-None pane tiles every width exactly and clears the guard."""
+    pane = shared_pane_width(widths)
+    if pane is None:
+        return
+    assert widths and all(w > 0 for w in widths)
+    assert pane > 0
+    assert pane >= max(widths) * 1e-9
+    for w in widths:
+        assert w % pane == 0.0
+
+
+@settings(max_examples=300, deadline=None)
+@given(
+    base=dyadic_base,
+    ks=st.lists(
+        st.integers(min_value=1, max_value=300), min_size=1, max_size=6
+    ),
+)
+def test_exact_multiples_recover_the_true_gcd(base, ks):
+    """widths = base * k_i  ⇒  pane == base * gcd(k_i), exactly."""
+    widths = [base * k for k in ks]
+    expected = base * math.gcd(*ks)
+    if expected < max(widths) * 1e-9:
+        return  # the noise guard legitimately refuses such spreads
+    assert shared_pane_width(widths) == expected
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    base=dyadic_base,
+    ks=st.lists(
+        st.integers(min_value=1, max_value=300), min_size=2, max_size=6
+    ),
+    seed=st.randoms(use_true_random=False),
+)
+def test_result_is_permutation_invariant_on_exact_inputs(base, ks, seed):
+    widths = [base * k for k in ks]
+    shuffled = list(widths)
+    seed.shuffle(shuffled)
+    assert shared_pane_width(widths) == shared_pane_width(shuffled)
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=80),
+    scale=st.integers(min_value=-20, max_value=20),
+)
+def test_irrational_ratios_are_refused(n, scale):
+    """Widths whose true ratio is irrational (√n for non-square n) have
+    no shared pane; the binary-float gcd that technically exists is
+    rounding residue and must be refused, at every dyadic scale."""
+    root = math.isqrt(n)
+    if root * root == n:
+        return
+    s = 2.0**scale
+    assert shared_pane_width([s, math.sqrt(n) * s]) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(n=st.integers(min_value=66, max_value=77))
+def test_euclid_bail_out_on_fibonacci_worst_case(n):
+    """The n-th consecutive-Fibonacci pair costs n-1 Euclid steps; past
+    the 64-step budget the planner must give up (these pairs would be
+    rejected by the noise guard anyway — worst-case step counts only
+    arise when the reduced ratio exceeds F_66 ≈ 1.2e13 — so the budget
+    is purely a termination guard, and this asserts it fires)."""
+    a, b = float(_FIBS[n]), float(_FIBS[n - 1])
+    assert shared_pane_width([a, b]) is None
+
+
+@settings(max_examples=100, deadline=None)
+@given(e=st.integers(min_value=0, max_value=52))
+def test_noise_guard_boundary_is_exact(e):
+    """gcd([2**e, 1.0]) is exactly 1.0; the guard accepts it while
+    2**e * 1e-9 <= 1.0 and refuses the moment the spread passes 1e9."""
+    pane = shared_pane_width([2.0**e, 1.0])
+    if 2.0**e * 1e-9 < 1.0:
+        assert pane == 1.0
+    else:
+        assert pane is None
+
+
+def test_noise_guard_threshold_pair():
+    # 2**29 ≈ 5.4e8 spread: accepted; 2**30 ≈ 1.07e9 spread: refused.
+    assert shared_pane_width([2.0**29, 1.0]) == 1.0
+    assert shared_pane_width([2.0**30, 1.0]) is None
+
+
+def test_degenerate_inputs():
+    assert shared_pane_width([]) is None
+    assert shared_pane_width([0.0]) is None
+    assert shared_pane_width([-1.0, 2.0]) is None
+    assert shared_pane_width([math.nan, 1.0]) is None
+    assert shared_pane_width([7.5]) == 7.5

@@ -1,0 +1,245 @@
+"""M11 — Time-machine overhead and offline scheduler payoff.
+
+Two acceptance gates:
+
+1. **Recording overhead** — journaling every ingress element, feedback
+   exchange, and periodic checkpoint must not dominate execution:
+   ``record_run`` end-to-end wall time <= ``OVERHEAD_GATE`` x a plain
+   ``run_plan`` of the same workload, and the replayed outputs must be
+   bit-identical to the recorded ones (a benchmark of an unfaithful
+   tape would measure nothing).
+
+2. **Offline scheduler experimentation** — replaying one recorded
+   bursty selective-chain trace through :class:`ReplayBench`, the
+   learning-automata scheduler (arXiv:1110.1700) must hold mean queue
+   memory at least ``MEMORY_GATE`` x below FIFO's.  Makespan is
+   work-conserving-invariant on a fully drained trace, so memory is
+   the discriminating metric (slide 43's argument).
+
+Timings interleave record and plain runs round-robin and keep best-of,
+so machine drift hits both equally.  ``--smoke`` runs reduced gates
+(CI); ``--check-json`` strict-parses committed baselines; no flag
+records ``BENCH_m11.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _harness import interleaved_best, write_baseline  # noqa: E402
+
+from repro.core import ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.operators import Select
+from repro.replay import ReplayBench, TimeMachine, record_run
+
+N = 20000
+BATCH = 64
+BURST = 200
+GAP = 600.0
+PUNCT_EVERY = 200
+CHECKPOINT_EVERY = 4
+OVERHEAD_GATE = 2.0  # record_run may cost at most 2x a plain run
+MEMORY_GATE = 1.2  # fifo mean memory >= 1.2x learning-automata
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _build():
+    """Cheap 10%-selective sieve in front of a 10x-cost filter: the
+    chain whose backlog behaviour separates depth-first (FIFO) from
+    release-rate-aware service orders."""
+    return linear_plan(
+        "in",
+        [
+            Select(
+                lambda r: r["v"] % 10 == 0, name="sieve", cost_per_tuple=1.0
+            ),
+            Select(
+                lambda r: r["v"] % 20 == 0, name="heavy",
+                cost_per_tuple=10.0,
+            ),
+        ],
+        "out",
+    )
+
+
+def _trace(n: int) -> list:
+    """Bursts of ``BURST`` back-to-back arrivals separated by idle gaps
+    — the drifting-load shape the learning automaton is built for."""
+    elements, t = [], 0.0
+    for i in range(n):
+        if i % BURST == 0 and i:
+            t += GAP
+        t += 0.01
+        elements.append(Record({"v": i, "ts": t}, ts=t, seq=i))
+        if (i + 1) % PUNCT_EVERY == 0:
+            elements.append(Punctuation.time_bound("ts", t, ts=t))
+    return elements
+
+
+def _overhead(n: int, repeats: int) -> dict:
+    """Best-of wall time: plain run vs recorded run, plus fidelity."""
+    elements = _trace(n)
+    state: dict = {}
+
+    def plain():
+        state["plain"] = run_plan(
+            _build(), {"in": ListSource("in", elements)}, batch_size=BATCH
+        )
+
+    def recorded():
+        state["result"], state["log"] = record_run(
+            _build(),
+            {"in": ListSource("in", elements)},
+            batch_size=BATCH,
+            checkpoint_every=CHECKPOINT_EVERY,
+        )
+
+    best = interleaved_best(
+        {"plain": plain, "recorded": recorded}, repeats=repeats
+    )
+    if state["result"].outputs != state["plain"].outputs:
+        raise SystemExit("recorded run diverged from the plain run")
+    replayed = TimeMachine(_build, state["log"]).replay()
+    for out, want in state["result"].outputs.items():
+        if replayed.outputs[out] != want:
+            raise SystemExit(
+                f"replay diverged from the recording on output {out!r}"
+            )
+    return {
+        "e2e_seconds_best": {k: round(v, 6) for k, v in best.items()},
+        "overhead_ratio": round(best["recorded"] / best["plain"], 4),
+        "n_epochs": state["log"].n_epochs,
+        "log": state["log"],
+    }
+
+
+def _scheduler_payoff(log) -> dict:
+    """Replay the recorded trace under every scheduler; gate on the
+    fifo / learning-automata mean-memory ratio."""
+    bench = ReplayBench(log, _build)
+    by = ReplayBench.by_name(bench.run())
+    ratio = by["fifo"].mean_memory / by["learning_automata"].mean_memory
+    return {
+        "schedulers": {
+            name: {
+                "mean_memory": round(report.mean_memory, 2),
+                "peak_memory": round(report.peak_memory, 2),
+                "mean_latency": round(report.mean_latency, 2),
+                "makespan": round(report.makespan, 2),
+            }
+            for name, report in sorted(by.items())
+        },
+        "memory_ratio_fifo_over_la": round(ratio, 4),
+    }
+
+
+def compare(n: int = N, repeats: int = 3) -> dict:
+    overhead = _overhead(n, repeats)
+    log = overhead.pop("log")
+    payoff = _scheduler_payoff(log)
+    return {
+        "n_tuples": n,
+        "batch_size": BATCH,
+        "burst": BURST,
+        "checkpoint_every": CHECKPOINT_EVERY,
+        **overhead,
+        **payoff,
+    }
+
+
+def _gated_compare(n: int, repeats: int, attempts: int = 3) -> dict:
+    """Re-measure before failing the overhead gate (wall-clock timing
+    on shared CI machines; the memory ratio is deterministic)."""
+    payload: dict = {}
+    for _ in range(attempts):
+        payload = compare(n, repeats)
+        if payload["overhead_ratio"] <= OVERHEAD_GATE:
+            break
+    return payload
+
+
+def smoke(n: int = 6000, repeats: int = 3) -> dict:
+    payload = _gated_compare(n, repeats)
+    if payload["overhead_ratio"] > OVERHEAD_GATE:
+        raise SystemExit(
+            f"recording overhead is {payload['overhead_ratio']:.2f}x "
+            f"(gate: <= {OVERHEAD_GATE}x)"
+        )
+    ratio = payload["memory_ratio_fifo_over_la"]
+    if ratio < MEMORY_GATE:
+        raise SystemExit(
+            f"learning-automata memory win over fifo is {ratio:.2f}x "
+            f"(gate: >= {MEMORY_GATE}x)"
+        )
+    return payload
+
+
+def check_committed_json() -> list[str]:
+    """Strict-parse every committed BENCH_*.json baseline."""
+    paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+    if not paths:
+        raise SystemExit("no BENCH_*.json baselines found")
+
+    def refuse(constant: str):
+        raise SystemExit(
+            f"{path}: contains non-strict JSON constant {constant!r}"
+        )
+
+    for path in paths:
+        json.loads(path.read_text(), parse_constant=refuse)
+    return [p.name for p in paths]
+
+
+# -- pytest entry point -----------------------------------------------------
+
+
+def test_m11_replay(report):
+    emit, table = report
+    payload = _gated_compare(N, repeats=3)
+    table(
+        ["scheduler", "mean mem", "peak mem", "mean latency"],
+        [
+            [
+                name,
+                stats["mean_memory"],
+                stats["peak_memory"],
+                stats["mean_latency"],
+            ]
+            for name, stats in payload["schedulers"].items()
+        ],
+        title="M11: schedulers on the recorded bursty trace",
+    )
+    emit(
+        f"(recording overhead {payload['overhead_ratio']}x, "
+        f"fifo/la memory ratio "
+        f"{payload['memory_ratio_fifo_over_la']}x)"
+    )
+    assert payload["overhead_ratio"] <= OVERHEAD_GATE
+    assert payload["memory_ratio_fifo_over_la"] >= MEMORY_GATE
+
+
+# -- baseline recording -----------------------------------------------------
+
+
+def record_baseline(path: str | Path | None = None) -> dict:
+    payload = compare(N, repeats=3)
+    baseline = {f"m11_{k}": v for k, v in payload.items()}
+    return write_baseline("BENCH_m11.json", baseline, path)
+
+
+if __name__ == "__main__":
+    if "--check-json" in sys.argv:
+        checked = check_committed_json()
+        print(f"strict-JSON ok: {', '.join(checked)}")
+    elif "--smoke" in sys.argv:
+        print(json.dumps(smoke(), indent=2))
+        print(
+            f"smoke ok: <= {OVERHEAD_GATE}x recording overhead, "
+            f">= {MEMORY_GATE}x fifo/la memory ratio"
+        )
+    else:
+        print(json.dumps(record_baseline(), indent=2))

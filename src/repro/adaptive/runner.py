@@ -89,6 +89,7 @@ class AdaptiveEngine:
         observe=True,
         representation: str = "tuple",
         column_backend: str | None = None,
+        recorder=None,
     ) -> None:
         if controller is not None and config is not None:
             raise PlanError(
@@ -101,7 +102,9 @@ class AdaptiveEngine:
             observe=observe,
             representation=representation,
             column_backend=column_backend,
+            recorder=recorder,
         )
+        self._recorder = recorder
         self.controller = controller or AdaptiveController(config)
         self._chain = chain_of(plan)
         if self._chain is not None:
@@ -179,6 +182,13 @@ class AdaptiveEngine:
                 self._output_name,
                 self._chain,
             )
+            if self._recorder is not None:
+                # The journal's epoch for this boundary was already
+                # closed (inside feed/feed_batch); attaching here marks
+                # the revisions as applied *at* that boundary, and the
+                # deferred checkpoint that follows captures the migrated
+                # plan — exactly what a replay must reconstruct.
+                self._recorder.on_revisions(revisions)
 
 
 class AdaptiveShardedEngine:

@@ -130,6 +130,7 @@ class Engine:
         observe=None,
         representation: str = "tuple",
         column_backend: str | None = None,
+        recorder=None,
     ) -> None:
         plan.validate()
         if batch_size == "auto":
@@ -181,6 +182,12 @@ class Engine:
         self._ingress_dropped = 0
         self._ops_by_name: dict[str, object] = {}
         self._preds: dict[int, list] = {}
+        #: Optional :class:`repro.replay.Recorder` (duck-typed).  When
+        #: set, the engine journals raw ingress (pre-guard, pre-advice),
+        #: closes a journal epoch after each punctuation is fully
+        #: processed, and reports ingress feedback — the record side of
+        #: the time machine (see :mod:`repro.replay`).
+        self.recorder = recorder
 
     @property
     def representation(self) -> str:
@@ -232,6 +239,7 @@ class Engine:
         if (
             self._columnar
             and self.guard is None
+            and self.recorder is None
             and len(by_name) == 1
         ):
             only = next(iter(by_name.values()))
@@ -248,6 +256,11 @@ class Engine:
             merged = ((only.name, el) for el in only.events())
         else:
             merged = merge_sources(*by_name.values())
+        if self.recorder is not None:
+            # Journal *before* the guard so the log holds the traffic as
+            # offered; replay re-sheds through restored guard/advice
+            # state instead of replaying the shedding's outcome.
+            merged = self._recorded(merged)
         if self.guard is not None:
             merged = self._guarded(merged)
         if self.batch_size is None:
@@ -382,6 +395,21 @@ class Engine:
             if guard.admit(input_name, element):
                 yield input_name, element
 
+    def _recorded(self, merged):
+        """Journal a merged element stream as it is consumed.
+
+        The boundary hook fires when the *next* element is pulled —
+        i.e. after the loop body has fully dispatched the punctuation
+        and drained feedback — so the journal's epoch boundaries see a
+        quiescent engine (generators resume on the following ``next()``
+        call, which is exactly that moment)."""
+        rec = self.recorder
+        for input_name, element in merged:
+            rec.on_element(self, input_name, element)
+            yield input_name, element
+            if isinstance(element, Punctuation):
+                rec.on_boundary(self)
+
     # -- incremental interface ------------------------------------------------
 
     def start(self) -> None:
@@ -419,6 +447,8 @@ class Engine:
             bind_channel = getattr(self.guard, "bind_channel", None)
             if bind_channel is not None:
                 bind_channel(self._feedback)
+        if self.recorder is not None:
+            self.recorder.on_start(self)
 
     # -- backward control channel ------------------------------------------
 
@@ -472,6 +502,8 @@ class Engine:
             self._forward_window_advice(fb)
         assert self._feedback is not None
         self._feedback.record_ingress(input_name, fb)
+        if self.recorder is not None:
+            self.recorder.on_feedback(input_name, fb)
 
     def _forward_window_advice(self, fb: FeedbackPunctuation) -> None:
         """Re-deliver window-addressed verbs to the plan's operators.
@@ -553,6 +585,9 @@ class Engine:
             raise PlanError(f"unknown input {input_name!r}")
         primary = next(iter(self.plan.outputs), None)
         before = len(self._outputs[primary]) if primary else 0
+        rec = self.recorder
+        if rec is not None:
+            rec.on_element(self, input_name, element)
         if (
             self.guard is None or self.guard.admit(input_name, element)
         ) and self._admit_ingress(element):
@@ -560,6 +595,8 @@ class Engine:
                 self._dispatch(consumer, element, port, self._outputs)
         if self._feedback is not None and self._feedback.pending:
             self._process_feedback()
+        if rec is not None and isinstance(element, Punctuation):
+            rec.on_boundary(self)
         if primary is None:
             return []
         return self._outputs[primary][before:]
@@ -580,6 +617,35 @@ class Engine:
         primary = next(iter(self.plan.outputs), None)
         before = len(self._outputs[primary]) if primary else 0
         elements = list(elements)
+        rec = self.recorder
+        if rec is None:
+            self._feed_chunk(input_name, elements)
+        else:
+            # Journal epoch boundaries at their exact stream positions:
+            # dispatch punctuation-terminated sub-chunks so the boundary
+            # hook sees the outputs as they stood at each punctuation.
+            start = 0
+            for i, el in enumerate(elements):
+                if isinstance(el, Punctuation):
+                    chunk = elements[start: i + 1]
+                    for item in chunk:
+                        rec.on_element(self, input_name, item)
+                    self._feed_chunk(input_name, chunk)
+                    rec.on_boundary(self)
+                    start = i + 1
+            if start < len(elements):
+                chunk = elements[start:]
+                for item in chunk:
+                    rec.on_element(self, input_name, item)
+                self._feed_chunk(input_name, chunk)
+        if primary is None:
+            return []
+        return self._outputs[primary][before:]
+
+    def _feed_chunk(
+        self, input_name: str, elements: Sequence[Element]
+    ) -> None:
+        """Admit, shed, dispatch, and observe one ingress chunk."""
         if self.guard is not None:
             elements = [
                 el for el in elements if self.guard.admit(input_name, el)
@@ -591,9 +657,6 @@ class Engine:
             self._observe_chunk(elements[-1])
         if self._feedback is not None and self._feedback.pending:
             self._process_feedback()
-        if primary is None:
-            return []
-        return self._outputs[primary][before:]
 
     def peek_output(self, name: str) -> list[Element]:
         """The elements accumulated so far on output ``name``.
@@ -609,10 +672,20 @@ class Engine:
             raise PlanError(f"unknown output {name!r}")
         return self._outputs[name]
 
+    def peek_outputs(self) -> dict[str, list[Element]]:
+        """All outputs accumulated so far (live dict — read-only)."""
+        if self._outputs is None:
+            raise PlanError("Engine.peek_outputs() called before start()")
+        return self._outputs
+
     def finish(self) -> RunResult:
         """Flush all operators and return the accumulated result."""
         if self._outputs is None:
             raise PlanError("Engine.finish() called before start()")
+        if self.recorder is not None:
+            # Close the trailing partial epoch and capture the pre-flush
+            # end state the time machine certifies full replays against.
+            self.recorder.on_finish(self)
         outputs = self._outputs
         self._flush_all(outputs)
         self._outputs = None
@@ -800,6 +873,15 @@ class Engine:
         guard_restore = getattr(self.guard, "feedback_restore", None)
         if guard_restore is not None:
             guard_restore(feedback.get("guard") if feedback else None)
+        # Per-epoch observation (queue-depth / watermark gauges and the
+        # observer's stream-progress markers) describes positions that
+        # were just rolled back; left alone, a replayed trace would keep
+        # sampling the pre-restore watermark into the gauges.  Reset so
+        # replay produces exactly the samples of a fresh run from here.
+        if self._observer is not None:
+            self._observer.rewind()
+        else:
+            self.metrics.gauges.clear()
 
     # -- internals --------------------------------------------------------
 

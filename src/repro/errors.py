@@ -93,6 +93,15 @@ class SchedulingError(StreamError):
     """A scheduler was configured or invoked inconsistently."""
 
 
+class ReplayError(StreamError):
+    """A record log or time-machine replay was misused.
+
+    Raised when a requested epoch lies outside the retained range of a
+    :class:`~repro.replay.RecordLog`, when a log cannot seed the engine
+    it is replayed on (plan/config mismatch), or when log segments are
+    combined inconsistently."""
+
+
 class SheddingError(StreamError):
     """A load-shedding policy was configured inconsistently."""
 

@@ -226,6 +226,19 @@ class Observer:
                 f"op:{operator.name}", t1 - dt, t1, elements=n
             )
 
+    def rewind(self) -> None:
+        """Forget stream progress after a state rewind.
+
+        ``restore_checkpoint`` rolls the engine back to an epoch
+        boundary, but the high-watermark markers here and the gauges
+        they feed describe the *abandoned* future.  Without this reset
+        :meth:`on_chunk` would keep re-publishing the stale watermark
+        into every chunk of a replayed trace.
+        """
+        self._max_ts = float("-inf")
+        self._watermark = float("-inf")
+        self.registry.gauges.clear()
+
     # -- batch-boundary gauges --------------------------------------------
 
     def on_chunk(self, last_element) -> None:

@@ -1,0 +1,41 @@
+"""Deterministic record-replay: the time machine (M11).
+
+Three layers:
+
+* :mod:`repro.replay.log` — the tape.  :class:`RecordLog` journals
+  per-epoch ingress, feedback, revisions, and periodic engine
+  checkpoints in append-only segments with optional retention.
+* :mod:`repro.replay.recorder` — the write head.  A :class:`Recorder`
+  attaches to a live :class:`~repro.core.engine.Engine` (or
+  :class:`~repro.adaptive.runner.AdaptiveEngine`) and fills a log;
+  :func:`record_run` / :func:`record_adaptive` are the one-shot
+  conveniences.
+* :mod:`repro.replay.machine` — the read head.  A :class:`TimeMachine`
+  reconstructs engine state at any recorded epoch and replays epoch
+  ranges bit-identically; :class:`ReplayBench` re-runs recorded
+  traffic under alternative schedulers in virtual time.
+"""
+
+from repro.replay.bench import ReplayBench, SchedulerReport
+from repro.replay.log import (
+    EpochRecord,
+    RecordLog,
+    RetentionPolicy,
+    Segment,
+)
+from repro.replay.machine import ReplayResult, TimeMachine
+from repro.replay.recorder import Recorder, record_adaptive, record_run
+
+__all__ = [
+    "EpochRecord",
+    "RecordLog",
+    "Recorder",
+    "ReplayBench",
+    "ReplayResult",
+    "RetentionPolicy",
+    "SchedulerReport",
+    "Segment",
+    "TimeMachine",
+    "record_adaptive",
+    "record_run",
+]

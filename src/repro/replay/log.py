@@ -1,0 +1,457 @@
+"""The record log: a durable journal of one engine run.
+
+A :class:`RecordLog` is the "tape" of the time machine.  It journals,
+per punctuation-delimited epoch, everything the engine consumed and
+decided:
+
+* the ingress elements (records *and* the closing punctuation), in
+  merged arrival order, tagged with the input they arrived on;
+* the feedback punctuations that reached an ingress during the epoch
+  (diagnostic — replay re-emits feedback deterministically, the journal
+  is what the supervisor's log-backed recovery re-applies);
+* the plan revisions the adaptive controller fired at the epoch's
+  closing boundary (re-fired verbatim on replay);
+* the per-output element counts at the boundary, so any epoch range of
+  a full run's output can be addressed by position;
+* periodic :class:`~repro.core.engine.EngineCheckpoint` snapshots —
+  checkpoint ``e`` is the engine state at the *start* of epoch ``e``,
+  after any revisions fired at boundary ``e-1``.
+
+Log format
+----------
+
+The log is append-only and segmented: entries accumulate in the current
+(unsealed) segment and every ``segment_every`` epochs a new segment
+starts.  Segment starts always carry a checkpoint (the recorder aligns
+its checkpoint cadence), which makes segments the unit of *retention*:
+a :class:`RetentionPolicy` drops whole sealed segments from the front
+once the retained epoch count exceeds its bound, and the structural
+revisions of dropped epochs are folded into ``dropped_revisions`` so
+the :class:`~repro.replay.TimeMachine` can still rebuild the plan shape
+the oldest retained checkpoint expects.
+
+On disk (:meth:`save`/:meth:`load`) a log is a directory holding a
+strict-JSON ``manifest.json`` (format tag, meta summary, segment file
+names, retained range) plus one pickle file per segment — elements,
+advice, and operator snapshots are plain picklable data by the PR 3
+snapshot contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from repro.core.engine import EngineCheckpoint
+from repro.core.tuples import FeedbackPunctuation, Punctuation, Record
+from repro.errors import ReplayError
+
+__all__ = ["EpochRecord", "RecordLog", "RetentionPolicy", "Segment"]
+
+Element = Record | Punctuation
+
+#: Format tag written to every manifest; bumped on incompatible change.
+LOG_FORMAT = "repro-recordlog/1"
+
+
+@dataclass
+class EpochRecord:
+    """Everything journaled for one punctuation-delimited epoch."""
+
+    index: int
+    #: Ingress elements in merged arrival order: ``(input_name, el)``.
+    #: Ends with the closing punctuation except for a ``final`` epoch.
+    elements: list[tuple[str, Element]]
+    #: Per-output element counts *after* this epoch was processed.
+    output_positions: dict[str, int]
+    #: Feedback that reached an ingress during this epoch.
+    feedback: list[tuple[str, FeedbackPunctuation]] = field(
+        default_factory=list
+    )
+    #: Revisions the adaptive layer applied at this epoch's closing
+    #: boundary (i.e. after the epoch's elements, before the next).
+    revisions: tuple = ()
+    #: True for the trailing end-of-stream epoch (no closing punct).
+    final: bool = False
+
+    @property
+    def punct(self) -> Punctuation | None:
+        if self.elements and isinstance(self.elements[-1][1], Punctuation):
+            return self.elements[-1][1]
+        return None
+
+
+@dataclass
+class RetentionPolicy:
+    """Bound on how much history a log keeps.
+
+    ``max_epochs`` is a *target*: retention drops whole sealed segments
+    from the front while more than ``max_epochs`` epochs remain, so the
+    retained count can exceed the target by up to one segment.  The
+    unsealed (current) segment is never dropped.
+    """
+
+    max_epochs: int
+
+    def __post_init__(self) -> None:
+        if self.max_epochs < 1:
+            raise ReplayError(
+                f"retention max_epochs must be >= 1; got {self.max_epochs}"
+            )
+
+
+class Segment:
+    """A contiguous run of epoch records plus their checkpoints."""
+
+    def __init__(self, start: int) -> None:
+        self.start = start
+        self.entries: list[EpochRecord] = []
+        self.checkpoints: dict[int, EngineCheckpoint] = {}
+
+    @property
+    def stop(self) -> int:
+        return self.start + len(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+class RecordLog:
+    """Append-only, segmented journal of one recorded run.
+
+    Parameters
+    ----------
+    segment_every:
+        Epochs per segment (``None`` = one unbounded segment).  The
+        recorder checkpoints at every segment start, so segments are
+        independently replayable and safe to drop under retention.
+    retention:
+        Optional :class:`RetentionPolicy` applied on every append.
+    """
+
+    def __init__(
+        self,
+        segment_every: int | None = None,
+        retention: RetentionPolicy | None = None,
+    ) -> None:
+        if segment_every is not None and segment_every < 1:
+            raise ReplayError(
+                f"segment_every must be >= 1; got {segment_every}"
+            )
+        self.segment_every = segment_every
+        self.retention = retention
+        #: Engine configuration captured at record time (batch size,
+        #: representation, input/output names, final checkpoint/advice).
+        self.meta: dict = {}
+        self.segments: list[Segment] = [Segment(0)]
+        #: Structural/tuning revisions from epochs dropped by retention,
+        #: in original order — the plan-shape prefix of the oldest
+        #: retained checkpoint.
+        self.dropped_revisions: list = []
+
+    # -- append side -------------------------------------------------------
+
+    def append(self, entry: EpochRecord) -> None:
+        seg = self.segments[-1]
+        if entry.index != seg.stop:
+            raise ReplayError(
+                f"epoch {entry.index} appended out of order "
+                f"(expected {seg.stop})"
+            )
+        if (
+            self.segment_every is not None
+            and len(seg) >= self.segment_every
+        ):
+            seg = Segment(seg.stop)
+            self.segments.append(seg)
+        seg.entries.append(entry)
+        self._enforce_retention()
+
+    def add_checkpoint(self, index: int, cp: EngineCheckpoint) -> None:
+        """Attach the state-at-start-of-epoch ``index`` snapshot."""
+        seg = self.segments[-1]
+        if index < seg.start or index > seg.stop:
+            raise ReplayError(
+                f"checkpoint for epoch {index} outside the open segment "
+                f"[{seg.start}, {seg.stop}]"
+            )
+        if index == seg.stop and self.segment_every is not None and len(
+            seg
+        ) >= self.segment_every:
+            # The checkpoint belongs to the first epoch of the segment
+            # about to open; seal now so the new segment starts with it.
+            seg = Segment(seg.stop)
+            self.segments.append(seg)
+        seg.checkpoints[index] = cp
+
+    def clear(self) -> None:
+        """Drop every entry and checkpoint (a re-recording is starting).
+
+        The supervisor calls this when graceful degradation restarts the
+        sharded protocol — the journal must describe the run that
+        actually produced the output, not an abandoned attempt."""
+        self.segments = [Segment(0)]
+        self.dropped_revisions = []
+
+    def attach_revisions(self, revisions: Sequence) -> None:
+        """Record revisions fired at the last appended epoch's boundary."""
+        entry = self._last_entry()
+        if entry is None:
+            raise ReplayError("no epoch recorded yet to attach revisions to")
+        entry.revisions = entry.revisions + tuple(revisions)
+
+    def _last_entry(self) -> EpochRecord | None:
+        for seg in reversed(self.segments):
+            if seg.entries:
+                return seg.entries[-1]
+        return None
+
+    def _enforce_retention(self) -> None:
+        policy = self.retention
+        if policy is None:
+            return
+        while (
+            len(self.segments) > 1
+            and self.end_epoch - self.base_epoch - len(self.segments[0])
+            >= policy.max_epochs
+        ):
+            dropped = self.segments.pop(0)
+            for entry in dropped.entries:
+                self.dropped_revisions.extend(entry.revisions)
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def base_epoch(self) -> int:
+        """First retained epoch index."""
+        return self.segments[0].start
+
+    @property
+    def end_epoch(self) -> int:
+        """One past the last recorded epoch index."""
+        return self.segments[-1].stop
+
+    @property
+    def n_epochs(self) -> int:
+        return self.end_epoch - self.base_epoch
+
+    def entry(self, index: int) -> EpochRecord:
+        for seg in self.segments:
+            if seg.start <= index < seg.stop:
+                return seg.entries[index - seg.start]
+        raise ReplayError(
+            f"epoch {index} is not retained "
+            f"(log holds [{self.base_epoch}, {self.end_epoch}))"
+        )
+
+    def entries(
+        self, start: int | None = None, stop: int | None = None
+    ) -> Iterator[EpochRecord]:
+        start = self.base_epoch if start is None else start
+        stop = self.end_epoch if stop is None else stop
+        for index in range(start, stop):
+            yield self.entry(index)
+
+    def checkpoint_at_or_before(
+        self, epoch: int
+    ) -> tuple[int, EngineCheckpoint | None]:
+        """The nearest checkpoint not after ``epoch``.
+
+        Returns ``(index, checkpoint)``; ``(base_epoch, None)`` when no
+        checkpoint qualifies (replay then starts from a fresh engine,
+        which is only sound when ``base_epoch`` is 0).
+        """
+        best: tuple[int, EngineCheckpoint] | None = None
+        for seg in self.segments:
+            if seg.start > epoch:
+                break
+            for index, cp in seg.checkpoints.items():
+                if index <= epoch and (best is None or index > best[0]):
+                    best = (index, cp)
+        if best is None:
+            return self.base_epoch, None
+        return best
+
+    def migration_epochs(self) -> list[int]:
+        """Epoch indices whose boundary fired at least one revision —
+        the replay-the-migration index over PR 5's migration log."""
+        return [e.index for e in self.entries() if e.revisions]
+
+    def all_elements(
+        self, start: int | None = None, stop: int | None = None
+    ) -> list[tuple[str, Element]]:
+        """Flat ingress trace of an epoch range, in arrival order."""
+        out: list[tuple[str, Element]] = []
+        for entry in self.entries(start, stop):
+            out.extend(entry.elements)
+        return out
+
+    def output_position(self, epoch: int) -> dict[str, int]:
+        """Per-output element counts at the *start* of ``epoch``."""
+        if epoch <= self.base_epoch:
+            if self.base_epoch > 0:
+                raise ReplayError(
+                    f"positions before retained epoch {self.base_epoch} "
+                    f"were dropped by retention"
+                )
+            return {name: 0 for name in self.meta.get("outputs", ())}
+        return dict(self.entry(epoch - 1).output_positions)
+
+    def output_range(
+        self,
+        outputs: dict[str, list[Element]],
+        start: int,
+        stop: int | None = None,
+    ) -> dict[str, list[Element]]:
+        """Slice a full run's outputs down to epochs ``[start, stop)``.
+
+        ``stop=None`` (or the last epoch) includes the end-of-stream
+        flush, mirroring what a replay of the same range produces.
+        """
+        lo = self.output_position(start)
+        if stop is None or stop >= self.end_epoch:
+            return {
+                name: els[lo.get(name, 0):] for name, els in outputs.items()
+            }
+        hi = self.output_position(stop)
+        return {
+            name: els[lo.get(name, 0): hi.get(name, len(els))]
+            for name, els in outputs.items()
+        }
+
+    # -- segment algebra ---------------------------------------------------
+
+    def split(self, at: int) -> tuple["RecordLog", "RecordLog"]:
+        """Split into two logs at epoch ``at`` (left gets ``[..., at)``).
+
+        Both halves keep the full meta; checkpoints go with the segment
+        range that contains them.  Replaying the concatenation of the
+        halves is identical to replaying the original (the property the
+        hypothesis suite certifies).
+        """
+        if not self.base_epoch <= at <= self.end_epoch:
+            raise ReplayError(
+                f"split point {at} outside [{self.base_epoch}, "
+                f"{self.end_epoch}]"
+            )
+        left = RecordLog(segment_every=self.segment_every)
+        right = RecordLog(segment_every=self.segment_every)
+        left.meta = dict(self.meta)
+        right.meta = dict(self.meta)
+        left.segments = [Segment(self.base_epoch)]
+        right.segments = [Segment(at)]
+        left.dropped_revisions = list(self.dropped_revisions)
+        for seg in self.segments:
+            for entry in seg.entries:
+                target = left if entry.index < at else right
+                target.segments[-1].entries.append(entry)
+            for index, cp in seg.checkpoints.items():
+                target = left if index < at else right
+                target.segments[-1].checkpoints[index] = cp
+        # Revisions of the left half are the right half's shape prefix.
+        right.dropped_revisions = list(self.dropped_revisions)
+        for entry in left.entries():
+            right.dropped_revisions.extend(entry.revisions)
+        return left, right
+
+    def concat(self, other: "RecordLog") -> "RecordLog":
+        """Join ``other`` (recorded immediately after this log) on."""
+        if other.base_epoch != self.end_epoch:
+            raise ReplayError(
+                f"cannot concat: this log ends at epoch {self.end_epoch}, "
+                f"other starts at {other.base_epoch}"
+            )
+        joined = RecordLog(segment_every=self.segment_every)
+        joined.meta = dict(other.meta or self.meta)
+        joined.dropped_revisions = list(self.dropped_revisions)
+        joined.segments = [Segment(self.base_epoch)]
+        seg = joined.segments[0]
+        for source in (self, other):
+            for entry in source.entries():
+                seg.entries.append(entry)
+            for src_seg in source.segments:
+                seg.checkpoints.update(src_seg.checkpoints)
+        return joined
+
+    # -- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @staticmethod
+    def from_bytes(blob: bytes) -> "RecordLog":
+        log = pickle.loads(blob)
+        if not isinstance(log, RecordLog):
+            raise ReplayError(
+                f"blob does not contain a RecordLog (got {type(log).__name__})"
+            )
+        return log
+
+    def save(self, path: str) -> None:
+        """Write the log as ``manifest.json`` + per-segment pickles."""
+        os.makedirs(path, exist_ok=True)
+        names: list[str] = []
+        for i, seg in enumerate(self.segments):
+            name = f"segment-{i:05d}.pkl"
+            names.append(name)
+            with open(os.path.join(path, name), "wb") as fh:
+                pickle.dump(seg, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(os.path.join(path, "meta.pkl"), "wb") as fh:
+            pickle.dump(
+                {
+                    "meta": self.meta,
+                    "dropped_revisions": self.dropped_revisions,
+                },
+                fh,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        manifest = {
+            "format": LOG_FORMAT,
+            "base_epoch": self.base_epoch,
+            "end_epoch": self.end_epoch,
+            "segment_every": self.segment_every,
+            "segments": names,
+            "inputs": list(self.meta.get("inputs", ())),
+            "outputs": list(self.meta.get("outputs", ())),
+            "batch_size": self.meta.get("batch_size"),
+            "representation": self.meta.get("representation"),
+        }
+        with open(os.path.join(path, "manifest.json"), "w") as fh:
+            json.dump(manifest, fh, indent=2, allow_nan=False)
+
+    @staticmethod
+    def load(path: str) -> "RecordLog":
+        try:
+            with open(os.path.join(path, "manifest.json")) as fh:
+                manifest = json.load(fh)
+        except OSError as exc:
+            raise ReplayError(
+                f"no record log at {path!r}: {exc}"
+            ) from exc
+        if manifest.get("format") != LOG_FORMAT:
+            raise ReplayError(
+                f"unsupported record-log format {manifest.get('format')!r} "
+                f"(expected {LOG_FORMAT!r})"
+            )
+        log = RecordLog(segment_every=manifest.get("segment_every"))
+        log.segments = []
+        for name in manifest["segments"]:
+            with open(os.path.join(path, name), "rb") as fh:
+                log.segments.append(pickle.load(fh))
+        if not log.segments:
+            log.segments = [Segment(0)]
+        with open(os.path.join(path, "meta.pkl"), "rb") as fh:
+            extra = pickle.load(fh)
+        log.meta = extra["meta"]
+        log.dropped_revisions = extra["dropped_revisions"]
+        return log
+
+    def __repr__(self) -> str:
+        return (
+            f"RecordLog(epochs=[{self.base_epoch}, {self.end_epoch}), "
+            f"segments={len(self.segments)}, "
+            f"checkpoints={sum(len(s.checkpoints) for s in self.segments)})"
+        )

@@ -556,6 +556,15 @@ class Supervisor:
     injector:
         Optional :class:`~repro.resilience.chaos.FaultInjector` whose
         shard-fault schedule is applied during the run.
+    record_log:
+        Optional :class:`~repro.replay.RecordLog`.  When attached, the
+        coordinator journals every completed epoch (merged-order
+        elements plus the broadcast feedback union) into it, and
+        recovery replays a rebuilt shard from the *journal* — re-split
+        through the partitioner from position zero, so position-stateful
+        routing stays identical — instead of the in-memory epoch list.
+        The log is cleared if graceful degradation restarts the run; a
+        degraded-to-single run is not journaled.
     """
 
     def __init__(
@@ -567,6 +576,7 @@ class Supervisor:
         epoch_timeout: float | None = None,
         checkpoint_every: int = 1,
         injector: FaultInjector | None = None,
+        record_log=None,
     ) -> None:
         if max_retries < 0:
             raise PlanError(f"max_retries must be >= 0; got {max_retries}")
@@ -581,6 +591,7 @@ class Supervisor:
         self.epoch_timeout = epoch_timeout
         self.checkpoint_every = checkpoint_every
         self.injector = injector
+        self.record_log = record_log
         self.report = SupervisorReport()
         self._attempts: dict[tuple[int, int], int] = {}
         self._tracer: Tracer | None = None
@@ -655,6 +666,25 @@ class Supervisor:
         st = engine._strategy
         epochs = split_epochs(elements, st.routing)
         n = st.routing.n_shards
+        log = self.record_log
+        if log is not None:
+            if log.n_epochs or log.dropped_revisions:
+                # A degradation restarted the protocol: the journal must
+                # describe the run that produces the output, not the
+                # abandoned attempt.
+                log.clear()
+            log.meta.update(
+                {
+                    "batch_size": engine.batch_size,
+                    "representation": engine.representation,
+                    "column_backend": engine.column_backend,
+                    "inputs": [st.input_name],
+                    "outputs": [st.output_name],
+                    "supervised": True,
+                }
+            )
+        log_cursor = 0
+        log_out = 0
         workers = [self._make_worker(engine, st, s) for s in range(n)]
         accepted: list[list[list[Element]]] = [[] for _ in range(n)]
         progress: list[list[float]] = [[] for _ in range(n)]
@@ -716,6 +746,36 @@ class Supervisor:
                     for worker in workers:
                         worker.apply_feedback(exchanged)
                 feedback_log.append(exchanged)
+                if log is not None:
+                    # Journal the epoch only once every shard completed
+                    # it, so the log never describes an epoch a recovery
+                    # might still be replaying.  Output positions count
+                    # coordinator-accepted elements (exact for the
+                    # "local" strategy; partial-aggregate combines merge
+                    # further, so treat them as diagnostics there).
+                    from repro.replay.log import EpochRecord
+
+                    count = sum(len(b) for b in epoch.batches) + (
+                        1 if epoch.punct is not None else 0
+                    )
+                    log_out += sum(
+                        len(accepted[s][e]) for s in range(n)
+                    ) + (1 if epoch.punct is not None else 0)
+                    log.append(
+                        EpochRecord(
+                            index=e,
+                            elements=[
+                                (st.input_name, el)
+                                for el in elements[
+                                    log_cursor : log_cursor + count
+                                ]
+                            ],
+                            output_positions={st.output_name: log_out},
+                            feedback=list(exchanged),
+                            final=epoch.punct is None,
+                        )
+                    )
+                    log_cursor += count
                 if tracer is not None:
                     tracer.record(
                         f"epoch:{e}",
@@ -808,13 +868,33 @@ class Supervisor:
         # exactly the dedup that keeps replays invisible downstream.
         # Each replay is traced with ``replay=True`` so a recovery run's
         # trace distinguishes re-executed epochs from first-run epochs.
+        replay_epochs: Sequence[Epoch] = epochs
+        feedback_source: Sequence[list] | None = feedback_log
+        log = self.record_log
+        if (
+            log is not None
+            and log.base_epoch == 0
+            and log.n_epochs >= epoch_index
+        ):
+            # Log-backed recovery: rebuild the replay batches from the
+            # durable journal instead of coordinator memory.  The whole
+            # journaled stream is re-split through the partitioner from
+            # position zero, so position-stateful routing (round-robin)
+            # re-derives the original per-shard batches exactly.
+            trace = [el for _name, el in log.all_elements(0, epoch_index)]
+            replay_epochs = split_epochs(trace, st.routing)
+            feedback_source = [
+                entry.feedback for entry in log.entries(0, epoch_index)
+            ]
         tracer = self._tracer
         for replay_index in range(cp_epoch, epoch_index):
-            epoch = epochs[replay_index]
+            epoch = replay_epochs[replay_index]
             replay_started = time.perf_counter()
             worker.replay_epoch(epoch.batches[shard], epoch.punct)
-            if feedback_log is not None and replay_index < len(feedback_log):
-                items = feedback_log[replay_index]
+            if feedback_source is not None and replay_index < len(
+                feedback_source
+            ):
+                items = feedback_source[replay_index]
                 if items:
                     # Re-install the feedback union exactly where the
                     # original run did, so the replayed epochs shed the

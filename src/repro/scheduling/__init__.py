@@ -1,6 +1,7 @@
 """Operator scheduling policies (slides 42-43)."""
 
 from repro.scheduling.adaptive import MeasuredRateScheduler
+from repro.scheduling.automata import LearningAutomataScheduler
 from repro.scheduling.base import ReadyOp, Scheduler
 from repro.scheduling.chain import ChainScheduler, lower_envelope_priorities
 from repro.scheduling.fifo import FIFOScheduler
@@ -14,6 +15,7 @@ __all__ = [
     "lower_envelope_priorities",
     "FIFOScheduler",
     "GreedyScheduler",
+    "LearningAutomataScheduler",
     "MeasuredRateScheduler",
     "RoundRobinScheduler",
 ]

@@ -1,0 +1,307 @@
+"""Differential certification of the time machine.
+
+The record-replay contract is the strongest one the repro makes: a
+:class:`~repro.replay.TimeMachine` fed the journal of a real run must
+reproduce that run *bit-identically* — records, punctuation positions,
+timestamps, per-operator metric counters, advice-table stride state —
+for every plan in the differential registry, at tuple-at-a-time and
+micro-batch granularity, over the full trace and over arbitrary
+epoch sub-ranges, on the single engine and the sharded one.  Replay
+that "mostly works" (drops a batch, re-sheds differently, re-fires a
+revision one boundary late) fails element-for-element comparison
+immediately.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Engine, ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.feedback import BackpressureProbe
+from repro.operators import Select
+from repro.parallel import RoundRobinPartition
+from repro.replay import (
+    RecordLog,
+    TimeMachine,
+    record_adaptive,
+    record_run,
+)
+from tests.adaptive.test_differential import AGGRESSIVE
+from tests.core.test_batch_equivalence import (
+    ALL_PLANS,
+    _assert_identical_outputs,
+)
+from tests.feedback.test_engine_propagation import _elements
+
+BATCH_SIZES = [1, 256]
+
+# Wall-clock-dependent fields: everything else in the per-operator
+# summary (records/punctuations in and out, invocations, batches_in,
+# busy_time, observed selectivity) must replay exactly.
+_NONDETERMINISTIC = {"wall_time", "timed_invocations", "measured_rate"}
+
+
+def _machine_for(name: str, log: RecordLog) -> TimeMachine:
+    return TimeMachine(lambda: ALL_PLANS[name]()[0], log)
+
+
+def _assert_metric_parity(name, reference, candidate, label):
+    ref, got = reference.metrics.summary(), candidate.metrics.summary()
+    assert set(ref) == set(got), f"{name}[{label}]: operator sets differ"
+    for op, stats in ref.items():
+        for key, want in stats.items():
+            if key in _NONDETERMINISTIC:
+                continue
+            have = got[op].get(key)
+            assert have == want, (
+                f"{name}[{label}] operator {op!r} metric {key}: "
+                f"{have!r} vs recorded {want!r}"
+            )
+
+
+# --------------------------------------------------------------------------
+# the headline guarantee: full-trace replay, every plan, both granularities
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES, ids=lambda b: f"bs={b}")
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_replay_is_bit_identical(name, batch_size):
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(
+        plan, sources, batch_size=batch_size, checkpoint_every=3
+    )
+    replayed = _machine_for(name, log).replay()
+    _assert_identical_outputs(name, result, replayed, "replay")
+    _assert_metric_parity(name, result, replayed, "replay")
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_replay_tuple_at_a_time(name):
+    """batch_size=None takes the unchunked feed() path — same contract."""
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(plan, sources, checkpoint_every=2)
+    replayed = _machine_for(name, log).replay()
+    _assert_identical_outputs(name, result, replayed, "tuple-replay")
+    _assert_metric_parity(name, result, replayed, "tuple-replay")
+
+
+# --------------------------------------------------------------------------
+# sub-range replay: any epoch window, reconstructed from checkpoints
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PLANS), ids=str)
+def test_subrange_replay_matches_output_slice(name):
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(
+        plan, sources, batch_size=7, checkpoint_every=2
+    )
+    end = log.end_epoch
+    windows = {(0, end), (0, 1), (end - 1, end)}
+    if end >= 3:
+        windows.add((1, end - 1))
+        windows.add((end // 2, end // 2 + 1))
+    for start, stop in sorted(windows):
+        if start >= stop:
+            continue
+        replayed = _machine_for(name, log).replay(start, stop)
+        want = log.output_range(result.outputs, start, stop)
+        assert set(replayed.outputs) == set(want)
+        for out, elements in want.items():
+            got = replayed.outputs[out]
+            assert got == elements, (
+                f"{name}[{start}:{stop}] output {out!r}: "
+                f"{len(got)} elements vs expected {len(elements)}"
+            )
+
+
+@pytest.mark.parametrize(
+    "name", ["fraud_cdr_chain", "cdr_select_punctuated"], ids=str
+)
+def test_state_at_resumes_like_the_original(name):
+    """An engine reconstructed at epoch k, fed the rest of the tape by
+    hand, finishes with the recorded tail of the output stream."""
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(
+        plan, sources, batch_size=16, checkpoint_every=4
+    )
+    machine = _machine_for(name, log)
+    k = log.end_epoch // 2
+    resumed = machine.replay(k)  # state_at(k) + roll to the end
+    want = log.output_range(result.outputs, k, None)
+    for out, elements in want.items():
+        assert resumed.outputs[out] == elements
+
+    engine = machine.state_at(k)
+    assert isinstance(engine, Engine)
+    # position parity: the reconstructed engine holds exactly the
+    # outputs of the roll-forward window (checkpoint -> k).
+    cp_epoch, _ = log.checkpoint_at_or_before(k)
+    for out, elements in engine.peek_outputs().items():
+        want = (
+            log.output_position(k)[out]
+            - log.output_position(cp_epoch)[out]
+        )
+        assert len(elements) == want
+
+
+# --------------------------------------------------------------------------
+# sharded / supervised replay
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["inline", "thread"])
+@pytest.mark.parametrize(
+    "name",
+    ["fraud_cdr_chain", "cdr_select_project_aggregate_punctuated"],
+    ids=str,
+)
+def test_sharded_replay_matches_recorded_run(name, backend):
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(plan, sources, batch_size=16)
+    machine = _machine_for(name, log)
+    replayed = machine.replay_sharded(
+        RoundRobinPartition(2), backend=backend
+    )
+    _assert_identical_outputs(
+        name, result, replayed, f"sharded/{backend}"
+    )
+
+
+def test_supervised_replay_matches_recorded_run():
+    name = "cdr_select_punctuated"
+    plan, sources = ALL_PLANS[name]()
+    result, log = record_run(plan, sources, batch_size=16)
+    machine = _machine_for(name, log)
+    replayed, report = machine.replay_supervised(RoundRobinPartition(2))
+    _assert_identical_outputs(name, result, replayed, "supervised")
+    assert report.retries == 0
+
+
+# --------------------------------------------------------------------------
+# feedback: replay re-sheds exactly, advice stride state included
+# --------------------------------------------------------------------------
+
+
+def _probe_plan():
+    return linear_plan(
+        "in",
+        [
+            Select(lambda r: True, name="sel"),
+            BackpressureProbe(
+                "k", capacity=20, hot_keys=1, resume_after=10_000
+            ),
+        ],
+        "out",
+    )
+
+
+class TestFeedbackReplay:
+    def test_shedding_run_replays_bit_identically(self):
+        result, log = record_run(
+            _probe_plan(),
+            {"in": ListSource("in", _elements())},
+            batch_size=16,
+            checkpoint_every=2,
+        )
+        dropped = result.metrics.counters["feedback.ingress_dropped"]
+        assert dropped > 0, "probe never shed; the test is vacuous"
+        machine = TimeMachine(_probe_plan, log)
+        replayed = machine.replay()
+        _assert_identical_outputs("probe", result, replayed, "feedback")
+        assert (
+            replayed.metrics.counters["feedback.ingress_dropped"] == dropped
+        )
+
+    def test_advice_table_stride_state_is_identical(self):
+        """The journal's final advice snapshot (down to downsample
+        stride positions) must equal the snapshot the replay ends on."""
+        result, log = record_run(
+            _probe_plan(),
+            {"in": ListSource("in", _elements())},
+            batch_size=16,
+        )
+        final = log.meta["final_advice"]
+        assert final is not None
+        replayed = TimeMachine(_probe_plan, log).replay()
+        assert replayed.advice == final
+
+    def test_subrange_replay_restores_mid_shed_advice(self):
+        """Starting mid-trace must resume shedding from the recorded
+        advice state, not from a clean table."""
+        result, log = record_run(
+            _probe_plan(),
+            {"in": ListSource("in", _elements())},
+            batch_size=16,
+            checkpoint_every=2,
+        )
+        machine = TimeMachine(_probe_plan, log)
+        mid = log.end_epoch // 2
+        replayed = machine.replay(mid)
+        want = log.output_range(result.outputs, mid, None)
+        for out, elements in want.items():
+            assert replayed.outputs[out] == elements
+
+    def test_feedback_punctuations_are_journaled(self):
+        _, log = record_run(
+            _probe_plan(),
+            {"in": ListSource("in", _elements())},
+            batch_size=16,
+        )
+        assert any(entry.feedback for entry in log.entries())
+
+
+# --------------------------------------------------------------------------
+# adaptive: recorded revisions re-fire at their original boundaries
+# --------------------------------------------------------------------------
+
+
+class TestAdaptiveReplay:
+    NAME = "cdr_select_project_aggregate_punctuated"
+
+    def _record(self):
+        plan, sources = ALL_PLANS[self.NAME]()
+        return record_adaptive(
+            plan,
+            sources,
+            batch_size=8,
+            config=AGGRESSIVE,
+            checkpoint_every=2,
+        )
+
+    def test_adaptive_run_replays_bit_identically(self):
+        result, log, migrations = self._record()
+        assert migrations, "no migrations fired; the test is vacuous"
+        machine = _machine_for(self.NAME, log)
+        replayed = machine.replay()
+        _assert_identical_outputs(self.NAME, result, replayed, "adaptive")
+
+    def test_migration_epochs_are_indexed(self):
+        _, log, migrations = self._record()
+        machine = _machine_for(self.NAME, log)
+        epochs = machine.migration_epochs()
+        assert len(epochs) == len(migrations)
+        assert epochs == sorted(set(epochs))
+
+    def test_replay_migration_isolates_one_boundary(self):
+        result, log, migrations = self._record()
+        machine = _machine_for(self.NAME, log)
+        epoch = machine.migration_epochs()[0]
+        replayed = machine.replay_migration(0)
+        want = log.output_range(result.outputs, epoch, epoch + 1)
+        for out, elements in want.items():
+            assert replayed.outputs[out] == elements
+
+    def test_subrange_replay_across_migrations(self):
+        """A window spanning a migration boundary must fold the earlier
+        revisions into the reconstructed plan, then re-fire the rest."""
+        result, log, migrations = self._record()
+        machine = _machine_for(self.NAME, log)
+        last = machine.migration_epochs()[-1]
+        start = min(last, log.end_epoch - 1)
+        replayed = machine.replay(start)
+        want = log.output_range(result.outputs, start, None)
+        for out, elements in want.items():
+            assert replayed.outputs[out] == elements

@@ -1,0 +1,248 @@
+"""Unit coverage of the tape itself: :class:`RecordLog` mechanics.
+
+Segmentation, retention, the split/concat algebra, persistence (both
+the single-blob form and the manifest directory layout), and every
+guard rail that keeps a journal internally consistent (append order,
+checkpoint placement, truncated-prefix errors).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record
+from repro.errors import ReplayError
+from repro.replay import (
+    EpochRecord,
+    RecordLog,
+    RetentionPolicy,
+    TimeMachine,
+    record_run,
+)
+from tests.core.test_batch_equivalence import ALL_PLANS
+
+NAME = "cdr_select_punctuated"
+
+
+def _recorded(checkpoint_every=2, segment_every=None, retention=None):
+    plan, sources = ALL_PLANS[NAME]()
+    return record_run(
+        plan,
+        sources,
+        batch_size=8,
+        checkpoint_every=checkpoint_every,
+        segment_every=segment_every,
+        retention=retention,
+    )
+
+
+def _entry(index, n=3, final=False):
+    elements = [
+        ("in", Record({"ts": float(index * 10 + i), "v": i},
+                      ts=float(index * 10 + i), seq=index * 10 + i))
+        for i in range(n)
+    ]
+    if not final:
+        elements.append(
+            ("in", Punctuation.time_bound("ts", float(index * 10 + n)))
+        )
+    return EpochRecord(
+        index=index,
+        elements=elements,
+        output_positions={"out": 0},
+        feedback=[],
+        final=final,
+    )
+
+
+class TestAppendDiscipline:
+    def test_epochs_must_be_contiguous(self):
+        log = RecordLog()
+        log.append(_entry(0))
+        with pytest.raises(ReplayError, match="out of order"):
+            log.append(_entry(2))
+
+    def test_checkpoint_outside_open_segment_rejected(self):
+        log = RecordLog()
+        log.append(_entry(0))
+        with pytest.raises(ReplayError, match="outside the open segment"):
+            log.add_checkpoint(5, object())
+
+    def test_bad_segment_every_rejected(self):
+        with pytest.raises(ReplayError, match="segment_every"):
+            RecordLog(segment_every=0)
+
+    def test_final_epoch_carries_no_punctuation(self):
+        entry = _entry(3, final=True)
+        assert entry.final and entry.punct is None
+        assert _entry(3).punct is not None
+
+    def test_clear_resets_to_empty(self):
+        log = RecordLog()
+        log.append(_entry(0))
+        log.attach_revisions(["rev"])
+        log.clear()
+        assert log.n_epochs == 0
+        assert log.base_epoch == 0
+        assert log.dropped_revisions == []
+
+
+class TestSegmentation:
+    def test_segments_roll_at_cadence(self):
+        _, log = _recorded(checkpoint_every=2, segment_every=4)
+        assert len(log.segments) >= 2
+        for seg in log.segments[:-1]:
+            assert len(seg) == 4
+        # Every segment opens on a checkpoint: independently replayable.
+        for seg in log.segments:
+            assert seg.start in seg.checkpoints
+
+    def test_recorder_rejects_misaligned_segments(self):
+        plan, sources = ALL_PLANS[NAME]()
+        with pytest.raises(ReplayError, match="multiple"):
+            record_run(
+                plan, sources, checkpoint_every=3, segment_every=4
+            )
+
+
+class TestRetention:
+    def test_old_segments_are_dropped(self):
+        retention = RetentionPolicy(max_epochs=6)
+        _, log = _recorded(
+            checkpoint_every=2, segment_every=2, retention=retention
+        )
+        assert log.base_epoch > 0
+        assert log.n_epochs >= 6
+        # The retained suffix still starts on a checkpoint ...
+        assert log.segments[0].start in log.segments[0].checkpoints
+
+    def test_retained_suffix_replays(self):
+        retention = RetentionPolicy(max_epochs=6)
+        result, log = _recorded(
+            checkpoint_every=2, segment_every=2, retention=retention
+        )
+        machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], log)
+        replayed = machine.replay(log.base_epoch, log.end_epoch)
+        # Positions before the retained base are gone, so compare as a
+        # suffix: the replay must reproduce the recorded tail exactly.
+        for out, got in replayed.outputs.items():
+            full = result.outputs[out]
+            assert got, "retained replay produced nothing"
+            assert full[len(full) - len(got):] == got
+
+    def test_truncated_prefix_raises(self):
+        retention = RetentionPolicy(max_epochs=6)
+        _, log = _recorded(
+            checkpoint_every=2, segment_every=2, retention=retention
+        )
+        machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], log)
+        with pytest.raises(ReplayError):
+            machine.replay(0, log.end_epoch)
+        with pytest.raises(ReplayError):
+            log.output_position(0)
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ReplayError):
+            RetentionPolicy(max_epochs=0)
+
+
+class TestSplitConcat:
+    def test_split_concat_is_identity(self):
+        result, log = _recorded(checkpoint_every=2)
+        for at in (0, 1, log.end_epoch // 2, log.end_epoch):
+            left, right = log.split(at)
+            assert left.n_epochs + right.n_epochs == log.n_epochs
+            joined = left.concat(right)
+            assert [e.index for e in joined.entries()] == [
+                e.index for e in log.entries()
+            ]
+            machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], joined)
+            replayed = machine.replay()
+            for out, elements in result.outputs.items():
+                assert replayed.outputs[out] == elements
+
+    def test_right_half_replays_standalone(self):
+        """The right half inherits the left's revisions as its shape
+        prefix, so it reconstructs without the left's entries."""
+        result, log = _recorded(checkpoint_every=2)
+        at = log.end_epoch // 2
+        _, right = log.split(at)
+        machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], right)
+        replayed = machine.replay(at, log.end_epoch)
+        want = log.output_range(result.outputs, at, None)
+        for out, elements in want.items():
+            assert replayed.outputs[out] == elements
+
+    def test_split_out_of_range_raises(self):
+        _, log = _recorded()
+        with pytest.raises(ReplayError, match="split point"):
+            log.split(log.end_epoch + 1)
+
+    def test_concat_gap_raises(self):
+        _, log = _recorded()
+        left, right = log.split(2)
+        with pytest.raises(ReplayError, match="cannot concat"):
+            right.concat(left)
+
+
+class TestPersistence:
+    def test_bytes_round_trip(self):
+        result, log = _recorded(checkpoint_every=2)
+        clone = RecordLog.from_bytes(log.to_bytes())
+        assert clone.n_epochs == log.n_epochs
+        machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], clone)
+        replayed = machine.replay()
+        for out, elements in result.outputs.items():
+            assert replayed.outputs[out] == elements
+
+    def test_from_bytes_rejects_foreign_blob(self):
+        import pickle
+
+        with pytest.raises(ReplayError, match="RecordLog"):
+            RecordLog.from_bytes(pickle.dumps({"not": "a log"}))
+
+    def test_save_load_round_trip(self, tmp_path):
+        result, log = _recorded(checkpoint_every=2, segment_every=4)
+        root = os.path.join(str(tmp_path), "tape")
+        log.save(root)
+        manifest = json.load(open(os.path.join(root, "manifest.json")))
+        assert manifest["format"] == "repro-recordlog/1"
+        assert manifest["end_epoch"] == log.end_epoch
+        assert manifest["base_epoch"] == log.base_epoch
+        clone = RecordLog.load(root)
+        assert len(clone.segments) == len(log.segments)
+        machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], clone)
+        replayed = machine.replay()
+        for out, elements in result.outputs.items():
+            assert replayed.outputs[out] == elements
+
+    def test_load_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(ReplayError):
+            RecordLog.load(str(tmp_path / "nope"))
+
+
+class TestQueries:
+    def test_output_range_full_includes_flush(self):
+        result, log = _recorded()
+        sliced = log.output_range(result.outputs, 0, None)
+        assert sliced == result.outputs
+
+    def test_all_elements_covers_the_whole_trace(self):
+        plan, sources = ALL_PLANS[NAME]()
+        offered = list(sources["Calls"].events()) if "Calls" in sources \
+            else None
+        result, log = _recorded()
+        replayed = [el for _name, el in log.all_elements()]
+        total = sum(len(e.elements) for e in log.entries())
+        assert len(replayed) == total
+
+    def test_checkpoint_at_or_before_picks_nearest(self):
+        _, log = _recorded(checkpoint_every=4)
+        for epoch in range(log.end_epoch + 1):
+            index, cp = log.checkpoint_at_or_before(epoch)
+            assert index <= epoch
+            assert cp is not None
+            assert index % 4 == 0 or index == 0

@@ -1,0 +1,170 @@
+"""TimeMachine guard rails and the checkpoint gauge-rewind regression.
+
+The error contract: a machine refuses to reconstruct what the log
+cannot faithfully describe (missing meta, truncated prefixes, sharded
+replay of revision-bearing logs, out-of-range epochs) instead of
+silently producing an almost-right run.  Plus the regression this PR
+fixed: ``Engine.restore_checkpoint`` used to leave the observer's
+high-watermark markers and gauges at their pre-rewind values, so a
+restored engine reported ``ingress.max_ts`` from a future it had been
+rolled back out of.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Engine, ListSource, Punctuation, Record, run_plan
+from repro.core.graph import linear_plan
+from repro.errors import ReplayError
+from repro.observe import ObserveConfig
+from repro.operators import Select
+from repro.parallel import RoundRobinPartition
+from repro.replay import RecordLog, Recorder, TimeMachine, record_run
+from tests.adaptive.test_differential import AGGRESSIVE
+from tests.core.test_batch_equivalence import ALL_PLANS
+from tests.replay.test_differential import _machine_for
+
+NAME = "cdr_select_punctuated"
+
+
+def _recorded(**kw):
+    plan, sources = ALL_PLANS[NAME]()
+    return record_run(plan, sources, batch_size=8, **kw)
+
+
+class TestGuardRails:
+    def test_log_without_meta_is_rejected(self):
+        with pytest.raises(ReplayError, match="metadata"):
+            TimeMachine(lambda: ALL_PLANS[NAME]()[0], RecordLog())
+
+    def test_out_of_range_epochs_are_rejected(self):
+        _, log = _recorded()
+        machine = _machine_for(NAME, log)
+        with pytest.raises(ReplayError):
+            machine.replay(0, log.end_epoch + 1)
+        with pytest.raises(ReplayError):
+            machine.replay(-1, 1)
+        with pytest.raises(ReplayError):
+            machine.replay(3, 2)
+
+    def test_sparse_checkpoints_still_cover_every_epoch(self):
+        result, log = _recorded(checkpoint_every=5)
+        machine = _machine_for(NAME, log)
+        for epoch in range(log.end_epoch):
+            replayed = machine.replay(epoch, epoch + 1)
+            want = log.output_range(result.outputs, epoch, epoch + 1)
+            for out, elements in want.items():
+                assert replayed.outputs[out] == elements
+
+    def test_sharded_replay_refuses_revision_logs(self):
+        from repro.replay import record_adaptive
+
+        plan, sources = ALL_PLANS[
+            "cdr_select_project_aggregate_punctuated"
+        ]()
+        _, log, migrations = record_adaptive(
+            plan, sources, batch_size=8, config=AGGRESSIVE
+        )
+        assert migrations
+        machine = TimeMachine(
+            lambda: ALL_PLANS["cdr_select_project_aggregate_punctuated"]()[
+                0
+            ],
+            log,
+        )
+        with pytest.raises(ReplayError, match="revision"):
+            machine.replay_sharded(RoundRobinPartition(2))
+
+    def test_recorder_validates_cadence(self):
+        with pytest.raises(ReplayError):
+            Recorder(checkpoint_every=0)
+        with pytest.raises(ReplayError):
+            Recorder(checkpoint_every=2, segment_every=3)
+
+    def test_replay_migration_without_migrations(self):
+        _, log = _recorded()
+        machine = _machine_for(NAME, log)
+        assert machine.migration_epochs() == []
+        with pytest.raises(ReplayError):
+            machine.replay_migration(0)
+
+
+class TestObservedReplay:
+    def test_observed_run_replays_outputs_identically(self):
+        plan, sources = ALL_PLANS[NAME]()
+        result, log = record_run(
+            plan, sources, batch_size=8, observe=True, checkpoint_every=2
+        )
+        machine = TimeMachine(
+            lambda: ALL_PLANS[NAME]()[0], log, observe=True
+        )
+        replayed = machine.replay()
+        for out, elements in result.outputs.items():
+            assert replayed.outputs[out] == elements
+
+
+def _gauge_plan():
+    return linear_plan(
+        "in", [Select(lambda r: True, name="sel")], "out"
+    )
+
+
+def _stream(n=40, punct_every=10):
+    out = []
+    for i in range(n):
+        out.append(Record({"ts": float(i), "v": i}, ts=float(i), seq=i))
+        if i % punct_every == punct_every - 1:
+            out.append(Punctuation.time_bound("ts", float(i), ts=float(i)))
+    return out
+
+
+class TestGaugeRewindRegression:
+    """restore_checkpoint must rewind stream-progress gauges."""
+
+    def test_restore_rewinds_observer_watermarks(self):
+        engine = Engine(_gauge_plan(), batch_size=8, observe=True)
+        engine.start()
+        cp = engine.checkpoint()
+        # feed_batch observes each call's last element: a punctuation
+        # advances the watermark gauge, a record advances max_ts.
+        engine.feed_batch("in", _stream())
+        tail = [
+            Record({"ts": float(i), "v": i}, ts=float(i), seq=i)
+            for i in range(40, 45)
+        ]
+        engine.feed_batch("in", tail)
+        assert engine.metrics.gauge("ingress.max_ts").last == 44.0
+        assert engine.metrics.gauge("ingress.watermark").last == 39.0
+        engine.restore_checkpoint(cp)
+        # The rolled-back engine must not report future stream progress.
+        assert "ingress.max_ts" not in engine.metrics.gauges
+        assert "ingress.watermark" not in engine.metrics.gauges
+        # ... and re-feeding rebuilds them from the rewound position.
+        engine.feed_batch("in", _stream(20))
+        assert engine.metrics.gauge("ingress.watermark").last == 19.0
+
+    def test_restore_clears_gauges_without_observer(self):
+        engine = Engine(_gauge_plan(), batch_size=8)
+        engine.start()
+        cp = engine.checkpoint()
+        engine.metrics.gauge("queue.depth").set(42.0)
+        engine.restore_checkpoint(cp)
+        assert not engine.metrics.gauges
+
+    def test_replayed_observed_run_has_fresh_watermarks(self):
+        """End to end: a sub-range replay through a checkpoint must not
+        inherit watermark gauges from beyond its window."""
+        result, log = record_run(
+            _gauge_plan(),
+            {"in": ListSource("in", _stream())},
+            batch_size=8,
+            observe=True,
+            checkpoint_every=2,
+        )
+        machine = TimeMachine(_gauge_plan, log, observe=True)
+        replayed = machine.replay(1, 2)
+        gauge = replayed.metrics.gauges.get("ingress.max_ts")
+        if gauge is not None:
+            # Epoch 1 covers ts in [10, 20): nothing from the future.
+            assert gauge.last < 20.0

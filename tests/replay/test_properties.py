@@ -1,0 +1,191 @@
+"""Property layer: the tape is a faithful functor, always.
+
+Hypothesis draws random keyed streams, random punctuation placements,
+random batch sizes, random checkpoint cadences, and (separately)
+random backpressure-probe parameters that shed mid-trace; for every
+drawn combination the replay must emit exactly what the recorded run
+emitted, from any epoch, and the split/concat algebra on the log must
+be invisible to the replayer.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ListSource, Punctuation, Record
+from repro.core.graph import linear_plan
+from repro.feedback import BackpressureProbe
+from repro.operators import AggSpec, Aggregate, Select
+from repro.replay import TimeMachine, record_run
+
+pytestmark = pytest.mark.slow
+
+_PREDICATES = [
+    ("mod2", lambda r: r["v"] % 2 == 0),
+    ("mod3", lambda r: r["v"] % 3 != 0),
+    ("small", lambda r: r["k"] < 5),
+    ("key_odd", lambda r: r["k"] % 2 == 1),
+]
+
+
+@st.composite
+def streams(draw):
+    n = draw(st.integers(min_value=1, max_value=150))
+    keys = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=9), min_size=n, max_size=n
+        )
+    )
+    punct_every = draw(st.integers(min_value=1, max_value=40))
+    elements = []
+    for i, k in enumerate(keys):
+        elements.append(Record({"k": k, "v": i, "ts": float(i)},
+                               ts=float(i), seq=i))
+        if (i + 1) % punct_every == 0:
+            elements.append(
+                Punctuation.time_bound("ts", float(i), ts=float(i))
+            )
+    return elements
+
+
+@st.composite
+def plans(draw):
+    picks = draw(
+        st.lists(
+            st.sampled_from(range(len(_PREDICATES))),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    aggregate = draw(st.booleans())
+
+    def build():
+        ops = [
+            Select(_PREDICATES[i][1], name=_PREDICATES[i][0])
+            for i in picks
+        ]
+        if aggregate:
+            ops.append(
+                Aggregate(["k"], [AggSpec("n", "count")], name="agg")
+            )
+        return linear_plan("in", ops, "out")
+
+    return build
+
+
+@given(
+    elements=streams(),
+    build=plans(),
+    batch_size=st.sampled_from([None, 1, 3, 16]),
+    checkpoint_every=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=60, deadline=None)
+def test_replay_round_trip_is_identity(
+    elements, build, batch_size, checkpoint_every
+):
+    result, log = record_run(
+        build(),
+        {"in": ListSource("in", list(elements))},
+        batch_size=batch_size,
+        checkpoint_every=checkpoint_every,
+    )
+    replayed = TimeMachine(build, log).replay()
+    assert set(replayed.outputs) == set(result.outputs)
+    for out, want in result.outputs.items():
+        assert replayed.outputs[out] == want
+
+
+@given(
+    elements=streams(),
+    build=plans(),
+    checkpoint_every=st.integers(min_value=1, max_value=5),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_any_subrange_matches_the_recorded_slice(
+    elements, build, checkpoint_every, data
+):
+    result, log = record_run(
+        build(),
+        {"in": ListSource("in", list(elements))},
+        batch_size=4,
+        checkpoint_every=checkpoint_every,
+    )
+    end = log.end_epoch
+    start = data.draw(st.integers(min_value=0, max_value=max(0, end - 1)))
+    stop = data.draw(st.integers(min_value=start + 1, max_value=end))
+    replayed = TimeMachine(build, log).replay(start, stop)
+    want = log.output_range(result.outputs, start, stop)
+    for out, elements_want in want.items():
+        assert replayed.outputs[out] == elements_want
+
+
+@given(
+    elements=streams(),
+    capacity=st.integers(min_value=5, max_value=60),
+    batch_size=st.sampled_from([1, 8, 32]),
+)
+@settings(max_examples=40, deadline=None)
+def test_feedback_interleavings_replay_identically(
+    elements, capacity, batch_size
+):
+    """Random probe pressure => random advice interleavings; the replay
+    must re-shed through the restored advice state exactly."""
+
+    def build():
+        return linear_plan(
+            "in",
+            [
+                Select(lambda r: True, name="sel"),
+                BackpressureProbe(
+                    "k", capacity=capacity, hot_keys=1, resume_after=30
+                ),
+            ],
+            "out",
+        )
+
+    result, log = record_run(
+        build(),
+        {"in": ListSource("in", list(elements))},
+        batch_size=batch_size,
+        checkpoint_every=2,
+    )
+    replayed = TimeMachine(build, log).replay()
+    for out, want in result.outputs.items():
+        assert replayed.outputs[out] == want
+    assert replayed.advice == log.meta["final_advice"]
+
+
+@given(
+    elements=streams(),
+    build=plans(),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_split_concat_laws(elements, build, data):
+    """concat(split(log, at)) replays like log, for every cut point;
+    the right half replays standalone from its own base."""
+    result, log = record_run(
+        build(),
+        {"in": ListSource("in", list(elements))},
+        batch_size=4,
+        checkpoint_every=2,
+    )
+    at = data.draw(st.integers(min_value=0, max_value=log.end_epoch))
+    left, right = log.split(at)
+    assert left.n_epochs + right.n_epochs == log.n_epochs
+
+    joined = left.concat(right)
+    replayed = TimeMachine(build, joined).replay()
+    for out, want in result.outputs.items():
+        assert replayed.outputs[out] == want
+
+    _, cut_cp = right.checkpoint_at_or_before(at) if at < log.end_epoch \
+        else (None, None)
+    if at < log.end_epoch and cut_cp is not None:
+        tail = TimeMachine(build, right).replay(at, log.end_epoch)
+        want = log.output_range(result.outputs, at, None)
+        for out, elements_want in want.items():
+            assert tail.outputs[out] == elements_want

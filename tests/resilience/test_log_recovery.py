@@ -1,0 +1,158 @@
+"""Chaos regression: log-backed supervised recovery, crash included.
+
+A :class:`Supervisor` given a ``record_log`` journals every completed
+epoch; recovery after a mid-run crash replays the lost window from the
+journal — re-split from position zero, because stateful partitioners
+(round-robin) route by absolute position — and the output must still be
+bit-identical to a fault-free single-engine run.  Neither a dropped
+epoch nor a double-applied replay survives element-for-element
+comparison.  The journal itself must describe exactly the run that
+produced the output: contiguous epochs, every offered element, no
+duplicates from the crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import run_plan
+from repro.core.engine import resolve_sources
+from repro.parallel import (
+    HashPartition,
+    RoundRobinPartition,
+    ShardedEngine,
+)
+from repro.parallel.partition import split_epochs
+from repro.replay import RecordLog, TimeMachine, record_run
+from repro.resilience import FaultInjector, Supervisor
+from tests.core.test_batch_equivalence import ALL_PLANS
+from tests.parallel.test_sharded_equivalence import (
+    _assert_identical,
+    _hash_key_for,
+)
+
+pytestmark = pytest.mark.slow
+
+NAME = "cdr_select_punctuated"
+
+
+def _epoch_count(plan, sources, engine):
+    st = engine._strategy
+    by_name = resolve_sources(plan, sources)
+    return len(
+        split_epochs(list(by_name[st.input_name].events()), st.routing)
+    )
+
+
+def _supervised(engine, injector=None, **kw):
+    kw.setdefault("backoff_base", 0.001)
+    kw.setdefault("epoch_timeout", 30.0)
+    return Supervisor(engine, injector=injector, **kw)
+
+
+def _offered_elements(plan, sources, engine):
+    st = engine._strategy
+    by_name = resolve_sources(plan, sources)
+    return list(by_name[st.input_name].events())
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+@pytest.mark.parametrize(
+    "partition",
+    [RoundRobinPartition(3), HashPartition("origin", 2)],
+    ids=["round_robin", "hash"],
+)
+def test_crash_recovery_replays_from_the_journal(backend, partition):
+    """Crash near the end with sparse checkpoints: the recovery replay
+    window is non-empty and is served from the journal."""
+    plan, sources = ALL_PLANS[NAME]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, partition, backend=backend)
+    n_epochs = _epoch_count(plan, sources, engine)
+    assert n_epochs >= 4
+    n_shards = engine._strategy.routing.n_shards
+    injector = FaultInjector(seed=7)
+    injector.crash_shard(n_shards - 1, epoch=n_epochs - 2)
+    log = RecordLog()
+    supervisor = _supervised(
+        engine, injector, record_log=log, checkpoint_every=4
+    )
+    result = supervisor.run(sources)
+    _assert_identical(NAME, f"log-backed/{backend}", baseline, result)
+    assert supervisor.report.retries >= 1
+    assert supervisor.report.replayed_epochs >= 1
+    # The journal describes the completed run: contiguous, complete,
+    # and carrying every offered ingress element exactly once.
+    assert log.base_epoch == 0
+    assert log.n_epochs == n_epochs
+    assert [e.index for e in log.entries()] == list(range(n_epochs))
+    offered = _offered_elements(plan, sources, engine)
+    journaled = [el for _name, el in log.all_elements()]
+    assert journaled == offered
+
+
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_repeated_crashes_neither_drop_nor_duplicate(backend):
+    """Two crashes on different shards/epochs; the journal still ends
+    contiguous and the output still matches."""
+    plan, sources = ALL_PLANS["cdr_select_project_aggregate_punctuated"]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, RoundRobinPartition(3), backend=backend)
+    n_epochs = _epoch_count(plan, sources, engine)
+    injector = FaultInjector(seed=11)
+    injector.crash_shard(0, epoch=1)
+    injector.crash_shard(2, epoch=max(2, n_epochs - 1))
+    log = RecordLog()
+    supervisor = _supervised(
+        engine, injector, record_log=log, checkpoint_every=3
+    )
+    result = supervisor.run(sources)
+    _assert_identical("partial", f"double-crash/{backend}", baseline, result)
+    assert supervisor.report.retries >= 2
+    assert log.n_epochs == n_epochs
+    assert [e.index for e in log.entries()] == list(range(n_epochs))
+
+
+def test_degradation_restart_clears_the_journal():
+    """A shard that dies past max_retries degrades the run; the journal
+    must describe the run that produced the output, not the abandoned
+    attempt (no duplicate epoch 0)."""
+    plan, sources = ALL_PLANS[NAME]()
+    baseline = run_plan(plan, sources, batch_size=1)
+    engine = ShardedEngine(plan, RoundRobinPartition(4), backend="thread")
+    injector = FaultInjector(seed=3)
+    injector.crash_shard(1, epoch=2, times=100)  # unkillable fault
+    log = RecordLog()
+    supervisor = _supervised(
+        engine, injector, record_log=log, max_retries=1
+    )
+    result = supervisor.run(sources)
+    _assert_identical(NAME, "degraded", baseline, result)
+    assert supervisor.report.degraded_to is not None
+    # Either the narrowed protocol journaled a fresh contiguous run, or
+    # the run fell all the way back to the unjournaled single engine.
+    if log.n_epochs:
+        assert [e.index for e in log.entries()] == list(
+            range(log.n_epochs)
+        )
+
+
+def test_crash_during_supervised_replay_of_a_recording():
+    """The time machine's supervised replay path tolerates a crash too:
+    record a plain run, replay it under a supervisor with a fault
+    schedule, and require the recorded output back."""
+    plan, sources = ALL_PLANS[NAME]()
+    result, log = record_run(plan, sources, batch_size=16)
+    machine = TimeMachine(lambda: ALL_PLANS[NAME]()[0], log)
+    injector = FaultInjector(seed=5)
+    injector.crash_shard(0, epoch=2)
+    replayed, report = machine.replay_supervised(
+        RoundRobinPartition(2),
+        backend="thread",
+        injector=injector,
+        backoff_base=0.001,
+        epoch_timeout=30.0,
+    )
+    _assert_identical(NAME, "replay-crash", result, replayed)
+    assert report.retries >= 1
+    assert injector.fired, "the scheduled crash never fired"

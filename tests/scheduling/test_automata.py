@@ -1,0 +1,222 @@
+"""Unit laws of the learning-automata scheduler (arXiv:1110.1700).
+
+The L_RP update rules, probability-mass conservation, the favorability
+signal, determinism across reruns, the exploration floor, and parameter
+validation — checked directly on :class:`LearningAutomataScheduler`
+plus one end-to-end pass through the virtual-time simulator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ListSource, Punctuation, Record, SimConfig, Simulation
+from repro.core.graph import linear_plan
+from repro.errors import SchedulingError
+from repro.operators import Select
+from repro.scheduling import LearningAutomataScheduler
+from repro.scheduling.base import ReadyOp
+
+
+def ready(key, port=0, cost=1.0, sel=0.5, size=1.0, seq=0, terminal=False):
+    return ReadyOp(
+        key=key,
+        port=port,
+        op_name=f"op{key}",
+        cost=cost,
+        selectivity=sel,
+        head_size=size,
+        head_entry_seq=seq,
+        head_entry_ts=0.0,
+        queue_length=1,
+        terminal=terminal,
+    )
+
+
+def _plan(n_ops=3):
+    return linear_plan(
+        "in",
+        [Select(lambda r: True, name=f"s{i}") for i in range(n_ops)],
+        "out",
+    )
+
+
+class TestValidation:
+    @pytest.mark.parametrize("reward", [0.0, 1.0, -0.2, 1.5])
+    def test_bad_reward_rejected(self, reward):
+        with pytest.raises(SchedulingError, match="reward"):
+            LearningAutomataScheduler(reward=reward)
+
+    @pytest.mark.parametrize("penalty", [-0.1, 1.0])
+    def test_bad_penalty_rejected(self, penalty):
+        with pytest.raises(SchedulingError, match="penalty"):
+            LearningAutomataScheduler(penalty=penalty)
+
+    def test_bad_floor_rejected(self):
+        with pytest.raises(SchedulingError, match="floor"):
+            LearningAutomataScheduler(floor=-0.01)
+
+    def test_penalty_zero_is_reward_inaction(self):
+        LearningAutomataScheduler(penalty=0.0)  # L_RI is legal
+
+
+class TestAutomatonLaws:
+    def test_on_start_is_uniform(self):
+        sched = LearningAutomataScheduler()
+        sched.on_start(_plan(3))
+        probs = sched.probabilities()
+        assert len(probs) == 3
+        for p in probs.values():
+            assert p == pytest.approx(1.0 / 3)
+
+    def test_probability_mass_is_conserved(self):
+        sched = LearningAutomataScheduler(reward=0.3, penalty=0.2, seed=4)
+        sched.on_start(_plan(4))
+        for step in range(200):
+            sched.choose(
+                [
+                    ready(0, sel=0.1, seq=step),
+                    ready(1, sel=0.9, seq=step),
+                    ready(2, sel=0.5, seq=step),
+                    ready(3, sel=0.3, seq=step),
+                ],
+                float(step),
+            )
+            assert sum(sched.probabilities().values()) == pytest.approx(1.0)
+            assert all(p >= 0.0 for p in sched.probabilities().values())
+
+    def test_consistently_favorable_action_gains_mass(self):
+        """Serving the high-release operator is always favorable here,
+        so its probability must climb above uniform."""
+        sched = LearningAutomataScheduler(seed=1)
+        sched.on_start(_plan(2))
+        for step in range(300):
+            sched.choose(
+                [ready(0, sel=0.05, seq=step), ready(1, sel=0.95, seq=step)],
+                float(step),
+            )
+        probs = sched.probabilities()
+        # key 0 (selectivity 0.05 -> high release rate) is the winner.
+        assert probs[0] > 0.5
+        assert probs[0] > probs[1]
+
+    def test_infinite_release_is_always_favorable(self):
+        sched = LearningAutomataScheduler(seed=2)
+        sched.on_start(_plan(2))
+        before = dict(sched.probabilities())
+        # Zero-cost op: release_rate == inf; choosing it must reward it.
+        for step in range(50):
+            choice = sched.choose(
+                [ready(0, cost=0.0, seq=step), ready(1, sel=0.9, seq=step)],
+                float(step),
+            )
+            if choice.key == 0:
+                assert sched.probabilities()[0] >= before[0]
+            before = dict(sched.probabilities())
+
+    def test_floor_keeps_every_ready_op_reachable(self):
+        """Even after heavy reinforcement toward op 0, the sampling
+        floor must let op 1 be chosen eventually."""
+        sched = LearningAutomataScheduler(
+            reward=0.5, penalty=0.0, seed=3, floor=0.05
+        )
+        sched.on_start(_plan(2))
+        for step in range(200):
+            sched.choose(
+                [ready(0, sel=0.01, seq=step), ready(1, sel=0.99, seq=step)],
+                float(step),
+            )
+        chosen = set()
+        for step in range(500):
+            choice = sched.choose(
+                [ready(0, sel=0.01, seq=step), ready(1, sel=0.99, seq=step)],
+                float(step),
+            )
+            chosen.add(choice.key)
+        assert chosen == {0, 1}
+
+    def test_single_ready_op_is_served(self):
+        sched = LearningAutomataScheduler()
+        sched.on_start(_plan(2))
+        assert sched.choose([ready(1, seq=7)], 0.0).key == 1
+
+    def test_ports_collapse_to_one_action(self):
+        """Two ready ports of the same operator are one action; the
+        oldest head tuple wins the candidacy."""
+        sched = LearningAutomataScheduler(seed=0)
+        sched.on_start(_plan(1))
+        choice = sched.choose(
+            [ready(0, port=1, seq=9), ready(0, port=0, seq=2)], 0.0
+        )
+        assert (choice.key, choice.port) == (0, 0)
+
+    def test_unknown_key_is_rejected(self):
+        sched = LearningAutomataScheduler()
+        sched.on_start(_plan(2))
+        with pytest.raises(SchedulingError, match="unknown"):
+            sched.choose([ready(99)], 0.0)
+
+
+class TestDeterminism:
+    def _trace(self, sched, n=400):
+        sched.on_start(_plan(3))
+        picks = []
+        for step in range(n):
+            choice = sched.choose(
+                [
+                    ready(0, sel=0.2, seq=step),
+                    ready(1, sel=0.8, seq=step),
+                    ready(2, sel=0.5, seq=step),
+                ],
+                float(step),
+            )
+            picks.append(choice.key)
+        return picks
+
+    def test_same_seed_same_schedule(self):
+        a = LearningAutomataScheduler(seed=11)
+        b = LearningAutomataScheduler(seed=11)
+        assert self._trace(a) == self._trace(b)
+
+    def test_on_start_rewinds_the_rng(self):
+        """One instance reused across runs (the ReplayBench contract)
+        must reproduce its schedule after on_start."""
+        sched = LearningAutomataScheduler(seed=11)
+        first = self._trace(sched)
+        second = self._trace(sched)
+        assert first == second
+
+    def test_different_seeds_explore_differently(self):
+        a = LearningAutomataScheduler(seed=1)
+        b = LearningAutomataScheduler(seed=2)
+        assert self._trace(a) != self._trace(b)
+
+
+class TestEndToEnd:
+    def test_simulation_run_completes_and_is_deterministic(self):
+        elements = []
+        for i in range(200):
+            elements.append(
+                Record({"ts": float(i), "v": i}, ts=float(i), seq=i)
+            )
+            if i % 40 == 39:
+                elements.append(
+                    Punctuation.time_bound("ts", float(i), ts=float(i))
+                )
+
+        def run():
+            plan = linear_plan(
+                "in",
+                [
+                    Select(lambda r: r["v"] % 2 == 0, name="even"),
+                    Select(lambda r: r["v"] % 3 == 0, name="third"),
+                ],
+                "out",
+            )
+            sim = Simulation(plan, LearningAutomataScheduler(seed=5))
+            return sim.run({"in": ListSource("in", elements)})
+
+        first, second = run(), run()
+        assert first.end_time == second.end_time
+        assert first.mean_latency == second.mean_latency
+        assert first.memory.values == second.memory.values
